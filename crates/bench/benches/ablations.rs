@@ -1,0 +1,94 @@
+//! Ablation benchmarks for the design choices `DESIGN.md` calls out.
+//!
+//! * `matching_depth` — sweeps `Budget::max_term_gen` on the two hardest
+//!   corpus VCs (§3.0's `q` and the cyclic `updateAll`), quantifying how
+//!   the generation-stamped matching-depth control trades completeness
+//!   against divergence.
+//! * `naive_vs_restricted` — the cost of the full alias-confinement
+//!   machinery versus the closed-world naive baseline on the same inputs.
+//! * `null_checks` — the cost of the definedness side conditions the paper
+//!   elides.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagroups::{CheckOptions, Checker};
+use oolong_corpus::paper;
+use oolong_prover::Budget;
+use oolong_syntax::parse_program;
+
+fn matching_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_matching_depth");
+    group.sample_size(10);
+    for program_src in [paper::SECTION30_Q, paper::EXAMPLE3] {
+        let program = parse_program(program_src.source).expect("parses");
+        for gen in [1u32, 2, 3] {
+            let budget = Budget { max_term_gen: gen, ..Budget::default() };
+            group.bench_with_input(
+                BenchmarkId::new(program_src.name, gen),
+                &budget,
+                |b, budget| {
+                    b.iter(|| {
+                        let options =
+                            CheckOptions { budget: budget.clone(), ..CheckOptions::default() };
+                        Checker::new(&program, options).expect("analyses").check_all()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn naive_vs_restricted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_naive_vs_restricted");
+    group.sample_size(10);
+    let program = parse_program(paper::SECTION31_BAD_CALL.source).expect("parses");
+    for (label, naive) in [("restricted", false), ("naive", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &naive, |b, &naive| {
+            b.iter(|| {
+                let options = CheckOptions { naive, ..CheckOptions::default() };
+                Checker::new(&program, options).expect("analyses").check_all()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn null_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_null_checks");
+    group.sample_size(10);
+    let program = parse_program(paper::STACK_MODULE.source).expect("parses");
+    for (label, null_checks) in [("elided", false), ("checked", true)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &null_checks,
+            |b, &null_checks| {
+                b.iter(|| {
+                    let options = CheckOptions { null_checks, ..CheckOptions::default() };
+                    Checker::new(&program, options).expect("analyses").check_all()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn arrays_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_arrays_level");
+    group.sample_size(10);
+    // A plain program checked at both language levels: the cost of the
+    // extended axiom (4) and the slot axioms when unused.
+    let program = parse_program(paper::STACK_MODULE.source).expect("parses");
+    for (label, force) in [("plain", false), ("arrays", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &force, |b, &force| {
+            b.iter(|| {
+                let options =
+                    CheckOptions { force_arrays_level: force, ..CheckOptions::default() };
+                Checker::new(&program, options).expect("analyses").check_all()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, matching_depth, naive_vs_restricted, null_checks, arrays_level);
+criterion_main!(benches);

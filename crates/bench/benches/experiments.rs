@@ -1,0 +1,175 @@
+//! Criterion benchmarks regenerating the timing-flavoured experiments
+//! (E1–E9 in `DESIGN.md`). Run with `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagroups::{CheckOptions, Checker};
+use oolong_corpus::{generate_source, paper, GenConfig};
+use oolong_prover::{prove, Budget};
+use oolong_sema::{closure_for_impl, subset_program, Scope};
+use oolong_syntax::{parse_program, Decl};
+
+/// E1: parsing and scope analysis of the corpus.
+fn e01_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_parse");
+    for p in [paper::SECTION30_FULL, paper::EXAMPLE1, paper::STACK_MODULE] {
+        group.bench_with_input(BenchmarkId::from_parameter(p.name), &p, |b, p| {
+            b.iter(|| {
+                let program = parse_program(p.source).expect("parses");
+                Scope::analyze(&program).expect("analyses")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_check(c: &mut Criterion, group_name: &str, programs: &[paper::CorpusProgram], naive: bool) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for p in programs {
+        let program = parse_program(p.source).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(p.name), &program, |b, program| {
+            b.iter(|| {
+                let options = CheckOptions { naive, ..CheckOptions::default() };
+                Checker::new(program, options).expect("analyses").check_all()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E2: the §3.0 programs under the restricted checker.
+fn e02_pivot(c: &mut Criterion) {
+    bench_check(c, "e02_pivot", &[paper::SECTION30_Q, paper::SECTION30_FULL], false);
+}
+
+/// E2 (baseline): same programs under the naive closed-world checker.
+fn e02_pivot_naive(c: &mut Criterion) {
+    bench_check(c, "e02_pivot_naive", &[paper::SECTION30_Q, paper::SECTION30_FULL], true);
+}
+
+/// E3: the §3.1 programs.
+fn e03_owner(c: &mut Criterion) {
+    bench_check(c, "e03_owner", &[paper::SECTION31_W, paper::SECTION31_BAD_CALL], false);
+}
+
+/// E4/E5: the §5 worked examples.
+fn e04_e05_examples(c: &mut Criterion) {
+    bench_check(c, "e04_e05_examples", &[paper::EXAMPLE1, paper::EXAMPLE2], false);
+}
+
+/// E6: the cyclic-inclusion example at the default and starved budgets.
+fn e06_cyclic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_cyclic");
+    group.sample_size(10);
+    let program = parse_program(paper::EXAMPLE3.source).expect("parses");
+    for (label, budget) in [("default", Budget::default()), ("starved", Budget::tiny())] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &budget, |b, budget| {
+            b.iter(|| {
+                let options = CheckOptions { budget: budget.clone(), ..CheckOptions::default() };
+                Checker::new(&program, options).expect("analyses").check_all()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E7: modular checking — every implementation in its closure scope.
+fn e07_monotonic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_monotonic");
+    group.sample_size(10);
+    let program = parse_program(paper::STACK_MODULE.source).expect("parses");
+    group.bench_function("stack_module_modular", |b| {
+        b.iter(|| {
+            for (i, decl) in program.decls.iter().enumerate() {
+                if matches!(decl, Decl::Impl(_)) {
+                    let sub = subset_program(&program, &closure_for_impl(&program, i));
+                    Checker::new(&sub, CheckOptions::default())
+                        .expect("analyses")
+                        .check_all();
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+/// E8: checker wall-clock versus generated program size.
+fn e08_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_scaling");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("small", GenConfig::default()),
+        (
+            "medium",
+            GenConfig { groups: 5, fields: 9, procs: 7, impls: 6, body_len: 7, ..GenConfig::default() },
+        ),
+        (
+            "large",
+            GenConfig {
+                groups: 8,
+                fields: 14,
+                procs: 10,
+                impls: 9,
+                body_len: 9,
+                ..GenConfig::default()
+            },
+        ),
+    ] {
+        let source = generate_source(42, &cfg);
+        let program = parse_program(&source).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &program, |b, program| {
+            b.iter(|| Checker::new(program, CheckOptions::default()).expect("analyses").check_all());
+        });
+    }
+    group.finish();
+}
+
+/// E9: the raw prover on each corpus VC.
+fn e09_prover_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_prover_profile");
+    group.sample_size(10);
+    for p in [paper::SECTION31_W, paper::EXAMPLE2, paper::EXAMPLE3, paper::RATIONAL] {
+        let program = parse_program(p.source).expect("parses");
+        let checker = Checker::new(&program, CheckOptions::default()).expect("analyses");
+        let vcs: Vec<_> = checker
+            .scope()
+            .impls()
+            .map(|(id, _)| checker.vc(id).expect("vc generates"))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(p.name), &vcs, |b, vcs| {
+            b.iter(|| {
+                for vc in vcs {
+                    prove(&vc.hypotheses, &vc.goal, &Budget::default());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E10: specification-overhead measurement.
+fn e10_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_overhead");
+    for p in [paper::STACK_MODULE, paper::RATIONAL] {
+        let program = parse_program(p.source).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(p.name), &program, |b, program| {
+            b.iter(|| datagroups::overhead(program));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e01_parse,
+    e02_pivot,
+    e02_pivot_naive,
+    e03_owner,
+    e04_e05_examples,
+    e06_cyclic,
+    e07_monotonic,
+    e08_scaling,
+    e09_prover_profile,
+    e10_overhead
+);
+criterion_main!(benches);

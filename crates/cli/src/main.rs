@@ -1,0 +1,221 @@
+//! `oolong` — command-line interface to the data-group side-effect checker.
+//!
+//! ```text
+//! oolong check <file|corpus:NAME> [--naive] [--null-checks] [--max-instances N] [--max-gen N]
+//! oolong run   <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
+//! oolong vc    <file|corpus:NAME> [--proc NAME]
+//! oolong stats <file|corpus:NAME>
+//! oolong corpus
+//! ```
+//!
+//! Sources can be file paths or `corpus:NAME` references into the embedded
+//! paper corpus (see `oolong corpus`).
+
+use datagroups::{overhead, CheckOptions, Checker};
+use oolong_interp::{ExecConfig, Interp, RngOracle, RunOutcome};
+use oolong_sema::Scope;
+use oolong_syntax::parse_program;
+use std::process::ExitCode;
+
+mod experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:
+  oolong check <file|corpus:NAME> [--modular] [--naive] [--null-checks] [--explain]
+               [--max-instances N] [--max-gen N]
+  oolong run   <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
+  oolong vc    <file|corpus:NAME> [--proc NAME]
+  oolong stats <file|corpus:NAME>
+  oolong corpus
+  oolong experiments"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "vc" => cmd_vc(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "corpus" => cmd_corpus(),
+        "experiments" => {
+            experiments::run_all();
+            Ok(ExitCode::SUCCESS)
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{}", usage())),
+    }
+}
+
+fn load_source(spec: &str) -> Result<String, String> {
+    if let Some(name) = spec.strip_prefix("corpus:") {
+        return oolong_corpus::by_name(name)
+            .map(|p| p.source.to_string())
+            .ok_or_else(|| format!("no corpus program named `{name}` (try `oolong corpus`)"));
+    }
+    std::fs::read_to_string(spec).map_err(|e| format!("cannot read `{spec}`: {e}"))
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Names of options that consume a following value.
+const VALUE_OPTS: &[&str] = &["--max-instances", "--max-gen", "--proc", "--seeds"];
+
+fn opt_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn positional(args: &[String]) -> Result<&str, String> {
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if VALUE_OPTS.contains(&a.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            return Ok(a);
+        }
+    }
+    Err(format!("missing input\n{}", usage()))
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let source = load_source(positional(args)?)?;
+    let program = parse_program(&source).map_err(|e| e.render(&source))?;
+    let mut options = CheckOptions {
+        naive: flag(args, "--naive"),
+        null_checks: flag(args, "--null-checks"),
+        ..CheckOptions::default()
+    };
+    if let Some(n) = opt_value(args, "--max-instances") {
+        options.budget.max_instances = n.parse().map_err(|_| "bad --max-instances")?;
+    }
+    if let Some(n) = opt_value(args, "--max-gen") {
+        options.budget.max_term_gen = n.parse().map_err(|_| "bad --max-gen")?;
+    }
+    if flag(args, "--modular") {
+        let report = datagroups::check_modular(&program, &options).map_err(|e| e.render(&source))?;
+        println!("{report}");
+        return Ok(if report.all_verified() { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+    }
+    let checker = Checker::new(&program, options).map_err(|e| e.render(&source))?;
+    let report = checker.check_all_parallel();
+    let explain = flag(args, "--explain");
+    for rep in &report.impls {
+        print!("impl {}: {}", rep.proc_name, rep.verdict);
+        if let Some(stats) = rep.verdict.stats() {
+            print!("  [{stats}]");
+        }
+        println!();
+        if explain {
+            if let Some(branch) = rep.verdict.open_branch() {
+                println!("  unrefuted scenario:");
+                for line in branch {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+    let (v, r, u) = report.tally();
+    println!("{v} verified, {r} rejected, {u} unknown");
+    Ok(if report.all_verified() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let source = load_source(positional(args)?)?;
+    let program = parse_program(&source).map_err(|e| e.render(&source))?;
+    let scope = Scope::analyze(&program).map_err(|e| e.render(&source))?;
+    let proc = opt_value(args, "--proc").ok_or("missing --proc NAME")?;
+    let seeds: u64 = opt_value(args, "--seeds")
+        .unwrap_or_else(|| "20".into())
+        .parse()
+        .map_err(|_| "bad --seeds")?;
+    let config = ExecConfig {
+        check_owner_exclusion: flag(args, "--owner-exclusion"),
+        ..ExecConfig::default()
+    };
+    let mut wrong = 0u64;
+    let mut completed = 0u64;
+    let mut blocked = 0u64;
+    let mut fuel = 0u64;
+    for seed in 0..seeds {
+        let mut interp = Interp::new(&scope, config.clone(), RngOracle::seeded(seed));
+        match interp.run_proc_fresh(&proc) {
+            RunOutcome::Completed => completed += 1,
+            RunOutcome::Blocked => blocked += 1,
+            RunOutcome::OutOfFuel => fuel += 1,
+            RunOutcome::Wrong(w) => {
+                wrong += 1;
+                println!("seed {seed}: WRONG — {w}");
+            }
+        }
+    }
+    println!("{seeds} runs: {completed} completed, {blocked} blocked, {wrong} wrong, {fuel} out-of-fuel");
+    Ok(if wrong == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_vc(args: &[String]) -> Result<ExitCode, String> {
+    let source = load_source(positional(args)?)?;
+    let program = parse_program(&source).map_err(|e| e.render(&source))?;
+    let checker =
+        Checker::new(&program, CheckOptions::default()).map_err(|e| e.render(&source))?;
+    let filter = opt_value(args, "--proc");
+    for (impl_id, info) in checker.scope().impls() {
+        let name = checker.scope().proc_info(info.proc).name.clone();
+        if let Some(f) = &filter {
+            if &name != f {
+                continue;
+            }
+        }
+        let vc = checker.vc(impl_id).map_err(|e| e.to_string())?;
+        println!("=== VC for impl {name} ({} hypotheses)", vc.hypotheses.len());
+        for (i, h) in vc.hypotheses.iter().enumerate() {
+            println!("H{i}: {h}");
+        }
+        println!("⊢ {}", vc.goal);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
+    let source = load_source(positional(args)?)?;
+    let program = parse_program(&source).map_err(|e| e.render(&source))?;
+    let scope = Scope::analyze(&program).map_err(|e| e.render(&source))?;
+    println!("declarations: {}", program.decls.len());
+    println!("attributes:   {}", scope.attr_count());
+    println!("pivots:       {}", scope.pivots().len());
+    println!("procedures:   {}", scope.procs().count());
+    println!("impls:        {}", scope.impls().count());
+    println!("spec overhead: {}", overhead(&program));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_corpus() -> Result<ExitCode, String> {
+    for p in oolong_corpus::all() {
+        println!("{:<22} §{}", p.name, p.section);
+    }
+    Ok(ExitCode::SUCCESS)
+}

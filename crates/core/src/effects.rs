@@ -1,0 +1,311 @@
+//! The formulas `incl`, `mod`, and `ownExcl` of Section 4.1.
+//!
+//! A modifies list `w` evaluated in a store `S` allows a location `X·A` to
+//! be assigned iff `X` is unallocated in `S` or some term `E.f` in `w` has
+//! `tr(E)·f ≽ X·A` in `S`:
+//!
+//! ```text
+//! mod(X·A, w, S)  =  ¬alive(S, X) ∨ incl(X·A, w, S)
+//! incl(X·A, w, S) =  ⋁_{E.f ∈ w}  S ⊨ tr(E)·f ≽ X·A
+//! ```
+//!
+//! Owner exclusion says the non-null value of a pivot field `F` of an
+//! object `X` may be passed as parameter `t` only if the callee has no
+//! license on any attribute `A` of `X` with a rep inclusion through `F`:
+//!
+//! ```text
+//! ownExcl(t, w, S) = (∀X,A,F,B :: A →F B ∧ t = S(X·F) ∧ t ≠ null
+//!                                   ⇒ ¬incl(X·A, w, S))
+//! ```
+
+use oolong_logic::transform::FreshGen;
+use oolong_logic::{Atom, Formula, Pattern, Term, Trigger};
+use oolong_sema::{ModTarget, Scope};
+
+/// A modifies list with its designator roots bound to concrete terms:
+/// the caller's formals (`Term::var`) for the method's own list, or the
+/// `sᵢ` parameter-value variables for a callee's list at a call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModList {
+    entries: Vec<ModEntry>,
+}
+
+/// One designator `root.a₁.….aₙ` with the root already a term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModEntry {
+    /// The value of the designator's root.
+    pub root: Term,
+    /// The attribute path (names), non-empty; the last element is the
+    /// licensed attribute.
+    pub path: Vec<String>,
+}
+
+impl ModEntry {
+    /// The location this entry licenses, evaluated in `store`: the object
+    /// term (root dereferenced through all but the last attribute) and the
+    /// final attribute.
+    pub fn location(&self, store: &Term) -> (Term, Term) {
+        let mut obj = self.root.clone();
+        for attr in &self.path[..self.path.len() - 1] {
+            obj = Term::select(store.clone(), obj, Term::attr(attr.clone()));
+        }
+        let attr = Term::attr(self.path.last().expect("path non-empty").clone());
+        (obj, attr)
+    }
+}
+
+impl ModList {
+    /// Builds a modifies-list instance from resolved targets, substituting
+    /// `roots[target.param]` for each designator root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target's parameter index is out of range of `roots`.
+    pub fn new(scope: &Scope, targets: &[ModTarget], roots: &[Term]) -> ModList {
+        let entries = targets
+            .iter()
+            .map(|t| ModEntry {
+                root: roots[t.param].clone(),
+                path: t.path.iter().map(|&a| scope.attr_info(a).name.clone()).collect(),
+            })
+            .collect();
+        ModList { entries }
+    }
+
+    /// An empty modifies list (allows only fresh objects).
+    pub fn empty() -> ModList {
+        ModList { entries: Vec::new() }
+    }
+
+    /// The entries of the list.
+    pub fn entries(&self) -> &[ModEntry] {
+        &self.entries
+    }
+
+    /// `incl(obj·attr, self, store)` — the finite disjunction over entries.
+    pub fn incl(&self, obj: &Term, attr: &Term, store: &Term) -> Formula {
+        Formula::or(
+            self.entries
+                .iter()
+                .map(|e| {
+                    let (eobj, eattr) = e.location(store);
+                    Formula::Atom(Atom::Inc {
+                        store: store.clone(),
+                        obj: eobj,
+                        attr: eattr,
+                        obj2: obj.clone(),
+                        attr2: attr.clone(),
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// `mod(obj·attr, self, store)`.
+    pub fn modifiable(&self, obj: &Term, attr: &Term, store: &Term) -> Formula {
+        Formula::or(vec![
+            Formula::not(Formula::Atom(Atom::Alive(store.clone(), obj.clone()))),
+            self.incl(obj, attr, store),
+        ])
+    }
+
+    /// `ownExcl(t, self, store)` — the owner-exclusion property for a
+    /// parameter value `t`, covering ordinary pivots and (the array
+    /// extension) elem-pivot arrays and their stored elements.
+    pub fn own_excl(&self, t: &Term, store: &Term, fresh: &mut FreshGen) -> Formula {
+        self.own_excl_leveled(t, store, false, fresh)
+    }
+
+    /// [`ModList::own_excl`] with the array language level explicit: at the
+    /// arrays level the elementwise clauses are added.
+    pub fn own_excl_leveled(
+        &self,
+        t: &Term,
+        store: &Term,
+        arrays: bool,
+        fresh: &mut FreshGen,
+    ) -> Formula {
+        let mut clauses = vec![self.own_excl_pivot(t, store, fresh)];
+        if arrays {
+            clauses.push(self.own_excl_elem_array(t, store, fresh));
+            clauses.push(self.own_excl_element(t, store, fresh));
+        }
+        Formula::and(clauses)
+    }
+
+    /// The paper's clause: `t` may be the value of pivot `F` of `X` only if
+    /// the list grants no license on `X·A` with `A →F B`.
+    fn own_excl_pivot(&self, t: &Term, store: &Term, fresh: &mut FreshGen) -> Formula {
+        let x = fresh.fresh("oeX");
+        let a = fresh.fresh("oeA");
+        let f = fresh.fresh("oeF");
+        let b = fresh.fresh("oeB");
+        let rep = Atom::RepInc {
+            group: Term::var(a.clone()),
+            pivot: Term::var(f.clone()),
+            mapped: Term::var(b.clone()),
+        };
+        let pivot_read = Term::select(store.clone(), Term::var(x.clone()), Term::var(f.clone()));
+        let antecedent = Formula::and(vec![
+            Formula::Atom(rep.clone()),
+            Formula::eq(t.clone(), pivot_read.clone()),
+            Formula::neq(t.clone(), Term::null()),
+        ]);
+        let conclusion =
+            Formula::not(self.incl(&Term::var(x.clone()), &Term::var(a.clone()), store));
+        let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(pivot_read)]);
+        Formula::forall(vec![x, a, f, b], vec![trigger], Formula::implies(antecedent, conclusion))
+    }
+
+    /// Elementwise clause for the array itself: `t` may be the value of an
+    /// elem-pivot `F` of `X` only if no license covers `X·A` with `A ⇉F B`.
+    fn own_excl_elem_array(&self, t: &Term, store: &Term, fresh: &mut FreshGen) -> Formula {
+        let x = fresh.fresh("oeX");
+        let a = fresh.fresh("oeA");
+        let f = fresh.fresh("oeF");
+        let b = fresh.fresh("oeB");
+        let rep = Atom::RepIncElem {
+            group: Term::var(a.clone()),
+            pivot: Term::var(f.clone()),
+            mapped: Term::var(b.clone()),
+        };
+        let pivot_read = Term::select(store.clone(), Term::var(x.clone()), Term::var(f.clone()));
+        let antecedent = Formula::and(vec![
+            Formula::Atom(rep.clone()),
+            Formula::eq(t.clone(), pivot_read.clone()),
+            Formula::neq(t.clone(), Term::null()),
+        ]);
+        let conclusion =
+            Formula::not(self.incl(&Term::var(x.clone()), &Term::var(a.clone()), store));
+        let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(pivot_read)]);
+        Formula::forall(vec![x, a, f, b], vec![trigger], Formula::implies(antecedent, conclusion))
+    }
+
+    /// Elementwise clause for stored elements: `t` may be the value of slot
+    /// `I` of an elem-pivot's array only if no license covers the owner.
+    fn own_excl_element(&self, t: &Term, store: &Term, fresh: &mut FreshGen) -> Formula {
+        let x = fresh.fresh("oeX");
+        let a = fresh.fresh("oeA");
+        let f = fresh.fresh("oeF");
+        let b = fresh.fresh("oeB");
+        let i = fresh.fresh("oeI");
+        let rep = Atom::RepIncElem {
+            group: Term::var(a.clone()),
+            pivot: Term::var(f.clone()),
+            mapped: Term::var(b.clone()),
+        };
+        let arr_read = Term::select(store.clone(), Term::var(x.clone()), Term::var(f.clone()));
+        let slot_read = Term::select(store.clone(), arr_read.clone(), Term::var(i.clone()));
+        let antecedent = Formula::and(vec![
+            Formula::Atom(rep.clone()),
+            Formula::Atom(Atom::IsInt(Term::var(i.clone()))),
+            Formula::eq(t.clone(), slot_read.clone()),
+            Formula::neq(t.clone(), Term::null()),
+        ]);
+        let conclusion =
+            Formula::not(self.incl(&Term::var(x.clone()), &Term::var(a.clone()), store));
+        let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(slot_read)]);
+        Formula::forall(
+            vec![x, a, f, b, i],
+            vec![trigger],
+            Formula::implies(antecedent, conclusion),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oolong_sema::Scope;
+    use oolong_syntax::parse_program;
+
+    fn scope() -> Scope {
+        Scope::analyze(
+            &parse_program(
+                "group g
+                 field c
+                 field d
+                 proc p(t) modifies t.c.d.g",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn p_modlist(scope: &Scope) -> ModList {
+        let p = scope.proc("p").unwrap();
+        let targets = scope.proc_info(p).modifies.clone();
+        ModList::new(scope, &targets, &[Term::var("t")])
+    }
+
+    #[test]
+    fn entry_location_builds_select_chain() {
+        let s = scope();
+        let ml = p_modlist(&s);
+        let (obj, attr) = ml.entries()[0].location(&Term::store0());
+        // t.c.d.g: object is $0($0(t·c)·d), attribute is g.
+        let inner = Term::select(Term::store0(), Term::var("t"), Term::attr("c"));
+        assert_eq!(obj, Term::select(Term::store0(), inner, Term::attr("d")));
+        assert_eq!(attr, Term::attr("g"));
+    }
+
+    #[test]
+    fn incl_is_disjunction_over_entries() {
+        let s = scope();
+        let ml = p_modlist(&s);
+        let f = ml.incl(&Term::var("u"), &Term::attr("g"), &Term::store0());
+        assert!(matches!(f, Formula::Atom(Atom::Inc { .. })), "single entry gives bare atom: {f}");
+    }
+
+    #[test]
+    fn empty_list_allows_only_fresh() {
+        let ml = ModList::empty();
+        let m = ml.modifiable(&Term::var("u"), &Term::attr("g"), &Term::store0());
+        // mod = ¬alive($0, u) ∨ false = ¬alive($0, u).
+        assert_eq!(
+            m,
+            Formula::not(Formula::Atom(Atom::Alive(Term::store0(), Term::var("u"))))
+        );
+    }
+
+    #[test]
+    fn own_excl_shape() {
+        let s = scope();
+        let ml = p_modlist(&s);
+        let mut fresh = FreshGen::new();
+        // Plain level: the paper's single quantified clause.
+        let oe = ml.own_excl(&Term::var("t"), &Term::store0(), &mut fresh);
+        match oe {
+            Formula::Forall(vars, triggers, body) => {
+                assert_eq!(vars.len(), 4);
+                assert_eq!(triggers.len(), 1);
+                assert_eq!(triggers[0].0.len(), 2, "multi-pattern trigger");
+                assert!(matches!(*body, Formula::Implies(..)));
+            }
+            other => panic!("expected forall, got {other}"),
+        }
+        // Arrays level: three clauses (pivots, elem arrays, elements).
+        let oe = ml.own_excl_leveled(&Term::var("t"), &Term::store0(), true, &mut fresh);
+        match oe {
+            Formula::And(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert!(matches!(&parts[2], Formula::Forall(vars, _, _) if vars.len() == 5));
+            }
+            other => panic!("expected conjunction of clauses, got {other}"),
+        }
+    }
+
+    #[test]
+    fn modifiable_includes_unallocated_escape() {
+        let s = scope();
+        let ml = p_modlist(&s);
+        let m = ml.modifiable(&Term::var("u"), &Term::attr("g"), &Term::store0());
+        match m {
+            Formula::Or(parts) => {
+                assert!(matches!(&parts[0], Formula::Not(inner)
+                    if matches!(**inner, Formula::Atom(Atom::Alive(..)))));
+            }
+            other => panic!("expected disjunction, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The translation `tr` of oolong expressions into logic (Figure 2).
+//!
+//! `tr(c) = c`, `tr(x) = x`, `tr(E.f) = $(tr(E)·f)`, and `tr` is
+//! homomorphic on operators. Dereferences `E.f` additionally produce the
+//! well-definedness side condition `tr(E) ≠ null`, which the paper elides
+//! "for brevity"; collection of these conditions is optional (see
+//! [`CheckOptions::null_checks`](crate::CheckOptions)).
+//!
+//! Boolean-valued operators translate to formulas; oolong is untyped, but
+//! storing the *result* of a comparison in a variable or field is not
+//! something the paper's examples ever do, so expressions in *value*
+//! position must be object/integer shaped (constants, variables,
+//! designators, arithmetic). Violations are reported as translation errors.
+
+use oolong_logic::{Atom, Formula, Term};
+use oolong_syntax::{BinOp, Diagnostic, Expr, UnaryOp};
+
+/// A translated value expression: its term and the accumulated
+/// well-definedness conditions (one `≠ null` per dereference).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrValue {
+    /// The logical term denoting the expression's value.
+    pub term: Term,
+    /// Non-null side conditions for every dereference performed.
+    pub defined: Vec<Formula>,
+}
+
+/// A translated boolean expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrFormula {
+    /// The logical formula denoting the expression's truth.
+    pub formula: Formula,
+    /// Non-null side conditions for every dereference performed.
+    pub defined: Vec<Formula>,
+}
+
+/// Translates an expression in *value* position, reading object attributes
+/// from the store denoted by `store`.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] if the expression uses a boolean operator in
+/// value position.
+pub fn tr_value(expr: &Expr, store: &Term) -> Result<TrValue, Diagnostic> {
+    let mut defined = Vec::new();
+    let term = tr_value_inner(expr, store, &mut defined)?;
+    Ok(TrValue { term, defined })
+}
+
+fn tr_value_inner(
+    expr: &Expr,
+    store: &Term,
+    defined: &mut Vec<Formula>,
+) -> Result<Term, Diagnostic> {
+    match expr {
+        Expr::Const(c, _) => Ok(match c {
+            oolong_syntax::Const::Null => Term::null(),
+            oolong_syntax::Const::Bool(b) => Term::boolean(*b),
+            oolong_syntax::Const::Int(n) => Term::int(*n),
+        }),
+        Expr::Id(id) => Ok(Term::var(id.text.clone())),
+        Expr::Select { base, attr, .. } => {
+            let base_term = tr_value_inner(base, store, defined)?;
+            defined.push(Formula::neq(base_term.clone(), Term::null()));
+            Ok(Term::select(store.clone(), base_term, Term::attr(attr.text.clone())))
+        }
+        Expr::Index { base, index, .. } => {
+            // tr(E[I]) = $(tr(E)·tr(I)) — the store is untyped in its key
+            // position, so integer slots reuse `select` directly.
+            let base_term = tr_value_inner(base, store, defined)?;
+            let index_term = tr_value_inner(index, store, defined)?;
+            defined.push(Formula::neq(base_term.clone(), Term::null()));
+            Ok(Term::select(store.clone(), base_term, index_term))
+        }
+        Expr::Binary { op, lhs, rhs, span } => {
+            let l = tr_value_inner(lhs, store, defined)?;
+            let r = tr_value_inner(rhs, store, defined)?;
+            match op {
+                BinOp::Add => Ok(Term::add(l, r)),
+                BinOp::Sub => Ok(Term::sub(l, r)),
+                BinOp::Mul => Ok(Term::mul(l, r)),
+                _ => Err(Diagnostic::error(
+                    format!("operator `{op}` yields a boolean and cannot appear in value position"),
+                    *span,
+                )),
+            }
+        }
+        Expr::Unary { op, operand, span } => {
+            let o = tr_value_inner(operand, store, defined)?;
+            match op {
+                UnaryOp::Neg => Ok(Term::neg(o)),
+                UnaryOp::Not => Err(Diagnostic::error(
+                    "operator `!` yields a boolean and cannot appear in value position",
+                    *span,
+                )),
+            }
+        }
+    }
+}
+
+/// Translates an expression in *formula* position (an `assert`/`assume`
+/// condition or `if` guard).
+///
+/// Non-boolean expressions (a variable, a field read) are interpreted as
+/// propositions via `BoolTerm`, i.e. they hold when the value is `true`.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] if arithmetic appears where only a proposition
+/// makes sense in a way that cannot be interpreted (currently arithmetic is
+/// always interpretable as a `BoolTerm`, so this only propagates inner
+/// errors).
+pub fn tr_formula(expr: &Expr, store: &Term) -> Result<TrFormula, Diagnostic> {
+    let mut defined = Vec::new();
+    let formula = tr_formula_inner(expr, store, &mut defined)?;
+    Ok(TrFormula { formula, defined })
+}
+
+fn tr_formula_inner(
+    expr: &Expr,
+    store: &Term,
+    defined: &mut Vec<Formula>,
+) -> Result<Formula, Diagnostic> {
+    match expr {
+        Expr::Const(oolong_syntax::Const::Bool(true), _) => Ok(Formula::True),
+        Expr::Const(oolong_syntax::Const::Bool(false), _) => Ok(Formula::False),
+        Expr::Binary { op, lhs, rhs, .. } if op.is_predicate() => match op {
+            BinOp::And => Ok(Formula::and(vec![
+                tr_formula_inner(lhs, store, defined)?,
+                tr_formula_inner(rhs, store, defined)?,
+            ])),
+            BinOp::Or => Ok(Formula::or(vec![
+                tr_formula_inner(lhs, store, defined)?,
+                tr_formula_inner(rhs, store, defined)?,
+            ])),
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let l = tr_value_inner(lhs, store, defined)?;
+                let r = tr_value_inner(rhs, store, defined)?;
+                Ok(match op {
+                    BinOp::Eq => Formula::eq(l, r),
+                    BinOp::Ne => Formula::neq(l, r),
+                    BinOp::Lt => Formula::Atom(Atom::Lt(l, r)),
+                    BinOp::Le => Formula::Atom(Atom::Le(l, r)),
+                    BinOp::Gt => Formula::Atom(Atom::Lt(r, l)),
+                    BinOp::Ge => Formula::Atom(Atom::Le(r, l)),
+                    _ => unreachable!("comparison ops handled above"),
+                })
+            }
+            _ => unreachable!("is_predicate covers exactly these"),
+        },
+        Expr::Unary { op: UnaryOp::Not, operand, .. } => {
+            Ok(Formula::not(tr_formula_inner(operand, store, defined)?))
+        }
+        other => {
+            // A value used as a proposition: holds when it equals `true`.
+            let term = tr_value_inner(other, store, defined)?;
+            Ok(Formula::Atom(Atom::BoolTerm(term)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oolong_syntax::parse_expr;
+
+    fn value(src: &str) -> TrValue {
+        tr_value(&parse_expr(src).expect("parses"), &Term::store()).expect("translates")
+    }
+
+    fn formula(src: &str) -> TrFormula {
+        tr_formula(&parse_expr(src).expect("parses"), &Term::store()).expect("translates")
+    }
+
+    #[test]
+    fn constants_translate_directly() {
+        assert_eq!(value("null").term, Term::null());
+        assert_eq!(value("42").term, Term::int(42));
+        assert_eq!(value("true").term, Term::boolean(true));
+    }
+
+    #[test]
+    fn dereference_chain_builds_selects() {
+        let v = value("t.c.d");
+        let inner = Term::select(Term::store(), Term::var("t"), Term::attr("c"));
+        assert_eq!(v.term, Term::select(Term::store(), inner.clone(), Term::attr("d")));
+        // Two dereferences, two definedness conditions.
+        assert_eq!(v.defined.len(), 2);
+        assert_eq!(v.defined[0], Formula::neq(Term::var("t"), Term::null()));
+        assert_eq!(v.defined[1], Formula::neq(inner, Term::null()));
+    }
+
+    #[test]
+    fn arithmetic_is_homomorphic() {
+        let v = value("t.value + 1");
+        assert_eq!(
+            v.term,
+            Term::add(
+                Term::select(Term::store(), Term::var("t"), Term::attr("value")),
+                Term::int(1)
+            )
+        );
+    }
+
+    #[test]
+    fn boolean_op_in_value_position_rejected() {
+        let e = parse_expr("a = b").unwrap();
+        assert!(tr_value(&e, &Term::store()).is_err());
+        let e2 = parse_expr("!a").unwrap();
+        assert!(tr_value(&e2, &Term::store()).is_err());
+    }
+
+    #[test]
+    fn equality_formula() {
+        let f = formula("n = v.cnt");
+        assert_eq!(
+            f.formula,
+            Formula::eq(
+                Term::var("n"),
+                Term::select(Term::store(), Term::var("v"), Term::attr("cnt"))
+            )
+        );
+        assert_eq!(f.defined.len(), 1);
+    }
+
+    #[test]
+    fn connectives_and_negation() {
+        let f = formula("!(a = null) && (b = null || c = null)");
+        match &f.formula {
+            Formula::And(parts) => {
+                assert!(matches!(parts[0], Formula::Not(_)));
+                assert!(matches!(parts[1], Formula::Or(_)));
+            }
+            other => panic!("expected conjunction, got {other}"),
+        }
+    }
+
+    #[test]
+    fn comparisons_normalise_gt_to_lt() {
+        let f = formula("a > b");
+        assert_eq!(f.formula, Formula::Atom(Atom::Lt(Term::var("b"), Term::var("a"))));
+        let g = formula("a >= b");
+        assert_eq!(g.formula, Formula::Atom(Atom::Le(Term::var("b"), Term::var("a"))));
+    }
+
+    #[test]
+    fn variable_as_proposition() {
+        let f = formula("flag");
+        assert_eq!(f.formula, Formula::Atom(Atom::BoolTerm(Term::var("flag"))));
+    }
+
+    #[test]
+    fn custom_store_is_threaded() {
+        let store0 = Term::store0();
+        let v = tr_value(&parse_expr("t.f").unwrap(), &store0).unwrap();
+        assert_eq!(v.term, Term::select(Term::store0(), Term::var("t"), Term::attr("f")));
+    }
+}

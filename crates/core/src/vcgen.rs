@@ -1,0 +1,711 @@
+//! Verification-condition generation: `wlp` (Figures 2 and 3) and the
+//! per-implementation VC of formula (1):
+//!
+//! ```text
+//! UBP ∧ BP_D ∧ Init(m) ⇒ wlp_{w,$0}(C, true)
+//! ```
+//!
+//! One reading note: Figure 2 writes the allocation rule as
+//! `Q[x := new($)][$ := $⁺]`. Read literally as sequential substitution
+//! this would rewrite the just-introduced `new($)` into `new($⁺)` —
+//! allocating one object and assigning a different one. We read the
+//! substitution pairs as *parallel* (`Q[x := new($), $ := $⁺]`), which
+//! matches the operational semantics: `x` receives `new(S_pre)` and the
+//! store advances to `S_pre⁺`. The field-allocation rule is treated
+//! correspondingly: the final store is `$⁺(tr(E)·f := new($))`.
+
+use crate::effects::ModList;
+use crate::translate::{tr_formula, tr_value};
+use oolong_logic::transform::FreshGen;
+use oolong_logic::{Atom, Formula, Pattern, Term, Trigger};
+use oolong_sema::{ImplId, Scope};
+use oolong_syntax::{Cmd, Diagnostic, Expr, Span};
+
+/// Options controlling VC generation.
+#[derive(Debug, Clone)]
+pub struct VcOptions {
+    /// Emit `≠ null` well-definedness side conditions for dereferences.
+    /// Default `false`, matching the paper (which elides them "for
+    /// brevity" and whose examples require the elision — e.g. §3.0's `q`
+    /// reads `v.cnt` for a `v` whose non-nullness is unknown).
+    pub null_checks: bool,
+    /// Apply the paper's alias-confinement machinery: owner-exclusion
+    /// obligations at call sites, owner-exclusion assumptions on entry,
+    /// and the background axioms (6) and (7). Setting this to `false`
+    /// yields the *naive* checker used as the unsound baseline in
+    /// experiments E2 and E3.
+    pub restrictions: bool,
+    /// Check at the arrays language level even if the scope itself uses no
+    /// array features. Needed when a plain module will be linked together
+    /// with arrays-level modules (see `DESIGN.md`, extensions).
+    pub force_arrays_level: bool,
+}
+
+impl Default for VcOptions {
+    fn default() -> Self {
+        VcOptions { null_checks: false, restrictions: true, force_arrays_level: false }
+    }
+}
+
+/// A generated verification condition.
+#[derive(Debug, Clone)]
+pub struct Vc {
+    /// Name of the implemented procedure.
+    pub proc_name: String,
+    /// `UBP ∧ BP_D ∧ Init(m)`, as separate hypotheses.
+    pub hypotheses: Vec<Formula>,
+    /// `wlp_{w,$0}(C, true)`.
+    pub goal: Formula,
+}
+
+impl Vc {
+    /// Total formula size (hypotheses plus goal), for statistics.
+    pub fn size(&self) -> usize {
+        self.hypotheses.iter().map(Formula::size).sum::<usize>() + self.goal.size()
+    }
+}
+
+/// Verification-condition generator for one scope.
+#[derive(Debug)]
+pub struct VcGen<'s> {
+    scope: &'s Scope,
+    options: VcOptions,
+    fresh: FreshGen,
+    /// Whether the scope is at the *arrays* language level (declares
+    /// `maps elem` clauses or uses index syntax): selects the extended
+    /// axiom (4), the slot axioms, and the elementwise owner-exclusion
+    /// clauses.
+    arrays: bool,
+}
+
+impl<'s> VcGen<'s> {
+    /// Creates a generator over `scope`.
+    pub fn new(scope: &'s Scope, options: VcOptions) -> Self {
+        let arrays = options.force_arrays_level || scope_uses_arrays(scope);
+        VcGen { scope, options, fresh: FreshGen::new(), arrays }
+    }
+
+    /// Generates the verification condition for one implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] if the body uses an expression form the
+    /// translation does not support (a boolean operator in value
+    /// position).
+    pub fn vc_for_impl(&mut self, impl_id: ImplId) -> Result<Vc, Diagnostic> {
+        let info = self.scope.impl_info(impl_id);
+        let proc = self.scope.proc_info(info.proc);
+        let params: Vec<Term> = proc.params.iter().map(Term::var).collect();
+        let w = ModList::new(self.scope, &proc.modifies, &params);
+
+        // Init(m): $ = $0, plus ownExcl and alive for each formal (5).
+        let mut hypotheses = crate::background::universal_background(
+            self.options.restrictions,
+            self.arrays,
+            &mut self.fresh,
+        );
+        hypotheses.extend(crate::background::scope_background(self.scope, &mut self.fresh));
+        if !self.options.restrictions {
+            // The naive baseline compensates for the missing restrictions
+            // with a closed-world reading of the declared inclusions —
+            // the classically unsound design of Section 3.
+            hypotheses
+                .extend(crate::background::closed_world_background(self.scope, &mut self.fresh));
+        }
+        hypotheses.push(Formula::eq(Term::store(), Term::store0()));
+        // Fieldwise reflexivity, pre-derived: every modifies entry's own
+        // location includes itself (axiom (4) local case + reflexive ⊒).
+        // Saves one matching generation on every license obligation.
+        for entry in w.entries() {
+            let (obj, attr) = entry.location(&Term::store0());
+            hypotheses.push(Formula::Atom(Atom::Inc {
+                store: Term::store0(),
+                obj: obj.clone(),
+                attr: attr.clone(),
+                obj2: obj,
+                attr2: attr,
+            }));
+        }
+        for p in &params {
+            if self.options.restrictions {
+                hypotheses.push(w.own_excl_leveled(
+                    p,
+                    &Term::store0(),
+                    self.arrays,
+                    &mut self.fresh,
+                ));
+            }
+            hypotheses.push(Formula::Atom(Atom::Alive(Term::store0(), p.clone())));
+        }
+
+        let body = info.body.desugared();
+        let goal = self.wlp(&body, Formula::True, &w)?;
+        Ok(Vc { proc_name: proc.name.clone(), hypotheses, goal })
+    }
+
+    /// The weakest liberal precondition `wlp_{w,$0}(cmd, q)` (Figure 2).
+    pub fn wlp(&mut self, cmd: &Cmd, q: Formula, w: &ModList) -> Result<Formula, Diagnostic> {
+        match cmd {
+            Cmd::Assert(e, _) => {
+                let tr = tr_formula(e, &Term::store())?;
+                Ok(Formula::and(
+                    self.defined(tr.defined).chain([tr.formula, q]).collect(),
+                ))
+            }
+            Cmd::Assume(e, _) => {
+                let tr = tr_formula(e, &Term::store())?;
+                Ok(Formula::and(
+                    self.defined(tr.defined)
+                        .chain([Formula::implies(tr.formula, q)])
+                        .collect(),
+                ))
+            }
+            Cmd::Var(x, body, _) => {
+                let inner = self.wlp(body, q, w)?;
+                Ok(Formula::forall(vec![x.text.clone()], vec![], inner))
+            }
+            Cmd::Seq(c0, c1) => {
+                let q1 = self.wlp(c1, q, w)?;
+                self.wlp(c0, q1, w)
+            }
+            Cmd::Choice(c0, c1) => {
+                let w0 = self.wlp(c0, q.clone(), w)?;
+                let w1 = self.wlp(c1, q, w)?;
+                Ok(Formula::and(vec![w0, w1]))
+            }
+            Cmd::Assign { lhs, rhs, span } => self.wlp_assign(lhs, rhs, q, w, *span),
+            Cmd::AssignNew { lhs, span } => self.wlp_assign_new(lhs, q, w, *span),
+            Cmd::Call { proc, args, span } => self.wlp_call(proc, args, q, w, *span),
+            Cmd::Skip(_) | Cmd::If { .. } => {
+                unreachable!("wlp is applied to desugared commands only")
+            }
+        }
+    }
+
+    fn defined(&self, conditions: Vec<Formula>) -> impl Iterator<Item = Formula> {
+        let keep = self.options.null_checks;
+        conditions.into_iter().filter(move |_| keep)
+    }
+
+    fn wlp_assign(
+        &mut self,
+        lhs: &Expr,
+        rhs: &Expr,
+        q: Formula,
+        w: &ModList,
+        span: Span,
+    ) -> Result<Formula, Diagnostic> {
+        let r = tr_value(rhs, &Term::store())?;
+        match lhs {
+            // x := E  —  Q[x := tr(E)].
+            Expr::Id(x) => {
+                let subst = q.subst(&[(x.text.clone(), r.term)]);
+                Ok(Formula::and(self.defined(r.defined).chain([subst]).collect()))
+            }
+            // E0.f := E1 — mod(tr(E0)·f, w, $0) ∧ Q[$ := $(tr(E0)·f := tr(E1))].
+            Expr::Select { base, attr, .. } => {
+                let b = tr_value(base, &Term::store())?;
+                let attr_term = Term::attr(attr.text.clone());
+                let license = w.modifiable(&b.term, &attr_term, &Term::store0());
+                let updated =
+                    Term::update(Term::store(), b.term.clone(), attr_term, r.term.clone());
+                let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
+                let defined: Vec<Formula> =
+                    b.defined.into_iter().chain(r.defined).collect();
+                let mut defined_with_target = defined;
+                defined_with_target.push(Formula::neq(b.term, Term::null()));
+                Ok(Formula::and(
+                    self.defined(defined_with_target).chain([license, subst]).collect(),
+                ))
+            }
+            // E0[I] := E1 — the slot analogue: mod(tr(E0)·tr(I), w, $0).
+            Expr::Index { base, index, .. } => {
+                let b = tr_value(base, &Term::store())?;
+                let idx = tr_value(index, &Term::store())?;
+                let license = w.modifiable(&b.term, &idx.term, &Term::store0());
+                let updated =
+                    Term::update(Term::store(), b.term.clone(), idx.term.clone(), r.term.clone());
+                let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
+                let mut defined: Vec<Formula> =
+                    b.defined.into_iter().chain(idx.defined).chain(r.defined).collect();
+                defined.push(Formula::neq(b.term, Term::null()));
+                Ok(Formula::and(self.defined(defined).chain([license, subst]).collect()))
+            }
+            other => Err(Diagnostic::error(
+                "assignment target must be a variable or designator",
+                other.span(),
+            ))
+            .map_err(|d: Diagnostic| d.with_note("while generating wlp", span)),
+        }
+    }
+
+    fn wlp_assign_new(
+        &mut self,
+        lhs: &Expr,
+        q: Formula,
+        w: &ModList,
+        span: Span,
+    ) -> Result<Formula, Diagnostic> {
+        match lhs {
+            // x := new()  —  Q[x := new($), $ := $⁺] (parallel).
+            Expr::Id(x) => Ok(q.subst(&[
+                (x.text.clone(), Term::new_obj(Term::store())),
+                (oolong_logic::STORE.to_string(), Term::succ(Term::store())),
+            ])),
+            // E.f := new() — mod(tr(E)·f, w, $0) ∧ Q[$ := $⁺(tr(E)·f := new($))].
+            Expr::Select { base, attr, .. } => {
+                let b = tr_value(base, &Term::store())?;
+                let attr_term = Term::attr(attr.text.clone());
+                let license = w.modifiable(&b.term, &attr_term, &Term::store0());
+                let updated = Term::update(
+                    Term::succ(Term::store()),
+                    b.term.clone(),
+                    attr_term,
+                    Term::new_obj(Term::store()),
+                );
+                let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
+                let mut defined = b.defined;
+                defined.push(Formula::neq(b.term, Term::null()));
+                Ok(Formula::and(self.defined(defined).chain([license, subst]).collect()))
+            }
+            // E[I] := new() — the slot analogue.
+            Expr::Index { base, index, .. } => {
+                let b = tr_value(base, &Term::store())?;
+                let idx = tr_value(index, &Term::store())?;
+                let license = w.modifiable(&b.term, &idx.term, &Term::store0());
+                let updated = Term::update(
+                    Term::succ(Term::store()),
+                    b.term.clone(),
+                    idx.term.clone(),
+                    Term::new_obj(Term::store()),
+                );
+                let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
+                let mut defined: Vec<Formula> =
+                    b.defined.into_iter().chain(idx.defined).collect();
+                defined.push(Formula::neq(b.term, Term::null()));
+                Ok(Formula::and(self.defined(defined).chain([license, subst]).collect()))
+            }
+            other => Err(Diagnostic::error(
+                "allocation target must be a variable or designator",
+                other.span(),
+            ))
+            .map_err(|d: Diagnostic| d.with_note("while generating wlp", span)),
+        }
+    }
+
+    /// The method-call rule (Figure 3).
+    fn wlp_call(
+        &mut self,
+        proc: &oolong_syntax::Ident,
+        args: &[Expr],
+        q: Formula,
+        w: &ModList,
+        span: Span,
+    ) -> Result<Formula, Diagnostic> {
+        let Some(callee_id) = self.scope.proc(&proc.text) else {
+            return Err(Diagnostic::error(
+                format!("call to undeclared procedure `{}`", proc.text),
+                span,
+            ));
+        };
+        let callee = self.scope.proc_info(callee_id).clone();
+
+        // Fresh sᵢ bound to the actuals.
+        let si: Vec<String> =
+            callee.params.iter().map(|p| self.fresh.fresh(&format!("s_{p}"))).collect();
+        let si_terms: Vec<Term> = si.iter().map(Term::var).collect();
+        let mut equalities = Vec::new();
+        let mut defined = Vec::new();
+        for (s, arg) in si_terms.iter().zip(args.iter()) {
+            let a = tr_value(arg, &Term::store())?;
+            defined.extend(a.defined);
+            equalities.push(Formula::eq(s.clone(), a.term));
+        }
+        // ws: the callee's modifies list with formals replaced by sᵢ.
+        let ws = ModList::new(self.scope, &callee.modifies, &si_terms);
+
+        // Caller's license covers every callee target (evaluated in the
+        // current store, against w evaluated in $0).
+        let mut obligations = Vec::new();
+        for entry in ws.entries() {
+            let (obj, attr) = entry.location(&Term::store());
+            obligations.push(w.modifiable(&obj, &attr, &Term::store0()));
+        }
+        // Owner exclusion for every parameter value.
+        if self.options.restrictions {
+            for s in &si_terms {
+                obligations.push(ws.own_excl_leveled(
+                    s,
+                    &Term::store(),
+                    self.arrays,
+                    &mut self.fresh,
+                ));
+            }
+        }
+
+        // Frame: ∀$' :: alive-monotone ∧ per-location change license ⇒ Q[$ := $'].
+        let post_store = self.fresh.fresh("post");
+        let post = Term::var(post_store.clone());
+        let frame = {
+            let xv = self.fresh.fresh("frX");
+            let alive_pre = Atom::Alive(Term::store(), Term::var(xv.clone()));
+            let alive_post = Atom::Alive(post.clone(), Term::var(xv.clone()));
+            let alive_mono = Formula::forall(
+                vec![xv],
+                vec![
+                    Trigger(vec![Pattern::Atom(alive_pre.clone())]),
+                    Trigger(vec![Pattern::Atom(alive_post.clone())]),
+                ],
+                Formula::implies(Formula::Atom(alive_pre), Formula::Atom(alive_post)),
+            );
+            let xv2 = self.fresh.fresh("frX");
+            let fv = self.fresh.fresh("frF");
+            let pre_read = Term::select(Term::store(), Term::var(xv2.clone()), Term::var(fv.clone()));
+            let post_read = Term::select(post.clone(), Term::var(xv2.clone()), Term::var(fv.clone()));
+            let change_licensed = Formula::forall(
+                vec![xv2.clone(), fv.clone()],
+                vec![
+                    Trigger(vec![Pattern::Term(pre_read.clone())]),
+                    Trigger(vec![Pattern::Term(post_read.clone())]),
+                ],
+                Formula::or(vec![
+                    Formula::eq(pre_read, post_read),
+                    ws.modifiable(&Term::var(xv2), &Term::var(fv), &Term::store()),
+                ]),
+            );
+            let q_post = q.subst(&[(oolong_logic::STORE.to_string(), post.clone())]);
+            Formula::forall(
+                vec![post_store],
+                vec![],
+                Formula::implies(Formula::and(vec![alive_mono, change_licensed]), q_post),
+            )
+        };
+
+        let body = Formula::implies(
+            Formula::and(equalities),
+            Formula::and(obligations.into_iter().chain([frame]).collect()),
+        );
+        Ok(Formula::and(
+            self.defined(defined)
+                .chain([Formula::forall(si, vec![], body)])
+                .collect(),
+        ))
+    }
+}
+
+/// Whether the scope opts into the arrays language level: it declares an
+/// elementwise rep inclusion or some implementation uses index syntax.
+fn scope_uses_arrays(scope: &Scope) -> bool {
+    if !scope.rep_elem_triples().is_empty() {
+        return true;
+    }
+    scope.impls().any(|(_, info)| {
+        let mut found = false;
+        info.body.walk(&mut |c| {
+            let mut check = |e: &oolong_syntax::Expr| {
+                e.walk(&mut |sub| {
+                    if matches!(sub, oolong_syntax::Expr::Index { .. }) {
+                        found = true;
+                    }
+                })
+            };
+            match c {
+                Cmd::Assert(e, _) | Cmd::Assume(e, _) => check(e),
+                Cmd::Assign { lhs, rhs, .. } => {
+                    check(lhs);
+                    check(rhs);
+                }
+                Cmd::AssignNew { lhs, .. } => check(lhs),
+                Cmd::Call { args, .. } => args.iter().for_each(&mut check),
+                Cmd::If { cond, .. } => check(cond),
+                _ => {}
+            }
+        });
+        found
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oolong_prover::{prove, Budget, Outcome};
+    use oolong_sema::Scope;
+    use oolong_syntax::parse_program;
+
+    fn check_src(src: &str, proc_name: &str) -> Outcome {
+        check_src_with(src, proc_name, VcOptions::default(), &Budget::default())
+    }
+
+    fn check_src_with(src: &str, proc_name: &str, opts: VcOptions, budget: &Budget) -> Outcome {
+        let program = parse_program(src).expect("parses");
+        let scope = Scope::analyze(&program).expect("analyses");
+        let mut gen = VcGen::new(&scope, opts);
+        let (impl_id, _) = scope
+            .impls()
+            .find(|(_, i)| scope.proc_info(i.proc).name == proc_name)
+            .expect("impl exists");
+        let vc = gen.vc_for_impl(impl_id).expect("vc generates");
+        prove(&vc.hypotheses, &vc.goal, budget).outcome
+    }
+
+    #[test]
+    fn trivial_impl_verifies() {
+        assert_eq!(check_src("proc p(t) impl p(t) { skip }", "p"), Outcome::Proved);
+    }
+
+    #[test]
+    fn assert_true_verifies_and_assert_false_fails() {
+        assert_eq!(check_src("proc p(t) impl p(t) { assert true }", "p"), Outcome::Proved);
+        assert_eq!(check_src("proc p(t) impl p(t) { assert false }", "p"), Outcome::NotProved);
+    }
+
+    #[test]
+    fn assume_false_blocks_everything() {
+        assert_eq!(
+            check_src("proc p(t) impl p(t) { assume false ; assert false }", "p"),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn local_assignment_tracks_values() {
+        assert_eq!(
+            check_src("proc p(t) impl p(t) { var x in x := 3 ; assert x = 3 end }", "p"),
+            Outcome::Proved
+        );
+        assert_eq!(
+            check_src("proc p(t) impl p(t) { var x in x := 3 ; assert x = 4 end }", "p"),
+            Outcome::NotProved
+        );
+    }
+
+    #[test]
+    fn field_update_requires_license() {
+        // p has no modifies list: writing t.f is rejected.
+        assert_eq!(
+            check_src("field f proc p(t) impl p(t) { t.f := 3 }", "p"),
+            Outcome::NotProved
+        );
+        // With the license, it verifies.
+        assert_eq!(
+            check_src("field f proc p(t) modifies t.f impl p(t) { t.f := 3 }", "p"),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn group_license_covers_member_field() {
+        assert_eq!(
+            check_src(
+                "group g field f in g proc p(t) modifies t.g impl p(t) { t.f := 3 }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn license_does_not_leak_to_other_objects() {
+        // modifies t.f gives no license on u.f (u a different parameter).
+        assert_eq!(
+            check_src(
+                "field f proc p(t, u) modifies t.f impl p(t, u) { u.f := 3 }",
+                "p"
+            ),
+            Outcome::NotProved
+        );
+    }
+
+    #[test]
+    fn fresh_objects_are_freely_modifiable() {
+        assert_eq!(
+            check_src(
+                "field f proc p(t) impl p(t) { var x in x := new() ; x.f := 3 end }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn field_read_after_write() {
+        assert_eq!(
+            check_src(
+                "field f proc p(t) modifies t.f
+                 impl p(t) { t.f := 3 ; assert t.f = 3 }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn choice_requires_both_arms() {
+        assert_eq!(
+            check_src(
+                "proc p(t) impl p(t) { var x in { x := 1 [] x := 2 } ; assert x = 1 end }",
+                "p"
+            ),
+            Outcome::NotProved
+        );
+        assert_eq!(
+            check_src(
+                "proc p(t) impl p(t) { var x in { x := 1 [] x := 1 } ; assert x = 1 end }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn if_sugar_flows_conditions() {
+        assert_eq!(
+            check_src(
+                "proc p(t) impl p(t) {
+                   var x in
+                     if t = null then x := 1 else x := 2 end ;
+                     assert x = 1 || x = 2
+                   end
+                 }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn call_requires_callers_license() {
+        // callee modifies u.f; caller q has no license at all.
+        assert_eq!(
+            check_src(
+                "field f proc callee(u) modifies u.f
+                 proc q(t) impl q(t) { callee(t) }",
+                "q"
+            ),
+            Outcome::NotProved
+        );
+        // With a covering license it verifies.
+        assert_eq!(
+            check_src(
+                "field f proc callee(u) modifies u.f
+                 proc q(t) modifies t.f impl q(t) { callee(t) }",
+                "q"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn call_frame_preserves_unrelated_fields() {
+        // callee may change t.f but not t.other.
+        assert_eq!(
+            check_src(
+                "field f field other proc callee(u) modifies u.f
+                 proc q(t) modifies t.f
+                 impl q(t) { var n in n := t.other ; callee(t) ; assert n = t.other end }",
+                "q"
+            ),
+            Outcome::Proved
+        );
+        // The modified field itself is not preserved.
+        assert_eq!(
+            check_src(
+                "field f proc callee(u) modifies u.f
+                 proc q(t) modifies t.f
+                 impl q(t) { var n in n := t.f ; callee(t) ; assert n = t.f end }",
+                "q"
+            ),
+            Outcome::NotProved
+        );
+    }
+
+    #[test]
+    fn null_checks_flag_rejects_unguarded_deref() {
+        let src = "field f proc p(t) impl p(t) { var x in x := t.f end }";
+        assert_eq!(
+            check_src_with(
+                src,
+                "p",
+                VcOptions { null_checks: true, ..VcOptions::default() },
+                &Budget::default()
+            ),
+            Outcome::NotProved
+        );
+        // Guarded by an assumption, it verifies.
+        let guarded = "field f proc p(t) impl p(t) { assume t != null ; var x in x := t.f end }";
+        assert_eq!(
+            check_src_with(
+                guarded,
+                "p",
+                VcOptions { null_checks: true, ..VcOptions::default() },
+                &Budget::default()
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn slot_write_requires_elem_license() {
+        // Writing a slot of a fresh array is fine without any license.
+        assert_eq!(
+            check_src(
+                "group g
+                 field arr in g maps elem g into g
+                 proc p(t)
+                 impl p(t) { var a in a := new() ; a[0] := null end }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+        // Writing a slot of an elem-licensed array verifies.
+        assert_eq!(
+            check_src(
+                "group g
+                 field arr in g maps elem g into g
+                 proc p(t) modifies t.g
+                 impl p(t) { assume t != null && t.arr != null ; t.arr[0] := null }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+        // Without the license it is rejected.
+        assert_ne!(
+            check_src(
+                "group g
+                 field arr in g maps elem g into g
+                 proc p(t)
+                 impl p(t) { assume t != null && t.arr != null ; t.arr[0] := null }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn vc_seeds_reflexive_inclusions() {
+        let program = parse_program("group g proc p(t) modifies t.g impl p(t) { skip }").unwrap();
+        let scope = Scope::analyze(&program).unwrap();
+        let mut gen = VcGen::new(&scope, VcOptions::default());
+        let (impl_id, _) = scope.impls().next().unwrap();
+        let vc = gen.vc_for_impl(impl_id).unwrap();
+        let reflexive = Formula::Atom(Atom::Inc {
+            store: Term::store0(),
+            obj: Term::var("t"),
+            attr: Term::attr("g"),
+            obj2: Term::var("t"),
+            attr2: Term::attr("g"),
+        });
+        assert!(vc.hypotheses.contains(&reflexive));
+    }
+
+    #[test]
+    fn vc_size_is_positive() {
+        let program = parse_program("proc p(t) impl p(t) { skip }").unwrap();
+        let scope = Scope::analyze(&program).unwrap();
+        let mut gen = VcGen::new(&scope, VcOptions::default());
+        let (impl_id, _) = scope.impls().next().unwrap();
+        let vc = gen.vc_for_impl(impl_id).unwrap();
+        assert!(vc.size() > 10);
+        assert_eq!(vc.proc_name, "p");
+    }
+}

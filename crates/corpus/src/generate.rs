@@ -1,0 +1,489 @@
+//! Random well-formed oolong program generation, for property tests and
+//! scaling benchmarks.
+//!
+//! Generated programs always pass `Scope::analyze` (this is asserted by
+//! tests). Two knobs shape the population:
+//!
+//! * `respect_restrictions` — comply with pivot uniqueness syntactically
+//!   (no pivot reads into variables, no copying of formals, pivots
+//!   assigned only `new()`/`null`);
+//! * `licensed_writes_only` — bias field writes toward locations the
+//!   enclosing procedure's modifies list licenses, producing a population
+//!   where the checker has something to verify rather than reject.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Shape parameters for generated programs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of data groups.
+    pub groups: usize,
+    /// Number of object fields.
+    pub fields: usize,
+    /// Probability that a field is declared as a pivot.
+    pub pivot_fraction: f64,
+    /// Number of procedures.
+    pub procs: usize,
+    /// Number of implementations (over random procedures).
+    pub impls: usize,
+    /// Approximate commands per implementation body.
+    pub body_len: usize,
+    /// Comply with the pivot uniqueness restriction.
+    pub respect_restrictions: bool,
+    /// Only write fields the procedure's modifies list licenses.
+    pub licensed_writes_only: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            groups: 3,
+            fields: 5,
+            pivot_fraction: 0.25,
+            procs: 4,
+            impls: 3,
+            body_len: 5,
+            respect_restrictions: true,
+            licensed_writes_only: true,
+        }
+    }
+}
+
+struct Gen {
+    rng: StdRng,
+    cfg: GenConfig,
+    group_names: Vec<String>,
+    /// (name, enclosing groups (direct), is_pivot)
+    fields: Vec<(String, Vec<usize>, bool)>,
+    /// (name, param count, modifies: (param, attr name))
+    procs: Vec<(String, usize, Vec<(usize, String)>)>,
+    /// For licensed writes: per group index, the transitively included
+    /// field names.
+    group_fields: Vec<Vec<String>>,
+}
+
+/// Generates the source text of a random well-formed program.
+pub fn generate_source(seed: u64, cfg: &GenConfig) -> String {
+    let mut gen = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        cfg: cfg.clone(),
+        group_names: Vec::new(),
+        fields: Vec::new(),
+        procs: Vec::new(),
+        group_fields: Vec::new(),
+    };
+    gen.run()
+}
+
+/// Generates source text for an *extension* of a base program produced by
+/// [`generate_source`]: the base text followed by additional declarations
+/// (new groups, fields — possibly pivots — procedures, and
+/// implementations). The result is a strict superset scope, as needed by
+/// the scope-monotonicity experiment (E7).
+pub fn extend_source(base: &str, seed: u64, cfg: &GenConfig) -> String {
+    let mut ext_cfg = cfg.clone();
+    ext_cfg.groups = (cfg.groups / 2).max(1);
+    ext_cfg.fields = (cfg.fields / 2).max(1);
+    ext_cfg.procs = (cfg.procs / 2).max(1);
+    ext_cfg.impls = (cfg.impls / 2).max(1);
+    let mut gen = Gen {
+        rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(17)),
+        cfg: ext_cfg,
+        group_names: Vec::new(),
+        fields: Vec::new(),
+        procs: Vec::new(),
+        group_fields: Vec::new(),
+    };
+    // Re-derive the base declarations so extension clauses can reference
+    // them; names are deterministic, so reparse from the base text.
+    gen.absorb_base(base);
+    let ext = gen.run_extension();
+    format!("{base}\n{ext}")
+}
+
+impl Gen {
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.rng.gen_range(0..items.len())]
+    }
+
+    fn run(&mut self) -> String {
+        let mut out = String::new();
+        self.gen_groups(&mut out, "g");
+        self.gen_fields(&mut out, "f");
+        self.compute_group_fields();
+        self.gen_procs(&mut out, "p");
+        let impl_count = self.cfg.impls;
+        for i in 0..impl_count {
+            self.gen_impl(&mut out, i);
+        }
+        out
+    }
+
+    fn run_extension(&mut self) -> String {
+        let mut out = String::new();
+        self.gen_groups(&mut out, "xg");
+        self.gen_fields(&mut out, "xf");
+        self.compute_group_fields();
+        self.gen_procs(&mut out, "xp");
+        let impl_count = self.cfg.impls;
+        for i in 0..impl_count {
+            self.gen_impl(&mut out, i);
+        }
+        out
+    }
+
+    /// Reconstructs the declaration tables from a previously generated
+    /// base program (names and clauses are parsed back).
+    fn absorb_base(&mut self, base: &str) {
+        let program = oolong_syntax::parse_program(base).expect("base text parses");
+        for g in program.groups() {
+            self.group_names.push(g.name.text.clone());
+        }
+        for f in program.fields() {
+            let includes = f
+                .includes
+                .iter()
+                .filter_map(|i| self.group_names.iter().position(|g| g == &i.text))
+                .collect();
+            self.fields.push((f.name.text.clone(), includes, f.is_pivot()));
+        }
+        for p in program.procs() {
+            let modifies = p
+                .modifies
+                .iter()
+                .filter_map(|e| {
+                    let (root, path) = e.as_designator_chain()?;
+                    let param = p.params.iter().position(|q| q.text == root.text)?;
+                    Some((param, path.last()?.text.clone()))
+                })
+                .collect();
+            self.procs.push((p.name.text.clone(), p.params.len(), modifies));
+        }
+    }
+
+    fn gen_groups(&mut self, out: &mut String, prefix: &str) {
+        let start = self.group_names.len();
+        for i in 0..self.cfg.groups {
+            let name = format!("{prefix}{i}");
+            let _ = write!(out, "group {name}");
+            // `in` edges only to earlier groups: acyclic by construction.
+            if !self.group_names.is_empty() && self.rng.gen_bool(0.4) {
+                let target = self.pick(&self.group_names.clone()).clone();
+                let _ = write!(out, " in {target}");
+            }
+            out.push('\n');
+            self.group_names.push(name);
+            let _ = start;
+        }
+    }
+
+    fn gen_fields(&mut self, out: &mut String, prefix: &str) {
+        for i in 0..self.cfg.fields {
+            let name = format!("{prefix}{i}");
+            let _ = write!(out, "field {name}");
+            let mut includes = Vec::new();
+            if !self.group_names.is_empty() && self.rng.gen_bool(0.7) {
+                let gi = self.rng.gen_range(0..self.group_names.len());
+                let _ = write!(out, " in {}", self.group_names[gi]);
+                includes.push(gi);
+            }
+            let mut pivot = false;
+            if !self.group_names.is_empty()
+                && self.rng.gen_bool(self.cfg.pivot_fraction)
+                && (!self.fields.is_empty() || !self.group_names.is_empty())
+            {
+                // maps <attr> into <group>.
+                let mapped = if !self.fields.is_empty() && self.rng.gen_bool(0.5) {
+                    self.fields[self.rng.gen_range(0..self.fields.len())].0.clone()
+                } else {
+                    self.pick(&self.group_names.clone()).clone()
+                };
+                let into = self.pick(&self.group_names.clone()).clone();
+                let _ = write!(out, " maps {mapped} into {into}");
+                pivot = true;
+            }
+            out.push('\n');
+            self.fields.push((name, includes, pivot));
+        }
+    }
+
+    /// For each group, the field names transitively included in it.
+    fn compute_group_fields(&mut self) {
+        // Group-to-group edges are only recoverable from names during
+        // generation; approximate with the direct field memberships, which
+        // is all licensed-write biasing needs.
+        self.group_fields = vec![Vec::new(); self.group_names.len()];
+        for (name, includes, _) in &self.fields {
+            for &g in includes {
+                self.group_fields[g].push(name.clone());
+            }
+        }
+    }
+
+    fn gen_procs(&mut self, out: &mut String, prefix: &str) {
+        for i in 0..self.cfg.procs {
+            let name = format!("{prefix}{i}");
+            let params = self.rng.gen_range(1..=2);
+            let param_names: Vec<String> = (0..params).map(|j| format!("t{j}")).collect();
+            let _ = write!(out, "proc {name}({})", param_names.join(", "));
+            let mut modifies = Vec::new();
+            let entries = self.rng.gen_range(0..=2);
+            let mut attrs: Vec<String> = self.group_names.clone();
+            attrs.extend(self.fields.iter().map(|(n, _, _)| n.clone()));
+            if !attrs.is_empty() {
+                for _ in 0..entries {
+                    let param = self.rng.gen_range(0..params);
+                    let attr = self.pick(&attrs).clone();
+                    modifies.push((param, attr));
+                }
+            }
+            if !modifies.is_empty() {
+                let rendered: Vec<String> =
+                    modifies.iter().map(|(p, a)| format!("t{p}.{a}")).collect();
+                let _ = write!(out, " modifies {}", rendered.join(", "));
+            }
+            out.push('\n');
+            self.procs.push((name, params, modifies));
+        }
+    }
+
+    fn gen_impl(&mut self, out: &mut String, salt: usize) {
+        if self.procs.is_empty() {
+            return;
+        }
+        let pi = self.rng.gen_range(0..self.procs.len());
+        let (name, params, modifies) = self.procs[pi].clone();
+        let param_names: Vec<String> = (0..params).map(|j| format!("t{j}")).collect();
+        let _ = writeln!(out, "impl {name}({}) {{", param_names.join(", "));
+        // Two locals: `fresh` is allocated once and never overwritten (so
+        // it stays provably fresh — freely modifiable and safely passable
+        // at licensed callee positions); `scratch` absorbs reads.
+        let fresh_local = format!("v{salt}f");
+        let scratch = format!("v{salt}s");
+        let _ = writeln!(out, "  var {fresh_local}, {scratch} in");
+        let body = self.gen_body(&param_names, &fresh_local, &scratch, &modifies);
+        let _ = writeln!(out, "    {body}");
+        let _ = writeln!(out, "  end");
+        out.push_str("}\n");
+    }
+
+    /// The fields this procedure may write on a given parameter, derived
+    /// from its modifies list (directly licensed fields plus members of
+    /// licensed groups).
+    fn licensed_fields(&self, modifies: &[(usize, String)], param: usize) -> Vec<String> {
+        let mut fields = Vec::new();
+        for (p, attr) in modifies {
+            if *p != param {
+                continue;
+            }
+            if self.fields.iter().any(|(n, _, _)| n == attr) {
+                fields.push(attr.clone());
+            }
+            if let Some(g) = self.group_names.iter().position(|g| g == attr) {
+                fields.extend(self.group_fields[g].iter().cloned());
+            }
+        }
+        fields
+    }
+
+    fn gen_body(
+        &mut self,
+        params: &[String],
+        fresh_local: &str,
+        scratch: &str,
+        modifies: &[(usize, String)],
+    ) -> String {
+        let mut cmds = Vec::new();
+        cmds.push(format!("{fresh_local} := new()"));
+        cmds.push(format!("{scratch} := new()"));
+        for _ in 0..self.cfg.body_len {
+            cmds.push(self.gen_cmd(params, fresh_local, scratch, modifies));
+        }
+        cmds.join(" ;\n    ")
+    }
+
+    fn gen_cmd(
+        &mut self,
+        params: &[String],
+        fresh_local: &str,
+        scratch: &str,
+        modifies: &[(usize, String)],
+    ) -> String {
+        let local = scratch;
+        let non_pivot_fields: Vec<String> = self
+            .fields
+            .iter()
+            .filter(|(_, _, pivot)| !pivot)
+            .map(|(n, _, _)| n.clone())
+            .collect();
+        match self.rng.gen_range(0..10) {
+            0 => "skip".to_string(),
+            1 => format!("assert {local} != null"),
+            2 => {
+                let p = self.pick(params).clone();
+                format!("assume {p} != null")
+            }
+            3 | 4 | 5 => {
+                // A field write.
+                let param_idx = self.rng.gen_range(0..params.len());
+                let target_fields = if self.cfg.licensed_writes_only {
+                    self.licensed_fields(modifies, param_idx)
+                } else {
+                    let mut all: Vec<String> =
+                        self.fields.iter().map(|(n, _, _)| n.clone()).collect();
+                    all.sort();
+                    all
+                };
+                if target_fields.is_empty() {
+                    // Fall back to writing the fresh local, always allowed.
+                    if non_pivot_fields.is_empty() {
+                        return "skip".to_string();
+                    }
+                    let f = self.pick(&non_pivot_fields).clone();
+                    return format!("{fresh_local}.{f} := 1");
+                }
+                let f = self.pick(&target_fields).clone();
+                let is_pivot = self.fields.iter().any(|(n, _, p)| n == &f && *p);
+                let target = format!("{}.{f}", params[param_idx]);
+                if is_pivot {
+                    if self.rng.gen_bool(0.5) {
+                        format!("{target} := new()")
+                    } else {
+                        format!("{target} := null")
+                    }
+                } else {
+                    let value = match self.rng.gen_range(0..3) {
+                        0 => "null".to_string(),
+                        1 => self.rng.gen_range(0..5).to_string(),
+                        _ => local.to_string(),
+                    };
+                    if self.cfg.respect_restrictions {
+                        format!("{target} := {value}")
+                    } else {
+                        // Occasionally break pivot uniqueness: copy a formal.
+                        if self.rng.gen_bool(0.3) {
+                            format!("{target} := {}", self.pick(params).clone())
+                        } else {
+                            format!("{target} := {value}")
+                        }
+                    }
+                }
+            }
+            6 | 7 => {
+                // A call. At positions the callee's modifies list names,
+                // pass the provably-fresh local when biasing toward
+                // verifiable programs (fresh objects are freely
+                // modifiable); elsewhere anything goes.
+                if self.procs.is_empty() {
+                    return "skip".to_string();
+                }
+                let (callee, arity, callee_mods) = self.pick(&self.procs.clone()).clone();
+                let args: Vec<String> = (0..arity)
+                    .map(|pos| {
+                        let licensed_pos = callee_mods.iter().any(|(p, _)| *p == pos);
+                        if licensed_pos && self.cfg.licensed_writes_only {
+                            fresh_local.to_string()
+                        } else {
+                            match self.rng.gen_range(0..3) {
+                                0 => "null".to_string(),
+                                1 => self.pick(params).clone(),
+                                _ => local.to_string(),
+                            }
+                        }
+                    })
+                    .collect();
+                format!("{callee}({})", args.join(", "))
+            }
+            8 => {
+                // A guarded choice of two simple commands.
+                format!("{{ skip [] assert {local} != null }}")
+            }
+            _ => {
+                // A read into the local (non-pivot only under restrictions).
+                if non_pivot_fields.is_empty() {
+                    return "skip".to_string();
+                }
+                let f = self.pick(&non_pivot_fields).clone();
+                let p = self.pick(params).clone();
+                if self.cfg.respect_restrictions {
+                    format!("assume {p} != null ; {local} := {p}.{f}")
+                } else {
+                    format!("assume {p} != null ; {local} := {p}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oolong_sema::Scope;
+    use oolong_syntax::parse_program;
+
+    #[test]
+    fn generated_programs_are_well_formed() {
+        for seed in 0..50 {
+            let src = generate_source(seed, &GenConfig::default());
+            let program = parse_program(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} fails to parse: {e}\n{src}"));
+            Scope::analyze(&program)
+                .unwrap_or_else(|e| panic!("seed {seed} fails analysis: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn unrestricted_programs_are_still_well_formed() {
+        let cfg = GenConfig {
+            respect_restrictions: false,
+            licensed_writes_only: false,
+            ..GenConfig::default()
+        };
+        for seed in 0..30 {
+            let src = generate_source(seed, &cfg);
+            let program = parse_program(&src).expect("parses");
+            Scope::analyze(&program)
+                .unwrap_or_else(|e| panic!("seed {seed} fails analysis: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn extensions_are_supersets_and_well_formed() {
+        let cfg = GenConfig::default();
+        for seed in 0..20 {
+            let base = generate_source(seed, &cfg);
+            let ext = extend_source(&base, seed + 1, &cfg);
+            assert!(ext.starts_with(&base));
+            let program = parse_program(&ext)
+                .unwrap_or_else(|e| panic!("seed {seed} extension fails to parse: {e}\n{ext}"));
+            Scope::analyze(&program)
+                .unwrap_or_else(|e| panic!("seed {seed} extension fails analysis: {e}\n{ext}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        assert_eq!(generate_source(7, &cfg), generate_source(7, &cfg));
+        assert_ne!(generate_source(7, &cfg), generate_source(8, &cfg));
+    }
+
+    #[test]
+    fn size_scales_with_config() {
+        let small = generate_source(1, &GenConfig::default());
+        let big = generate_source(
+            1,
+            &GenConfig {
+                groups: 10,
+                fields: 20,
+                procs: 12,
+                impls: 10,
+                body_len: 12,
+                ..GenConfig::default()
+            },
+        );
+        assert!(big.len() > small.len() * 2);
+    }
+}

@@ -1,0 +1,290 @@
+//! The concrete denotation of modifies lists: given a store, which
+//! locations does a list license?
+//!
+//! This is the operational mirror of `mod`/`incl` (Section 4.1). For a
+//! concrete store the inclusion relation `≽` is computable as a finite
+//! fixpoint over allocated objects and declared attributes:
+//!
+//! * `X·A ≽ X·B` when `A ⊒ B` (local inclusions);
+//! * `Z·H ∈ R` and `H →F K` and `S(Z·F) = Y` (an object) puts `Y·K ∈ R`
+//!   (rep inclusions through pivot fields).
+//!
+//! The runtime effect monitor snapshots this set at every call and checks
+//! each field write against it — *as the writes occur*, which the paper's
+//! §3.1 footnote points out is necessary for owner exclusion to have the
+//! desired effect.
+
+use crate::store::{Loc, ObjId, Store, Value};
+use oolong_sema::{AttrId, ModTarget, Scope};
+use std::collections::{HashMap, HashSet};
+
+/// The full inclusion closure of a root location: attribute locations plus
+/// (for the array-dependencies extension) the arrays whose every slot is
+/// included.
+#[derive(Debug, Clone, Default)]
+pub struct InclusionClosure {
+    /// Attribute locations included in the root.
+    pub locs: HashSet<Loc>,
+    /// Arrays all of whose integer slots are included, with the element
+    /// attributes mapped into the root (for closing over stored elements).
+    pub elem_arrays: HashMap<ObjId, Vec<AttrId>>,
+}
+
+/// All attribute locations included in `root` (i.e. `root ≽ loc`),
+/// including `root` itself, computed in the given store.
+pub fn included_locations(scope: &Scope, store: &Store, root: Loc) -> HashSet<Loc> {
+    inclusion_closure(scope, store, root).locs
+}
+
+/// Computes the full [`InclusionClosure`] of `root` in `store`.
+pub fn inclusion_closure(scope: &Scope, store: &Store, root: Loc) -> InclusionClosure {
+    let mut closure = InclusionClosure::default();
+    let mut work = vec![root];
+    // Precompute, per attribute, the attributes it locally includes.
+    let included_attrs = local_closure(scope);
+    let rep = scope.rep_triples();
+    let rep_elem = scope.rep_elem_triples();
+    while let Some(loc) = work.pop() {
+        if !closure.locs.insert(loc) {
+            continue;
+        }
+        for &b in &included_attrs[loc.attr.index()] {
+            let next = Loc { obj: loc.obj, attr: b };
+            if !closure.locs.contains(&next) {
+                work.push(next);
+            }
+        }
+        for &(g, f, k) in &rep {
+            if g == loc.attr {
+                if let Value::Obj(y) = store.read(Loc { obj: loc.obj, attr: f }) {
+                    let next = Loc { obj: y, attr: k };
+                    if !closure.locs.contains(&next) {
+                        work.push(next);
+                    }
+                }
+            }
+        }
+        // Elementwise: the array referenced by pivot f contributes every
+        // slot, and attribute k of every element currently stored.
+        for &(g, f, k) in &rep_elem {
+            if g == loc.attr {
+                if let Value::Obj(arr) = store.read(Loc { obj: loc.obj, attr: f }) {
+                    let mapped = closure.elem_arrays.entry(arr).or_default();
+                    if !mapped.contains(&k) {
+                        mapped.push(k);
+                        for ((slot_obj, _), value) in store.slots() {
+                            if slot_obj == arr {
+                                if let Value::Obj(element) = value {
+                                    let next = Loc { obj: element, attr: k };
+                                    if !closure.locs.contains(&next) {
+                                        work.push(next);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    closure
+}
+
+/// For each attribute `a`, the set `{b | a ⊒ b}` (including `a`).
+fn local_closure(scope: &Scope) -> Vec<Vec<AttrId>> {
+    let n = scope.attr_count();
+    let mut included = vec![Vec::new(); n];
+    for (b, _) in scope.attrs() {
+        included[b.index()].push(b);
+        for &a in scope.enclosing_groups(b) {
+            included[a.index()].push(b);
+        }
+    }
+    included
+}
+
+/// The set of effects a call is licensed to perform: explicit locations
+/// plus blanket permission for objects allocated at or past `fresh_from`.
+#[derive(Debug, Clone)]
+pub struct AllowedEffects {
+    /// Locations licensed by the modifies list, closed under inclusion.
+    pub locs: HashSet<Loc>,
+    /// Arrays all of whose slots are licensed (array dependencies).
+    pub elem_arrays: HashSet<ObjId>,
+    /// Objects with id `>= fresh_from` were not allocated at call entry
+    /// and may be modified freely (`¬alive(S, X)` in `mod`).
+    pub fresh_from: u32,
+}
+
+impl AllowedEffects {
+    /// Whether writing attribute location `loc` is permitted.
+    pub fn permits(&self, loc: Loc) -> bool {
+        loc.obj.0 >= self.fresh_from || self.locs.contains(&loc)
+    }
+
+    /// Whether writing any slot of array `obj` is permitted.
+    pub fn permits_slot(&self, obj: ObjId) -> bool {
+        obj.0 >= self.fresh_from || self.elem_arrays.contains(&obj)
+    }
+
+    /// Unrestricted effects (used for the outermost frame of a run).
+    pub fn unrestricted() -> AllowedEffects {
+        AllowedEffects { locs: HashSet::new(), elem_arrays: HashSet::new(), fresh_from: 0 }
+    }
+}
+
+/// Computes the allowed effects of a modifies list with the given argument
+/// values, evaluated in `store` (the paper's "modifies list evaluated on
+/// entry to the method").
+///
+/// Designator entries whose root or intermediate dereference is not an
+/// allocated object contribute nothing (their `tr` denotes no real
+/// location).
+pub fn allowed_effects(
+    scope: &Scope,
+    store: &Store,
+    targets: &[ModTarget],
+    args: &[Value],
+) -> AllowedEffects {
+    let mut locs = HashSet::new();
+    let mut elem_arrays = HashSet::new();
+    for target in targets {
+        let Some(root) = args.get(target.param) else { continue };
+        let mut obj = match root.as_obj() {
+            Some(o) => o,
+            None => continue,
+        };
+        let mut ok = true;
+        for &attr in &target.path[..target.path.len() - 1] {
+            match store.read(Loc { obj, attr }).as_obj() {
+                Some(next) => obj = next,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let root_loc = Loc { obj, attr: target.licensed_attr() };
+        let closure = inclusion_closure(scope, store, root_loc);
+        locs.extend(closure.locs);
+        elem_arrays.extend(closure.elem_arrays.into_keys());
+    }
+    AllowedEffects { locs, elem_arrays, fresh_from: store.frontier() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ObjId;
+    use oolong_syntax::parse_program;
+
+    fn scope() -> Scope {
+        Scope::analyze(
+            &parse_program(
+                "group contents
+                 group elems
+                 field cnt in elems
+                 field obj
+                 field vec maps elems into contents
+                 proc push(st, o) modifies st.contents",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn local_inclusion_closure() {
+        let s = scope();
+        let mut store = Store::new();
+        let v = store.alloc();
+        let elems = s.attr("elems").unwrap();
+        let cnt = s.attr("cnt").unwrap();
+        let set = included_locations(&s, &store, Loc { obj: v, attr: elems });
+        assert!(set.contains(&Loc { obj: v, attr: elems }));
+        assert!(set.contains(&Loc { obj: v, attr: cnt }));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn rep_inclusion_follows_pivot_value() {
+        let s = scope();
+        let mut store = Store::new();
+        let st = store.alloc();
+        let v = store.alloc();
+        let vec = s.attr("vec").unwrap();
+        let contents = s.attr("contents").unwrap();
+        let cnt = s.attr("cnt").unwrap();
+        store.write(Loc { obj: st, attr: vec }, Value::Obj(v));
+        let set = included_locations(&s, &store, Loc { obj: st, attr: contents });
+        assert!(set.contains(&Loc { obj: v, attr: cnt }), "contents reaches the vector's cnt");
+        assert!(set.contains(&Loc { obj: v, attr: s.attr("elems").unwrap() }));
+        // But not unrelated attributes of st itself.
+        assert!(!set.contains(&Loc { obj: st, attr: s.attr("obj").unwrap() }));
+    }
+
+    #[test]
+    fn rep_inclusion_stops_at_null_pivot() {
+        let s = scope();
+        let mut store = Store::new();
+        let st = store.alloc();
+        let contents = s.attr("contents").unwrap();
+        let set = included_locations(&s, &store, Loc { obj: st, attr: contents });
+        assert_eq!(set.len(), 1, "null pivot: only the root location");
+    }
+
+    #[test]
+    fn cyclic_rep_inclusions_terminate() {
+        // The paper's linked list: field next maps g into g.
+        let s = Scope::analyze(
+            &parse_program("group g field value in g field next maps g into g").unwrap(),
+        )
+        .unwrap();
+        let g = s.attr("g").unwrap();
+        let next = s.attr("next").unwrap();
+        let value = s.attr("value").unwrap();
+        let mut store = Store::new();
+        let a = store.alloc();
+        let b = store.alloc();
+        // a.next = b, b.next = a: a cycle in the heap.
+        store.write(Loc { obj: a, attr: next }, Value::Obj(b));
+        store.write(Loc { obj: b, attr: next }, Value::Obj(a));
+        let set = included_locations(&s, &store, Loc { obj: a, attr: g });
+        assert!(set.contains(&Loc { obj: b, attr: value }));
+        assert!(set.contains(&Loc { obj: a, attr: value }));
+        assert_eq!(set.len(), 4, "g and value of both nodes");
+    }
+
+    #[test]
+    fn allowed_effects_follow_arguments() {
+        let s = scope();
+        let mut store = Store::new();
+        let st = store.alloc();
+        let v = store.alloc();
+        let vec = s.attr("vec").unwrap();
+        let cnt = s.attr("cnt").unwrap();
+        store.write(Loc { obj: st, attr: vec }, Value::Obj(v));
+        let push = s.proc("push").unwrap();
+        let targets = s.proc_info(push).modifies.clone();
+        let allowed =
+            allowed_effects(&s, &store, &targets, &[Value::Obj(st), Value::Int(3)]);
+        assert!(allowed.permits(Loc { obj: v, attr: cnt }), "push may write the vector's cnt");
+        assert!(!allowed.permits(Loc { obj: st, attr: s.attr("obj").unwrap() }));
+        // Fresh objects are freely modifiable.
+        let fresh = ObjId(store.frontier());
+        assert!(allowed.permits(Loc { obj: fresh, attr: cnt }));
+    }
+
+    #[test]
+    fn null_argument_contributes_nothing() {
+        let s = scope();
+        let store = Store::new();
+        let push = s.proc("push").unwrap();
+        let targets = s.proc_info(push).modifies.clone();
+        let allowed = allowed_effects(&s, &store, &targets, &[Value::Null, Value::Null]);
+        assert!(allowed.locs.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! A reference interpreter for oolong with a **runtime side-effect
+//! monitor**: the operational ground truth against which the static
+//! checker of the `datagroups` crate is validated.
+//!
+//! * [`store`] — runtime values and the object store;
+//! * [`denote`] — the concrete denotation of modifies lists (the
+//!   operational mirror of `mod`/`incl`);
+//! * [`exec`] — bounded-nondeterminism execution: an [`Oracle`] resolves
+//!   choice commands, implementation dispatch, and arbitrary values;
+//!   calls to procedures without implementations are *havocked* within
+//!   their specification, modelling arbitrary program extensions;
+//! * [`audit`] — executable checks of the store invariants behind
+//!   background axioms (6) and (7).
+//!
+//! # Example
+//!
+//! ```
+//! use oolong_interp::{ExecConfig, FirstOracle, Interp, RunOutcome};
+//! use oolong_sema::Scope;
+//! use oolong_syntax::parse_program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program(
+//!     "field f
+//!      proc p(t) modifies t.f
+//!      impl p(t) { t.f := 3 ; assert t.f = 3 }",
+//! )?;
+//! let scope = Scope::analyze(&program)?;
+//! let mut interp = Interp::new(&scope, ExecConfig::default(), FirstOracle);
+//! assert_eq!(interp.run_proc_fresh("p"), RunOutcome::Completed);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod audit;
+pub mod denote;
+pub mod exec;
+pub mod store;
+
+pub use audit::{audit_acyclicity, audit_pivot_uniqueness};
+pub use denote::{allowed_effects, included_locations, AllowedEffects};
+pub use exec::{ExecConfig, FirstOracle, Interp, Oracle, RngOracle, RunOutcome, Wrong, WrongKind};
+pub use store::{Loc, ObjId, Store, Value};

@@ -1,0 +1,546 @@
+//! First-order formulas over the object-store term language.
+
+use crate::term::Term;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atomic formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// `t = u` — equality on values (also used for stores).
+    Eq(Term, Term),
+    /// `alive(S, X)` — object `X` has been allocated in store `S`.
+    Alive(Term, Term),
+    /// `A ⊒ B` — the reflexive-transitive local inclusion relation on
+    /// attributes (from `in` clauses).
+    LocalInc(Term, Term),
+    /// `A →F B` — the rep inclusion relation: some declaration
+    /// `field F maps B into A` exists in the eventual program.
+    RepInc { group: Term, pivot: Term, mapped: Term },
+    /// `A ⇉F B` — the *elementwise* rep inclusion relation (array
+    /// dependencies, the paper's §6 future work): some declaration
+    /// `field F maps elem B into A` exists in the eventual program, making
+    /// every integer slot of the array referenced by `F`, and attribute
+    /// `B` of every element stored in those slots, part of `A`.
+    RepIncElem { group: Term, pivot: Term, mapped: Term },
+    /// `S ⊨ X·A ≽ Y·B` — the main inclusion relation on locations.
+    Inc { store: Term, obj: Term, attr: Term, obj2: Term, attr2: Term },
+    /// `t < u` on integers.
+    Lt(Term, Term),
+    /// `t ≤ u` on integers.
+    Le(Term, Term),
+    /// `isObj(t)` — `t` is an object reference (not `null`, an integer, or
+    /// a boolean). Interpreted: constants evaluate it directly.
+    IsObj(Term),
+    /// `isInt(t)` — `t` is an integer (an array slot key). Interpreted:
+    /// constants evaluate it directly.
+    IsInt(Term),
+    /// A term of boolean sort used as a proposition (e.g. a program
+    /// expression of boolean type).
+    BoolTerm(Term),
+}
+
+impl Atom {
+    /// Simultaneously substitutes variables by terms in all arguments.
+    #[must_use]
+    pub fn subst(&self, map: &[(String, Term)]) -> Atom {
+        match self {
+            Atom::Eq(a, b) => Atom::Eq(a.subst(map), b.subst(map)),
+            Atom::Alive(s, x) => Atom::Alive(s.subst(map), x.subst(map)),
+            Atom::LocalInc(a, b) => Atom::LocalInc(a.subst(map), b.subst(map)),
+            Atom::RepInc { group, pivot, mapped } => Atom::RepInc {
+                group: group.subst(map),
+                pivot: pivot.subst(map),
+                mapped: mapped.subst(map),
+            },
+            Atom::RepIncElem { group, pivot, mapped } => Atom::RepIncElem {
+                group: group.subst(map),
+                pivot: pivot.subst(map),
+                mapped: mapped.subst(map),
+            },
+            Atom::Inc { store, obj, attr, obj2, attr2 } => Atom::Inc {
+                store: store.subst(map),
+                obj: obj.subst(map),
+                attr: attr.subst(map),
+                obj2: obj2.subst(map),
+                attr2: attr2.subst(map),
+            },
+            Atom::Lt(a, b) => Atom::Lt(a.subst(map), b.subst(map)),
+            Atom::Le(a, b) => Atom::Le(a.subst(map), b.subst(map)),
+            Atom::IsObj(t) => Atom::IsObj(t.subst(map)),
+            Atom::IsInt(t) => Atom::IsInt(t.subst(map)),
+            Atom::BoolTerm(t) => Atom::BoolTerm(t.subst(map)),
+        }
+    }
+
+    /// Collects free variables of all argument terms.
+    pub fn free_vars(&self, out: &mut BTreeSet<String>) {
+        self.for_each_term(&mut |t| t.free_vars(out));
+    }
+
+    /// Applies `f` to each argument term.
+    pub fn for_each_term(&self, f: &mut impl FnMut(&Term)) {
+        match self {
+            Atom::Eq(a, b) | Atom::LocalInc(a, b) | Atom::Lt(a, b) | Atom::Le(a, b) | Atom::Alive(a, b) => {
+                f(a);
+                f(b);
+            }
+            Atom::RepInc { group, pivot, mapped }
+            | Atom::RepIncElem { group, pivot, mapped } => {
+                f(group);
+                f(pivot);
+                f(mapped);
+            }
+            Atom::Inc { store, obj, attr, obj2, attr2 } => {
+                f(store);
+                f(obj);
+                f(attr);
+                f(obj2);
+                f(attr2);
+            }
+            Atom::BoolTerm(t) | Atom::IsObj(t) | Atom::IsInt(t) => f(t),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Eq(a, b) => write!(f, "{a} = {b}"),
+            Atom::Alive(s, x) => write!(f, "alive({s}, {x})"),
+            Atom::LocalInc(a, b) => write!(f, "{a} ⊒ {b}"),
+            Atom::RepInc { group, pivot, mapped } => write!(f, "{group} →{pivot} {mapped}"),
+            Atom::RepIncElem { group, pivot, mapped } => write!(f, "{group} ⇉{pivot} {mapped}"),
+            Atom::Inc { store, obj, attr, obj2, attr2 } => {
+                write!(f, "{store} ⊨ {obj}·{attr} ≽ {obj2}·{attr2}")
+            }
+            Atom::Lt(a, b) => write!(f, "{a} < {b}"),
+            Atom::Le(a, b) => write!(f, "{a} ≤ {b}"),
+            Atom::IsObj(t) => write!(f, "isObj({t})"),
+            Atom::IsInt(t) => write!(f, "isInt({t})"),
+            Atom::BoolTerm(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// One pattern in a matching trigger: either a term shape or an atom shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Match a term in the E-graph.
+    Term(Term),
+    /// Match an asserted (or denied) atom.
+    Atom(Atom),
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Term(t) => write!(f, "{t}"),
+            Pattern::Atom(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A multi-pattern trigger for quantifier instantiation: every pattern must
+/// match (with a consistent assignment) for the quantifier to fire.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Trigger(pub Vec<Pattern>);
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A first-order formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The true formula.
+    True,
+    /// The false formula.
+    False,
+    /// An atomic formula.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<Formula>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Universal quantification with optional matching triggers.
+    Forall(Vec<String>, Vec<Trigger>, Box<Formula>),
+    /// Existential quantification. The triggers apply when the quantifier
+    /// flips to a universal under negation (refutation of a `¬∃` branch).
+    Exists(Vec<String>, Vec<Trigger>, Box<Formula>),
+}
+
+impl Formula {
+    /// Builds `a = b`.
+    pub fn eq(a: Term, b: Term) -> Formula {
+        Formula::Atom(Atom::Eq(a, b))
+    }
+
+    /// Builds `a ≠ b`.
+    pub fn neq(a: Term, b: Term) -> Formula {
+        Formula::Not(Box::new(Formula::eq(a, b)))
+    }
+
+    /// Builds a conjunction, flattening nested `And`s and dropping `True`.
+    pub fn and(parts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::And(flat),
+        }
+    }
+
+    /// Builds a disjunction, flattening nested `Or`s and dropping `False`.
+    pub fn or(parts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::False,
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::Or(flat),
+        }
+    }
+
+    /// Builds `p ⇒ q`, simplifying trivial cases.
+    pub fn implies(p: Formula, q: Formula) -> Formula {
+        match (&p, &q) {
+            (Formula::True, _) => q,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            _ => Formula::Implies(Box::new(p), Box::new(q)),
+        }
+    }
+
+    /// Builds `¬p`, collapsing double negation and constants.
+    pub fn not(p: Formula) -> Formula {
+        match p {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Builds `∀ vars :: body` with explicit triggers (empty `vars` returns
+    /// the body unchanged).
+    pub fn forall(vars: Vec<String>, triggers: Vec<Trigger>, body: Formula) -> Formula {
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Forall(vars, triggers, Box::new(body))
+        }
+    }
+
+    /// Builds `∃ vars :: body` (empty `vars` returns the body unchanged).
+    pub fn exists(vars: Vec<String>, body: Formula) -> Formula {
+        Formula::exists_with_triggers(vars, vec![], body)
+    }
+
+    /// Builds `∃ vars :: body` with triggers for the negated (universal)
+    /// reading.
+    pub fn exists_with_triggers(
+        vars: Vec<String>,
+        triggers: Vec<Trigger>,
+        body: Formula,
+    ) -> Formula {
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Exists(vars, triggers, Box::new(body))
+        }
+    }
+
+    /// Simultaneously substitutes variables by terms.
+    ///
+    /// Substitution does **not** rename binders; the workspace generates
+    /// globally fresh bound-variable names, so capture cannot occur. The
+    /// method enforces this with a debug assertion.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if a bound variable occurs in the domain or
+    /// in the free variables of an image (which would capture).
+    #[must_use]
+    pub fn subst(&self, map: &[(String, Term)]) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => Formula::Atom(a.subst(map)),
+            Formula::Not(p) => Formula::Not(Box::new(p.subst(map))),
+            Formula::And(ps) => Formula::And(ps.iter().map(|p| p.subst(map)).collect()),
+            Formula::Or(ps) => Formula::Or(ps.iter().map(|p| p.subst(map)).collect()),
+            Formula::Implies(p, q) => {
+                Formula::Implies(Box::new(p.subst(map)), Box::new(q.subst(map)))
+            }
+            Formula::Iff(p, q) => Formula::Iff(Box::new(p.subst(map)), Box::new(q.subst(map))),
+            Formula::Forall(vars, triggers, body) => {
+                debug_assert!(no_capture(vars, map), "bound variable capture in subst");
+                let inner: Vec<(String, Term)> =
+                    map.iter().filter(|(v, _)| !vars.contains(v)).cloned().collect();
+                let triggers = triggers
+                    .iter()
+                    .map(|t| {
+                        Trigger(
+                            t.0.iter()
+                                .map(|p| match p {
+                                    Pattern::Term(t) => Pattern::Term(t.subst(&inner)),
+                                    Pattern::Atom(a) => Pattern::Atom(a.subst(&inner)),
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                Formula::Forall(vars.clone(), triggers, Box::new(body.subst(&inner)))
+            }
+            Formula::Exists(vars, triggers, body) => {
+                debug_assert!(no_capture(vars, map), "bound variable capture in subst");
+                let inner: Vec<(String, Term)> =
+                    map.iter().filter(|(v, _)| !vars.contains(v)).cloned().collect();
+                let triggers = triggers
+                    .iter()
+                    .map(|t| {
+                        Trigger(
+                            t.0.iter()
+                                .map(|p| match p {
+                                    Pattern::Term(t) => Pattern::Term(t.subst(&inner)),
+                                    Pattern::Atom(a) => Pattern::Atom(a.subst(&inner)),
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                Formula::Exists(vars.clone(), triggers, Box::new(body.subst(&inner)))
+            }
+        }
+    }
+
+    /// Collects free variables.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.free_vars_into(&mut out);
+        out
+    }
+
+    fn free_vars_into(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => a.free_vars(out),
+            Formula::Not(p) => p.free_vars_into(out),
+            Formula::And(ps) | Formula::Or(ps) => {
+                for p in ps {
+                    p.free_vars_into(out);
+                }
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                p.free_vars_into(out);
+                q.free_vars_into(out);
+            }
+            Formula::Forall(vars, _, body) | Formula::Exists(vars, _, body) => {
+                let mut inner = BTreeSet::new();
+                body.free_vars_into(&mut inner);
+                for v in vars {
+                    inner.remove(v);
+                }
+                out.extend(inner);
+            }
+        }
+    }
+
+    /// Number of nodes in the formula tree (atoms count their terms).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 1,
+            Formula::Atom(a) => {
+                let mut n = 1;
+                a.for_each_term(&mut |t| n += t.size());
+                n
+            }
+            Formula::Not(p) => 1 + p.size(),
+            Formula::And(ps) | Formula::Or(ps) => 1 + ps.iter().map(Formula::size).sum::<usize>(),
+            Formula::Implies(p, q) | Formula::Iff(p, q) => 1 + p.size() + q.size(),
+            Formula::Forall(_, _, body) | Formula::Exists(_, _, body) => 1 + body.size(),
+        }
+    }
+}
+
+fn no_capture(bound: &[String], map: &[(String, Term)]) -> bool {
+    for (v, image) in map {
+        if bound.contains(v) {
+            continue; // shadowed — handled by filtering, not capture
+        }
+        let mut image_vars = BTreeSet::new();
+        image.free_vars(&mut image_vars);
+        if bound.iter().any(|b| image_vars.contains(b)) {
+            return false;
+        }
+    }
+    true
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Not(p) => write!(f, "¬({p})"),
+            Formula::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(p, q) => write!(f, "({p} ⇒ {q})"),
+            Formula::Iff(p, q) => write!(f, "({p} ⇔ {q})"),
+            Formula::Forall(vars, triggers, body) => {
+                write!(f, "(∀ {}", vars.join(", "))?;
+                for t in triggers {
+                    write!(f, " {t}")?;
+                }
+                write!(f, " :: {body})")
+            }
+            Formula::Exists(vars, _, body) => {
+                write!(f, "(∃ {} :: {body})", vars.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::STORE;
+
+    #[test]
+    fn and_flattens_and_short_circuits() {
+        let a = Formula::eq(Term::var("x"), Term::int(1));
+        let b = Formula::eq(Term::var("y"), Term::int(2));
+        let nested = Formula::and(vec![a.clone(), Formula::and(vec![b.clone(), Formula::True])]);
+        assert_eq!(nested, Formula::And(vec![a.clone(), b.clone()]));
+        assert_eq!(Formula::and(vec![a.clone(), Formula::False]), Formula::False);
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        assert_eq!(Formula::and(vec![a.clone()]), a);
+    }
+
+    #[test]
+    fn or_flattens_and_short_circuits() {
+        let a = Formula::eq(Term::var("x"), Term::int(1));
+        assert_eq!(Formula::or(vec![a.clone(), Formula::True]), Formula::True);
+        assert_eq!(Formula::or(vec![]), Formula::False);
+        assert_eq!(Formula::or(vec![Formula::False, a.clone()]), a);
+    }
+
+    #[test]
+    fn not_collapses_double_negation() {
+        let a = Formula::eq(Term::var("x"), Term::int(1));
+        assert_eq!(Formula::not(Formula::not(a.clone())), a);
+        assert_eq!(Formula::not(Formula::True), Formula::False);
+    }
+
+    #[test]
+    fn subst_respects_binders() {
+        // (∀ v :: v = x)[x := 3] = ∀ v :: v = 3
+        let body = Formula::eq(Term::var("v"), Term::var("x"));
+        let q = Formula::forall(vec!["v".into()], vec![], body);
+        let subbed = q.subst(&[("x".to_string(), Term::int(3))]);
+        assert_eq!(
+            subbed,
+            Formula::forall(vec!["v".into()], vec![], Formula::eq(Term::var("v"), Term::int(3)))
+        );
+        // Substituting the bound variable itself is a no-op inside.
+        let same = q.subst(&[("v".to_string(), Term::int(7))]);
+        assert_eq!(same, q);
+    }
+
+    #[test]
+    fn free_vars_excludes_bound() {
+        let body = Formula::eq(
+            Term::select(Term::store(), Term::var("v"), Term::attr("f")),
+            Term::var("x"),
+        );
+        let q = Formula::forall(vec!["v".into()], vec![], body);
+        let fv = q.free_vars();
+        assert!(fv.contains("x"));
+        assert!(fv.contains(STORE));
+        assert!(!fv.contains("v"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "capture")]
+    fn capture_is_detected() {
+        // (∀ v :: x = v)[x := v] would capture v.
+        let q = Formula::forall(
+            vec!["v".into()],
+            vec![],
+            Formula::eq(Term::var("x"), Term::var("v")),
+        );
+        let _ = q.subst(&[("x".to_string(), Term::var("v"))]);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let a = Formula::Atom(Atom::Inc {
+            store: Term::store(),
+            obj: Term::var("st"),
+            attr: Term::attr("contents"),
+            obj2: Term::var("v"),
+            attr2: Term::attr("cnt"),
+        });
+        assert_eq!(a.to_string(), "$ ⊨ st·#contents ≽ v·#cnt");
+    }
+
+    #[test]
+    fn size_counts_atoms_and_terms() {
+        let f = Formula::and(vec![
+            Formula::eq(Term::var("x"), Term::int(1)),
+            Formula::eq(Term::var("y"), Term::int(2)),
+        ]);
+        assert_eq!(f.size(), 7);
+    }
+}

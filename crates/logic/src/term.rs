@@ -1,0 +1,330 @@
+//! First-order terms of the object-store logic.
+//!
+//! The semantic model of Section 4.0 of the paper is a multi-sorted
+//! first-order language with stores, object values, and attribute
+//! constants. Terms are plain trees; the prover hash-conses them
+//! internally.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The distinguished variable holding the current object store (`$`).
+pub const STORE: &str = "$";
+/// The distinguished variable holding the store on entry to a method (`$0`).
+pub const STORE0: &str = "$0";
+
+/// An interpreted constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cst {
+    /// An integer literal.
+    Int(i64),
+    /// A boolean literal.
+    Bool(bool),
+    /// The `null` reference.
+    Null,
+    /// An attribute constant (declared attribute names are modelled as
+    /// distinct constants, Section 4.0).
+    Attr(String),
+}
+
+impl fmt::Display for Cst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cst::Int(n) => write!(f, "{n}"),
+            Cst::Bool(b) => write!(f, "{b}"),
+            Cst::Null => write!(f, "null"),
+            Cst::Attr(a) => write!(f, "#{a}"),
+        }
+    }
+}
+
+/// An interpreted or uninterpreted function symbol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FnSym {
+    /// `select(S, X, A)` — the value `S(X·A)`.
+    Select,
+    /// `update(S, X, A, V)` — the store `S(X·A := V)`.
+    Update,
+    /// `new(S)` — the next object to be allocated in `S`.
+    New,
+    /// `succ(S)` — the store `S⁺` after allocating `new(S)`.
+    Succ,
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer negation.
+    Neg,
+    /// An uninterpreted function, e.g. a Skolem function.
+    Uninterp(String),
+}
+
+impl FnSym {
+    /// Fixed arity of the symbol, or `None` for uninterpreted symbols.
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            FnSym::Select => Some(3),
+            FnSym::Update => Some(4),
+            FnSym::New | FnSym::Succ | FnSym::Neg => Some(1),
+            FnSym::Add | FnSym::Sub | FnSym::Mul => Some(2),
+            FnSym::Uninterp(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for FnSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FnSym::Select => write!(f, "select"),
+            FnSym::Update => write!(f, "update"),
+            FnSym::New => write!(f, "new"),
+            FnSym::Succ => write!(f, "succ"),
+            FnSym::Add => write!(f, "+"),
+            FnSym::Sub => write!(f, "-"),
+            FnSym::Mul => write!(f, "*"),
+            FnSym::Neg => write!(f, "neg"),
+            FnSym::Uninterp(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// A first-order term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable (program variable, store variable, bound variable, or
+    /// Skolem constant).
+    Var(String),
+    /// An interpreted constant.
+    Const(Cst),
+    /// A function application.
+    App(FnSym, Vec<Term>),
+}
+
+impl Term {
+    /// Builds a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// The current-store variable `$`.
+    pub fn store() -> Term {
+        Term::Var(STORE.to_string())
+    }
+
+    /// The entry-store variable `$0`.
+    pub fn store0() -> Term {
+        Term::Var(STORE0.to_string())
+    }
+
+    /// An integer constant.
+    pub fn int(n: i64) -> Term {
+        Term::Const(Cst::Int(n))
+    }
+
+    /// A boolean constant.
+    pub fn boolean(b: bool) -> Term {
+        Term::Const(Cst::Bool(b))
+    }
+
+    /// The `null` constant.
+    pub fn null() -> Term {
+        Term::Const(Cst::Null)
+    }
+
+    /// An attribute constant.
+    pub fn attr(name: impl Into<String>) -> Term {
+        Term::Const(Cst::Attr(name.into()))
+    }
+
+    /// `select(store, obj, attr)` — the paper's `S(X·A)`.
+    pub fn select(store: Term, obj: Term, attr: Term) -> Term {
+        Term::App(FnSym::Select, vec![store, obj, attr])
+    }
+
+    /// `update(store, obj, attr, val)` — the paper's `S(X·A := V)`.
+    pub fn update(store: Term, obj: Term, attr: Term, val: Term) -> Term {
+        Term::App(FnSym::Update, vec![store, obj, attr, val])
+    }
+
+    /// `new(store)` — the next object to be allocated.
+    pub fn new_obj(store: Term) -> Term {
+        Term::App(FnSym::New, vec![store])
+    }
+
+    /// `succ(store)` — the paper's `S⁺`.
+    pub fn succ(store: Term) -> Term {
+        Term::App(FnSym::Succ, vec![store])
+    }
+
+    /// Integer addition.
+    pub fn add(a: Term, b: Term) -> Term {
+        Term::App(FnSym::Add, vec![a, b])
+    }
+
+    /// Integer subtraction.
+    pub fn sub(a: Term, b: Term) -> Term {
+        Term::App(FnSym::Sub, vec![a, b])
+    }
+
+    /// Integer multiplication.
+    pub fn mul(a: Term, b: Term) -> Term {
+        Term::App(FnSym::Mul, vec![a, b])
+    }
+
+    /// Integer negation.
+    pub fn neg(a: Term) -> Term {
+        Term::App(FnSym::Neg, vec![a])
+    }
+
+    /// An application of an uninterpreted function symbol.
+    pub fn uninterp(name: impl Into<String>, args: Vec<Term>) -> Term {
+        Term::App(FnSym::Uninterp(name.into()), args)
+    }
+
+    /// Whether the term is exactly the variable `name`.
+    pub fn is_var(&self, name: &str) -> bool {
+        matches!(self, Term::Var(v) if v == name)
+    }
+
+    /// Simultaneously substitutes variables by terms.
+    #[must_use]
+    pub fn subst(&self, map: &[(String, Term)]) -> Term {
+        match self {
+            Term::Var(v) => {
+                for (name, image) in map {
+                    if name == v {
+                        return image.clone();
+                    }
+                }
+                self.clone()
+            }
+            Term::Const(_) => self.clone(),
+            Term::App(f, args) => {
+                Term::App(f.clone(), args.iter().map(|a| a.subst(map)).collect())
+            }
+        }
+    }
+
+    /// Collects the free variables (all variables — terms have no binders).
+    pub fn free_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::Const(_) => {}
+            Term::App(_, args) => {
+                for a in args {
+                    a.free_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Visits every subterm, including `self`, in pre-order.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Term)) {
+        visit(self);
+        if let Term::App(_, args) = self {
+            for a in args {
+                a.walk(visit);
+            }
+        }
+    }
+
+    /// Number of nodes in the term tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) => 1,
+            Term::App(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::App(FnSym::Select, args) => {
+                write!(f, "{}({}·{})", args[0], args[1], args[2])
+            }
+            Term::App(FnSym::Update, args) => {
+                write!(f, "{}({}·{} := {})", args[0], args[1], args[2], args[3])
+            }
+            Term::App(FnSym::Succ, args) => write!(f, "{}⁺", args[0]),
+            Term::App(FnSym::Add, args) => write!(f, "({} + {})", args[0], args[1]),
+            Term::App(FnSym::Sub, args) => write!(f, "({} - {})", args[0], args[1]),
+            Term::App(FnSym::Mul, args) => write!(f, "({} * {})", args[0], args[1]),
+            Term::App(sym, args) => {
+                write!(f, "{sym}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_replaces_all_occurrences() {
+        // select($, t, #f) with $ := succ($)
+        let t = Term::select(Term::store(), Term::var("t"), Term::attr("f"));
+        let subbed = t.subst(&[(STORE.to_string(), Term::succ(Term::store()))]);
+        assert_eq!(
+            subbed,
+            Term::select(Term::succ(Term::store()), Term::var("t"), Term::attr("f"))
+        );
+    }
+
+    #[test]
+    fn substitution_is_simultaneous() {
+        // x := y, y := x swaps.
+        let t = Term::add(Term::var("x"), Term::var("y"));
+        let swapped = t.subst(&[
+            ("x".to_string(), Term::var("y")),
+            ("y".to_string(), Term::var("x")),
+        ]);
+        assert_eq!(swapped, Term::add(Term::var("y"), Term::var("x")));
+    }
+
+    #[test]
+    fn free_vars_collects_everything() {
+        let t = Term::select(Term::store(), Term::var("t"), Term::attr("f"));
+        let mut vars = BTreeSet::new();
+        t.free_vars(&mut vars);
+        assert!(vars.contains(STORE));
+        assert!(vars.contains("t"));
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let t = Term::select(Term::store(), Term::var("st"), Term::attr("vec"));
+        assert_eq!(t.to_string(), "$(st·#vec)");
+        let u = Term::update(Term::store(), Term::var("t"), Term::attr("f"), Term::int(3));
+        assert_eq!(u.to_string(), "$(t·#f := 3)");
+        assert_eq!(Term::succ(Term::store()).to_string(), "$⁺");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Term::var("x").size(), 1);
+        assert_eq!(Term::add(Term::var("x"), Term::int(1)).size(), 3);
+    }
+
+    #[test]
+    fn arity_of_interpreted_symbols() {
+        assert_eq!(FnSym::Select.arity(), Some(3));
+        assert_eq!(FnSym::Update.arity(), Some(4));
+        assert_eq!(FnSym::Uninterp("sk".into()).arity(), None);
+    }
+}

@@ -1,0 +1,484 @@
+//! Negation normal form and skolemization.
+//!
+//! The prover refutes `hypotheses ∧ ¬goal`. Both sides are first brought
+//! into **skolemized negation normal form** ([`Nnf`]): negations pushed to
+//! atoms, implications and bi-implications expanded, existentials replaced
+//! by Skolem functions of the enclosing universals, and every bound
+//! variable renamed to a globally fresh name (so downstream substitution
+//! never captures).
+
+use crate::formula::{Atom, Formula, Pattern, Trigger};
+use crate::term::Term;
+
+/// Generator of globally fresh variable and function names.
+///
+/// Generated names contain `!`, which cannot appear in oolong identifiers,
+/// so they never collide with program variables.
+#[derive(Debug, Default, Clone)]
+pub struct FreshGen {
+    next: u64,
+}
+
+impl FreshGen {
+    /// Creates a generator starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh name with the given prefix, e.g. `sk!7`.
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        let n = self.next;
+        self.next += 1;
+        format!("{prefix}!{n}")
+    }
+}
+
+/// A formula in skolemized negation normal form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Nnf {
+    /// The true formula.
+    True,
+    /// The false formula.
+    False,
+    /// A possibly negated atom.
+    Lit {
+        /// The underlying atom.
+        atom: Atom,
+        /// `true` for the atom itself, `false` for its negation.
+        positive: bool,
+    },
+    /// Conjunction.
+    And(Vec<Nnf>),
+    /// Disjunction.
+    Or(Vec<Nnf>),
+    /// A (positive) universal quantifier with matching triggers.
+    Forall {
+        /// Bound variables (globally fresh names).
+        vars: Vec<String>,
+        /// Matching triggers; empty means the prover infers them.
+        triggers: Vec<Trigger>,
+        /// The quantified body.
+        body: Box<Nnf>,
+    },
+}
+
+impl Nnf {
+    /// Builds a conjunction, flattening and short-circuiting.
+    pub fn and(parts: Vec<Nnf>) -> Nnf {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Nnf::True => {}
+                Nnf::False => return Nnf::False,
+                Nnf::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Nnf::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Nnf::And(flat),
+        }
+    }
+
+    /// Builds a disjunction, flattening and short-circuiting.
+    pub fn or(parts: Vec<Nnf>) -> Nnf {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Nnf::False => {}
+                Nnf::True => return Nnf::True,
+                Nnf::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Nnf::False,
+            1 => flat.pop().expect("len checked"),
+            _ => Nnf::Or(flat),
+        }
+    }
+
+    /// Substitutes variables by terms (used for quantifier instantiation).
+    #[must_use]
+    pub fn subst(&self, map: &[(String, Term)]) -> Nnf {
+        match self {
+            Nnf::True => Nnf::True,
+            Nnf::False => Nnf::False,
+            Nnf::Lit { atom, positive } => Nnf::Lit { atom: atom.subst(map), positive: *positive },
+            Nnf::And(ps) => Nnf::And(ps.iter().map(|p| p.subst(map)).collect()),
+            Nnf::Or(ps) => Nnf::Or(ps.iter().map(|p| p.subst(map)).collect()),
+            Nnf::Forall { vars, triggers, body } => {
+                let inner: Vec<(String, Term)> =
+                    map.iter().filter(|(v, _)| !vars.contains(v)).cloned().collect();
+                let triggers = triggers
+                    .iter()
+                    .map(|t| {
+                        Trigger(
+                            t.0.iter()
+                                .map(|p| match p {
+                                    Pattern::Term(t) => Pattern::Term(t.subst(&inner)),
+                                    Pattern::Atom(a) => Pattern::Atom(a.subst(&inner)),
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                Nnf::Forall {
+                    vars: vars.clone(),
+                    triggers,
+                    body: Box::new(body.subst(&inner)),
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Nnf::True | Nnf::False | Nnf::Lit { .. } => 1,
+            Nnf::And(ps) | Nnf::Or(ps) => 1 + ps.iter().map(Nnf::size).sum::<usize>(),
+            Nnf::Forall { body, .. } => 1 + body.size(),
+        }
+    }
+}
+
+impl std::fmt::Display for Nnf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Nnf::True => write!(f, "true"),
+            Nnf::False => write!(f, "false"),
+            Nnf::Lit { atom, positive: true } => write!(f, "{atom}"),
+            Nnf::Lit { atom, positive: false } => write!(f, "¬({atom})"),
+            Nnf::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Nnf::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Nnf::Forall { vars, triggers, body } => {
+                write!(f, "(∀ {}", vars.join(", "))?;
+                for t in triggers {
+                    write!(f, " {t}")?;
+                }
+                write!(f, " :: {body})")
+            }
+        }
+    }
+}
+
+/// Converts `formula` (when `positive`) or its negation (when `!positive`)
+/// to skolemized NNF.
+///
+/// Existential variables in positive positions (and universal variables in
+/// negative positions) become applications of fresh Skolem functions to the
+/// enclosing universal variables. All remaining bound variables are renamed
+/// to fresh names.
+pub fn to_nnf(formula: &Formula, positive: bool, fresh: &mut FreshGen) -> Nnf {
+    convert(formula, positive, &mut Vec::new(), fresh)
+}
+
+fn convert(
+    formula: &Formula,
+    positive: bool,
+    universals: &mut Vec<String>,
+    fresh: &mut FreshGen,
+) -> Nnf {
+    match formula {
+        Formula::True => {
+            if positive {
+                Nnf::True
+            } else {
+                Nnf::False
+            }
+        }
+        Formula::False => {
+            if positive {
+                Nnf::False
+            } else {
+                Nnf::True
+            }
+        }
+        Formula::Atom(a) => Nnf::Lit { atom: a.clone(), positive },
+        Formula::Not(p) => convert(p, !positive, universals, fresh),
+        Formula::And(ps) => {
+            let parts: Vec<Nnf> = ps.iter().map(|p| convert(p, positive, universals, fresh)).collect();
+            if positive {
+                Nnf::and(parts)
+            } else {
+                Nnf::or(parts)
+            }
+        }
+        Formula::Or(ps) => {
+            let parts: Vec<Nnf> = ps.iter().map(|p| convert(p, positive, universals, fresh)).collect();
+            if positive {
+                Nnf::or(parts)
+            } else {
+                Nnf::and(parts)
+            }
+        }
+        Formula::Implies(p, q) => {
+            // p ⇒ q  ≡  ¬p ∨ q
+            let np = convert(p, !positive, universals, fresh);
+            let nq = convert(q, positive, universals, fresh);
+            if positive {
+                Nnf::or(vec![np, nq])
+            } else {
+                Nnf::and(vec![np, nq])
+            }
+        }
+        Formula::Iff(p, q) => {
+            // p ⇔ q ≡ (p ⇒ q) ∧ (q ⇒ p); under negation: (p ∨ q) ∧ (¬p ∨ ¬q).
+            let expanded = Formula::and(vec![
+                Formula::Implies(p.clone(), q.clone()),
+                Formula::Implies(q.clone(), p.clone()),
+            ]);
+            convert(&expanded, positive, universals, fresh)
+        }
+        Formula::Forall(vars, triggers, body) => {
+            if positive {
+                rename_and_quantify(vars, triggers, body, true, universals, fresh)
+            } else {
+                skolemize(vars, body, false, universals, fresh)
+            }
+        }
+        Formula::Exists(vars, triggers, body) => {
+            if positive {
+                skolemize(vars, body, true, universals, fresh)
+            } else {
+                rename_and_quantify(vars, triggers, body, false, universals, fresh)
+            }
+        }
+    }
+}
+
+/// A quantifier that stays universal in NNF (a positive `∀` with
+/// `body_polarity = true`, or a negated `∃` with `body_polarity = false`):
+/// rename the bound variables to fresh names and recurse on the body with
+/// the given polarity.
+fn rename_and_quantify(
+    vars: &[String],
+    triggers: &[Trigger],
+    body: &Formula,
+    body_polarity: bool,
+    universals: &mut Vec<String>,
+    fresh: &mut FreshGen,
+) -> Nnf {
+    let renaming: Vec<(String, Term)> = vars
+        .iter()
+        .map(|v| (v.clone(), Term::var(fresh.fresh(&format!("q_{v}")))))
+        .collect();
+    let new_names: Vec<String> = renaming
+        .iter()
+        .map(|(_, t)| match t {
+            Term::Var(n) => n.clone(),
+            _ => unreachable!("renaming images are variables"),
+        })
+        .collect();
+    let renamed_triggers: Vec<Trigger> = triggers
+        .iter()
+        .map(|t| {
+            Trigger(
+                t.0.iter()
+                    .map(|p| match p {
+                        Pattern::Term(t) => Pattern::Term(t.subst(&renaming)),
+                        Pattern::Atom(a) => Pattern::Atom(a.subst(&renaming)),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let renamed_body = body.subst(&renaming);
+    let depth = universals.len();
+    universals.extend(new_names.iter().cloned());
+    let inner = convert(&renamed_body, body_polarity, universals, fresh);
+    universals.truncate(depth);
+    match inner {
+        Nnf::True => Nnf::True,
+        other => Nnf::Forall { vars: new_names, triggers: renamed_triggers, body: Box::new(other) },
+    }
+}
+
+/// Positive existential (or negated universal): replace each bound variable
+/// by a Skolem function of the enclosing universals.
+fn skolemize(
+    vars: &[String],
+    body: &Formula,
+    body_polarity: bool,
+    universals: &mut Vec<String>,
+    fresh: &mut FreshGen,
+) -> Nnf {
+    let args: Vec<Term> = universals.iter().map(Term::var).collect();
+    let map: Vec<(String, Term)> = vars
+        .iter()
+        .map(|v| {
+            let name = fresh.fresh(&format!("sk_{v}"));
+            let image = if args.is_empty() {
+                Term::var(name)
+            } else {
+                Term::uninterp(name, args.clone())
+            };
+            (v.clone(), image)
+        })
+        .collect();
+    let skolemized = body.subst(&map);
+    convert(&skolemized, body_polarity, universals, fresh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula as F;
+    use crate::term::Term as T;
+
+    fn atom(name: &str) -> F {
+        F::Atom(Atom::BoolTerm(T::var(name)))
+    }
+
+    #[test]
+    fn fresh_names_are_distinct_and_unparsable() {
+        let mut gen = FreshGen::new();
+        let a = gen.fresh("sk");
+        let b = gen.fresh("sk");
+        assert_ne!(a, b);
+        assert!(a.contains('!'));
+    }
+
+    #[test]
+    fn negation_pushes_to_literals() {
+        let f = F::not(F::and(vec![atom("p"), atom("q")]));
+        let nnf = to_nnf(&f, true, &mut FreshGen::new());
+        match nnf {
+            Nnf::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(parts.iter().all(|p| matches!(p, Nnf::Lit { positive: false, .. })));
+            }
+            other => panic!("expected Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn implication_expands() {
+        let f = F::implies(atom("p"), atom("q"));
+        let nnf = to_nnf(&f, true, &mut FreshGen::new());
+        assert!(matches!(nnf, Nnf::Or(_)));
+        // Negated implication: p ∧ ¬q.
+        let neg = to_nnf(&f, false, &mut FreshGen::new());
+        match neg {
+            Nnf::And(parts) => {
+                assert!(matches!(&parts[0], Nnf::Lit { positive: true, .. }));
+                assert!(matches!(&parts[1], Nnf::Lit { positive: false, .. }));
+            }
+            other => panic!("expected And, got {other}"),
+        }
+    }
+
+    #[test]
+    fn iff_expands_to_two_implications() {
+        let f = F::Iff(Box::new(atom("p")), Box::new(atom("q")));
+        let nnf = to_nnf(&f, true, &mut FreshGen::new());
+        assert!(matches!(nnf, Nnf::And(ref parts) if parts.len() == 2), "{nnf}");
+    }
+
+    #[test]
+    fn toplevel_existential_becomes_constant() {
+        // ∃x :: x = 1  — skolemizes to sk = 1 with sk a fresh variable.
+        let f = F::exists(vec!["x".into()], F::eq(T::var("x"), T::int(1)));
+        let nnf = to_nnf(&f, true, &mut FreshGen::new());
+        match nnf {
+            Nnf::Lit { atom: Atom::Eq(T::Var(v), _), positive: true } => {
+                assert!(v.starts_with("sk_x!"), "got {v}");
+            }
+            other => panic!("expected literal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn existential_under_universal_becomes_function() {
+        // ∀y :: ∃x :: x = y
+        let f = F::forall(
+            vec!["y".into()],
+            vec![],
+            F::exists(vec!["x".into()], F::eq(T::var("x"), T::var("y"))),
+        );
+        let nnf = to_nnf(&f, true, &mut FreshGen::new());
+        match nnf {
+            Nnf::Forall { vars, body, .. } => {
+                assert_eq!(vars.len(), 1);
+                match *body {
+                    Nnf::Lit { atom: Atom::Eq(T::App(_, args), _), .. } => {
+                        assert_eq!(args.len(), 1, "skolem fn applied to the universal");
+                        assert_eq!(args[0], T::var(&vars[0]));
+                    }
+                    other => panic!("expected skolem app, got {other}"),
+                }
+            }
+            other => panic!("expected forall, got {other}"),
+        }
+    }
+
+    #[test]
+    fn negated_universal_skolemizes() {
+        // ¬(∀x :: p(x)) ≡ ∃x :: ¬p(x) → constant skolem, negative literal.
+        let f = F::forall(vec!["x".into()], vec![], F::Atom(Atom::BoolTerm(T::var("x"))));
+        let nnf = to_nnf(&f, false, &mut FreshGen::new());
+        assert!(matches!(nnf, Nnf::Lit { positive: false, .. }), "{nnf}");
+    }
+
+    #[test]
+    fn bound_variables_are_renamed_fresh() {
+        let f = F::forall(vec!["x".into()], vec![], F::eq(T::var("x"), T::var("x")));
+        let nnf = to_nnf(&f, true, &mut FreshGen::new());
+        match nnf {
+            Nnf::Forall { vars, .. } => {
+                assert_ne!(vars[0], "x");
+                assert!(vars[0].contains('!'));
+            }
+            other => panic!("expected forall, got {other}"),
+        }
+    }
+
+    #[test]
+    fn triggers_survive_renaming() {
+        let trig = Trigger(vec![Pattern::Term(T::select(T::store(), T::var("x"), T::attr("f")))]);
+        let f = F::forall(
+            vec!["x".into()],
+            vec![trig],
+            F::eq(T::select(T::store(), T::var("x"), T::attr("f")), T::null()),
+        );
+        let nnf = to_nnf(&f, true, &mut FreshGen::new());
+        match nnf {
+            Nnf::Forall { vars, triggers, .. } => {
+                assert_eq!(triggers.len(), 1);
+                match &triggers[0].0[0] {
+                    Pattern::Term(T::App(_, args)) => {
+                        assert_eq!(args[1], T::var(&vars[0]), "trigger references renamed var");
+                    }
+                    other => panic!("unexpected pattern {other:?}"),
+                }
+            }
+            other => panic!("expected forall, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nnf_subst_instantiates() {
+        let lit = Nnf::Lit { atom: Atom::Eq(T::var("v"), T::int(1)), positive: true };
+        let inst = lit.subst(&[("v".to_string(), T::var("c"))]);
+        assert_eq!(inst, Nnf::Lit { atom: Atom::Eq(T::var("c"), T::int(1)), positive: true });
+    }
+}

@@ -1,0 +1,688 @@
+//! Congruence-closure E-graph with interpreted constants.
+//!
+//! The E-graph stores ground terms of the object-store logic hash-consed
+//! into numbered nodes, maintains equivalence classes under a union-find,
+//! and closes them under congruence. Interpreted constants (integers,
+//! booleans, `null`, attribute constants) carry semantic values: merging
+//! two classes with different values is a contradiction, which is how the
+//! prover refutes, e.g., `#cnt = #vec` or `true = false`. Arithmetic
+//! applications and integer comparisons are evaluated eagerly whenever all
+//! arguments have known integer values.
+//!
+//! Atoms are represented as boolean-valued nodes (predicate applications)
+//! that are merged with the distinguished `true`/`false` nodes when
+//! asserted; equality atoms act directly on the union-find.
+
+use oolong_logic::{Atom, Cst, FnSym, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense node identifier.
+pub type NodeId = u32;
+
+/// Function and predicate symbols of E-graph nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Sym {
+    /// A free variable / constant leaf.
+    Var(String),
+    /// An interpreted constant leaf.
+    Lit(Cst),
+    /// `select(S, X, A)`.
+    Select,
+    /// `update(S, X, A, V)`.
+    Update,
+    /// `new(S)`.
+    New,
+    /// `succ(S)` — `S⁺`.
+    Succ,
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer negation.
+    Neg,
+    /// Uninterpreted function (Skolem functions).
+    Uninterp(String),
+    /// Predicate `alive(S, X)`.
+    PAlive,
+    /// Predicate `A ⊒ B`.
+    PLocalInc,
+    /// Predicate `A →F B`.
+    PRepInc,
+    /// Predicate `S ⊨ X·A ≽ Y·B`.
+    PInc,
+    /// Predicate `a < b`.
+    PLt,
+    /// Predicate `a ≤ b`.
+    PLe,
+    /// Predicate `isObj(t)`.
+    PIsObj,
+    /// Predicate `isInt(t)`.
+    PIsInt,
+    /// Predicate `A ⇉F B` (elementwise rep inclusion).
+    PRepIncElem,
+}
+
+impl Sym {
+    fn from_fn(f: &FnSym) -> Sym {
+        match f {
+            FnSym::Select => Sym::Select,
+            FnSym::Update => Sym::Update,
+            FnSym::New => Sym::New,
+            FnSym::Succ => Sym::Succ,
+            FnSym::Add => Sym::Add,
+            FnSym::Sub => Sym::Sub,
+            FnSym::Mul => Sym::Mul,
+            FnSym::Neg => Sym::Neg,
+            FnSym::Uninterp(name) => Sym::Uninterp(name.clone()),
+        }
+    }
+}
+
+/// A hash-consed node: a symbol applied to child classes.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The head symbol.
+    pub sym: Sym,
+    /// Children as originally constructed (not canonicalized).
+    pub children: Vec<NodeId>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClassData {
+    /// Semantic value, if the class contains an interpreted constant.
+    value: Option<Cst>,
+    /// Matching generation: 0 for terms of the original problem, `n + 1`
+    /// for terms first created while asserting a generation-`n` quantifier
+    /// instance. The minimum over merged classes (a cheap way to reach a
+    /// term keeps it cheap).
+    gen: u32,
+    /// Member node ids.
+    nodes: Vec<NodeId>,
+    /// Nodes that have a member of this class as a child.
+    parents: Vec<NodeId>,
+    /// Node ids this class is asserted disequal to (canonicalize on use).
+    diseqs: Vec<NodeId>,
+}
+
+/// A contradiction discovered while asserting facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict(pub String);
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conflict: {}", self.0)
+    }
+}
+
+impl std::error::Error for Conflict {}
+
+/// The E-graph.
+#[derive(Debug, Clone)]
+pub struct EGraph {
+    nodes: Vec<Node>,
+    parent: Vec<NodeId>,
+    classes: HashMap<NodeId, ClassData>,
+    /// Canonical signature (sym, canonical children) → node.
+    sig_table: HashMap<(Sym, Vec<NodeId>), NodeId>,
+    /// All nodes by symbol, for pattern matching.
+    by_sym: HashMap<Sym, Vec<NodeId>>,
+    /// Distinguished boolean leaves.
+    true_id: NodeId,
+    false_id: NodeId,
+    /// Count of merges performed (for statistics).
+    merges: u64,
+    /// Generation assigned to newly created classes (see `ClassData::gen`).
+    current_gen: u32,
+}
+
+impl Default for EGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EGraph {
+    /// Creates an E-graph containing only `true` and `false`.
+    pub fn new() -> Self {
+        let mut eg = EGraph {
+            nodes: Vec::new(),
+            parent: Vec::new(),
+            classes: HashMap::new(),
+            sig_table: HashMap::new(),
+            by_sym: HashMap::new(),
+            true_id: 0,
+            false_id: 0,
+            merges: 0,
+            current_gen: 0,
+        };
+        eg.true_id = eg.add(Sym::Lit(Cst::Bool(true)), vec![]).expect("no conflict on init");
+        eg.false_id = eg.add(Sym::Lit(Cst::Bool(false)), vec![]).expect("no conflict on init");
+        eg
+    }
+
+    /// The node representing `true`.
+    pub fn true_id(&self) -> NodeId {
+        self.true_id
+    }
+
+    /// The node representing `false`.
+    pub fn false_id(&self) -> NodeId {
+        self.false_id
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of class merges performed so far.
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+
+    /// Sets the generation stamped onto classes created from now on.
+    pub fn set_generation(&mut self, gen: u32) {
+        self.current_gen = gen;
+    }
+
+    /// The matching generation of a class (see `set_generation`).
+    pub fn class_gen(&self, id: NodeId) -> u32 {
+        self.classes[&self.find(id)].gen
+    }
+
+    /// The node record for `id`.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Canonical representative of `id`'s class.
+    pub fn find(&self, id: NodeId) -> NodeId {
+        // Without path compression (keeps &self); the trees stay shallow
+        // because merge always attaches the smaller class.
+        let mut x = id;
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Whether two nodes are known equal.
+    pub fn same_class(&self, a: NodeId, b: NodeId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Whether two nodes are known disequal (by disequality assertion or
+    /// distinct interpreted values).
+    pub fn known_disequal(&self, a: NodeId, b: NodeId) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        if let (Some(va), Some(vb)) = (self.class_value(ra), self.class_value(rb)) {
+            if va != vb {
+                return true;
+            }
+        }
+        self.classes[&ra].diseqs.iter().any(|&d| self.find(d) == rb)
+    }
+
+    /// The interpreted value of a class, if any.
+    pub fn class_value(&self, id: NodeId) -> Option<&Cst> {
+        self.classes[&self.find(id)].value.as_ref()
+    }
+
+    /// Member nodes of `id`'s class.
+    pub fn class_nodes(&self, id: NodeId) -> &[NodeId] {
+        &self.classes[&self.find(id)].nodes
+    }
+
+    /// All nodes with the given head symbol (across all classes).
+    pub fn nodes_with_sym(&self, sym: &Sym) -> &[NodeId] {
+        self.by_sym.get(sym).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All symbols present in the graph (used by the matcher for
+    /// wildcard-ish passes and by statistics).
+    pub fn symbols(&self) -> impl Iterator<Item = &Sym> {
+        self.by_sym.keys()
+    }
+
+    // ------------------------------------------------------------ interning
+
+    /// Interns a ground term, returning its node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Conflict`] if eager evaluation of the new node contradicts
+    /// existing facts (possible via congruence with evaluated arithmetic).
+    pub fn intern(&mut self, term: &Term) -> Result<NodeId, Conflict> {
+        match term {
+            Term::Var(v) => self.add(Sym::Var(v.clone()), vec![]),
+            Term::Const(c) => self.add(Sym::Lit(c.clone()), vec![]),
+            Term::App(f, args) => {
+                let mut children = Vec::with_capacity(args.len());
+                for a in args {
+                    children.push(self.intern(a)?);
+                }
+                self.add(Sym::from_fn(f), children)
+            }
+        }
+    }
+
+    /// Interns an atom as a boolean-valued node.
+    ///
+    /// Equality atoms have no node representation; this returns `None` for
+    /// them (callers handle equality through [`EGraph::merge`] /
+    /// [`EGraph::assert_diseq`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Conflict`] if interning triggers an evaluation conflict.
+    pub fn intern_atom(&mut self, atom: &Atom) -> Result<Option<NodeId>, Conflict> {
+        let id = match atom {
+            Atom::Eq(..) => return Ok(None),
+            Atom::Alive(s, x) => {
+                let s = self.intern(s)?;
+                let x = self.intern(x)?;
+                self.add(Sym::PAlive, vec![s, x])?
+            }
+            Atom::LocalInc(a, b) => {
+                let a = self.intern(a)?;
+                let b = self.intern(b)?;
+                self.add(Sym::PLocalInc, vec![a, b])?
+            }
+            Atom::RepInc { group, pivot, mapped } => {
+                let g = self.intern(group)?;
+                let f = self.intern(pivot)?;
+                let m = self.intern(mapped)?;
+                self.add(Sym::PRepInc, vec![g, f, m])?
+            }
+            Atom::Inc { store, obj, attr, obj2, attr2 } => {
+                let s = self.intern(store)?;
+                let x = self.intern(obj)?;
+                let a = self.intern(attr)?;
+                let y = self.intern(obj2)?;
+                let b = self.intern(attr2)?;
+                self.add(Sym::PInc, vec![s, x, a, y, b])?
+            }
+            Atom::Lt(a, b) => {
+                let a = self.intern(a)?;
+                let b = self.intern(b)?;
+                self.add(Sym::PLt, vec![a, b])?
+            }
+            Atom::Le(a, b) => {
+                let a = self.intern(a)?;
+                let b = self.intern(b)?;
+                self.add(Sym::PLe, vec![a, b])?
+            }
+            Atom::IsObj(t) => {
+                let t = self.intern(t)?;
+                self.add(Sym::PIsObj, vec![t])?
+            }
+            Atom::IsInt(t) => {
+                let t = self.intern(t)?;
+                self.add(Sym::PIsInt, vec![t])?
+            }
+            Atom::RepIncElem { group, pivot, mapped } => {
+                let g = self.intern(group)?;
+                let f = self.intern(pivot)?;
+                let m = self.intern(mapped)?;
+                self.add(Sym::PRepIncElem, vec![g, f, m])?
+            }
+            Atom::BoolTerm(t) => self.intern(t)?,
+        };
+        Ok(Some(id))
+    }
+
+    fn add(&mut self, sym: Sym, children: Vec<NodeId>) -> Result<NodeId, Conflict> {
+        let canon: Vec<NodeId> = children.iter().map(|&c| self.find(c)).collect();
+        let key = (sym.clone(), canon);
+        if let Some(&existing) = self.sig_table.get(&key) {
+            return Ok(existing);
+        }
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(Node { sym: sym.clone(), children: children.clone() });
+        self.parent.push(id);
+        let mut data = ClassData { gen: self.current_gen, ..ClassData::default() };
+        // Interpreted constants are always generation 0: reaching `3` via a
+        // deep instantiation does not make `3` expensive.
+        if let Sym::Lit(c) = &sym {
+            data.value = Some(c.clone());
+            data.gen = 0;
+        }
+        data.nodes.push(id);
+        self.classes.insert(id, data);
+        self.sig_table.insert(key, id);
+        self.by_sym.entry(sym).or_default().push(id);
+        for &c in &children {
+            let root = self.find(c);
+            self.classes.get_mut(&root).expect("child class exists").parents.push(id);
+        }
+        self.try_eval(id)?;
+        Ok(id)
+    }
+
+    // -------------------------------------------------------------- merging
+
+    /// Asserts `a = b`, closing under congruence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Conflict`] on contradiction (distinct interpreted values,
+    /// violated disequality, or `true = false`).
+    pub fn merge(&mut self, a: NodeId, b: NodeId) -> Result<(), Conflict> {
+        let mut queue = vec![(a, b)];
+        while let Some((a, b)) = queue.pop() {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                continue;
+            }
+            // Conflict checks.
+            let va = self.classes[&ra].value.clone();
+            let vb = self.classes[&rb].value.clone();
+            if let (Some(x), Some(y)) = (&va, &vb) {
+                if x != y {
+                    return Err(Conflict(format!("cannot identify distinct constants {x} and {y}")));
+                }
+            }
+            if self.classes[&ra].diseqs.iter().any(|&d| self.find(d) == rb)
+                || self.classes[&rb].diseqs.iter().any(|&d| self.find(d) == ra)
+            {
+                return Err(Conflict("merge violates an asserted disequality".to_string()));
+            }
+
+            // Union: attach the smaller class under the larger.
+            let (big, small) = if self.classes[&ra].nodes.len() >= self.classes[&rb].nodes.len() {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
+            self.merges += 1;
+            self.parent[small as usize] = big;
+            let small_data = self.classes.remove(&small).expect("small class exists");
+            {
+                let big_data = self.classes.get_mut(&big).expect("big class exists");
+                if big_data.value.is_none() {
+                    big_data.value = small_data.value;
+                }
+                big_data.gen = big_data.gen.min(small_data.gen);
+                big_data.nodes.extend(small_data.nodes);
+                big_data.diseqs.extend(small_data.diseqs.iter().copied());
+                big_data.parents.extend(small_data.parents.iter().copied());
+            }
+
+            // Congruence repair: re-canonicalize signatures of parents of
+            // the merged class.
+            for &p in &small_data.parents {
+                let node = &self.nodes[p as usize];
+                let key = (
+                    node.sym.clone(),
+                    node.children.iter().map(|&c| self.find(c)).collect::<Vec<_>>(),
+                );
+                match self.sig_table.get(&key) {
+                    Some(&other) if self.find(other) != self.find(p) => {
+                        queue.push((other, p));
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.sig_table.insert(key, p);
+                    }
+                }
+                self.try_eval_queued(p, &mut queue)?;
+            }
+            // New value may enable evaluating parents of the big class too.
+            let parents: Vec<NodeId> = self.classes[&big].parents.clone();
+            for p in parents {
+                self.try_eval_queued(p, &mut queue)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Asserts `a ≠ b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Conflict`] if `a` and `b` are already known equal.
+    pub fn assert_diseq(&mut self, a: NodeId, b: NodeId) -> Result<(), Conflict> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Err(Conflict("disequality between equal terms".to_string()));
+        }
+        self.classes.get_mut(&ra).expect("class").diseqs.push(rb);
+        self.classes.get_mut(&rb).expect("class").diseqs.push(ra);
+        Ok(())
+    }
+
+    /// Evaluates arithmetic and comparisons when all children have integer
+    /// values; merges the node with the resulting constant.
+    fn try_eval(&mut self, id: NodeId) -> Result<(), Conflict> {
+        let mut queue = Vec::new();
+        self.try_eval_queued(id, &mut queue)?;
+        for (a, b) in queue {
+            self.merge(a, b)?;
+        }
+        Ok(())
+    }
+
+    fn try_eval_queued(
+        &mut self,
+        id: NodeId,
+        queue: &mut Vec<(NodeId, NodeId)>,
+    ) -> Result<(), Conflict> {
+        let node = self.nodes[id as usize].clone();
+        let int_of = |eg: &EGraph, c: NodeId| -> Option<i64> {
+            match eg.class_value(c) {
+                Some(Cst::Int(n)) => Some(*n),
+                _ => None,
+            }
+        };
+        let binary = |eg: &EGraph| -> Option<(i64, i64)> {
+            Some((int_of(eg, node.children[0])?, int_of(eg, *node.children.get(1)?)?))
+        };
+        let result: Option<Cst> = match node.sym {
+            Sym::Add => binary(self).and_then(|(a, b)| a.checked_add(b)).map(Cst::Int),
+            Sym::Sub => binary(self).and_then(|(a, b)| a.checked_sub(b)).map(Cst::Int),
+            Sym::Mul => binary(self).and_then(|(a, b)| a.checked_mul(b)).map(Cst::Int),
+            Sym::Neg => int_of(self, node.children[0]).and_then(i64::checked_neg).map(Cst::Int),
+            Sym::PLt => binary(self).map(|(a, b)| Cst::Bool(a < b)),
+            Sym::PLe => binary(self).map(|(a, b)| Cst::Bool(a <= b)),
+            // Interpreted constants are never object references.
+            Sym::PIsObj => self.class_value(node.children[0]).map(|_| Cst::Bool(false)),
+            // Integers satisfy isInt; other interpreted constants do not.
+            Sym::PIsInt => self
+                .class_value(node.children[0])
+                .map(|c| Cst::Bool(matches!(c, Cst::Int(_)))),
+            _ => return Ok(()),
+        };
+        if let Some(value) = result {
+            let lit = self.add(Sym::Lit(value), vec![])?;
+            if !self.same_class(id, lit) {
+                queue.push((id, lit));
+            }
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- queries
+
+    /// Truth value of an interned boolean node, if determined.
+    pub fn bool_value(&self, id: NodeId) -> Option<bool> {
+        match self.class_value(id) {
+            Some(Cst::Bool(b)) => Some(*b),
+            _ => {
+                if self.same_class(id, self.true_id) {
+                    Some(true)
+                } else if self.same_class(id, self.false_id) {
+                    Some(false)
+                } else if self.known_disequal(id, self.true_id) {
+                    Some(false)
+                } else if self.known_disequal(id, self.false_id) {
+                    // Boolean-valued predicates are two-valued.
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oolong_logic::Term as T;
+
+    #[test]
+    fn congruence_closure_basic() {
+        // a = b implies f(a) = f(b).
+        let mut eg = EGraph::new();
+        let fa = eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
+        let fb = eg.intern(&T::uninterp("f", vec![T::var("b")])).unwrap();
+        assert!(!eg.same_class(fa, fb));
+        let a = eg.intern(&T::var("a")).unwrap();
+        let b = eg.intern(&T::var("b")).unwrap();
+        eg.merge(a, b).unwrap();
+        assert!(eg.same_class(fa, fb));
+    }
+
+    #[test]
+    fn congruence_is_transitive_and_nested() {
+        // a = b, b = c implies g(f(a)) = g(f(c)).
+        let mut eg = EGraph::new();
+        let gfa = eg.intern(&T::uninterp("g", vec![T::uninterp("f", vec![T::var("a")])])).unwrap();
+        let gfc = eg.intern(&T::uninterp("g", vec![T::uninterp("f", vec![T::var("c")])])).unwrap();
+        let a = eg.intern(&T::var("a")).unwrap();
+        let b = eg.intern(&T::var("b")).unwrap();
+        let c = eg.intern(&T::var("c")).unwrap();
+        eg.merge(a, b).unwrap();
+        eg.merge(b, c).unwrap();
+        assert!(eg.same_class(gfa, gfc));
+    }
+
+    #[test]
+    fn distinct_constants_conflict() {
+        let mut eg = EGraph::new();
+        let one = eg.intern(&T::int(1)).unwrap();
+        let two = eg.intern(&T::int(2)).unwrap();
+        assert!(eg.known_disequal(one, two));
+        assert!(eg.merge(one, two).is_err());
+    }
+
+    #[test]
+    fn attr_constants_are_distinct() {
+        let mut eg = EGraph::new();
+        let cnt = eg.intern(&T::attr("cnt")).unwrap();
+        let vec = eg.intern(&T::attr("vec")).unwrap();
+        let null = eg.intern(&T::null()).unwrap();
+        assert!(eg.known_disequal(cnt, vec));
+        assert!(eg.known_disequal(cnt, null));
+        assert!(eg.merge(cnt, vec).is_err());
+    }
+
+    #[test]
+    fn diseq_then_merge_conflicts() {
+        let mut eg = EGraph::new();
+        let x = eg.intern(&T::var("x")).unwrap();
+        let y = eg.intern(&T::var("y")).unwrap();
+        eg.assert_diseq(x, y).unwrap();
+        assert!(eg.known_disequal(x, y));
+        assert!(eg.merge(x, y).is_err());
+    }
+
+    #[test]
+    fn diseq_propagates_through_congruence() {
+        // x = y, f(x) ≠ f(y) is contradictory.
+        let mut eg = EGraph::new();
+        let fx = eg.intern(&T::uninterp("f", vec![T::var("x")])).unwrap();
+        let fy = eg.intern(&T::uninterp("f", vec![T::var("y")])).unwrap();
+        eg.assert_diseq(fx, fy).unwrap();
+        let x = eg.intern(&T::var("x")).unwrap();
+        let y = eg.intern(&T::var("y")).unwrap();
+        assert!(eg.merge(x, y).is_err());
+    }
+
+    #[test]
+    fn arithmetic_evaluates() {
+        let mut eg = EGraph::new();
+        let sum = eg.intern(&T::add(T::int(2), T::int(3))).unwrap();
+        let five = eg.intern(&T::int(5)).unwrap();
+        assert!(eg.same_class(sum, five));
+    }
+
+    #[test]
+    fn arithmetic_evaluates_after_merge() {
+        // x = 2 makes x + 3 equal 5.
+        let mut eg = EGraph::new();
+        let sum = eg.intern(&T::add(T::var("x"), T::int(3))).unwrap();
+        let five = eg.intern(&T::int(5)).unwrap();
+        assert!(!eg.same_class(sum, five));
+        let x = eg.intern(&T::var("x")).unwrap();
+        let two = eg.intern(&T::int(2)).unwrap();
+        eg.merge(x, two).unwrap();
+        assert!(eg.same_class(sum, five));
+    }
+
+    #[test]
+    fn comparison_predicates_evaluate() {
+        let mut eg = EGraph::new();
+        let lt = eg.intern_atom(&Atom::Lt(T::int(1), T::int(2))).unwrap().unwrap();
+        assert_eq!(eg.bool_value(lt), Some(true));
+        let le = eg.intern_atom(&Atom::Le(T::int(3), T::int(2))).unwrap().unwrap();
+        assert_eq!(eg.bool_value(le), Some(false));
+    }
+
+    #[test]
+    fn predicate_nodes_share_by_congruence() {
+        // alive(s, x) = alive(s, y) once x = y.
+        let mut eg = EGraph::new();
+        let p1 = eg.intern_atom(&Atom::Alive(T::var("s"), T::var("x"))).unwrap().unwrap();
+        let p2 = eg.intern_atom(&Atom::Alive(T::var("s"), T::var("y"))).unwrap().unwrap();
+        let t = eg.true_id();
+        eg.merge(p1, t).unwrap();
+        assert_eq!(eg.bool_value(p2), None);
+        let x = eg.intern(&T::var("x")).unwrap();
+        let y = eg.intern(&T::var("y")).unwrap();
+        eg.merge(x, y).unwrap();
+        assert_eq!(eg.bool_value(p2), Some(true));
+    }
+
+    #[test]
+    fn hash_consing_deduplicates() {
+        let mut eg = EGraph::new();
+        let t1 = eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        let t2 = eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn true_false_disequal() {
+        let eg = EGraph::new();
+        assert!(eg.known_disequal(eg.true_id(), eg.false_id()));
+    }
+
+    #[test]
+    fn nodes_with_sym_indexes_all() {
+        let mut eg = EGraph::new();
+        eg.intern(&T::select(T::store(), T::var("a"), T::attr("f"))).unwrap();
+        eg.intern(&T::select(T::store(), T::var("b"), T::attr("f"))).unwrap();
+        assert_eq!(eg.nodes_with_sym(&Sym::Select).len(), 2);
+    }
+
+    #[test]
+    fn clone_preserves_state_for_backtracking() {
+        let mut eg = EGraph::new();
+        let x = eg.intern(&T::var("x")).unwrap();
+        let y = eg.intern(&T::var("y")).unwrap();
+        let snapshot = eg.clone();
+        eg.merge(x, y).unwrap();
+        assert!(eg.same_class(x, y));
+        assert!(!snapshot.same_class(x, y));
+    }
+}

@@ -1,0 +1,561 @@
+//! E-matching: finding instantiations of quantified formulas whose trigger
+//! patterns are present in the E-graph, modulo the known equalities.
+//!
+//! This is the mechanism Simplify uses to guide quantifier instantiation
+//! (and whose "matching heuristics show signs of fragility when cyclic
+//! inclusions are involved", Section 5 of the paper — our fuel accounting
+//! turns that fragility into a measurable `Unknown` outcome).
+
+use crate::egraph::{EGraph, NodeId, Sym};
+use oolong_logic::{Atom, Cst, FnSym, Pattern, Term, Trigger};
+use std::collections::{BTreeMap, HashSet};
+
+/// A match of a trigger: each quantified variable bound to a class.
+pub type Binding = BTreeMap<String, NodeId>;
+
+/// Finds all bindings of `vars` under which every pattern of `trigger`
+/// matches a term (or atom) present in the E-graph.
+pub fn match_trigger(eg: &EGraph, vars: &[String], trigger: &Trigger) -> Vec<Binding> {
+    match_trigger_impl(eg, vars, trigger, None)
+}
+
+/// Like [`match_trigger`], but *anchored*: at least one pattern of the
+/// trigger must match at `anchor` (a specific node). Used for incremental
+/// matching against newly created nodes only.
+pub fn match_trigger_anchored(
+    eg: &EGraph,
+    vars: &[String],
+    trigger: &Trigger,
+    anchor: NodeId,
+) -> Vec<Binding> {
+    match_trigger_impl(eg, vars, trigger, Some(anchor))
+}
+
+fn match_trigger_impl(
+    eg: &EGraph,
+    vars: &[String],
+    trigger: &Trigger,
+    anchor: Option<NodeId>,
+) -> Vec<Binding> {
+    let holes: HashSet<&str> = vars.iter().map(String::as_str).collect();
+    let positions: Vec<Option<usize>> = match anchor {
+        None => vec![None],
+        Some(anchor) => {
+            // Each pattern position whose head symbol matches the anchor
+            // gets a run with that pattern pinned to the anchor node.
+            let anchor_sym = &eg.node(anchor).sym;
+            let hits: Vec<Option<usize>> = trigger
+                .0
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| pattern_head(p).as_ref() == Some(anchor_sym))
+                .map(|(i, _)| Some(i))
+                .collect();
+            if hits.is_empty() {
+                return Vec::new();
+            }
+            hits
+        }
+    };
+    let mut all = Vec::new();
+    for pinned in positions {
+        let mut bindings = vec![Binding::new()];
+        for (i, pattern) in trigger.0.iter().enumerate() {
+            let mut next = Vec::new();
+            for binding in &bindings {
+                if pinned == Some(i) {
+                    let node = anchor.expect("pinned implies anchor");
+                    match_pattern_at(eg, &holes, pattern, node, binding, &mut next);
+                } else {
+                    match_pattern_top(eg, &holes, pattern, binding, &mut next);
+                }
+            }
+            bindings = next;
+            if bindings.is_empty() {
+                break;
+            }
+        }
+        all.extend(bindings);
+    }
+    // A trigger that leaves some variable unbound cannot drive a complete
+    // instantiation; drop such bindings.
+    all.retain(|b| vars.iter().all(|v| b.contains_key(v)));
+    dedup_bindings(eg, all)
+}
+
+/// The E-graph head symbol a pattern matches on, if any.
+fn pattern_head(pattern: &Pattern) -> Option<Sym> {
+    match pattern {
+        Pattern::Term(Term::App(f, _)) => Some(fn_sym(f)),
+        Pattern::Term(_) => None,
+        Pattern::Atom(atom) => atom_shape(atom).map(|(sym, _)| sym),
+    }
+}
+
+/// Matches one pattern against one specific node.
+fn match_pattern_at(
+    eg: &EGraph,
+    holes: &HashSet<&str>,
+    pattern: &Pattern,
+    node: NodeId,
+    binding: &Binding,
+    out: &mut Vec<Binding>,
+) {
+    match pattern {
+        Pattern::Term(Term::App(_, args)) => {
+            match_children(eg, holes, args, node, binding.clone(), out)
+        }
+        Pattern::Term(_) => {}
+        Pattern::Atom(atom) => {
+            if let Some((_, args)) = atom_shape(atom) {
+                match_children_ref(eg, holes, &args, node, binding.clone(), out);
+            }
+        }
+    }
+}
+
+fn dedup_bindings(eg: &EGraph, bindings: Vec<Binding>) -> Vec<Binding> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for b in bindings {
+        let key: Vec<(String, NodeId)> =
+            b.iter().map(|(v, &id)| (v.clone(), eg.find(id))).collect();
+        if seen.insert(key) {
+            out.push(b);
+        }
+    }
+    out
+}
+
+fn match_pattern_top(
+    eg: &EGraph,
+    holes: &HashSet<&str>,
+    pattern: &Pattern,
+    binding: &Binding,
+    out: &mut Vec<Binding>,
+) {
+    match pattern {
+        Pattern::Term(term) => {
+            let Term::App(f, args) = term else {
+                // Bare variables/constants make useless patterns.
+                return;
+            };
+            let sym = fn_sym(f);
+            for &node in eg.nodes_with_sym(&sym) {
+                match_children(eg, holes, args, node, binding.clone(), out);
+            }
+        }
+        Pattern::Atom(atom) => {
+            let Some((sym, args)) = atom_shape(atom) else { return };
+            for &node in eg.nodes_with_sym(&sym) {
+                match_children_ref(eg, holes, &args, node, binding.clone(), out);
+            }
+        }
+    }
+}
+
+fn fn_sym(f: &FnSym) -> Sym {
+    match f {
+        FnSym::Select => Sym::Select,
+        FnSym::Update => Sym::Update,
+        FnSym::New => Sym::New,
+        FnSym::Succ => Sym::Succ,
+        FnSym::Add => Sym::Add,
+        FnSym::Sub => Sym::Sub,
+        FnSym::Mul => Sym::Mul,
+        FnSym::Neg => Sym::Neg,
+        FnSym::Uninterp(name) => Sym::Uninterp(name.clone()),
+    }
+}
+
+/// The E-graph symbol and argument terms of an atom pattern, or `None` for
+/// atoms with no node representation (equality) or no matchable shape.
+fn atom_shape(atom: &Atom) -> Option<(Sym, Vec<&Term>)> {
+    match atom {
+        Atom::Eq(..) => None,
+        Atom::Alive(s, x) => Some((Sym::PAlive, vec![s, x])),
+        Atom::LocalInc(a, b) => Some((Sym::PLocalInc, vec![a, b])),
+        Atom::RepInc { group, pivot, mapped } => Some((Sym::PRepInc, vec![group, pivot, mapped])),
+        Atom::Inc { store, obj, attr, obj2, attr2 } => {
+            Some((Sym::PInc, vec![store, obj, attr, obj2, attr2]))
+        }
+        Atom::Lt(a, b) => Some((Sym::PLt, vec![a, b])),
+        Atom::Le(a, b) => Some((Sym::PLe, vec![a, b])),
+        Atom::IsObj(t) => Some((Sym::PIsObj, vec![t])),
+        Atom::IsInt(t) => Some((Sym::PIsInt, vec![t])),
+        Atom::RepIncElem { group, pivot, mapped } => {
+            Some((Sym::PRepIncElem, vec![group, pivot, mapped]))
+        }
+        Atom::BoolTerm(_) => None,
+    }
+}
+
+fn match_children(
+    eg: &EGraph,
+    holes: &HashSet<&str>,
+    args: &[Term],
+    node: NodeId,
+    binding: Binding,
+    out: &mut Vec<Binding>,
+) {
+    let refs: Vec<&Term> = args.iter().collect();
+    match_children_ref(eg, holes, &refs, node, binding, out);
+}
+
+fn match_children_ref(
+    eg: &EGraph,
+    holes: &HashSet<&str>,
+    args: &[&Term],
+    node: NodeId,
+    binding: Binding,
+    out: &mut Vec<Binding>,
+) {
+    let children = eg.node(node).children.clone();
+    if children.len() != args.len() {
+        return;
+    }
+    let mut states = vec![binding];
+    for (pat, &child) in args.iter().zip(children.iter()) {
+        let mut next = Vec::new();
+        for b in &states {
+            match_term(eg, holes, pat, child, b, &mut next);
+        }
+        states = next;
+        if states.is_empty() {
+            return;
+        }
+    }
+    out.extend(states);
+}
+
+/// Matches `pattern` against the class of `class_node`.
+fn match_term(
+    eg: &EGraph,
+    holes: &HashSet<&str>,
+    pattern: &Term,
+    class_node: NodeId,
+    binding: &Binding,
+    out: &mut Vec<Binding>,
+) {
+    let class = eg.find(class_node);
+    match pattern {
+        Term::Var(v) if holes.contains(v.as_str()) => match binding.get(v) {
+            Some(&bound) => {
+                if eg.find(bound) == class {
+                    out.push(binding.clone());
+                }
+            }
+            None => {
+                let mut b = binding.clone();
+                b.insert(v.clone(), class);
+                out.push(b);
+            }
+        },
+        Term::Var(v) => {
+            // A free constant: must already exist and be in this class.
+            for &leaf in eg.nodes_with_sym(&Sym::Var(v.clone())) {
+                if eg.find(leaf) == class {
+                    out.push(binding.clone());
+                    return;
+                }
+            }
+        }
+        Term::Const(c) => {
+            for &leaf in eg.nodes_with_sym(&Sym::Lit(c.clone())) {
+                if eg.find(leaf) == class {
+                    out.push(binding.clone());
+                    return;
+                }
+            }
+        }
+        Term::App(f, args) => {
+            let sym = fn_sym(f);
+            for &member in eg.class_nodes(class) {
+                if eg.node(member).sym == sym {
+                    match_children(eg, holes, args, member, binding.clone(), out);
+                }
+            }
+        }
+    }
+}
+
+/// Reconstructs a concrete term denoting the class of `id`.
+///
+/// Prefers leaves (variables / constants), then the earliest-constructed
+/// member. For pathological cyclic classes with no leaf, a definitional
+/// alias `@class<root>` is returned and reported in `aliases` so the caller
+/// can merge the alias with the class, keeping instantiation sound.
+pub fn term_of(eg: &EGraph, id: NodeId, aliases: &mut Vec<(Term, NodeId)>) -> Term {
+    let mut visiting = HashSet::new();
+    term_of_rec(eg, id, &mut visiting, aliases)
+}
+
+fn term_of_rec(
+    eg: &EGraph,
+    id: NodeId,
+    visiting: &mut HashSet<NodeId>,
+    aliases: &mut Vec<(Term, NodeId)>,
+) -> Term {
+    let root = eg.find(id);
+    // Prefer a leaf member.
+    let members = eg.class_nodes(root);
+    let mut best: Option<NodeId> = None;
+    for &m in members {
+        let node = eg.node(m);
+        match node.sym {
+            Sym::Var(_) | Sym::Lit(_) => return leaf_term(eg, m),
+            _ => {
+                if best.is_none_or(|b| m < b) && !is_pred(&node.sym) {
+                    best = Some(m);
+                }
+            }
+        }
+    }
+    let Some(m) = best else {
+        let name = format!("@class{root}");
+        let t = Term::var(name);
+        aliases.push((t.clone(), root));
+        return t;
+    };
+    if !visiting.insert(root) {
+        // Cycle: introduce a definitional alias for this class.
+        let name = format!("@class{root}");
+        let t = Term::var(name);
+        aliases.push((t.clone(), root));
+        return t;
+    }
+    let node = eg.node(m).clone();
+    let args: Vec<Term> =
+        node.children.iter().map(|&c| term_of_rec(eg, c, visiting, aliases)).collect();
+    visiting.remove(&root);
+    let f = match node.sym {
+        Sym::Select => FnSym::Select,
+        Sym::Update => FnSym::Update,
+        Sym::New => FnSym::New,
+        Sym::Succ => FnSym::Succ,
+        Sym::Add => FnSym::Add,
+        Sym::Sub => FnSym::Sub,
+        Sym::Mul => FnSym::Mul,
+        Sym::Neg => FnSym::Neg,
+        Sym::Uninterp(name) => FnSym::Uninterp(name),
+        _ => unreachable!("predicates filtered above"),
+    };
+    Term::App(f, args)
+}
+
+fn is_pred(sym: &Sym) -> bool {
+    matches!(
+        sym,
+        Sym::PAlive
+            | Sym::PLocalInc
+            | Sym::PRepInc
+            | Sym::PRepIncElem
+            | Sym::PInc
+            | Sym::PLt
+            | Sym::PLe
+            | Sym::PIsObj
+            | Sym::PIsInt
+    )
+}
+
+fn leaf_term(eg: &EGraph, id: NodeId) -> Term {
+    match &eg.node(id).sym {
+        Sym::Var(v) => Term::var(v.clone()),
+        Sym::Lit(Cst::Int(n)) => Term::int(*n),
+        Sym::Lit(Cst::Bool(b)) => Term::boolean(*b),
+        Sym::Lit(Cst::Null) => Term::null(),
+        Sym::Lit(Cst::Attr(a)) => Term::attr(a.clone()),
+        other => unreachable!("not a leaf: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oolong_logic::Term as T;
+
+    #[test]
+    fn matches_simple_select_pattern() {
+        let mut eg = EGraph::new();
+        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        // Pattern: select($, X, #f) with hole X.
+        let trigger = Trigger(vec![Pattern::Term(T::select(T::store(), T::var("X"), T::attr("f")))]);
+        let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
+        assert_eq!(bindings.len(), 1);
+        let t_leaf = eg.intern(&T::var("t")).unwrap();
+        assert_eq!(eg.find(bindings[0]["X"]), eg.find(t_leaf));
+    }
+
+    #[test]
+    fn matches_modulo_equality() {
+        // After u = t, the pattern select($, u, #f) matches select($, t, #f).
+        let mut eg = EGraph::new();
+        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        let t = eg.intern(&T::var("t")).unwrap();
+        let u = eg.intern(&T::var("u")).unwrap();
+        eg.merge(t, u).unwrap();
+        let trigger = Trigger(vec![Pattern::Term(T::select(T::store(), T::var("u"), T::attr("f")))]);
+        let bindings = match_trigger(&eg, &[], &trigger);
+        assert_eq!(bindings.len(), 1, "constant u matches via its class");
+    }
+
+    #[test]
+    fn no_match_for_absent_attr() {
+        let mut eg = EGraph::new();
+        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        let trigger = Trigger(vec![Pattern::Term(T::select(T::store(), T::var("X"), T::attr("g")))]);
+        assert!(match_trigger(&eg, &["X".to_string()], &trigger).is_empty());
+    }
+
+    #[test]
+    fn multi_pattern_requires_consistent_binding() {
+        // Trigger {f(X), g(X)}: only objects appearing under both match.
+        let mut eg = EGraph::new();
+        eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
+        eg.intern(&T::uninterp("f", vec![T::var("b")])).unwrap();
+        eg.intern(&T::uninterp("g", vec![T::var("b")])).unwrap();
+        let trigger = Trigger(vec![
+            Pattern::Term(T::uninterp("f", vec![T::var("X")])),
+            Pattern::Term(T::uninterp("g", vec![T::var("X")])),
+        ]);
+        let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
+        assert_eq!(bindings.len(), 1);
+        let b_leaf = eg.intern(&T::var("b")).unwrap();
+        assert_eq!(eg.find(bindings[0]["X"]), eg.find(b_leaf));
+    }
+
+    #[test]
+    fn repeated_hole_must_agree() {
+        let mut eg = EGraph::new();
+        eg.intern(&T::uninterp("h", vec![T::var("a"), T::var("a")])).unwrap();
+        eg.intern(&T::uninterp("h", vec![T::var("a"), T::var("b")])).unwrap();
+        let trigger =
+            Trigger(vec![Pattern::Term(T::uninterp("h", vec![T::var("X"), T::var("X")]))]);
+        let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
+        assert_eq!(bindings.len(), 1, "only h(a, a) matches h(X, X)");
+    }
+
+    #[test]
+    fn atom_patterns_match_predicate_nodes() {
+        let mut eg = EGraph::new();
+        eg.intern_atom(&Atom::RepInc {
+            group: T::attr("contents"),
+            pivot: T::attr("vec"),
+            mapped: T::attr("elems"),
+        })
+        .unwrap();
+        let trigger = Trigger(vec![Pattern::Atom(Atom::RepInc {
+            group: T::var("G"),
+            pivot: T::attr("vec"),
+            mapped: T::var("B"),
+        })]);
+        let bindings = match_trigger(&eg, &["G".to_string(), "B".to_string()], &trigger);
+        assert_eq!(bindings.len(), 1);
+    }
+
+    #[test]
+    fn nested_patterns_match() {
+        // Pattern select(succ(S), X, #f).
+        let mut eg = EGraph::new();
+        eg.intern(&T::select(T::succ(T::store()), T::var("t"), T::attr("f"))).unwrap();
+        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        let trigger = Trigger(vec![Pattern::Term(T::select(
+            T::succ(T::var("S")),
+            T::var("X"),
+            T::attr("f"),
+        ))]);
+        let bindings = match_trigger(&eg, &["S".to_string(), "X".to_string()], &trigger);
+        assert_eq!(bindings.len(), 1);
+    }
+
+    #[test]
+    fn bindings_deduplicate_by_class() {
+        let mut eg = EGraph::new();
+        eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
+        eg.intern(&T::uninterp("f", vec![T::var("b")])).unwrap();
+        let a = eg.intern(&T::var("a")).unwrap();
+        let b = eg.intern(&T::var("b")).unwrap();
+        eg.merge(a, b).unwrap();
+        let trigger = Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))]);
+        let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
+        assert_eq!(bindings.len(), 1, "equal classes yield one binding");
+    }
+
+    #[test]
+    fn anchored_matching_restricts_to_the_anchor() {
+        let mut eg = EGraph::new();
+        let fa = eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
+        let _fb = eg.intern(&T::uninterp("f", vec![T::var("b")])).unwrap();
+        let trigger = Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))]);
+        // Anchored at f(a): only the a-binding.
+        let bindings = match_trigger_anchored(&eg, &["X".to_string()], &trigger, fa);
+        assert_eq!(bindings.len(), 1);
+        let a = eg.intern(&T::var("a")).unwrap();
+        assert_eq!(eg.find(bindings[0]["X"]), eg.find(a));
+        // Unanchored: both.
+        assert_eq!(match_trigger(&eg, &["X".to_string()], &trigger).len(), 2);
+    }
+
+    #[test]
+    fn anchored_matching_with_wrong_symbol_is_empty() {
+        let mut eg = EGraph::new();
+        let ga = eg.intern(&T::uninterp("g", vec![T::var("a")])).unwrap();
+        eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
+        let trigger = Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))]);
+        assert!(match_trigger_anchored(&eg, &["X".to_string()], &trigger, ga).is_empty());
+    }
+
+    #[test]
+    fn anchored_multipattern_pins_one_position() {
+        // Trigger {f(X), g(X)}: anchoring at a new g(b) node must still
+        // find the f(b) partner from the old graph.
+        let mut eg = EGraph::new();
+        eg.intern(&T::uninterp("f", vec![T::var("b")])).unwrap();
+        let gb = eg.intern(&T::uninterp("g", vec![T::var("b")])).unwrap();
+        let trigger = Trigger(vec![
+            Pattern::Term(T::uninterp("f", vec![T::var("X")])),
+            Pattern::Term(T::uninterp("g", vec![T::var("X")])),
+        ]);
+        let bindings = match_trigger_anchored(&eg, &["X".to_string()], &trigger, gb);
+        assert_eq!(bindings.len(), 1);
+    }
+
+    #[test]
+    fn term_of_prefers_leaves() {
+        let mut eg = EGraph::new();
+        let app = eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
+        let x = eg.intern(&T::var("x")).unwrap();
+        eg.merge(app, x).unwrap();
+        let mut aliases = Vec::new();
+        assert_eq!(term_of(&eg, app, &mut aliases), T::var("x"));
+        assert!(aliases.is_empty());
+    }
+
+    #[test]
+    fn term_of_reconstructs_apps() {
+        let mut eg = EGraph::new();
+        let sel = eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        let mut aliases = Vec::new();
+        let t = term_of(&eg, sel, &mut aliases);
+        assert_eq!(t, T::select(T::store(), T::var("t"), T::attr("f")));
+    }
+
+    #[test]
+    fn term_of_handles_cycles_with_alias() {
+        // x = f(x): class of x has leaf x, fine. Force a leafless cycle:
+        // f(g(c)) merged with g(c)'s class? Simpler: merge f(y) with y where
+        // y's class loses its leaf — impossible since leaves persist. So
+        // exercise the alias path via a class whose only members are apps
+        // that reference each other: f(a) = a is impossible to build without
+        // the leaf a. We settle for checking leaf preference again under a
+        // merged chain.
+        let mut eg = EGraph::new();
+        let fa = eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
+        let a = eg.intern(&T::var("a")).unwrap();
+        eg.merge(fa, a).unwrap();
+        let ffa = eg.intern(&T::uninterp("f", vec![T::uninterp("f", vec![T::var("a")])])).unwrap();
+        let mut aliases = Vec::new();
+        let t = term_of(&eg, ffa, &mut aliases);
+        assert_eq!(t, T::var("a"), "f(f(a)) = f(a) = a by congruence");
+    }
+}

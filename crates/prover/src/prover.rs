@@ -1,0 +1,846 @@
+//! The refutation prover: a DPLL-style tableau over skolemized NNF with an
+//! E-graph for ground reasoning and E-matching for quantifier
+//! instantiation.
+//!
+//! To prove `H₁ ∧ … ∧ Hₙ ⇒ G`, the prover asserts each `Hᵢ` positively and
+//! `G` negatively, then searches for a contradiction:
+//!
+//! 1. ground literals are asserted into the E-graph (congruence closure,
+//!    interpreted constants, eager arithmetic evaluation);
+//! 2. disjunctions are simplified against the current state and case-split
+//!    with backtracking (the E-graph is cloned at each branch);
+//! 3. when a branch is ground-saturated, quantified hypotheses are
+//!    instantiated by matching their triggers against the E-graph, and the
+//!    loop repeats. Saturation runs **before** case splitting (instances
+//!    land on the shared branch prefix) and is **incremental**: old
+//!    quantifiers re-match only against nodes created since the previous
+//!    round, with a full pass to confirm saturation.
+//!
+//! Every dimension of work is metered by a [`Budget`]; exhausting it yields
+//! [`Outcome::Unknown`] — this is how the paper's observation that Simplify
+//! "loops irrevocably" on cyclic rep inclusions is reproduced as a
+//! measurable result rather than a hang.
+
+use crate::egraph::EGraph;
+use crate::matcher::{match_trigger, match_trigger_anchored, term_of};
+use crate::triggers::infer_triggers;
+use oolong_logic::transform::{to_nnf, FreshGen, Nnf};
+use oolong_logic::{Atom, Formula, Term, Trigger};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Resource limits for one proof attempt.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Maximum total quantifier instantiations.
+    pub max_instances: usize,
+    /// Maximum quantifier instantiations produced per saturation round.
+    pub max_instances_per_round: usize,
+    /// Maximum number of case-split branches explored.
+    pub max_branches: u64,
+    /// Maximum number of E-graph nodes per branch.
+    pub max_nodes: usize,
+    /// Maximum case-split depth.
+    pub max_depth: usize,
+    /// Maximum matching generation: instantiations whose bindings involve
+    /// terms created at this generation are deferred (Simplify's matching
+    /// depth). A branch that saturates with deferred work reports
+    /// [`Outcome::Unknown`] rather than [`Outcome::NotProved`].
+    pub max_term_gen: u32,
+    /// Maximum saturation rounds across the whole search. Each round can
+    /// involve a full matching pass over every active quantifier, so this
+    /// bounds the dominant cost of hopeless searches.
+    pub max_rounds: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_instances: 120_000,
+            max_instances_per_round: 400,
+            max_branches: 100_000,
+            max_nodes: 400_000,
+            max_depth: 240,
+            max_term_gen: 2,
+            max_rounds: 3_000,
+        }
+    }
+}
+
+impl Budget {
+    /// A deliberately tiny budget, used to demonstrate divergence on
+    /// cyclic inclusions (experiment E6).
+    pub fn tiny() -> Self {
+        Budget {
+            max_instances: 25,
+            max_instances_per_round: 10,
+            max_branches: 120,
+            max_nodes: 2_000,
+            max_depth: 12,
+            max_term_gen: 1,
+            max_rounds: 60,
+        }
+    }
+}
+
+/// Counters describing the work a proof attempt performed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Quantifier instantiations performed.
+    pub instances: usize,
+    /// Case-split branches explored.
+    pub branches: u64,
+    /// Saturation rounds run.
+    pub rounds: usize,
+    /// Deepest case-split nesting reached.
+    pub max_depth: usize,
+    /// Largest per-branch E-graph.
+    pub peak_nodes: usize,
+    /// Quantified formulas registered.
+    pub quants: usize,
+    /// Quantifiers skipped because no usable trigger could be inferred.
+    pub skipped_quants: usize,
+    /// Instantiations deferred by the matching-generation limit.
+    pub deferred_instances: usize,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instances={} branches={} rounds={} depth={} peak_nodes={} quants={} deferred={}",
+            self.instances,
+            self.branches,
+            self.rounds,
+            self.max_depth,
+            self.peak_nodes,
+            self.quants,
+            self.deferred_instances
+        )
+    }
+}
+
+/// The verdict of a proof attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The conjecture is valid: every branch closed.
+    Proved,
+    /// Some branch saturated without contradiction: the conjecture was not
+    /// derivable with the available instantiations (for the checker this
+    /// means *reject*).
+    NotProved,
+    /// The budget was exhausted before a verdict.
+    Unknown,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Proved => write!(f, "proved"),
+            Outcome::NotProved => write!(f, "not proved"),
+            Outcome::Unknown => write!(f, "unknown (budget exhausted)"),
+        }
+    }
+}
+
+/// The result of [`prove`]: outcome plus work counters.
+#[derive(Debug, Clone)]
+pub struct Proof {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Work performed.
+    pub stats: Stats,
+    /// When the outcome is [`Outcome::NotProved`]: a description of the
+    /// literals of the first saturated open branch (a model sketch), for
+    /// diagnosing why the conjecture failed.
+    pub open_branch: Option<Vec<String>>,
+}
+
+impl Proof {
+    /// Whether the conjecture was proved valid.
+    pub fn is_proved(&self) -> bool {
+        self.outcome == Outcome::Proved
+    }
+}
+
+/// Proves `hypotheses ⇒ goal` by refuting `hypotheses ∧ ¬goal`.
+pub fn prove(hypotheses: &[Formula], goal: &Formula, budget: &Budget) -> Proof {
+    let mut fresh = FreshGen::new();
+    let mut parts: Vec<Nnf> =
+        hypotheses.iter().map(|h| to_nnf(h, true, &mut fresh)).collect();
+    parts.push(to_nnf(goal, false, &mut fresh));
+    refute(parts, budget)
+}
+
+/// Refutes a conjunction of NNF formulas: [`Outcome::Proved`] means the
+/// conjunction is unsatisfiable.
+pub fn refute(parts: Vec<Nnf>, budget: &Budget) -> Proof {
+    let mut shared = Shared {
+        budget: budget.clone(),
+        stats: Stats::default(),
+        quant_ids: HashMap::new(),
+        open_branch: None,
+    };
+    let mut ctx = Ctx {
+        eg: EGraph::new(),
+        pending: parts.into_iter().map(|p| (p, 0)).collect(),
+        splits: Vec::new(),
+        quants: Vec::new(),
+        quant_ids_present: HashSet::new(),
+        seen: HashSet::new(),
+        deferred: false,
+        matched_upto: 0,
+        fresh_quants_from: 0,
+        full_pass_merges: u64::MAX,
+    };
+    let outcome = match search(&mut ctx, 0, &mut shared) {
+        Branch::Closed => Outcome::Proved,
+        Branch::Open => Outcome::NotProved,
+        Branch::Fuel => Outcome::Unknown,
+    };
+    Proof { outcome, stats: shared.stats, open_branch: shared.open_branch }
+}
+
+// ------------------------------------------------------------------ internals
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Branch {
+    Closed,
+    Open,
+    Fuel,
+}
+
+struct Shared {
+    budget: Budget,
+    stats: Stats,
+    /// Stable ids for structurally identical quantifiers.
+    quant_ids: HashMap<(Vec<String>, Nnf), usize>,
+    /// Literals of the first saturated open branch.
+    open_branch: Option<Vec<String>>,
+}
+
+#[derive(Clone)]
+struct Quant {
+    id: usize,
+    vars: Vec<String>,
+    triggers: Vec<Trigger>,
+    body: Nnf,
+}
+
+#[derive(Clone)]
+struct Ctx {
+    eg: EGraph,
+    /// Facts to assert, each stamped with its matching generation.
+    pending: Vec<(Nnf, u32)>,
+    /// Disjunctions awaiting a case split, with their generation.
+    splits: Vec<(Vec<Nnf>, u32)>,
+    quants: Vec<Quant>,
+    quant_ids_present: HashSet<usize>,
+    /// Instantiations already performed in this branch.
+    seen: HashSet<(usize, Vec<Term>)>,
+    /// Whether the generation limit deferred any instantiation.
+    deferred: bool,
+    /// Number of E-graph nodes already covered by anchored matching.
+    matched_upto: usize,
+    /// Quantifiers added since the last full (unanchored) matching pass.
+    fresh_quants_from: usize,
+    /// E-graph merge count at the end of the last full pass: when no
+    /// merges happened since, a dry anchored pass already implies
+    /// saturation (anchored matching covers new nodes, registration
+    /// covers new quantifiers, so only merges can enable anything else).
+    full_pass_merges: u64,
+}
+
+fn search(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
+    shared.stats.max_depth = shared.stats.max_depth.max(depth);
+    if depth >= shared.budget.max_depth {
+        return Branch::Fuel;
+    }
+    loop {
+        // 1. Assert all pending facts.
+        match drain_pending(ctx, shared) {
+            Step::Conflict => return Branch::Closed,
+            Step::Fuel => return Branch::Fuel,
+            Step::Ok => {}
+        }
+        // 2. Simplify disjunctions; unit-propagate.
+        match normalize_splits(ctx) {
+            Step::Conflict => return Branch::Closed,
+            Step::Fuel => return Branch::Fuel,
+            Step::Ok => {}
+        }
+        if !ctx.pending.is_empty() {
+            continue; // unit propagation produced new facts
+        }
+        // 3. Saturate quantifiers BEFORE splitting: instances produced
+        //    here are inherited by every branch below (via the per-branch
+        //    seen-set cloned from this context), avoiding re-derivation
+        //    once per branch.
+        shared.stats.rounds += 1;
+        if shared.stats.rounds > shared.budget.max_rounds {
+            return Branch::Fuel;
+        }
+        match instantiate_round(ctx, shared) {
+            InstResult::Progress => continue,
+            InstResult::Fuel => return Branch::Fuel,
+            InstResult::Saturated => {}
+        }
+        // 4. Case split if a disjunction remains.
+        if let Some(idx) = pick_split(ctx) {
+            let (arms, split_gen) = ctx.splits.swap_remove(idx);
+            let mut any_open = false;
+            let mut any_fuel = false;
+            for arm in arms {
+                shared.stats.branches += 1;
+                if shared.stats.branches > shared.budget.max_branches {
+                    return Branch::Fuel;
+                }
+                if trace_enabled() {
+                    eprintln!("[{:indent$}branch {arm}]", "", indent = depth.min(20));
+                }
+                let mut child = ctx.clone();
+                child.pending.push((arm, split_gen));
+                let verdict = search(&mut child, depth + 1, shared);
+                if trace_enabled() {
+                    eprintln!("[{:indent$}-> {verdict:?}]", "", indent = depth.min(20));
+                }
+                match verdict {
+                    Branch::Closed => {}
+                    Branch::Open => {
+                        any_open = true;
+                        break;
+                    }
+                    Branch::Fuel => any_fuel = true,
+                }
+            }
+            return if any_open {
+                Branch::Open
+            } else if any_fuel {
+                Branch::Fuel
+            } else {
+                Branch::Closed
+            };
+        }
+        // 5. Fully saturated with no splits left: the branch is open.
+        if ctx.deferred {
+            // Instantiation was incomplete: the branch may yet be
+            // contradictory at a deeper matching generation.
+            return Branch::Fuel;
+        }
+        if shared.open_branch.is_none() {
+            shared.open_branch = Some(describe_branch(ctx));
+        }
+        return Branch::Open;
+    }
+}
+
+enum Step {
+    Ok,
+    Conflict,
+    Fuel,
+}
+
+fn drain_pending(ctx: &mut Ctx, shared: &mut Shared) -> Step {
+    while let Some((f, gen)) = ctx.pending.pop() {
+        match f {
+            Nnf::True => {}
+            Nnf::False => return Step::Conflict,
+            Nnf::And(parts) => ctx.pending.extend(parts.into_iter().map(|p| (p, gen))),
+            Nnf::Or(parts) => ctx.splits.push((parts, gen)),
+            Nnf::Lit { atom, positive } => {
+                ctx.eg.set_generation(gen);
+                if assert_lit(&mut ctx.eg, &atom, positive).is_err() {
+                    return Step::Conflict;
+                }
+                if ctx.eg.node_count() > shared.budget.max_nodes {
+                    return Step::Fuel;
+                }
+                shared.stats.peak_nodes = shared.stats.peak_nodes.max(ctx.eg.node_count());
+            }
+            Nnf::Forall { vars, triggers, body } => {
+                register_quant(ctx, shared, vars, triggers, *body);
+            }
+        }
+    }
+    Step::Ok
+}
+
+fn register_quant(
+    ctx: &mut Ctx,
+    shared: &mut Shared,
+    vars: Vec<String>,
+    triggers: Vec<Trigger>,
+    body: Nnf,
+) {
+    let key = (vars.clone(), body.clone());
+    let next_id = shared.quant_ids.len();
+    let id = *shared.quant_ids.entry(key).or_insert(next_id);
+    if !ctx.quant_ids_present.insert(id) {
+        return; // already active in this branch
+    }
+    shared.stats.quants += 1;
+    let triggers = if triggers.is_empty() {
+        let inferred = infer_triggers(&vars, &body);
+        if inferred.is_empty() {
+            shared.stats.skipped_quants += 1;
+            Vec::new()
+        } else {
+            inferred
+        }
+    } else {
+        triggers
+    };
+    if trace_enabled() {
+        eprintln!(
+            "[quant q{id} ∀{} {} :: {body}]",
+            vars.join(","),
+            triggers.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+        );
+    }
+    ctx.quants.push(Quant { id, vars, triggers, body });
+}
+
+fn assert_lit(eg: &mut EGraph, atom: &Atom, positive: bool) -> Result<(), crate::egraph::Conflict> {
+    match atom {
+        Atom::Eq(a, b) => {
+            let a = eg.intern(a)?;
+            let b = eg.intern(b)?;
+            if positive {
+                eg.merge(a, b)
+            } else {
+                eg.assert_diseq(a, b)
+            }
+        }
+        other => {
+            let node = eg.intern_atom(other)?.expect("non-Eq atoms have nodes");
+            let target = if positive { eg.true_id() } else { eg.false_id() };
+            eg.merge(node, target)
+        }
+    }
+}
+
+/// Truth of a literal under the current E-graph, if determined.
+fn lit_truth(eg: &mut EGraph, atom: &Atom, positive: bool) -> Option<bool> {
+    let raw = match atom {
+        Atom::Eq(a, b) => {
+            let a = eg.intern(a).ok()?;
+            let b = eg.intern(b).ok()?;
+            if eg.same_class(a, b) {
+                Some(true)
+            } else if eg.known_disequal(a, b) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        other => {
+            let node = eg.intern_atom(other).ok()??;
+            eg.bool_value(node)
+        }
+    };
+    raw.map(|v| if positive { v } else { !v })
+}
+
+fn normalize_splits(ctx: &mut Ctx) -> Step {
+    let mut i = 0;
+    while i < ctx.splits.len() {
+        let gen = ctx.splits[i].1;
+        let mut arms = std::mem::take(&mut ctx.splits[i].0);
+        let mut satisfied = false;
+        arms.retain(|arm| match arm {
+            Nnf::True => {
+                satisfied = true;
+                true
+            }
+            Nnf::False => false,
+            Nnf::Lit { atom, positive } => match lit_truth(&mut ctx.eg, atom, *positive) {
+                Some(true) => {
+                    satisfied = true;
+                    true
+                }
+                Some(false) => false,
+                None => true,
+            },
+            _ => true,
+        });
+        if satisfied {
+            ctx.splits.swap_remove(i);
+            continue;
+        }
+        match arms.len() {
+            0 => return Step::Conflict,
+            1 => {
+                ctx.pending.push((arms.pop().expect("len checked"), gen));
+                ctx.splits.swap_remove(i);
+                // Re-examine remaining splits after the new fact lands.
+                return Step::Ok;
+            }
+            _ => {
+                ctx.splits[i].0 = arms;
+                i += 1;
+            }
+        }
+    }
+    Step::Ok
+}
+
+fn pick_split(ctx: &Ctx) -> Option<usize> {
+    ctx.splits
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, (arms, gen))| (arms.len(), *gen))
+        .map(|(i, _)| i)
+}
+
+enum InstResult {
+    Progress,
+    Saturated,
+    Fuel,
+}
+
+/// Renders the determined predicate nodes of a saturated branch, for
+/// diagnosis of failed proofs.
+fn describe_branch(ctx: &Ctx) -> Vec<String> {
+    use crate::egraph::Sym;
+    let mut out = Vec::new();
+    let mut aliases = Vec::new();
+    for sym in [
+        Sym::PAlive,
+        Sym::PLocalInc,
+        Sym::PRepInc,
+        Sym::PInc,
+        Sym::PLt,
+        Sym::PLe,
+        Sym::PIsObj,
+        Sym::PIsInt,
+        Sym::PRepIncElem,
+    ] {
+        for &node in ctx.eg.nodes_with_sym(&sym) {
+            let value = match ctx.eg.bool_value(node) {
+                Some(true) => "true",
+                Some(false) => "false",
+                None => "?",
+            };
+            let args: Vec<String> = ctx
+                .eg
+                .node(node)
+                .children
+                .clone()
+                .into_iter()
+                .map(|c| term_of(&ctx.eg, c, &mut aliases).to_string())
+                .collect();
+            out.push(format!("{sym:?}({}) = {value}", args.join(", ")));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Whether the `OOLONG_PROVER_TRACE` environment variable enables
+/// instantiation tracing on stderr (checked once per process).
+fn trace_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("OOLONG_PROVER_TRACE").is_some())
+}
+
+/// One saturation round. Mostly *incremental*: new quantifiers are matched
+/// fully once, old quantifiers are matched only against nodes created
+/// since the last round (anchored matching). When an incremental round
+/// produces nothing, a full pass confirms saturation.
+fn instantiate_round(ctx: &mut Ctx, shared: &mut Shared) -> InstResult {
+    let produced = instantiate_pass(ctx, shared, false);
+    match produced {
+        PassResult::Produced(n) if n > 0 => return InstResult::Progress,
+        PassResult::Fuel => return InstResult::Fuel,
+        _ => {}
+    }
+    // Incremental pass was dry. A full pass can only find more if a merge
+    // happened since the previous full pass (new nodes and new quantifiers
+    // are already covered incrementally).
+    if ctx.eg.merge_count() == ctx.full_pass_merges {
+        return InstResult::Saturated;
+    }
+    let result = match instantiate_pass(ctx, shared, true) {
+        PassResult::Produced(0) => InstResult::Saturated,
+        PassResult::Produced(_) => InstResult::Progress,
+        PassResult::Fuel => InstResult::Fuel,
+    };
+    ctx.full_pass_merges = ctx.eg.merge_count();
+    result
+}
+
+enum PassResult {
+    Produced(usize),
+    Fuel,
+}
+
+fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResult {
+    let mut produced = 0;
+    let quants = ctx.quants.clone();
+    let new_nodes: Vec<crate::egraph::NodeId> = if full {
+        Vec::new()
+    } else {
+        (ctx.matched_upto..ctx.eg.node_count()).map(|i| i as crate::egraph::NodeId).collect()
+    };
+    let fresh_from = ctx.fresh_quants_from;
+    ctx.matched_upto = ctx.eg.node_count();
+    ctx.fresh_quants_from = ctx.quants.len();
+    for (qi, quant) in quants.iter().enumerate() {
+        for trigger in &quant.triggers {
+            let bindings = if full || qi >= fresh_from {
+                // Full pass, or a quantifier registered since the last
+                // pass: match against the whole graph.
+                match_trigger(&ctx.eg, &quant.vars, trigger)
+            } else {
+                let mut out = Vec::new();
+                for &node in &new_nodes {
+                    out.extend(match_trigger_anchored(&ctx.eg, &quant.vars, trigger, node));
+                }
+                out
+            };
+            for binding in bindings {
+                let binding_gen =
+                    quant.vars.iter().map(|v| ctx.eg.class_gen(binding[v])).max().unwrap_or(0);
+                let instance_gen = binding_gen + 1;
+                if instance_gen > shared.budget.max_term_gen {
+                    ctx.deferred = true;
+                    shared.stats.deferred_instances += 1;
+                    continue;
+                }
+                let mut aliases = Vec::new();
+                let terms: Vec<Term> = quant
+                    .vars
+                    .iter()
+                    .map(|v| term_of(&ctx.eg, binding[v], &mut aliases))
+                    .collect();
+                let key = (quant.id, terms.clone());
+                if ctx.seen.contains(&key) {
+                    continue;
+                }
+                ctx.seen.insert(key);
+                // Definitional aliases keep instantiation sound for
+                // leafless cyclic classes.
+                for (alias, root) in aliases {
+                    let Ok(alias_id) = ctx.eg.intern(&alias) else {
+                        return PassResult::Fuel;
+                    };
+                    if ctx.eg.merge(alias_id, root).is_err() {
+                        // The alias equates a class with itself; a conflict
+                        // here means the branch is already contradictory.
+                        ctx.pending.push((Nnf::False, instance_gen));
+                        return PassResult::Produced(produced + 1);
+                    }
+                }
+                let map: Vec<(String, Term)> =
+                    quant.vars.iter().cloned().zip(terms.into_iter()).collect();
+                if trace_enabled() {
+                    let binding: Vec<String> =
+                        map.iter().map(|(v, t)| format!("{v}:={t}")).collect();
+                    eprintln!("[inst q{} {}]", quant.id, binding.join(", "));
+                }
+                ctx.pending.push((quant.body.subst(&map), instance_gen));
+                produced += 1;
+                shared.stats.instances += 1;
+                if shared.stats.instances >= shared.budget.max_instances {
+                    return PassResult::Fuel;
+                }
+                if produced >= shared.budget.max_instances_per_round {
+                    return PassResult::Produced(produced);
+                }
+            }
+        }
+    }
+    PassResult::Produced(produced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oolong_logic::{Formula as F, Pattern, Term as T};
+
+    fn proved(hyps: &[F], goal: &F) -> bool {
+        prove(hyps, goal, &Budget::default()).is_proved()
+    }
+
+    #[test]
+    fn proves_reflexivity() {
+        assert!(proved(&[], &F::eq(T::var("x"), T::var("x"))));
+    }
+
+    #[test]
+    fn does_not_prove_false() {
+        let p = prove(&[], &F::False, &Budget::default());
+        assert_eq!(p.outcome, Outcome::NotProved);
+    }
+
+    #[test]
+    fn proves_transitivity_of_equality() {
+        let hyps = [F::eq(T::var("a"), T::var("b")), F::eq(T::var("b"), T::var("c"))];
+        assert!(proved(&hyps, &F::eq(T::var("a"), T::var("c"))));
+    }
+
+    #[test]
+    fn proves_congruence() {
+        let hyps = [F::eq(T::var("a"), T::var("b"))];
+        let goal = F::eq(
+            T::uninterp("f", vec![T::var("a")]),
+            T::uninterp("f", vec![T::var("b")]),
+        );
+        assert!(proved(&hyps, &goal));
+    }
+
+    #[test]
+    fn refutes_distinct_constants() {
+        assert!(proved(&[F::eq(T::var("x"), T::int(1)), F::eq(T::var("x"), T::int(2))], &F::False));
+    }
+
+    #[test]
+    fn case_split_on_disjunction() {
+        // (x = 1 ∨ x = 2) ⇒ x ≠ 3
+        let hyp = F::or(vec![
+            F::eq(T::var("x"), T::int(1)),
+            F::eq(T::var("x"), T::int(2)),
+        ]);
+        assert!(proved(&[hyp], &F::neq(T::var("x"), T::int(3))));
+    }
+
+    #[test]
+    fn does_not_prove_too_much_from_disjunction() {
+        let hyp = F::or(vec![
+            F::eq(T::var("x"), T::int(1)),
+            F::eq(T::var("x"), T::int(2)),
+        ]);
+        let p = prove(&[hyp], &F::eq(T::var("x"), T::int(1)), &Budget::default());
+        assert_eq!(p.outcome, Outcome::NotProved);
+    }
+
+    #[test]
+    fn modus_ponens_via_disjunction() {
+        // (p ⇒ q), p ⊢ q  with p, q boolean terms.
+        let p = F::Atom(Atom::BoolTerm(T::var("p")));
+        let q = F::Atom(Atom::BoolTerm(T::var("q")));
+        assert!(proved(&[F::implies(p.clone(), q.clone()), p], &q));
+    }
+
+    #[test]
+    fn instantiates_universal_hypothesis() {
+        // ∀X {f(X)} :: f(X) = 0, with f(c) present ⊢ f(c) = 0.
+        let body = F::eq(T::uninterp("f", vec![T::var("X")]), T::int(0));
+        let trig = Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))]);
+        let hyp = F::forall(vec!["X".into()], vec![trig], body);
+        let goal = F::eq(T::uninterp("f", vec![T::var("c")]), T::int(0));
+        assert!(proved(&[hyp], &goal));
+    }
+
+    #[test]
+    fn chained_instantiation() {
+        // ∀X :: f(X) = g(X); ∀X :: g(X) = 0 ⊢ f(c) = 0.
+        let h1 = F::forall(
+            vec!["X".into()],
+            vec![Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))])],
+            F::eq(T::uninterp("f", vec![T::var("X")]), T::uninterp("g", vec![T::var("X")])),
+        );
+        let h2 = F::forall(
+            vec!["X".into()],
+            vec![Trigger(vec![Pattern::Term(T::uninterp("g", vec![T::var("X")]))])],
+            F::eq(T::uninterp("g", vec![T::var("X")]), T::int(0)),
+        );
+        let goal = F::eq(T::uninterp("f", vec![T::var("c")]), T::int(0));
+        assert!(proved(&[h1, h2], &goal));
+    }
+
+    #[test]
+    fn existential_goal_via_witness() {
+        // f(c) = 1 ⊢ ∃X :: f(X) = 1 — note the negated goal becomes
+        // ∀X :: f(X) ≠ 1, instantiated at X := c by the f(X) trigger.
+        let hyp = F::eq(T::uninterp("f", vec![T::var("c")]), T::int(1));
+        let goal = F::exists(
+            vec!["X".into()],
+            F::eq(T::uninterp("f", vec![T::var("X")]), T::int(1)),
+        );
+        assert!(proved(&[hyp], &goal));
+    }
+
+    #[test]
+    fn arithmetic_evaluation_in_proofs() {
+        // x = 2 ⊢ x + 3 = 5.
+        let hyp = F::eq(T::var("x"), T::int(2));
+        let goal = F::eq(T::add(T::var("x"), T::int(3)), T::int(5));
+        assert!(proved(&[hyp], &goal));
+    }
+
+    #[test]
+    fn comparison_atoms() {
+        let goal = F::Atom(Atom::Lt(T::int(1), T::int(2)));
+        assert!(proved(&[], &goal));
+        let bad = F::Atom(Atom::Lt(T::int(2), T::int(1)));
+        assert_eq!(prove(&[], &bad, &Budget::default()).outcome, Outcome::NotProved);
+    }
+
+    #[test]
+    fn unknown_on_tiny_budget_with_looping_axiom() {
+        // ∀X {f(X)} :: f(g(X)) = X — each instantiation creates a fresh
+        // f-term over a new g-chain, matching again: a true matching loop.
+        // (Note: the milder f(f(X)) = f(X) loop *converges* in our E-graph
+        // because instances collapse into existing classes.)
+        let body = F::eq(
+            T::uninterp("f", vec![T::uninterp("g", vec![T::var("X")])]),
+            T::var("X"),
+        );
+        let trig = Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))]);
+        let hyp = F::forall(vec!["X".into()], vec![trig], body);
+        let seed = F::eq(T::uninterp("f", vec![T::var("c")]), T::var("d"));
+        // Unprovable goal, diverging instantiation: tiny budget gives Unknown.
+        let p = prove(&[hyp, seed], &F::False, &Budget::tiny());
+        assert_eq!(p.outcome, Outcome::Unknown);
+        assert!(p.stats.instances > 0);
+    }
+
+    #[test]
+    fn convergent_rewrite_loop_saturates() {
+        // f(f(X)) = f(X) collapses into finitely many classes: the prover
+        // saturates and answers NotProved instead of diverging.
+        let body = F::eq(
+            T::uninterp("f", vec![T::uninterp("f", vec![T::var("X")])]),
+            T::uninterp("f", vec![T::var("X")]),
+        );
+        let trig = Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))]);
+        let hyp = F::forall(vec!["X".into()], vec![trig], body);
+        let seed = F::eq(T::uninterp("f", vec![T::var("c")]), T::var("d"));
+        let p = prove(&[hyp, seed], &F::False, &Budget::default());
+        assert_eq!(p.outcome, Outcome::NotProved);
+    }
+
+    #[test]
+    fn iff_hypothesis_used_both_ways() {
+        let p = F::Atom(Atom::BoolTerm(T::var("p")));
+        let q = F::Atom(Atom::BoolTerm(T::var("q")));
+        let iff = F::Iff(Box::new(p.clone()), Box::new(q.clone()));
+        assert!(proved(&[iff.clone(), q.clone()], &p));
+        assert!(proved(&[iff, F::not(p.clone())], &F::not(q)));
+    }
+
+    #[test]
+    fn unit_propagation_avoids_branching() {
+        // (a = 1 ∨ b = 1), a ≠ 1 ⊢ b = 1 without any case split.
+        let hyp = F::or(vec![F::eq(T::var("a"), T::int(1)), F::eq(T::var("b"), T::int(1))]);
+        let neq = F::neq(T::var("a"), T::int(1));
+        let proof = prove(&[hyp, neq], &F::eq(T::var("b"), T::int(1)), &Budget::default());
+        assert!(proof.is_proved());
+        assert_eq!(proof.stats.branches, 0, "unit propagation should not branch");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        // Each arm only becomes contradictory after the split commits to a
+        // value of x, forcing genuine branching.
+        let hyp = F::or(vec![F::eq(T::var("x"), T::int(1)), F::eq(T::var("x"), T::int(2))]);
+        let y5 = F::eq(T::var("y"), T::int(5));
+        let goal = F::neq(T::add(T::var("x"), T::var("y")), T::int(0));
+        let proof = prove(&[hyp, y5], &goal, &Budget::default());
+        assert!(proof.is_proved());
+        assert!(proof.stats.branches >= 2, "stats: {}", proof.stats);
+        assert!(proof.stats.peak_nodes > 0);
+    }
+}

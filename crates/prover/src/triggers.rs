@@ -1,0 +1,238 @@
+//! Automatic trigger inference for quantifiers that carry none.
+//!
+//! Mirrors Simplify's behaviour: select the smallest sub-patterns that
+//! contain all quantified variables and are headed by a matchable symbol
+//! (not equality, not arithmetic). Falls back to a greedy multi-pattern
+//! when no single pattern covers every variable.
+
+use oolong_logic::transform::Nnf;
+use oolong_logic::{Atom, FnSym, Pattern, Term, Trigger};
+use std::collections::BTreeSet;
+
+/// Infers triggers for `∀ vars :: body`. Returns an empty vector when no
+/// usable trigger exists (the quantifier is then inert).
+pub fn infer_triggers(vars: &[String], body: &Nnf) -> Vec<Trigger> {
+    let var_set: BTreeSet<&str> = vars.iter().map(String::as_str).collect();
+    let mut candidates: Vec<(Pattern, BTreeSet<String>, usize)> = Vec::new();
+    collect(body, &var_set, &mut BTreeSet::new(), &mut candidates);
+
+    // Deduplicate.
+    candidates.sort_by(|a, b| a.2.cmp(&b.2));
+    candidates.dedup_by(|a, b| a.0 == b.0);
+
+    // Single-pattern triggers that cover everything.
+    let full: Vec<&(Pattern, BTreeSet<String>, usize)> =
+        candidates.iter().filter(|(_, covered, _)| covered.len() == vars.len()).collect();
+    if !full.is_empty() {
+        return full.iter().take(2).map(|(p, _, _)| Trigger(vec![p.clone()])).collect();
+    }
+
+    // Greedy multi-pattern cover.
+    let mut remaining: BTreeSet<String> = vars.iter().cloned().collect();
+    let mut chosen = Vec::new();
+    let mut pool: Vec<&(Pattern, BTreeSet<String>, usize)> = candidates.iter().collect();
+    pool.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.2.cmp(&b.2)));
+    for (pattern, covered, _) in pool {
+        if covered.iter().any(|v| remaining.contains(v)) {
+            for v in covered {
+                remaining.remove(v);
+            }
+            chosen.push(pattern.clone());
+            if remaining.is_empty() {
+                break;
+            }
+        }
+    }
+    if remaining.is_empty() && !chosen.is_empty() {
+        vec![Trigger(chosen)]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Collects candidate patterns from `body`, skipping any that mention
+/// variables bound by nested quantifiers (`illegal`).
+fn collect(
+    body: &Nnf,
+    vars: &BTreeSet<&str>,
+    illegal: &mut BTreeSet<String>,
+    out: &mut Vec<(Pattern, BTreeSet<String>, usize)>,
+) {
+    match body {
+        Nnf::True | Nnf::False => {}
+        Nnf::Lit { atom, .. } => collect_atom(atom, vars, illegal, out),
+        Nnf::And(ps) | Nnf::Or(ps) => {
+            for p in ps {
+                collect(p, vars, illegal, out);
+            }
+        }
+        Nnf::Forall { vars: inner, body, .. } => {
+            let added: Vec<String> =
+                inner.iter().filter(|v| illegal.insert((*v).clone())).cloned().collect();
+            collect(body, vars, illegal, out);
+            for v in added {
+                illegal.remove(&v);
+            }
+        }
+    }
+}
+
+fn collect_atom(
+    atom: &Atom,
+    vars: &BTreeSet<&str>,
+    illegal: &BTreeSet<String>,
+    out: &mut Vec<(Pattern, BTreeSet<String>, usize)>,
+) {
+    // The atom itself is a candidate (except equality / bare booleans).
+    if !matches!(atom, Atom::Eq(..) | Atom::BoolTerm(_)) {
+        if let Some((covered, clean)) = coverage_atom(atom, vars, illegal) {
+            if !covered.is_empty() && clean {
+                let mut size = 0;
+                atom.for_each_term(&mut |t| size += t.size());
+                out.push((Pattern::Atom(atom.clone()), covered, size + 1));
+            }
+        }
+    }
+    // Every application subterm is a candidate.
+    atom.for_each_term(&mut |t| collect_term(t, vars, illegal, out));
+}
+
+fn collect_term(
+    term: &Term,
+    vars: &BTreeSet<&str>,
+    illegal: &BTreeSet<String>,
+    out: &mut Vec<(Pattern, BTreeSet<String>, usize)>,
+) {
+    term.walk(&mut |sub| {
+        let Term::App(f, _) = sub else { return };
+        if matches!(f, FnSym::Add | FnSym::Sub | FnSym::Mul | FnSym::Neg) {
+            return; // arithmetic heads make poor triggers
+        }
+        if let Some((covered, clean)) = coverage_term(sub, vars, illegal) {
+            if !covered.is_empty() && clean {
+                out.push((Pattern::Term(sub.clone()), covered, sub.size()));
+            }
+        }
+    });
+}
+
+/// Returns the quantified variables covered by the term and whether it is
+/// free of illegal (nested-bound) variables.
+fn coverage_term(
+    term: &Term,
+    vars: &BTreeSet<&str>,
+    illegal: &BTreeSet<String>,
+) -> Option<(BTreeSet<String>, bool)> {
+    let mut free = BTreeSet::new();
+    term.free_vars(&mut free);
+    let clean = free.iter().all(|v| !illegal.contains(v));
+    let covered = free.into_iter().filter(|v| vars.contains(v.as_str())).collect();
+    Some((covered, clean))
+}
+
+fn coverage_atom(
+    atom: &Atom,
+    vars: &BTreeSet<&str>,
+    illegal: &BTreeSet<String>,
+) -> Option<(BTreeSet<String>, bool)> {
+    let mut free = BTreeSet::new();
+    atom.free_vars(&mut free);
+    let clean = free.iter().all(|v| !illegal.contains(v));
+    let covered = free.into_iter().filter(|v| vars.contains(v.as_str())).collect();
+    Some((covered, clean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oolong_logic::Term as T;
+
+    fn lit(atom: Atom) -> Nnf {
+        Nnf::Lit { atom, positive: true }
+    }
+
+    #[test]
+    fn single_pattern_covering_all_vars() {
+        // ∀X :: f(X) = 0 — trigger should be f(X).
+        let body = lit(Atom::Eq(T::uninterp("f", vec![T::var("X")]), T::int(0)));
+        let trigs = infer_triggers(&["X".to_string()], &body);
+        assert!(!trigs.is_empty());
+        assert_eq!(trigs[0].0.len(), 1);
+        assert!(matches!(&trigs[0].0[0], Pattern::Term(T::App(..))));
+    }
+
+    #[test]
+    fn prefers_smaller_patterns() {
+        // ∀X :: g(f(X)) = 0 — f(X) is smaller than g(f(X)).
+        let body = lit(Atom::Eq(
+            T::uninterp("g", vec![T::uninterp("f", vec![T::var("X")])]),
+            T::int(0),
+        ));
+        let trigs = infer_triggers(&["X".to_string()], &body);
+        match &trigs[0].0[0] {
+            Pattern::Term(T::App(FnSym::Uninterp(name), _)) => assert_eq!(name, "f"),
+            other => panic!("unexpected pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_pattern_when_no_single_covers() {
+        // ∀X,Y :: f(X) = g(Y) — needs {f(X), g(Y)}.
+        let body = lit(Atom::Eq(
+            T::uninterp("f", vec![T::var("X")]),
+            T::uninterp("g", vec![T::var("Y")]),
+        ));
+        let trigs = infer_triggers(&["X".to_string(), "Y".to_string()], &body);
+        assert_eq!(trigs.len(), 1);
+        assert_eq!(trigs[0].0.len(), 2);
+    }
+
+    #[test]
+    fn atom_pattern_for_relations() {
+        // ∀A,B :: A ⊒ B ⇒ false — only the LocalInc atom covers both vars.
+        let body = Nnf::Or(vec![
+            Nnf::Lit { atom: Atom::LocalInc(T::var("A"), T::var("B")), positive: false },
+            Nnf::False,
+        ]);
+        let trigs = infer_triggers(&["A".to_string(), "B".to_string()], &body);
+        assert!(!trigs.is_empty());
+        assert!(matches!(&trigs[0].0[0], Pattern::Atom(Atom::LocalInc(..))));
+    }
+
+    #[test]
+    fn no_trigger_for_uncoverable_var() {
+        // ∀X :: X = 0 — bare variable, no application to match on.
+        let body = lit(Atom::Eq(T::var("X"), T::int(0)));
+        assert!(infer_triggers(&["X".to_string()], &body).is_empty());
+    }
+
+    #[test]
+    fn nested_quantifier_vars_are_excluded() {
+        // ∀X :: (∀Y :: f(X, Y) = 0) — f(X, Y) mentions Y which is nested;
+        // no usable trigger for the outer X.
+        let inner = Nnf::Forall {
+            vars: vec!["Y".to_string()],
+            triggers: vec![],
+            body: Box::new(lit(Atom::Eq(
+                T::uninterp("f", vec![T::var("X"), T::var("Y")]),
+                T::int(0),
+            ))),
+        };
+        assert!(infer_triggers(&["X".to_string()], &inner).is_empty());
+    }
+
+    #[test]
+    fn arithmetic_heads_are_skipped() {
+        // ∀X :: X + 1 = f(X) — f(X) is the only candidate.
+        let body = lit(Atom::Eq(
+            T::add(T::var("X"), T::int(1)),
+            T::uninterp("f", vec![T::var("X")]),
+        ));
+        let trigs = infer_triggers(&["X".to_string()], &body);
+        assert_eq!(trigs.len(), 1);
+        match &trigs[0].0[0] {
+            Pattern::Term(T::App(FnSym::Uninterp(name), _)) => assert_eq!(name, "f"),
+            other => panic!("unexpected pattern {other:?}"),
+        }
+    }
+}

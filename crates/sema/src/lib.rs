@@ -1,0 +1,45 @@
+//! Semantic analysis for oolong programs.
+//!
+//! A [`Scope`] is the paper's unit of modular checking: a set of
+//! declarations satisfying the rule of *self-contained names* (every name
+//! referred to is declared). [`Scope::analyze`] validates a program and
+//! resolves its inclusion structure:
+//!
+//! * **local inclusions** (`in` clauses) — the reflexive-transitive
+//!   relation `a ⊒ b` queried via [`Scope::local_includes`] and the
+//!   per-attribute enclosing-group sets of [`Scope::enclosing_groups`];
+//! * **rep inclusions** (`maps … into …` clauses) — the relation
+//!   `a →f b` enumerated by [`Scope::rep_triples`], with
+//!   [`Scope::mapped_attrs`] and [`Scope::mappers`] giving the two
+//!   scope-dependent axiom shapes (8) and (9) of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use oolong_sema::Scope;
+//! use oolong_syntax::parse_program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program(
+//!     "group contents
+//!      group elems
+//!      field vec maps elems into contents",
+//! )?;
+//! let scope = Scope::analyze(&program)?;
+//! let vec = scope.attr("vec").unwrap();
+//! assert!(scope.is_pivot(vec));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod modules;
+pub mod resolve;
+pub mod scope;
+pub mod subset;
+pub mod symbols;
+
+pub use modules::{flatten, has_modules, visible_program, ModuleInfo};
+pub use scope::Scope;
+pub use subset::{closure_for_impl, subset_program};
+pub use symbols::{AttrId, AttrInfo, AttrKind, ImplId, ImplInfo, ModTarget, ProcId, ProcInfo,
+                  RepClause};

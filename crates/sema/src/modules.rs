@@ -1,0 +1,264 @@
+//! Module resolution (extension).
+//!
+//! The paper treats a module as "just a set of declarations" and defines a
+//! scope as a declaration set satisfying the rule of self-contained names;
+//! implementation modules would "typically" be checked in the scope of
+//! their own declarations plus the interface modules they transitively
+//! import. The `module M imports N { … }` extension makes that structure
+//! explicit in the source:
+//!
+//! * names remain **globally unique** (exactly as in the paper) — modules
+//!   partition declarations, they do not namespace them;
+//! * [`flatten`] erases module structure for whole-program checking;
+//! * [`visible_program`] computes the declaration set a module is checked
+//!   against: its own declarations, the declarations of transitively
+//!   imported modules, and any top-level (module-less) declarations.
+
+use oolong_syntax::{Decl, Diagnostic, Diagnostics, ModuleDecl, Program};
+use std::collections::{BTreeSet, HashMap};
+
+/// Summary of a declared module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleInfo {
+    /// The module's name.
+    pub name: String,
+    /// Direct imports, as written.
+    pub imports: Vec<String>,
+    /// Number of declarations the module contributes.
+    pub decl_count: usize,
+}
+
+/// Lists the modules declared in a program, validating the module
+/// structure: unique module names, no nested modules, imports resolving to
+/// declared modules.
+///
+/// # Errors
+///
+/// Returns all structural diagnostics when validation fails.
+pub fn modules(program: &Program) -> Result<Vec<ModuleInfo>, Diagnostics> {
+    let mut diags = Diagnostics::new();
+    let mut seen: HashMap<&str, &ModuleDecl> = HashMap::new();
+    let mut infos = Vec::new();
+    for decl in &program.decls {
+        let Decl::Module(m) = decl else { continue };
+        if let Some(prev) = seen.get(m.name.as_str()) {
+            diags.push(
+                Diagnostic::error(format!("duplicate module `{}`", m.name), m.name.span)
+                    .with_note("previously declared here", prev.name.span),
+            );
+            continue;
+        }
+        seen.insert(m.name.as_str(), m);
+        for inner in &m.decls {
+            if let Decl::Module(n) = inner {
+                diags.error(
+                    format!("nested module `{}` is not supported", n.name),
+                    n.name.span,
+                );
+            }
+        }
+        infos.push(ModuleInfo {
+            name: m.name.text.clone(),
+            imports: m.imports.iter().map(|i| i.text.clone()).collect(),
+            decl_count: m.decls.len(),
+        });
+    }
+    // Imports must resolve.
+    for decl in &program.decls {
+        let Decl::Module(m) = decl else { continue };
+        for import in &m.imports {
+            if !seen.contains_key(import.text.as_str()) {
+                diags.error(
+                    format!("module `{}` imports undeclared module `{}`", m.name, import.text),
+                    import.span,
+                );
+            }
+        }
+    }
+    if diags.has_errors() {
+        Err(diags)
+    } else {
+        Ok(infos)
+    }
+}
+
+/// Erases module structure: every module's declarations are spliced into
+/// the top level, in source order. Since names are globally unique this is
+/// semantics-preserving for whole-program analysis.
+pub fn flatten(program: &Program) -> Program {
+    let mut decls = Vec::new();
+    for decl in &program.decls {
+        match decl {
+            Decl::Module(m) => decls.extend(m.decls.iter().cloned()),
+            other => decls.push(other.clone()),
+        }
+    }
+    Program { decls }
+}
+
+/// Whether the program declares any modules.
+pub fn has_modules(program: &Program) -> bool {
+    program.decls.iter().any(|d| matches!(d, Decl::Module(_)))
+}
+
+/// The declaration set module `name` is checked against: its own
+/// declarations, those of transitively imported modules, and all top-level
+/// declarations.
+///
+/// # Errors
+///
+/// Returns diagnostics if the module structure is invalid or `name` is not
+/// declared.
+pub fn visible_program(program: &Program, name: &str) -> Result<Program, Diagnostics> {
+    modules(program)?; // validate structure first
+    let by_name: HashMap<&str, &ModuleDecl> = program
+        .decls
+        .iter()
+        .filter_map(|d| match d {
+            Decl::Module(m) => Some((m.name.as_str(), m)),
+            _ => None,
+        })
+        .collect();
+    if !by_name.contains_key(name) {
+        let mut diags = Diagnostics::new();
+        diags.error(format!("no module named `{name}`"), oolong_syntax::Span::DUMMY);
+        return Err(diags);
+    }
+    // Transitive import closure (cycles are harmless: the scope is a set).
+    let mut closure: BTreeSet<&str> = BTreeSet::new();
+    let mut work = vec![name];
+    while let Some(m) = work.pop() {
+        if !closure.insert(m) {
+            continue;
+        }
+        for import in &by_name[m].imports {
+            work.push(import.text.as_str());
+        }
+    }
+    let mut decls = Vec::new();
+    for decl in &program.decls {
+        match decl {
+            Decl::Module(m) => {
+                if closure.contains(m.name.as_str()) {
+                    decls.extend(m.decls.iter().cloned());
+                }
+            }
+            other => decls.push(other.clone()),
+        }
+    }
+    Ok(Program { decls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::Scope;
+    use oolong_syntax::parse_program;
+
+    const MODULAR: &str = "
+module vector_interface {
+  group elems
+  field cnt in elems
+  proc vgrow(v) modifies v.elems
+}
+module vector_impl imports vector_interface {
+  impl vgrow(v) { assume v != null ; v.cnt := v.cnt + 1 }
+}
+module stack_interface imports vector_interface {
+  group contents
+  proc push(s, o) modifies s.contents
+}
+module stack_impl imports stack_interface {
+  field vec in contents maps elems into contents
+  impl push(s, o) { assume s != null && s.vec != null ; vgrow(s.vec) }
+}
+";
+
+    #[test]
+    fn modules_enumerate_and_validate() {
+        let program = parse_program(MODULAR).unwrap();
+        let infos = modules(&program).expect("valid structure");
+        let names: Vec<_> = infos.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["vector_interface", "vector_impl", "stack_interface", "stack_impl"]);
+        assert_eq!(infos[1].imports, vec!["vector_interface"]);
+    }
+
+    #[test]
+    fn flatten_preserves_all_declarations() {
+        let program = parse_program(MODULAR).unwrap();
+        let flat = flatten(&program);
+        assert_eq!(flat.decls.len(), 8);
+        Scope::analyze(&flat).expect("flattened program analyses");
+    }
+
+    #[test]
+    fn visible_program_computes_import_closure() {
+        let program = parse_program(MODULAR).unwrap();
+        // stack_impl sees its own decls + stack_interface + vector_interface
+        // (transitively), but NOT vector_impl.
+        let visible = visible_program(&program, "stack_impl").expect("resolves");
+        let scope = Scope::analyze(&visible).expect("analyses");
+        assert!(scope.attr("vec").is_some());
+        assert!(scope.attr("contents").is_some());
+        assert!(scope.attr("elems").is_some());
+        assert!(scope.proc("vgrow").is_some());
+        assert_eq!(scope.impls().count(), 1, "only stack_impl's own impl");
+    }
+
+    #[test]
+    fn vector_impl_does_not_see_the_stack() {
+        let program = parse_program(MODULAR).unwrap();
+        let visible = visible_program(&program, "vector_impl").expect("resolves");
+        let scope = Scope::analyze(&visible).expect("analyses");
+        assert!(scope.attr("contents").is_none());
+        assert!(scope.attr("vec").is_none());
+    }
+
+    #[test]
+    fn unknown_import_is_an_error() {
+        let program = parse_program("module a imports ghost { group g }").unwrap();
+        let err = modules(&program).unwrap_err();
+        assert!(err.to_string().contains("undeclared module `ghost`"));
+    }
+
+    #[test]
+    fn duplicate_module_is_an_error() {
+        let program = parse_program("module a { group g } module a { group h }").unwrap();
+        assert!(modules(&program).unwrap_err().to_string().contains("duplicate module"));
+    }
+
+    #[test]
+    fn nested_module_is_an_error() {
+        let program = parse_program("module a { module b { group g } }").unwrap();
+        assert!(modules(&program).unwrap_err().to_string().contains("nested module"));
+    }
+
+    #[test]
+    fn unknown_module_name_is_an_error() {
+        let program = parse_program(MODULAR).unwrap();
+        assert!(visible_program(&program, "nope").is_err());
+    }
+
+    #[test]
+    fn import_cycles_are_set_unions() {
+        let program = parse_program(
+            "module a imports b { group ga }
+             module b imports a { group gb }",
+        )
+        .unwrap();
+        let visible = visible_program(&program, "a").expect("cycles are harmless");
+        assert_eq!(visible.decls.len(), 2);
+    }
+
+    #[test]
+    fn top_level_decls_are_visible_everywhere() {
+        let program = parse_program(
+            "group shared
+             module a { field f in shared }",
+        )
+        .unwrap();
+        let visible = visible_program(&program, "a").expect("resolves");
+        let scope = Scope::analyze(&visible).expect("analyses");
+        assert!(scope.attr("shared").is_some());
+    }
+}

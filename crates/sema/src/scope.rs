@@ -1,0 +1,713 @@
+//! Scope analysis: building semantic records from a set of declarations.
+//!
+//! A *scope* in the paper's sense is a set of declarations satisfying the
+//! rule of **self-contained names**: every attribute and procedure referred
+//! to in the scope is also declared in the scope. [`Scope::analyze`]
+//! enforces exactly this (plus well-formedness of the inclusion clauses)
+//! and produces the resolved symbol tables the checker builds its
+//! scope-dependent background predicate from.
+
+use crate::resolve::validate_impl;
+use crate::symbols::*;
+use oolong_syntax::{Decl, Diagnostics, Expr, Program, Span};
+use std::collections::HashMap;
+
+/// A fully analysed scope: resolved attributes, procedures, and
+/// implementations, with the local (`in`) and rep (`maps into`) inclusion
+/// graphs.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    attrs: Vec<AttrInfo>,
+    procs: Vec<ProcInfo>,
+    impls: Vec<ImplInfo>,
+    attr_by_name: HashMap<String, AttrId>,
+    proc_by_name: HashMap<String, ProcId>,
+    /// Transitive enclosing groups per attribute (excluding the attribute
+    /// itself), precomputed at analysis time.
+    enclosing: Vec<Vec<AttrId>>,
+}
+
+impl Scope {
+    /// Analyses a program as a single scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns all well-formedness diagnostics: duplicate declarations,
+    /// undeclared names (violating self-contained names), `in` targets that
+    /// are not groups, inclusion cycles, malformed modifies designators,
+    /// implementations without (or disagreeing with) their procedure
+    /// declaration, and ill-formed command bodies.
+    pub fn analyze(program: &Program) -> Result<Scope, Diagnostics> {
+        // Module declarations are scoping structure, not symbols: validate
+        // them, then analyse the flattened declaration set (names are
+        // globally unique, so flattening is semantics-preserving).
+        if crate::modules::has_modules(program) {
+            crate::modules::modules(program)?;
+            let flat = crate::modules::flatten(program);
+            return Scope::analyze(&flat);
+        }
+        let mut diags = Diagnostics::new();
+
+        // Pass 1: collect attribute and procedure names.
+        let mut attrs: Vec<AttrInfo> = Vec::new();
+        let mut attr_by_name: HashMap<String, AttrId> = HashMap::new();
+        let mut procs: Vec<ProcInfo> = Vec::new();
+        let mut proc_by_name: HashMap<String, ProcId> = HashMap::new();
+
+        for decl in &program.decls {
+            match decl {
+                Decl::Group(g) => {
+                    if let Some(&prev) = attr_by_name.get(&g.name.text) {
+                        diags.push(
+                            oolong_syntax::Diagnostic::error(
+                                format!("duplicate attribute `{}`", g.name.text),
+                                g.name.span,
+                            )
+                            .with_note("previously declared here", attrs[prev.index()].span),
+                        );
+                        continue;
+                    }
+                    let id = AttrId(attrs.len() as u32);
+                    attr_by_name.insert(g.name.text.clone(), id);
+                    attrs.push(AttrInfo {
+                        name: g.name.text.clone(),
+                        kind: AttrKind::Group,
+                        includes: Vec::new(),
+                        maps: Vec::new(),
+                        span: g.span,
+                    });
+                }
+                Decl::Field(f) => {
+                    if let Some(&prev) = attr_by_name.get(&f.name.text) {
+                        diags.push(
+                            oolong_syntax::Diagnostic::error(
+                                format!("duplicate attribute `{}`", f.name.text),
+                                f.name.span,
+                            )
+                            .with_note("previously declared here", attrs[prev.index()].span),
+                        );
+                        continue;
+                    }
+                    let id = AttrId(attrs.len() as u32);
+                    attr_by_name.insert(f.name.text.clone(), id);
+                    attrs.push(AttrInfo {
+                        name: f.name.text.clone(),
+                        kind: AttrKind::Field,
+                        includes: Vec::new(),
+                        maps: Vec::new(),
+                        span: f.span,
+                    });
+                }
+                Decl::Proc(p) => {
+                    if let Some(&prev) = proc_by_name.get(&p.name.text) {
+                        diags.push(
+                            oolong_syntax::Diagnostic::error(
+                                format!("duplicate procedure `{}`", p.name.text),
+                                p.name.span,
+                            )
+                            .with_note("previously declared here", procs[prev.index()].span),
+                        );
+                        continue;
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    for param in &p.params {
+                        if !seen.insert(param.text.as_str()) {
+                            diags.error(
+                                format!("duplicate parameter `{}`", param.text),
+                                param.span,
+                            );
+                        }
+                    }
+                    let id = ProcId(procs.len() as u32);
+                    proc_by_name.insert(p.name.text.clone(), id);
+                    procs.push(ProcInfo {
+                        name: p.name.text.clone(),
+                        params: p.params.iter().map(|i| i.text.clone()).collect(),
+                        modifies: Vec::new(),
+                        span: p.span,
+                    });
+                }
+                Decl::Impl(_) => {}
+                Decl::Module(_) => unreachable!("modules are flattened before analysis"),
+            }
+        }
+
+        // Pass 2: resolve inclusion clauses and modifies lists.
+        let lookup_attr = |name: &oolong_syntax::Ident, diags: &mut Diagnostics| -> Option<AttrId> {
+            match attr_by_name.get(&name.text) {
+                Some(&id) => Some(id),
+                None => {
+                    diags.error(format!("undeclared attribute `{}`", name.text), name.span);
+                    None
+                }
+            }
+        };
+        let require_group =
+            |id: AttrId, span: Span, attrs: &[AttrInfo], diags: &mut Diagnostics, ctx: &str| {
+                if attrs[id.index()].kind != AttrKind::Group {
+                    diags.error(
+                        format!("{} `{}` must be a group, but it is a field", ctx, attrs[id.index()].name),
+                        span,
+                    );
+                }
+            };
+
+        for decl in &program.decls {
+            match decl {
+                Decl::Group(g) => {
+                    let Some(&id) = attr_by_name.get(&g.name.text) else { continue };
+                    let mut includes = Vec::new();
+                    for target in &g.includes {
+                        if let Some(tid) = lookup_attr(target, &mut diags) {
+                            require_group(tid, target.span, &attrs, &mut diags, "`in` target");
+                            includes.push(tid);
+                        }
+                    }
+                    attrs[id.index()].includes = includes;
+                }
+                Decl::Field(f) => {
+                    let Some(&id) = attr_by_name.get(&f.name.text) else { continue };
+                    let mut includes = Vec::new();
+                    for target in &f.includes {
+                        if let Some(tid) = lookup_attr(target, &mut diags) {
+                            require_group(tid, target.span, &attrs, &mut diags, "`in` target");
+                            includes.push(tid);
+                        }
+                    }
+                    let mut maps = Vec::new();
+                    for clause in &f.maps {
+                        let Some(mapped) = lookup_attr(&clause.mapped, &mut diags) else { continue };
+                        let mut into = Vec::new();
+                        for target in &clause.into {
+                            if let Some(tid) = lookup_attr(target, &mut diags) {
+                                require_group(tid, target.span, &attrs, &mut diags, "`maps into` target");
+                                into.push(tid);
+                            }
+                        }
+                        maps.push(RepClause {
+                            mapped,
+                            into,
+                            elementwise: clause.elementwise,
+                            span: clause.span,
+                        });
+                    }
+                    attrs[id.index()].includes = includes;
+                    attrs[id.index()].maps = maps;
+                }
+                Decl::Proc(p) => {
+                    let Some(&id) = proc_by_name.get(&p.name.text) else { continue };
+                    let params = procs[id.index()].params.clone();
+                    let mut modifies = Vec::new();
+                    for entry in &p.modifies {
+                        if let Some(target) =
+                            resolve_mod_target(entry, &params, &attr_by_name, &attrs, &mut diags)
+                        {
+                            modifies.push(target);
+                        }
+                    }
+                    procs[id.index()].modifies = modifies;
+                }
+                Decl::Impl(_) => {}
+                Decl::Module(_) => unreachable!("modules are flattened before analysis"),
+            }
+        }
+
+        // Pass 3: inclusion-graph acyclicity ("these inclusions are not
+        // allowed to form a cycle", Section 2).
+        check_inclusion_acyclic(&attrs, &mut diags);
+
+        // Pass 4: implementations.
+        let mut impls = Vec::new();
+        for decl in &program.decls {
+            let Decl::Impl(i) = decl else { continue };
+            let Some(&pid) = proc_by_name.get(&i.name.text) else {
+                diags.error(
+                    format!("implementation of undeclared procedure `{}`", i.name.text),
+                    i.name.span,
+                );
+                continue;
+            };
+            let declared = &procs[pid.index()].params;
+            let given: Vec<String> = i.params.iter().map(|p| p.text.clone()).collect();
+            if declared != &given {
+                diags.push(
+                    oolong_syntax::Diagnostic::error(
+                        format!(
+                            "implementation parameters ({}) differ from procedure declaration ({})",
+                            given.join(", "),
+                            declared.join(", ")
+                        ),
+                        i.span,
+                    )
+                    .with_note("procedure declared here", procs[pid.index()].span),
+                );
+                continue;
+            }
+            impls.push(ImplInfo { proc: pid, body: i.body.clone(), span: i.span });
+        }
+
+        let enclosing = compute_enclosing(&attrs);
+        let scope = Scope { attrs, procs, impls, attr_by_name, proc_by_name, enclosing };
+
+        // Pass 5: validate implementation bodies (self-contained names,
+        // binding structure, command well-formedness).
+        for impl_id in 0..scope.impls.len() {
+            validate_impl(&scope, ImplId(impl_id as u32), &mut diags);
+        }
+
+        if diags.has_errors() {
+            Err(diags)
+        } else {
+            Ok(scope)
+        }
+    }
+
+    // ----------------------------------------------------------- accessors
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.attr_by_name.get(name).copied()
+    }
+
+    /// The semantic record for an attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this scope.
+    pub fn attr_info(&self, id: AttrId) -> &AttrInfo {
+        &self.attrs[id.index()]
+    }
+
+    /// Iterates over all attributes with their ids.
+    pub fn attrs(&self) -> impl Iterator<Item = (AttrId, &AttrInfo)> {
+        self.attrs.iter().enumerate().map(|(i, a)| (AttrId(i as u32), a))
+    }
+
+    /// Number of declared attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Looks up a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<ProcId> {
+        self.proc_by_name.get(name).copied()
+    }
+
+    /// The semantic record for a procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this scope.
+    pub fn proc_info(&self, id: ProcId) -> &ProcInfo {
+        &self.procs[id.index()]
+    }
+
+    /// Iterates over all procedures with their ids.
+    pub fn procs(&self) -> impl Iterator<Item = (ProcId, &ProcInfo)> {
+        self.procs.iter().enumerate().map(|(i, p)| (ProcId(i as u32), p))
+    }
+
+    /// The semantic record for an implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this scope.
+    pub fn impl_info(&self, id: ImplId) -> &ImplInfo {
+        &self.impls[id.index()]
+    }
+
+    /// Iterates over all implementations with their ids.
+    pub fn impls(&self) -> impl Iterator<Item = (ImplId, &ImplInfo)> {
+        self.impls.iter().enumerate().map(|(i, im)| (ImplId(i as u32), im))
+    }
+
+    /// The implementations of a given procedure.
+    pub fn impls_of(&self, proc: ProcId) -> impl Iterator<Item = (ImplId, &ImplInfo)> {
+        self.impls().filter(move |(_, im)| im.proc == proc)
+    }
+
+    // ----------------------------------------------------------- inclusion
+
+    /// Whether `id` is a pivot field.
+    pub fn is_pivot(&self, id: AttrId) -> bool {
+        self.attrs[id.index()].is_pivot()
+    }
+
+    /// All groups that directly or indirectly include `id` (via `in`
+    /// clauses), excluding `id` itself. This is the set `g1, …, gn` of the
+    /// scope-dependent background axiom for `⊒` (Section 4.2).
+    pub fn enclosing_groups(&self, id: AttrId) -> &[AttrId] {
+        &self.enclosing[id.index()]
+    }
+
+    /// The reflexive-transitive local inclusion relation `a ⊒ b`:
+    /// "group `a` (transitively) includes attribute `b`", or `a = b`.
+    pub fn local_includes(&self, a: AttrId, b: AttrId) -> bool {
+        a == b || self.enclosing[b.index()].contains(&a)
+    }
+
+    /// All ordinary rep inclusions `(a, f, b)` declared in this scope,
+    /// meaning `a →f b`: pivot field `f` was declared with `maps b into a`.
+    pub fn rep_triples(&self) -> Vec<(AttrId, AttrId, AttrId)> {
+        self.triples_filtered(false)
+    }
+
+    /// All *elementwise* rep inclusions `(a, f, b)` declared in this scope,
+    /// meaning `a ⇉f b`: pivot field `f` was declared with
+    /// `maps elem b into a` (array dependencies).
+    pub fn rep_elem_triples(&self) -> Vec<(AttrId, AttrId, AttrId)> {
+        self.triples_filtered(true)
+    }
+
+    fn triples_filtered(&self, elementwise: bool) -> Vec<(AttrId, AttrId, AttrId)> {
+        let mut triples = Vec::new();
+        for (fid, info) in self.attrs() {
+            for clause in &info.maps {
+                if clause.elementwise != elementwise {
+                    continue;
+                }
+                for &into in &clause.into {
+                    triples.push((into, fid, clause.mapped));
+                }
+            }
+        }
+        triples
+    }
+
+    /// The attributes `b1, …, bn` mapped by pivot `f` (axiom (8)), for
+    /// ordinary (`elementwise == false`) or elementwise clauses.
+    pub fn mapped_attrs_kind(&self, f: AttrId, elementwise: bool) -> Vec<AttrId> {
+        let mut out: Vec<AttrId> = self.attrs[f.index()]
+            .maps
+            .iter()
+            .filter(|c| c.elementwise == elementwise)
+            .map(|c| c.mapped)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The attributes mapped by ordinary `maps` clauses of pivot `f`.
+    pub fn mapped_attrs(&self, f: AttrId) -> Vec<AttrId> {
+        self.mapped_attrs_kind(f, false)
+    }
+
+    /// The groups `a1, …, an` that `f` maps `b` into (axiom (9)), for
+    /// ordinary or elementwise clauses.
+    pub fn mappers_kind(&self, f: AttrId, b: AttrId, elementwise: bool) -> Vec<AttrId> {
+        let mut out = Vec::new();
+        for clause in &self.attrs[f.index()].maps {
+            if clause.elementwise == elementwise && clause.mapped == b {
+                out.extend(clause.into.iter().copied());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The groups that ordinary `maps` clauses of `f` map `b` into.
+    pub fn mappers(&self, f: AttrId, b: AttrId) -> Vec<AttrId> {
+        self.mappers_kind(f, b, false)
+    }
+
+    /// All pivot fields declared in this scope.
+    pub fn pivots(&self) -> Vec<AttrId> {
+        self.attrs().filter(|(_, a)| a.is_pivot()).map(|(id, _)| id).collect()
+    }
+}
+
+/// Resolves one modifies-list designator `t.a1.….an` (n ≥ 1):
+/// the root must be a formal parameter, intermediate path elements must be
+/// fields, and the final element may be a field or a group.
+fn resolve_mod_target(
+    entry: &Expr,
+    params: &[String],
+    attr_by_name: &HashMap<String, AttrId>,
+    attrs: &[AttrInfo],
+    diags: &mut Diagnostics,
+) -> Option<ModTarget> {
+    let Some((root, path)) = entry.as_designator_chain() else {
+        diags.error(
+            "modifies entry must be a designator expression `t.a1.….an`",
+            entry.span(),
+        );
+        return None;
+    };
+    let Some(param) = params.iter().position(|p| p == &root.text) else {
+        diags.error(
+            format!("modifies designator must be rooted at a formal parameter, but `{}` is not one", root.text),
+            root.span,
+        );
+        return None;
+    };
+    if path.is_empty() {
+        diags.error(
+            "modifies entry must name at least one attribute (`t` alone grants no license)",
+            entry.span(),
+        );
+        return None;
+    }
+    let mut ids = Vec::with_capacity(path.len());
+    for (i, seg) in path.iter().enumerate() {
+        let Some(&id) = attr_by_name.get(&seg.text) else {
+            diags.error(format!("undeclared attribute `{}`", seg.text), seg.span);
+            return None;
+        };
+        let is_last = i + 1 == path.len();
+        if !is_last && attrs[id.index()].kind != AttrKind::Field {
+            diags.error(
+                format!("`{}` is a group and cannot be dereferenced in a modifies designator", seg.text),
+                seg.span,
+            );
+            return None;
+        }
+        ids.push(id);
+    }
+    Some(ModTarget { param, path: ids, span: entry.span() })
+}
+
+/// Detects cycles in the `in` graph, reporting one diagnostic per cycle
+/// found.
+fn check_inclusion_acyclic(attrs: &[AttrInfo], diags: &mut Diagnostics) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; attrs.len()];
+
+    fn visit(
+        node: usize,
+        attrs: &[AttrInfo],
+        marks: &mut [Mark],
+        stack: &mut Vec<usize>,
+        diags: &mut Diagnostics,
+    ) {
+        marks[node] = Mark::Grey;
+        stack.push(node);
+        for target in attrs[node].includes.iter() {
+            let t = target.index();
+            match marks[t] {
+                Mark::White => visit(t, attrs, marks, stack, diags),
+                Mark::Grey => {
+                    let pos = stack.iter().position(|&n| n == t).unwrap_or(0);
+                    let cycle: Vec<&str> =
+                        stack[pos..].iter().map(|&n| attrs[n].name.as_str()).collect();
+                    diags.error(
+                        format!("`in` inclusions form a cycle: {} -> {}", cycle.join(" -> "), attrs[t].name),
+                        attrs[node].span,
+                    );
+                }
+                Mark::Black => {}
+            }
+        }
+        stack.pop();
+        marks[node] = Mark::Black;
+    }
+
+    let mut stack = Vec::new();
+    for node in 0..attrs.len() {
+        if marks[node] == Mark::White {
+            visit(node, attrs, &mut marks, &mut stack, diags);
+        }
+    }
+}
+
+/// Computes, per attribute, the set of groups transitively enclosing it.
+fn compute_enclosing(attrs: &[AttrInfo]) -> Vec<Vec<AttrId>> {
+    let n = attrs.len();
+    let mut enclosing = vec![Vec::new(); n];
+    for start in 0..n {
+        let mut seen = vec![false; n];
+        let mut queue: Vec<usize> = attrs[start].includes.iter().map(|a| a.index()).collect();
+        while let Some(g) = queue.pop() {
+            if seen[g] {
+                continue;
+            }
+            seen[g] = true;
+            queue.extend(attrs[g].includes.iter().map(|a| a.index()));
+        }
+        enclosing[start] = (0..n).filter(|&i| seen[i]).map(|i| AttrId(i as u32)).collect();
+    }
+    enclosing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oolong_syntax::parse_program;
+
+    fn analyze(src: &str) -> Result<Scope, Diagnostics> {
+        Scope::analyze(&parse_program(src).expect("parses"))
+    }
+
+    #[test]
+    fn stack_vector_scope_resolves() {
+        let scope = analyze(
+            "group contents
+             group elems
+             field cnt in elems
+             field vec maps elems into contents
+             proc push(s, o) modifies s.contents",
+        )
+        .expect("analyses");
+        let contents = scope.attr("contents").unwrap();
+        let elems = scope.attr("elems").unwrap();
+        let cnt = scope.attr("cnt").unwrap();
+        let vec = scope.attr("vec").unwrap();
+        assert!(scope.is_pivot(vec));
+        assert!(!scope.is_pivot(cnt));
+        assert_eq!(scope.enclosing_groups(cnt), &[elems]);
+        assert!(scope.local_includes(elems, cnt));
+        assert!(scope.local_includes(cnt, cnt));
+        assert!(!scope.local_includes(cnt, elems));
+        assert_eq!(scope.rep_triples(), vec![(contents, vec, elems)]);
+        assert_eq!(scope.mapped_attrs(vec), vec![elems]);
+        assert_eq!(scope.mappers(vec, elems), vec![contents]);
+        let push = scope.proc("push").unwrap();
+        let info = scope.proc_info(push);
+        assert_eq!(info.modifies.len(), 1);
+        assert_eq!(info.modifies[0].param, 0);
+        assert_eq!(info.modifies[0].licensed_attr(), contents);
+    }
+
+    #[test]
+    fn transitive_enclosing_groups() {
+        let scope = analyze(
+            "group a
+             group b in a
+             field f in b",
+        )
+        .expect("analyses");
+        let a = scope.attr("a").unwrap();
+        let b = scope.attr("b").unwrap();
+        let f = scope.attr("f").unwrap();
+        let mut enc = scope.enclosing_groups(f).to_vec();
+        enc.sort();
+        assert_eq!(enc, vec![a, b]);
+        assert!(scope.local_includes(a, f));
+        assert!(scope.local_includes(b, f));
+        assert!(!scope.local_includes(f, a));
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        let err = analyze("group g field g").unwrap_err();
+        assert!(err.to_string().contains("duplicate attribute"));
+    }
+
+    #[test]
+    fn rejects_in_target_that_is_a_field() {
+        let err = analyze("field f field g in f").unwrap_err();
+        assert!(err.to_string().contains("must be a group"));
+    }
+
+    #[test]
+    fn rejects_undeclared_in_target() {
+        let err = analyze("group g in missing").unwrap_err();
+        assert!(err.to_string().contains("undeclared attribute"));
+    }
+
+    #[test]
+    fn rejects_inclusion_cycle() {
+        let err = analyze("group a in b group b in a").unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn self_inclusion_is_a_cycle() {
+        let err = analyze("group a in a").unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn maps_into_target_must_be_group() {
+        let err = analyze("field cnt field vec maps cnt into vec").unwrap_err();
+        assert!(err.to_string().contains("must be a group"));
+    }
+
+    #[test]
+    fn elementwise_triples_are_separated() {
+        let scope = analyze(
+            "group g
+             group h
+             field x
+             field arr maps elem x into g maps h into g",
+        )
+        .expect("analyses");
+        let g = scope.attr("g").unwrap();
+        let h = scope.attr("h").unwrap();
+        let x = scope.attr("x").unwrap();
+        let arr = scope.attr("arr").unwrap();
+        assert_eq!(scope.rep_triples(), vec![(g, arr, h)]);
+        assert_eq!(scope.rep_elem_triples(), vec![(g, arr, x)]);
+        assert_eq!(scope.mapped_attrs(arr), vec![h]);
+        assert_eq!(scope.mapped_attrs_kind(arr, true), vec![x]);
+        assert_eq!(scope.mappers_kind(arr, x, true), vec![g]);
+        assert!(scope.is_pivot(arr));
+    }
+
+    #[test]
+    fn mapped_attribute_may_be_group() {
+        // `field next maps g into g` (the paper's linked-list example).
+        let scope = analyze("group g field value in g field next maps g into g").expect("analyses");
+        let g = scope.attr("g").unwrap();
+        let next = scope.attr("next").unwrap();
+        assert_eq!(scope.rep_triples(), vec![(g, next, g)]);
+    }
+
+    #[test]
+    fn modifies_must_be_rooted_at_parameter() {
+        let err = analyze("group g proc p(t) modifies u.g").unwrap_err();
+        assert!(err.to_string().contains("formal parameter"));
+    }
+
+    #[test]
+    fn modifies_path_through_group_rejected() {
+        let err = analyze("group g group h proc p(t) modifies t.g.h").unwrap_err();
+        assert!(err.to_string().contains("cannot be dereferenced"));
+    }
+
+    #[test]
+    fn modifies_long_chain_resolves() {
+        let scope = analyze("field c field d group g proc p(t) modifies t.c.d.g").expect("analyses");
+        let p = scope.proc("p").unwrap();
+        let target = &scope.proc_info(p).modifies[0];
+        assert_eq!(target.path.len(), 3);
+        assert_eq!(target.licensed_attr(), scope.attr("g").unwrap());
+    }
+
+    #[test]
+    fn modifies_bare_parameter_rejected() {
+        let err = analyze("proc p(t) modifies t").unwrap_err();
+        assert!(err.to_string().contains("at least one attribute"));
+    }
+
+    #[test]
+    fn impl_requires_proc_declaration() {
+        let err = analyze("impl p() { skip }").unwrap_err();
+        assert!(err.to_string().contains("undeclared procedure"));
+    }
+
+    #[test]
+    fn impl_parameters_must_match_declaration() {
+        let err = analyze("proc p(t, u) impl p(t) { skip }").unwrap_err();
+        assert!(err.to_string().contains("differ from procedure declaration"));
+    }
+
+    #[test]
+    fn multiple_impls_allowed() {
+        let scope = analyze("proc p(t) impl p(t) { skip } impl p(t) { skip }").expect("analyses");
+        let p = scope.proc("p").unwrap();
+        assert_eq!(scope.impls_of(p).count(), 2);
+    }
+
+    #[test]
+    fn duplicate_parameter_rejected() {
+        let err = analyze("proc p(t, t)").unwrap_err();
+        assert!(err.to_string().contains("duplicate parameter"));
+    }
+}

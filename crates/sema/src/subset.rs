@@ -1,0 +1,207 @@
+//! Helpers for carving sub-scopes out of a program.
+//!
+//! The modular-soundness experiments (E7 in `DESIGN.md`) need scopes `D ⊆ E`
+//! where both satisfy the rule of self-contained names. [`subset_program`]
+//! selects declarations by index; [`closure_for_impl`] computes the least
+//! self-contained declaration set containing a given implementation — the
+//! natural "scope of the module that declares it".
+
+use oolong_syntax::{Cmd, Decl, Expr, Program};
+use std::collections::{BTreeSet, HashMap};
+
+/// Returns a new program containing exactly the declarations of `program`
+/// whose indices appear in `keep` (order preserved, duplicates ignored).
+///
+/// Programs using the `module` extension should be
+/// [`flatten`](crate::modules::flatten)ed first; indices refer to the
+/// top-level declaration list.
+pub fn subset_program(program: &Program, keep: &[usize]) -> Program {
+    let set: BTreeSet<usize> = keep.iter().copied().filter(|&i| i < program.decls.len()).collect();
+    Program { decls: set.iter().map(|&i| program.decls[i].clone()).collect() }
+}
+
+/// Computes the indices of the least self-contained subset of `program`'s
+/// declarations that contains declaration `root` (typically an `impl`).
+///
+/// The closure pulls in: the `proc` declaration for every `impl` and every
+/// called procedure; every attribute named anywhere in the kept
+/// declarations (bodies, modifies lists, `in` and `maps into` clauses);
+/// and iterates until fixpoint. Note that *other* implementations of the
+/// procedures involved are **not** pulled in — a scope needs callees'
+/// declarations, not their bodies, which is the whole point of modular
+/// checking.
+pub fn closure_for_impl(program: &Program, root: usize) -> Vec<usize> {
+    let mut attr_decl: HashMap<&str, usize> = HashMap::new();
+    let mut proc_decl: HashMap<&str, usize> = HashMap::new();
+    for (i, d) in program.decls.iter().enumerate() {
+        match d {
+            Decl::Group(g) => {
+                attr_decl.entry(g.name.as_str()).or_insert(i);
+            }
+            Decl::Field(f) => {
+                attr_decl.entry(f.name.as_str()).or_insert(i);
+            }
+            Decl::Proc(p) => {
+                proc_decl.entry(p.name.as_str()).or_insert(i);
+            }
+            Decl::Impl(_) | Decl::Module(_) => {}
+        }
+    }
+
+    let mut kept: BTreeSet<usize> = BTreeSet::new();
+    let mut queue = vec![root];
+    while let Some(i) = queue.pop() {
+        if i >= program.decls.len() || !kept.insert(i) {
+            continue;
+        }
+        let need_attr = |name: &str, queue: &mut Vec<usize>| {
+            if let Some(&j) = attr_decl.get(name) {
+                queue.push(j);
+            }
+        };
+        match &program.decls[i] {
+            Decl::Group(g) => {
+                for inc in &g.includes {
+                    need_attr(inc.as_str(), &mut queue);
+                }
+            }
+            Decl::Field(f) => {
+                for inc in &f.includes {
+                    need_attr(inc.as_str(), &mut queue);
+                }
+                for m in &f.maps {
+                    need_attr(m.mapped.as_str(), &mut queue);
+                    for into in &m.into {
+                        need_attr(into.as_str(), &mut queue);
+                    }
+                }
+            }
+            Decl::Proc(p) => {
+                for e in &p.modifies {
+                    collect_expr_attrs(e, &mut |a| need_attr(a, &mut queue));
+                }
+            }
+            Decl::Impl(im) => {
+                if let Some(&j) = proc_decl.get(im.name.as_str()) {
+                    queue.push(j);
+                }
+                let mut attr_names = Vec::new();
+                let mut proc_names = Vec::new();
+                collect_cmd_names(
+                    &im.body,
+                    &mut |a| attr_names.push(a.to_string()),
+                    &mut |p| proc_names.push(p.to_string()),
+                );
+                for a in &attr_names {
+                    need_attr(a, &mut queue);
+                }
+                for p in &proc_names {
+                    if let Some(&j) = proc_decl.get(p.as_str()) {
+                        queue.push(j);
+                    }
+                }
+            }
+            // Opaque in the flat view; flatten before computing closures.
+            Decl::Module(_) => {}
+        }
+    }
+    kept.into_iter().collect()
+}
+
+fn collect_expr_attrs(expr: &Expr, on_attr: &mut impl FnMut(&str)) {
+    expr.walk(&mut |e| {
+        if let Expr::Select { attr, .. } = e {
+            on_attr(attr.as_str());
+        }
+    });
+}
+
+fn collect_cmd_names(cmd: &Cmd, on_attr: &mut impl FnMut(&str), on_proc: &mut impl FnMut(&str)) {
+    cmd.walk(&mut |c| match c {
+        Cmd::Assert(e, _) | Cmd::Assume(e, _) => collect_expr_attrs(e, on_attr),
+        Cmd::Assign { lhs, rhs, .. } => {
+            collect_expr_attrs(lhs, on_attr);
+            collect_expr_attrs(rhs, on_attr);
+        }
+        Cmd::AssignNew { lhs, .. } => collect_expr_attrs(lhs, on_attr),
+        Cmd::Call { proc, args, .. } => {
+            on_proc(proc.as_str());
+            for a in args {
+                collect_expr_attrs(a, on_attr);
+            }
+        }
+        Cmd::If { cond, .. } => collect_expr_attrs(cond, on_attr),
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::Scope;
+    use oolong_syntax::parse_program;
+
+    const STACK: &str = "group contents
+group elems
+field cnt in elems
+field obj
+proc push(st, o) modifies st.contents
+proc m(st, r) modifies r.obj
+proc q()
+impl q() {
+  var st in var result in var v in var n in
+    st := new() ; result := new() ; m(st, result) ;
+    v := result.obj ; n := v.cnt ; push(st, 3) ;
+    assert n = v.cnt
+  end end end end
+}
+field vec maps elems into contents
+impl m(st, r) { r.obj := st.vec }";
+
+    #[test]
+    fn subset_preserves_order() {
+        let p = parse_program(STACK).unwrap();
+        let sub = subset_program(&p, &[4, 0, 0, 2]);
+        assert_eq!(sub.decls.len(), 3);
+        assert!(matches!(&sub.decls[0], Decl::Group(g) if g.name.text == "contents"));
+        assert!(matches!(&sub.decls[2], Decl::Proc(_)));
+    }
+
+    #[test]
+    fn closure_of_q_impl_excludes_vec() {
+        let p = parse_program(STACK).unwrap();
+        // decl 7 is `impl q`.
+        let keep = closure_for_impl(&p, 7);
+        let sub = subset_program(&p, &keep);
+        let scope = Scope::analyze(&sub).expect("closure is self-contained");
+        assert!(scope.attr("cnt").is_some());
+        assert!(scope.attr("obj").is_some());
+        assert!(scope.proc("push").is_some());
+        // The pivot declaration and `impl m` are NOT part of q's scope.
+        assert!(scope.attr("vec").is_none());
+        assert_eq!(scope.impls().count(), 1);
+    }
+
+    #[test]
+    fn closure_of_m_impl_includes_vec() {
+        let p = parse_program(STACK).unwrap();
+        // decl 9 is `impl m`.
+        let keep = closure_for_impl(&p, 9);
+        let sub = subset_program(&p, &keep);
+        let scope = Scope::analyze(&sub).expect("closure is self-contained");
+        assert!(scope.attr("vec").is_some());
+        assert!(scope.attr("contents").is_some(), "maps target pulled in");
+        assert!(scope.attr("elems").is_some(), "mapped attr pulled in");
+    }
+
+    #[test]
+    fn every_impl_closure_is_self_contained() {
+        let p = parse_program(STACK).unwrap();
+        for (i, d) in p.decls.iter().enumerate() {
+            if matches!(d, Decl::Impl(_)) {
+                let sub = subset_program(&p, &closure_for_impl(&p, i));
+                Scope::analyze(&sub).expect("closure analyses cleanly");
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Symbol identifiers and per-declaration semantic records.
+
+use oolong_syntax::{Cmd, Span};
+use std::fmt;
+
+/// Identifier of a declared attribute (data group or object field) within a
+/// [`Scope`](crate::Scope). Indices are dense and scope-local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The dense index of this attribute.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+/// Identifier of a declared procedure within a [`Scope`](crate::Scope).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The dense index of this procedure.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+/// Identifier of a procedure implementation within a
+/// [`Scope`](crate::Scope). One procedure may have many implementations;
+/// calls dispatch to an arbitrary one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ImplId(pub u32);
+
+impl ImplId {
+    /// The dense index of this implementation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ImplId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "impl#{}", self.0)
+    }
+}
+
+/// Whether an attribute is a data group or an object field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// Declared with `group`.
+    Group,
+    /// Declared with `field`.
+    Field,
+}
+
+impl fmt::Display for AttrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrKind::Group => write!(f, "group"),
+            AttrKind::Field => write!(f, "field"),
+        }
+    }
+}
+
+/// A resolved `maps b into a1, …, an` clause: the rep inclusions
+/// `a1 →f b`, …, `an →f b` for the declaring pivot field `f`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepClause {
+    /// The mapped attribute `b` of the referenced object.
+    pub mapped: AttrId,
+    /// The enclosing groups `a1, …, an` the attribute is mapped into.
+    pub into: Vec<AttrId>,
+    /// `maps elem b into a` (array dependencies): the pivot references an
+    /// array; every slot, and attribute `b` of every element, is included.
+    pub elementwise: bool,
+    /// Source span of the clause.
+    pub span: Span,
+}
+
+/// Semantic record of a declared attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrInfo {
+    /// The attribute's name.
+    pub name: String,
+    /// Group or field.
+    pub kind: AttrKind,
+    /// Direct local inclusions from the `in` clause: the groups this
+    /// attribute is declared to be in.
+    pub includes: Vec<AttrId>,
+    /// Rep inclusions from `maps … into …` clauses; non-empty iff the
+    /// attribute is a pivot field.
+    pub maps: Vec<RepClause>,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+impl AttrInfo {
+    /// Whether this attribute is a pivot field.
+    pub fn is_pivot(&self) -> bool {
+        !self.maps.is_empty()
+    }
+}
+
+/// One designator in a modifies list, resolved: `params[param].path…`,
+/// where the final element of `path` is the licensed attribute.
+///
+/// For example `modifies t.c.d.g` with `t` the first formal becomes
+/// `{ param: 0, path: [c, d, g] }`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModTarget {
+    /// Index of the formal parameter the designator is rooted at.
+    pub param: usize,
+    /// Attribute path; always non-empty.
+    pub path: Vec<AttrId>,
+    /// Span of the designator in the `proc` declaration.
+    pub span: Span,
+}
+
+impl ModTarget {
+    /// The licensed attribute: the last element of the path.
+    pub fn licensed_attr(&self) -> AttrId {
+        *self.path.last().expect("ModTarget path is non-empty")
+    }
+}
+
+/// Semantic record of a procedure declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcInfo {
+    /// The procedure's name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Resolved modifies list.
+    pub modifies: Vec<ModTarget>,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// Semantic record of a procedure implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplInfo {
+    /// The implemented procedure.
+    pub proc: ProcId,
+    /// The body, exactly as parsed (desugar with [`Cmd::desugared`] when
+    /// translating).
+    pub body: Cmd,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_distinctly() {
+        assert_eq!(AttrId(3).to_string(), "attr#3");
+        assert_eq!(ProcId(3).to_string(), "proc#3");
+        assert_eq!(ImplId(0).to_string(), "impl#0");
+    }
+
+    #[test]
+    fn licensed_attr_is_last_path_element() {
+        let t = ModTarget { param: 0, path: vec![AttrId(1), AttrId(2)], span: Span::DUMMY };
+        assert_eq!(t.licensed_attr(), AttrId(2));
+    }
+}

@@ -1,0 +1,279 @@
+//! Hand-written lexer for oolong source text.
+
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenises `source`, returning the token stream (always terminated by an
+/// [`TokenKind::Eof`] token) and any lexical diagnostics.
+///
+/// Unknown characters are reported and skipped so that parsing can continue
+/// and surface further errors.
+pub fn lex(source: &str) -> (Vec<Token>, Diagnostics) {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    source: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    diags: Diagnostics,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer { source, bytes: source.as_bytes(), pos: 0, tokens: Vec::new(), diags: Diagnostics::new() }
+    }
+
+    fn run(mut self) -> (Vec<Token>, Diagnostics) {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b',' => self.single(TokenKind::Comma),
+                b';' => self.single(TokenKind::Semi),
+                b'.' => self.single(TokenKind::Dot),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b':' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.multi(TokenKind::Assign, 2);
+                    } else {
+                        self.error_char(start, "expected `:=`");
+                    }
+                }
+                b'[' => {
+                    if self.peek(1) == Some(b']') {
+                        self.multi(TokenKind::Choice, 2);
+                    } else {
+                        self.single(TokenKind::LBracket);
+                    }
+                }
+                b']' => self.single(TokenKind::RBracket),
+                b'=' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.multi(TokenKind::Eq, 2);
+                    } else {
+                        self.single(TokenKind::Eq);
+                    }
+                }
+                b'!' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.multi(TokenKind::Ne, 2);
+                    } else {
+                        self.single(TokenKind::Bang);
+                    }
+                }
+                b'<' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.multi(TokenKind::Le, 2);
+                    } else {
+                        self.single(TokenKind::Lt);
+                    }
+                }
+                b'>' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.multi(TokenKind::Ge, 2);
+                    } else {
+                        self.single(TokenKind::Gt);
+                    }
+                }
+                b'&' => {
+                    if self.peek(1) == Some(b'&') {
+                        self.multi(TokenKind::AndAnd, 2);
+                    } else {
+                        self.error_char(start, "expected `&&`");
+                    }
+                }
+                b'|' => {
+                    if self.peek(1) == Some(b'|') {
+                        self.multi(TokenKind::OrOr, 2);
+                    } else {
+                        self.error_char(start, "expected `||`");
+                    }
+                }
+                b'0'..=b'9' => self.number(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => {
+                    // Advance past one UTF-8 scalar, not one byte.
+                    let ch_len = self.source[self.pos..].chars().next().map_or(1, char::len_utf8);
+                    self.pos += ch_len;
+                    self.diags.push(Diagnostic::error(
+                        format!("unexpected character `{}`", &self.source[start..self.pos]),
+                        Span::new(start as u32, self.pos as u32),
+                    ));
+                }
+            }
+        }
+        let eof = Span::new(self.pos as u32, self.pos as u32);
+        self.tokens.push(Token { kind: TokenKind::Eof, span: eof });
+        (self.tokens, self.diags)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn single(&mut self, kind: TokenKind) {
+        self.multi(kind, 1);
+    }
+
+    fn multi(&mut self, kind: TokenKind, len: usize) {
+        let span = Span::new(self.pos as u32, (self.pos + len) as u32);
+        self.pos += len;
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn error_char(&mut self, start: usize, msg: &str) {
+        self.pos += 1;
+        self.diags.push(Diagnostic::error(msg, Span::new(start as u32, self.pos as u32)));
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = &self.source[start..self.pos];
+        let span = Span::new(start as u32, self.pos as u32);
+        match text.parse::<i64>() {
+            Ok(n) => self.tokens.push(Token { kind: TokenKind::Int(n), span }),
+            Err(_) => {
+                self.diags.push(Diagnostic::error("integer literal too large", span));
+                self.tokens.push(Token { kind: TokenKind::Int(0), span });
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = &self.source[start..self.pos];
+        let span = Span::new(start as u32, self.pos as u32);
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        self.tokens.push(Token { kind, span });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (toks, diags) = lex(src);
+        assert!(!diags.has_errors(), "unexpected lex errors: {diags}");
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration_keywords() {
+        assert_eq!(
+            kinds("group contents in g"),
+            vec![T::Group, T::Ident("contents".into()), T::In, T::Ident("g".into()), T::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_maps_into_clause() {
+        assert_eq!(
+            kinds("field vec maps elems into contents"),
+            vec![
+                T::Field,
+                T::Ident("vec".into()),
+                T::Maps,
+                T::Ident("elems".into()),
+                T::Into,
+                T::Ident("contents".into()),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_commands_and_operators() {
+        assert_eq!(
+            kinds("x := new() ; assert n = v.cnt [] skip"),
+            vec![
+                T::Ident("x".into()),
+                T::Assign,
+                T::New,
+                T::LParen,
+                T::RParen,
+                T::Semi,
+                T::Assert,
+                T::Ident("n".into()),
+                T::Eq,
+                T::Ident("v".into()),
+                T::Dot,
+                T::Ident("cnt".into()),
+                T::Choice,
+                T::Skip,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn double_equals_is_equality() {
+        assert_eq!(kinds("a == b"), kinds("a = b"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("group g // trailing words := ;\nfield f"), kinds("group g field f"));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(kinds("< <= > >= != !"), vec![T::Lt, T::Le, T::Gt, T::Ge, T::Ne, T::Bang, T::Eof]);
+    }
+
+    #[test]
+    fn reports_unknown_characters_but_continues() {
+        let (toks, diags) = lex("group § g");
+        assert!(diags.has_errors());
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(kinds, vec![T::Group, T::Ident("g".into()), T::Eof]);
+    }
+
+    #[test]
+    fn stray_ampersand_reported() {
+        let (_, diags) = lex("a & b");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn spans_point_at_source() {
+        let src = "assert n = v.cnt";
+        let (toks, _) = lex(src);
+        assert_eq!(toks[0].span.snippet(src), "assert");
+        assert_eq!(toks[3].span.snippet(src), "v");
+        assert_eq!(toks[5].span.snippet(src), "cnt");
+    }
+
+    #[test]
+    fn numbers_lex_with_value() {
+        assert_eq!(kinds("push(st, 3)")[4], T::Int(3));
+        let (_, diags) = lex("99999999999999999999999999");
+        assert!(diags.has_errors());
+    }
+}

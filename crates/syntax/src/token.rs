@@ -1,0 +1,242 @@
+//! Token definitions for the oolong lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    // Literals and identifiers
+    /// An identifier such as `contents` or `push`.
+    Ident(String),
+    /// An unsigned integer literal.
+    Int(i64),
+
+    // Keywords
+    /// `group`
+    Group,
+    /// `field`
+    Field,
+    /// `proc`
+    Proc,
+    /// `impl`
+    Impl,
+    /// `module` (extension: explicit information-hiding modules)
+    Module,
+    /// `imports` (extension)
+    Imports,
+    /// `in`
+    In,
+    /// `maps`
+    Maps,
+    /// `into`
+    Into,
+    /// `elem` (extension: elementwise/array rep inclusions)
+    Elem,
+    /// `modifies`
+    Modifies,
+    /// `assert`
+    Assert,
+    /// `assume`
+    Assume,
+    /// `var`
+    Var,
+    /// `end`
+    End,
+    /// `skip`
+    Skip,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `new`
+    New,
+    /// `null`
+    Null,
+    /// `true`
+    True,
+    /// `false`
+    False,
+
+    // Punctuation and operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `:=`
+    Assign,
+    /// `[]` — nondeterministic choice
+    Choice,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `=` or `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Looks up a keyword, returning `None` for ordinary identifiers.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        Some(match text {
+            "group" => TokenKind::Group,
+            "field" => TokenKind::Field,
+            "proc" => TokenKind::Proc,
+            "impl" => TokenKind::Impl,
+            "module" => TokenKind::Module,
+            "imports" => TokenKind::Imports,
+            "in" => TokenKind::In,
+            "maps" => TokenKind::Maps,
+            "into" => TokenKind::Into,
+            "elem" => TokenKind::Elem,
+            "modifies" => TokenKind::Modifies,
+            "assert" => TokenKind::Assert,
+            "assume" => TokenKind::Assume,
+            "var" => TokenKind::Var,
+            "end" => TokenKind::End,
+            "skip" => TokenKind::Skip,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "else" => TokenKind::Else,
+            "new" => TokenKind::New,
+            "null" => TokenKind::Null,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description, used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Ident(s) => return write!(f, "{s}"),
+            TokenKind::Int(n) => return write!(f, "{n}"),
+            TokenKind::Group => "group",
+            TokenKind::Field => "field",
+            TokenKind::Proc => "proc",
+            TokenKind::Impl => "impl",
+            TokenKind::Module => "module",
+            TokenKind::Imports => "imports",
+            TokenKind::In => "in",
+            TokenKind::Maps => "maps",
+            TokenKind::Into => "into",
+            TokenKind::Elem => "elem",
+            TokenKind::Modifies => "modifies",
+            TokenKind::Assert => "assert",
+            TokenKind::Assume => "assume",
+            TokenKind::Var => "var",
+            TokenKind::End => "end",
+            TokenKind::Skip => "skip",
+            TokenKind::If => "if",
+            TokenKind::Then => "then",
+            TokenKind::Else => "else",
+            TokenKind::New => "new",
+            TokenKind::Null => "null",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Dot => ".",
+            TokenKind::Assign => ":=",
+            TokenKind::Choice => "[]",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Eq => "=",
+            TokenKind::Ne => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Bang => "!",
+            TokenKind::Eof => "<eof>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it occurred in the source.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip_through_display() {
+        for kw in ["group", "field", "proc", "impl", "modifies", "maps", "into"] {
+            let tok = TokenKind::keyword(kw).expect("is a keyword");
+            assert_eq!(tok.to_string(), kw);
+        }
+        assert_eq!(TokenKind::keyword("stack"), None);
+    }
+
+    #[test]
+    fn describe_quotes_symbols() {
+        assert_eq!(TokenKind::Assign.describe(), "`:=`");
+        assert_eq!(TokenKind::Ident("vec".into()).describe(), "identifier `vec`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

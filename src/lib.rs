@@ -1,0 +1,31 @@
+//! Facade crate for the `oolong-datagroups` workspace.
+//!
+//! Re-exports the sub-crates so downstream users can depend on a single
+//! crate. See [`datagroups`] for the paper's contribution (the modular
+//! side-effect checker), [`syntax`] for the `oolong` language frontend,
+//! [`prover`] for the Simplify-style theorem prover, and [`interp`] for the
+//! reference interpreter with its runtime effect monitor.
+//!
+//! ```
+//! use oolong::datagroups::{Checker, CheckOptions};
+//! use oolong::syntax::parse_program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program(
+//!     "group value
+//!      field num in value
+//!      proc bump(r) modifies r.value
+//!      impl bump(r) { assume r != null ; r.num := r.num + 1 }",
+//! )?;
+//! let report = Checker::new(&program, CheckOptions::default())?.check_all();
+//! assert!(report.all_verified());
+//! # Ok(())
+//! # }
+//! ```
+pub use datagroups;
+pub use oolong_corpus as corpus;
+pub use oolong_interp as interp;
+pub use oolong_logic as logic;
+pub use oolong_prover as prover;
+pub use oolong_sema as sema;
+pub use oolong_syntax as syntax;

@@ -1,0 +1,359 @@
+//! Property-based tests over the whole pipeline.
+
+use oolong::corpus::{extend_source, generate_source, GenConfig};
+use oolong::interp::{included_locations, ExecConfig, Interp, Loc, RngOracle, Value};
+use oolong::logic::{Atom, Formula, Term};
+use oolong::prover::{prove, Budget, Outcome};
+use oolong::sema::Scope;
+use oolong::syntax::{parse_expr, parse_program, pretty, Expr};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------- expression AST
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::ident("x")),
+        Just(Expr::ident("y")),
+        Just(Expr::Const(oolong::syntax::Const::Null, oolong::syntax::Span::DUMMY)),
+        (0i64..100).prop_map(|n| Expr::Const(oolong::syntax::Const::Int(n), oolong::syntax::Span::DUMMY)),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::select(e, "f")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary {
+                op: oolong::syntax::BinOp::Add,
+                lhs: Box::new(a),
+                rhs: Box::new(b),
+                span: oolong::syntax::Span::DUMMY,
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary {
+                op: oolong::syntax::BinOp::Eq,
+                lhs: Box::new(a),
+                rhs: Box::new(b),
+                span: oolong::syntax::Span::DUMMY,
+            }),
+            inner.prop_map(|e| Expr::Unary {
+                op: oolong::syntax::UnaryOp::Neg,
+                operand: Box::new(e),
+                span: oolong::syntax::Span::DUMMY,
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Pretty-printing an expression and reparsing yields the same
+    /// canonical print (print ∘ parse ∘ print = print).
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr()) {
+        let printed = pretty::print_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|d| panic!("reparse of `{printed}` failed: {d}"));
+        prop_assert_eq!(pretty::print_expr(&reparsed), printed);
+    }
+}
+
+// -------------------------------------------------------- generated programs
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated programs are well-formed and round-trip through the
+    /// pretty-printer.
+    #[test]
+    fn generated_programs_roundtrip(seed in 0u64..5_000) {
+        let source = generate_source(seed, &GenConfig::default());
+        let program = parse_program(&source).expect("generated source parses");
+        Scope::analyze(&program).expect("generated source analyses");
+        let printed = pretty::print_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|d| panic!("reparse failed: {d}\n{printed}"));
+        prop_assert_eq!(pretty::print_program(&reparsed), printed);
+    }
+
+    /// Extension sources are strict supersets that still analyse.
+    #[test]
+    fn extensions_analyse(seed in 0u64..2_000) {
+        let base = generate_source(seed, &GenConfig::default());
+        let ext = extend_source(&base, seed ^ 0xabcd, &GenConfig::default());
+        prop_assert!(ext.starts_with(&base));
+        let program = parse_program(&ext).expect("extension parses");
+        Scope::analyze(&program).expect("extension analyses");
+    }
+
+    /// The interpreter is deterministic for a fixed seed.
+    #[test]
+    fn interpreter_is_deterministic(seed in 0u64..1_000, run_seed in 0u64..50) {
+        let source = generate_source(seed, &GenConfig::default());
+        let program = parse_program(&source).expect("parses");
+        let scope = Scope::analyze(&program).expect("analyses");
+        let Some((_, info)) = scope.impls().next() else { return Ok(()) };
+        let name = scope.proc_info(info.proc).name.clone();
+        let run = |s| {
+            let mut interp = Interp::new(&scope, ExecConfig::default(), RngOracle::seeded(s));
+            interp.run_proc_fresh(&name)
+        };
+        prop_assert_eq!(run(run_seed), run(run_seed));
+    }
+}
+
+// ------------------------------------------- congruence closure vs naive
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The E-graph's congruence closure agrees with a naive fixpoint: for
+    /// random equations over a small term universe, both decide the same
+    /// equalities.
+    #[test]
+    fn egraph_matches_naive_congruence_closure(
+        eqs in proptest::collection::vec((0usize..12, 0usize..12), 1..6)
+    ) {
+        use oolong::prover::EGraph;
+        // Universe: constants a, b, c and one level of f-applications.
+        let consts = ["a", "b", "c"];
+        let mut universe: Vec<Term> = consts.iter().map(|c| Term::var(*c)).collect();
+        for c in consts {
+            universe.push(Term::uninterp("f", vec![Term::var(c)]));
+        }
+        for c in consts {
+            universe.push(Term::uninterp(
+                "f",
+                vec![Term::uninterp("f", vec![Term::var(c)])],
+            ));
+        }
+        let n = universe.len();
+
+        // E-graph side.
+        let mut eg = EGraph::new();
+        let ids: Vec<_> = universe.iter().map(|t| eg.intern(t).unwrap()).collect();
+        for &(i, j) in &eqs {
+            eg.merge(ids[i % n], ids[j % n]).unwrap();
+        }
+
+        // Naive side: union-find + congruence fixpoint over the universe.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        let mut union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        };
+        for &(i, j) in &eqs {
+            union(&mut parent, i % n, j % n);
+        }
+        // Congruence: f(s) ~ f(t) when s ~ t, across ALL application pairs
+        // (including cross-level, e.g. a ~ f(a) forces f(a) ~ f(f(a))).
+        // Universe layout: 0..3 consts, 3..6 f(consts), 6..9 f(f(consts));
+        // the argument of the application at index i is arg[i].
+        let arg: Vec<usize> = vec![usize::MAX, usize::MAX, usize::MAX, 0, 1, 2, 3, 4, 5];
+        loop {
+            let mut changed = false;
+            for i in 3..n {
+                for j in 3..n {
+                    if find(&mut parent, arg[i]) == find(&mut parent, arg[j])
+                        && find(&mut parent, i) != find(&mut parent, j)
+                    {
+                        union(&mut parent, i, j);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    eg.same_class(ids[i], ids[j]),
+                    find(&mut parent, i) == find(&mut parent, j),
+                    "disagreement on {} ~ {} under {:?}",
+                    universe[i], universe[j], eqs
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------ ground prover validity
+
+/// A ground formula over variables `a`, `b` and constants `0`, `1`, `2`,
+/// built from equalities and connectives.
+#[derive(Debug, Clone)]
+enum GF {
+    Eq(u8, u8), // indices into the term universe
+    Not(Box<GF>),
+    And(Box<GF>, Box<GF>),
+    Or(Box<GF>, Box<GF>),
+}
+
+/// Term universe: 0 => var a, 1 => var b, 2..=4 => constants 0, 1, 2.
+fn gf_term(i: u8) -> Term {
+    match i {
+        0 => Term::var("a"),
+        1 => Term::var("b"),
+        n => Term::int(i64::from(n) - 2),
+    }
+}
+
+fn gf_to_formula(f: &GF) -> Formula {
+    match f {
+        GF::Eq(i, j) => Formula::eq(gf_term(*i), gf_term(*j)),
+        GF::Not(p) => Formula::not(gf_to_formula(p)),
+        GF::And(p, q) => Formula::and(vec![gf_to_formula(p), gf_to_formula(q)]),
+        GF::Or(p, q) => Formula::or(vec![gf_to_formula(p), gf_to_formula(q)]),
+    }
+}
+
+/// Evaluates under an assignment of `a`, `b` to domain values; constants
+/// map to themselves. Domain {0..4} suffices for the finite model property
+/// of equality logic with two variables and three distinguished constants.
+fn gf_eval(f: &GF, a: i64, b: i64) -> bool {
+    fn value(i: u8, a: i64, b: i64) -> i64 {
+        match i {
+            0 => a,
+            1 => b,
+            n => i64::from(n) - 2,
+        }
+    }
+    match f {
+        GF::Eq(i, j) => value(*i, a, b) == value(*j, a, b),
+        GF::Not(p) => !gf_eval(p, a, b),
+        GF::And(p, q) => gf_eval(p, a, b) && gf_eval(q, a, b),
+        GF::Or(p, q) => gf_eval(p, a, b) || gf_eval(q, a, b),
+    }
+}
+
+fn arb_gf() -> impl Strategy<Value = GF> {
+    let leaf = (0u8..5, 0u8..5).prop_map(|(i, j)| GF::Eq(i, j));
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|p| GF::Not(Box::new(p))),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| GF::And(Box::new(p), Box::new(q))),
+            (inner.clone(), inner).prop_map(|(p, q)| GF::Or(Box::new(p), Box::new(q))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// On ground equality formulas the prover is a decision procedure:
+    /// `Proved` exactly when the formula is valid (checked by brute force
+    /// over a sufficiently large finite domain).
+    #[test]
+    fn prover_decides_ground_equality_formulas(gf in arb_gf()) {
+        let formula = gf_to_formula(&gf);
+        let valid = (0i64..5).all(|a| (0i64..5).all(|b| gf_eval(&gf, a, b)));
+        let proof = prove(&[], &formula, &Budget::default());
+        if valid {
+            prop_assert_eq!(proof.outcome, Outcome::Proved, "valid but not proved: {}", formula);
+        } else {
+            prop_assert_eq!(proof.outcome, Outcome::NotProved, "invalid but {:?}: {}", proof.outcome, formula);
+        }
+    }
+}
+
+// -------------------------------------------------- inclusion denotation
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The concrete inclusion denotation agrees with the axiomatised `≽`
+    /// on random *restriction-respecting* stores (pivot links form an
+    /// acyclic chain with unique values, as pivot uniqueness guarantees):
+    /// the prover, given a ground description of the store's pivots,
+    /// proves exactly the `Inc` facts the fixpoint computes.
+    #[test]
+    fn denotation_agrees_with_axioms(link01 in any::<bool>(), link12 in any::<bool>()) {
+        let links: Vec<(usize, usize)> = [(0, 1, link01), (1, 2, link12)]
+            .into_iter()
+            .filter(|&(_, _, on)| on)
+            .map(|(a, b, _)| (a, b))
+            .collect();
+        // Scope: stack of vectors, pivot vec: contents →vec elems.
+        let program = parse_program(
+            "group contents
+             group elems
+             field cnt in elems
+             field vec in contents maps elems into contents",
+        ).expect("parses");
+        let scope = Scope::analyze(&program).expect("analyses");
+        let vec_attr = scope.attr("vec").unwrap();
+        let contents = scope.attr("contents").unwrap();
+
+        // Build the store: 3 objects, pivot links per `links`.
+        let mut store = oolong::interp::Store::new();
+        let objs: Vec<_> = (0..3).map(|_| store.alloc()).collect();
+        for &(from, to) in &links {
+            store.write(Loc { obj: objs[from], attr: vec_attr }, Value::Obj(objs[to]));
+        }
+
+        // Ground description of the store for the prover.
+        let mut fresh = oolong::logic::FreshGen::new();
+        let mut hyps = oolong::datagroups::background::universal_background(true, false, &mut fresh);
+        hyps.extend(oolong::datagroups::background::scope_background(&scope, &mut fresh));
+        let obj_term = |o: oolong::interp::ObjId| Term::var(format!("o{}", o.0));
+        for (i, &oi) in objs.iter().enumerate() {
+            // Distinct objects, all alive, none null.
+            hyps.push(Formula::neq(obj_term(oi), Term::null()));
+            for &oj in &objs[i + 1..] {
+                hyps.push(Formula::neq(obj_term(oi), obj_term(oj)));
+            }
+            let pivot_val = store.read(Loc { obj: oi, attr: vec_attr });
+            let val_term = match pivot_val {
+                Value::Obj(o) => obj_term(o),
+                _ => Term::null(),
+            };
+            hyps.push(Formula::eq(
+                Term::select(Term::store(), obj_term(oi), Term::attr("vec")),
+                val_term,
+            ));
+        }
+
+        // Check agreement for the contents group of object 0.
+        let root = Loc { obj: objs[0], attr: contents };
+        let denoted = included_locations(&scope, &store, root);
+        for (_, info) in scope.attrs() {
+            let _ = info;
+        }
+        for &target in &objs {
+            for attr_name in ["contents", "elems", "cnt", "vec"] {
+                let attr_id = scope.attr(attr_name).unwrap();
+                let loc = Loc { obj: target, attr: attr_id };
+                let goal = Formula::Atom(Atom::Inc {
+                    store: Term::store(),
+                    obj: obj_term(objs[0]),
+                    attr: Term::attr("contents"),
+                    obj2: obj_term(target),
+                    attr2: Term::attr(attr_name),
+                });
+                let proof = prove(&hyps, &goal, &Budget::default());
+                if denoted.contains(&loc) {
+                    prop_assert_eq!(
+                        proof.outcome, Outcome::Proved,
+                        "denotation says {:?} ∈ contents closure but prover disagrees (links {:?})",
+                        (target, attr_name), links
+                    );
+                } else {
+                    // The axioms must not prove inclusions the concrete
+                    // fixpoint rejects.
+                    prop_assert_ne!(
+                        proof.outcome, Outcome::Proved,
+                        "prover claims {:?} included but the denotation rejects it (links {:?})",
+                        (target, attr_name), links
+                    );
+                }
+            }
+        }
+    }
+}

@@ -21,15 +21,22 @@ fn matching_depth(c: &mut Criterion) {
     for program_src in [paper::SECTION30_Q, paper::EXAMPLE3] {
         let program = parse_program(program_src.source).expect("parses");
         for gen in [1u32, 2, 3] {
-            let budget = Budget { max_term_gen: gen, ..Budget::default() };
+            let budget = Budget {
+                max_term_gen: gen,
+                ..Budget::default()
+            };
             group.bench_with_input(
                 BenchmarkId::new(program_src.name, gen),
                 &budget,
                 |b, budget| {
                     b.iter(|| {
-                        let options =
-                            CheckOptions { budget: budget.clone(), ..CheckOptions::default() };
-                        Checker::new(&program, options).expect("analyses").check_all()
+                        let options = CheckOptions {
+                            budget: budget.clone(),
+                            ..CheckOptions::default()
+                        };
+                        Checker::new(&program, options)
+                            .expect("analyses")
+                            .check_all()
                     });
                 },
             );
@@ -45,8 +52,13 @@ fn naive_vs_restricted(c: &mut Criterion) {
     for (label, naive) in [("restricted", false), ("naive", true)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &naive, |b, &naive| {
             b.iter(|| {
-                let options = CheckOptions { naive, ..CheckOptions::default() };
-                Checker::new(&program, options).expect("analyses").check_all()
+                let options = CheckOptions {
+                    naive,
+                    ..CheckOptions::default()
+                };
+                Checker::new(&program, options)
+                    .expect("analyses")
+                    .check_all()
             });
         });
     }
@@ -63,8 +75,13 @@ fn null_checks(c: &mut Criterion) {
             &null_checks,
             |b, &null_checks| {
                 b.iter(|| {
-                    let options = CheckOptions { null_checks, ..CheckOptions::default() };
-                    Checker::new(&program, options).expect("analyses").check_all()
+                    let options = CheckOptions {
+                        null_checks,
+                        ..CheckOptions::default()
+                    };
+                    Checker::new(&program, options)
+                        .expect("analyses")
+                        .check_all()
                 });
             },
         );
@@ -81,14 +98,24 @@ fn arrays_level(c: &mut Criterion) {
     for (label, force) in [("plain", false), ("arrays", true)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &force, |b, &force| {
             b.iter(|| {
-                let options =
-                    CheckOptions { force_arrays_level: force, ..CheckOptions::default() };
-                Checker::new(&program, options).expect("analyses").check_all()
+                let options = CheckOptions {
+                    force_arrays_level: force,
+                    ..CheckOptions::default()
+                };
+                Checker::new(&program, options)
+                    .expect("analyses")
+                    .check_all()
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, matching_depth, naive_vs_restricted, null_checks, arrays_level);
+criterion_group!(
+    benches,
+    matching_depth,
+    naive_vs_restricted,
+    null_checks,
+    arrays_level
+);
 criterion_main!(benches);

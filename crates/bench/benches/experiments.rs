@@ -22,39 +22,73 @@ fn e01_parse(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_check(c: &mut Criterion, group_name: &str, programs: &[paper::CorpusProgram], naive: bool) {
+fn bench_check(
+    c: &mut Criterion,
+    group_name: &str,
+    programs: &[paper::CorpusProgram],
+    naive: bool,
+) {
     let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
     for p in programs {
         let program = parse_program(p.source).expect("parses");
-        group.bench_with_input(BenchmarkId::from_parameter(p.name), &program, |b, program| {
-            b.iter(|| {
-                let options = CheckOptions { naive, ..CheckOptions::default() };
-                Checker::new(program, options).expect("analyses").check_all()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.name),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let options = CheckOptions {
+                        naive,
+                        ..CheckOptions::default()
+                    };
+                    Checker::new(program, options)
+                        .expect("analyses")
+                        .check_all()
+                });
+            },
+        );
     }
     group.finish();
 }
 
 /// E2: the §3.0 programs under the restricted checker.
 fn e02_pivot(c: &mut Criterion) {
-    bench_check(c, "e02_pivot", &[paper::SECTION30_Q, paper::SECTION30_FULL], false);
+    bench_check(
+        c,
+        "e02_pivot",
+        &[paper::SECTION30_Q, paper::SECTION30_FULL],
+        false,
+    );
 }
 
 /// E2 (baseline): same programs under the naive closed-world checker.
 fn e02_pivot_naive(c: &mut Criterion) {
-    bench_check(c, "e02_pivot_naive", &[paper::SECTION30_Q, paper::SECTION30_FULL], true);
+    bench_check(
+        c,
+        "e02_pivot_naive",
+        &[paper::SECTION30_Q, paper::SECTION30_FULL],
+        true,
+    );
 }
 
 /// E3: the §3.1 programs.
 fn e03_owner(c: &mut Criterion) {
-    bench_check(c, "e03_owner", &[paper::SECTION31_W, paper::SECTION31_BAD_CALL], false);
+    bench_check(
+        c,
+        "e03_owner",
+        &[paper::SECTION31_W, paper::SECTION31_BAD_CALL],
+        false,
+    );
 }
 
 /// E4/E5: the §5 worked examples.
 fn e04_e05_examples(c: &mut Criterion) {
-    bench_check(c, "e04_e05_examples", &[paper::EXAMPLE1, paper::EXAMPLE2], false);
+    bench_check(
+        c,
+        "e04_e05_examples",
+        &[paper::EXAMPLE1, paper::EXAMPLE2],
+        false,
+    );
 }
 
 /// E6: the cyclic-inclusion example at the default and starved budgets.
@@ -65,8 +99,13 @@ fn e06_cyclic(c: &mut Criterion) {
     for (label, budget) in [("default", Budget::default()), ("starved", Budget::tiny())] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &budget, |b, budget| {
             b.iter(|| {
-                let options = CheckOptions { budget: budget.clone(), ..CheckOptions::default() };
-                Checker::new(&program, options).expect("analyses").check_all()
+                let options = CheckOptions {
+                    budget: budget.clone(),
+                    ..CheckOptions::default()
+                };
+                Checker::new(&program, options)
+                    .expect("analyses")
+                    .check_all()
             });
         });
     }
@@ -101,7 +140,14 @@ fn e08_scaling(c: &mut Criterion) {
         ("small", GenConfig::default()),
         (
             "medium",
-            GenConfig { groups: 5, fields: 9, procs: 7, impls: 6, body_len: 7, ..GenConfig::default() },
+            GenConfig {
+                groups: 5,
+                fields: 9,
+                procs: 7,
+                impls: 6,
+                body_len: 7,
+                ..GenConfig::default()
+            },
         ),
         (
             "large",
@@ -117,9 +163,17 @@ fn e08_scaling(c: &mut Criterion) {
     ] {
         let source = generate_source(42, &cfg);
         let program = parse_program(&source).expect("parses");
-        group.bench_with_input(BenchmarkId::from_parameter(label), &program, |b, program| {
-            b.iter(|| Checker::new(program, CheckOptions::default()).expect("analyses").check_all());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    Checker::new(program, CheckOptions::default())
+                        .expect("analyses")
+                        .check_all()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -128,7 +182,12 @@ fn e08_scaling(c: &mut Criterion) {
 fn e09_prover_profile(c: &mut Criterion) {
     let mut group = c.benchmark_group("e09_prover_profile");
     group.sample_size(10);
-    for p in [paper::SECTION31_W, paper::EXAMPLE2, paper::EXAMPLE3, paper::RATIONAL] {
+    for p in [
+        paper::SECTION31_W,
+        paper::EXAMPLE2,
+        paper::EXAMPLE3,
+        paper::RATIONAL,
+    ] {
         let program = parse_program(p.source).expect("parses");
         let checker = Checker::new(&program, CheckOptions::default()).expect("analyses");
         let vcs: Vec<_> = checker
@@ -152,9 +211,13 @@ fn e10_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_overhead");
     for p in [paper::STACK_MODULE, paper::RATIONAL] {
         let program = parse_program(p.source).expect("parses");
-        group.bench_with_input(BenchmarkId::from_parameter(p.name), &program, |b, program| {
-            b.iter(|| datagroups::overhead(program));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.name),
+            &program,
+            |b, program| {
+                b.iter(|| datagroups::overhead(program));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,55 @@
+//! E13: cold-vs-warm batch verification through the incremental engine.
+//!
+//! The cold path parses, analyses, fingerprints, and proves every corpus
+//! obligation; the warm path does everything except the proving, which it
+//! serves from the verdict cache. The gap between the two groups is the
+//! engine's raison d'être.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oolong_corpus::paper;
+use oolong_engine::{BatchUnit, Engine, EngineOptions};
+
+fn corpus_units() -> Vec<BatchUnit> {
+    paper::all()
+        .iter()
+        .map(|p| BatchUnit {
+            name: p.name.to_string(),
+            source: p.source.to_string(),
+        })
+        .collect()
+}
+
+/// E13a: cold batch — a fresh engine (empty cache) per iteration.
+fn e13_cold_batch(c: &mut Criterion) {
+    let units = corpus_units();
+    let mut group = c.benchmark_group("e13_cold_batch");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("corpus"), &units, |b, units| {
+        b.iter(|| {
+            let engine = Engine::new(EngineOptions::default()).expect("in-memory engine");
+            engine.check_batch(units)
+        });
+    });
+    group.finish();
+}
+
+/// E13b: warm batch — one engine, cache populated before timing; every
+/// fingerprinted obligation is a hit and no prover call happens.
+fn e13_warm_cache(c: &mut Criterion) {
+    let units = corpus_units();
+    let engine = Engine::new(EngineOptions::default()).expect("in-memory engine");
+    let cold = engine.check_batch(&units);
+    assert!(cold.prover_calls > 0, "the cold run populates the cache");
+    let mut group = c.benchmark_group("e13_warm_cache");
+    group.bench_with_input(BenchmarkId::from_parameter("corpus"), &units, |b, units| {
+        b.iter(|| {
+            let warm = engine.check_batch(units);
+            assert_eq!(warm.prover_calls, 0, "warm runs never reach the prover");
+            warm
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, e13_cold_batch, e13_warm_cache);
+criterion_main!(benches);

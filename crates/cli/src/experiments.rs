@@ -10,9 +10,19 @@ use std::time::Instant;
 
 fn verdict(source: &str, proc: &str, naive: bool) -> String {
     let program = parse_program(source).expect("parses");
-    let options = CheckOptions { naive, ..CheckOptions::default() };
-    let report = Checker::new(&program, options).expect("analyses").check_all();
-    report.for_proc(proc).expect("checked").verdict.label().to_string()
+    let options = CheckOptions {
+        naive,
+        ..CheckOptions::default()
+    };
+    let report = Checker::new(&program, options)
+        .expect("analyses")
+        .check_all();
+    report
+        .for_proc(proc)
+        .expect("checked")
+        .verdict
+        .label()
+        .to_string()
 }
 
 /// Runs all experiments, printing one section per experiment id.
@@ -27,37 +37,66 @@ pub fn run_all() {
         assert!(parse_program(&printed).is_ok());
         ok += 1;
     }
-    println!("parsed + round-tripped {ok}/{} corpus programs\n", oolong_corpus::all().len());
+    println!(
+        "parsed + round-tripped {ok}/{} corpus programs\n",
+        oolong_corpus::all().len()
+    );
 
     println!("## E2 — pivot uniqueness (§3.0)");
     let q = oolong_corpus::paper::SECTION30_Q.source;
     let full = oolong_corpus::paper::SECTION30_FULL.source;
-    println!("restricted  q@interface={}  q@full={}  m@full={}",
-        verdict(q, "q", false), verdict(full, "q", false), verdict(full, "m", false));
-    println!("naive       q@interface={}  q@full={}  m@full={}\n",
-        verdict(q, "q", true), verdict(full, "q", true), verdict(full, "m", true));
+    println!(
+        "restricted  q@interface={}  q@full={}  m@full={}",
+        verdict(q, "q", false),
+        verdict(full, "q", false),
+        verdict(full, "m", false)
+    );
+    println!(
+        "naive       q@interface={}  q@full={}  m@full={}\n",
+        verdict(q, "q", true),
+        verdict(full, "q", true),
+        verdict(full, "m", true)
+    );
 
     println!("## E3 — owner exclusion (§3.1)");
     let w = oolong_corpus::paper::SECTION31_W.source;
     let bad = oolong_corpus::paper::SECTION31_BAD_CALL.source;
-    println!("restricted  w@interface={}  w@full={}  bad_caller={}",
-        verdict(w, "w", false), verdict(bad, "w", false), verdict(bad, "bad_caller", false));
-    println!("naive       w@interface={}  bad_caller={}\n",
-        verdict(w, "w", true), verdict(bad, "bad_caller", true));
+    println!(
+        "restricted  w@interface={}  w@full={}  bad_caller={}",
+        verdict(w, "w", false),
+        verdict(bad, "w", false),
+        verdict(bad, "bad_caller", false)
+    );
+    println!(
+        "naive       w@interface={}  bad_caller={}\n",
+        verdict(w, "w", true),
+        verdict(bad, "bad_caller", true)
+    );
 
     println!("## E4/E5 — §5 examples 1-2");
-    println!("example1 p={}  example2 twice={}\n",
+    println!(
+        "example1 p={}  example2 twice={}\n",
         verdict(oolong_corpus::paper::EXAMPLE1.source, "p", false),
-        verdict(oolong_corpus::paper::EXAMPLE2.source, "twice", false));
+        verdict(oolong_corpus::paper::EXAMPLE2.source, "twice", false)
+    );
 
     println!("## E6 — cyclic rep inclusions (§5 example 3)");
     let e3 = oolong_corpus::paper::EXAMPLE3.source;
     let program = parse_program(e3).expect("parses");
     for (label, budget) in [("default", Budget::default()), ("starved", Budget::tiny())] {
-        let options = CheckOptions { budget, ..CheckOptions::default() };
-        let report = Checker::new(&program, options).expect("analyses").check_all();
+        let options = CheckOptions {
+            budget,
+            ..CheckOptions::default()
+        };
+        let report = Checker::new(&program, options)
+            .expect("analyses")
+            .check_all();
         let rep = report.for_proc("updateAll").expect("checked");
-        let stats = rep.verdict.stats().map(ToString::to_string).unwrap_or_default();
+        let stats = rep
+            .verdict
+            .stats()
+            .map(ToString::to_string)
+            .unwrap_or_default();
         println!("{label:>8}: {} [{stats}]", rep.verdict.label());
     }
     println!();
@@ -67,44 +106,71 @@ pub fn run_all() {
     let mut stable = 0;
     for p in oolong_corpus::all() {
         let program = parse_program(p.source).expect("parses");
-        let full_report =
-            Checker::new(&program, CheckOptions::default()).expect("analyses").check_all();
+        let full_report = Checker::new(&program, CheckOptions::default())
+            .expect("analyses")
+            .check_all();
         // Modules of an arrays-level program are checked at that level.
         let arrays_level = p.source.contains("maps elem") || p.source.contains('[');
         for (i, decl) in program.decls.iter().enumerate() {
             let Decl::Impl(im) = decl else { continue };
             let sub = subset_program(&program, &closure_for_impl(&program, i));
-            let options =
-                CheckOptions { force_arrays_level: arrays_level, ..CheckOptions::default() };
+            let options = CheckOptions {
+                force_arrays_level: arrays_level,
+                ..CheckOptions::default()
+            };
             let small = Checker::new(&sub, options).expect("analyses").check_all();
-            let small_v = small.for_proc(&im.name.text).expect("checked").verdict.is_verified();
-            let full_v =
-                full_report.for_proc(&im.name.text).expect("checked").verdict.is_verified();
+            let small_v = small
+                .for_proc(&im.name.text)
+                .expect("checked")
+                .verdict
+                .is_verified();
+            let full_v = full_report
+                .for_proc(&im.name.text)
+                .expect("checked")
+                .verdict
+                .is_verified();
             checked += 1;
             if !small_v || full_v {
                 stable += 1;
             }
         }
     }
-    println!("{stable}/{checked} implementations keep their modular verdict in the whole program\n");
+    println!(
+        "{stable}/{checked} implementations keep their modular verdict in the whole program\n"
+    );
 
     println!("## E8 — checker scaling on generated programs");
     for (label, cfg) in [
         ("small", oolong_corpus::GenConfig::default()),
-        ("medium", oolong_corpus::GenConfig {
-            groups: 5, fields: 9, procs: 7, impls: 6, body_len: 7,
-            ..oolong_corpus::GenConfig::default()
-        }),
-        ("large", oolong_corpus::GenConfig {
-            groups: 8, fields: 14, procs: 10, impls: 9, body_len: 9,
-            ..oolong_corpus::GenConfig::default()
-        }),
+        (
+            "medium",
+            oolong_corpus::GenConfig {
+                groups: 5,
+                fields: 9,
+                procs: 7,
+                impls: 6,
+                body_len: 7,
+                ..oolong_corpus::GenConfig::default()
+            },
+        ),
+        (
+            "large",
+            oolong_corpus::GenConfig {
+                groups: 8,
+                fields: 14,
+                procs: 10,
+                impls: 9,
+                body_len: 9,
+                ..oolong_corpus::GenConfig::default()
+            },
+        ),
     ] {
         let source = oolong_corpus::generate_source(42, &cfg);
         let program = parse_program(&source).expect("parses");
         let t = Instant::now();
-        let report =
-            Checker::new(&program, CheckOptions::default()).expect("analyses").check_all();
+        let report = Checker::new(&program, CheckOptions::default())
+            .expect("analyses")
+            .check_all();
         let (v, r, u) = report.tally();
         println!(
             "{label:>7}: {} decls, {} impls -> {v} verified / {r} rejected / {u} unknown in {:?}",
@@ -118,8 +184,9 @@ pub fn run_all() {
     println!("## E9 — prover work profile per corpus program");
     for p in oolong_corpus::all() {
         let program = parse_program(p.source).expect("parses");
-        let report =
-            Checker::new(&program, CheckOptions::default()).expect("analyses").check_all();
+        let report = Checker::new(&program, CheckOptions::default())
+            .expect("analyses")
+            .check_all();
         for rep in &report.impls {
             if let Some(stats) = rep.verdict.stats() {
                 println!("{:<20} {:<12} {}", p.name, rep.proc_name, stats);
@@ -138,7 +205,10 @@ pub fn run_all() {
         spec += r.spec_tokens;
         total += r.total_tokens;
     }
-    println!("corpus-wide: {spec} of {total} tokens ({:.1}%)\n", 100.0 * spec as f64 / total as f64);
+    println!(
+        "corpus-wide: {spec} of {total} tokens ({:.1}%)\n",
+        100.0 * spec as f64 / total as f64
+    );
 
     println!("## E11 — explicit modules (extension)");
     {
@@ -156,10 +226,15 @@ pub fn run_all() {
     println!("## E12 — array dependencies (§6 future work, extension)");
     {
         let program = parse_program(oolong_corpus::paper::ARRAY_TABLE.source).expect("parses");
-        let report =
-            Checker::new(&program, CheckOptions::default()).expect("analyses").check_all();
+        let report = Checker::new(&program, CheckOptions::default())
+            .expect("analyses")
+            .check_all();
         for rep in &report.impls {
-            let stats = rep.verdict.stats().map(ToString::to_string).unwrap_or_default();
+            let stats = rep
+                .verdict
+                .stats()
+                .map(ToString::to_string)
+                .unwrap_or_default();
             println!("{:<10} {} [{stats}]", rep.proc_name, rep.verdict.label());
         }
         println!();

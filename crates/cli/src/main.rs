@@ -1,20 +1,27 @@
 //! `oolong` — command-line interface to the data-group side-effect checker.
 //!
 //! ```text
-//! oolong check <file|corpus:NAME> [--naive] [--null-checks] [--max-instances N] [--max-gen N]
-//! oolong run   <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
-//! oolong vc    <file|corpus:NAME> [--proc NAME]
-//! oolong stats <file|corpus:NAME>
+//! oolong check   <file|corpus:NAME> [--naive] [--null-checks] [--json]
+//! oolong batch   <files...> [--cache-dir DIR] [--workers N] [--events PATH] [--json]
+//! oolong recheck [--cache-dir DIR] [--events PATH] [--json]
+//! oolong run     <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
+//! oolong vc      <file|corpus:NAME> [--proc NAME]
+//! oolong stats   <file|corpus:NAME>
 //! oolong corpus
 //! ```
 //!
 //! Sources can be file paths or `corpus:NAME` references into the embedded
-//! paper corpus (see `oolong corpus`).
+//! paper corpus (see `oolong corpus`). `batch` checks many units through
+//! the incremental engine, persisting verdicts under `--cache-dir`;
+//! `recheck` repeats the last recorded batch against the same cache, so an
+//! unchanged program verifies without a single prover call.
 
 use datagroups::{overhead, CheckOptions, Checker};
+use oolong_engine::{BatchUnit, Engine, EngineOptions, Json};
 use oolong_interp::{ExecConfig, Interp, RngOracle, RunOutcome};
 use oolong_sema::Scope;
 use oolong_syntax::parse_program;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 mod experiments;
@@ -32,11 +39,15 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage:
-  oolong check <file|corpus:NAME> [--modular] [--naive] [--null-checks] [--explain]
-               [--max-instances N] [--max-gen N]
-  oolong run   <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
-  oolong vc    <file|corpus:NAME> [--proc NAME]
-  oolong stats <file|corpus:NAME>
+  oolong check   <file|corpus:NAME> [--modular] [--naive] [--null-checks] [--explain]
+                 [--json] [--max-instances N] [--max-gen N]
+  oolong batch   <files|corpus:NAMEs...> [--cache-dir DIR] [--no-cache] [--workers N]
+                 [--events PATH] [--json] [--naive] [--null-checks]
+                 [--max-instances N] [--max-gen N]
+  oolong recheck [--cache-dir DIR] [--events PATH] [--json]
+  oolong run     <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
+  oolong vc      <file|corpus:NAME> [--proc NAME]
+  oolong stats   <file|corpus:NAME>
   oolong corpus
   oolong experiments"
         .to_string()
@@ -48,6 +59,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
+        "recheck" => cmd_recheck(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "vc" => cmd_vc(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
@@ -78,13 +91,25 @@ fn flag(args: &[String], name: &str) -> bool {
 }
 
 /// Names of options that consume a following value.
-const VALUE_OPTS: &[&str] = &["--max-instances", "--max-gen", "--proc", "--seeds"];
+const VALUE_OPTS: &[&str] = &[
+    "--max-instances",
+    "--max-gen",
+    "--proc",
+    "--seeds",
+    "--cache-dir",
+    "--workers",
+    "--events",
+];
 
 fn opt_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
-fn positional(args: &[String]) -> Result<&str, String> {
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
     let mut skip_next = false;
     for a in args {
         if skip_next {
@@ -96,15 +121,21 @@ fn positional(args: &[String]) -> Result<&str, String> {
             continue;
         }
         if !a.starts_with("--") {
-            return Ok(a);
+            out.push(a.as_str());
         }
     }
-    Err(format!("missing input\n{}", usage()))
+    out
 }
 
-fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
-    let source = load_source(positional(args)?)?;
-    let program = parse_program(&source).map_err(|e| e.render(&source))?;
+fn positional(args: &[String]) -> Result<&str, String> {
+    positionals(args)
+        .first()
+        .copied()
+        .ok_or_else(|| format!("missing input\n{}", usage()))
+}
+
+/// Parses the checking options shared by `check` and `batch`.
+fn check_options(args: &[String]) -> Result<CheckOptions, String> {
     let mut options = CheckOptions {
         naive: flag(args, "--naive"),
         null_checks: flag(args, "--null-checks"),
@@ -116,13 +147,33 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     if let Some(n) = opt_value(args, "--max-gen") {
         options.budget.max_term_gen = n.parse().map_err(|_| "bad --max-gen")?;
     }
+    Ok(options)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let source = load_source(positional(args)?)?;
+    let program = parse_program(&source).map_err(|e| e.render(&source))?;
+    let options = check_options(args)?;
     if flag(args, "--modular") {
-        let report = datagroups::check_modular(&program, &options).map_err(|e| e.render(&source))?;
+        let report =
+            datagroups::check_modular(&program, &options).map_err(|e| e.render(&source))?;
         println!("{report}");
-        return Ok(if report.all_verified() { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+        return Ok(if report.all_verified() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
     }
     let checker = Checker::new(&program, options).map_err(|e| e.render(&source))?;
     let report = checker.check_all_parallel();
+    if flag(args, "--json") {
+        println!("{}", check_report_json(&report).render());
+        return Ok(if report.all_verified() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
     let explain = flag(args, "--explain");
     for rep in &report.impls {
         print!("impl {}: {}", rep.proc_name, rep.verdict);
@@ -141,7 +192,210 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     }
     let (v, r, u) = report.tally();
     println!("{v} verified, {r} rejected, {u} unknown");
-    Ok(if report.all_verified() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    Ok(if report.all_verified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// The `--json` rendering of a plain `check` report.
+fn check_report_json(report: &datagroups::Report) -> Json {
+    let impls = report
+        .impls
+        .iter()
+        .map(|rep| {
+            let mut members = vec![
+                ("proc".to_string(), Json::Str(rep.proc_name.clone())),
+                (
+                    "verdict".to_string(),
+                    Json::Str(rep.verdict.label().to_string()),
+                ),
+            ];
+            if let Some(stats) = rep.verdict.stats() {
+                members.push((
+                    "stats".to_string(),
+                    Json::Object(
+                        stats
+                            .to_fields()
+                            .into_iter()
+                            .map(|(name, value)| (name.to_string(), Json::Int(value as i64)))
+                            .collect(),
+                    ),
+                ));
+            }
+            if let Some(branch) = rep.verdict.open_branch() {
+                members.push((
+                    "open_branch".to_string(),
+                    Json::Array(branch.iter().map(|l| Json::Str(l.clone())).collect()),
+                ));
+            }
+            Json::Object(members)
+        })
+        .collect();
+    let (v, r, u) = report.tally();
+    Json::Object(vec![
+        ("impls".to_string(), Json::Array(impls)),
+        (
+            "summary".to_string(),
+            Json::Object(vec![
+                ("verified".to_string(), Json::Int(v as i64)),
+                ("rejected".to_string(), Json::Int(r as i64)),
+                ("unknown".to_string(), Json::Int(u as i64)),
+            ]),
+        ),
+    ])
+}
+
+/// Default location of the persistent verdict cache and batch manifest.
+const DEFAULT_CACHE_DIR: &str = ".oolong-cache";
+
+/// Parses everything `batch`/`recheck` need *before* any side effect
+/// (notably the manifest write), so a bad option leaves the recorded
+/// batch untouched.
+fn engine_options(args: &[String], cache_dir: Option<PathBuf>) -> Result<EngineOptions, String> {
+    let workers = match opt_value(args, "--workers") {
+        Some(n) => n.parse().map_err(|_| "bad --workers")?,
+        None => 0,
+    };
+    Ok(EngineOptions {
+        check: check_options(args)?,
+        workers,
+        cache_dir,
+    })
+}
+
+/// Shared driver behind `batch` and `recheck`.
+fn run_batch(
+    args: &[String],
+    units: Vec<BatchUnit>,
+    options: EngineOptions,
+) -> Result<ExitCode, String> {
+    let engine = Engine::new(options).map_err(|e| format!("cannot open cache: {e}"))?;
+    let report = engine.check_batch(&units);
+    if let Some(path) = opt_value(args, "--events") {
+        std::fs::write(&path, report.events_jsonl())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if flag(args, "--json") {
+        println!("{}", report.to_json().render());
+        return Ok(if report.all_verified() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+    for error in &report.unit_errors {
+        eprintln!("{}: {}", error.unit, error.message);
+    }
+    for obligation in &report.obligations {
+        print!(
+            "impl {} ({}): {}",
+            obligation.proc_name, obligation.unit, obligation.verdict
+        );
+        if obligation.cache_hit {
+            print!("  [cached]");
+        } else if let Some(stats) = obligation.verdict.stats() {
+            print!("  [{stats}]");
+        }
+        println!();
+    }
+    let (v, r, u) = report.tally();
+    println!(
+        "{} obligations: {v} verified, {r} rejected, {u} unknown; {} cache hits, {} prover calls, {:.1} ms",
+        report.obligations.len(),
+        report.cache_hits,
+        report.prover_calls,
+        report.millis
+    );
+    Ok(if report.all_verified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+    let specs = positionals(args);
+    if specs.is_empty() {
+        return Err(format!("missing input\n{}", usage()));
+    }
+    let units = specs
+        .iter()
+        .map(|spec| {
+            Ok(BatchUnit {
+                name: spec.to_string(),
+                source: load_source(spec)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let cache_dir = batch_cache_dir(args);
+    let options = engine_options(args, cache_dir.clone())?;
+    if let Some(dir) = &cache_dir {
+        write_manifest(dir, &specs)?;
+    }
+    run_batch(args, units, options)
+}
+
+fn cmd_recheck(args: &[String]) -> Result<ExitCode, String> {
+    let dir = batch_cache_dir(args)
+        .ok_or("recheck needs a cache (drop --no-cache or pass --cache-dir DIR)")?;
+    let specs = read_manifest(&dir)?;
+    let units = specs
+        .iter()
+        .map(|spec| {
+            Ok(BatchUnit {
+                name: spec.clone(),
+                source: load_source(spec)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let options = engine_options(args, Some(dir))?;
+    run_batch(args, units, options)
+}
+
+fn batch_cache_dir(args: &[String]) -> Option<PathBuf> {
+    if flag(args, "--no-cache") {
+        return None;
+    }
+    Some(PathBuf::from(
+        opt_value(args, "--cache-dir").unwrap_or_else(|| DEFAULT_CACHE_DIR.to_string()),
+    ))
+}
+
+/// Records which units the last `batch` checked, so `recheck` can repeat it.
+fn write_manifest(dir: &Path, specs: &[&str]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+    let manifest = Json::Object(vec![(
+        "units".to_string(),
+        Json::Array(specs.iter().map(|s| Json::Str(s.to_string())).collect()),
+    )]);
+    let path = dir.join("manifest.json");
+    std::fs::write(&path, manifest.render())
+        .map_err(|e| format!("cannot write `{}`: {e}", path.display()))
+}
+
+fn read_manifest(dir: &Path) -> Result<Vec<String>, String> {
+    let path = dir.join("manifest.json");
+    let text = std::fs::read_to_string(&path).map_err(|_| {
+        format!(
+            "no batch recorded under `{}` (run `oolong batch` first)",
+            dir.display()
+        )
+    })?;
+    let value = oolong_engine::json::parse(&text)
+        .map_err(|e| format!("corrupt manifest `{}`: {e}", path.display()))?;
+    value
+        .get("units")
+        .and_then(Json::as_array)
+        .map(|units| {
+            units
+                .iter()
+                .filter_map(|u| u.as_str().map(str::to_string))
+                .collect::<Vec<_>>()
+        })
+        .filter(|units| !units.is_empty())
+        .ok_or_else(|| format!("corrupt manifest `{}`: no units", path.display()))
 }
 
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
@@ -173,15 +427,20 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             }
         }
     }
-    println!("{seeds} runs: {completed} completed, {blocked} blocked, {wrong} wrong, {fuel} out-of-fuel");
-    Ok(if wrong == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    println!(
+        "{seeds} runs: {completed} completed, {blocked} blocked, {wrong} wrong, {fuel} out-of-fuel"
+    );
+    Ok(if wrong == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_vc(args: &[String]) -> Result<ExitCode, String> {
     let source = load_source(positional(args)?)?;
     let program = parse_program(&source).map_err(|e| e.render(&source))?;
-    let checker =
-        Checker::new(&program, CheckOptions::default()).map_err(|e| e.render(&source))?;
+    let checker = Checker::new(&program, CheckOptions::default()).map_err(|e| e.render(&source))?;
     let filter = opt_value(args, "--proc");
     for (impl_id, info) in checker.scope().impls() {
         let name = checker.scope().proc_info(info.proc).name.clone();
@@ -191,7 +450,10 @@ fn cmd_vc(args: &[String]) -> Result<ExitCode, String> {
             }
         }
         let vc = checker.vc(impl_id).map_err(|e| e.to_string())?;
-        println!("=== VC for impl {name} ({} hypotheses)", vc.hypotheses.len());
+        println!(
+            "=== VC for impl {name} ({} hypotheses)",
+            vc.hypotheses.len()
+        );
         for (i, h) in vc.hypotheses.iter().enumerate() {
             println!("H{i}: {h}");
         }

@@ -1,0 +1,105 @@
+//! End-to-end tests of `oolong batch` / `oolong recheck`: a cold batch
+//! over embedded corpus programs, then a warm recheck against the same
+//! cache directory, with the zero-prover-call claim checked by reading the
+//! JSONL event log the CLI wrote.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn oolong(args: &[&str], dir: &PathBuf) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_oolong"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawns the oolong binary")
+}
+
+fn event_count(jsonl: &str, kind: &str) -> usize {
+    let needle = format!("{{\"event\":\"{kind}\"");
+    jsonl
+        .lines()
+        .filter(|line| line.starts_with(&needle))
+        .count()
+}
+
+#[test]
+fn batch_then_recheck_is_warm() {
+    let dir = std::env::temp_dir().join(format!("oolong-cli-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir");
+
+    let cold = oolong(
+        &[
+            "batch",
+            "corpus:example1",
+            "corpus:stack_module",
+            "--events",
+            "cold.jsonl",
+        ],
+        &dir,
+    );
+    assert!(
+        cold.status.success(),
+        "cold batch: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&cold.stdout);
+    assert!(
+        stdout.contains("prover calls"),
+        "summary line present: {stdout}"
+    );
+
+    let warm = oolong(&["recheck", "--events", "warm.jsonl", "--json"], &dir);
+    assert!(
+        warm.status.success(),
+        "recheck: {}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let report = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        report.contains("\"prover_calls\":0"),
+        "warm recheck is all cache: {report}"
+    );
+
+    let log = std::fs::read_to_string(dir.join("warm.jsonl")).expect("event log written");
+    assert!(event_count(&log, "obligation_started") > 0);
+    assert_eq!(
+        event_count(&log, "verified"),
+        0,
+        "no prover verdicts on a warm run"
+    );
+    assert_eq!(event_count(&log, "refuted"), 0);
+    assert_eq!(event_count(&log, "fuel_exhausted"), 0);
+    assert_eq!(
+        event_count(&log, "cache_hit"),
+        event_count(&log, "obligation_started")
+    );
+    assert_eq!(event_count(&log, "batch_summary"), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recheck_without_a_batch_is_an_error() {
+    let dir = std::env::temp_dir().join(format!("oolong-cli-norecheck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let out = oolong(&["recheck"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no batch recorded"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_json_is_parseable_shape() {
+    let dir = std::env::temp_dir().join(format!("oolong-cli-json-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let out = oolong(&["check", "corpus:example1", "--json"], &dir);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_end().starts_with('{') && stdout.trim_end().ends_with('}'));
+    assert!(stdout.contains("\"impls\":"));
+    assert!(stdout.contains("\"summary\":"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -96,9 +96,18 @@ pub fn closed_world_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formu
             .into_iter()
             .map(|(g, f, b)| {
                 Formula::and(vec![
-                    Formula::eq(Term::var(av.clone()), Term::attr(scope.attr_info(g).name.clone())),
-                    Formula::eq(Term::var(fv.clone()), Term::attr(scope.attr_info(f).name.clone())),
-                    Formula::eq(Term::var(bv.clone()), Term::attr(scope.attr_info(b).name.clone())),
+                    Formula::eq(
+                        Term::var(av.clone()),
+                        Term::attr(scope.attr_info(g).name.clone()),
+                    ),
+                    Formula::eq(
+                        Term::var(fv.clone()),
+                        Term::attr(scope.attr_info(f).name.clone()),
+                    ),
+                    Formula::eq(
+                        Term::var(bv.clone()),
+                        Term::attr(scope.attr_info(b).name.clone()),
+                    ),
                 ])
             })
             .collect();
@@ -117,7 +126,10 @@ pub fn closed_world_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formu
         for (attr, info) in scope.attrs() {
             for &g in scope.enclosing_groups(attr) {
                 arms.push(Formula::and(vec![
-                    Formula::eq(Term::var(gv.clone()), Term::attr(scope.attr_info(g).name.clone())),
+                    Formula::eq(
+                        Term::var(gv.clone()),
+                        Term::attr(scope.attr_info(g).name.clone()),
+                    ),
                     Formula::eq(Term::var(av.clone()), Term::attr(info.name.clone())),
                 ]));
             }
@@ -210,7 +222,10 @@ fn field_rep_axioms(
         let arms = mapped
             .iter()
             .map(|&b| {
-                Formula::eq(Term::var(bv.clone()), Term::attr(scope.attr_info(b).name.clone()))
+                Formula::eq(
+                    Term::var(bv.clone()),
+                    Term::attr(scope.attr_info(b).name.clone()),
+                )
             })
             .collect();
         axioms.push(Formula::forall(
@@ -234,7 +249,10 @@ fn field_rep_axioms(
             .mappers(field, b)
             .iter()
             .map(|&a| {
-                Formula::eq(Term::var(av.clone()), Term::attr(scope.attr_info(a).name.clone()))
+                Formula::eq(
+                    Term::var(av.clone()),
+                    Term::attr(scope.attr_info(a).name.clone()),
+                )
             })
             .collect();
         axioms.push(Formula::forall(
@@ -283,7 +301,10 @@ fn field_rep_axioms(
         axioms.push(Formula::forall(
             vec![s, z, v, x, a, y, b],
             triggers,
-            Formula::Iff(Box::new(Formula::Atom(inc_upd)), Box::new(Formula::Atom(inc_base))),
+            Formula::Iff(
+                Box::new(Formula::Atom(inc_upd)),
+                Box::new(Formula::Atom(inc_base)),
+            ),
         ));
     }
 
@@ -313,7 +334,10 @@ fn field_rep_elem_axioms(
         let arms = mapped
             .iter()
             .map(|&b| {
-                Formula::eq(Term::var(bv.clone()), Term::attr(scope.attr_info(b).name.clone()))
+                Formula::eq(
+                    Term::var(bv.clone()),
+                    Term::attr(scope.attr_info(b).name.clone()),
+                )
             })
             .collect();
         axioms.push(Formula::forall(
@@ -336,7 +360,10 @@ fn field_rep_elem_axioms(
             .mappers_kind(field, b, true)
             .iter()
             .map(|&a| {
-                Formula::eq(Term::var(av.clone()), Term::attr(scope.attr_info(a).name.clone()))
+                Formula::eq(
+                    Term::var(av.clone()),
+                    Term::attr(scope.attr_info(a).name.clone()),
+                )
             })
             .collect();
         axioms.push(Formula::forall(
@@ -353,14 +380,27 @@ fn field_rep_elem_axioms(
 
 /// `∀S,X,A,V :: select(S(X·A := V), X, A) = V`.
 fn select_update_same(fresh: &mut FreshGen) -> Formula {
-    let (s, x, a, v) =
-        (fresh.fresh("ubS"), fresh.fresh("ubX"), fresh.fresh("ubA"), fresh.fresh("ubV"));
-    let upd = Term::update(Term::var(s.clone()), Term::var(x.clone()), Term::var(a.clone()), Term::var(v.clone()));
+    let (s, x, a, v) = (
+        fresh.fresh("ubS"),
+        fresh.fresh("ubX"),
+        fresh.fresh("ubA"),
+        fresh.fresh("ubV"),
+    );
+    let upd = Term::update(
+        Term::var(s.clone()),
+        Term::var(x.clone()),
+        Term::var(a.clone()),
+        Term::var(v.clone()),
+    );
     let body = Formula::eq(
         Term::select(upd.clone(), Term::var(x.clone()), Term::var(a.clone())),
         Term::var(v.clone()),
     );
-    Formula::forall(vec![s, x, a, v], vec![Trigger(vec![Pattern::Term(upd)])], body)
+    Formula::forall(
+        vec![s, x, a, v],
+        vec![Trigger(vec![Pattern::Term(upd)])],
+        body,
+    )
 }
 
 /// `∀S,X,A,V,Y,B :: (X = Y ∧ A = B) ∨ select(S(X·A := V), Y, B) = select(S, Y, B)`.
@@ -373,7 +413,12 @@ fn select_update_other(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubY"),
         fresh.fresh("ubB"),
     );
-    let upd = Term::update(Term::var(s.clone()), Term::var(x.clone()), Term::var(a.clone()), Term::var(v.clone()));
+    let upd = Term::update(
+        Term::var(s.clone()),
+        Term::var(x.clone()),
+        Term::var(a.clone()),
+        Term::var(v.clone()),
+    );
     let read = Term::select(upd, Term::var(y.clone()), Term::var(b.clone()));
     let body = Formula::or(vec![
         Formula::and(vec![
@@ -382,10 +427,18 @@ fn select_update_other(fresh: &mut FreshGen) -> Formula {
         ]),
         Formula::eq(
             read.clone(),
-            Term::select(Term::var(s.clone()), Term::var(y.clone()), Term::var(b.clone())),
+            Term::select(
+                Term::var(s.clone()),
+                Term::var(y.clone()),
+                Term::var(b.clone()),
+            ),
         ),
     ]);
-    Formula::forall(vec![s, x, a, v, y, b], vec![Trigger(vec![Pattern::Term(read)])], body)
+    Formula::forall(
+        vec![s, x, a, v, y, b],
+        vec![Trigger(vec![Pattern::Term(read)])],
+        body,
+    )
 }
 
 /// `∀S :: ¬alive(S, new(S)) ∧ new(S) ≠ null`.
@@ -393,7 +446,10 @@ fn new_unallocated(fresh: &mut FreshGen) -> Formula {
     let s = fresh.fresh("ubS");
     let new = Term::new_obj(Term::var(s.clone()));
     let body = Formula::and(vec![
-        Formula::not(Formula::Atom(Atom::Alive(Term::var(s.clone()), new.clone()))),
+        Formula::not(Formula::Atom(Atom::Alive(
+            Term::var(s.clone()),
+            new.clone(),
+        ))),
         Formula::neq(new.clone(), Term::null()),
     ]);
     Formula::forall(vec![s], vec![Trigger(vec![Pattern::Term(new)])], body)
@@ -403,7 +459,10 @@ fn new_unallocated(fresh: &mut FreshGen) -> Formula {
 fn succ_allocates_new(fresh: &mut FreshGen) -> Formula {
     let s = fresh.fresh("ubS");
     let succ = Term::succ(Term::var(s.clone()));
-    let body = Formula::Atom(Atom::Alive(succ.clone(), Term::new_obj(Term::var(s.clone()))));
+    let body = Formula::Atom(Atom::Alive(
+        succ.clone(),
+        Term::new_obj(Term::var(s.clone())),
+    ));
     Formula::forall(vec![s], vec![Trigger(vec![Pattern::Term(succ)])], body)
 }
 
@@ -432,7 +491,11 @@ fn succ_preserves_select(fresh: &mut FreshGen) -> Formula {
     let (s, x, a) = (fresh.fresh("ubS"), fresh.fresh("ubX"), fresh.fresh("ubA"));
     let succ = Term::succ(Term::var(s.clone()));
     let post = Term::select(succ.clone(), Term::var(x.clone()), Term::var(a.clone()));
-    let pre = Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(a.clone()));
+    let pre = Term::select(
+        Term::var(s.clone()),
+        Term::var(x.clone()),
+        Term::var(a.clone()),
+    );
     let triggers = vec![
         Trigger(vec![Pattern::Term(post.clone())]),
         Trigger(vec![Pattern::Term(pre.clone()), Pattern::Term(succ)]),
@@ -450,7 +513,12 @@ fn update_preserves_alive(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubV"),
         fresh.fresh("ubX"),
     );
-    let upd = Term::update(Term::var(s.clone()), Term::var(z.clone()), Term::var(fv.clone()), Term::var(v.clone()));
+    let upd = Term::update(
+        Term::var(s.clone()),
+        Term::var(z.clone()),
+        Term::var(fv.clone()),
+        Term::var(v.clone()),
+    );
     let post = Atom::Alive(upd, Term::var(x.clone()));
     let pre = Atom::Alive(Term::var(s.clone()), Term::var(x.clone()));
     // Query-driven: one trigger on the post-update side only.
@@ -485,9 +553,17 @@ fn null_is_alive(fresh: &mut FreshGen) -> Formula {
 /// returned through `result.obj` is not a fresh object the callee could
 /// freely mutate.
 fn reads_are_alive_or_null(fresh: &mut FreshGen) -> Formula {
-    let (s, x, a, s2) =
-        (fresh.fresh("ubS"), fresh.fresh("ubX"), fresh.fresh("ubA"), fresh.fresh("ubS"));
-    let read = Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(a.clone()));
+    let (s, x, a, s2) = (
+        fresh.fresh("ubS"),
+        fresh.fresh("ubX"),
+        fresh.fresh("ubA"),
+        fresh.fresh("ubS"),
+    );
+    let read = Term::select(
+        Term::var(s.clone()),
+        Term::var(x.clone()),
+        Term::var(a.clone()),
+    );
     let body = Formula::or(vec![
         Formula::eq(read.clone(), Term::null()),
         Formula::Atom(Atom::Alive(Term::var(s.clone()), read.clone())),
@@ -495,7 +571,11 @@ fn reads_are_alive_or_null(fresh: &mut FreshGen) -> Formula {
     // Query-driven: fires only when the aliveness of a read is in
     // question (in any store S2), not for every select term.
     let query = Atom::Alive(Term::var(s2.clone()), read);
-    Formula::forall(vec![s, x, a, s2], vec![Trigger(vec![Pattern::Atom(query)])], body)
+    Formula::forall(
+        vec![s, x, a, s2],
+        vec![Trigger(vec![Pattern::Atom(query)])],
+        body,
+    )
 }
 
 /// `a < b` or `a ≤ b` being *true* implies both operands are integers:
@@ -512,7 +592,10 @@ fn comparisons_are_ints(fresh: &mut FreshGen) -> Formula {
     ]);
     Formula::forall(
         vec![a, b],
-        vec![Trigger(vec![Pattern::Atom(lt.clone())]), Trigger(vec![Pattern::Atom(le.clone())])],
+        vec![
+            Trigger(vec![Pattern::Atom(lt.clone())]),
+            Trigger(vec![Pattern::Atom(le.clone())]),
+        ],
         Formula::and(vec![
             Formula::implies(Formula::Atom(lt), ints.clone()),
             Formula::implies(Formula::Atom(le), ints),
@@ -550,8 +633,12 @@ fn inclusion_connection(arrays: bool, fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubY"),
         fresh.fresh("ubB"),
     );
-    let (z, h, f, k) =
-        (fresh.fresh("ubZ"), fresh.fresh("ubH"), fresh.fresh("ubF"), fresh.fresh("ubK"));
+    let (z, h, f, k) = (
+        fresh.fresh("ubZ"),
+        fresh.fresh("ubH"),
+        fresh.fresh("ubF"),
+        fresh.fresh("ubK"),
+    );
     let inc = Atom::Inc {
         store: Term::var(s.clone()),
         obj: Term::var(x.clone()),
@@ -575,23 +662,36 @@ fn inclusion_connection(arrays: bool, fresh: &mut FreshGen) -> Formula {
         pivot: Term::var(f.clone()),
         mapped: Term::var(k.clone()),
     };
-    let chain_read =
-        Term::select(Term::var(s.clone()), Term::var(z.clone()), Term::var(f.clone()));
+    let chain_read = Term::select(
+        Term::var(s.clone()),
+        Term::var(z.clone()),
+        Term::var(f.clone()),
+    );
     let chain = Formula::exists_with_triggers(
         vec![z.clone(), h.clone(), f.clone(), k.clone()],
         // Selective triggers for the negated (universal) reading: an
         // inclusion prefix + rep declaration, or a pivot read + rep
         // declaration.
         vec![
-            Trigger(vec![Pattern::Atom(chain_inc.clone()), Pattern::Atom(chain_rep.clone())]),
-            Trigger(vec![Pattern::Term(chain_read), Pattern::Atom(chain_rep.clone())]),
+            Trigger(vec![
+                Pattern::Atom(chain_inc.clone()),
+                Pattern::Atom(chain_rep.clone()),
+            ]),
+            Trigger(vec![
+                Pattern::Term(chain_read),
+                Pattern::Atom(chain_rep.clone()),
+            ]),
         ],
         Formula::and(vec![
             Formula::Atom(chain_inc),
             Formula::Atom(chain_rep),
             Formula::eq(
                 Term::var(y.clone()),
-                Term::select(Term::var(s.clone()), Term::var(z.clone()), Term::var(f.clone())),
+                Term::select(
+                    Term::var(s.clone()),
+                    Term::var(z.clone()),
+                    Term::var(f.clone()),
+                ),
             ),
             Formula::Atom(Atom::LocalInc(Term::var(k.clone()), Term::var(b.clone()))),
         ]),
@@ -624,8 +724,12 @@ fn inclusion_connection(arrays: bool, fresh: &mut FreshGen) -> Formula {
 /// The elementwise *slot* chain of extended axiom (4):
 /// `∃Z,H,F,K :: S ⊨ X·A ≽ Z·H ∧ H ⇉F K ∧ Y = S(Z·F)`.
 fn slot_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str) -> Formula {
-    let (z, h, f, k) =
-        (fresh.fresh("ubZ"), fresh.fresh("ubH"), fresh.fresh("ubF"), fresh.fresh("ubK"));
+    let (z, h, f, k) = (
+        fresh.fresh("ubZ"),
+        fresh.fresh("ubH"),
+        fresh.fresh("ubF"),
+        fresh.fresh("ubK"),
+    );
     let inc = Atom::Inc {
         store: Term::var(s.to_string()),
         obj: Term::var(x.to_string()),
@@ -638,12 +742,19 @@ fn slot_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str) -> 
         pivot: Term::var(f.clone()),
         mapped: Term::var(k.clone()),
     };
-    let read = Term::select(Term::var(s.to_string()), Term::var(z.clone()), Term::var(f.clone()));
+    let read = Term::select(
+        Term::var(s.to_string()),
+        Term::var(z.clone()),
+        Term::var(f.clone()),
+    );
     Formula::exists_with_triggers(
         vec![z.clone(), h, f.clone(), k],
         vec![
             Trigger(vec![Pattern::Atom(inc.clone()), Pattern::Atom(rep.clone())]),
-            Trigger(vec![Pattern::Term(read.clone()), Pattern::Atom(rep.clone())]),
+            Trigger(vec![
+                Pattern::Term(read.clone()),
+                Pattern::Atom(rep.clone()),
+            ]),
         ],
         Formula::and(vec![
             Formula::Atom(inc),
@@ -676,7 +787,11 @@ fn elem_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str, b: 
         pivot: Term::var(f.clone()),
         mapped: Term::var(k.clone()),
     };
-    let arr = Term::select(Term::var(s.to_string()), Term::var(z.clone()), Term::var(f.clone()));
+    let arr = Term::select(
+        Term::var(s.to_string()),
+        Term::var(z.clone()),
+        Term::var(f.clone()),
+    );
     let slot = Term::select(Term::var(s.to_string()), arr.clone(), Term::var(i.clone()));
     Formula::exists_with_triggers(
         vec![z.clone(), h, f.clone(), k.clone(), i.clone()],
@@ -688,7 +803,10 @@ fn elem_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str, b: 
                 Pattern::Atom(rep.clone()),
                 Pattern::Term(slot.clone()),
             ]),
-            Trigger(vec![Pattern::Term(slot.clone()), Pattern::Atom(rep.clone())]),
+            Trigger(vec![
+                Pattern::Term(slot.clone()),
+                Pattern::Atom(rep.clone()),
+            ]),
         ],
         Formula::and(vec![
             Formula::Atom(inc),
@@ -733,7 +851,10 @@ fn inc_transitive(fresh: &mut FreshGen) -> Formula {
         obj2: Term::var(z.clone()),
         attr2: Term::var(c.clone()),
     };
-    let trigger = Trigger(vec![Pattern::Atom(first.clone()), Pattern::Atom(second.clone())]);
+    let trigger = Trigger(vec![
+        Pattern::Atom(first.clone()),
+        Pattern::Atom(second.clone()),
+    ]);
     Formula::forall(
         vec![s, x, a, y, b, z, c],
         vec![trigger],
@@ -776,7 +897,10 @@ fn succ_preserves_inc(fresh: &mut FreshGen) -> Formula {
     Formula::forall(
         vec![s, x, a, y, b],
         triggers,
-        Formula::Iff(Box::new(Formula::Atom(inc_succ)), Box::new(Formula::Atom(inc_base))),
+        Formula::Iff(
+            Box::new(Formula::Atom(inc_succ)),
+            Box::new(Formula::Atom(inc_base)),
+        ),
     )
 }
 
@@ -812,8 +936,16 @@ fn pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
         pivot: Term::var(f.clone()),
         mapped: Term::var(a.clone()),
     };
-    let pivot_read = Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(f.clone()));
-    let other_read = Term::select(Term::var(s.clone()), Term::var(y.clone()), Term::var(b.clone()));
+    let pivot_read = Term::select(
+        Term::var(s.clone()),
+        Term::var(x.clone()),
+        Term::var(f.clone()),
+    );
+    let other_read = Term::select(
+        Term::var(s.clone()),
+        Term::var(y.clone()),
+        Term::var(b.clone()),
+    );
     let antecedent = Formula::and(vec![
         Formula::Atom(rep.clone()),
         Formula::neq(pivot_read.clone(), Term::null()),
@@ -867,7 +999,11 @@ fn owner_acyclicity(fresh: &mut FreshGen) -> Formula {
         Formula::Atom(rep.clone()),
         Formula::eq(
             Term::var(y.clone()),
-            Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(f.clone())),
+            Term::select(
+                Term::var(s.clone()),
+                Term::var(x.clone()),
+                Term::var(f.clone()),
+            ),
         ),
         Formula::neq(Term::var(y.clone()), Term::null()),
     ]);
@@ -903,7 +1039,11 @@ fn pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
         pivot: Term::var(f.clone()),
         mapped: Term::var(a.clone()),
     };
-    let read = Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(f.clone()));
+    let read = Term::select(
+        Term::var(s.clone()),
+        Term::var(x.clone()),
+        Term::var(f.clone()),
+    );
     let body = Formula::implies(
         Formula::Atom(rep.clone()),
         Formula::or(vec![
@@ -947,7 +1087,11 @@ fn owner_acyclicity_elem_array(fresh: &mut FreshGen) -> Formula {
         Formula::Atom(rep.clone()),
         Formula::eq(
             Term::var(y.clone()),
-            Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(f.clone())),
+            Term::select(
+                Term::var(s.clone()),
+                Term::var(x.clone()),
+                Term::var(f.clone()),
+            ),
         ),
         Formula::neq(Term::var(y.clone()), Term::null()),
     ]);
@@ -994,13 +1138,22 @@ fn owner_acyclicity_element(fresh: &mut FreshGen) -> Formula {
         Formula::Atom(rep.clone()),
         Formula::eq(
             Term::var(r.clone()),
-            Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(f.clone())),
+            Term::select(
+                Term::var(s.clone()),
+                Term::var(x.clone()),
+                Term::var(f.clone()),
+            ),
         ),
         Formula::neq(Term::var(r.clone()), Term::null()),
         Formula::Atom(Atom::IsInt(Term::var(i.clone()))),
         Formula::eq(
             Term::var(e.clone()),
-            Term::select(Term::var(s.clone()), Term::var(r.clone()), Term::var(i.clone()))),
+            Term::select(
+                Term::var(s.clone()),
+                Term::var(r.clone()),
+                Term::var(i.clone()),
+            ),
+        ),
         Formula::neq(Term::var(e.clone()), Term::null()),
     ]);
     let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Atom(inc.clone())]);
@@ -1032,8 +1185,16 @@ fn elem_pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
         pivot: Term::var(f.clone()),
         mapped: Term::var(a.clone()),
     };
-    let pivot_read = Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(f.clone()));
-    let other_read = Term::select(Term::var(s.clone()), Term::var(y.clone()), Term::var(b.clone()));
+    let pivot_read = Term::select(
+        Term::var(s.clone()),
+        Term::var(x.clone()),
+        Term::var(f.clone()),
+    );
+    let other_read = Term::select(
+        Term::var(s.clone()),
+        Term::var(y.clone()),
+        Term::var(b.clone()),
+    );
     let antecedent = Formula::and(vec![
         Formula::Atom(rep.clone()),
         Formula::neq(pivot_read.clone(), Term::null()),
@@ -1043,8 +1204,11 @@ fn elem_pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
         Formula::eq(Term::var(x.clone()), Term::var(y.clone())),
         Formula::eq(Term::var(f.clone()), Term::var(b.clone())),
     ]);
-    let trigger =
-        Trigger(vec![Pattern::Atom(rep), Pattern::Term(pivot_read), Pattern::Term(other_read)]);
+    let trigger = Trigger(vec![
+        Pattern::Atom(rep),
+        Pattern::Term(pivot_read),
+        Pattern::Term(other_read),
+    ]);
     Formula::forall(
         vec![g, f, a, s, x, y, b],
         vec![trigger],
@@ -1071,7 +1235,11 @@ fn elem_pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
         pivot: Term::var(f.clone()),
         mapped: Term::var(a.clone()),
     };
-    let read = Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(f.clone()));
+    let read = Term::select(
+        Term::var(s.clone()),
+        Term::var(x.clone()),
+        Term::var(f.clone()),
+    );
     let body = Formula::implies(
         Formula::Atom(rep.clone()),
         Formula::or(vec![
@@ -1134,8 +1302,16 @@ fn slot_uniqueness(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubY"),
         fresh.fresh("ubB"),
     );
-    let slot_read = Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(i.clone()));
-    let other_read = Term::select(Term::var(s.clone()), Term::var(y.clone()), Term::var(b.clone()));
+    let slot_read = Term::select(
+        Term::var(s.clone()),
+        Term::var(x.clone()),
+        Term::var(i.clone()),
+    );
+    let other_read = Term::select(
+        Term::var(s.clone()),
+        Term::var(y.clone()),
+        Term::var(b.clone()),
+    );
     let antecedent = Formula::and(vec![
         Formula::Atom(Atom::IsInt(Term::var(i.clone()))),
         Formula::neq(slot_read.clone(), Term::null()),
@@ -1146,7 +1322,11 @@ fn slot_uniqueness(fresh: &mut FreshGen) -> Formula {
         Formula::eq(Term::var(i.clone()), Term::var(b.clone())),
     ]);
     let trigger = Trigger(vec![Pattern::Term(slot_read), Pattern::Term(other_read)]);
-    Formula::forall(vec![s, x, i, y, b], vec![trigger], Formula::implies(antecedent, conclusion))
+    Formula::forall(
+        vec![s, x, i, y, b],
+        vec![trigger],
+        Formula::implies(antecedent, conclusion),
+    )
 }
 
 /// Slot values are `null` or objects (slots are only assigned `new()` or
@@ -1157,7 +1337,11 @@ fn slot_uniqueness(fresh: &mut FreshGen) -> Formula {
 /// ```
 fn slot_values_are_objects(fresh: &mut FreshGen) -> Formula {
     let (s, x, i) = (fresh.fresh("ubS"), fresh.fresh("ubX"), fresh.fresh("ubI"));
-    let read = Term::select(Term::var(s.clone()), Term::var(x.clone()), Term::var(i.clone()));
+    let read = Term::select(
+        Term::var(s.clone()),
+        Term::var(x.clone()),
+        Term::var(i.clone()),
+    );
     let body = Formula::implies(
         Formula::Atom(Atom::IsInt(Term::var(i.clone()))),
         Formula::or(vec![
@@ -1165,7 +1349,11 @@ fn slot_values_are_objects(fresh: &mut FreshGen) -> Formula {
             Formula::Atom(Atom::IsObj(read.clone())),
         ]),
     );
-    Formula::forall(vec![s, x, i], vec![Trigger(vec![Pattern::Term(read)])], body)
+    Formula::forall(
+        vec![s, x, i],
+        vec![Trigger(vec![Pattern::Term(read)])],
+        body,
+    )
 }
 
 /// `∀S :: isObj(new(S))` — freshly allocated values are object references.
@@ -1224,7 +1412,12 @@ mod tests {
     fn store_axioms_prove_read_over_write() {
         let axioms = all_axioms(&stack_scope());
         // select(update(S, t, cnt, 3), t, cnt) = 3
-        let upd = Term::update(Term::store(), Term::var("t"), Term::attr("cnt"), Term::int(3));
+        let upd = Term::update(
+            Term::store(),
+            Term::var("t"),
+            Term::attr("cnt"),
+            Term::int(3),
+        );
         let goal = Formula::eq(
             Term::select(upd, Term::var("t"), Term::attr("cnt")),
             Term::int(3),
@@ -1236,7 +1429,12 @@ mod tests {
     fn store_axioms_prove_frame_over_distinct_attr() {
         let axioms = all_axioms(&stack_scope());
         // select(update(S, t, cnt, 3), u, obj) = select(S, u, obj): attrs differ.
-        let upd = Term::update(Term::store(), Term::var("t"), Term::attr("cnt"), Term::int(3));
+        let upd = Term::update(
+            Term::store(),
+            Term::var("t"),
+            Term::attr("cnt"),
+            Term::int(3),
+        );
         let goal = Formula::eq(
             Term::select(upd, Term::var("u"), Term::attr("obj")),
             Term::select(Term::store(), Term::var("u"), Term::attr("obj")),
@@ -1248,7 +1446,10 @@ mod tests {
     fn fresh_object_is_unallocated_and_nonnull() {
         let axioms = all_axioms(&stack_scope());
         let goal = Formula::and(vec![
-            Formula::not(Formula::Atom(Atom::Alive(Term::store(), Term::new_obj(Term::store())))),
+            Formula::not(Formula::Atom(Atom::Alive(
+                Term::store(),
+                Term::new_obj(Term::store()),
+            ))),
             Formula::neq(Term::new_obj(Term::store()), Term::null()),
         ]);
         assert!(prove(&axioms, &goal, &Budget::default()).is_proved());

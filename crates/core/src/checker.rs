@@ -173,7 +173,10 @@ impl Checker {
     /// Returns the scope-analysis diagnostics if the program is ill-formed
     /// (undeclared names, inclusion cycles, parameter mismatches, …).
     pub fn new(program: &Program, options: CheckOptions) -> Result<Checker, Diagnostics> {
-        Ok(Checker { scope: Scope::analyze(program)?, options })
+        Ok(Checker {
+            scope: Scope::analyze(program)?,
+            options,
+        })
     }
 
     /// Wraps an already-analysed scope.
@@ -184,6 +187,11 @@ impl Checker {
     /// The underlying scope.
     pub fn scope(&self) -> &Scope {
         &self.scope
+    }
+
+    /// The options the checker was configured with.
+    pub fn options(&self) -> &CheckOptions {
+        &self.options
     }
 
     fn vc_options(&self) -> VcOptions {
@@ -204,56 +212,108 @@ impl Checker {
         VcGen::new(&self.scope, self.vc_options()).vc_for_impl(impl_id)
     }
 
+    /// The pivot-uniqueness violations of one implementation (always
+    /// empty in naive mode, which skips the restriction).
+    pub fn restriction_violations(&self, impl_id: ImplId) -> Vec<Diagnostic> {
+        if self.options.naive {
+            Vec::new()
+        } else {
+            check_pivot_uniqueness(&self.scope, impl_id)
+        }
+    }
+
+    /// Proves an already-generated verification condition and maps the
+    /// proof outcome to a [`Verdict`].
+    pub fn verdict_for_vc(&self, vc: &Vc) -> Verdict {
+        let proof = prove(&vc.hypotheses, &vc.goal, &self.options.budget);
+        match proof.outcome {
+            Outcome::Proved => Verdict::Verified(proof.stats),
+            Outcome::NotProved => Verdict::NotVerified(proof.stats, proof.open_branch),
+            Outcome::Unknown => Verdict::Unknown(proof.stats),
+        }
+    }
+
     /// Checks a single implementation: pivot uniqueness first (unless
     /// naive), then the verification condition.
     pub fn check_impl(&self, impl_id: ImplId) -> ImplReport {
-        let proc_name =
-            self.scope.proc_info(self.scope.impl_info(impl_id).proc).name.clone();
-        if !self.options.naive {
-            let violations = check_pivot_uniqueness(&self.scope, impl_id);
-            if !violations.is_empty() {
-                return ImplReport {
-                    impl_id,
-                    proc_name,
-                    verdict: Verdict::RestrictionViolation(violations),
-                };
-            }
+        let proc_name = self
+            .scope
+            .proc_info(self.scope.impl_info(impl_id).proc)
+            .name
+            .clone();
+        let violations = self.restriction_violations(impl_id);
+        if !violations.is_empty() {
+            return ImplReport {
+                impl_id,
+                proc_name,
+                verdict: Verdict::RestrictionViolation(violations),
+            };
         }
         let vc = match self.vc(impl_id) {
             Ok(vc) => vc,
             Err(d) => {
-                return ImplReport { impl_id, proc_name, verdict: Verdict::TranslationError(d) }
+                return ImplReport {
+                    impl_id,
+                    proc_name,
+                    verdict: Verdict::TranslationError(d),
+                }
             }
         };
-        let proof = prove(&vc.hypotheses, &vc.goal, &self.options.budget);
-        let verdict = match proof.outcome {
-            Outcome::Proved => Verdict::Verified(proof.stats),
-            Outcome::NotProved => Verdict::NotVerified(proof.stats, proof.open_branch),
-            Outcome::Unknown => Verdict::Unknown(proof.stats),
-        };
-        ImplReport { impl_id, proc_name, verdict }
+        ImplReport {
+            impl_id,
+            proc_name,
+            verdict: self.verdict_for_vc(&vc),
+        }
     }
 
     /// Checks every implementation in the scope.
     pub fn check_all(&self) -> Report {
-        Report { impls: self.scope.impls().map(|(id, _)| self.check_impl(id)).collect() }
+        self.check_all_with_workers(1)
     }
 
-    /// Checks every implementation in the scope, one thread per
-    /// implementation (verification conditions are independent).
+    /// Checks every implementation in the scope across one worker thread
+    /// per available core (verification conditions are independent).
     pub fn check_all_parallel(&self) -> Report {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.check_all_with_workers(workers)
+    }
+
+    /// Checks every implementation in the scope across `workers` threads.
+    /// The report lists implementations in declaration order regardless of
+    /// thread interleaving.
+    pub fn check_all_with_workers(&self, workers: usize) -> Report {
         let ids: Vec<ImplId> = self.scope.impls().map(|(id, _)| id).collect();
-        let mut impls: Vec<Option<ImplReport>> = ids.iter().map(|_| None).collect();
+        if workers <= 1 || ids.len() <= 1 {
+            return Report {
+                impls: ids.into_iter().map(|id| self.check_impl(id)).collect(),
+            };
+        }
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ImplReport>>> = ids.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for &id in &ids {
-                handles.push(scope.spawn(move || self.check_impl(id)));
-            }
-            for (slot, handle) in impls.iter_mut().zip(handles) {
-                *slot = Some(handle.join().expect("checker thread panicked"));
+            for _ in 0..workers.min(ids.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&id) = ids.get(i) else { break };
+                    let report = self.check_impl(id);
+                    *slots[i].lock().expect("no panics while holding slot lock") = Some(report);
+                });
             }
         });
-        Report { impls: impls.into_iter().map(|r| r.expect("all joined")).collect() }
+        Report {
+            impls: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("worker panicked")
+                        .expect("every slot filled before workers exit")
+                })
+                .collect(),
+        }
     }
 }
 
@@ -307,7 +367,10 @@ impl fmt::Display for ModularReport {
 ///
 /// Returns diagnostics if the module structure is invalid or any module
 /// scope fails analysis.
-pub fn check_modular(program: &Program, options: &CheckOptions) -> Result<ModularReport, Diagnostics> {
+pub fn check_modular(
+    program: &Program,
+    options: &CheckOptions,
+) -> Result<ModularReport, Diagnostics> {
     use oolong_syntax::Decl;
     let infos = oolong_sema::modules::modules(program)?;
     let mut modules = Vec::new();
@@ -330,7 +393,9 @@ pub fn check_modular(program: &Program, options: &CheckOptions) -> Result<Modula
                 .impls()
                 .filter(|(_, info)| {
                     let name = &checker.scope().proc_info(info.proc).name;
-                    top_impls.iter().any(|ti| &ti.name.text == name && ti.body == info.body)
+                    top_impls
+                        .iter()
+                        .any(|ti| &ti.name.text == name && ti.body == info.body)
                 })
                 .map(|(id, _)| checker.check_impl(id))
                 .collect(),
@@ -379,7 +444,10 @@ mod tests {
              impl sneaky(r) { r.f := 3 }",
         );
         assert!(!report.all_verified());
-        assert_eq!(report.for_proc("sneaky").unwrap().verdict.label(), "not verified");
+        assert_eq!(
+            report.for_proc("sneaky").unwrap().verdict.label(),
+            "not verified"
+        );
     }
 
     #[test]
@@ -404,7 +472,10 @@ mod tests {
              impl p(st, r) { r.obj := st.vec }";
         let checker = Checker::new(
             &parse_program(src).unwrap(),
-            CheckOptions { naive: true, ..CheckOptions::default() },
+            CheckOptions {
+                naive: true,
+                ..CheckOptions::default()
+            },
         )
         .unwrap();
         let report = checker.check_all();
@@ -468,8 +539,9 @@ module stack_impl imports stack_interface {
     #[test]
     fn whole_program_check_flattens_modules() {
         let program = parse_program(MODULAR).unwrap();
-        let report =
-            Checker::new(&program, CheckOptions::default()).expect("flattens").check_all();
+        let report = Checker::new(&program, CheckOptions::default())
+            .expect("flattens")
+            .check_all();
         assert!(report.all_verified());
         assert_eq!(report.impls.len(), 2);
     }
@@ -502,7 +574,10 @@ module stack_impl imports stack_interface {
         let seq = checker.check_all();
         let par = checker.check_all_parallel();
         let labels = |r: &Report| -> Vec<(String, &'static str)> {
-            r.impls.iter().map(|i| (i.proc_name.clone(), i.verdict.label())).collect()
+            r.impls
+                .iter()
+                .map(|i| (i.proc_name.clone(), i.verdict.label()))
+                .collect()
         };
         assert_eq!(labels(&seq), labels(&par));
     }
@@ -516,10 +591,15 @@ module stack_impl imports stack_interface {
              proc p(t) modifies t.g
              impl p(t) { assume t != null ; t.f := 1 ; assert t.f = 1 }";
         let program = parse_program(src).unwrap();
-        let plain = Checker::new(&program, CheckOptions::default()).unwrap().check_all();
+        let plain = Checker::new(&program, CheckOptions::default())
+            .unwrap()
+            .check_all();
         let leveled = Checker::new(
             &program,
-            CheckOptions { force_arrays_level: true, ..CheckOptions::default() },
+            CheckOptions {
+                force_arrays_level: true,
+                ..CheckOptions::default()
+            },
         )
         .unwrap()
         .check_all();

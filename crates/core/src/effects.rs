@@ -66,7 +66,11 @@ impl ModList {
             .iter()
             .map(|t| ModEntry {
                 root: roots[t.param].clone(),
-                path: t.path.iter().map(|&a| scope.attr_info(a).name.clone()).collect(),
+                path: t
+                    .path
+                    .iter()
+                    .map(|&a| scope.attr_info(a).name.clone())
+                    .collect(),
             })
             .collect();
         ModList { entries }
@@ -74,7 +78,9 @@ impl ModList {
 
     /// An empty modifies list (allows only fresh objects).
     pub fn empty() -> ModList {
-        ModList { entries: Vec::new() }
+        ModList {
+            entries: Vec::new(),
+        }
     }
 
     /// The entries of the list.
@@ -154,7 +160,11 @@ impl ModList {
         let conclusion =
             Formula::not(self.incl(&Term::var(x.clone()), &Term::var(a.clone()), store));
         let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(pivot_read)]);
-        Formula::forall(vec![x, a, f, b], vec![trigger], Formula::implies(antecedent, conclusion))
+        Formula::forall(
+            vec![x, a, f, b],
+            vec![trigger],
+            Formula::implies(antecedent, conclusion),
+        )
     }
 
     /// Elementwise clause for the array itself: `t` may be the value of an
@@ -178,7 +188,11 @@ impl ModList {
         let conclusion =
             Formula::not(self.incl(&Term::var(x.clone()), &Term::var(a.clone()), store));
         let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(pivot_read)]);
-        Formula::forall(vec![x, a, f, b], vec![trigger], Formula::implies(antecedent, conclusion))
+        Formula::forall(
+            vec![x, a, f, b],
+            vec![trigger],
+            Formula::implies(antecedent, conclusion),
+        )
     }
 
     /// Elementwise clause for stored elements: `t` may be the value of slot
@@ -254,7 +268,10 @@ mod tests {
         let s = scope();
         let ml = p_modlist(&s);
         let f = ml.incl(&Term::var("u"), &Term::attr("g"), &Term::store0());
-        assert!(matches!(f, Formula::Atom(Atom::Inc { .. })), "single entry gives bare atom: {f}");
+        assert!(
+            matches!(f, Formula::Atom(Atom::Inc { .. })),
+            "single entry gives bare atom: {f}"
+        );
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod restrict;
 pub mod translate;
 pub mod vcgen;
 
-pub use checker::{check_modular, CheckOptions, Checker, ImplReport, ModularReport, Report, Verdict};
+pub use checker::{
+    check_modular, CheckOptions, Checker, ImplReport, ModularReport, Report, Verdict,
+};
 pub use effects::{ModEntry, ModList};
 pub use metrics::{overhead, OverheadReport};
 pub use restrict::check_pivot_uniqueness;

@@ -83,12 +83,17 @@ pub fn overhead(program: &Program) -> OverheadReport {
             // not specification; its member declarations are measured via
             // recursion on the flattened body.
             Decl::Module(m) => {
-                let inner = overhead(&Program { decls: m.decls.clone() });
+                let inner = overhead(&Program {
+                    decls: m.decls.clone(),
+                });
                 spec_tokens += inner.spec_tokens;
             }
         }
     }
-    OverheadReport { spec_tokens, total_tokens }
+    OverheadReport {
+        spec_tokens,
+        total_tokens,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +145,10 @@ mod tests {
     fn elementwise_clause_counts_one_extra_token() {
         let plain = parse_program("group g field x field f maps x into g").unwrap();
         let elem = parse_program("group g field x field f maps elem x into g").unwrap();
-        assert_eq!(overhead(&elem).spec_tokens, overhead(&plain).spec_tokens + 1);
+        assert_eq!(
+            overhead(&elem).spec_tokens,
+            overhead(&plain).spec_tokens + 1
+        );
     }
 
     #[test]

@@ -37,9 +37,7 @@ fn walk(scope: &Scope, params: &[String], cmd: &Cmd, diags: &mut Vec<Diagnostic>
             // Rule 1: pivot targets take only new() (handled by AssignNew)
             // or null.
             if let Expr::Select { attr, .. } = lhs {
-                if is_pivot_attr(scope, &attr.text)
-                    && !matches!(rhs, Expr::Const(Const::Null, _))
-                {
+                if is_pivot_attr(scope, &attr.text) && !matches!(rhs, Expr::Const(Const::Null, _)) {
                     diags.push(Diagnostic::error(
                         format!(
                             "pivot uniqueness: pivot field `{}` may only be assigned `new()` or `null`",
@@ -65,7 +63,11 @@ fn walk(scope: &Scope, params: &[String], cmd: &Cmd, diags: &mut Vec<Diagnostic>
             walk(scope, params, a, diags);
             walk(scope, params, b, diags);
         }
-        Cmd::If { then_branch, else_branch, .. } => {
+        Cmd::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             walk(scope, params, then_branch, diags);
             walk(scope, params, else_branch, diags);
         }

@@ -62,7 +62,11 @@ fn tr_value_inner(
         Expr::Select { base, attr, .. } => {
             let base_term = tr_value_inner(base, store, defined)?;
             defined.push(Formula::neq(base_term.clone(), Term::null()));
-            Ok(Term::select(store.clone(), base_term, Term::attr(attr.text.clone())))
+            Ok(Term::select(
+                store.clone(),
+                base_term,
+                Term::attr(attr.text.clone()),
+            ))
         }
         Expr::Index { base, index, .. } => {
             // tr(E[I]) = $(tr(E)·tr(I)) — the store is untyped in its key
@@ -148,9 +152,11 @@ fn tr_formula_inner(
             }
             _ => unreachable!("is_predicate covers exactly these"),
         },
-        Expr::Unary { op: UnaryOp::Not, operand, .. } => {
-            Ok(Formula::not(tr_formula_inner(operand, store, defined)?))
-        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            operand,
+            ..
+        } => Ok(Formula::not(tr_formula_inner(operand, store, defined)?)),
         other => {
             // A value used as a proposition: holds when it equals `true`.
             let term = tr_value_inner(other, store, defined)?;
@@ -183,7 +189,10 @@ mod tests {
     fn dereference_chain_builds_selects() {
         let v = value("t.c.d");
         let inner = Term::select(Term::store(), Term::var("t"), Term::attr("c"));
-        assert_eq!(v.term, Term::select(Term::store(), inner.clone(), Term::attr("d")));
+        assert_eq!(
+            v.term,
+            Term::select(Term::store(), inner.clone(), Term::attr("d"))
+        );
         // Two dereferences, two definedness conditions.
         assert_eq!(v.defined.len(), 2);
         assert_eq!(v.defined[0], Formula::neq(Term::var("t"), Term::null()));
@@ -238,9 +247,15 @@ mod tests {
     #[test]
     fn comparisons_normalise_gt_to_lt() {
         let f = formula("a > b");
-        assert_eq!(f.formula, Formula::Atom(Atom::Lt(Term::var("b"), Term::var("a"))));
+        assert_eq!(
+            f.formula,
+            Formula::Atom(Atom::Lt(Term::var("b"), Term::var("a")))
+        );
         let g = formula("a >= b");
-        assert_eq!(g.formula, Formula::Atom(Atom::Le(Term::var("b"), Term::var("a"))));
+        assert_eq!(
+            g.formula,
+            Formula::Atom(Atom::Le(Term::var("b"), Term::var("a")))
+        );
     }
 
     #[test]
@@ -253,6 +268,9 @@ mod tests {
     fn custom_store_is_threaded() {
         let store0 = Term::store0();
         let v = tr_value(&parse_expr("t.f").unwrap(), &store0).unwrap();
-        assert_eq!(v.term, Term::select(Term::store0(), Term::var("t"), Term::attr("f")));
+        assert_eq!(
+            v.term,
+            Term::select(Term::store0(), Term::var("t"), Term::attr("f"))
+        );
     }
 }

@@ -43,17 +43,29 @@ pub struct VcOptions {
 
 impl Default for VcOptions {
     fn default() -> Self {
-        VcOptions { null_checks: false, restrictions: true, force_arrays_level: false }
+        VcOptions {
+            null_checks: false,
+            restrictions: true,
+            force_arrays_level: false,
+        }
     }
 }
 
 /// A generated verification condition.
 #[derive(Debug, Clone)]
 pub struct Vc {
+    /// Which implementation this VC belongs to (provenance for caching
+    /// and event logs).
+    pub impl_id: ImplId,
     /// Name of the implemented procedure.
     pub proc_name: String,
     /// `UBP ∧ BP_D ∧ Init(m)`, as separate hypotheses.
     pub hypotheses: Vec<Formula>,
+    /// How many leading entries of `hypotheses` are scope-level background
+    /// axioms (`UBP ∧ BP_D`, plus the closed-world axioms in naive mode);
+    /// the rest are the per-implementation `Init(m)` facts. This is the
+    /// "axiom set for its scope" component of a VC's content address.
+    pub background_hyps: usize,
     /// `wlp_{w,$0}(C, true)`.
     pub goal: Formula,
 }
@@ -82,7 +94,12 @@ impl<'s> VcGen<'s> {
     /// Creates a generator over `scope`.
     pub fn new(scope: &'s Scope, options: VcOptions) -> Self {
         let arrays = options.force_arrays_level || scope_uses_arrays(scope);
-        VcGen { scope, options, fresh: FreshGen::new(), arrays }
+        VcGen {
+            scope,
+            options,
+            fresh: FreshGen::new(),
+            arrays,
+        }
     }
 
     /// Generates the verification condition for one implementation.
@@ -104,14 +121,20 @@ impl<'s> VcGen<'s> {
             self.arrays,
             &mut self.fresh,
         );
-        hypotheses.extend(crate::background::scope_background(self.scope, &mut self.fresh));
+        hypotheses.extend(crate::background::scope_background(
+            self.scope,
+            &mut self.fresh,
+        ));
         if !self.options.restrictions {
             // The naive baseline compensates for the missing restrictions
             // with a closed-world reading of the declared inclusions —
             // the classically unsound design of Section 3.
-            hypotheses
-                .extend(crate::background::closed_world_background(self.scope, &mut self.fresh));
+            hypotheses.extend(crate::background::closed_world_background(
+                self.scope,
+                &mut self.fresh,
+            ));
         }
+        let background_hyps = hypotheses.len();
         hypotheses.push(Formula::eq(Term::store(), Term::store0()));
         // Fieldwise reflexivity, pre-derived: every modifies entry's own
         // location includes itself (axiom (4) local case + reflexive ⊒).
@@ -140,7 +163,13 @@ impl<'s> VcGen<'s> {
 
         let body = info.body.desugared();
         let goal = self.wlp(&body, Formula::True, &w)?;
-        Ok(Vc { proc_name: proc.name.clone(), hypotheses, goal })
+        Ok(Vc {
+            impl_id,
+            proc_name: proc.name.clone(),
+            hypotheses,
+            background_hyps,
+            goal,
+        })
     }
 
     /// The weakest liberal precondition `wlp_{w,$0}(cmd, q)` (Figure 2).
@@ -200,7 +229,9 @@ impl<'s> VcGen<'s> {
             // x := E  —  Q[x := tr(E)].
             Expr::Id(x) => {
                 let subst = q.subst(&[(x.text.clone(), r.term)]);
-                Ok(Formula::and(self.defined(r.defined).chain([subst]).collect()))
+                Ok(Formula::and(
+                    self.defined(r.defined).chain([subst]).collect(),
+                ))
             }
             // E0.f := E1 — mod(tr(E0)·f, w, $0) ∧ Q[$ := $(tr(E0)·f := tr(E1))].
             Expr::Select { base, attr, .. } => {
@@ -210,12 +241,13 @@ impl<'s> VcGen<'s> {
                 let updated =
                     Term::update(Term::store(), b.term.clone(), attr_term, r.term.clone());
                 let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
-                let defined: Vec<Formula> =
-                    b.defined.into_iter().chain(r.defined).collect();
+                let defined: Vec<Formula> = b.defined.into_iter().chain(r.defined).collect();
                 let mut defined_with_target = defined;
                 defined_with_target.push(Formula::neq(b.term, Term::null()));
                 Ok(Formula::and(
-                    self.defined(defined_with_target).chain([license, subst]).collect(),
+                    self.defined(defined_with_target)
+                        .chain([license, subst])
+                        .collect(),
                 ))
             }
             // E0[I] := E1 — the slot analogue: mod(tr(E0)·tr(I), w, $0).
@@ -223,13 +255,23 @@ impl<'s> VcGen<'s> {
                 let b = tr_value(base, &Term::store())?;
                 let idx = tr_value(index, &Term::store())?;
                 let license = w.modifiable(&b.term, &idx.term, &Term::store0());
-                let updated =
-                    Term::update(Term::store(), b.term.clone(), idx.term.clone(), r.term.clone());
+                let updated = Term::update(
+                    Term::store(),
+                    b.term.clone(),
+                    idx.term.clone(),
+                    r.term.clone(),
+                );
                 let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
-                let mut defined: Vec<Formula> =
-                    b.defined.into_iter().chain(idx.defined).chain(r.defined).collect();
+                let mut defined: Vec<Formula> = b
+                    .defined
+                    .into_iter()
+                    .chain(idx.defined)
+                    .chain(r.defined)
+                    .collect();
                 defined.push(Formula::neq(b.term, Term::null()));
-                Ok(Formula::and(self.defined(defined).chain([license, subst]).collect()))
+                Ok(Formula::and(
+                    self.defined(defined).chain([license, subst]).collect(),
+                ))
             }
             other => Err(Diagnostic::error(
                 "assignment target must be a variable or designator",
@@ -266,7 +308,9 @@ impl<'s> VcGen<'s> {
                 let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
                 let mut defined = b.defined;
                 defined.push(Formula::neq(b.term, Term::null()));
-                Ok(Formula::and(self.defined(defined).chain([license, subst]).collect()))
+                Ok(Formula::and(
+                    self.defined(defined).chain([license, subst]).collect(),
+                ))
             }
             // E[I] := new() — the slot analogue.
             Expr::Index { base, index, .. } => {
@@ -280,10 +324,11 @@ impl<'s> VcGen<'s> {
                     Term::new_obj(Term::store()),
                 );
                 let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
-                let mut defined: Vec<Formula> =
-                    b.defined.into_iter().chain(idx.defined).collect();
+                let mut defined: Vec<Formula> = b.defined.into_iter().chain(idx.defined).collect();
                 defined.push(Formula::neq(b.term, Term::null()));
-                Ok(Formula::and(self.defined(defined).chain([license, subst]).collect()))
+                Ok(Formula::and(
+                    self.defined(defined).chain([license, subst]).collect(),
+                ))
             }
             other => Err(Diagnostic::error(
                 "allocation target must be a variable or designator",
@@ -311,8 +356,11 @@ impl<'s> VcGen<'s> {
         let callee = self.scope.proc_info(callee_id).clone();
 
         // Fresh sᵢ bound to the actuals.
-        let si: Vec<String> =
-            callee.params.iter().map(|p| self.fresh.fresh(&format!("s_{p}"))).collect();
+        let si: Vec<String> = callee
+            .params
+            .iter()
+            .map(|p| self.fresh.fresh(&format!("s_{p}")))
+            .collect();
         let si_terms: Vec<Term> = si.iter().map(Term::var).collect();
         let mut equalities = Vec::new();
         let mut defined = Vec::new();
@@ -360,8 +408,10 @@ impl<'s> VcGen<'s> {
             );
             let xv2 = self.fresh.fresh("frX");
             let fv = self.fresh.fresh("frF");
-            let pre_read = Term::select(Term::store(), Term::var(xv2.clone()), Term::var(fv.clone()));
-            let post_read = Term::select(post.clone(), Term::var(xv2.clone()), Term::var(fv.clone()));
+            let pre_read =
+                Term::select(Term::store(), Term::var(xv2.clone()), Term::var(fv.clone()));
+            let post_read =
+                Term::select(post.clone(), Term::var(xv2.clone()), Term::var(fv.clone()));
             let change_licensed = Formula::forall(
                 vec![xv2.clone(), fv.clone()],
                 vec![
@@ -450,13 +500,22 @@ mod tests {
 
     #[test]
     fn trivial_impl_verifies() {
-        assert_eq!(check_src("proc p(t) impl p(t) { skip }", "p"), Outcome::Proved);
+        assert_eq!(
+            check_src("proc p(t) impl p(t) { skip }", "p"),
+            Outcome::Proved
+        );
     }
 
     #[test]
     fn assert_true_verifies_and_assert_false_fails() {
-        assert_eq!(check_src("proc p(t) impl p(t) { assert true }", "p"), Outcome::Proved);
-        assert_eq!(check_src("proc p(t) impl p(t) { assert false }", "p"), Outcome::NotProved);
+        assert_eq!(
+            check_src("proc p(t) impl p(t) { assert true }", "p"),
+            Outcome::Proved
+        );
+        assert_eq!(
+            check_src("proc p(t) impl p(t) { assert false }", "p"),
+            Outcome::NotProved
+        );
     }
 
     #[test]
@@ -470,11 +529,17 @@ mod tests {
     #[test]
     fn local_assignment_tracks_values() {
         assert_eq!(
-            check_src("proc p(t) impl p(t) { var x in x := 3 ; assert x = 3 end }", "p"),
+            check_src(
+                "proc p(t) impl p(t) { var x in x := 3 ; assert x = 3 end }",
+                "p"
+            ),
             Outcome::Proved
         );
         assert_eq!(
-            check_src("proc p(t) impl p(t) { var x in x := 3 ; assert x = 4 end }", "p"),
+            check_src(
+                "proc p(t) impl p(t) { var x in x := 3 ; assert x = 4 end }",
+                "p"
+            ),
             Outcome::NotProved
         );
     }
@@ -626,7 +691,10 @@ mod tests {
             check_src_with(
                 src,
                 "p",
-                VcOptions { null_checks: true, ..VcOptions::default() },
+                VcOptions {
+                    null_checks: true,
+                    ..VcOptions::default()
+                },
                 &Budget::default()
             ),
             Outcome::NotProved
@@ -637,7 +705,10 @@ mod tests {
             check_src_with(
                 guarded,
                 "p",
-                VcOptions { null_checks: true, ..VcOptions::default() },
+                VcOptions {
+                    null_checks: true,
+                    ..VcOptions::default()
+                },
                 &Budget::default()
             ),
             Outcome::Proved

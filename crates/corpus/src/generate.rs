@@ -58,6 +58,7 @@ struct Gen {
     /// (name, enclosing groups (direct), is_pivot)
     fields: Vec<(String, Vec<usize>, bool)>,
     /// (name, param count, modifies: (param, attr name))
+    #[allow(clippy::type_complexity)]
     procs: Vec<(String, usize, Vec<(usize, String)>)>,
     /// For licensed writes: per group index, the transitively included
     /// field names.
@@ -147,7 +148,8 @@ impl Gen {
                 .iter()
                 .filter_map(|i| self.group_names.iter().position(|g| g == &i.text))
                 .collect();
-            self.fields.push((f.name.text.clone(), includes, f.is_pivot()));
+            self.fields
+                .push((f.name.text.clone(), includes, f.is_pivot()));
         }
         for p in program.procs() {
             let modifies = p
@@ -159,7 +161,8 @@ impl Gen {
                     Some((param, path.last()?.text.clone()))
                 })
                 .collect();
-            self.procs.push((p.name.text.clone(), p.params.len(), modifies));
+            self.procs
+                .push((p.name.text.clone(), p.params.len(), modifies));
         }
     }
 
@@ -196,7 +199,9 @@ impl Gen {
             {
                 // maps <attr> into <group>.
                 let mapped = if !self.fields.is_empty() && self.rng.gen_bool(0.5) {
-                    self.fields[self.rng.gen_range(0..self.fields.len())].0.clone()
+                    self.fields[self.rng.gen_range(0..self.fields.len())]
+                        .0
+                        .clone()
                 } else {
                     self.pick(&self.group_names.clone()).clone()
                 };
@@ -325,7 +330,7 @@ impl Gen {
                 let p = self.pick(params).clone();
                 format!("assume {p} != null")
             }
-            3 | 4 | 5 => {
+            3..=5 => {
                 // A field write.
                 let param_idx = self.rng.gen_range(0..params.len());
                 let target_fields = if self.cfg.licensed_writes_only {
@@ -356,7 +361,7 @@ impl Gen {
                 } else {
                     let value = match self.rng.gen_range(0..3) {
                         0 => "null".to_string(),
-                        1 => self.rng.gen_range(0..5).to_string(),
+                        1 => self.rng.gen_range(0..5i32).to_string(),
                         _ => local.to_string(),
                     };
                     if self.cfg.respect_restrictions {

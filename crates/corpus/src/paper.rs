@@ -373,10 +373,9 @@ mod tests {
     #[test]
     fn every_corpus_program_parses_and_analyses() {
         for p in all() {
-            let program =
-                parse_program(p.source).unwrap_or_else(|e| panic!("{} fails to parse: {e}", p.name));
-            Scope::analyze(&program)
-                .unwrap_or_else(|e| panic!("{} fails analysis: {e}", p.name));
+            let program = parse_program(p.source)
+                .unwrap_or_else(|e| panic!("{} fails to parse: {e}", p.name));
+            Scope::analyze(&program).unwrap_or_else(|e| panic!("{} fails analysis: {e}", p.name));
         }
     }
 

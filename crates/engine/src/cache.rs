@@ -1,0 +1,321 @@
+//! The verdict cache: fingerprint → proof verdict.
+//!
+//! Entries are keyed by [`Fingerprint`] only — there is no invalidation
+//! protocol beyond "a changed obligation has a changed fingerprint and
+//! therefore misses". The cache is an in-memory map, optionally backed by
+//! a directory of one JSON file per entry (`<fingerprint>.json`), which
+//! makes concurrent writers trivially safe (writes of distinct obligations
+//! touch distinct files; writes of the same obligation are idempotent
+//! because the verdict is a pure function of the fingerprint).
+//!
+//! Only prover verdicts (`Verified` / `NotVerified` / `Unknown`) are
+//! cached. Restriction violations and translation errors are recomputed
+//! every run: they are syntactic, cost microseconds, and carry
+//! source-anchored diagnostics that would go stale in a cache.
+
+use crate::fingerprint::Fingerprint;
+use crate::json::{self, Json};
+use datagroups::Verdict;
+use oolong_prover::Stats;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Format version of on-disk entries; mismatched entries are ignored.
+pub const CACHE_FORMAT_VERSION: u64 = 1;
+
+/// A cached prover verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedVerdict {
+    /// Name of the implemented procedure (for reports and event logs).
+    pub proc_name: String,
+    /// The proof outcome.
+    pub outcome: CachedOutcome,
+    /// The prover work counters of the original (cold) run.
+    pub stats: Stats,
+    /// The open-branch sketch, when the VC was refuted.
+    pub open_branch: Option<Vec<String>>,
+}
+
+/// The three prover outcomes a cache entry can record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedOutcome {
+    /// The VC was proved: the implementation verified.
+    Proved,
+    /// The VC was refuted: the implementation was rejected.
+    NotProved,
+    /// The prover ran out of budget.
+    Unknown,
+}
+
+impl CachedOutcome {
+    /// Stable string form used on disk and in events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CachedOutcome::Proved => "proved",
+            CachedOutcome::NotProved => "not_proved",
+            CachedOutcome::Unknown => "unknown",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<CachedOutcome> {
+        match s {
+            "proved" => Some(CachedOutcome::Proved),
+            "not_proved" => Some(CachedOutcome::NotProved),
+            "unknown" => Some(CachedOutcome::Unknown),
+            _ => None,
+        }
+    }
+}
+
+impl CachedVerdict {
+    /// Captures a freshly computed verdict, when it is cacheable (prover
+    /// verdicts only).
+    pub fn from_verdict(proc_name: &str, verdict: &Verdict) -> Option<CachedVerdict> {
+        let (outcome, stats, open_branch) = match verdict {
+            Verdict::Verified(stats) => (CachedOutcome::Proved, stats.clone(), None),
+            Verdict::NotVerified(stats, branch) => {
+                (CachedOutcome::NotProved, stats.clone(), branch.clone())
+            }
+            Verdict::Unknown(stats) => (CachedOutcome::Unknown, stats.clone(), None),
+            Verdict::RestrictionViolation(_) | Verdict::TranslationError(_) => return None,
+        };
+        Some(CachedVerdict {
+            proc_name: proc_name.to_string(),
+            outcome,
+            stats,
+            open_branch,
+        })
+    }
+
+    /// Reconstructs the verdict this entry recorded.
+    pub fn to_verdict(&self) -> Verdict {
+        match self.outcome {
+            CachedOutcome::Proved => Verdict::Verified(self.stats.clone()),
+            CachedOutcome::NotProved => {
+                Verdict::NotVerified(self.stats.clone(), self.open_branch.clone())
+            }
+            CachedOutcome::Unknown => Verdict::Unknown(self.stats.clone()),
+        }
+    }
+
+    fn to_json(&self, fingerprint: Fingerprint) -> Json {
+        Json::Object(vec![
+            (
+                "version".to_string(),
+                Json::Int(CACHE_FORMAT_VERSION as i64),
+            ),
+            (
+                "fingerprint".to_string(),
+                Json::Str(fingerprint.to_string()),
+            ),
+            ("proc".to_string(), Json::Str(self.proc_name.clone())),
+            (
+                "outcome".to_string(),
+                Json::Str(self.outcome.as_str().to_string()),
+            ),
+            (
+                "stats".to_string(),
+                Json::Object(
+                    self.stats
+                        .to_fields()
+                        .into_iter()
+                        .map(|(name, value)| (name.to_string(), Json::Int(value as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "open_branch".to_string(),
+                match &self.open_branch {
+                    None => Json::Null,
+                    Some(lines) => {
+                        Json::Array(lines.iter().map(|l| Json::Str(l.clone())).collect())
+                    }
+                },
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<(Fingerprint, CachedVerdict)> {
+        if value.get("version")?.as_u64()? != CACHE_FORMAT_VERSION {
+            return None;
+        }
+        let fingerprint: Fingerprint = value.get("fingerprint")?.as_str()?.parse().ok()?;
+        let proc_name = value.get("proc")?.as_str()?.to_string();
+        let outcome = CachedOutcome::from_str(value.get("outcome")?.as_str()?)?;
+        let stats = match value.get("stats")? {
+            Json::Object(members) => Stats::from_fields(
+                members
+                    .iter()
+                    .filter_map(|(k, v)| Some((k.as_str(), v.as_u64()?))),
+            ),
+            _ => return None,
+        };
+        let open_branch = match value.get("open_branch")? {
+            Json::Null => None,
+            Json::Array(items) => Some(
+                items
+                    .iter()
+                    .map(|l| Some(l.as_str()?.to_string()))
+                    .collect::<Option<_>>()?,
+            ),
+            _ => return None,
+        };
+        Some((
+            fingerprint,
+            CachedVerdict {
+                proc_name,
+                outcome,
+                stats,
+                open_branch,
+            },
+        ))
+    }
+}
+
+/// A concurrent fingerprint-keyed verdict store, optionally persisted.
+#[derive(Debug)]
+pub struct VerdictCache {
+    dir: Option<PathBuf>,
+    entries: Mutex<HashMap<Fingerprint, CachedVerdict>>,
+}
+
+impl VerdictCache {
+    /// A purely in-memory cache.
+    pub fn in_memory() -> VerdictCache {
+        VerdictCache {
+            dir: None,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A cache persisted under `dir` (created if absent); existing entries
+    /// are loaded eagerly. Unreadable or version-mismatched entry files
+    /// are skipped, not errors — the cache is advisory.
+    pub fn at_dir(dir: &Path) -> io::Result<VerdictCache> {
+        std::fs::create_dir_all(dir)?;
+        let mut entries = HashMap::new();
+        for dirent in std::fs::read_dir(dir)? {
+            let path = dirent?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json")
+                || path.file_stem().and_then(|s| s.to_str()).map(str::len) != Some(32)
+            {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let Ok(value) = json::parse(&text) else {
+                continue;
+            };
+            if let Some((fingerprint, verdict)) = CachedVerdict::from_json(&value) {
+                entries.insert(fingerprint, verdict);
+            }
+        }
+        Ok(VerdictCache {
+            dir: Some(dir.to_path_buf()),
+            entries: Mutex::new(entries),
+        })
+    }
+
+    /// The directory backing this cache, when persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entry for `fingerprint`, if present.
+    pub fn get(&self, fingerprint: Fingerprint) -> Option<CachedVerdict> {
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&fingerprint)
+            .cloned()
+    }
+
+    /// Records a verdict, persisting it when the cache is disk-backed.
+    /// Persistence is best-effort: an unwritable directory degrades to
+    /// in-memory caching rather than failing the batch.
+    pub fn insert(&self, fingerprint: Fingerprint, verdict: CachedVerdict) {
+        if let Some(dir) = &self.dir {
+            let rendered = verdict.to_json(fingerprint).render();
+            let _ = std::fs::write(dir.join(format!("{fingerprint}.json")), rendered);
+        }
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(fingerprint, verdict);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> CachedVerdict {
+        CachedVerdict {
+            proc_name: "push".to_string(),
+            outcome: CachedOutcome::NotProved,
+            stats: Stats {
+                instances: 17,
+                branches: 3,
+                ..Stats::default()
+            },
+            open_branch: Some(vec!["x ≠ null".to_string(), "a = b".to_string()]),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let entry = sample_entry();
+        let fp = Fingerprint(0xdead_beef_0123_4567_89ab_cdef_0011_2233);
+        let value = entry.to_json(fp);
+        let (fp2, entry2) = CachedVerdict::from_json(&value).expect("round-trips");
+        assert_eq!(fp2, fp);
+        assert_eq!(entry2, entry);
+    }
+
+    #[test]
+    fn disk_persistence_round_trip() {
+        let dir = std::env::temp_dir().join(format!("oolong-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fp = Fingerprint(42);
+        {
+            let cache = VerdictCache::at_dir(&dir).expect("creates");
+            assert!(cache.is_empty());
+            cache.insert(fp, sample_entry());
+        }
+        let reloaded = VerdictCache::at_dir(&dir).expect("reloads");
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.get(fp), Some(sample_entry()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_skipped() {
+        let entry = sample_entry();
+        let fp = Fingerprint(7);
+        let mut value = entry.to_json(fp);
+        if let Json::Object(members) = &mut value {
+            members[0].1 = Json::Int(999);
+        }
+        assert!(CachedVerdict::from_json(&value).is_none());
+    }
+
+    #[test]
+    fn diagnostic_verdicts_are_not_cacheable() {
+        use oolong_syntax::{Diagnostic, Span};
+        let verdict = Verdict::TranslationError(Diagnostic::error("nope", Span::DUMMY));
+        assert!(CachedVerdict::from_verdict("p", &verdict).is_none());
+    }
+}

@@ -1,0 +1,312 @@
+//! The engine's structured event log.
+//!
+//! Every obligation a batch processes emits an `obligation_started` event
+//! followed by exactly one terminal event (`cache_hit`, `verified`,
+//! `refuted`, `fuel_exhausted`, `restriction_violation`, or
+//! `translation_error`); units that fail to parse or analyse emit a
+//! `unit_error`; the batch closes with one `batch_summary`. Rendered as
+//! JSON Lines (one compact object per line), the log is the engine's
+//! observability surface: warm-cache behaviour ("zero prover calls on
+//! unchanged impls") is *verified* by counting terminal event kinds, not
+//! inferred from timings.
+//!
+//! Events are ordered by obligation sequence number, not wall-clock
+//! completion, so logs from parallel runs are deterministic up to the
+//! timing fields.
+
+use crate::fingerprint::Fingerprint;
+use crate::json::Json;
+use oolong_prover::Stats;
+
+/// One structured engine event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An obligation was picked up by a worker.
+    ObligationStarted {
+        /// Obligation sequence number (deterministic batch order).
+        seq: usize,
+        /// Name of the batch unit (file path or corpus reference).
+        unit: String,
+        /// Name of the implemented procedure.
+        proc: String,
+        /// The obligation's content address, when a VC was generated.
+        fingerprint: Option<Fingerprint>,
+    },
+    /// The verdict was served from the cache; no prover call happened.
+    CacheHit {
+        /// Obligation sequence number.
+        seq: usize,
+        /// The cached outcome (`proved` / `not_proved` / `unknown`).
+        outcome: &'static str,
+    },
+    /// The prover proved the VC: the implementation verified.
+    Verified {
+        /// Obligation sequence number.
+        seq: usize,
+        /// Prover wall-clock milliseconds.
+        millis: f64,
+        /// Prover work counters.
+        stats: Stats,
+    },
+    /// The prover refuted the VC: the implementation was rejected.
+    Refuted {
+        /// Obligation sequence number.
+        seq: usize,
+        /// Prover wall-clock milliseconds.
+        millis: f64,
+        /// Prover work counters.
+        stats: Stats,
+        /// Lines of the open-branch sketch, when recorded.
+        open_branch: Option<Vec<String>>,
+    },
+    /// The prover exhausted its budget without a verdict.
+    FuelExhausted {
+        /// Obligation sequence number.
+        seq: usize,
+        /// Prover wall-clock milliseconds.
+        millis: f64,
+        /// Prover work counters.
+        stats: Stats,
+    },
+    /// The implementation violates pivot uniqueness; no VC was generated.
+    RestrictionViolation {
+        /// Obligation sequence number.
+        seq: usize,
+        /// Rendered diagnostics.
+        violations: Vec<String>,
+    },
+    /// VC generation failed on an unsupported expression form.
+    TranslationError {
+        /// Obligation sequence number.
+        seq: usize,
+        /// Rendered diagnostic.
+        message: String,
+    },
+    /// A batch unit failed to parse or analyse; its obligations are
+    /// unknown and nothing was checked.
+    UnitError {
+        /// Name of the batch unit.
+        unit: String,
+        /// Rendered diagnostic.
+        message: String,
+    },
+    /// End-of-batch accounting.
+    BatchSummary {
+        /// Total obligations processed.
+        obligations: usize,
+        /// Obligations served from the cache.
+        cache_hits: usize,
+        /// Obligations that invoked the prover.
+        prover_calls: usize,
+        /// Final tally, as `(verified, rejected, unknown)`.
+        tally: (usize, usize, usize),
+        /// Batch wall-clock milliseconds.
+        millis: f64,
+    },
+}
+
+impl Event {
+    /// The event's kind tag, as written in the JSON `event` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ObligationStarted { .. } => "obligation_started",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::Verified { .. } => "verified",
+            Event::Refuted { .. } => "refuted",
+            Event::FuelExhausted { .. } => "fuel_exhausted",
+            Event::RestrictionViolation { .. } => "restriction_violation",
+            Event::TranslationError { .. } => "translation_error",
+            Event::UnitError { .. } => "unit_error",
+            Event::BatchSummary { .. } => "batch_summary",
+        }
+    }
+
+    /// Whether this is the terminal event of an obligation (as opposed to
+    /// a start marker, unit error, or summary).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Event::CacheHit { .. }
+                | Event::Verified { .. }
+                | Event::Refuted { .. }
+                | Event::FuelExhausted { .. }
+                | Event::RestrictionViolation { .. }
+                | Event::TranslationError { .. }
+        )
+    }
+
+    /// The event as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("event".to_string(), Json::Str(self.kind().to_string()))];
+        let stats_json = |stats: &Stats| {
+            Json::Object(
+                stats
+                    .to_fields()
+                    .into_iter()
+                    .map(|(name, value)| (name.to_string(), Json::Int(value as i64)))
+                    .collect(),
+            )
+        };
+        match self {
+            Event::ObligationStarted {
+                seq,
+                unit,
+                proc,
+                fingerprint,
+            } => {
+                members.push(("seq".to_string(), Json::Int(*seq as i64)));
+                members.push(("unit".to_string(), Json::Str(unit.clone())));
+                members.push(("proc".to_string(), Json::Str(proc.clone())));
+                members.push((
+                    "fingerprint".to_string(),
+                    match fingerprint {
+                        Some(fp) => Json::Str(fp.to_string()),
+                        None => Json::Null,
+                    },
+                ));
+            }
+            Event::CacheHit { seq, outcome } => {
+                members.push(("seq".to_string(), Json::Int(*seq as i64)));
+                members.push(("outcome".to_string(), Json::Str((*outcome).to_string())));
+            }
+            Event::Verified { seq, millis, stats } => {
+                members.push(("seq".to_string(), Json::Int(*seq as i64)));
+                members.push(("millis".to_string(), Json::Float(*millis)));
+                members.push(("stats".to_string(), stats_json(stats)));
+            }
+            Event::Refuted {
+                seq,
+                millis,
+                stats,
+                open_branch,
+            } => {
+                members.push(("seq".to_string(), Json::Int(*seq as i64)));
+                members.push(("millis".to_string(), Json::Float(*millis)));
+                members.push(("stats".to_string(), stats_json(stats)));
+                members.push((
+                    "open_branch".to_string(),
+                    match open_branch {
+                        None => Json::Null,
+                        Some(lines) => {
+                            Json::Array(lines.iter().map(|l| Json::Str(l.clone())).collect())
+                        }
+                    },
+                ));
+            }
+            Event::FuelExhausted { seq, millis, stats } => {
+                members.push(("seq".to_string(), Json::Int(*seq as i64)));
+                members.push(("millis".to_string(), Json::Float(*millis)));
+                members.push(("stats".to_string(), stats_json(stats)));
+            }
+            Event::RestrictionViolation { seq, violations } => {
+                members.push(("seq".to_string(), Json::Int(*seq as i64)));
+                members.push((
+                    "violations".to_string(),
+                    Json::Array(violations.iter().map(|v| Json::Str(v.clone())).collect()),
+                ));
+            }
+            Event::TranslationError { seq, message } => {
+                members.push(("seq".to_string(), Json::Int(*seq as i64)));
+                members.push(("message".to_string(), Json::Str(message.clone())));
+            }
+            Event::UnitError { unit, message } => {
+                members.push(("unit".to_string(), Json::Str(unit.clone())));
+                members.push(("message".to_string(), Json::Str(message.clone())));
+            }
+            Event::BatchSummary {
+                obligations,
+                cache_hits,
+                prover_calls,
+                tally,
+                millis,
+            } => {
+                members.push(("obligations".to_string(), Json::Int(*obligations as i64)));
+                members.push(("cache_hits".to_string(), Json::Int(*cache_hits as i64)));
+                members.push(("prover_calls".to_string(), Json::Int(*prover_calls as i64)));
+                members.push(("verified".to_string(), Json::Int(tally.0 as i64)));
+                members.push(("rejected".to_string(), Json::Int(tally.1 as i64)));
+                members.push(("unknown".to_string(), Json::Int(tally.2 as i64)));
+                members.push(("millis".to_string(), Json::Float(*millis)));
+            }
+        }
+        Json::Object(members)
+    }
+}
+
+/// Renders events as JSON Lines (one compact object per line, trailing
+/// newline included when nonempty).
+pub fn render_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_json().render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn every_event_renders_one_parseable_line() {
+        let events = vec![
+            Event::ObligationStarted {
+                seq: 0,
+                unit: "corpus:example1".to_string(),
+                proc: "push".to_string(),
+                fingerprint: Some(crate::fingerprint::Fingerprint(5)),
+            },
+            Event::CacheHit {
+                seq: 0,
+                outcome: "proved",
+            },
+            Event::Verified {
+                seq: 1,
+                millis: 1.25,
+                stats: Stats::default(),
+            },
+            Event::Refuted {
+                seq: 2,
+                millis: 0.5,
+                stats: Stats::default(),
+                open_branch: Some(vec!["x = y".to_string()]),
+            },
+            Event::FuelExhausted {
+                seq: 3,
+                millis: 9.0,
+                stats: Stats::default(),
+            },
+            Event::RestrictionViolation {
+                seq: 4,
+                violations: vec!["pivot".to_string()],
+            },
+            Event::TranslationError {
+                seq: 5,
+                message: "boolean in value position".to_string(),
+            },
+            Event::UnitError {
+                unit: "missing.oo".to_string(),
+                message: "no such file".to_string(),
+            },
+            Event::BatchSummary {
+                obligations: 6,
+                cache_hits: 1,
+                prover_calls: 3,
+                tally: (2, 3, 1),
+                millis: 12.0,
+            },
+        ];
+        let rendered = render_jsonl(&events);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for (line, event) in lines.iter().zip(&events) {
+            let value = json::parse(line).expect("line parses");
+            assert_eq!(
+                value.get("event").and_then(Json::as_str),
+                Some(event.kind())
+            );
+        }
+    }
+}

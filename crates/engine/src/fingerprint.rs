@@ -1,0 +1,134 @@
+//! Content addresses for proof obligations.
+//!
+//! A proof obligation's verdict is a pure function of three inputs: the
+//! clausified verification condition (goal plus hypotheses, which embed the
+//! exact background-axiom set of the implementation's scope), and the
+//! prover [`Budget`] (a starved budget can turn `Proved` into `Unknown`,
+//! so budgets are part of the obligation's identity, not metadata). The
+//! [`Fingerprint`] is a stable 128-bit structural hash over exactly those
+//! inputs plus a format version.
+//!
+//! Invalidation is purely fingerprint mismatch: there is no dependency
+//! graph to maintain. Editing a declaration (a group, a `modifies` clause,
+//! a pivot field) changes the generated hypotheses or goal of exactly the
+//! implementations whose scope or license the declaration participates in,
+//! so precisely those obligations re-run — the engine-level reflection of
+//! the paper's modular-soundness property that a verdict depends only on
+//! an implementation's scope.
+
+use datagroups::Vc;
+use oolong_logic::StableHasher;
+use oolong_prover::Budget;
+use std::fmt;
+use std::hash::Hash;
+use std::str::FromStr;
+
+/// Version of the fingerprint recipe. Bump on any change to the hash
+/// inputs or the stable-hash algorithm: a bump invalidates every existing
+/// cache entry, which is exactly the safe behaviour.
+pub const FINGERPRINT_VERSION: u32 = 1;
+
+/// The content address of one proof obligation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl FromStr for Fingerprint {
+    type Err = std::num::ParseIntError;
+    fn from_str(s: &str) -> Result<Fingerprint, Self::Err> {
+        u128::from_str_radix(s, 16).map(Fingerprint)
+    }
+}
+
+/// The fingerprint of the obligation "prove `vc` under `budget`".
+pub fn fingerprint_vc(vc: &Vc, budget: &Budget) -> Fingerprint {
+    let mut hasher = StableHasher::new();
+    FINGERPRINT_VERSION.hash(&mut hasher);
+    // The background/Init split is part of the content: the same formula
+    // multiset partitioned differently is a different provenance.
+    vc.background_hyps.hash(&mut hasher);
+    vc.hypotheses.hash(&mut hasher);
+    vc.goal.hash(&mut hasher);
+    budget.hash(&mut hasher);
+    Fingerprint(hasher.finish128())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagroups::{CheckOptions, Checker};
+    use oolong_syntax::parse_program;
+
+    fn vcs_for(src: &str) -> Vec<Vc> {
+        let checker = Checker::new(
+            &parse_program(src).expect("parses"),
+            CheckOptions::default(),
+        )
+        .expect("analyses");
+        checker
+            .scope()
+            .impls()
+            .map(|(id, _)| checker.vc(id).expect("vc generates"))
+            .collect()
+    }
+
+    const BASE: &str = "group value
+         field num in value
+         proc bump(r) modifies r.value
+         impl bump(r) { r.num := 3 }";
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let a = vcs_for(BASE);
+        let b = vcs_for(BASE);
+        assert_eq!(
+            fingerprint_vc(&a[0], &Budget::default()),
+            fingerprint_vc(&b[0], &Budget::default())
+        );
+    }
+
+    #[test]
+    fn budget_is_part_of_the_obligation() {
+        let vcs = vcs_for(BASE);
+        assert_ne!(
+            fingerprint_vc(&vcs[0], &Budget::default()),
+            fingerprint_vc(&vcs[0], &Budget::tiny())
+        );
+    }
+
+    #[test]
+    fn obligation_edit_changes_the_fingerprint() {
+        let before = vcs_for(BASE);
+        // A second write extends the wlp chain: a different obligation.
+        let after = vcs_for(&BASE.replace("r.num := 3", "r.num := 3 ; r.num := 3"));
+        assert_ne!(
+            fingerprint_vc(&before[0], &Budget::default()),
+            fingerprint_vc(&after[0], &Budget::default())
+        );
+    }
+
+    #[test]
+    fn value_only_edit_keeps_the_fingerprint() {
+        // The modifies obligation for `r.num := v` does not mention `v`:
+        // editing only the stored value is a cache hit, by design.
+        let before = vcs_for(BASE);
+        let after = vcs_for(&BASE.replace("r.num := 3", "r.num := 4"));
+        assert_eq!(
+            fingerprint_vc(&before[0], &Budget::default()),
+            fingerprint_vc(&after[0], &Budget::default())
+        );
+    }
+
+    #[test]
+    fn display_parses_back() {
+        let vcs = vcs_for(BASE);
+        let fp = fingerprint_vc(&vcs[0], &Budget::default());
+        assert_eq!(fp.to_string().parse::<Fingerprint>().expect("parses"), fp);
+        assert_eq!(fp.to_string().len(), 32);
+    }
+}

@@ -23,7 +23,9 @@ pub fn audit_pivot_uniqueness(scope: &Scope, store: &Store) -> Result<(), String
     for &f in &pivots {
         for x in store.objects() {
             let pivot_loc = Loc { obj: x, attr: f };
-            let Value::Obj(v) = store.read(pivot_loc) else { continue };
+            let Value::Obj(v) = store.read(pivot_loc) else {
+                continue;
+            };
             for (other, value) in store.locations() {
                 if other != pivot_loc && value == Value::Obj(v) {
                     return Err(format!(
@@ -52,8 +54,10 @@ pub fn audit_pivot_uniqueness(scope: &Scope, store: &Store) -> Result<(), String
         }
     }
     // Slot values are unique among slots and against every field.
-    let slot_values: Vec<((crate::store::ObjId, i64), Value)> =
-        store.slots().filter(|(_, v)| matches!(v, Value::Obj(_))).collect();
+    let slot_values: Vec<((crate::store::ObjId, i64), Value)> = store
+        .slots()
+        .filter(|(_, v)| matches!(v, Value::Obj(_)))
+        .collect();
     for (i, &((o1, i1), v1)) in slot_values.iter().enumerate() {
         for &((o2, i2), v2) in &slot_values[i + 1..] {
             if v1 == v2 {
@@ -83,7 +87,9 @@ pub fn audit_pivot_uniqueness(scope: &Scope, store: &Store) -> Result<(), String
 pub fn audit_acyclicity(scope: &Scope, store: &Store) -> Result<(), String> {
     for (g, f, _) in scope.rep_triples() {
         for x in store.objects() {
-            let Value::Obj(y) = store.read(Loc { obj: x, attr: f }) else { continue };
+            let Value::Obj(y) = store.read(Loc { obj: x, attr: f }) else {
+                continue;
+            };
             let owner_loc = Loc { obj: x, attr: g };
             for (b, _) in scope.attrs() {
                 let from = Loc { obj: y, attr: b };
@@ -159,8 +165,20 @@ mod tests {
         let st2 = store.alloc();
         let v = store.alloc();
         let vec = s.attr("vec").unwrap();
-        store.write(Loc { obj: st1, attr: vec }, Value::Obj(v));
-        store.write(Loc { obj: st2, attr: vec }, Value::Obj(v));
+        store.write(
+            Loc {
+                obj: st1,
+                attr: vec,
+            },
+            Value::Obj(v),
+        );
+        store.write(
+            Loc {
+                obj: st2,
+                attr: vec,
+            },
+            Value::Obj(v),
+        );
         assert!(audit_pivot_uniqueness(&s, &store).is_err());
     }
 
@@ -182,10 +200,9 @@ mod tests {
 
     #[test]
     fn slot_aliasing_fails_uniqueness() {
-        let s = Scope::analyze(
-            &parse_program("group g field arr in g maps elem g into g").unwrap(),
-        )
-        .unwrap();
+        let s =
+            Scope::analyze(&parse_program("group g field arr in g maps elem g into g").unwrap())
+                .unwrap();
         let mut store = Store::new();
         let _t = store.alloc();
         let arr = store.alloc();

@@ -49,14 +49,20 @@ pub fn inclusion_closure(scope: &Scope, store: &Store, root: Loc) -> InclusionCl
             continue;
         }
         for &b in &included_attrs[loc.attr.index()] {
-            let next = Loc { obj: loc.obj, attr: b };
+            let next = Loc {
+                obj: loc.obj,
+                attr: b,
+            };
             if !closure.locs.contains(&next) {
                 work.push(next);
             }
         }
         for &(g, f, k) in &rep {
             if g == loc.attr {
-                if let Value::Obj(y) = store.read(Loc { obj: loc.obj, attr: f }) {
+                if let Value::Obj(y) = store.read(Loc {
+                    obj: loc.obj,
+                    attr: f,
+                }) {
                     let next = Loc { obj: y, attr: k };
                     if !closure.locs.contains(&next) {
                         work.push(next);
@@ -68,14 +74,20 @@ pub fn inclusion_closure(scope: &Scope, store: &Store, root: Loc) -> InclusionCl
         // slot, and attribute k of every element currently stored.
         for &(g, f, k) in &rep_elem {
             if g == loc.attr {
-                if let Value::Obj(arr) = store.read(Loc { obj: loc.obj, attr: f }) {
+                if let Value::Obj(arr) = store.read(Loc {
+                    obj: loc.obj,
+                    attr: f,
+                }) {
                     let mapped = closure.elem_arrays.entry(arr).or_default();
                     if !mapped.contains(&k) {
                         mapped.push(k);
                         for ((slot_obj, _), value) in store.slots() {
                             if slot_obj == arr {
                                 if let Value::Obj(element) = value {
-                                    let next = Loc { obj: element, attr: k };
+                                    let next = Loc {
+                                        obj: element,
+                                        attr: k,
+                                    };
                                     if !closure.locs.contains(&next) {
                                         work.push(next);
                                     }
@@ -129,7 +141,11 @@ impl AllowedEffects {
 
     /// Unrestricted effects (used for the outermost frame of a run).
     pub fn unrestricted() -> AllowedEffects {
-        AllowedEffects { locs: HashSet::new(), elem_arrays: HashSet::new(), fresh_from: 0 }
+        AllowedEffects {
+            locs: HashSet::new(),
+            elem_arrays: HashSet::new(),
+            fresh_from: 0,
+        }
     }
 }
 
@@ -149,7 +165,9 @@ pub fn allowed_effects(
     let mut locs = HashSet::new();
     let mut elem_arrays = HashSet::new();
     for target in targets {
-        let Some(root) = args.get(target.param) else { continue };
+        let Some(root) = args.get(target.param) else {
+            continue;
+        };
         let mut obj = match root.as_obj() {
             Some(o) => o,
             None => continue,
@@ -167,12 +185,19 @@ pub fn allowed_effects(
         if !ok {
             continue;
         }
-        let root_loc = Loc { obj, attr: target.licensed_attr() };
+        let root_loc = Loc {
+            obj,
+            attr: target.licensed_attr(),
+        };
         let closure = inclusion_closure(scope, store, root_loc);
         locs.extend(closure.locs);
         elem_arrays.extend(closure.elem_arrays.into_keys());
     }
-    AllowedEffects { locs, elem_arrays, fresh_from: store.frontier() }
+    AllowedEffects {
+        locs,
+        elem_arrays,
+        fresh_from: store.frontier(),
+    }
 }
 
 #[cfg(test)]
@@ -203,8 +228,18 @@ mod tests {
         let v = store.alloc();
         let elems = s.attr("elems").unwrap();
         let cnt = s.attr("cnt").unwrap();
-        let set = included_locations(&s, &store, Loc { obj: v, attr: elems });
-        assert!(set.contains(&Loc { obj: v, attr: elems }));
+        let set = included_locations(
+            &s,
+            &store,
+            Loc {
+                obj: v,
+                attr: elems,
+            },
+        );
+        assert!(set.contains(&Loc {
+            obj: v,
+            attr: elems
+        }));
         assert!(set.contains(&Loc { obj: v, attr: cnt }));
         assert_eq!(set.len(), 2);
     }
@@ -219,11 +254,27 @@ mod tests {
         let contents = s.attr("contents").unwrap();
         let cnt = s.attr("cnt").unwrap();
         store.write(Loc { obj: st, attr: vec }, Value::Obj(v));
-        let set = included_locations(&s, &store, Loc { obj: st, attr: contents });
-        assert!(set.contains(&Loc { obj: v, attr: cnt }), "contents reaches the vector's cnt");
-        assert!(set.contains(&Loc { obj: v, attr: s.attr("elems").unwrap() }));
+        let set = included_locations(
+            &s,
+            &store,
+            Loc {
+                obj: st,
+                attr: contents,
+            },
+        );
+        assert!(
+            set.contains(&Loc { obj: v, attr: cnt }),
+            "contents reaches the vector's cnt"
+        );
+        assert!(set.contains(&Loc {
+            obj: v,
+            attr: s.attr("elems").unwrap()
+        }));
         // But not unrelated attributes of st itself.
-        assert!(!set.contains(&Loc { obj: st, attr: s.attr("obj").unwrap() }));
+        assert!(!set.contains(&Loc {
+            obj: st,
+            attr: s.attr("obj").unwrap()
+        }));
     }
 
     #[test]
@@ -232,7 +283,14 @@ mod tests {
         let mut store = Store::new();
         let st = store.alloc();
         let contents = s.attr("contents").unwrap();
-        let set = included_locations(&s, &store, Loc { obj: st, attr: contents });
+        let set = included_locations(
+            &s,
+            &store,
+            Loc {
+                obj: st,
+                attr: contents,
+            },
+        );
         assert_eq!(set.len(), 1, "null pivot: only the root location");
     }
 
@@ -253,8 +311,14 @@ mod tests {
         store.write(Loc { obj: a, attr: next }, Value::Obj(b));
         store.write(Loc { obj: b, attr: next }, Value::Obj(a));
         let set = included_locations(&s, &store, Loc { obj: a, attr: g });
-        assert!(set.contains(&Loc { obj: b, attr: value }));
-        assert!(set.contains(&Loc { obj: a, attr: value }));
+        assert!(set.contains(&Loc {
+            obj: b,
+            attr: value
+        }));
+        assert!(set.contains(&Loc {
+            obj: a,
+            attr: value
+        }));
         assert_eq!(set.len(), 4, "g and value of both nodes");
     }
 
@@ -269,13 +333,21 @@ mod tests {
         store.write(Loc { obj: st, attr: vec }, Value::Obj(v));
         let push = s.proc("push").unwrap();
         let targets = s.proc_info(push).modifies.clone();
-        let allowed =
-            allowed_effects(&s, &store, &targets, &[Value::Obj(st), Value::Int(3)]);
-        assert!(allowed.permits(Loc { obj: v, attr: cnt }), "push may write the vector's cnt");
-        assert!(!allowed.permits(Loc { obj: st, attr: s.attr("obj").unwrap() }));
+        let allowed = allowed_effects(&s, &store, &targets, &[Value::Obj(st), Value::Int(3)]);
+        assert!(
+            allowed.permits(Loc { obj: v, attr: cnt }),
+            "push may write the vector's cnt"
+        );
+        assert!(!allowed.permits(Loc {
+            obj: st,
+            attr: s.attr("obj").unwrap()
+        }));
         // Fresh objects are freely modifiable.
         let fresh = ObjId(store.frontier());
-        assert!(allowed.permits(Loc { obj: fresh, attr: cnt }));
+        assert!(allowed.permits(Loc {
+            obj: fresh,
+            attr: cnt
+        }));
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub struct RngOracle {
 impl RngOracle {
     /// Creates an oracle from a seed.
     pub fn seeded(seed: u64) -> RngOracle {
-        RngOracle { rng: StdRng::seed_from_u64(seed) }
+        RngOracle {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -188,7 +190,10 @@ enum Stop {
 }
 
 fn wrong(kind: WrongKind, detail: impl Into<String>) -> Stop {
-    Stop::Wrong(Wrong { kind, detail: detail.into() })
+    Stop::Wrong(Wrong {
+        kind,
+        detail: detail.into(),
+    })
 }
 
 /// The interpreter.
@@ -236,8 +241,12 @@ impl<'s, O: Oracle> Interp<'s, O> {
         assert_eq!(proc.params.len(), args.len(), "argument count mismatch");
         let allowed = allowed_effects(self.scope, &self.store, &proc.modifies, args);
         self.frames.push(allowed);
-        let mut env: Vec<(String, Value)> =
-            proc.params.iter().cloned().zip(args.iter().copied()).collect();
+        let mut env: Vec<(String, Value)> = proc
+            .params
+            .iter()
+            .cloned()
+            .zip(args.iter().copied())
+            .collect();
         let result = self.exec(&info.body, &mut env, 0);
         self.frames.pop();
         match result {
@@ -276,7 +285,12 @@ impl<'s, O: Oracle> Interp<'s, O> {
         }
     }
 
-    fn exec(&mut self, cmd: &Cmd, env: &mut Vec<(String, Value)>, depth: usize) -> Result<(), Stop> {
+    fn exec(
+        &mut self,
+        cmd: &Cmd,
+        env: &mut Vec<(String, Value)>,
+        depth: usize,
+    ) -> Result<(), Stop> {
         self.tick()?;
         match cmd {
             Cmd::Skip(_) => Ok(()),
@@ -284,7 +298,10 @@ impl<'s, O: Oracle> Interp<'s, O> {
                 if self.eval_bool(e, env)? {
                     Ok(())
                 } else {
-                    Err(wrong(WrongKind::AssertFailed, format!("assert {}", oolong_syntax::pretty::print_expr(e))))
+                    Err(wrong(
+                        WrongKind::AssertFailed,
+                        format!("assert {}", oolong_syntax::pretty::print_expr(e)),
+                    ))
                 }
             }
             Cmd::Assume(e, _) => {
@@ -312,7 +329,12 @@ impl<'s, O: Oracle> Interp<'s, O> {
                     self.exec(b, env, depth)
                 }
             }
-            Cmd::If { cond, then_branch, else_branch, .. } => {
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 if self.eval_bool(cond, env)? {
                     self.exec(then_branch, env, depth)
                 } else {
@@ -354,7 +376,10 @@ impl<'s, O: Oracle> Interp<'s, O> {
             if self.config.check_owner_exclusion {
                 return Err(wrong(
                     WrongKind::OwnerExclusion,
-                    format!("call to `{}` passes a pivot value whose owner it may modify", proc.name),
+                    format!(
+                        "call to `{}` passes a pivot value whose owner it may modify",
+                        proc.name
+                    ),
                 ));
             }
         }
@@ -362,7 +387,10 @@ impl<'s, O: Oracle> Interp<'s, O> {
         let impls: Vec<ImplId> = self.scope.impls_of(pid).map(|(id, _)| id).collect();
         if impls.is_empty() {
             if !self.config.havoc_unimplemented {
-                return Err(wrong(WrongKind::MissingImpl, format!("procedure `{}`", proc.name)));
+                return Err(wrong(
+                    WrongKind::MissingImpl,
+                    format!("procedure `{}`", proc.name),
+                ));
             }
             self.frames.push(allowed);
             let result = self.havoc();
@@ -372,8 +400,12 @@ impl<'s, O: Oracle> Interp<'s, O> {
         let chosen = impls[self.oracle.choose(impls.len())];
         let body = self.scope.impl_info(chosen).body.clone();
         self.frames.push(allowed);
-        let mut env: Vec<(String, Value)> =
-            proc.params.iter().cloned().zip(args.iter().copied()).collect();
+        let mut env: Vec<(String, Value)> = proc
+            .params
+            .iter()
+            .cloned()
+            .zip(args.iter().copied())
+            .collect();
         let result = self.exec(&body, &mut env, depth);
         self.frames.pop();
         result
@@ -446,7 +478,11 @@ impl<'s, O: Oracle> Interp<'s, O> {
         locs.sort();
         let mut arrays: Vec<ObjId> = frame.elem_arrays.iter().copied().collect();
         arrays.sort();
-        let writes = if locs.is_empty() { 0 } else { self.oracle.choose(locs.len() + 1) };
+        let writes = if locs.is_empty() {
+            0
+        } else {
+            self.oracle.choose(locs.len() + 1)
+        };
         for _ in 0..writes {
             let loc = locs[self.oracle.choose(locs.len())];
             let value = if self.scope.is_pivot(loc.attr) {
@@ -501,7 +537,10 @@ impl<'s, O: Oracle> Interp<'s, O> {
             }
             Expr::Select { base, attr, .. } => {
                 let obj = self.eval_obj(base, env)?;
-                let attr_id = self.scope.attr(&attr.text).expect("sema resolves attributes");
+                let attr_id = self
+                    .scope
+                    .attr(&attr.text)
+                    .expect("sema resolves attributes");
                 self.write_field(Loc { obj, attr: attr_id }, value)
             }
             Expr::Index { base, index, .. } => {
@@ -513,7 +552,12 @@ impl<'s, O: Oracle> Interp<'s, O> {
         }
     }
 
-    fn write_slot(&mut self, obj: crate::store::ObjId, index: i64, value: Value) -> Result<(), Stop> {
+    fn write_slot(
+        &mut self,
+        obj: crate::store::ObjId,
+        index: i64,
+        value: Value,
+    ) -> Result<(), Stop> {
         for (i, frame) in self.frames.iter().enumerate() {
             if !frame.permits_slot(obj) {
                 return Err(wrong(
@@ -592,7 +636,10 @@ impl<'s, O: Oracle> Interp<'s, O> {
                 .1),
             Expr::Select { base, attr, .. } => {
                 let obj = self.eval_obj(base, env)?;
-                let attr_id = self.scope.attr(&attr.text).expect("sema resolves attributes");
+                let attr_id = self
+                    .scope
+                    .attr(&attr.text)
+                    .expect("sema resolves attributes");
                 Ok(self.store.read(Loc { obj, attr: attr_id }))
             }
             Expr::Index { base, index, .. } => {
@@ -604,24 +651,32 @@ impl<'s, O: Oracle> Interp<'s, O> {
                 UnaryOp::Not => Ok(Value::Bool(!self.eval_bool(operand, env)?)),
                 UnaryOp::Neg => {
                     let n = self.eval_int(operand, env)?;
-                    n.checked_neg().map(Value::Int).ok_or_else(|| {
-                        wrong(WrongKind::TypeError, "integer overflow in negation")
-                    })
+                    n.checked_neg()
+                        .map(Value::Int)
+                        .ok_or_else(|| wrong(WrongKind::TypeError, "integer overflow in negation"))
                 }
             },
             Expr::Binary { op, lhs, rhs, .. } => match op {
                 BinOp::Eq => Ok(Value::Bool(self.eval(lhs, env)? == self.eval(rhs, env)?)),
                 BinOp::Ne => Ok(Value::Bool(self.eval(lhs, env)? != self.eval(rhs, env)?)),
-                BinOp::And => {
-                    Ok(Value::Bool(self.eval_bool(lhs, env)? & self.eval_bool(rhs, env)?))
-                }
-                BinOp::Or => {
-                    Ok(Value::Bool(self.eval_bool(lhs, env)? | self.eval_bool(rhs, env)?))
-                }
-                BinOp::Lt => Ok(Value::Bool(self.eval_int(lhs, env)? < self.eval_int(rhs, env)?)),
-                BinOp::Le => Ok(Value::Bool(self.eval_int(lhs, env)? <= self.eval_int(rhs, env)?)),
-                BinOp::Gt => Ok(Value::Bool(self.eval_int(lhs, env)? > self.eval_int(rhs, env)?)),
-                BinOp::Ge => Ok(Value::Bool(self.eval_int(lhs, env)? >= self.eval_int(rhs, env)?)),
+                BinOp::And => Ok(Value::Bool(
+                    self.eval_bool(lhs, env)? & self.eval_bool(rhs, env)?,
+                )),
+                BinOp::Or => Ok(Value::Bool(
+                    self.eval_bool(lhs, env)? | self.eval_bool(rhs, env)?,
+                )),
+                BinOp::Lt => Ok(Value::Bool(
+                    self.eval_int(lhs, env)? < self.eval_int(rhs, env)?,
+                )),
+                BinOp::Le => Ok(Value::Bool(
+                    self.eval_int(lhs, env)? <= self.eval_int(rhs, env)?,
+                )),
+                BinOp::Gt => Ok(Value::Bool(
+                    self.eval_int(lhs, env)? > self.eval_int(rhs, env)?,
+                )),
+                BinOp::Ge => Ok(Value::Bool(
+                    self.eval_int(lhs, env)? >= self.eval_int(rhs, env)?,
+                )),
                 BinOp::Add | BinOp::Sub | BinOp::Mul => {
                     let a = self.eval_int(lhs, env)?;
                     let b = self.eval_int(rhs, env)?;
@@ -656,7 +711,10 @@ mod tests {
 
     #[test]
     fn completes_trivially() {
-        assert_eq!(run_first("proc p(t) impl p(t) { skip }", "p"), RunOutcome::Completed);
+        assert_eq!(
+            run_first("proc p(t) impl p(t) { skip }", "p"),
+            RunOutcome::Completed
+        );
     }
 
     #[test]
@@ -856,7 +914,10 @@ mod tests {
                 _ => "other",
             });
         }
-        assert!(outcomes.contains("ok") && outcomes.contains("wrong"), "{outcomes:?}");
+        assert!(
+            outcomes.contains("ok") && outcomes.contains("wrong"),
+            "{outcomes:?}"
+        );
     }
 
     const ARRAY_TABLE: &str = "group state
@@ -891,9 +952,21 @@ impl pipeline(t) { tinit(t) ; touch(t) }
         let buckets = scope.attr("buckets").unwrap();
         let store = interp.store();
         let t = crate::store::ObjId(0);
-        let arr = store.read(Loc { obj: t, attr: buckets }).as_obj().expect("array installed");
+        let arr = store
+            .read(Loc {
+                obj: t,
+                attr: buckets,
+            })
+            .as_obj()
+            .expect("array installed");
         let elem = store.read_slot(arr, 0).as_obj().expect("element installed");
-        assert_eq!(store.read(Loc { obj: elem, attr: count }), Value::Int(1));
+        assert_eq!(
+            store.read(Loc {
+                obj: elem,
+                attr: count
+            }),
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -909,7 +982,13 @@ impl pipeline(t) { tinit(t) ; touch(t) }
         let buckets = scope.attr("buckets").unwrap();
         let t = interp.store_mut().alloc();
         let arr = interp.store_mut().alloc();
-        interp.store_mut().write(Loc { obj: t, attr: buckets }, Value::Obj(arr));
+        interp.store_mut().write(
+            Loc {
+                obj: t,
+                attr: buckets,
+            },
+            Value::Obj(arr),
+        );
         let (impl_id, _) = interp_scope_first_impl(&scope);
         match interp.run_impl(impl_id, &[Value::Obj(t)]) {
             RunOutcome::Wrong(w) => assert_eq!(w.kind, WrongKind::EffectViolation),
@@ -937,7 +1016,13 @@ impl pipeline(t) { tinit(t) ; touch(t) }
         let t = interp.store_mut().alloc();
         let arr = interp.store_mut().alloc();
         let e = interp.store_mut().alloc();
-        interp.store_mut().write(Loc { obj: t, attr: buckets }, Value::Obj(arr));
+        interp.store_mut().write(
+            Loc {
+                obj: t,
+                attr: buckets,
+            },
+            Value::Obj(arr),
+        );
         interp.store_mut().write_slot(arr, 0, Value::Obj(e));
         let caller = scope
             .impls()
@@ -971,8 +1056,10 @@ impl pipeline(t) { tinit(t) ; touch(t) }
              proc setup(st) modifies st.contents
              impl setup(st) { st.vec := new() ; w(st, st.vec) }",
         );
-        let mut config = ExecConfig::default();
-        config.check_owner_exclusion = true;
+        let config = ExecConfig {
+            check_owner_exclusion: true,
+            ..ExecConfig::default()
+        };
         let mut interp = Interp::new(&scope, config, FirstOracle);
         match interp.run_proc_fresh("setup") {
             RunOutcome::Wrong(w) => assert_eq!(w.kind, WrongKind::OwnerExclusion),

@@ -125,7 +125,10 @@ impl Store {
 
     /// Reads an array slot (default [`Value::Null`]).
     pub fn read_slot(&self, obj: ObjId, index: i64) -> Value {
-        self.slots.get(&(obj, index)).copied().unwrap_or(Value::Null)
+        self.slots
+            .get(&(obj, index))
+            .copied()
+            .unwrap_or(Value::Null)
     }
 
     /// Writes an array slot.
@@ -159,7 +162,10 @@ mod tests {
     fn unwritten_locations_read_null() {
         let mut s = Store::new();
         let o = s.alloc();
-        let loc = Loc { obj: o, attr: oolong_sema::AttrId(0) };
+        let loc = Loc {
+            obj: o,
+            attr: oolong_sema::AttrId(0),
+        };
         assert_eq!(s.read(loc), Value::Null);
         s.write(loc, Value::Int(7));
         assert_eq!(s.read(loc), Value::Int(7));

@@ -16,15 +16,29 @@ pub enum Atom {
     LocalInc(Term, Term),
     /// `A →F B` — the rep inclusion relation: some declaration
     /// `field F maps B into A` exists in the eventual program.
-    RepInc { group: Term, pivot: Term, mapped: Term },
+    RepInc {
+        group: Term,
+        pivot: Term,
+        mapped: Term,
+    },
     /// `A ⇉F B` — the *elementwise* rep inclusion relation (array
     /// dependencies, the paper's §6 future work): some declaration
     /// `field F maps elem B into A` exists in the eventual program, making
     /// every integer slot of the array referenced by `F`, and attribute
     /// `B` of every element stored in those slots, part of `A`.
-    RepIncElem { group: Term, pivot: Term, mapped: Term },
+    RepIncElem {
+        group: Term,
+        pivot: Term,
+        mapped: Term,
+    },
     /// `S ⊨ X·A ≽ Y·B` — the main inclusion relation on locations.
-    Inc { store: Term, obj: Term, attr: Term, obj2: Term, attr2: Term },
+    Inc {
+        store: Term,
+        obj: Term,
+        attr: Term,
+        obj2: Term,
+        attr2: Term,
+    },
     /// `t < u` on integers.
     Lt(Term, Term),
     /// `t ≤ u` on integers.
@@ -48,17 +62,31 @@ impl Atom {
             Atom::Eq(a, b) => Atom::Eq(a.subst(map), b.subst(map)),
             Atom::Alive(s, x) => Atom::Alive(s.subst(map), x.subst(map)),
             Atom::LocalInc(a, b) => Atom::LocalInc(a.subst(map), b.subst(map)),
-            Atom::RepInc { group, pivot, mapped } => Atom::RepInc {
+            Atom::RepInc {
+                group,
+                pivot,
+                mapped,
+            } => Atom::RepInc {
                 group: group.subst(map),
                 pivot: pivot.subst(map),
                 mapped: mapped.subst(map),
             },
-            Atom::RepIncElem { group, pivot, mapped } => Atom::RepIncElem {
+            Atom::RepIncElem {
+                group,
+                pivot,
+                mapped,
+            } => Atom::RepIncElem {
                 group: group.subst(map),
                 pivot: pivot.subst(map),
                 mapped: mapped.subst(map),
             },
-            Atom::Inc { store, obj, attr, obj2, attr2 } => Atom::Inc {
+            Atom::Inc {
+                store,
+                obj,
+                attr,
+                obj2,
+                attr2,
+            } => Atom::Inc {
                 store: store.subst(map),
                 obj: obj.subst(map),
                 attr: attr.subst(map),
@@ -81,17 +109,35 @@ impl Atom {
     /// Applies `f` to each argument term.
     pub fn for_each_term(&self, f: &mut impl FnMut(&Term)) {
         match self {
-            Atom::Eq(a, b) | Atom::LocalInc(a, b) | Atom::Lt(a, b) | Atom::Le(a, b) | Atom::Alive(a, b) => {
+            Atom::Eq(a, b)
+            | Atom::LocalInc(a, b)
+            | Atom::Lt(a, b)
+            | Atom::Le(a, b)
+            | Atom::Alive(a, b) => {
                 f(a);
                 f(b);
             }
-            Atom::RepInc { group, pivot, mapped }
-            | Atom::RepIncElem { group, pivot, mapped } => {
+            Atom::RepInc {
+                group,
+                pivot,
+                mapped,
+            }
+            | Atom::RepIncElem {
+                group,
+                pivot,
+                mapped,
+            } => {
                 f(group);
                 f(pivot);
                 f(mapped);
             }
-            Atom::Inc { store, obj, attr, obj2, attr2 } => {
+            Atom::Inc {
+                store,
+                obj,
+                attr,
+                obj2,
+                attr2,
+            } => {
                 f(store);
                 f(obj);
                 f(attr);
@@ -109,9 +155,23 @@ impl fmt::Display for Atom {
             Atom::Eq(a, b) => write!(f, "{a} = {b}"),
             Atom::Alive(s, x) => write!(f, "alive({s}, {x})"),
             Atom::LocalInc(a, b) => write!(f, "{a} ⊒ {b}"),
-            Atom::RepInc { group, pivot, mapped } => write!(f, "{group} →{pivot} {mapped}"),
-            Atom::RepIncElem { group, pivot, mapped } => write!(f, "{group} ⇉{pivot} {mapped}"),
-            Atom::Inc { store, obj, attr, obj2, attr2 } => {
+            Atom::RepInc {
+                group,
+                pivot,
+                mapped,
+            } => write!(f, "{group} →{pivot} {mapped}"),
+            Atom::RepIncElem {
+                group,
+                pivot,
+                mapped,
+            } => write!(f, "{group} ⇉{pivot} {mapped}"),
+            Atom::Inc {
+                store,
+                obj,
+                attr,
+                obj2,
+                attr2,
+            } => {
                 write!(f, "{store} ⊨ {obj}·{attr} ≽ {obj2}·{attr2}")
             }
             Atom::Lt(a, b) => write!(f, "{a} < {b}"),
@@ -243,6 +303,8 @@ impl Formula {
     }
 
     /// Builds `¬p`, collapsing double negation and constants.
+    // An associated constructor, not an operator method.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(p: Formula) -> Formula {
         match p {
             Formula::True => Formula::False,
@@ -306,8 +368,11 @@ impl Formula {
             Formula::Iff(p, q) => Formula::Iff(Box::new(p.subst(map)), Box::new(q.subst(map))),
             Formula::Forall(vars, triggers, body) => {
                 debug_assert!(no_capture(vars, map), "bound variable capture in subst");
-                let inner: Vec<(String, Term)> =
-                    map.iter().filter(|(v, _)| !vars.contains(v)).cloned().collect();
+                let inner: Vec<(String, Term)> = map
+                    .iter()
+                    .filter(|(v, _)| !vars.contains(v))
+                    .cloned()
+                    .collect();
                 let triggers = triggers
                     .iter()
                     .map(|t| {
@@ -325,8 +390,11 @@ impl Formula {
             }
             Formula::Exists(vars, triggers, body) => {
                 debug_assert!(no_capture(vars, map), "bound variable capture in subst");
-                let inner: Vec<(String, Term)> =
-                    map.iter().filter(|(v, _)| !vars.contains(v)).cloned().collect();
+                let inner: Vec<(String, Term)> = map
+                    .iter()
+                    .filter(|(v, _)| !vars.contains(v))
+                    .cloned()
+                    .collect();
                 let triggers = triggers
                     .iter()
                     .map(|t| {
@@ -460,9 +528,15 @@ mod tests {
     fn and_flattens_and_short_circuits() {
         let a = Formula::eq(Term::var("x"), Term::int(1));
         let b = Formula::eq(Term::var("y"), Term::int(2));
-        let nested = Formula::and(vec![a.clone(), Formula::and(vec![b.clone(), Formula::True])]);
+        let nested = Formula::and(vec![
+            a.clone(),
+            Formula::and(vec![b.clone(), Formula::True]),
+        ]);
         assert_eq!(nested, Formula::And(vec![a.clone(), b.clone()]));
-        assert_eq!(Formula::and(vec![a.clone(), Formula::False]), Formula::False);
+        assert_eq!(
+            Formula::and(vec![a.clone(), Formula::False]),
+            Formula::False
+        );
         assert_eq!(Formula::and(vec![]), Formula::True);
         assert_eq!(Formula::and(vec![a.clone()]), a);
     }
@@ -490,7 +564,11 @@ mod tests {
         let subbed = q.subst(&[("x".to_string(), Term::int(3))]);
         assert_eq!(
             subbed,
-            Formula::forall(vec!["v".into()], vec![], Formula::eq(Term::var("v"), Term::int(3)))
+            Formula::forall(
+                vec!["v".into()],
+                vec![],
+                Formula::eq(Term::var("v"), Term::int(3))
+            )
         );
         // Substituting the bound variable itself is a no-op inside.
         let same = q.subst(&[("v".to_string(), Term::int(7))]);

@@ -30,9 +30,11 @@
 //! ```
 
 pub mod formula;
+pub mod stable_hash;
 pub mod term;
 pub mod transform;
 
 pub use formula::{Atom, Formula, Pattern, Trigger};
+pub use stable_hash::{stable_hash128, StableHasher};
 pub use term::{Cst, FnSym, Term, STORE, STORE0};
 pub use transform::{to_nnf, FreshGen, Nnf};

@@ -105,12 +105,22 @@ impl Nnf {
         match self {
             Nnf::True => Nnf::True,
             Nnf::False => Nnf::False,
-            Nnf::Lit { atom, positive } => Nnf::Lit { atom: atom.subst(map), positive: *positive },
+            Nnf::Lit { atom, positive } => Nnf::Lit {
+                atom: atom.subst(map),
+                positive: *positive,
+            },
             Nnf::And(ps) => Nnf::And(ps.iter().map(|p| p.subst(map)).collect()),
             Nnf::Or(ps) => Nnf::Or(ps.iter().map(|p| p.subst(map)).collect()),
-            Nnf::Forall { vars, triggers, body } => {
-                let inner: Vec<(String, Term)> =
-                    map.iter().filter(|(v, _)| !vars.contains(v)).cloned().collect();
+            Nnf::Forall {
+                vars,
+                triggers,
+                body,
+            } => {
+                let inner: Vec<(String, Term)> = map
+                    .iter()
+                    .filter(|(v, _)| !vars.contains(v))
+                    .cloned()
+                    .collect();
                 let triggers = triggers
                     .iter()
                     .map(|t| {
@@ -148,8 +158,14 @@ impl std::fmt::Display for Nnf {
         match self {
             Nnf::True => write!(f, "true"),
             Nnf::False => write!(f, "false"),
-            Nnf::Lit { atom, positive: true } => write!(f, "{atom}"),
-            Nnf::Lit { atom, positive: false } => write!(f, "¬({atom})"),
+            Nnf::Lit {
+                atom,
+                positive: true,
+            } => write!(f, "{atom}"),
+            Nnf::Lit {
+                atom,
+                positive: false,
+            } => write!(f, "¬({atom})"),
             Nnf::And(ps) => {
                 write!(f, "(")?;
                 for (i, p) in ps.iter().enumerate() {
@@ -170,7 +186,11 @@ impl std::fmt::Display for Nnf {
                 }
                 write!(f, ")")
             }
-            Nnf::Forall { vars, triggers, body } => {
+            Nnf::Forall {
+                vars,
+                triggers,
+                body,
+            } => {
                 write!(f, "(∀ {}", vars.join(", "))?;
                 for t in triggers {
                     write!(f, " {t}")?;
@@ -213,10 +233,16 @@ fn convert(
                 Nnf::True
             }
         }
-        Formula::Atom(a) => Nnf::Lit { atom: a.clone(), positive },
+        Formula::Atom(a) => Nnf::Lit {
+            atom: a.clone(),
+            positive,
+        },
         Formula::Not(p) => convert(p, !positive, universals, fresh),
         Formula::And(ps) => {
-            let parts: Vec<Nnf> = ps.iter().map(|p| convert(p, positive, universals, fresh)).collect();
+            let parts: Vec<Nnf> = ps
+                .iter()
+                .map(|p| convert(p, positive, universals, fresh))
+                .collect();
             if positive {
                 Nnf::and(parts)
             } else {
@@ -224,7 +250,10 @@ fn convert(
             }
         }
         Formula::Or(ps) => {
-            let parts: Vec<Nnf> = ps.iter().map(|p| convert(p, positive, universals, fresh)).collect();
+            let parts: Vec<Nnf> = ps
+                .iter()
+                .map(|p| convert(p, positive, universals, fresh))
+                .collect();
             if positive {
                 Nnf::or(parts)
             } else {
@@ -309,7 +338,11 @@ fn rename_and_quantify(
     universals.truncate(depth);
     match inner {
         Nnf::True => Nnf::True,
-        other => Nnf::Forall { vars: new_names, triggers: renamed_triggers, body: Box::new(other) },
+        other => Nnf::Forall {
+            vars: new_names,
+            triggers: renamed_triggers,
+            body: Box::new(other),
+        },
     }
 }
 
@@ -365,7 +398,13 @@ mod tests {
         match nnf {
             Nnf::Or(parts) => {
                 assert_eq!(parts.len(), 2);
-                assert!(parts.iter().all(|p| matches!(p, Nnf::Lit { positive: false, .. })));
+                assert!(parts.iter().all(|p| matches!(
+                    p,
+                    Nnf::Lit {
+                        positive: false,
+                        ..
+                    }
+                )));
             }
             other => panic!("expected Or, got {other}"),
         }
@@ -381,7 +420,13 @@ mod tests {
         match neg {
             Nnf::And(parts) => {
                 assert!(matches!(&parts[0], Nnf::Lit { positive: true, .. }));
-                assert!(matches!(&parts[1], Nnf::Lit { positive: false, .. }));
+                assert!(matches!(
+                    &parts[1],
+                    Nnf::Lit {
+                        positive: false,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected And, got {other}"),
         }
@@ -391,7 +436,10 @@ mod tests {
     fn iff_expands_to_two_implications() {
         let f = F::Iff(Box::new(atom("p")), Box::new(atom("q")));
         let nnf = to_nnf(&f, true, &mut FreshGen::new());
-        assert!(matches!(nnf, Nnf::And(ref parts) if parts.len() == 2), "{nnf}");
+        assert!(
+            matches!(nnf, Nnf::And(ref parts) if parts.len() == 2),
+            "{nnf}"
+        );
     }
 
     #[test]
@@ -400,7 +448,10 @@ mod tests {
         let f = F::exists(vec!["x".into()], F::eq(T::var("x"), T::int(1)));
         let nnf = to_nnf(&f, true, &mut FreshGen::new());
         match nnf {
-            Nnf::Lit { atom: Atom::Eq(T::Var(v), _), positive: true } => {
+            Nnf::Lit {
+                atom: Atom::Eq(T::Var(v), _),
+                positive: true,
+            } => {
                 assert!(v.starts_with("sk_x!"), "got {v}");
             }
             other => panic!("expected literal, got {other}"),
@@ -420,7 +471,10 @@ mod tests {
             Nnf::Forall { vars, body, .. } => {
                 assert_eq!(vars.len(), 1);
                 match *body {
-                    Nnf::Lit { atom: Atom::Eq(T::App(_, args), _), .. } => {
+                    Nnf::Lit {
+                        atom: Atom::Eq(T::App(_, args), _),
+                        ..
+                    } => {
                         assert_eq!(args.len(), 1, "skolem fn applied to the universal");
                         assert_eq!(args[0], T::var(&vars[0]));
                     }
@@ -434,9 +488,22 @@ mod tests {
     #[test]
     fn negated_universal_skolemizes() {
         // ¬(∀x :: p(x)) ≡ ∃x :: ¬p(x) → constant skolem, negative literal.
-        let f = F::forall(vec!["x".into()], vec![], F::Atom(Atom::BoolTerm(T::var("x"))));
+        let f = F::forall(
+            vec!["x".into()],
+            vec![],
+            F::Atom(Atom::BoolTerm(T::var("x"))),
+        );
         let nnf = to_nnf(&f, false, &mut FreshGen::new());
-        assert!(matches!(nnf, Nnf::Lit { positive: false, .. }), "{nnf}");
+        assert!(
+            matches!(
+                nnf,
+                Nnf::Lit {
+                    positive: false,
+                    ..
+                }
+            ),
+            "{nnf}"
+        );
     }
 
     #[test]
@@ -454,7 +521,11 @@ mod tests {
 
     #[test]
     fn triggers_survive_renaming() {
-        let trig = Trigger(vec![Pattern::Term(T::select(T::store(), T::var("x"), T::attr("f")))]);
+        let trig = Trigger(vec![Pattern::Term(T::select(
+            T::store(),
+            T::var("x"),
+            T::attr("f"),
+        ))]);
         let f = F::forall(
             vec!["x".into()],
             vec![trig],
@@ -477,8 +548,17 @@ mod tests {
 
     #[test]
     fn nnf_subst_instantiates() {
-        let lit = Nnf::Lit { atom: Atom::Eq(T::var("v"), T::int(1)), positive: true };
+        let lit = Nnf::Lit {
+            atom: Atom::Eq(T::var("v"), T::int(1)),
+            positive: true,
+        };
         let inst = lit.subst(&[("v".to_string(), T::var("c"))]);
-        assert_eq!(inst, Nnf::Lit { atom: Atom::Eq(T::var("c"), T::int(1)), positive: true });
+        assert_eq!(
+            inst,
+            Nnf::Lit {
+                atom: Atom::Eq(T::var("c"), T::int(1)),
+                positive: true
+            }
+        );
     }
 }

@@ -1,0 +1,549 @@
+//! Offline, dependency-free stand-in for the subset of the `proptest` API
+//! used by this workspace: the `proptest!` test macro, `Strategy` with
+//! `prop_map`/`prop_recursive`/`boxed`, `Just`, `any`, integer-range and
+//! tuple strategies, `prop_oneof!`, `proptest::collection::vec`, the
+//! `prop_assert*` macros, and `ProptestConfig::with_cases`.
+//!
+//! The container this workspace builds in has no crates.io access. This
+//! stand-in keeps the property tests' structure and input distributions but
+//! drops shrinking and persistence: a failing case panics with the
+//! generating seed so it can be replayed by rerunning the test.
+
+use std::fmt;
+
+/// Test-runner types: configuration, failure values, and the deterministic
+/// RNG driving strategies.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (the `Err` of a property body).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    /// Deterministic SplitMix64 stream driving value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from a test name and case index, so every
+        /// test gets an independent, reproducible stream.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A value in `0..n` (`n` must be nonzero).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// `true` with probability `p`.
+        pub fn gen_bool(&mut self, p: f64) -> bool {
+            ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type. Unlike real proptest
+    /// there is no shrinking: a strategy is just a deterministic function
+    /// of the RNG stream.
+    pub trait Strategy: Clone {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { base: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng| s.gen_value(rng)))
+        }
+
+        /// Builds recursive values: `f` receives the strategy for the
+        /// previous recursion level and returns the strategy for the next.
+        /// `depth` bounds the nesting; the `_desired_size` and
+        /// `_expected_branch_size` tuning knobs of real proptest are
+        /// accepted and ignored.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut current = self.clone().boxed();
+            for _ in 0..depth {
+                let leaf = self.clone().boxed();
+                let branch = f(current).boxed();
+                current = BoxedStrategy(Rc::new(move |rng| {
+                    // Lean toward branches so deep cases actually occur;
+                    // the leaf arm guarantees termination.
+                    if rng.gen_bool(0.35) {
+                        leaf.gen_value(rng)
+                    } else {
+                        branch.gen_value(rng)
+                    }
+                }));
+            }
+            current
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.gen_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (built by `prop_oneof!`).
+    pub struct OneOf<T> {
+        choices: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// A strategy choosing uniformly among `choices`.
+        pub fn new(choices: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+            assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { choices }
+        }
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf {
+                choices: self.choices.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.choices.len() as u64) as usize;
+            self.choices[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+use strategy::Strategy;
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// The canonical strategy for a type (result of [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<T> fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "any::<{}>()", std::any::type_name::<T>())
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates `Vec`s of `element` with a length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty length range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategy expressions with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                $(let $pat = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body;
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    panic!(
+                        "proptest property `{}` failed at case {}: {}",
+                        stringify!($name),
+                        __case,
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the surrounding property when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the surrounding property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the surrounding property when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0i64..10, y in 5u8..7) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!((5..7).contains(&y));
+        }
+
+        #[test]
+        fn mapped_values(v in (0u64..4).prop_map(|n| n * 2)) {
+            prop_assert!(v % 2 == 0 && v < 8);
+        }
+
+        #[test]
+        fn vectors_have_requested_len(v in crate::collection::vec(0usize..3, 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for x in v {
+                prop_assert!(x < 3);
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(n) => u32::from(*n < 0),
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        leaf.prop_recursive(4, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn recursion_depth_is_bounded(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 4, "tree too deep: {:?}", t);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn early_return_is_ok(b in any::<bool>()) {
+            if b {
+                return Ok(());
+            }
+            prop_assert!(!b);
+        }
+    }
+}

@@ -158,8 +158,12 @@ impl EGraph {
             merges: 0,
             current_gen: 0,
         };
-        eg.true_id = eg.add(Sym::Lit(Cst::Bool(true)), vec![]).expect("no conflict on init");
-        eg.false_id = eg.add(Sym::Lit(Cst::Bool(false)), vec![]).expect("no conflict on init");
+        eg.true_id = eg
+            .add(Sym::Lit(Cst::Bool(true)), vec![])
+            .expect("no conflict on init");
+        eg.false_id = eg
+            .add(Sym::Lit(Cst::Bool(false)), vec![])
+            .expect("no conflict on init");
         eg
     }
 
@@ -295,13 +299,23 @@ impl EGraph {
                 let b = self.intern(b)?;
                 self.add(Sym::PLocalInc, vec![a, b])?
             }
-            Atom::RepInc { group, pivot, mapped } => {
+            Atom::RepInc {
+                group,
+                pivot,
+                mapped,
+            } => {
                 let g = self.intern(group)?;
                 let f = self.intern(pivot)?;
                 let m = self.intern(mapped)?;
                 self.add(Sym::PRepInc, vec![g, f, m])?
             }
-            Atom::Inc { store, obj, attr, obj2, attr2 } => {
+            Atom::Inc {
+                store,
+                obj,
+                attr,
+                obj2,
+                attr2,
+            } => {
                 let s = self.intern(store)?;
                 let x = self.intern(obj)?;
                 let a = self.intern(attr)?;
@@ -327,7 +341,11 @@ impl EGraph {
                 let t = self.intern(t)?;
                 self.add(Sym::PIsInt, vec![t])?
             }
-            Atom::RepIncElem { group, pivot, mapped } => {
+            Atom::RepIncElem {
+                group,
+                pivot,
+                mapped,
+            } => {
                 let g = self.intern(group)?;
                 let f = self.intern(pivot)?;
                 let m = self.intern(mapped)?;
@@ -345,9 +363,15 @@ impl EGraph {
             return Ok(existing);
         }
         let id = self.nodes.len() as NodeId;
-        self.nodes.push(Node { sym: sym.clone(), children: children.clone() });
+        self.nodes.push(Node {
+            sym: sym.clone(),
+            children: children.clone(),
+        });
         self.parent.push(id);
-        let mut data = ClassData { gen: self.current_gen, ..ClassData::default() };
+        let mut data = ClassData {
+            gen: self.current_gen,
+            ..ClassData::default()
+        };
         // Interpreted constants are always generation 0: reaching `3` via a
         // deep instantiation does not make `3` expensive.
         if let Sym::Lit(c) = &sym {
@@ -360,7 +384,11 @@ impl EGraph {
         self.by_sym.entry(sym).or_default().push(id);
         for &c in &children {
             let root = self.find(c);
-            self.classes.get_mut(&root).expect("child class exists").parents.push(id);
+            self.classes
+                .get_mut(&root)
+                .expect("child class exists")
+                .parents
+                .push(id);
         }
         self.try_eval(id)?;
         Ok(id)
@@ -387,13 +415,17 @@ impl EGraph {
             let vb = self.classes[&rb].value.clone();
             if let (Some(x), Some(y)) = (&va, &vb) {
                 if x != y {
-                    return Err(Conflict(format!("cannot identify distinct constants {x} and {y}")));
+                    return Err(Conflict(format!(
+                        "cannot identify distinct constants {x} and {y}"
+                    )));
                 }
             }
             if self.classes[&ra].diseqs.iter().any(|&d| self.find(d) == rb)
                 || self.classes[&rb].diseqs.iter().any(|&d| self.find(d) == ra)
             {
-                return Err(Conflict("merge violates an asserted disequality".to_string()));
+                return Err(Conflict(
+                    "merge violates an asserted disequality".to_string(),
+                ));
             }
 
             // Union: attach the smaller class under the larger.
@@ -422,7 +454,10 @@ impl EGraph {
                 let node = &self.nodes[p as usize];
                 let key = (
                     node.sym.clone(),
-                    node.children.iter().map(|&c| self.find(c)).collect::<Vec<_>>(),
+                    node.children
+                        .iter()
+                        .map(|&c| self.find(c))
+                        .collect::<Vec<_>>(),
                 );
                 match self.sig_table.get(&key) {
                     Some(&other) if self.find(other) != self.find(p) => {
@@ -484,13 +519,24 @@ impl EGraph {
             }
         };
         let binary = |eg: &EGraph| -> Option<(i64, i64)> {
-            Some((int_of(eg, node.children[0])?, int_of(eg, *node.children.get(1)?)?))
+            Some((
+                int_of(eg, node.children[0])?,
+                int_of(eg, *node.children.get(1)?)?,
+            ))
         };
         let result: Option<Cst> = match node.sym {
-            Sym::Add => binary(self).and_then(|(a, b)| a.checked_add(b)).map(Cst::Int),
-            Sym::Sub => binary(self).and_then(|(a, b)| a.checked_sub(b)).map(Cst::Int),
-            Sym::Mul => binary(self).and_then(|(a, b)| a.checked_mul(b)).map(Cst::Int),
-            Sym::Neg => int_of(self, node.children[0]).and_then(i64::checked_neg).map(Cst::Int),
+            Sym::Add => binary(self)
+                .and_then(|(a, b)| a.checked_add(b))
+                .map(Cst::Int),
+            Sym::Sub => binary(self)
+                .and_then(|(a, b)| a.checked_sub(b))
+                .map(Cst::Int),
+            Sym::Mul => binary(self)
+                .and_then(|(a, b)| a.checked_mul(b))
+                .map(Cst::Int),
+            Sym::Neg => int_of(self, node.children[0])
+                .and_then(i64::checked_neg)
+                .map(Cst::Int),
             Sym::PLt => binary(self).map(|(a, b)| Cst::Bool(a < b)),
             Sym::PLe => binary(self).map(|(a, b)| Cst::Bool(a <= b)),
             // Interpreted constants are never object references.
@@ -519,12 +565,13 @@ impl EGraph {
             _ => {
                 if self.same_class(id, self.true_id) {
                     Some(true)
-                } else if self.same_class(id, self.false_id) {
-                    Some(false)
-                } else if self.known_disequal(id, self.true_id) {
+                } else if self.same_class(id, self.false_id)
+                    || self.known_disequal(id, self.true_id)
+                {
+                    // Boolean-valued predicates are two-valued, so ≠ true
+                    // determines false (and ≠ false below determines true).
                     Some(false)
                 } else if self.known_disequal(id, self.false_id) {
-                    // Boolean-valued predicates are two-valued.
                     Some(true)
                 } else {
                     None
@@ -556,8 +603,12 @@ mod tests {
     fn congruence_is_transitive_and_nested() {
         // a = b, b = c implies g(f(a)) = g(f(c)).
         let mut eg = EGraph::new();
-        let gfa = eg.intern(&T::uninterp("g", vec![T::uninterp("f", vec![T::var("a")])])).unwrap();
-        let gfc = eg.intern(&T::uninterp("g", vec![T::uninterp("f", vec![T::var("c")])])).unwrap();
+        let gfa = eg
+            .intern(&T::uninterp("g", vec![T::uninterp("f", vec![T::var("a")])]))
+            .unwrap();
+        let gfc = eg
+            .intern(&T::uninterp("g", vec![T::uninterp("f", vec![T::var("c")])]))
+            .unwrap();
         let a = eg.intern(&T::var("a")).unwrap();
         let b = eg.intern(&T::var("b")).unwrap();
         let c = eg.intern(&T::var("c")).unwrap();
@@ -632,9 +683,15 @@ mod tests {
     #[test]
     fn comparison_predicates_evaluate() {
         let mut eg = EGraph::new();
-        let lt = eg.intern_atom(&Atom::Lt(T::int(1), T::int(2))).unwrap().unwrap();
+        let lt = eg
+            .intern_atom(&Atom::Lt(T::int(1), T::int(2)))
+            .unwrap()
+            .unwrap();
         assert_eq!(eg.bool_value(lt), Some(true));
-        let le = eg.intern_atom(&Atom::Le(T::int(3), T::int(2))).unwrap().unwrap();
+        let le = eg
+            .intern_atom(&Atom::Le(T::int(3), T::int(2)))
+            .unwrap()
+            .unwrap();
         assert_eq!(eg.bool_value(le), Some(false));
     }
 
@@ -642,8 +699,14 @@ mod tests {
     fn predicate_nodes_share_by_congruence() {
         // alive(s, x) = alive(s, y) once x = y.
         let mut eg = EGraph::new();
-        let p1 = eg.intern_atom(&Atom::Alive(T::var("s"), T::var("x"))).unwrap().unwrap();
-        let p2 = eg.intern_atom(&Atom::Alive(T::var("s"), T::var("y"))).unwrap().unwrap();
+        let p1 = eg
+            .intern_atom(&Atom::Alive(T::var("s"), T::var("x")))
+            .unwrap()
+            .unwrap();
+        let p2 = eg
+            .intern_atom(&Atom::Alive(T::var("s"), T::var("y")))
+            .unwrap()
+            .unwrap();
         let t = eg.true_id();
         eg.merge(p1, t).unwrap();
         assert_eq!(eg.bool_value(p2), None);
@@ -656,8 +719,12 @@ mod tests {
     #[test]
     fn hash_consing_deduplicates() {
         let mut eg = EGraph::new();
-        let t1 = eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
-        let t2 = eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        let t1 = eg
+            .intern(&T::select(T::store(), T::var("t"), T::attr("f")))
+            .unwrap();
+        let t2 = eg
+            .intern(&T::select(T::store(), T::var("t"), T::attr("f")))
+            .unwrap();
         assert_eq!(t1, t2);
     }
 
@@ -670,8 +737,10 @@ mod tests {
     #[test]
     fn nodes_with_sym_indexes_all() {
         let mut eg = EGraph::new();
-        eg.intern(&T::select(T::store(), T::var("a"), T::attr("f"))).unwrap();
-        eg.intern(&T::select(T::store(), T::var("b"), T::attr("f"))).unwrap();
+        eg.intern(&T::select(T::store(), T::var("a"), T::attr("f")))
+            .unwrap();
+        eg.intern(&T::select(T::store(), T::var("b"), T::attr("f")))
+            .unwrap();
         assert_eq!(eg.nodes_with_sym(&Sym::Select).len(), 2);
     }
 

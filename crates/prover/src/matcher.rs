@@ -146,7 +146,9 @@ fn match_pattern_top(
             }
         }
         Pattern::Atom(atom) => {
-            let Some((sym, args)) = atom_shape(atom) else { return };
+            let Some((sym, args)) = atom_shape(atom) else {
+                return;
+            };
             for &node in eg.nodes_with_sym(&sym) {
                 match_children_ref(eg, holes, &args, node, binding.clone(), out);
             }
@@ -175,17 +177,27 @@ fn atom_shape(atom: &Atom) -> Option<(Sym, Vec<&Term>)> {
         Atom::Eq(..) => None,
         Atom::Alive(s, x) => Some((Sym::PAlive, vec![s, x])),
         Atom::LocalInc(a, b) => Some((Sym::PLocalInc, vec![a, b])),
-        Atom::RepInc { group, pivot, mapped } => Some((Sym::PRepInc, vec![group, pivot, mapped])),
-        Atom::Inc { store, obj, attr, obj2, attr2 } => {
-            Some((Sym::PInc, vec![store, obj, attr, obj2, attr2]))
-        }
+        Atom::RepInc {
+            group,
+            pivot,
+            mapped,
+        } => Some((Sym::PRepInc, vec![group, pivot, mapped])),
+        Atom::Inc {
+            store,
+            obj,
+            attr,
+            obj2,
+            attr2,
+        } => Some((Sym::PInc, vec![store, obj, attr, obj2, attr2])),
         Atom::Lt(a, b) => Some((Sym::PLt, vec![a, b])),
         Atom::Le(a, b) => Some((Sym::PLe, vec![a, b])),
         Atom::IsObj(t) => Some((Sym::PIsObj, vec![t])),
         Atom::IsInt(t) => Some((Sym::PIsInt, vec![t])),
-        Atom::RepIncElem { group, pivot, mapped } => {
-            Some((Sym::PRepIncElem, vec![group, pivot, mapped]))
-        }
+        Atom::RepIncElem {
+            group,
+            pivot,
+            mapped,
+        } => Some((Sym::PRepIncElem, vec![group, pivot, mapped])),
         Atom::BoolTerm(_) => None,
     }
 }
@@ -325,8 +337,11 @@ fn term_of_rec(
         return t;
     }
     let node = eg.node(m).clone();
-    let args: Vec<Term> =
-        node.children.iter().map(|&c| term_of_rec(eg, c, visiting, aliases)).collect();
+    let args: Vec<Term> = node
+        .children
+        .iter()
+        .map(|&c| term_of_rec(eg, c, visiting, aliases))
+        .collect();
     visiting.remove(&root);
     let f = match node.sym {
         Sym::Select => FnSym::Select,
@@ -377,9 +392,14 @@ mod tests {
     #[test]
     fn matches_simple_select_pattern() {
         let mut eg = EGraph::new();
-        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f")))
+            .unwrap();
         // Pattern: select($, X, #f) with hole X.
-        let trigger = Trigger(vec![Pattern::Term(T::select(T::store(), T::var("X"), T::attr("f")))]);
+        let trigger = Trigger(vec![Pattern::Term(T::select(
+            T::store(),
+            T::var("X"),
+            T::attr("f"),
+        ))]);
         let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
         assert_eq!(bindings.len(), 1);
         let t_leaf = eg.intern(&T::var("t")).unwrap();
@@ -390,11 +410,16 @@ mod tests {
     fn matches_modulo_equality() {
         // After u = t, the pattern select($, u, #f) matches select($, t, #f).
         let mut eg = EGraph::new();
-        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f")))
+            .unwrap();
         let t = eg.intern(&T::var("t")).unwrap();
         let u = eg.intern(&T::var("u")).unwrap();
         eg.merge(t, u).unwrap();
-        let trigger = Trigger(vec![Pattern::Term(T::select(T::store(), T::var("u"), T::attr("f")))]);
+        let trigger = Trigger(vec![Pattern::Term(T::select(
+            T::store(),
+            T::var("u"),
+            T::attr("f"),
+        ))]);
         let bindings = match_trigger(&eg, &[], &trigger);
         assert_eq!(bindings.len(), 1, "constant u matches via its class");
     }
@@ -402,8 +427,13 @@ mod tests {
     #[test]
     fn no_match_for_absent_attr() {
         let mut eg = EGraph::new();
-        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
-        let trigger = Trigger(vec![Pattern::Term(T::select(T::store(), T::var("X"), T::attr("g")))]);
+        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f")))
+            .unwrap();
+        let trigger = Trigger(vec![Pattern::Term(T::select(
+            T::store(),
+            T::var("X"),
+            T::attr("g"),
+        ))]);
         assert!(match_trigger(&eg, &["X".to_string()], &trigger).is_empty());
     }
 
@@ -427,10 +457,14 @@ mod tests {
     #[test]
     fn repeated_hole_must_agree() {
         let mut eg = EGraph::new();
-        eg.intern(&T::uninterp("h", vec![T::var("a"), T::var("a")])).unwrap();
-        eg.intern(&T::uninterp("h", vec![T::var("a"), T::var("b")])).unwrap();
-        let trigger =
-            Trigger(vec![Pattern::Term(T::uninterp("h", vec![T::var("X"), T::var("X")]))]);
+        eg.intern(&T::uninterp("h", vec![T::var("a"), T::var("a")]))
+            .unwrap();
+        eg.intern(&T::uninterp("h", vec![T::var("a"), T::var("b")]))
+            .unwrap();
+        let trigger = Trigger(vec![Pattern::Term(T::uninterp(
+            "h",
+            vec![T::var("X"), T::var("X")],
+        ))]);
         let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
         assert_eq!(bindings.len(), 1, "only h(a, a) matches h(X, X)");
     }
@@ -457,8 +491,10 @@ mod tests {
     fn nested_patterns_match() {
         // Pattern select(succ(S), X, #f).
         let mut eg = EGraph::new();
-        eg.intern(&T::select(T::succ(T::store()), T::var("t"), T::attr("f"))).unwrap();
-        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        eg.intern(&T::select(T::succ(T::store()), T::var("t"), T::attr("f")))
+            .unwrap();
+        eg.intern(&T::select(T::store(), T::var("t"), T::attr("f")))
+            .unwrap();
         let trigger = Trigger(vec![Pattern::Term(T::select(
             T::succ(T::var("S")),
             T::var("X"),
@@ -534,7 +570,9 @@ mod tests {
     #[test]
     fn term_of_reconstructs_apps() {
         let mut eg = EGraph::new();
-        let sel = eg.intern(&T::select(T::store(), T::var("t"), T::attr("f"))).unwrap();
+        let sel = eg
+            .intern(&T::select(T::store(), T::var("t"), T::attr("f")))
+            .unwrap();
         let mut aliases = Vec::new();
         let t = term_of(&eg, sel, &mut aliases);
         assert_eq!(t, T::select(T::store(), T::var("t"), T::attr("f")));
@@ -553,7 +591,9 @@ mod tests {
         let fa = eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
         let a = eg.intern(&T::var("a")).unwrap();
         eg.merge(fa, a).unwrap();
-        let ffa = eg.intern(&T::uninterp("f", vec![T::uninterp("f", vec![T::var("a")])])).unwrap();
+        let ffa = eg
+            .intern(&T::uninterp("f", vec![T::uninterp("f", vec![T::var("a")])]))
+            .unwrap();
         let mut aliases = Vec::new();
         let t = term_of(&eg, ffa, &mut aliases);
         assert_eq!(t, T::var("a"), "f(f(a)) = f(a) = a by congruence");

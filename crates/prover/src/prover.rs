@@ -30,7 +30,12 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Resource limits for one proof attempt.
-#[derive(Debug, Clone)]
+///
+/// `Hash`/`Eq` are part of the incremental engine's cache-key contract:
+/// two proof attempts with different budgets are different obligations
+/// (a starved budget can turn `Proved` into `Unknown`), so the budget is
+/// hashed into every verification-condition fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Budget {
     /// Maximum total quantifier instantiations.
     pub max_instances: usize,
@@ -81,6 +86,23 @@ impl Budget {
             max_rounds: 60,
         }
     }
+
+    /// The budget as named `u64` fields, in a fixed order, for structured
+    /// serialization (cache entries, event logs).
+    pub fn to_fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("max_instances", self.max_instances as u64),
+            (
+                "max_instances_per_round",
+                self.max_instances_per_round as u64,
+            ),
+            ("max_branches", self.max_branches),
+            ("max_nodes", self.max_nodes as u64),
+            ("max_depth", self.max_depth as u64),
+            ("max_term_gen", u64::from(self.max_term_gen)),
+            ("max_rounds", self.max_rounds as u64),
+        ]
+    }
 }
 
 /// Counters describing the work a proof attempt performed.
@@ -102,6 +124,43 @@ pub struct Stats {
     pub skipped_quants: usize,
     /// Instantiations deferred by the matching-generation limit.
     pub deferred_instances: usize,
+}
+
+impl Stats {
+    /// The counters as named `u64` fields, in a fixed order, for
+    /// structured serialization (cache entries, event logs).
+    pub fn to_fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("instances", self.instances as u64),
+            ("branches", self.branches),
+            ("rounds", self.rounds as u64),
+            ("max_depth", self.max_depth as u64),
+            ("peak_nodes", self.peak_nodes as u64),
+            ("quants", self.quants as u64),
+            ("skipped_quants", self.skipped_quants as u64),
+            ("deferred_instances", self.deferred_instances as u64),
+        ]
+    }
+
+    /// Rebuilds counters from named fields (inverse of [`Stats::to_fields`];
+    /// unknown names are ignored, missing names stay zero).
+    pub fn from_fields<'a>(fields: impl IntoIterator<Item = (&'a str, u64)>) -> Stats {
+        let mut stats = Stats::default();
+        for (name, value) in fields {
+            match name {
+                "instances" => stats.instances = value as usize,
+                "branches" => stats.branches = value,
+                "rounds" => stats.rounds = value as usize,
+                "max_depth" => stats.max_depth = value as usize,
+                "peak_nodes" => stats.peak_nodes = value as usize,
+                "quants" => stats.quants = value as usize,
+                "skipped_quants" => stats.skipped_quants = value as usize,
+                "deferred_instances" => stats.deferred_instances = value as usize,
+                _ => {}
+            }
+        }
+        stats
+    }
 }
 
 impl fmt::Display for Stats {
@@ -166,8 +225,10 @@ impl Proof {
 /// Proves `hypotheses ⇒ goal` by refuting `hypotheses ∧ ¬goal`.
 pub fn prove(hypotheses: &[Formula], goal: &Formula, budget: &Budget) -> Proof {
     let mut fresh = FreshGen::new();
-    let mut parts: Vec<Nnf> =
-        hypotheses.iter().map(|h| to_nnf(h, true, &mut fresh)).collect();
+    let mut parts: Vec<Nnf> = hypotheses
+        .iter()
+        .map(|h| to_nnf(h, true, &mut fresh))
+        .collect();
     parts.push(to_nnf(goal, false, &mut fresh));
     refute(parts, budget)
 }
@@ -198,7 +259,11 @@ pub fn refute(parts: Vec<Nnf>, budget: &Budget) -> Proof {
         Branch::Open => Outcome::NotProved,
         Branch::Fuel => Outcome::Unknown,
     };
-    Proof { outcome, stats: shared.stats, open_branch: shared.open_branch }
+    Proof {
+        outcome,
+        stats: shared.stats,
+        open_branch: shared.open_branch,
+    }
 }
 
 // ------------------------------------------------------------------ internals
@@ -357,7 +422,11 @@ fn drain_pending(ctx: &mut Ctx, shared: &mut Shared) -> Step {
                 }
                 shared.stats.peak_nodes = shared.stats.peak_nodes.max(ctx.eg.node_count());
             }
-            Nnf::Forall { vars, triggers, body } => {
+            Nnf::Forall {
+                vars,
+                triggers,
+                body,
+            } => {
                 register_quant(ctx, shared, vars, triggers, *body);
             }
         }
@@ -394,10 +463,19 @@ fn register_quant(
         eprintln!(
             "[quant q{id} ∀{} {} :: {body}]",
             vars.join(","),
-            triggers.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+            triggers
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
         );
     }
-    ctx.quants.push(Quant { id, vars, triggers, body });
+    ctx.quants.push(Quant {
+        id,
+        vars,
+        triggers,
+        body,
+    });
 }
 
 fn assert_lit(eg: &mut EGraph, atom: &Atom, positive: bool) -> Result<(), crate::egraph::Conflict> {
@@ -413,7 +491,11 @@ fn assert_lit(eg: &mut EGraph, atom: &Atom, positive: bool) -> Result<(), crate:
         }
         other => {
             let node = eg.intern_atom(other)?.expect("non-Eq atoms have nodes");
-            let target = if positive { eg.true_id() } else { eg.false_id() };
+            let target = if positive {
+                eg.true_id()
+            } else {
+                eg.false_id()
+            };
             eg.merge(node, target)
         }
     }
@@ -581,7 +663,9 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
     let new_nodes: Vec<crate::egraph::NodeId> = if full {
         Vec::new()
     } else {
-        (ctx.matched_upto..ctx.eg.node_count()).map(|i| i as crate::egraph::NodeId).collect()
+        (ctx.matched_upto..ctx.eg.node_count())
+            .map(|i| i as crate::egraph::NodeId)
+            .collect()
     };
     let fresh_from = ctx.fresh_quants_from;
     ctx.matched_upto = ctx.eg.node_count();
@@ -600,8 +684,12 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                 out
             };
             for binding in bindings {
-                let binding_gen =
-                    quant.vars.iter().map(|v| ctx.eg.class_gen(binding[v])).max().unwrap_or(0);
+                let binding_gen = quant
+                    .vars
+                    .iter()
+                    .map(|v| ctx.eg.class_gen(binding[v]))
+                    .max()
+                    .unwrap_or(0);
                 let instance_gen = binding_gen + 1;
                 if instance_gen > shared.budget.max_term_gen {
                     ctx.deferred = true;
@@ -632,8 +720,7 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                         return PassResult::Produced(produced + 1);
                     }
                 }
-                let map: Vec<(String, Term)> =
-                    quant.vars.iter().cloned().zip(terms.into_iter()).collect();
+                let map: Vec<(String, Term)> = quant.vars.iter().cloned().zip(terms).collect();
                 if trace_enabled() {
                     let binding: Vec<String> =
                         map.iter().map(|(v, t)| format!("{v}:={t}")).collect();
@@ -676,7 +763,10 @@ mod tests {
 
     #[test]
     fn proves_transitivity_of_equality() {
-        let hyps = [F::eq(T::var("a"), T::var("b")), F::eq(T::var("b"), T::var("c"))];
+        let hyps = [
+            F::eq(T::var("a"), T::var("b")),
+            F::eq(T::var("b"), T::var("c")),
+        ];
         assert!(proved(&hyps, &F::eq(T::var("a"), T::var("c"))));
     }
 
@@ -692,7 +782,10 @@ mod tests {
 
     #[test]
     fn refutes_distinct_constants() {
-        assert!(proved(&[F::eq(T::var("x"), T::int(1)), F::eq(T::var("x"), T::int(2))], &F::False));
+        assert!(proved(
+            &[F::eq(T::var("x"), T::int(1)), F::eq(T::var("x"), T::int(2))],
+            &F::False
+        ));
     }
 
     #[test]
@@ -738,12 +831,21 @@ mod tests {
         // ∀X :: f(X) = g(X); ∀X :: g(X) = 0 ⊢ f(c) = 0.
         let h1 = F::forall(
             vec!["X".into()],
-            vec![Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))])],
-            F::eq(T::uninterp("f", vec![T::var("X")]), T::uninterp("g", vec![T::var("X")])),
+            vec![Trigger(vec![Pattern::Term(T::uninterp(
+                "f",
+                vec![T::var("X")],
+            ))])],
+            F::eq(
+                T::uninterp("f", vec![T::var("X")]),
+                T::uninterp("g", vec![T::var("X")]),
+            ),
         );
         let h2 = F::forall(
             vec!["X".into()],
-            vec![Trigger(vec![Pattern::Term(T::uninterp("g", vec![T::var("X")]))])],
+            vec![Trigger(vec![Pattern::Term(T::uninterp(
+                "g",
+                vec![T::var("X")],
+            ))])],
             F::eq(T::uninterp("g", vec![T::var("X")]), T::int(0)),
         );
         let goal = F::eq(T::uninterp("f", vec![T::var("c")]), T::int(0));
@@ -775,7 +877,10 @@ mod tests {
         let goal = F::Atom(Atom::Lt(T::int(1), T::int(2)));
         assert!(proved(&[], &goal));
         let bad = F::Atom(Atom::Lt(T::int(2), T::int(1)));
-        assert_eq!(prove(&[], &bad, &Budget::default()).outcome, Outcome::NotProved);
+        assert_eq!(
+            prove(&[], &bad, &Budget::default()).outcome,
+            Outcome::NotProved
+        );
     }
 
     #[test]
@@ -824,18 +929,31 @@ mod tests {
     #[test]
     fn unit_propagation_avoids_branching() {
         // (a = 1 ∨ b = 1), a ≠ 1 ⊢ b = 1 without any case split.
-        let hyp = F::or(vec![F::eq(T::var("a"), T::int(1)), F::eq(T::var("b"), T::int(1))]);
+        let hyp = F::or(vec![
+            F::eq(T::var("a"), T::int(1)),
+            F::eq(T::var("b"), T::int(1)),
+        ]);
         let neq = F::neq(T::var("a"), T::int(1));
-        let proof = prove(&[hyp, neq], &F::eq(T::var("b"), T::int(1)), &Budget::default());
+        let proof = prove(
+            &[hyp, neq],
+            &F::eq(T::var("b"), T::int(1)),
+            &Budget::default(),
+        );
         assert!(proof.is_proved());
-        assert_eq!(proof.stats.branches, 0, "unit propagation should not branch");
+        assert_eq!(
+            proof.stats.branches, 0,
+            "unit propagation should not branch"
+        );
     }
 
     #[test]
     fn stats_are_populated() {
         // Each arm only becomes contradictory after the split commits to a
         // value of x, forcing genuine branching.
-        let hyp = F::or(vec![F::eq(T::var("x"), T::int(1)), F::eq(T::var("x"), T::int(2))]);
+        let hyp = F::or(vec![
+            F::eq(T::var("x"), T::int(1)),
+            F::eq(T::var("x"), T::int(2)),
+        ]);
         let y5 = F::eq(T::var("y"), T::int(5));
         let goal = F::neq(T::add(T::var("x"), T::var("y")), T::int(0));
         let proof = prove(&[hyp, y5], &goal, &Budget::default());

@@ -17,14 +17,20 @@ pub fn infer_triggers(vars: &[String], body: &Nnf) -> Vec<Trigger> {
     collect(body, &var_set, &mut BTreeSet::new(), &mut candidates);
 
     // Deduplicate.
-    candidates.sort_by(|a, b| a.2.cmp(&b.2));
+    candidates.sort_by_key(|a| a.2);
     candidates.dedup_by(|a, b| a.0 == b.0);
 
     // Single-pattern triggers that cover everything.
-    let full: Vec<&(Pattern, BTreeSet<String>, usize)> =
-        candidates.iter().filter(|(_, covered, _)| covered.len() == vars.len()).collect();
+    let full: Vec<&(Pattern, BTreeSet<String>, usize)> = candidates
+        .iter()
+        .filter(|(_, covered, _)| covered.len() == vars.len())
+        .collect();
     if !full.is_empty() {
-        return full.iter().take(2).map(|(p, _, _)| Trigger(vec![p.clone()])).collect();
+        return full
+            .iter()
+            .take(2)
+            .map(|(p, _, _)| Trigger(vec![p.clone()]))
+            .collect();
     }
 
     // Greedy multi-pattern cover.
@@ -66,9 +72,14 @@ fn collect(
                 collect(p, vars, illegal, out);
             }
         }
-        Nnf::Forall { vars: inner, body, .. } => {
-            let added: Vec<String> =
-                inner.iter().filter(|v| illegal.insert((*v).clone())).cloned().collect();
+        Nnf::Forall {
+            vars: inner, body, ..
+        } => {
+            let added: Vec<String> = inner
+                .iter()
+                .filter(|v| illegal.insert((*v).clone()))
+                .cloned()
+                .collect();
             collect(body, vars, illegal, out);
             for v in added {
                 illegal.remove(&v);
@@ -126,7 +137,10 @@ fn coverage_term(
     let mut free = BTreeSet::new();
     term.free_vars(&mut free);
     let clean = free.iter().all(|v| !illegal.contains(v));
-    let covered = free.into_iter().filter(|v| vars.contains(v.as_str())).collect();
+    let covered = free
+        .into_iter()
+        .filter(|v| vars.contains(v.as_str()))
+        .collect();
     Some((covered, clean))
 }
 
@@ -138,7 +152,10 @@ fn coverage_atom(
     let mut free = BTreeSet::new();
     atom.free_vars(&mut free);
     let clean = free.iter().all(|v| !illegal.contains(v));
-    let covered = free.into_iter().filter(|v| vars.contains(v.as_str())).collect();
+    let covered = free
+        .into_iter()
+        .filter(|v| vars.contains(v.as_str()))
+        .collect();
     Some((covered, clean))
 }
 
@@ -148,7 +165,10 @@ mod tests {
     use oolong_logic::Term as T;
 
     fn lit(atom: Atom) -> Nnf {
-        Nnf::Lit { atom, positive: true }
+        Nnf::Lit {
+            atom,
+            positive: true,
+        }
     }
 
     #[test]
@@ -191,7 +211,10 @@ mod tests {
     fn atom_pattern_for_relations() {
         // ∀A,B :: A ⊒ B ⇒ false — only the LocalInc atom covers both vars.
         let body = Nnf::Or(vec![
-            Nnf::Lit { atom: Atom::LocalInc(T::var("A"), T::var("B")), positive: false },
+            Nnf::Lit {
+                atom: Atom::LocalInc(T::var("A"), T::var("B")),
+                positive: false,
+            },
             Nnf::False,
         ]);
         let trigs = infer_triggers(&["A".to_string(), "B".to_string()], &body);

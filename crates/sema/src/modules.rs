@@ -69,7 +69,10 @@ pub fn modules(program: &Program) -> Result<Vec<ModuleInfo>, Diagnostics> {
         for import in &m.imports {
             if !seen.contains_key(import.text.as_str()) {
                 diags.error(
-                    format!("module `{}` imports undeclared module `{}`", m.name, import.text),
+                    format!(
+                        "module `{}` imports undeclared module `{}`",
+                        m.name, import.text
+                    ),
                     import.span,
                 );
             }
@@ -121,7 +124,10 @@ pub fn visible_program(program: &Program, name: &str) -> Result<Program, Diagnos
         .collect();
     if !by_name.contains_key(name) {
         let mut diags = Diagnostics::new();
-        diags.error(format!("no module named `{name}`"), oolong_syntax::Span::DUMMY);
+        diags.error(
+            format!("no module named `{name}`"),
+            oolong_syntax::Span::DUMMY,
+        );
         return Err(diags);
     }
     // Transitive import closure (cycles are harmless: the scope is a set).
@@ -179,7 +185,15 @@ module stack_impl imports stack_interface {
         let program = parse_program(MODULAR).unwrap();
         let infos = modules(&program).expect("valid structure");
         let names: Vec<_> = infos.iter().map(|m| m.name.as_str()).collect();
-        assert_eq!(names, vec!["vector_interface", "vector_impl", "stack_interface", "stack_impl"]);
+        assert_eq!(
+            names,
+            vec![
+                "vector_interface",
+                "vector_impl",
+                "stack_interface",
+                "stack_impl"
+            ]
+        );
         assert_eq!(infos[1].imports, vec!["vector_interface"]);
     }
 
@@ -224,13 +238,19 @@ module stack_impl imports stack_interface {
     #[test]
     fn duplicate_module_is_an_error() {
         let program = parse_program("module a { group g } module a { group h }").unwrap();
-        assert!(modules(&program).unwrap_err().to_string().contains("duplicate module"));
+        assert!(modules(&program)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate module"));
     }
 
     #[test]
     fn nested_module_is_an_error() {
         let program = parse_program("module a { module b { group g } }").unwrap();
-        assert!(modules(&program).unwrap_err().to_string().contains("nested module"));
+        assert!(modules(&program)
+            .unwrap_err()
+            .to_string()
+            .contains("nested module"));
     }
 
     #[test]

@@ -23,7 +23,12 @@ use oolong_syntax::{Cmd, Diagnostics, Expr};
 pub fn validate_impl(scope: &Scope, impl_id: ImplId, diags: &mut Diagnostics) {
     let info = scope.impl_info(impl_id);
     let params = &scope.proc_info(info.proc).params;
-    let mut env = Env { scope, params, locals: Vec::new(), diags };
+    let mut env = Env {
+        scope,
+        params,
+        locals: Vec::new(),
+        diags,
+    };
     env.cmd(&info.body);
 }
 
@@ -58,7 +63,12 @@ impl Env<'_> {
                 self.cmd(a);
                 self.cmd(b);
             }
-            Cmd::If { cond, then_branch, else_branch, .. } => {
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.expr(cond);
                 self.cmd(then_branch);
                 self.cmd(else_branch);
@@ -133,7 +143,8 @@ impl Env<'_> {
     fn check_field_attr(&mut self, attr: &oolong_syntax::Ident) {
         match self.scope.attr(&attr.text) {
             None => {
-                self.diags.error(format!("undeclared attribute `{}`", attr.text), attr.span);
+                self.diags
+                    .error(format!("undeclared attribute `{}`", attr.text), attr.span);
             }
             Some(id) => {
                 if self.scope.attr_info(id).kind == AttrKind::Group {
@@ -154,7 +165,8 @@ impl Env<'_> {
             Expr::Const(..) => {}
             Expr::Id(id) => {
                 if !self.is_bound(&id.text) {
-                    self.diags.error(format!("unbound variable `{}`", id.text), id.span);
+                    self.diags
+                        .error(format!("unbound variable `{}`", id.text), id.span);
                 }
             }
             Expr::Select { base, attr, .. } => {
@@ -180,7 +192,9 @@ mod tests {
     use oolong_syntax::parse_program;
 
     fn errs(src: &str) -> String {
-        Scope::analyze(&parse_program(src).expect("parses")).unwrap_err().to_string()
+        Scope::analyze(&parse_program(src).expect("parses"))
+            .unwrap_err()
+            .to_string()
     }
 
     fn ok(src: &str) {
@@ -201,12 +215,16 @@ mod tests {
 
     #[test]
     fn rejects_assignment_to_parameter() {
-        assert!(errs("proc p(t) impl p(t) { t := null }").contains("cannot assign to formal parameter"));
+        assert!(
+            errs("proc p(t) impl p(t) { t := null }").contains("cannot assign to formal parameter")
+        );
     }
 
     #[test]
     fn rejects_assignment_to_unbound() {
-        assert!(errs("proc p(t) impl p(t) { x := null }").contains("assignment to unbound variable"));
+        assert!(
+            errs("proc p(t) impl p(t) { x := null }").contains("assignment to unbound variable")
+        );
     }
 
     #[test]
@@ -217,12 +235,14 @@ mod tests {
 
     #[test]
     fn rejects_group_as_assignment_target() {
-        assert!(errs("group g proc p(t) impl p(t) { t.g := null }").contains("cannot appear in a command"));
+        assert!(errs("group g proc p(t) impl p(t) { t.g := null }")
+            .contains("cannot appear in a command"));
     }
 
     #[test]
     fn rejects_undeclared_attribute_in_command() {
-        assert!(errs("proc p(t) impl p(t) { assert t.zap = null }").contains("undeclared attribute `zap`"));
+        assert!(errs("proc p(t) impl p(t) { assert t.zap = null }")
+            .contains("undeclared attribute `zap`"));
     }
 
     #[test]
@@ -238,9 +258,7 @@ mod tests {
     #[test]
     fn rejects_shadowing() {
         assert!(errs("proc p(t) impl p(t) { var t in skip end }").contains("shadows"));
-        assert!(
-            errs("proc p(t) impl p(t) { var x in var x in skip end end }").contains("shadows")
-        );
+        assert!(errs("proc p(t) impl p(t) { var x in var x in skip end end }").contains("shadows"));
     }
 
     #[test]
@@ -250,12 +268,15 @@ mod tests {
 
     #[test]
     fn locals_leave_scope_after_end() {
-        assert!(errs("proc p(t) impl p(t) { { var x in skip end } ; assert x = null }")
-            .contains("unbound variable `x`"));
+        assert!(
+            errs("proc p(t) impl p(t) { { var x in skip end } ; assert x = null }")
+                .contains("unbound variable `x`")
+        );
     }
 
     #[test]
     fn if_condition_validated() {
-        assert!(errs("proc p(t) impl p(t) { if zz = null then skip end }").contains("unbound variable `zz`"));
+        assert!(errs("proc p(t) impl p(t) { if zz = null then skip end }")
+            .contains("unbound variable `zz`"));
     }
 }

@@ -112,10 +112,8 @@ impl Scope {
                     let mut seen = std::collections::HashSet::new();
                     for param in &p.params {
                         if !seen.insert(param.text.as_str()) {
-                            diags.error(
-                                format!("duplicate parameter `{}`", param.text),
-                                param.span,
-                            );
+                            diags
+                                .error(format!("duplicate parameter `{}`", param.text), param.span);
                         }
                     }
                     let id = ProcId(procs.len() as u32);
@@ -133,20 +131,25 @@ impl Scope {
         }
 
         // Pass 2: resolve inclusion clauses and modifies lists.
-        let lookup_attr = |name: &oolong_syntax::Ident, diags: &mut Diagnostics| -> Option<AttrId> {
-            match attr_by_name.get(&name.text) {
-                Some(&id) => Some(id),
-                None => {
-                    diags.error(format!("undeclared attribute `{}`", name.text), name.span);
-                    None
+        let lookup_attr =
+            |name: &oolong_syntax::Ident, diags: &mut Diagnostics| -> Option<AttrId> {
+                match attr_by_name.get(&name.text) {
+                    Some(&id) => Some(id),
+                    None => {
+                        diags.error(format!("undeclared attribute `{}`", name.text), name.span);
+                        None
+                    }
                 }
-            }
-        };
+            };
         let require_group =
             |id: AttrId, span: Span, attrs: &[AttrInfo], diags: &mut Diagnostics, ctx: &str| {
                 if attrs[id.index()].kind != AttrKind::Group {
                     diags.error(
-                        format!("{} `{}` must be a group, but it is a field", ctx, attrs[id.index()].name),
+                        format!(
+                            "{} `{}` must be a group, but it is a field",
+                            ctx,
+                            attrs[id.index()].name
+                        ),
                         span,
                     );
                 }
@@ -155,7 +158,9 @@ impl Scope {
         for decl in &program.decls {
             match decl {
                 Decl::Group(g) => {
-                    let Some(&id) = attr_by_name.get(&g.name.text) else { continue };
+                    let Some(&id) = attr_by_name.get(&g.name.text) else {
+                        continue;
+                    };
                     let mut includes = Vec::new();
                     for target in &g.includes {
                         if let Some(tid) = lookup_attr(target, &mut diags) {
@@ -166,7 +171,9 @@ impl Scope {
                     attrs[id.index()].includes = includes;
                 }
                 Decl::Field(f) => {
-                    let Some(&id) = attr_by_name.get(&f.name.text) else { continue };
+                    let Some(&id) = attr_by_name.get(&f.name.text) else {
+                        continue;
+                    };
                     let mut includes = Vec::new();
                     for target in &f.includes {
                         if let Some(tid) = lookup_attr(target, &mut diags) {
@@ -176,11 +183,19 @@ impl Scope {
                     }
                     let mut maps = Vec::new();
                     for clause in &f.maps {
-                        let Some(mapped) = lookup_attr(&clause.mapped, &mut diags) else { continue };
+                        let Some(mapped) = lookup_attr(&clause.mapped, &mut diags) else {
+                            continue;
+                        };
                         let mut into = Vec::new();
                         for target in &clause.into {
                             if let Some(tid) = lookup_attr(target, &mut diags) {
-                                require_group(tid, target.span, &attrs, &mut diags, "`maps into` target");
+                                require_group(
+                                    tid,
+                                    target.span,
+                                    &attrs,
+                                    &mut diags,
+                                    "`maps into` target",
+                                );
                                 into.push(tid);
                             }
                         }
@@ -195,7 +210,9 @@ impl Scope {
                     attrs[id.index()].maps = maps;
                 }
                 Decl::Proc(p) => {
-                    let Some(&id) = proc_by_name.get(&p.name.text) else { continue };
+                    let Some(&id) = proc_by_name.get(&p.name.text) else {
+                        continue;
+                    };
                     let params = procs[id.index()].params.clone();
                     let mut modifies = Vec::new();
                     for entry in &p.modifies {
@@ -243,11 +260,22 @@ impl Scope {
                 );
                 continue;
             }
-            impls.push(ImplInfo { proc: pid, body: i.body.clone(), span: i.span });
+            impls.push(ImplInfo {
+                proc: pid,
+                body: i.body.clone(),
+                span: i.span,
+            });
         }
 
         let enclosing = compute_enclosing(&attrs);
-        let scope = Scope { attrs, procs, impls, attr_by_name, proc_by_name, enclosing };
+        let scope = Scope {
+            attrs,
+            procs,
+            impls,
+            attr_by_name,
+            proc_by_name,
+            enclosing,
+        };
 
         // Pass 5: validate implementation bodies (self-contained names,
         // binding structure, command well-formedness).
@@ -280,7 +308,10 @@ impl Scope {
 
     /// Iterates over all attributes with their ids.
     pub fn attrs(&self) -> impl Iterator<Item = (AttrId, &AttrInfo)> {
-        self.attrs.iter().enumerate().map(|(i, a)| (AttrId(i as u32), a))
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u32), a))
     }
 
     /// Number of declared attributes.
@@ -304,7 +335,10 @@ impl Scope {
 
     /// Iterates over all procedures with their ids.
     pub fn procs(&self) -> impl Iterator<Item = (ProcId, &ProcInfo)> {
-        self.procs.iter().enumerate().map(|(i, p)| (ProcId(i as u32), p))
+        self.procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProcId(i as u32), p))
     }
 
     /// The semantic record for an implementation.
@@ -318,7 +352,10 @@ impl Scope {
 
     /// Iterates over all implementations with their ids.
     pub fn impls(&self) -> impl Iterator<Item = (ImplId, &ImplInfo)> {
-        self.impls.iter().enumerate().map(|(i, im)| (ImplId(i as u32), im))
+        self.impls
+            .iter()
+            .enumerate()
+            .map(|(i, im)| (ImplId(i as u32), im))
     }
 
     /// The implementations of a given procedure.
@@ -414,7 +451,10 @@ impl Scope {
 
     /// All pivot fields declared in this scope.
     pub fn pivots(&self) -> Vec<AttrId> {
-        self.attrs().filter(|(_, a)| a.is_pivot()).map(|(id, _)| id).collect()
+        self.attrs()
+            .filter(|(_, a)| a.is_pivot())
+            .map(|(id, _)| id)
+            .collect()
     }
 }
 
@@ -437,7 +477,10 @@ fn resolve_mod_target(
     };
     let Some(param) = params.iter().position(|p| p == &root.text) else {
         diags.error(
-            format!("modifies designator must be rooted at a formal parameter, but `{}` is not one", root.text),
+            format!(
+                "modifies designator must be rooted at a formal parameter, but `{}` is not one",
+                root.text
+            ),
             root.span,
         );
         return None;
@@ -458,14 +501,21 @@ fn resolve_mod_target(
         let is_last = i + 1 == path.len();
         if !is_last && attrs[id.index()].kind != AttrKind::Field {
             diags.error(
-                format!("`{}` is a group and cannot be dereferenced in a modifies designator", seg.text),
+                format!(
+                    "`{}` is a group and cannot be dereferenced in a modifies designator",
+                    seg.text
+                ),
                 seg.span,
             );
             return None;
         }
         ids.push(id);
     }
-    Some(ModTarget { param, path: ids, span: entry.span() })
+    Some(ModTarget {
+        param,
+        path: ids,
+        span: entry.span(),
+    })
 }
 
 /// Detects cycles in the `in` graph, reporting one diagnostic per cycle
@@ -494,10 +544,16 @@ fn check_inclusion_acyclic(attrs: &[AttrInfo], diags: &mut Diagnostics) {
                 Mark::White => visit(t, attrs, marks, stack, diags),
                 Mark::Grey => {
                     let pos = stack.iter().position(|&n| n == t).unwrap_or(0);
-                    let cycle: Vec<&str> =
-                        stack[pos..].iter().map(|&n| attrs[n].name.as_str()).collect();
+                    let cycle: Vec<&str> = stack[pos..]
+                        .iter()
+                        .map(|&n| attrs[n].name.as_str())
+                        .collect();
                     diags.error(
-                        format!("`in` inclusions form a cycle: {} -> {}", cycle.join(" -> "), attrs[t].name),
+                        format!(
+                            "`in` inclusions form a cycle: {} -> {}",
+                            cycle.join(" -> "),
+                            attrs[t].name
+                        ),
                         attrs[node].span,
                     );
                 }
@@ -530,7 +586,10 @@ fn compute_enclosing(attrs: &[AttrInfo]) -> Vec<Vec<AttrId>> {
             seen[g] = true;
             queue.extend(attrs[g].includes.iter().map(|a| a.index()));
         }
-        enclosing[start] = (0..n).filter(|&i| seen[i]).map(|i| AttrId(i as u32)).collect();
+        enclosing[start] = (0..n)
+            .filter(|&i| seen[i])
+            .map(|i| AttrId(i as u32))
+            .collect();
     }
     enclosing
 }
@@ -673,7 +732,8 @@ mod tests {
 
     #[test]
     fn modifies_long_chain_resolves() {
-        let scope = analyze("field c field d group g proc p(t) modifies t.c.d.g").expect("analyses");
+        let scope =
+            analyze("field c field d group g proc p(t) modifies t.c.d.g").expect("analyses");
         let p = scope.proc("p").unwrap();
         let target = &scope.proc_info(p).modifies[0];
         assert_eq!(target.path.len(), 3);
@@ -695,7 +755,9 @@ mod tests {
     #[test]
     fn impl_parameters_must_match_declaration() {
         let err = analyze("proc p(t, u) impl p(t) { skip }").unwrap_err();
-        assert!(err.to_string().contains("differ from procedure declaration"));
+        assert!(err
+            .to_string()
+            .contains("differ from procedure declaration"));
     }
 
     #[test]

@@ -16,8 +16,14 @@ use std::collections::{BTreeSet, HashMap};
 /// [`flatten`](crate::modules::flatten)ed first; indices refer to the
 /// top-level declaration list.
 pub fn subset_program(program: &Program, keep: &[usize]) -> Program {
-    let set: BTreeSet<usize> = keep.iter().copied().filter(|&i| i < program.decls.len()).collect();
-    Program { decls: set.iter().map(|&i| program.decls[i].clone()).collect() }
+    let set: BTreeSet<usize> = keep
+        .iter()
+        .copied()
+        .filter(|&i| i < program.decls.len())
+        .collect();
+    Program {
+        decls: set.iter().map(|&i| program.decls[i].clone()).collect(),
+    }
 }
 
 /// Computes the indices of the least self-contained subset of `program`'s

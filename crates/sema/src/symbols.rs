@@ -174,7 +174,11 @@ mod tests {
 
     #[test]
     fn licensed_attr_is_last_path_element() {
-        let t = ModTarget { param: 0, path: vec![AttrId(1), AttrId(2)], span: Span::DUMMY };
+        let t = ModTarget {
+            param: 0,
+            path: vec![AttrId(1), AttrId(2)],
+            span: Span::DUMMY,
+        };
         assert_eq!(t.licensed_attr(), AttrId(2));
     }
 }

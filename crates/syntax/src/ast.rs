@@ -26,7 +26,10 @@ pub struct Ident {
 impl Ident {
     /// Creates an identifier with a dummy span (for synthesised nodes).
     pub fn synthetic(text: impl Into<String>) -> Self {
-        Ident { text: text.into(), span: Span::DUMMY }
+        Ident {
+            text: text.into(),
+            span: Span::DUMMY,
+        }
     }
 
     /// The identifier text.
@@ -241,11 +244,20 @@ pub enum Cmd {
     Choice(Box<Cmd>, Box<Cmd>),
     /// `p(E1, ..., En)` — procedure call, dispatched to an arbitrary
     /// implementation of `p`.
-    Call { proc: Ident, args: Vec<Expr>, span: Span },
+    Call {
+        proc: Ident,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// `skip` — sugar for `assert true`.
     Skip(Span),
     /// `if B then C else D end` — sugar for `(assume !B ; D) [] (assume B ; C)`.
-    If { cond: Expr, then_branch: Box<Cmd>, else_branch: Box<Cmd>, span: Span },
+    If {
+        cond: Expr,
+        then_branch: Box<Cmd>,
+        else_branch: Box<Cmd>,
+        span: Span,
+    },
 }
 
 impl Cmd {
@@ -274,7 +286,12 @@ impl Cmd {
     pub fn desugared(&self) -> Cmd {
         match self {
             Cmd::Skip(s) => Cmd::Assert(Expr::Const(Const::Bool(true), *s), *s),
-            Cmd::If { cond, then_branch, else_branch, span } => {
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
                 let neg = Expr::Unary {
                     op: UnaryOp::Not,
                     operand: Box::new(cond.clone()),
@@ -293,15 +310,22 @@ impl Cmd {
             Cmd::Assert(e, s) => Cmd::Assert(e.clone(), *s),
             Cmd::Assume(e, s) => Cmd::Assume(e.clone(), *s),
             Cmd::Var(x, c, s) => Cmd::Var(x.clone(), Box::new(c.desugared()), *s),
-            Cmd::Assign { lhs, rhs, span } => {
-                Cmd::Assign { lhs: lhs.clone(), rhs: rhs.clone(), span: *span }
-            }
-            Cmd::AssignNew { lhs, span } => Cmd::AssignNew { lhs: lhs.clone(), span: *span },
+            Cmd::Assign { lhs, rhs, span } => Cmd::Assign {
+                lhs: lhs.clone(),
+                rhs: rhs.clone(),
+                span: *span,
+            },
+            Cmd::AssignNew { lhs, span } => Cmd::AssignNew {
+                lhs: lhs.clone(),
+                span: *span,
+            },
             Cmd::Seq(a, b) => Cmd::Seq(Box::new(a.desugared()), Box::new(b.desugared())),
             Cmd::Choice(a, b) => Cmd::Choice(Box::new(a.desugared()), Box::new(b.desugared())),
-            Cmd::Call { proc, args, span } => {
-                Cmd::Call { proc: proc.clone(), args: args.clone(), span: *span }
-            }
+            Cmd::Call { proc, args, span } => Cmd::Call {
+                proc: proc.clone(),
+                args: args.clone(),
+                span: *span,
+            },
         }
     }
 
@@ -314,7 +338,11 @@ impl Cmd {
                 a.walk(visit);
                 b.walk(visit);
             }
-            Cmd::If { then_branch, else_branch, .. } => {
+            Cmd::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 then_branch.walk(visit);
                 else_branch.walk(visit);
             }
@@ -376,7 +404,14 @@ impl BinOp {
     pub fn is_predicate(&self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 
@@ -438,14 +473,31 @@ pub enum Expr {
     /// A local variable or formal parameter.
     Id(Ident),
     /// A designator expression `E.x` selecting attribute `x`.
-    Select { base: Box<Expr>, attr: Ident, span: Span },
+    Select {
+        base: Box<Expr>,
+        attr: Ident,
+        span: Span,
+    },
     /// An array slot `E[I]` (extension): the value stored at integer key
     /// `I` of the array object `E`.
-    Index { base: Box<Expr>, index: Box<Expr>, span: Span },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        span: Span,
+    },
     /// A binary operator application.
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, span: Span },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
     /// A unary operator application.
-    Unary { op: UnaryOp, operand: Box<Expr>, span: Span },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+        span: Span,
+    },
 }
 
 impl Expr {
@@ -500,7 +552,11 @@ impl Expr {
 
     /// Convenience constructor for `base.attr` with dummy spans.
     pub fn select(base: Expr, attr: impl Into<String>) -> Expr {
-        Expr::Select { base: Box::new(base), attr: Ident::synthetic(attr), span: Span::DUMMY }
+        Expr::Select {
+            base: Box::new(base),
+            attr: Ident::synthetic(attr),
+            span: Span::DUMMY,
+        }
     }
 }
 
@@ -536,7 +592,10 @@ mod tests {
         let cmd = Cmd::If {
             cond: cond.clone(),
             then_branch: Box::new(Cmd::Skip(Span::DUMMY)),
-            else_branch: Box::new(Cmd::Assert(Expr::Const(Const::Bool(false), Span::DUMMY), Span::DUMMY)),
+            else_branch: Box::new(Cmd::Assert(
+                Expr::Const(Const::Bool(false), Span::DUMMY),
+                Span::DUMMY,
+            )),
             span: Span::DUMMY,
         };
         let de = cmd.desugared();
@@ -545,7 +604,12 @@ mod tests {
             Cmd::Choice(else_arm, then_arm) => {
                 match *else_arm {
                     Cmd::Seq(first, _) => match *first {
-                        Cmd::Assume(Expr::Unary { op: UnaryOp::Not, .. }, _) => {}
+                        Cmd::Assume(
+                            Expr::Unary {
+                                op: UnaryOp::Not, ..
+                            },
+                            _,
+                        ) => {}
                         other => panic!("expected assume !b, got {other:?}"),
                     },
                     other => panic!("expected seq, got {other:?}"),
@@ -554,7 +618,10 @@ mod tests {
                     Cmd::Seq(first, second) => {
                         assert!(matches!(*first, Cmd::Assume(Expr::Id(_), _)));
                         // skip desugars to assert true
-                        assert!(matches!(*second, Cmd::Assert(Expr::Const(Const::Bool(true), _), _)));
+                        assert!(matches!(
+                            *second,
+                            Cmd::Assert(Expr::Const(Const::Bool(true), _), _)
+                        ));
                     }
                     other => panic!("expected seq, got {other:?}"),
                 }
@@ -565,7 +632,12 @@ mod tests {
 
     #[test]
     fn pivot_detection() {
-        let plain = FieldDecl { name: id("cnt"), includes: vec![], maps: vec![], span: Span::DUMMY };
+        let plain = FieldDecl {
+            name: id("cnt"),
+            includes: vec![],
+            maps: vec![],
+            span: Span::DUMMY,
+        };
         assert!(!plain.is_pivot());
         let pivot = FieldDecl {
             name: id("vec"),
@@ -587,7 +659,11 @@ mod tests {
             Box::new(Cmd::Skip(Span::DUMMY)),
             Box::new(Cmd::Choice(
                 Box::new(Cmd::Assert(Expr::ident("x"), Span::DUMMY)),
-                Box::new(Cmd::Var(id("y"), Box::new(Cmd::Skip(Span::DUMMY)), Span::DUMMY)),
+                Box::new(Cmd::Var(
+                    id("y"),
+                    Box::new(Cmd::Skip(Span::DUMMY)),
+                    Span::DUMMY,
+                )),
             )),
         );
         let mut count = 0;
@@ -599,9 +675,23 @@ mod tests {
     fn program_accessors_filter_by_kind() {
         let prog = Program {
             decls: vec![
-                Decl::Group(GroupDecl { name: id("g"), includes: vec![], span: Span::DUMMY }),
-                Decl::Field(FieldDecl { name: id("f"), includes: vec![], maps: vec![], span: Span::DUMMY }),
-                Decl::Proc(ProcDecl { name: id("p"), params: vec![], modifies: vec![], span: Span::DUMMY }),
+                Decl::Group(GroupDecl {
+                    name: id("g"),
+                    includes: vec![],
+                    span: Span::DUMMY,
+                }),
+                Decl::Field(FieldDecl {
+                    name: id("f"),
+                    includes: vec![],
+                    maps: vec![],
+                    span: Span::DUMMY,
+                }),
+                Decl::Proc(ProcDecl {
+                    name: id("p"),
+                    params: vec![],
+                    modifies: vec![],
+                    span: Span::DUMMY,
+                }),
                 Decl::Impl(ImplDecl {
                     name: id("p"),
                     params: vec![],

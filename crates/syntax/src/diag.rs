@@ -40,12 +40,22 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), span, notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
     }
 
     /// Creates a warning diagnostic.
     pub fn warning(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Warning, message: message.into(), span, notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
     }
 
     /// Attaches a secondary note, returning `self` for chaining.
@@ -58,13 +68,22 @@ impl Diagnostic {
     /// Renders the diagnostic against `source` with line/column positions.
     pub fn render(&self, source: &str) -> String {
         let map = LineMap::new(source);
-        let mut out = format!("{}: {} at {}", self.severity, self.message, map.line_col(self.span.start));
+        let mut out = format!(
+            "{}: {} at {}",
+            self.severity,
+            self.message,
+            map.line_col(self.span.start)
+        );
         let snip = self.span.snippet(source);
         if !snip.is_empty() {
             out.push_str(&format!(" `{}`", snip.trim()));
         }
         for (msg, span) in &self.notes {
-            out.push_str(&format!("\n  note: {} at {}", msg, map.line_col(span.start)));
+            out.push_str(&format!(
+                "\n  note: {} at {}",
+                msg,
+                map.line_col(span.start)
+            ));
         }
         out
     }
@@ -137,7 +156,11 @@ impl Diagnostics {
 
     /// Renders all diagnostics against `source`, one per line.
     pub fn render(&self, source: &str) -> String {
-        self.items.iter().map(|d| d.render(source)).collect::<Vec<_>>().join("\n")
+        self.items
+            .iter()
+            .map(|d| d.render(source))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -168,7 +191,9 @@ impl IntoIterator for Diagnostics {
 
 impl FromIterator<Diagnostic> for Diagnostics {
     fn from_iter<T: IntoIterator<Item = Diagnostic>>(iter: T) -> Self {
-        Diagnostics { items: iter.into_iter().collect() }
+        Diagnostics {
+            items: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -193,9 +218,15 @@ mod tests {
         let d = Diagnostic::error("undeclared group", Span::new(19, 22))
             .with_note("field declared here", Span::new(8, 13));
         let rendered = d.render(src);
-        assert!(rendered.contains("error: undeclared group at 2:12"), "{rendered}");
+        assert!(
+            rendered.contains("error: undeclared group at 2:12"),
+            "{rendered}"
+        );
         assert!(rendered.contains("`zzz`"), "{rendered}");
-        assert!(rendered.contains("note: field declared here at 2:1"), "{rendered}");
+        assert!(
+            rendered.contains("note: field declared here at 2:1"),
+            "{rendered}"
+        );
     }
 
     #[test]

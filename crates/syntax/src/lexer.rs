@@ -23,7 +23,13 @@ struct Lexer<'s> {
 
 impl<'s> Lexer<'s> {
     fn new(source: &'s str) -> Self {
-        Lexer { source, bytes: source.as_bytes(), pos: 0, tokens: Vec::new(), diags: Diagnostics::new() }
+        Lexer {
+            source,
+            bytes: source.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+            diags: Diagnostics::new(),
+        }
     }
 
     fn run(mut self) -> (Vec<Token>, Diagnostics) {
@@ -110,7 +116,10 @@ impl<'s> Lexer<'s> {
                 b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
                 _ => {
                     // Advance past one UTF-8 scalar, not one byte.
-                    let ch_len = self.source[self.pos..].chars().next().map_or(1, char::len_utf8);
+                    let ch_len = self.source[self.pos..]
+                        .chars()
+                        .next()
+                        .map_or(1, char::len_utf8);
                     self.pos += ch_len;
                     self.diags.push(Diagnostic::error(
                         format!("unexpected character `{}`", &self.source[start..self.pos]),
@@ -120,7 +129,10 @@ impl<'s> Lexer<'s> {
             }
         }
         let eof = Span::new(self.pos as u32, self.pos as u32);
-        self.tokens.push(Token { kind: TokenKind::Eof, span: eof });
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: eof,
+        });
         (self.tokens, self.diags)
     }
 
@@ -140,7 +152,10 @@ impl<'s> Lexer<'s> {
 
     fn error_char(&mut self, start: usize, msg: &str) {
         self.pos += 1;
-        self.diags.push(Diagnostic::error(msg, Span::new(start as u32, self.pos as u32)));
+        self.diags.push(Diagnostic::error(
+            msg,
+            Span::new(start as u32, self.pos as u32),
+        ));
     }
 
     fn number(&mut self) {
@@ -151,10 +166,17 @@ impl<'s> Lexer<'s> {
         let text = &self.source[start..self.pos];
         let span = Span::new(start as u32, self.pos as u32);
         match text.parse::<i64>() {
-            Ok(n) => self.tokens.push(Token { kind: TokenKind::Int(n), span }),
+            Ok(n) => self.tokens.push(Token {
+                kind: TokenKind::Int(n),
+                span,
+            }),
             Err(_) => {
-                self.diags.push(Diagnostic::error("integer literal too large", span));
-                self.tokens.push(Token { kind: TokenKind::Int(0), span });
+                self.diags
+                    .push(Diagnostic::error("integer literal too large", span));
+                self.tokens.push(Token {
+                    kind: TokenKind::Int(0),
+                    span,
+                });
             }
         }
     }
@@ -188,7 +210,13 @@ mod tests {
     fn lexes_declaration_keywords() {
         assert_eq!(
             kinds("group contents in g"),
-            vec![T::Group, T::Ident("contents".into()), T::In, T::Ident("g".into()), T::Eof]
+            vec![
+                T::Group,
+                T::Ident("contents".into()),
+                T::In,
+                T::Ident("g".into()),
+                T::Eof
+            ]
         );
     }
 
@@ -239,12 +267,18 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("group g // trailing words := ;\nfield f"), kinds("group g field f"));
+        assert_eq!(
+            kinds("group g // trailing words := ;\nfield f"),
+            kinds("group g field f")
+        );
     }
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(kinds("< <= > >= != !"), vec![T::Lt, T::Le, T::Gt, T::Ge, T::Ne, T::Bang, T::Eof]);
+        assert_eq!(
+            kinds("< <= > >= != !"),
+            vec![T::Lt, T::Le, T::Gt, T::Ge, T::Ne, T::Bang, T::Eof]
+        );
     }
 
     #[test]

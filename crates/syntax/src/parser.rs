@@ -36,7 +36,11 @@ use crate::token::{Token, TokenKind};
 /// Returns the accumulated [`Diagnostics`] if lexing or parsing failed.
 pub fn parse_program(source: &str) -> Result<Program, Diagnostics> {
     let (tokens, mut diags) = lex(source);
-    let mut parser = Parser { tokens, pos: 0, diags: Diagnostics::new() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        diags: Diagnostics::new(),
+    };
     let program = parser.program();
     diags.extend(parser.diags);
     if diags.has_errors() {
@@ -53,7 +57,11 @@ pub fn parse_program(source: &str) -> Result<Program, Diagnostics> {
 /// Returns diagnostics if the source is not exactly one command.
 pub fn parse_command(source: &str) -> Result<Cmd, Diagnostics> {
     let (tokens, mut diags) = lex(source);
-    let mut parser = Parser { tokens, pos: 0, diags: Diagnostics::new() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        diags: Diagnostics::new(),
+    };
     let cmd = parser.command();
     parser.expect_eof();
     diags.extend(parser.diags);
@@ -70,7 +78,11 @@ pub fn parse_command(source: &str) -> Result<Cmd, Diagnostics> {
 /// Returns diagnostics if the source is not exactly one expression.
 pub fn parse_expr(source: &str) -> Result<Expr, Diagnostics> {
     let (tokens, mut diags) = lex(source);
-    let mut parser = Parser { tokens, pos: 0, diags: Diagnostics::new() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        diags: Diagnostics::new(),
+    };
     let expr = parser.expr();
     parser.expect_eof();
     diags.extend(parser.diags);
@@ -136,8 +148,10 @@ impl Parser {
     fn expect_eof(&mut self) {
         if !matches!(self.peek(), TokenKind::Eof) {
             let found = self.peek().describe();
-            self.diags
-                .push(Diagnostic::error(format!("expected end of input, found {found}"), self.span()));
+            self.diags.push(Diagnostic::error(
+                format!("expected end of input, found {found}"),
+                self.span(),
+            ));
         }
     }
 
@@ -174,7 +188,9 @@ impl Parser {
     // ---------------------------------------------------------------- decls
 
     fn program(&mut self) -> Program {
-        Program { decls: self.decl_list(true) }
+        Program {
+            decls: self.decl_list(true),
+        }
     }
 
     /// Parses declarations until EOF (`top_level`) or a closing brace.
@@ -229,11 +245,20 @@ impl Parser {
         let start = self.span();
         self.expect(&TokenKind::Module);
         let name = self.ident()?;
-        let imports = if self.eat(&TokenKind::Imports) { self.ident_list() } else { Vec::new() };
+        let imports = if self.eat(&TokenKind::Imports) {
+            self.ident_list()
+        } else {
+            Vec::new()
+        };
         self.expect(&TokenKind::LBrace);
         let decls = self.decl_list(false);
         self.expect(&TokenKind::RBrace);
-        Some(ModuleDecl { name, imports, decls, span: start.to(self.prev_span()) })
+        Some(ModuleDecl {
+            name,
+            imports,
+            decls,
+            span: start.to(self.prev_span()),
+        })
     }
 
     /// Skips tokens until the next declaration keyword or EOF, for error
@@ -259,15 +284,27 @@ impl Parser {
         let start = self.span();
         self.expect(&TokenKind::Group);
         let name = self.ident()?;
-        let includes = if self.eat(&TokenKind::In) { self.ident_list() } else { Vec::new() };
-        Some(GroupDecl { name, includes, span: start.to(self.prev_span()) })
+        let includes = if self.eat(&TokenKind::In) {
+            self.ident_list()
+        } else {
+            Vec::new()
+        };
+        Some(GroupDecl {
+            name,
+            includes,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn field_decl(&mut self) -> Option<FieldDecl> {
         let start = self.span();
         self.expect(&TokenKind::Field);
         let name = self.ident()?;
-        let includes = if self.eat(&TokenKind::In) { self.ident_list() } else { Vec::new() };
+        let includes = if self.eat(&TokenKind::In) {
+            self.ident_list()
+        } else {
+            Vec::new()
+        };
         let mut maps = Vec::new();
         while self.peek() == &TokenKind::Maps {
             let clause_start = self.span();
@@ -283,7 +320,12 @@ impl Parser {
                 span: clause_start.to(self.prev_span()),
             });
         }
-        Some(FieldDecl { name, includes, maps, span: start.to(self.prev_span()) })
+        Some(FieldDecl {
+            name,
+            includes,
+            maps,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn param_list(&mut self) -> Vec<Ident> {
@@ -312,7 +354,12 @@ impl Parser {
                 }
             }
         }
-        Some(ProcDecl { name, params, modifies, span: start.to(self.prev_span()) })
+        Some(ProcDecl {
+            name,
+            params,
+            modifies,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn impl_decl(&mut self) -> Option<ImplDecl> {
@@ -323,7 +370,12 @@ impl Parser {
         self.expect(&TokenKind::LBrace);
         let body = self.command().unwrap_or(Cmd::Skip(self.span()));
         self.expect(&TokenKind::RBrace);
-        Some(ImplDecl { name, params, body, span: start.to(self.prev_span()) })
+        Some(ImplDecl {
+            name,
+            params,
+            body,
+            span: start.to(self.prev_span()),
+        })
     }
 
     // ------------------------------------------------------------- commands
@@ -417,7 +469,11 @@ impl Parser {
                     }
                 }
                 self.expect(&TokenKind::RParen);
-                Some(Cmd::Call { proc, args, span: start.to(self.prev_span()) })
+                Some(Cmd::Call {
+                    proc,
+                    args,
+                    span: start.to(self.prev_span()),
+                })
             }
             _ => {
                 // Assignment: expr := (new() | expr)
@@ -427,10 +483,17 @@ impl Parser {
                     self.bump();
                     self.expect(&TokenKind::LParen);
                     self.expect(&TokenKind::RParen);
-                    Some(Cmd::AssignNew { lhs, span: start.to(self.prev_span()) })
+                    Some(Cmd::AssignNew {
+                        lhs,
+                        span: start.to(self.prev_span()),
+                    })
                 } else {
                     let rhs = self.expr()?;
-                    Some(Cmd::Assign { lhs, rhs, span: start.to(self.prev_span()) })
+                    Some(Cmd::Assign {
+                        lhs,
+                        rhs,
+                        span: start.to(self.prev_span()),
+                    })
                 }
             }
         }
@@ -447,7 +510,12 @@ impl Parser {
         while self.eat(&TokenKind::OrOr) {
             let rhs = self.and_expr()?;
             let span = lhs.span().to(rhs.span());
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Some(lhs)
     }
@@ -457,7 +525,12 @@ impl Parser {
         while self.eat(&TokenKind::AndAnd) {
             let rhs = self.cmp_expr()?;
             let span = lhs.span().to(rhs.span());
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Some(lhs)
     }
@@ -476,7 +549,12 @@ impl Parser {
         self.bump();
         let rhs = self.add_expr()?;
         let span = lhs.span().to(rhs.span());
-        Some(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span })
+        Some(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
     }
 
     fn add_expr(&mut self) -> Option<Expr> {
@@ -490,7 +568,12 @@ impl Parser {
             self.bump();
             let rhs = self.mul_expr()?;
             let span = lhs.span().to(rhs.span());
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Some(lhs)
     }
@@ -500,7 +583,12 @@ impl Parser {
         while self.eat(&TokenKind::Star) {
             let rhs = self.unary_expr()?;
             let span = lhs.span().to(rhs.span());
-            lhs = Expr::Binary { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op: BinOp::Mul,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Some(lhs)
     }
@@ -512,13 +600,21 @@ impl Parser {
                 self.bump();
                 let operand = self.unary_expr()?;
                 let span = start.to(operand.span());
-                Some(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand), span })
+                Some(Expr::Unary {
+                    op: UnaryOp::Not,
+                    operand: Box::new(operand),
+                    span,
+                })
             }
             TokenKind::Minus => {
                 self.bump();
                 let operand = self.unary_expr()?;
                 let span = start.to(operand.span());
-                Some(Expr::Unary { op: UnaryOp::Neg, operand: Box::new(operand), span })
+                Some(Expr::Unary {
+                    op: UnaryOp::Neg,
+                    operand: Box::new(operand),
+                    span,
+                })
             }
             _ => self.postfix_expr(),
         }
@@ -530,12 +626,20 @@ impl Parser {
             if self.eat(&TokenKind::Dot) {
                 let attr = self.ident()?;
                 let span = e.span().to(attr.span);
-                e = Expr::Select { base: Box::new(e), attr, span };
+                e = Expr::Select {
+                    base: Box::new(e),
+                    attr,
+                    span,
+                };
             } else if self.eat(&TokenKind::LBracket) {
                 let index = self.expr()?;
                 self.expect(&TokenKind::RBracket);
                 let span = e.span().to(self.prev_span());
-                e = Expr::Index { base: Box::new(e), index: Box::new(index), span };
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(index),
+                    span,
+                };
             } else {
                 break;
             }
@@ -704,8 +808,14 @@ mod tests {
 
     #[test]
     fn call_versus_assignment_disambiguation() {
-        assert!(matches!(parse_command("push(st, 3)").unwrap(), Cmd::Call { .. }));
-        assert!(matches!(parse_command("x := y").unwrap(), Cmd::Assign { .. }));
+        assert!(matches!(
+            parse_command("push(st, 3)").unwrap(),
+            Cmd::Call { .. }
+        ));
+        assert!(matches!(
+            parse_command("x := y").unwrap(),
+            Cmd::Assign { .. }
+        ));
     }
 
     #[test]
@@ -713,9 +823,19 @@ mod tests {
         let e = parse_expr("a + b * c = d && e != f || g").expect("parses");
         // ((a + (b*c)) = d) && (e != f) || g  with || lowest
         match e {
-            Expr::Binary { op: BinOp::Or, lhs, .. } => match *lhs {
-                Expr::Binary { op: BinOp::And, lhs: l2, .. } => match *l2 {
-                    Expr::Binary { op: BinOp::Eq, lhs: l3, .. } => {
+            Expr::Binary {
+                op: BinOp::Or, lhs, ..
+            } => match *lhs {
+                Expr::Binary {
+                    op: BinOp::And,
+                    lhs: l2,
+                    ..
+                } => match *l2 {
+                    Expr::Binary {
+                        op: BinOp::Eq,
+                        lhs: l3,
+                        ..
+                    } => {
                         assert!(matches!(*l3, Expr::Binary { op: BinOp::Add, .. }));
                     }
                     other => panic!("expected =, got {other:?}"),
@@ -738,10 +858,20 @@ mod tests {
     #[test]
     fn unary_operators_nest() {
         let e = parse_expr("!!x").expect("parses");
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
         let e2 = parse_expr("-x.f").expect("parses");
         match e2 {
-            Expr::Unary { op: UnaryOp::Neg, operand, .. } => {
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                operand,
+                ..
+            } => {
                 assert!(matches!(*operand, Expr::Select { .. }));
             }
             other => panic!("expected neg, got {other:?}"),
@@ -765,8 +895,14 @@ mod tests {
 
     #[test]
     fn parses_slot_assignment_and_allocation() {
-        assert!(matches!(parse_command("a[0] := null").unwrap(), Cmd::Assign { .. }));
-        assert!(matches!(parse_command("t.buckets[i] := new()").unwrap(), Cmd::AssignNew { .. }));
+        assert!(matches!(
+            parse_command("a[0] := null").unwrap(),
+            Cmd::Assign { .. }
+        ));
+        assert!(matches!(
+            parse_command("t.buckets[i] := new()").unwrap(),
+            Cmd::AssignNew { .. }
+        ));
     }
 
     #[test]
@@ -780,8 +916,14 @@ mod tests {
     #[test]
     fn choice_still_lexes_next_to_brackets() {
         // `[]` must stay the choice token; `[ ]` with content is indexing.
-        assert!(matches!(parse_command("skip [] skip").unwrap(), Cmd::Choice(..)));
-        assert!(parse_expr("a[]").is_err(), "empty index is not an expression");
+        assert!(matches!(
+            parse_command("skip [] skip").unwrap(),
+            Cmd::Choice(..)
+        ));
+        assert!(
+            parse_expr("a[]").is_err(),
+            "empty index is not an expression"
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub fn print_decl(decl: &Decl) -> String {
             }
         }
         Decl::Impl(i) => {
-            let _ = write!(out, "impl {}({}) {{\n", i.name, comma(&i.params));
+            let _ = writeln!(out, "impl {}({}) {{", i.name, comma(&i.params));
             print_cmd_indented(&i.body, 1, &mut out);
             out.push_str("\n}");
         }
@@ -70,7 +70,10 @@ pub fn print_decl(decl: &Decl) -> String {
 }
 
 fn comma(ids: &[Ident]) -> String {
-    ids.iter().map(|i| i.text.clone()).collect::<Vec<_>>().join(", ")
+    ids.iter()
+        .map(|i| i.text.clone())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn indent(level: usize, out: &mut String) {
@@ -107,15 +110,20 @@ fn print_cmd_indented(cmd: &Cmd, level: usize, out: &mut String) {
         }
         Cmd::Var(x, body, _) => {
             indent(level, out);
-            let _ = write!(out, "var {x} in\n");
+            let _ = writeln!(out, "var {x} in");
             print_cmd_indented(body, level + 1, out);
             out.push('\n');
             indent(level, out);
             out.push_str("end");
         }
-        Cmd::If { cond, then_branch, else_branch, .. } => {
+        Cmd::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             indent(level, out);
-            let _ = write!(out, "if {} then\n", print_expr(cond));
+            let _ = writeln!(out, "if {} then", print_expr(cond));
             print_cmd_indented(then_branch, level + 1, out);
             out.push('\n');
             indent(level, out);
@@ -193,7 +201,11 @@ fn print_expr_prec(expr: &Expr, min_prec: u8) -> String {
             let prec = bin_prec(*op);
             // Comparisons are non-associative; arithmetic and logical
             // operators are printed left-associatively.
-            let (lmin, rmin) = if prec == 3 { (prec + 1, prec + 1) } else { (prec, prec + 1) };
+            let (lmin, rmin) = if prec == 3 {
+                (prec + 1, prec + 1)
+            } else {
+                (prec, prec + 1)
+            };
             let s = format!(
                 "{} {} {}",
                 print_expr_prec(lhs, lmin),
@@ -218,7 +230,8 @@ mod tests {
     fn roundtrip_program(src: &str) {
         let p1 = parse_program(src).expect("first parse");
         let printed = print_program(&p1);
-        let p2 = parse_program(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let p2 =
+            parse_program(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(print_program(&p2), printed, "printing is not a fixpoint");
     }
 

@@ -56,7 +56,9 @@ impl Span {
 
     /// The slice of `source` this span denotes, or `""` when out of range.
     pub fn snippet<'s>(&self, source: &'s str) -> &'s str {
-        source.get(self.start as usize..self.end as usize).unwrap_or("")
+        source
+            .get(self.start as usize..self.end as usize)
+            .unwrap_or("")
     }
 }
 

@@ -236,7 +236,10 @@ mod tests {
     #[test]
     fn describe_quotes_symbols() {
         assert_eq!(TokenKind::Assign.describe(), "`:=`");
-        assert_eq!(TokenKind::Ident("vec".into()).describe(), "identifier `vec`");
+        assert_eq!(
+            TokenKind::Ident("vec".into()).describe(),
+            "identifier `vec`"
+        );
         assert_eq!(TokenKind::Eof.describe(), "end of input");
     }
 }

@@ -20,8 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Static checking: every implementation verifies — including
     //    `observer`, whose assertion about a foreign bucket `x` is
     //    protected by the elementwise owner-exclusion clauses.
-    let report =
-        Checker::new(&program, CheckOptions::default()).map_err(|e| e.render(source))?.check_all();
+    let report = Checker::new(&program, CheckOptions::default())
+        .map_err(|e| e.render(source))?
+        .check_all();
     println!("static checker:\n{report}\n");
 
     // 2. Run the pipeline under the effect monitor: installing buckets and
@@ -32,15 +33,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tinit = impl_of(&scope, "tinit");
     assert!(interp.run_impl(tinit, &[Value::Obj(t)]).is_acceptable());
     let touch = impl_of(&scope, "touch");
-    assert!(interp.run_impl(touch, &[Value::Obj(t), Value::Int(0)]).is_acceptable());
+    assert!(interp
+        .run_impl(touch, &[Value::Obj(t), Value::Int(0)])
+        .is_acceptable());
 
     let buckets = scope.attr("buckets").unwrap();
     let count = scope.attr("count").unwrap();
-    let arr = interp.store().read(Loc { obj: t, attr: buckets }).as_obj().expect("installed");
-    let b0 = interp.store().read_slot(arr, 0).as_obj().expect("bucket present");
+    let arr = interp
+        .store()
+        .read(Loc {
+            obj: t,
+            attr: buckets,
+        })
+        .as_obj()
+        .expect("installed");
+    let b0 = interp
+        .store()
+        .read_slot(arr, 0)
+        .as_obj()
+        .expect("bucket present");
     println!(
         "after tinit + touch: bucket 0 count = {}",
-        interp.store().read(Loc { obj: b0, attr: count })
+        interp.store().read(Loc {
+            obj: b0,
+            attr: count
+        })
     );
 
     // 3. A slot write without the elem license is caught by the monitor.
@@ -55,7 +72,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = interp.store_mut().alloc();
     let arr = interp.store_mut().alloc();
     let buckets = sneak_scope.attr("buckets").unwrap();
-    interp.store_mut().write(Loc { obj: t, attr: buckets }, Value::Obj(arr));
+    interp.store_mut().write(
+        Loc {
+            obj: t,
+            attr: buckets,
+        },
+        Value::Obj(arr),
+    );
     let outcome = interp.run_impl(impl_of(&sneak_scope, "sneak"), &[Value::Obj(t)]);
     println!("\nunlicensed slot write: {outcome:?}");
     assert!(!outcome.is_acceptable());

@@ -26,13 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. The default budget verifies updateAll despite the cyclic
     //    inclusion.
-    let report =
-        Checker::new(&program, CheckOptions::default()).map_err(|e| e.render(source))?.check_all();
+    let report = Checker::new(&program, CheckOptions::default())
+        .map_err(|e| e.render(source))?
+        .check_all();
     println!("default budget:\n{report}\n");
     assert!(report.all_verified());
 
     // 2. A starved budget reproduces the divergence as Unknown-with-stats.
-    let starved = CheckOptions { budget: Budget::tiny(), ..CheckOptions::default() };
+    let starved = CheckOptions {
+        budget: Budget::tiny(),
+        ..CheckOptions::default()
+    };
     let report = Checker::new(&program, starved)?.check_all();
     let verdict = &report.for_proc("updateAll").expect("checked").verdict;
     println!("starved budget: {}", verdict.label());
@@ -60,9 +64,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let c = store.alloc();
         store.write(Loc { obj: a, attr: next }, Value::Obj(b));
         store.write(Loc { obj: b, attr: next }, Value::Obj(c));
-        store.write(Loc { obj: a, attr: value }, Value::Int(10));
-        store.write(Loc { obj: b, attr: value }, Value::Int(20));
-        store.write(Loc { obj: c, attr: value }, Value::Int(30));
+        store.write(
+            Loc {
+                obj: a,
+                attr: value,
+            },
+            Value::Int(10),
+        );
+        store.write(
+            Loc {
+                obj: b,
+                attr: value,
+            },
+            Value::Int(20),
+        );
+        store.write(
+            Loc {
+                obj: c,
+                attr: value,
+            },
+            Value::Int(30),
+        );
         (a, b, c)
     };
     let impl_id = scope.impls().next().expect("one impl").0;
@@ -70,8 +92,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ninterpreter outcome: {outcome:?}");
     assert!(outcome.is_acceptable());
     let store = interp.store();
-    let values: Vec<Value> =
-        [a, b, c].iter().map(|&o| store.read(Loc { obj: o, attr: value })).collect();
+    let values: Vec<Value> = [a, b, c]
+        .iter()
+        .map(|&o| {
+            store.read(Loc {
+                obj: o,
+                attr: value,
+            })
+        })
+        .collect();
     println!("list values after updateAll: {values:?}");
     assert_eq!(values, vec![Value::Int(11), Value::Int(21), Value::Int(31)]);
     Ok(())

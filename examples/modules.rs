@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             info.name,
             info.decl_count,
             visible.decls.len(),
-            if info.imports.is_empty() { "-".to_string() } else { info.imports.join(", ") },
+            if info.imports.is_empty() {
+                "-".to_string()
+            } else {
+                info.imports.join(", ")
+            },
         );
     }
 

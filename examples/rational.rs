@@ -71,11 +71,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     check("client against interface", &format!("{INTERFACE}{CLIENT}"))?;
 
     // The library's own implementations are checked in the private scope.
-    check("library implementation", &format!("{INTERFACE}{IMPLEMENTATION}"))?;
+    check(
+        "library implementation",
+        &format!("{INTERFACE}{IMPLEMENTATION}"),
+    )?;
 
     // And everything still verifies with all declarations visible — scope
     // monotonicity means publishing the representation cannot break the
     // client.
-    check("whole program", &format!("{INTERFACE}{CLIENT}{IMPLEMENTATION}"))?;
+    check(
+        "whole program",
+        &format!("{INTERFACE}{CLIENT}{IMPLEMENTATION}"),
+    )?;
     Ok(())
 }

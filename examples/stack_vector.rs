@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .position(|d| matches!(d, Decl::Impl(i) if i.name.text == "push"))
         .expect("push impl exists");
     let small = subset_program(&program, &closure_for_impl(&program, push_impl));
-    let small_report =
-        Checker::new(&small, CheckOptions::default())?.check_all();
+    let small_report = Checker::new(&small, CheckOptions::default())?.check_all();
     let small_verdict = small_report.for_proc("push").expect("push checked");
     let full_verdict = report.for_proc("push").expect("push checked");
     println!(

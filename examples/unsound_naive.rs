@@ -58,9 +58,19 @@ impl setup(st, r) {
 
 fn verdict(source: &str, proc: &str, naive: bool) -> String {
     let program = parse_program(source).expect("parses");
-    let options = CheckOptions { naive, ..CheckOptions::default() };
-    let report = Checker::new(&program, options).expect("analyses").check_all();
-    report.for_proc(proc).expect("checked").verdict.label().to_string()
+    let options = CheckOptions {
+        naive,
+        ..CheckOptions::default()
+    };
+    let report = Checker::new(&program, options)
+        .expect("analyses")
+        .check_all();
+    report
+        .for_proc(proc)
+        .expect("checked")
+        .verdict
+        .label()
+        .to_string()
 }
 
 fn main() {
@@ -103,7 +113,10 @@ fn main() {
         "\nruntime: {assert_failures}/200 random runs of q end in the assertion failure \
          ({acceptable} complete or block)"
     );
-    assert!(assert_failures > 0, "the counterexample should be reachable");
+    assert!(
+        assert_failures > 0,
+        "the counterexample should be reachable"
+    );
 
     // --- The paper's checker ----------------------------------------------
     let full_q_small = verdict(&client_scope, "q", false);

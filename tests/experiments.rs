@@ -13,7 +13,9 @@ use oolong::syntax::{parse_program, pretty};
 
 fn check_with(source: &str, options: CheckOptions) -> oolong::datagroups::Report {
     let program = parse_program(source).expect("parses");
-    Checker::new(&program, options).expect("analyses").check_all()
+    Checker::new(&program, options)
+        .expect("analyses")
+        .check_all()
 }
 
 fn check(source: &str) -> oolong::datagroups::Report {
@@ -21,7 +23,12 @@ fn check(source: &str) -> oolong::datagroups::Report {
 }
 
 fn label(report: &oolong::datagroups::Report, proc: &str) -> String {
-    report.for_proc(proc).expect("proc checked").verdict.label().to_string()
+    report
+        .for_proc(proc)
+        .expect("proc checked")
+        .verdict
+        .label()
+        .to_string()
 }
 
 // --------------------------------------------------------------------- E1
@@ -31,8 +38,8 @@ fn label(report: &oolong::datagroups::Report, proc: &str) -> String {
 #[test]
 fn e1_grammar_roundtrip() {
     for p in corpus::all() {
-        let program = parse_program(p.source)
-            .unwrap_or_else(|e| panic!("{} does not parse: {e}", p.name));
+        let program =
+            parse_program(p.source).unwrap_or_else(|e| panic!("{} does not parse: {e}", p.name));
         let printed = pretty::print_program(&program);
         let reparsed = parse_program(&printed)
             .unwrap_or_else(|e| panic!("{} does not reparse: {e}\n{printed}", p.name));
@@ -66,13 +73,20 @@ fn e2_pivot_uniqueness_repairs_q() {
 /// pivot-leaking `impl m`.
 #[test]
 fn e2_naive_violates_scope_monotonicity() {
-    let naive = CheckOptions { naive: true, ..CheckOptions::default() };
+    let naive = CheckOptions {
+        naive: true,
+        ..CheckOptions::default()
+    };
     let small = check_with(paper::SECTION30_Q.source, naive.clone());
     assert_eq!(label(&small, "q"), "verified");
 
     let full = check_with(paper::SECTION30_FULL.source, naive);
     assert_ne!(label(&full, "q"), "verified", "naive q must degrade");
-    assert_eq!(label(&full, "m"), "verified", "naive does not police the leak");
+    assert_eq!(
+        label(&full, "m"),
+        "verified",
+        "naive does not police the leak"
+    );
 }
 
 // --------------------------------------------------------------------- E3
@@ -87,7 +101,11 @@ fn e3_owner_exclusion() {
 
     let full = check(paper::SECTION31_BAD_CALL.source);
     assert_eq!(label(&full, "w"), "verified", "scope monotonicity for w");
-    assert_ne!(label(&full, "bad_caller"), "verified", "owner exclusion rejects the call");
+    assert_ne!(
+        label(&full, "bad_caller"),
+        "verified",
+        "owner exclusion rejects the call"
+    );
 }
 
 /// E3 (§3.1): without owner exclusion the bad call site passes the naive
@@ -95,13 +113,19 @@ fn e3_owner_exclusion() {
 /// dynamically.
 #[test]
 fn e3_naive_misses_the_bad_call() {
-    let naive = CheckOptions { naive: true, ..CheckOptions::default() };
+    let naive = CheckOptions {
+        naive: true,
+        ..CheckOptions::default()
+    };
     let full = check_with(paper::SECTION31_BAD_CALL.source, naive);
     assert_eq!(label(&full, "bad_caller"), "verified");
 
     let program = parse_program(paper::SECTION31_BAD_CALL.source).expect("parses");
     let scope = Scope::analyze(&program).expect("analyses");
-    let config = ExecConfig { check_owner_exclusion: true, ..ExecConfig::default() };
+    let config = ExecConfig {
+        check_owner_exclusion: true,
+        ..ExecConfig::default()
+    };
     let mut interp = Interp::new(&scope, config, RngOracle::seeded(0));
     match interp.run_proc_fresh("bad_caller") {
         RunOutcome::Wrong(w) => assert_eq!(w.kind, WrongKind::OwnerExclusion),
@@ -124,7 +148,9 @@ fn e4_example1_verifies() {
 /// the call to `q(t.c.d)` unjustifiable.
 #[test]
 fn e4_example1_needs_the_license() {
-    let broken = paper::EXAMPLE1.source.replace("proc p(t) modifies t.c.d.g", "proc p(t)");
+    let broken = paper::EXAMPLE1
+        .source
+        .replace("proc p(t) modifies t.c.d.g", "proc p(t)");
     let report = check(&broken);
     assert_ne!(label(&report, "p"), "verified");
 }
@@ -150,12 +176,17 @@ fn e6_cyclic_inclusion() {
     let report = check(paper::EXAMPLE3.source);
     assert_eq!(label(&report, "updateAll"), "verified");
 
-    let starved =
-        CheckOptions { budget: Budget::tiny(), ..CheckOptions::default() };
+    let starved = CheckOptions {
+        budget: Budget::tiny(),
+        ..CheckOptions::default()
+    };
     let report = check_with(paper::EXAMPLE3.source, starved);
     match &report.for_proc("updateAll").expect("checked").verdict {
         Verdict::Unknown(stats) => {
-            assert!(stats.instances > 0, "the matching loop did run before the cutoff");
+            assert!(
+                stats.instances > 0,
+                "the matching loop did run before the cutoff"
+            );
         }
         other => panic!("starved budget should be Unknown, got {}", other.label()),
     }
@@ -176,11 +207,17 @@ fn e7_scope_monotonicity_corpus() {
         // extensions) — monotonicity holds within a level.
         let arrays_level = p.source.contains("maps elem") || p.source.contains("[");
         for (i, decl) in program.decls.iter().enumerate() {
-            let oolong::syntax::Decl::Impl(im) = decl else { continue };
+            let oolong::syntax::Decl::Impl(im) = decl else {
+                continue;
+            };
             let sub = subset_program(&program, &closure_for_impl(&program, i));
-            let options =
-                CheckOptions { force_arrays_level: arrays_level, ..CheckOptions::default() };
-            let small = Checker::new(&sub, options).expect("closure analyses").check_all();
+            let options = CheckOptions {
+                force_arrays_level: arrays_level,
+                ..CheckOptions::default()
+            };
+            let small = Checker::new(&sub, options)
+                .expect("closure analyses")
+                .check_all();
             let small_label = label(&small, &im.name.text);
             if small_label == "verified" {
                 let full_label = label(&full_report, &im.name.text);
@@ -323,12 +360,27 @@ fn e12_array_dependencies_runtime() {
         .find(|(_, i)| scope.proc_info(i.proc).name == "touch")
         .map(|(id, _)| id)
         .expect("touch");
-    assert!(interp.run_impl(touch, &[Value::Obj(t), Value::Int(0)]).is_acceptable());
+    assert!(interp
+        .run_impl(touch, &[Value::Obj(t), Value::Int(0)])
+        .is_acceptable());
     let buckets = scope.attr("buckets").unwrap();
     let count = scope.attr("count").unwrap();
-    let arr = interp.store().read(Loc { obj: t, attr: buckets }).as_obj().expect("array");
+    let arr = interp
+        .store()
+        .read(Loc {
+            obj: t,
+            attr: buckets,
+        })
+        .as_obj()
+        .expect("array");
     let b0 = interp.store().read_slot(arr, 0).as_obj().expect("bucket");
-    assert_eq!(interp.store().read(Loc { obj: b0, attr: count }), Value::Int(1));
+    assert_eq!(
+        interp.store().read(Loc {
+            obj: b0,
+            attr: count
+        }),
+        Value::Int(1)
+    );
 }
 
 // ------------------------------------------------------- expressiveness
@@ -364,8 +416,12 @@ fn pivot_discipline_rejects_linked_insertion() {
             // The insertion violates two rules at once: the pivot target
             // rule (next may only take new()/null) and the pivot-copy rule
             // (reading s.head).
-            assert!(diags.iter().any(|d| d.message.contains("may only be assigned")));
-            assert!(diags.iter().any(|d| d.message.contains("may not be copied")));
+            assert!(diags
+                .iter()
+                .any(|d| d.message.contains("may only be assigned")));
+            assert!(diags
+                .iter()
+                .any(|d| d.message.contains("may not be copied")));
         }
         other => panic!("expected restriction violation, got {}", other.label()),
     }

@@ -14,8 +14,12 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         Just(Expr::ident("x")),
         Just(Expr::ident("y")),
-        Just(Expr::Const(oolong::syntax::Const::Null, oolong::syntax::Span::DUMMY)),
-        (0i64..100).prop_map(|n| Expr::Const(oolong::syntax::Const::Int(n), oolong::syntax::Span::DUMMY)),
+        Just(Expr::Const(
+            oolong::syntax::Const::Null,
+            oolong::syntax::Span::DUMMY
+        )),
+        (0i64..100)
+            .prop_map(|n| Expr::Const(oolong::syntax::Const::Int(n), oolong::syntax::Span::DUMMY)),
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
@@ -140,7 +144,7 @@ proptest! {
             }
             parent[x]
         }
-        let mut union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+        let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
             let (ra, rb) = (find(parent, a), find(parent, b));
             if ra != rb {
                 parent[ra] = rb;

@@ -27,8 +27,7 @@ fn assert_sound(name: &str, source: &str, seeds: u64) {
     let mut options = CheckOptions::default();
     options.budget.max_instances = 8_000;
     options.budget.max_branches = 8_000;
-    let checker =
-        Checker::new(&program, options).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let checker = Checker::new(&program, options).unwrap_or_else(|e| panic!("{name}: {e}"));
     let report = checker.check_all();
     if !report.all_verified() {
         return; // the guarantee only covers checker-approved programs
@@ -37,8 +36,7 @@ fn assert_sound(name: &str, source: &str, seeds: u64) {
     let procs: Vec<String> = scope.procs().map(|(_, p)| p.name.clone()).collect();
     for proc in procs {
         for seed in 0..seeds {
-            let mut interp =
-                Interp::new(&scope, ExecConfig::default(), RngOracle::seeded(seed));
+            let mut interp = Interp::new(&scope, ExecConfig::default(), RngOracle::seeded(seed));
             if let RunOutcome::Wrong(w) = interp.run_proc_fresh(&proc) {
                 assert!(
                     !matches!(w.kind, WrongKind::EffectViolation | WrongKind::AssertFailed),
@@ -47,8 +45,9 @@ fn assert_sound(name: &str, source: &str, seeds: u64) {
             }
             // Verified (restriction-respecting) programs maintain the
             // store invariants behind axioms (6) and (7).
-            audit_pivot_uniqueness(&scope, interp.store())
-                .unwrap_or_else(|e| panic!("{name}/{proc} seed {seed}: pivot uniqueness audit: {e}"));
+            audit_pivot_uniqueness(&scope, interp.store()).unwrap_or_else(|e| {
+                panic!("{name}/{proc} seed {seed}: pivot uniqueness audit: {e}")
+            });
             audit_acyclicity(&scope, interp.store())
                 .unwrap_or_else(|e| panic!("{name}/{proc} seed {seed}: acyclicity audit: {e}"));
         }
@@ -76,8 +75,7 @@ fn array_table_runtime_is_sound() {
     let scope = Scope::analyze(&program).expect("analyses");
     for proc in ["tinit", "touch", "binc"] {
         for seed in 0..25 {
-            let mut interp =
-                Interp::new(&scope, ExecConfig::default(), RngOracle::seeded(seed));
+            let mut interp = Interp::new(&scope, ExecConfig::default(), RngOracle::seeded(seed));
             if let oolong::interp::RunOutcome::Wrong(w) = interp.run_proc_fresh(proc) {
                 assert!(
                     !matches!(w.kind, WrongKind::EffectViolation | WrongKind::AssertFailed),
@@ -143,7 +141,11 @@ impl setup(st, r) { st.vec := new() ; r.obj := st.vec }
     for seed in 0..100 {
         let mut interp = Interp::new(&scope, ExecConfig::default(), RngOracle::seeded(seed));
         if let RunOutcome::Wrong(w) = interp.run_proc_fresh("q") {
-            assert_eq!(w.kind, WrongKind::AssertFailed, "only the assert may fail here");
+            assert_eq!(
+                w.kind,
+                WrongKind::AssertFailed,
+                "only the assert may fail here"
+            );
             failures += 1;
         }
     }

@@ -1,0 +1,73 @@
+//! E14: cost of the always-on prover telemetry and of divergence
+//! attribution.
+//!
+//! The prover counts instantiations, trigger matches, E-graph merges, and
+//! case splits on every proof attempt — there is no "profiling build" to
+//! opt into. E14a measures a full verification of the paper's §5 cyclic
+//! rep-inclusion example with that accounting running, which is the
+//! telemetry's total cost (the seed had no unprofiled prover to compare
+//! against, and keeping one would fork the search loop). E14b starves the
+//! same obligation with `Budget::tiny()` and additionally builds the
+//! divergence attribution — the per-axiom culprit ranking printed by
+//! `oolong check --explain-unknown` — so the gap between the groups bounds
+//! what attribution itself costs on top of a (much shorter) failed search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagroups::{CheckOptions, Checker};
+use oolong_corpus::paper;
+use oolong_prover::Budget;
+use oolong_syntax::parse_program;
+
+/// E14a: verify §5's cyclic example with telemetry on (the only mode).
+fn e14_cold_profile(c: &mut Criterion) {
+    let program = parse_program(paper::EXAMPLE3.source).expect("parses");
+    let mut group = c.benchmark_group("e14_cold_profile");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::from_parameter(paper::EXAMPLE3.name),
+        &program,
+        |b, program| {
+            b.iter(|| {
+                let report = Checker::new(program, CheckOptions::default())
+                    .expect("analyses")
+                    .check_all();
+                let stats = report.impls[0].verdict.stats().expect("prover ran");
+                assert!(!stats.per_quant.is_empty(), "telemetry is always on");
+                report
+            });
+        },
+    );
+    group.finish();
+}
+
+/// E14b: starve the same obligation and attribute the divergence.
+fn e14_divergence_attribution(c: &mut Criterion) {
+    let program = parse_program(paper::EXAMPLE3.source).expect("parses");
+    let options = CheckOptions {
+        budget: Budget::tiny(),
+        ..CheckOptions::default()
+    };
+    let mut group = c.benchmark_group("e14_divergence_attribution");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::from_parameter(paper::EXAMPLE3.name),
+        &program,
+        |b, program| {
+            b.iter(|| {
+                let report = Checker::new(program, options.clone())
+                    .expect("analyses")
+                    .check_all();
+                let divergence = report.impls[0]
+                    .verdict
+                    .divergence()
+                    .expect("tiny budget diverges on the cyclic example");
+                assert!(!divergence.culprits.is_empty(), "culprits are ranked");
+                divergence
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, e14_cold_profile, e14_divergence_attribution);
+criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! `oolong` — command-line interface to the data-group side-effect checker.
 //!
 //! ```text
-//! oolong check   <file|corpus:NAME> [--naive] [--null-checks] [--json]
+//! oolong check   <file|corpus:NAME> [--naive] [--null-checks] [--json] [--explain-unknown]
 //! oolong batch   <files...> [--cache-dir DIR] [--workers N] [--events PATH] [--json]
 //! oolong recheck [--cache-dir DIR] [--events PATH] [--json]
 //! oolong run     <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
 //! oolong vc      <file|corpus:NAME> [--proc NAME]
-//! oolong stats   <file|corpus:NAME>
+//! oolong stats   <file|corpus:NAME> [--json]
 //! oolong corpus
 //! ```
 //!
@@ -14,9 +14,12 @@
 //! paper corpus (see `oolong corpus`). `batch` checks many units through
 //! the incremental engine, persisting verdicts under `--cache-dir`;
 //! `recheck` repeats the last recorded batch against the same cache, so an
-//! unchanged program verifies without a single prover call.
+//! unchanged program verifies without a single prover call. `check
+//! --explain-unknown` attributes a budget-exhausted verdict to the
+//! quantified axioms that consumed the budget; `stats` aggregates the same
+//! per-axiom telemetry across every obligation of a program.
 
-use datagroups::{overhead, CheckOptions, Checker};
+use datagroups::{overhead, prover_metrics, CheckOptions, Checker};
 use oolong_engine::{BatchUnit, Engine, EngineOptions, Json};
 use oolong_interp::{ExecConfig, Interp, RngOracle, RunOutcome};
 use oolong_sema::Scope;
@@ -40,14 +43,15 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage:
   oolong check   <file|corpus:NAME> [--modular] [--naive] [--null-checks] [--explain]
-                 [--json] [--max-instances N] [--max-gen N]
+                 [--explain-unknown] [--json] [--max-instances N] [--max-gen N]
   oolong batch   <files|corpus:NAMEs...> [--cache-dir DIR] [--no-cache] [--workers N]
                  [--events PATH] [--json] [--naive] [--null-checks]
                  [--max-instances N] [--max-gen N]
   oolong recheck [--cache-dir DIR] [--events PATH] [--json]
   oolong run     <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
   oolong vc      <file|corpus:NAME> [--proc NAME]
-  oolong stats   <file|corpus:NAME>
+  oolong stats   <file|corpus:NAME> [--json] [--naive] [--null-checks]
+                 [--max-instances N] [--max-gen N]
   oolong corpus
   oolong experiments"
         .to_string()
@@ -175,6 +179,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         });
     }
     let explain = flag(args, "--explain");
+    let explain_unknown = flag(args, "--explain-unknown");
     for rep in &report.impls {
         print!("impl {}: {}", rep.proc_name, rep.verdict);
         if let Some(stats) = rep.verdict.stats() {
@@ -186,6 +191,13 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                 println!("  unrefuted scenario:");
                 for line in branch {
                     println!("    {line}");
+                }
+            }
+        }
+        if explain_unknown {
+            if let Some(divergence) = rep.verdict.divergence() {
+                for line in divergence.to_string().lines() {
+                    println!("  {line}");
                 }
             }
         }
@@ -213,15 +225,27 @@ fn check_report_json(report: &datagroups::Report) -> Json {
                 ),
             ];
             if let Some(stats) = rep.verdict.stats() {
+                members.push(("stats".to_string(), oolong_engine::stats_to_json(stats)));
+            }
+            if let Some(divergence) = rep.verdict.divergence() {
                 members.push((
-                    "stats".to_string(),
-                    Json::Object(
-                        stats
-                            .to_fields()
-                            .into_iter()
-                            .map(|(name, value)| (name.to_string(), Json::Int(value as i64)))
-                            .collect(),
-                    ),
+                    "divergence".to_string(),
+                    Json::Object(vec![
+                        (
+                            "reason".to_string(),
+                            Json::Str(divergence.reason.as_str().to_string()),
+                        ),
+                        (
+                            "culprits".to_string(),
+                            Json::Array(
+                                divergence
+                                    .culprits
+                                    .iter()
+                                    .map(|c| Json::Str(c.to_string()))
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
                 ));
             }
             if let Some(branch) = rep.verdict.open_branch() {
@@ -466,13 +490,111 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     let source = load_source(positional(args)?)?;
     let program = parse_program(&source).map_err(|e| e.render(&source))?;
     let scope = Scope::analyze(&program).map_err(|e| e.render(&source))?;
+    let spec = overhead(&program);
+    let checker = Checker::new(&program, check_options(args)?).map_err(|e| e.render(&source))?;
+    let report = checker.check_all_parallel();
+    let metrics = prover_metrics(&report);
+    if flag(args, "--json") {
+        println!(
+            "{}",
+            Json::Object(vec![
+                (
+                    "program".to_string(),
+                    Json::Object(vec![
+                        (
+                            "declarations".to_string(),
+                            Json::Int(program.decls.len() as i64)
+                        ),
+                        (
+                            "attributes".to_string(),
+                            Json::Int(scope.attr_count() as i64)
+                        ),
+                        ("pivots".to_string(), Json::Int(scope.pivots().len() as i64)),
+                        (
+                            "procedures".to_string(),
+                            Json::Int(scope.procs().count() as i64)
+                        ),
+                        ("impls".to_string(), Json::Int(scope.impls().count() as i64)),
+                        (
+                            "spec_tokens".to_string(),
+                            Json::Int(spec.spec_tokens as i64)
+                        ),
+                        (
+                            "total_tokens".to_string(),
+                            Json::Int(spec.total_tokens as i64)
+                        ),
+                    ]),
+                ),
+                ("prover".to_string(), prover_metrics_json(&metrics)),
+            ])
+            .render()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
     println!("declarations: {}", program.decls.len());
     println!("attributes:   {}", scope.attr_count());
     println!("pivots:       {}", scope.pivots().len());
     println!("procedures:   {}", scope.procs().count());
     println!("impls:        {}", scope.impls().count());
-    println!("spec overhead: {}", overhead(&program));
+    println!("spec overhead: {spec}");
+    println!();
+    print!("{metrics}");
     Ok(ExitCode::SUCCESS)
+}
+
+/// The `--json` rendering of aggregated prover telemetry.
+fn prover_metrics_json(metrics: &datagroups::ProverMetrics) -> Json {
+    Json::Object(vec![
+        (
+            "obligations".to_string(),
+            Json::Int(metrics.obligations as i64),
+        ),
+        ("unknown".to_string(), Json::Int(metrics.unknown as i64)),
+        ("instances".to_string(), Json::Int(metrics.instances as i64)),
+        (
+            "trigger_matches".to_string(),
+            Json::Int(metrics.trigger_matches as i64),
+        ),
+        ("merges".to_string(), Json::Int(metrics.merges as i64)),
+        ("branches".to_string(), Json::Int(metrics.branches as i64)),
+        ("clauses".to_string(), Json::Int(metrics.clauses as i64)),
+        ("deferred".to_string(), Json::Int(metrics.deferred as i64)),
+        (
+            "by_kind".to_string(),
+            Json::Object(
+                metrics
+                    .by_kind
+                    .iter()
+                    .map(|(kind, n)| (kind.as_str().to_string(), Json::Int(*n as i64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "hottest".to_string(),
+            Json::Array(
+                metrics
+                    .hottest
+                    .iter()
+                    .map(|axiom| {
+                        Json::Object(vec![
+                            (
+                                "kind".to_string(),
+                                Json::Str(axiom.kind.as_str().to_string()),
+                            ),
+                            ("trigger".to_string(), Json::Str(axiom.trigger.clone())),
+                            ("matches".to_string(), Json::Int(axiom.matches as i64)),
+                            ("instances".to_string(), Json::Int(axiom.instances as i64)),
+                            ("deferred".to_string(), Json::Int(axiom.deferred as i64)),
+                            (
+                                "obligations".to_string(),
+                                Json::Int(axiom.obligations as i64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn cmd_corpus() -> Result<ExitCode, String> {

@@ -1,0 +1,156 @@
+//! Golden tests pinning the machine-readable output schemas: `oolong
+//! check --json` (including the divergence members of an unknown verdict)
+//! and `oolong stats --json` (the aggregated prover telemetry).
+//!
+//! The snapshots under `tests/golden/` at the repository root record the
+//! *schema* — every key path with the JSON type of its value — rather than
+//! the concrete numbers, so prover tuning doesn't churn them but renaming
+//! or dropping a field that downstream consumers parse fails loudly. To
+//! regenerate after a deliberate schema change, run the test and copy the
+//! `actual` block it prints into the snapshot file.
+
+use oolong_engine::{json, Json};
+use std::fmt::Write as _;
+use std::process::{Command, Output};
+
+fn oolong(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_oolong"))
+        .args(args)
+        .output()
+        .expect("spawns the oolong binary")
+}
+
+/// Renders the type skeleton of a JSON value: object keys in output order
+/// with the type of each value; arrays by the schema of their first
+/// element (they are homogeneous in all oolong output).
+fn schema(value: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match value {
+        Json::Null => {
+            let _ = writeln!(out, "{pad}null");
+        }
+        Json::Bool(_) => {
+            let _ = writeln!(out, "{pad}bool");
+        }
+        Json::Int(_) => {
+            let _ = writeln!(out, "{pad}int");
+        }
+        Json::Float(_) => {
+            let _ = writeln!(out, "{pad}float");
+        }
+        Json::Str(_) => {
+            let _ = writeln!(out, "{pad}str");
+        }
+        Json::Array(items) => match items.first() {
+            None => {
+                let _ = writeln!(out, "{pad}array (empty)");
+            }
+            Some(first) => {
+                let _ = writeln!(out, "{pad}array of:");
+                schema(first, indent + 1, out);
+            }
+        },
+        Json::Object(members) => {
+            let _ = writeln!(out, "{pad}object:");
+            for (key, member) in members {
+                let _ = writeln!(out, "{pad}  {key}:");
+                schema(member, indent + 2, out);
+            }
+        }
+    }
+}
+
+fn assert_matches_snapshot(name: &str, value: &Json) {
+    let mut actual = String::new();
+    schema(value, 0, &mut actual);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/");
+    let path = format!("{path}{name}");
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read snapshot `{path}`: {e}\nactual:\n{actual}"));
+    assert_eq!(
+        actual, expected,
+        "schema drift against `{path}`\nactual:\n{actual}"
+    );
+}
+
+/// `check --json` on the §5 cyclic example under a starved budget: the
+/// verdict is unknown, the stats carry the structured telemetry, and the
+/// divergence member names the culprits.
+#[test]
+fn check_json_schema_is_stable() {
+    let out = oolong(&[
+        "check",
+        "corpus:example3",
+        "--json",
+        "--max-instances",
+        "20",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = json::parse(stdout.trim()).expect("check --json emits one JSON object");
+    assert_matches_snapshot("check_example3_starved.schema.txt", &value);
+
+    // Beyond the shape: the unknown verdict is attributed.
+    let impls = value.get("impls").and_then(Json::as_array).expect("impls");
+    let rep = impls.first().expect("one impl");
+    assert_eq!(
+        rep.get("verdict").and_then(Json::as_str),
+        Some("unknown"),
+        "starved example3 is unknown"
+    );
+    assert_eq!(
+        rep.get("stats")
+            .and_then(|s| s.get("exhausted"))
+            .and_then(Json::as_str),
+        Some("instances"),
+        "the exhausted dimension is the instantiation budget"
+    );
+    let culprits = rep
+        .get("divergence")
+        .and_then(|d| d.get("culprits"))
+        .and_then(Json::as_array)
+        .expect("divergence culprits");
+    assert!(!culprits.is_empty(), "culprits are listed");
+    assert!(
+        culprits
+            .iter()
+            .filter_map(Json::as_str)
+            .any(|c| c.contains("[rep-inclusion]")),
+        "a rep-inclusion axiom is named: {culprits:?}"
+    );
+}
+
+/// `stats --json`: program shape plus the aggregated prover telemetry.
+#[test]
+fn stats_json_schema_is_stable() {
+    let out = oolong(&["stats", "corpus:example1", "--json"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = json::parse(stdout.trim()).expect("stats --json emits one JSON object");
+    assert_matches_snapshot("stats_example1.schema.txt", &value);
+
+    let prover = value.get("prover").expect("prover section");
+    assert_eq!(
+        prover.get("obligations").and_then(Json::as_u64),
+        Some(1),
+        "example1 has one obligation"
+    );
+    assert!(
+        prover.get("instances").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "instantiations were counted"
+    );
+}
+
+/// The human-readable `stats` output names the hottest axioms.
+#[test]
+fn stats_text_reports_prover_telemetry() {
+    let out = oolong(&["stats", "corpus:example1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "spec overhead:",
+        "instantiations by axiom kind:",
+        "rep-inclusion:",
+        "hottest axioms:",
+    ] {
+        assert!(stdout.contains(needle), "missing `{needle}` in:\n{stdout}");
+    }
+}

@@ -79,6 +79,16 @@ impl Verdict {
             _ => None,
         }
     }
+
+    /// Divergence attribution for an [`Verdict::Unknown`]: the budget
+    /// dimension that tripped plus the hottest quantified axioms (see
+    /// [`Stats::divergence`]).
+    pub fn divergence(&self) -> Option<oolong_prover::Divergence> {
+        match self {
+            Verdict::Unknown(stats) => stats.divergence(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Verdict {
@@ -92,6 +102,13 @@ impl fmt::Display for Verdict {
                 Ok(())
             }
             Verdict::TranslationError(d) => write!(f, ": {d}"),
+            Verdict::Unknown(stats) => {
+                // Which budget dimension tripped (recorded by the prover).
+                if let Some(reason) = stats.exhausted {
+                    write!(f, " ({reason})")?;
+                }
+                Ok(())
+            }
             _ => Ok(()),
         }
     }
@@ -229,7 +246,7 @@ impl Checker {
         match proof.outcome {
             Outcome::Proved => Verdict::Verified(proof.stats),
             Outcome::NotProved => Verdict::NotVerified(proof.stats, proof.open_branch),
-            Outcome::Unknown => Verdict::Unknown(proof.stats),
+            Outcome::Unknown(_) => Verdict::Unknown(proof.stats),
         }
     }
 

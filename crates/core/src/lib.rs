@@ -48,6 +48,6 @@ pub use checker::{
     check_modular, CheckOptions, Checker, ImplReport, ModularReport, Report, Verdict,
 };
 pub use effects::{ModEntry, ModList};
-pub use metrics::{overhead, OverheadReport};
+pub use metrics::{overhead, prover_metrics, HotAxiom, OverheadReport, ProverMetrics};
 pub use restrict::check_pivot_uniqueness;
 pub use vcgen::{Vc, VcGen, VcOptions};

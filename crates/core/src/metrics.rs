@@ -1,15 +1,26 @@
-//! Specification-overhead metrics (experiment E10).
+//! Metrics over checking runs.
 //!
-//! Section 6 of the paper claims that "the overhead for specifying data
-//! groups, inclusions, and modifies lists does not seem overwhelming".
-//! [`overhead`] quantifies this for a program: the fraction of lexical
-//! tokens that belong to specification constructs (`group` declarations,
-//! `in` clauses, `maps … into …` clauses, and `modifies` lists) rather
-//! than executable code.
+//! Two families live here:
+//!
+//! * **Specification overhead** (experiment E10). Section 6 of the paper
+//!   claims that "the overhead for specifying data groups, inclusions, and
+//!   modifies lists does not seem overwhelming". [`overhead`] quantifies
+//!   this for a program: the fraction of lexical tokens that belong to
+//!   specification constructs (`group` declarations, `in` clauses,
+//!   `maps … into …` clauses, and `modifies` lists) rather than executable
+//!   code.
+//! * **Prover telemetry aggregation** (experiment E14). [`prover_metrics`]
+//!   folds the per-obligation [`oolong_prover::Stats`] of a checking
+//!   [`Report`] into scope-level totals, per-axiom-kind instantiation
+//!   counts, and a hottest-axioms table — the measurement layer under the
+//!   `oolong stats` subcommand.
 
+use crate::checker::Report;
+use oolong_prover::{QuantKind, Stats};
 use oolong_syntax::lexer::lex;
 use oolong_syntax::pretty;
 use oolong_syntax::{Decl, Program};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Token counts separating specification from code.
@@ -42,6 +53,165 @@ impl fmt::Display for OverheadReport {
             self.ratio() * 100.0
         )
     }
+}
+
+/// One axiom family's aggregate across all obligations of a report,
+/// merged by (kind, rendered trigger) — structurally identical background
+/// axioms recur in every verification condition of a scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotAxiom {
+    /// Vocabulary classification of the axiom.
+    pub kind: QuantKind,
+    /// Rendered trigger set (the merge key alongside `kind`).
+    pub trigger: String,
+    /// Trigger-match bindings found, summed.
+    pub matches: u64,
+    /// Instantiations performed, summed.
+    pub instances: u64,
+    /// Instantiations deferred by the matching-generation limit, summed.
+    pub deferred: u64,
+    /// How many obligations registered this axiom.
+    pub obligations: usize,
+}
+
+impl fmt::Display for HotAxiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} instances, {} matches over {} obligation(s)",
+            self.kind,
+            if self.trigger.is_empty() {
+                "(no trigger)"
+            } else {
+                &self.trigger
+            },
+            self.instances,
+            self.matches,
+            self.obligations
+        )
+    }
+}
+
+/// Scope-level aggregation of prover telemetry (see [`prover_metrics`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProverMetrics {
+    /// Obligations that reached the prover (i.e. carried stats).
+    pub obligations: usize,
+    /// Obligations whose budget ran out.
+    pub unknown: usize,
+    /// Total quantifier instantiations.
+    pub instances: u64,
+    /// Total trigger-match bindings.
+    pub trigger_matches: u64,
+    /// Total E-graph merges.
+    pub merges: u64,
+    /// Total case-split branches.
+    pub branches: u64,
+    /// Total disjunctions registered.
+    pub clauses: u64,
+    /// Total instantiations deferred by the matching-generation limit.
+    pub deferred: u64,
+    /// Instantiations per axiom kind, in a fixed order
+    /// (rep-inclusion, inclusion, store, other).
+    pub by_kind: Vec<(QuantKind, u64)>,
+    /// Axioms merged across obligations, hottest (by instantiation
+    /// pressure) first.
+    pub hottest: Vec<HotAxiom>,
+}
+
+impl ProverMetrics {
+    /// The `n` hottest axioms.
+    pub fn top(&self, n: usize) -> &[HotAxiom] {
+        &self.hottest[..self.hottest.len().min(n)]
+    }
+}
+
+impl fmt::Display for ProverMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} obligation(s): {} instances, {} matches, {} merges, {} branches, {} clauses",
+            self.obligations,
+            self.instances,
+            self.trigger_matches,
+            self.merges,
+            self.branches,
+            self.clauses
+        )?;
+        writeln!(f, "instantiations by axiom kind:")?;
+        for (kind, instances) in &self.by_kind {
+            writeln!(f, "  {kind}: {instances}")?;
+        }
+        if !self.hottest.is_empty() {
+            writeln!(f, "hottest axioms:")?;
+            for axiom in self.top(5) {
+                writeln!(f, "  {axiom}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Aggregates the prover telemetry of a checking report: totals across
+/// obligations, instantiation counts per axiom kind, and a hottest-axioms
+/// table merged by (kind, trigger).
+pub fn prover_metrics(report: &Report) -> ProverMetrics {
+    let stats: Vec<&Stats> = report
+        .impls
+        .iter()
+        .filter_map(|rep| rep.verdict.stats())
+        .collect();
+    let mut metrics = ProverMetrics {
+        obligations: stats.len(),
+        unknown: stats.iter().filter(|s| s.exhausted.is_some()).count(),
+        ..ProverMetrics::default()
+    };
+    let mut kind_totals: [(QuantKind, u64); 4] = [
+        (QuantKind::RepInclusion, 0),
+        (QuantKind::Inclusion, 0),
+        (QuantKind::Store, 0),
+        (QuantKind::Other, 0),
+    ];
+    let mut merged: HashMap<(QuantKind, String), HotAxiom> = HashMap::new();
+    for s in stats {
+        metrics.instances += s.instances as u64;
+        metrics.trigger_matches += s.trigger_matches;
+        metrics.merges += s.merges;
+        metrics.branches += s.branches;
+        metrics.clauses += s.clauses;
+        metrics.deferred += s.deferred_instances as u64;
+        for q in &s.per_quant {
+            let slot = kind_totals
+                .iter_mut()
+                .find(|(k, _)| *k == q.kind)
+                .expect("all kinds listed");
+            slot.1 += q.instances;
+            let entry = merged
+                .entry((q.kind, q.trigger.clone()))
+                .or_insert_with(|| HotAxiom {
+                    kind: q.kind,
+                    trigger: q.trigger.clone(),
+                    matches: 0,
+                    instances: 0,
+                    deferred: 0,
+                    obligations: 0,
+                });
+            entry.matches += q.matches;
+            entry.instances += q.instances;
+            entry.deferred += q.deferred;
+            entry.obligations += 1;
+        }
+    }
+    metrics.by_kind = kind_totals.to_vec();
+    let mut hottest: Vec<HotAxiom> = merged.into_values().collect();
+    hottest.sort_by(|a, b| {
+        (b.instances + b.deferred)
+            .cmp(&(a.instances + a.deferred))
+            .then_with(|| a.trigger.cmp(&b.trigger))
+    });
+    hottest.retain(|a| a.matches > 0 || a.instances > 0 || a.deferred > 0);
+    metrics.hottest = hottest;
+    metrics
 }
 
 fn count_tokens(source: &str) -> usize {
@@ -149,6 +319,41 @@ mod tests {
             overhead(&elem).spec_tokens,
             overhead(&plain).spec_tokens + 1
         );
+    }
+
+    #[test]
+    fn prover_metrics_aggregate_a_checked_report() {
+        use crate::checker::{CheckOptions, Checker};
+        let p = parse_program(
+            "group value
+             field num in value
+             proc bump(r) modifies r.value
+             impl bump(r) { r.num := r.num + 1 }
+             proc twice(r) modifies r.value
+             impl twice(r) { bump(r) ; bump(r) }",
+        )
+        .unwrap();
+        let report = Checker::new(&p, CheckOptions::default())
+            .unwrap()
+            .check_all();
+        assert!(report.all_verified());
+        let m = prover_metrics(&report);
+        assert_eq!(m.obligations, 2);
+        assert_eq!(m.unknown, 0);
+        assert!(m.instances > 0);
+        assert!(m.trigger_matches >= m.instances);
+        assert!(m.merges > 0);
+        assert_eq!(m.by_kind.len(), 4);
+        let total_by_kind: u64 = m.by_kind.iter().map(|(_, n)| n).sum();
+        assert_eq!(total_by_kind, m.instances);
+        assert!(!m.hottest.is_empty());
+        // Hottest table is sorted by instantiation pressure.
+        for pair in m.hottest.windows(2) {
+            assert!(pair[0].instances + pair[0].deferred >= pair[1].instances + pair[1].deferred);
+        }
+        // Both obligations see the same background axioms, so merged rows
+        // count two obligations each.
+        assert!(m.hottest.iter().any(|a| a.obligations == 2));
     }
 
     #[test]

@@ -104,6 +104,59 @@ pub fn extend_source(base: &str, seed: u64, cfg: &GenConfig) -> String {
     format!("{base}\n{ext}")
 }
 
+/// Generates the source text of a random program whose rep inclusions form
+/// a *cycle* — the shape of the paper's §5 third example (`field next in g
+/// maps g into g`), where an object's representation includes the
+/// representation of another object of the same shape, transitively
+/// through an unbounded heap chain.
+///
+/// These programs are correct (every write and call is licensed by the
+/// modifies clause through the cyclic pivot, exactly as in §5), but their
+/// rep-inclusion axioms admit endless instantiation chains: a starved
+/// prover budget must yield `Unknown` — never a refutation — and the
+/// divergence attribution should rank a rep-inclusion axiom among the
+/// culprits. The differential soundness suite is the consumer.
+///
+/// The seed varies the cycle length (1–3 groups) and benign body
+/// decoration; every generated program parses and analyses (asserted by
+/// tests).
+pub fn generate_cyclic_source(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cycle = rng.gen_range(1..=3usize);
+    let mut out = String::new();
+    for i in 0..cycle {
+        let _ = writeln!(out, "group g{i}");
+    }
+    for i in 0..cycle {
+        // `n{i}` closes the cycle: the rep of the next shape's group is
+        // part of this one's, and after the last link, back to the first.
+        let next = (i + 1) % cycle;
+        let _ = writeln!(out, "field v{i} in g{i}");
+        let _ = writeln!(out, "field n{i} in g{i} maps g{next} into g{i}");
+    }
+    for i in 0..cycle {
+        let _ = writeln!(out, "proc touch{i}(t) modifies t.g{i}");
+    }
+    for i in 0..cycle {
+        let next = (i + 1) % cycle;
+        let _ = writeln!(out, "impl touch{i}(t) {{");
+        let _ = writeln!(out, "  assume t != null ;");
+        if rng.gen_bool(0.5) {
+            let _ = writeln!(out, "  skip ;");
+        }
+        let bump = rng.gen_range(1..=3);
+        let _ = writeln!(out, "  t.v{i} := t.v{i} + {bump} ;");
+        if rng.gen_bool(0.3) {
+            let _ = writeln!(out, "  t.v{i} := 0 - t.v{i} ;");
+        }
+        let _ = writeln!(out, "  if t.n{i} != null then");
+        let _ = writeln!(out, "    touch{next}(t.n{i})");
+        let _ = writeln!(out, "  end");
+        out.push_str("}\n");
+    }
+    out
+}
+
 impl Gen {
     fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.rng.gen_range(0..items.len())]
@@ -466,6 +519,23 @@ mod tests {
             Scope::analyze(&program)
                 .unwrap_or_else(|e| panic!("seed {seed} extension fails analysis: {e}\n{ext}"));
         }
+    }
+
+    #[test]
+    fn cyclic_programs_are_well_formed() {
+        for seed in 0..20 {
+            let src = generate_cyclic_source(seed);
+            let program = parse_program(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} fails to parse: {e}\n{src}"));
+            Scope::analyze(&program)
+                .unwrap_or_else(|e| panic!("seed {seed} fails analysis: {e}\n{src}"));
+            assert!(src.contains("maps"), "the pivot cycle is present");
+        }
+    }
+
+    #[test]
+    fn cyclic_generation_is_deterministic() {
+        assert_eq!(generate_cyclic_source(3), generate_cyclic_source(3));
     }
 
     #[test]

@@ -16,14 +16,94 @@
 use crate::fingerprint::Fingerprint;
 use crate::json::{self, Json};
 use datagroups::Verdict;
-use oolong_prover::Stats;
+use oolong_prover::{QuantKind, QuantProfile, Stats, UnknownReason};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Format version of on-disk entries; mismatched entries are ignored.
-pub const CACHE_FORMAT_VERSION: u64 = 1;
+/// Version 2 added the structured stats members (`exhausted`, `per_quant`)
+/// required to replay prover telemetry bit-for-bit from warm caches.
+pub const CACHE_FORMAT_VERSION: u64 = 2;
+
+/// Full JSON form of prover stats: the scalar counters plus the
+/// structured members ([`Stats::exhausted`], [`Stats::per_quant`]), so a
+/// cache round-trip reproduces the cold run's stats exactly.
+pub fn stats_to_json(stats: &Stats) -> Json {
+    let mut members: Vec<(String, Json)> = stats
+        .to_fields()
+        .into_iter()
+        .map(|(name, value)| (name.to_string(), Json::Int(value as i64)))
+        .collect();
+    members.push((
+        "exhausted".to_string(),
+        match stats.exhausted {
+            Some(reason) => Json::Str(reason.as_str().to_string()),
+            None => Json::Null,
+        },
+    ));
+    members.push((
+        "per_quant".to_string(),
+        Json::Array(stats.per_quant.iter().map(quant_profile_to_json).collect()),
+    ));
+    Json::Object(members)
+}
+
+/// Inverse of [`stats_to_json`].
+pub fn stats_from_json(value: &Json) -> Option<Stats> {
+    let Json::Object(members) = value else {
+        return None;
+    };
+    let mut stats = Stats::from_fields(
+        members
+            .iter()
+            .filter_map(|(k, v)| Some((k.as_str(), v.as_u64()?))),
+    );
+    stats.exhausted = match value.get("exhausted")? {
+        Json::Str(name) => Some(UnknownReason::from_name(name)?),
+        _ => None,
+    };
+    stats.per_quant = value
+        .get("per_quant")?
+        .as_array()?
+        .iter()
+        .map(quant_profile_from_json)
+        .collect::<Option<_>>()?;
+    Some(stats)
+}
+
+fn quant_profile_to_json(q: &QuantProfile) -> Json {
+    Json::Object(vec![
+        ("id".to_string(), Json::Int(q.id as i64)),
+        ("kind".to_string(), Json::Str(q.kind.as_str().to_string())),
+        ("trigger".to_string(), Json::Str(q.trigger.clone())),
+        ("matches".to_string(), Json::Int(q.matches as i64)),
+        ("instances".to_string(), Json::Int(q.instances as i64)),
+        ("deferred".to_string(), Json::Int(q.deferred as i64)),
+        (
+            "chain".to_string(),
+            Json::Array(q.chain.iter().map(|s| Json::Str(s.clone())).collect()),
+        ),
+    ])
+}
+
+fn quant_profile_from_json(value: &Json) -> Option<QuantProfile> {
+    Some(QuantProfile {
+        id: value.get("id")?.as_u64()? as usize,
+        kind: QuantKind::from_name(value.get("kind")?.as_str()?),
+        trigger: value.get("trigger")?.as_str()?.to_string(),
+        matches: value.get("matches")?.as_u64()?,
+        instances: value.get("instances")?.as_u64()?,
+        deferred: value.get("deferred")?.as_u64()?,
+        chain: value
+            .get("chain")?
+            .as_array()?
+            .iter()
+            .map(|s| Some(s.as_str()?.to_string()))
+            .collect::<Option<_>>()?,
+    })
+}
 
 /// A cached prover verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,16 +195,7 @@ impl CachedVerdict {
                 "outcome".to_string(),
                 Json::Str(self.outcome.as_str().to_string()),
             ),
-            (
-                "stats".to_string(),
-                Json::Object(
-                    self.stats
-                        .to_fields()
-                        .into_iter()
-                        .map(|(name, value)| (name.to_string(), Json::Int(value as i64)))
-                        .collect(),
-                ),
-            ),
+            ("stats".to_string(), stats_to_json(&self.stats)),
             (
                 "open_branch".to_string(),
                 match &self.open_branch {
@@ -144,14 +215,7 @@ impl CachedVerdict {
         let fingerprint: Fingerprint = value.get("fingerprint")?.as_str()?.parse().ok()?;
         let proc_name = value.get("proc")?.as_str()?.to_string();
         let outcome = CachedOutcome::from_str(value.get("outcome")?.as_str()?)?;
-        let stats = match value.get("stats")? {
-            Json::Object(members) => Stats::from_fields(
-                members
-                    .iter()
-                    .filter_map(|(k, v)| Some((k.as_str(), v.as_u64()?))),
-            ),
-            _ => return None,
-        };
+        let stats = stats_from_json(value.get("stats")?)?;
         let open_branch = match value.get("open_branch")? {
             Json::Null => None,
             Json::Array(items) => Some(
@@ -269,6 +333,19 @@ mod tests {
             stats: Stats {
                 instances: 17,
                 branches: 3,
+                trigger_matches: 29,
+                merges: 11,
+                clauses: 5,
+                exhausted: Some(UnknownReason::Instances),
+                per_quant: vec![QuantProfile {
+                    id: 0,
+                    kind: QuantKind::RepInclusion,
+                    trigger: "{RepInc(A, F, B)}".to_string(),
+                    matches: 29,
+                    instances: 17,
+                    deferred: 2,
+                    chain: vec!["A := #g, F := #next, B := #g".to_string()],
+                }],
                 ..Stats::default()
             },
             open_branch: Some(vec!["x ≠ null".to_string(), "a = b".to_string()]),

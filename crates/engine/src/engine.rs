@@ -78,8 +78,10 @@ pub struct BatchReport {
     pub obligations: Vec<ObligationReport>,
     /// Units that could not be checked at all.
     pub unit_errors: Vec<UnitError>,
-    /// The structured event log (unit errors, then per-obligation event
-    /// pairs in batch order, then the batch summary).
+    /// The structured event log (unit errors, then per-obligation events
+    /// in batch order — start marker, terminal event, and a
+    /// `prover_profile` when the obligation carries stats — then the
+    /// batch summary).
     pub events: Vec<Event>,
     /// Obligations served from the cache.
     pub cache_hits: usize,
@@ -185,7 +187,7 @@ impl BatchReport {
     }
 }
 
-/// One obligation's result plus its event pair, as produced by a worker.
+/// One obligation's result plus its events, as produced by a worker.
 struct TaskOutcome {
     report: ObligationReport,
     events: Vec<Event>,
@@ -432,6 +434,12 @@ impl Engine {
                     Event::CacheHit {
                         seq,
                         outcome: hit.outcome.as_str(),
+                        stats: hit.stats.clone(),
+                    },
+                    Event::ProverProfile {
+                        seq,
+                        cached: true,
+                        stats: hit.stats.clone(),
                     },
                 ],
                 report: ObligationReport {
@@ -473,8 +481,16 @@ impl Engine {
                 unreachable!("verdict_for_vc only returns prover verdicts")
             }
         };
+        let profile = Event::ProverProfile {
+            seq,
+            cached: false,
+            stats: verdict
+                .stats()
+                .cloned()
+                .expect("prover verdicts carry stats"),
+        };
         TaskOutcome {
-            events: vec![started(Some(fingerprint)), terminal],
+            events: vec![started(Some(fingerprint)), terminal, profile],
             report: ObligationReport {
                 unit: unit.name.clone(),
                 proc_name,

@@ -3,17 +3,21 @@
 //! Every obligation a batch processes emits an `obligation_started` event
 //! followed by exactly one terminal event (`cache_hit`, `verified`,
 //! `refuted`, `fuel_exhausted`, `restriction_violation`, or
-//! `translation_error`); units that fail to parse or analyse emit a
-//! `unit_error`; the batch closes with one `batch_summary`. Rendered as
-//! JSON Lines (one compact object per line), the log is the engine's
-//! observability surface: warm-cache behaviour ("zero prover calls on
-//! unchanged impls") is *verified* by counting terminal event kinds, not
-//! inferred from timings.
+//! `translation_error`); obligations that carry prover stats additionally
+//! emit one `prover_profile` event with the per-axiom instantiation
+//! telemetry; units that fail to parse or analyse emit a `unit_error`; the
+//! batch closes with one `batch_summary`. Rendered as JSON Lines (one
+//! compact object per line), the log is the engine's observability
+//! surface: warm-cache behaviour ("zero prover calls on unchanged impls")
+//! is *verified* by counting terminal event kinds, not inferred from
+//! timings, and warm runs replay the cold run's stats verbatim (cache
+//! hits carry the cached stats).
 //!
 //! Events are ordered by obligation sequence number, not wall-clock
 //! completion, so logs from parallel runs are deterministic up to the
 //! timing fields.
 
+use crate::cache::stats_to_json;
 use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use oolong_prover::Stats;
@@ -38,6 +42,21 @@ pub enum Event {
         seq: usize,
         /// The cached outcome (`proved` / `not_proved` / `unknown`).
         outcome: &'static str,
+        /// The cached prover work counters of the original cold run,
+        /// replayed so warm logs carry the same telemetry as cold ones.
+        stats: Stats,
+    },
+    /// Per-axiom prover telemetry for one obligation: instantiation and
+    /// match counts per quantifier, plus divergence attribution when the
+    /// budget ran out. Emitted after the terminal event of every
+    /// obligation that carries stats — cached or freshly proved.
+    ProverProfile {
+        /// Obligation sequence number.
+        seq: usize,
+        /// Whether the stats were replayed from the cache.
+        cached: bool,
+        /// The prover work counters, including per-quantifier telemetry.
+        stats: Stats,
     },
     /// The prover proved the VC: the implementation verified.
     Verified {
@@ -111,6 +130,7 @@ impl Event {
         match self {
             Event::ObligationStarted { .. } => "obligation_started",
             Event::CacheHit { .. } => "cache_hit",
+            Event::ProverProfile { .. } => "prover_profile",
             Event::Verified { .. } => "verified",
             Event::Refuted { .. } => "refuted",
             Event::FuelExhausted { .. } => "fuel_exhausted",
@@ -165,9 +185,40 @@ impl Event {
                     },
                 ));
             }
-            Event::CacheHit { seq, outcome } => {
+            Event::CacheHit {
+                seq,
+                outcome,
+                stats,
+            } => {
                 members.push(("seq".to_string(), Json::Int(*seq as i64)));
                 members.push(("outcome".to_string(), Json::Str((*outcome).to_string())));
+                members.push(("stats".to_string(), stats_json(stats)));
+            }
+            Event::ProverProfile { seq, cached, stats } => {
+                members.push(("seq".to_string(), Json::Int(*seq as i64)));
+                members.push(("cached".to_string(), Json::Bool(*cached)));
+                members.push((
+                    "exhausted".to_string(),
+                    match stats.exhausted {
+                        Some(reason) => Json::Str(reason.as_str().to_string()),
+                        None => Json::Null,
+                    },
+                ));
+                // The full structured form (scalars + per_quant) — the
+                // JSONL consumer's view of the per-axiom telemetry.
+                members.push(("stats".to_string(), stats_to_json(stats)));
+                if let Some(divergence) = stats.divergence() {
+                    members.push((
+                        "divergence".to_string(),
+                        Json::Array(
+                            divergence
+                                .culprits
+                                .iter()
+                                .map(|c| Json::Str(c.to_string()))
+                                .collect(),
+                        ),
+                    ));
+                }
             }
             Event::Verified { seq, millis, stats } => {
                 members.push(("seq".to_string(), Json::Int(*seq as i64)));
@@ -196,6 +247,13 @@ impl Event {
             Event::FuelExhausted { seq, millis, stats } => {
                 members.push(("seq".to_string(), Json::Int(*seq as i64)));
                 members.push(("millis".to_string(), Json::Float(*millis)));
+                members.push((
+                    "reason".to_string(),
+                    match stats.exhausted {
+                        Some(reason) => Json::Str(reason.as_str().to_string()),
+                        None => Json::Null,
+                    },
+                ));
                 members.push(("stats".to_string(), stats_json(stats)));
             }
             Event::RestrictionViolation { seq, violations } => {
@@ -261,6 +319,15 @@ mod tests {
             Event::CacheHit {
                 seq: 0,
                 outcome: "proved",
+                stats: Stats::default(),
+            },
+            Event::ProverProfile {
+                seq: 0,
+                cached: true,
+                stats: Stats {
+                    exhausted: Some(oolong_prover::UnknownReason::Instances),
+                    ..Stats::default()
+                },
             },
             Event::Verified {
                 seq: 1,

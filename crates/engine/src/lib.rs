@@ -57,7 +57,10 @@ pub mod events;
 pub mod fingerprint;
 pub mod json;
 
-pub use cache::{CachedOutcome, CachedVerdict, VerdictCache, CACHE_FORMAT_VERSION};
+pub use cache::{
+    stats_from_json, stats_to_json, CachedOutcome, CachedVerdict, VerdictCache,
+    CACHE_FORMAT_VERSION,
+};
 pub use engine::{
     unit_report, BatchReport, BatchUnit, Engine, EngineOptions, ObligationReport, UnitError,
 };

@@ -24,16 +24,28 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
-        /// A configuration running `cases` cases.
+        /// A configuration running `cases` cases — unless the
+        /// `PROPTEST_CASES` environment variable overrides it, as in the
+        /// real `proptest`. CI pins the variable so property suites run a
+        /// fixed, reproducible number of cases on every machine.
         pub fn with_cases(cases: u32) -> ProptestConfig {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> ProptestConfig {
-            ProptestConfig { cases: 64 }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(64),
+            }
         }
+    }
+
+    /// The `PROPTEST_CASES` override, when set and parseable.
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
     }
 
     /// A failed property case (the `Err` of a property body).

@@ -37,4 +37,7 @@ pub mod prover;
 pub mod triggers;
 
 pub use egraph::{Conflict, EGraph, NodeId, Sym};
-pub use prover::{prove, refute, Budget, Outcome, Proof, Stats};
+pub use prover::{
+    prove, refute, Budget, Divergence, Outcome, Proof, QuantProfile, Stats, UnknownReason,
+};
+pub use triggers::QuantKind;

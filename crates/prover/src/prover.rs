@@ -23,7 +23,7 @@
 
 use crate::egraph::EGraph;
 use crate::matcher::{match_trigger, match_trigger_anchored, term_of};
-use crate::triggers::infer_triggers;
+use crate::triggers::{classify_quant, infer_triggers, QuantKind};
 use oolong_logic::transform::{to_nnf, FreshGen, Nnf};
 use oolong_logic::{Atom, Formula, Term, Trigger};
 use std::collections::{HashMap, HashSet};
@@ -105,7 +105,155 @@ impl Budget {
     }
 }
 
+/// The budget dimension that tripped when a proof attempt came back
+/// [`Outcome::Unknown`]. Recorded at the *first* exhaustion point of the
+/// search, which is deterministic for a deterministic search order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnknownReason {
+    /// `max_instances` (or a per-round slice of it) ran out.
+    Instances,
+    /// `max_branches` case-split arms were explored.
+    Branches,
+    /// A branch's E-graph grew past `max_nodes`.
+    Nodes,
+    /// Case splitting nested past `max_depth`.
+    Depth,
+    /// `max_rounds` saturation rounds ran without a verdict.
+    Rounds,
+    /// A branch saturated, but only because the matching-generation limit
+    /// (`max_term_gen`) deferred instantiations that might still close it.
+    DeferredInstances,
+}
+
+impl UnknownReason {
+    /// Stable lower-case name, used in cache entries and event logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnknownReason::Instances => "instances",
+            UnknownReason::Branches => "branches",
+            UnknownReason::Nodes => "nodes",
+            UnknownReason::Depth => "depth",
+            UnknownReason::Rounds => "rounds",
+            UnknownReason::DeferredInstances => "deferred-instances",
+        }
+    }
+
+    /// Inverse of [`UnknownReason::as_str`].
+    pub fn from_name(name: &str) -> Option<UnknownReason> {
+        Some(match name {
+            "instances" => UnknownReason::Instances,
+            "branches" => UnknownReason::Branches,
+            "nodes" => UnknownReason::Nodes,
+            "depth" => UnknownReason::Depth,
+            "rounds" => UnknownReason::Rounds,
+            "deferred-instances" => UnknownReason::DeferredInstances,
+            _ => return None,
+        })
+    }
+
+    /// Human phrasing of the exhausted dimension.
+    pub fn describe(self) -> &'static str {
+        match self {
+            UnknownReason::Instances => "instantiation budget exhausted",
+            UnknownReason::Branches => "case-split budget exhausted",
+            UnknownReason::Nodes => "E-graph node budget exhausted",
+            UnknownReason::Depth => "case-split depth limit reached",
+            UnknownReason::Rounds => "saturation round limit reached",
+            UnknownReason::DeferredInstances => "matching-generation limit deferred instantiations",
+        }
+    }
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// Per-quantifier telemetry: one row per structurally distinct quantified
+/// axiom the search registered, keyed by the same stable id used in
+/// `OOLONG_PROVER_TRACE` output (`q0`, `q1`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantProfile {
+    /// Stable structural id of the quantifier.
+    pub id: usize,
+    /// Vocabulary classification (rep inclusion / inclusion / store / other).
+    pub kind: QuantKind,
+    /// Rendered trigger set (empty when the quantifier was inert).
+    pub trigger: String,
+    /// Trigger-match bindings found (before dedup and generation checks).
+    pub matches: u64,
+    /// Instantiations actually asserted.
+    pub instances: u64,
+    /// Instantiations deferred by the matching-generation limit.
+    pub deferred: u64,
+    /// The most recent instantiation bindings (at most three, rendered as
+    /// `v := t` lists): a representative term chain for loop diagnosis.
+    pub chain: Vec<String>,
+}
+
+impl QuantProfile {
+    /// Total matching pressure: performed plus deferred instantiations —
+    /// the sort key for divergence attribution.
+    pub fn pressure(&self) -> u64 {
+        self.instances + self.deferred
+    }
+}
+
+impl fmt::Display for QuantProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "q{} [{}] {}: {} instances, {} matches",
+            self.id,
+            self.kind,
+            if self.trigger.is_empty() {
+                "(no trigger)"
+            } else {
+                &self.trigger
+            },
+            self.instances,
+            self.matches,
+        )?;
+        if self.deferred > 0 {
+            write!(f, ", {} deferred", self.deferred)?;
+        }
+        Ok(())
+    }
+}
+
+/// Divergence attribution: which budget dimension tripped and which
+/// quantified axioms were doing the most instantiation work when it did —
+/// the paper's "loops irrevocably on cyclic rep inclusions" anecdote as a
+/// mechanical report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The dimension that ran out.
+    pub reason: UnknownReason,
+    /// Hottest quantifiers, by [`QuantProfile::pressure`], descending.
+    pub culprits: Vec<QuantProfile>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}; top instantiation culprits:", self.reason)?;
+        for culprit in &self.culprits {
+            writeln!(f, "  {culprit}")?;
+            for step in &culprit.chain {
+                writeln!(f, "    at {step}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Counters describing the work a proof attempt performed.
+///
+/// Everything here is *deterministic* for a given verification condition
+/// and budget (the search is single-threaded with a fixed order), which is
+/// what lets the incremental engine cache stats alongside verdicts and
+/// replay them bit-for-bit on warm runs. Wall time is therefore kept out
+/// of `Stats` — it lives on [`Proof::millis`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Quantifier instantiations performed.
@@ -124,11 +272,24 @@ pub struct Stats {
     pub skipped_quants: usize,
     /// Instantiations deferred by the matching-generation limit.
     pub deferred_instances: usize,
+    /// Trigger-match bindings found across all quantifiers (before dedup
+    /// and generation checks).
+    pub trigger_matches: u64,
+    /// E-graph class merges performed, summed across branches.
+    pub merges: u64,
+    /// Disjunctions registered for case splitting (clause count).
+    pub clauses: u64,
+    /// When the outcome was [`Outcome::Unknown`]: which limit tripped.
+    pub exhausted: Option<UnknownReason>,
+    /// Per-quantifier instantiation telemetry, ordered by stable id.
+    pub per_quant: Vec<QuantProfile>,
 }
 
 impl Stats {
-    /// The counters as named `u64` fields, in a fixed order, for
-    /// structured serialization (cache entries, event logs).
+    /// The scalar counters as named `u64` fields, in a fixed order, for
+    /// structured serialization (cache entries, event logs). The
+    /// non-scalar members — [`Stats::exhausted`] and [`Stats::per_quant`]
+    /// — are serialized separately by their consumers.
     pub fn to_fields(&self) -> Vec<(&'static str, u64)> {
         vec![
             ("instances", self.instances as u64),
@@ -139,6 +300,9 @@ impl Stats {
             ("quants", self.quants as u64),
             ("skipped_quants", self.skipped_quants as u64),
             ("deferred_instances", self.deferred_instances as u64),
+            ("trigger_matches", self.trigger_matches),
+            ("merges", self.merges),
+            ("clauses", self.clauses),
         ]
     }
 
@@ -156,10 +320,38 @@ impl Stats {
                 "quants" => stats.quants = value as usize,
                 "skipped_quants" => stats.skipped_quants = value as usize,
                 "deferred_instances" => stats.deferred_instances = value as usize,
+                "trigger_matches" => stats.trigger_matches = value,
+                "merges" => stats.merges = value,
+                "clauses" => stats.clauses = value,
                 _ => {}
             }
         }
         stats
+    }
+
+    /// The hottest quantifiers by instantiation pressure (performed plus
+    /// deferred), descending, ties broken by stable id. Rows that did no
+    /// matching work are omitted.
+    pub fn top_culprits(&self, n: usize) -> Vec<&QuantProfile> {
+        let mut hot: Vec<&QuantProfile> = self
+            .per_quant
+            .iter()
+            .filter(|q| q.pressure() > 0 || q.matches > 0)
+            .collect();
+        hot.sort_by(|a, b| b.pressure().cmp(&a.pressure()).then(a.id.cmp(&b.id)));
+        hot.truncate(n);
+        hot
+    }
+
+    /// Divergence attribution, present exactly when the proof attempt
+    /// exhausted its budget: the tripped dimension plus the top
+    /// instantiation culprits.
+    pub fn divergence(&self) -> Option<Divergence> {
+        let reason = self.exhausted?;
+        Some(Divergence {
+            reason,
+            culprits: self.top_culprits(5).into_iter().cloned().collect(),
+        })
     }
 }
 
@@ -167,12 +359,16 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "instances={} branches={} rounds={} depth={} peak_nodes={} quants={} deferred={}",
+            "instances={} matches={} branches={} rounds={} depth={} peak_nodes={} merges={} \
+             clauses={} quants={} deferred={}",
             self.instances,
+            self.trigger_matches,
             self.branches,
             self.rounds,
             self.max_depth,
             self.peak_nodes,
+            self.merges,
+            self.clauses,
             self.quants,
             self.deferred_instances
         )
@@ -188,8 +384,16 @@ pub enum Outcome {
     /// derivable with the available instantiations (for the checker this
     /// means *reject*).
     NotProved,
-    /// The budget was exhausted before a verdict.
-    Unknown,
+    /// The budget was exhausted before a verdict; the payload records
+    /// which limit tripped first.
+    Unknown(UnknownReason),
+}
+
+impl Outcome {
+    /// Whether this is an [`Outcome::Unknown`] of any dimension.
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Outcome::Unknown(_))
+    }
 }
 
 impl fmt::Display for Outcome {
@@ -197,7 +401,7 @@ impl fmt::Display for Outcome {
         match self {
             Outcome::Proved => write!(f, "proved"),
             Outcome::NotProved => write!(f, "not proved"),
-            Outcome::Unknown => write!(f, "unknown (budget exhausted)"),
+            Outcome::Unknown(reason) => write!(f, "unknown ({reason})"),
         }
     }
 }
@@ -213,12 +417,21 @@ pub struct Proof {
     /// literals of the first saturated open branch (a model sketch), for
     /// diagnosing why the conjecture failed.
     pub open_branch: Option<Vec<String>>,
+    /// Wall-clock time of the attempt, in milliseconds. Deliberately not
+    /// part of [`Stats`]: stats must be deterministic and cache-replayable.
+    pub millis: f64,
 }
 
 impl Proof {
     /// Whether the conjecture was proved valid.
     pub fn is_proved(&self) -> bool {
         self.outcome == Outcome::Proved
+    }
+
+    /// Divergence attribution when the budget was exhausted (see
+    /// [`Stats::divergence`]).
+    pub fn divergence(&self) -> Option<Divergence> {
+        self.stats.divergence()
     }
 }
 
@@ -236,10 +449,13 @@ pub fn prove(hypotheses: &[Formula], goal: &Formula, budget: &Budget) -> Proof {
 /// Refutes a conjunction of NNF formulas: [`Outcome::Proved`] means the
 /// conjunction is unsatisfiable.
 pub fn refute(parts: Vec<Nnf>, budget: &Budget) -> Proof {
+    let start = std::time::Instant::now();
     let mut shared = Shared {
         budget: budget.clone(),
         stats: Stats::default(),
         quant_ids: HashMap::new(),
+        quant_meta: Vec::new(),
+        fuel: None,
         open_branch: None,
     };
     let mut ctx = Ctx {
@@ -257,12 +473,43 @@ pub fn refute(parts: Vec<Nnf>, budget: &Budget) -> Proof {
     let outcome = match search(&mut ctx, 0, &mut shared) {
         Branch::Closed => Outcome::Proved,
         Branch::Open => Outcome::NotProved,
-        Branch::Fuel => Outcome::Unknown,
+        Branch::Fuel => Outcome::Unknown(shared.fuel.unwrap_or(UnknownReason::Instances)),
     };
+    let mut stats = shared.stats;
+    stats.exhausted = match outcome {
+        Outcome::Unknown(reason) => Some(reason),
+        _ => None,
+    };
+    stats.per_quant = shared
+        .quant_meta
+        .into_iter()
+        .enumerate()
+        .map(|(id, meta)| QuantProfile {
+            id,
+            kind: meta.kind,
+            trigger: meta.trigger,
+            matches: meta.matches,
+            instances: meta.instances,
+            deferred: meta.deferred,
+            chain: meta
+                .recent
+                .iter()
+                .map(|terms| {
+                    meta.vars
+                        .iter()
+                        .zip(terms)
+                        .map(|(v, t)| format!("{v} := {t}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .collect(),
+        })
+        .collect();
     Proof {
         outcome,
-        stats: shared.stats,
+        stats,
         open_branch: shared.open_branch,
+        millis: start.elapsed().as_secs_f64() * 1_000.0,
     }
 }
 
@@ -280,8 +527,36 @@ struct Shared {
     stats: Stats,
     /// Stable ids for structurally identical quantifiers.
     quant_ids: HashMap<(Vec<String>, Nnf), usize>,
+    /// Per-quantifier telemetry, indexed by stable id (kept in lockstep
+    /// with `quant_ids`).
+    quant_meta: Vec<QuantMeta>,
+    /// The first budget dimension that ran out, if any.
+    fuel: Option<UnknownReason>,
     /// Literals of the first saturated open branch.
     open_branch: Option<Vec<String>>,
+}
+
+/// Accumulating telemetry for one quantifier (rendered to a
+/// [`QuantProfile`] when the search finishes).
+struct QuantMeta {
+    kind: QuantKind,
+    trigger: String,
+    vars: Vec<String>,
+    matches: u64,
+    instances: u64,
+    deferred: u64,
+    /// Ring of the most recent instantiation bindings (capacity
+    /// [`CHAIN_LEN`]): the representative term chain for loop diagnosis.
+    recent: Vec<Vec<Term>>,
+}
+
+/// How many recent instantiation bindings each quantifier retains.
+const CHAIN_LEN: usize = 3;
+
+/// Records the first exhausted budget dimension and reports fuel-out.
+fn out_of_fuel(shared: &mut Shared, reason: UnknownReason) -> Branch {
+    shared.fuel.get_or_insert(reason);
+    Branch::Fuel
 }
 
 #[derive(Clone)]
@@ -317,9 +592,18 @@ struct Ctx {
 }
 
 fn search(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
+    // Frame-delta merge accounting: each child branch clones the E-graph,
+    // so counting each frame's own growth sums every merge exactly once.
+    let merges_at_entry = ctx.eg.merge_count();
+    let verdict = search_frame(ctx, depth, shared);
+    shared.stats.merges += ctx.eg.merge_count().saturating_sub(merges_at_entry);
+    verdict
+}
+
+fn search_frame(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
     shared.stats.max_depth = shared.stats.max_depth.max(depth);
     if depth >= shared.budget.max_depth {
-        return Branch::Fuel;
+        return out_of_fuel(shared, UnknownReason::Depth);
     }
     loop {
         // 1. Assert all pending facts.
@@ -343,7 +627,7 @@ fn search(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
         //    once per branch.
         shared.stats.rounds += 1;
         if shared.stats.rounds > shared.budget.max_rounds {
-            return Branch::Fuel;
+            return out_of_fuel(shared, UnknownReason::Rounds);
         }
         match instantiate_round(ctx, shared) {
             InstResult::Progress => continue,
@@ -358,7 +642,7 @@ fn search(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
             for arm in arms {
                 shared.stats.branches += 1;
                 if shared.stats.branches > shared.budget.max_branches {
-                    return Branch::Fuel;
+                    return out_of_fuel(shared, UnknownReason::Branches);
                 }
                 if trace_enabled() {
                     eprintln!("[{:indent$}branch {arm}]", "", indent = depth.min(20));
@@ -390,7 +674,7 @@ fn search(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
         if ctx.deferred {
             // Instantiation was incomplete: the branch may yet be
             // contradictory at a deeper matching generation.
-            return Branch::Fuel;
+            return out_of_fuel(shared, UnknownReason::DeferredInstances);
         }
         if shared.open_branch.is_none() {
             shared.open_branch = Some(describe_branch(ctx));
@@ -411,13 +695,17 @@ fn drain_pending(ctx: &mut Ctx, shared: &mut Shared) -> Step {
             Nnf::True => {}
             Nnf::False => return Step::Conflict,
             Nnf::And(parts) => ctx.pending.extend(parts.into_iter().map(|p| (p, gen))),
-            Nnf::Or(parts) => ctx.splits.push((parts, gen)),
+            Nnf::Or(parts) => {
+                shared.stats.clauses += 1;
+                ctx.splits.push((parts, gen));
+            }
             Nnf::Lit { atom, positive } => {
                 ctx.eg.set_generation(gen);
                 if assert_lit(&mut ctx.eg, &atom, positive).is_err() {
                     return Step::Conflict;
                 }
                 if ctx.eg.node_count() > shared.budget.max_nodes {
+                    shared.fuel.get_or_insert(UnknownReason::Nodes);
                     return Step::Fuel;
                 }
                 shared.stats.peak_nodes = shared.stats.peak_nodes.max(ctx.eg.node_count());
@@ -459,6 +747,23 @@ fn register_quant(
     } else {
         triggers
     };
+    if id == shared.quant_meta.len() {
+        // First registration of this structural quantifier anywhere in the
+        // search: record its telemetry row.
+        shared.quant_meta.push(QuantMeta {
+            kind: classify_quant(&triggers, &body),
+            trigger: triggers
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" "),
+            vars: vars.clone(),
+            matches: 0,
+            instances: 0,
+            deferred: 0,
+            recent: Vec::new(),
+        });
+    }
     if trace_enabled() {
         eprintln!(
             "[quant q{id} ∀{} {} :: {body}]",
@@ -683,6 +988,8 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                 }
                 out
             };
+            shared.stats.trigger_matches += bindings.len() as u64;
+            shared.quant_meta[quant.id].matches += bindings.len() as u64;
             for binding in bindings {
                 let binding_gen = quant
                     .vars
@@ -694,6 +1001,7 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                 if instance_gen > shared.budget.max_term_gen {
                     ctx.deferred = true;
                     shared.stats.deferred_instances += 1;
+                    shared.quant_meta[quant.id].deferred += 1;
                     continue;
                 }
                 let mut aliases = Vec::new();
@@ -711,6 +1019,7 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                 // leafless cyclic classes.
                 for (alias, root) in aliases {
                     let Ok(alias_id) = ctx.eg.intern(&alias) else {
+                        shared.fuel.get_or_insert(UnknownReason::Instances);
                         return PassResult::Fuel;
                     };
                     if ctx.eg.merge(alias_id, root).is_err() {
@@ -729,7 +1038,15 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                 ctx.pending.push((quant.body.subst(&map), instance_gen));
                 produced += 1;
                 shared.stats.instances += 1;
+                let meta = &mut shared.quant_meta[quant.id];
+                meta.instances += 1;
+                if meta.recent.len() == CHAIN_LEN {
+                    meta.recent.remove(0);
+                }
+                meta.recent
+                    .push(map.iter().map(|(_, t)| t.clone()).collect());
                 if shared.stats.instances >= shared.budget.max_instances {
+                    shared.fuel.get_or_insert(UnknownReason::Instances);
                     return PassResult::Fuel;
                 }
                 if produced >= shared.budget.max_instances_per_round {
@@ -898,8 +1215,79 @@ mod tests {
         let seed = F::eq(T::uninterp("f", vec![T::var("c")]), T::var("d"));
         // Unprovable goal, diverging instantiation: tiny budget gives Unknown.
         let p = prove(&[hyp, seed], &F::False, &Budget::tiny());
-        assert_eq!(p.outcome, Outcome::Unknown);
+        assert!(p.outcome.is_unknown(), "outcome: {}", p.outcome);
         assert!(p.stats.instances > 0);
+        // The divergence attributor names the looping axiom.
+        let divergence = p.divergence().expect("unknown proofs attribute divergence");
+        assert!(!divergence.culprits.is_empty());
+        let culprit = &divergence.culprits[0];
+        assert!(culprit.instances > 0);
+        assert!(
+            !culprit.chain.is_empty(),
+            "culprits carry a representative term chain"
+        );
+        assert!(
+            culprit.trigger.contains('f'),
+            "trigger: {}",
+            culprit.trigger
+        );
+    }
+
+    #[test]
+    fn unknown_display_names_the_exhausted_dimension() {
+        assert_eq!(
+            Outcome::Unknown(UnknownReason::Instances).to_string(),
+            "unknown (instantiation budget exhausted)"
+        );
+        assert_eq!(
+            Outcome::Unknown(UnknownReason::Branches).to_string(),
+            "unknown (case-split budget exhausted)"
+        );
+        assert_eq!(
+            Outcome::Unknown(UnknownReason::DeferredInstances).to_string(),
+            "unknown (matching-generation limit deferred instantiations)"
+        );
+    }
+
+    #[test]
+    fn unknown_reason_names_round_trip() {
+        for reason in [
+            UnknownReason::Instances,
+            UnknownReason::Branches,
+            UnknownReason::Nodes,
+            UnknownReason::Depth,
+            UnknownReason::Rounds,
+            UnknownReason::DeferredInstances,
+        ] {
+            assert_eq!(UnknownReason::from_name(reason.as_str()), Some(reason));
+        }
+        assert_eq!(UnknownReason::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn stats_scalar_fields_round_trip() {
+        let body = F::eq(T::uninterp("f", vec![T::var("X")]), T::int(0));
+        let trig = Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))]);
+        let hyp = F::forall(vec!["X".into()], vec![trig], body);
+        // The chain a = b = c forces benign merges before the goal closes.
+        let chain = [
+            F::eq(T::var("a"), T::var("b")),
+            F::eq(T::var("b"), T::var("c")),
+            F::eq(T::uninterp("f", vec![T::var("a")]), T::var("a")),
+        ];
+        let goal = F::eq(T::uninterp("f", vec![T::var("c")]), T::int(0));
+        let mut hyps = vec![hyp];
+        hyps.extend(chain);
+        let p = prove(&hyps, &goal, &Budget::default());
+        let rebuilt = Stats::from_fields(p.stats.to_fields());
+        // Scalars round-trip; the structured members are serialized
+        // separately by the cache.
+        assert_eq!(rebuilt.instances, p.stats.instances);
+        assert_eq!(rebuilt.trigger_matches, p.stats.trigger_matches);
+        assert_eq!(rebuilt.merges, p.stats.merges);
+        assert_eq!(rebuilt.clauses, p.stats.clauses);
+        assert!(p.stats.merges > 0, "asserting literals merges classes");
+        assert!(p.stats.trigger_matches >= p.stats.instances as u64);
     }
 
     #[test]

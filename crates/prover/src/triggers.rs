@@ -8,6 +8,131 @@
 use oolong_logic::transform::Nnf;
 use oolong_logic::{Atom, FnSym, Pattern, Term, Trigger};
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// Coarse classification of a quantified axiom by the theory vocabulary it
+/// mentions. The prover's telemetry uses this to attribute divergence to a
+/// *family* of axioms: the paper's §5 diagnosis hinges on distinguishing
+/// the rep-inclusion axioms (whose cyclic instances make Simplify "loop
+/// irrevocably") from ordinary store/allocation reasoning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantKind {
+    /// Mentions the rep inclusion relation (`→F` / `⇉F`): the axioms whose
+    /// instances chain along `maps … into` declarations.
+    RepInclusion,
+    /// Mentions the inclusion relation on locations (`≽`) or local
+    /// inclusion on attributes (`⊒`), but no rep inclusions.
+    Inclusion,
+    /// Mentions store or allocation vocabulary
+    /// (`select`/`update`/`new`/`succ`/`alive`) only.
+    Store,
+    /// Anything else: arithmetic, program-specific facts, Skolem axioms.
+    Other,
+}
+
+impl QuantKind {
+    /// Stable lower-case name, used in cache entries and event logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QuantKind::RepInclusion => "rep-inclusion",
+            QuantKind::Inclusion => "inclusion",
+            QuantKind::Store => "store",
+            QuantKind::Other => "other",
+        }
+    }
+
+    /// Inverse of [`QuantKind::as_str`]; unknown names map to `Other`.
+    pub fn from_name(name: &str) -> QuantKind {
+        match name {
+            "rep-inclusion" => QuantKind::RepInclusion,
+            "inclusion" => QuantKind::Inclusion,
+            "store" => QuantKind::Store,
+            _ => QuantKind::Other,
+        }
+    }
+}
+
+impl fmt::Display for QuantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Classifies `∀ vars [triggers] :: body` by the strongest theory
+/// vocabulary appearing in its body or trigger patterns: rep inclusion
+/// dominates inclusion, which dominates store reasoning.
+pub fn classify_quant(triggers: &[Trigger], body: &Nnf) -> QuantKind {
+    #[derive(Default)]
+    struct Vocab {
+        rep: bool,
+        inc: bool,
+        store: bool,
+    }
+    fn check_term(t: &Term, vocab: &mut Vocab) {
+        let mut store = vocab.store;
+        t.walk(&mut |sub| {
+            if let Term::App(f, _) = sub {
+                if matches!(f, FnSym::Select | FnSym::Update | FnSym::New | FnSym::Succ) {
+                    store = true;
+                }
+            }
+        });
+        vocab.store = store;
+    }
+    fn check_atom(atom: &Atom, vocab: &mut Vocab) {
+        match atom {
+            Atom::RepInc { .. } | Atom::RepIncElem { .. } => vocab.rep = true,
+            Atom::Inc { .. } | Atom::LocalInc(..) => vocab.inc = true,
+            Atom::Alive(..) => vocab.store = true,
+            _ => {}
+        }
+        let mut store = vocab.store;
+        atom.for_each_term(&mut |t| {
+            t.walk(&mut |sub| {
+                if let Term::App(f, _) = sub {
+                    if matches!(f, FnSym::Select | FnSym::Update | FnSym::New | FnSym::Succ) {
+                        store = true;
+                    }
+                }
+            });
+        });
+        vocab.store = store;
+    }
+    let mut vocab = Vocab::default();
+    visit_atoms(body, &mut |atom| check_atom(atom, &mut vocab));
+    for trigger in triggers {
+        for pattern in &trigger.0 {
+            match pattern {
+                Pattern::Atom(atom) => check_atom(atom, &mut vocab),
+                Pattern::Term(term) => check_term(term, &mut vocab),
+            }
+        }
+    }
+    if vocab.rep {
+        QuantKind::RepInclusion
+    } else if vocab.inc {
+        QuantKind::Inclusion
+    } else if vocab.store {
+        QuantKind::Store
+    } else {
+        QuantKind::Other
+    }
+}
+
+/// Applies `f` to every atom of an NNF body, including under nested
+/// quantifiers.
+fn visit_atoms(body: &Nnf, f: &mut impl FnMut(&Atom)) {
+    match body {
+        Nnf::True | Nnf::False => {}
+        Nnf::Lit { atom, .. } => f(atom),
+        Nnf::And(parts) | Nnf::Or(parts) => {
+            for p in parts {
+                visit_atoms(p, f);
+            }
+        }
+        Nnf::Forall { body, .. } => visit_atoms(body, f),
+    }
+}
 
 /// Infers triggers for `∀ vars :: body`. Returns an empty vector when no
 /// usable trigger exists (the quantifier is then inert).

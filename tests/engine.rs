@@ -132,6 +132,72 @@ fn warm_batch_makes_no_prover_calls() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Collects the `prover_profile` event of every obligation from a JSONL
+/// log, as `(seq, cached, rendered stats object)`.
+fn profile_events(jsonl: &str) -> Vec<(u64, bool, String)> {
+    jsonl
+        .lines()
+        .map(|line| json::parse(line).expect("event line parses"))
+        .filter(|v| v.get("event").and_then(Json::as_str) == Some("prover_profile"))
+        .map(|v| {
+            let seq = v.get("seq").and_then(Json::as_u64).expect("seq");
+            let cached = matches!(v.get("cached"), Some(Json::Bool(true)));
+            let stats = v.get("stats").expect("stats").render();
+            (seq, cached, stats)
+        })
+        .collect()
+}
+
+/// Warm rechecks replay the cold run's prover telemetry from the cache:
+/// the warm event log carries a `prover_profile` event per fingerprinted
+/// obligation whose stats — scalars, exhausted dimension, and per-axiom
+/// profile — are byte-identical to the cold run's, while the prover is
+/// never called.
+#[test]
+fn warm_recheck_replays_prover_stats_from_the_event_log() {
+    let dir = std::env::temp_dir().join(format!("oolong-replay-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let units = corpus_units();
+    let disk = |dir: &std::path::Path| {
+        Engine::new(EngineOptions {
+            cache_dir: Some(dir.to_path_buf()),
+            ..EngineOptions::default()
+        })
+        .expect("disk-backed engine")
+    };
+    let cold_profiles = {
+        let cold = disk(&dir).check_batch(&units);
+        assert!(cold.prover_calls > 0);
+        profile_events(&cold.events_jsonl())
+    };
+    // A fresh engine over the same directory: the replayed stats come off
+    // disk, through the cache format, not from process memory.
+    let warm = disk(&dir).check_batch(&units);
+    assert_eq!(warm.prover_calls, 0, "warm runs never reach the prover");
+    let warm_profiles = profile_events(&warm.events_jsonl());
+
+    // The cold run proves most obligations live but may already hit the
+    // cache on duplicates (identical impls across corpus units); the warm
+    // run replays every one of them. Either way, the telemetry per
+    // obligation must be byte-identical.
+    assert!(
+        cold_profiles.iter().any(|(_, cached, _)| !cached),
+        "the cold run profiles live prover work"
+    );
+    assert_eq!(warm_profiles.len(), cold_profiles.len());
+    for ((cold_seq, _, cold_stats), (warm_seq, warm_cached, warm_stats)) in
+        cold_profiles.iter().zip(&warm_profiles)
+    {
+        assert_eq!(cold_seq, warm_seq, "profiles pair up by obligation");
+        assert!(warm_cached, "warm profiles are marked as replayed");
+        assert_eq!(
+            cold_stats, warm_stats,
+            "obligation {cold_seq}: replayed stats differ from the cold run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Editing one procedure's modifies clause re-runs exactly the obligations
 /// whose VCs depend on it: the edited procedure itself and its callers.
 /// Unrelated implementations in the same scope keep their fingerprints and

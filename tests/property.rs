@@ -101,6 +101,73 @@ proptest! {
     }
 }
 
+// ------------------------------------------------ prover stats invariants
+
+/// The verification conditions of a generated cyclic-rep program (the
+/// prover telemetry's stress shape: rep-inclusion axioms that can
+/// instantiate forever).
+fn cyclic_vcs(seed: u64) -> Vec<(Vec<Formula>, Formula)> {
+    use oolong::datagroups::{CheckOptions, Checker};
+    let source = oolong::corpus::generate_cyclic_source(seed);
+    let program = parse_program(&source).expect("cyclic source parses");
+    let checker = Checker::new(&program, CheckOptions::default()).expect("analyses");
+    let impls: Vec<_> = checker.scope().impls().map(|(id, _)| id).collect();
+    impls
+        .into_iter()
+        .map(|id| {
+            let vc = checker.vc(id).expect("vc generates");
+            (vc.hypotheses, vc.goal)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Prover stats are a pure function of (VC, budget): two runs of the
+    /// same obligation agree on *every* counter, including the per-axiom
+    /// profile. This is the contract that lets the engine cache stats and
+    /// replay them from the event log on warm runs.
+    #[test]
+    fn prover_stats_are_deterministic(seed in 0u64..500) {
+        let budget = Budget::tiny();
+        for (hyps, goal) in cyclic_vcs(seed) {
+            let first = prove(&hyps, &goal, &budget);
+            let second = prove(&hyps, &goal, &budget);
+            prop_assert_eq!(first.outcome, second.outcome);
+            // `Stats` is `Eq`: this compares the scalar counters, the
+            // exhausted dimension, and the full per-quantifier profile.
+            prop_assert_eq!(first.stats, second.stats);
+        }
+    }
+
+    /// Instantiation counts are monotone in the instantiation budget: the
+    /// search is deterministic and a budget check only ever *cuts off* the
+    /// search, so a run with a smaller `max_instances` performs a prefix
+    /// of the work of a run with a larger one.
+    #[test]
+    fn instantiation_counts_are_monotone_in_budget(
+        seed in 0u64..500,
+        small in 4usize..40,
+        extra in 1usize..200,
+    ) {
+        let mut lean = Budget::tiny();
+        lean.max_instances = small;
+        let mut roomy = lean.clone();
+        roomy.max_instances = small + extra;
+        for (hyps, goal) in cyclic_vcs(seed) {
+            let starved = prove(&hyps, &goal, &lean);
+            let fed = prove(&hyps, &goal, &roomy);
+            prop_assert!(
+                starved.stats.instances <= fed.stats.instances,
+                "instances fell from {} to {} when max_instances grew {} -> {}",
+                starved.stats.instances, fed.stats.instances,
+                lean.max_instances, roomy.max_instances
+            );
+        }
+    }
+}
+
 // ------------------------------------------- congruence closure vs naive
 
 proptest! {

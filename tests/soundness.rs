@@ -113,6 +113,83 @@ fn generated_larger_programs_are_sound() {
     }
 }
 
+/// Differential soundness under budget starvation: cyclic rep inclusions
+/// (the paper's §5 third example, generalised to random pivot cycles) give
+/// the prover endless instantiation chains, so a starved budget must come
+/// back `unknown` — with a divergence attribution that names the axioms
+/// that consumed the budget — and *never* refute a correct program. The
+/// same programs under the regular differential budget then go through
+/// `assert_sound`, tying the static verdict back to the runtime monitor.
+#[test]
+fn starved_cyclic_rep_programs_diverge_soundly() {
+    use oolong::prover::{Budget, QuantKind};
+
+    let mut saw_rep_culprit = false;
+    let mut saw_unknown = false;
+    for seed in 0..12 {
+        let source = corpus::generate_cyclic_source(seed);
+        let program = parse_program(&source).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let options = CheckOptions {
+            budget: Budget::tiny(),
+            ..CheckOptions::default()
+        };
+        let checker =
+            Checker::new(&program, options).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        for rep in &checker.check_all().impls {
+            // Running out of budget must surface as `unknown`, never as a
+            // refutation: every write and call in these programs is
+            // licensed through the pivot cycle.
+            assert!(
+                !matches!(rep.verdict, oolong::datagroups::Verdict::NotVerified(..)),
+                "seed {seed}: starved budget refuted correct impl {}: {}",
+                rep.proc_name,
+                rep.verdict
+            );
+            let Some(divergence) = rep.verdict.divergence() else {
+                continue;
+            };
+            saw_unknown = true;
+            assert!(
+                !divergence.culprits.is_empty(),
+                "seed {seed}: unknown verdict for {} without culprits",
+                rep.proc_name
+            );
+            // The full per-axiom profile must show the rep-inclusion
+            // axioms doing instantiation work — they are the loop.
+            let stats = rep.verdict.stats().expect("unknown verdicts carry stats");
+            assert!(
+                stats
+                    .per_quant
+                    .iter()
+                    .any(|q| q.kind == QuantKind::RepInclusion && q.instances > 0),
+                "seed {seed}: no rep-inclusion instantiations recorded for {}",
+                rep.proc_name
+            );
+            if divergence
+                .culprits
+                .iter()
+                .any(|c| c.kind == QuantKind::RepInclusion)
+            {
+                saw_rep_culprit = true;
+            }
+        }
+    }
+    assert!(
+        saw_unknown,
+        "the tiny budget must starve some cyclic program"
+    );
+    assert!(
+        saw_rep_culprit,
+        "divergence attribution must name a rep-inclusion axiom as a culprit"
+    );
+    // The other side of the differential: with a real budget the same
+    // programs verify, and verified means the runtime monitor stays quiet.
+    for seed in 0..6 {
+        let source = corpus::generate_cyclic_source(seed);
+        assert_sound(&format!("cyclic-{seed}"), &source, 8);
+    }
+}
+
 /// The inverse direction as a sanity check on the test itself: programs
 /// that the *naive* checker wrongly approves do produce runtime assertion
 /// failures (see `examples/unsound_naive.rs` for the full narrative).

@@ -1,0 +1,79 @@
+//! E15: trail-based backtracking search vs the clone-per-branch
+//! reference.
+//!
+//! The prover explores case splits by checkpointing the E-graph with an
+//! undo trail (`push`/`pop`), where the seed cloned the entire search
+//! context for every branch arm. Both strategies execute the identical
+//! search — the differential suite asserts outcome and counter equality —
+//! so the gap between the groups here is purely the cost of cloning
+//! E-graphs versus unwinding trails. Branch-heavy programs (chains of
+//! guarded choices, 2^depth paths per VC) make that gap the dominant
+//! cost; the paper corpus' §5 example is included as a low-branching
+//! baseline where the two should be close.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagroups::{CheckOptions, Checker};
+use oolong_corpus::{generate_branchy_source, paper};
+use oolong_prover::SearchStrategy;
+use oolong_syntax::parse_program;
+
+fn check_with(program: &oolong_syntax::Program, strategy: SearchStrategy) -> u64 {
+    let options = CheckOptions {
+        strategy,
+        ..CheckOptions::default()
+    };
+    let report = Checker::new(program, options)
+        .expect("analyses")
+        .check_all();
+    let stats = report.impls[0].verdict.stats().expect("prover ran");
+    assert!(report.all_verified(), "bench programs verify");
+    stats.branches
+}
+
+/// E15a: branch-heavy verification, trail vs clone, by choice depth.
+fn e15_branchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_branchy");
+    group.sample_size(10);
+    for depth in [4usize, 5, 6] {
+        let source = generate_branchy_source(1, depth);
+        let program = parse_program(&source).expect("parses");
+        for (label, strategy) in [
+            ("trail", SearchStrategy::Trail),
+            ("clone", SearchStrategy::CloneSearch),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("depth{depth}")),
+                &program,
+                |b, program| {
+                    b.iter(|| check_with(program, strategy));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// E15b: the paper's §5 cyclic example — few splits, so the strategies
+/// should be near-indistinguishable (the trail must not tax the
+/// straight-line search it replaced cloning for).
+fn e15_paper_baseline(c: &mut Criterion) {
+    let program = parse_program(paper::EXAMPLE3.source).expect("parses");
+    let mut group = c.benchmark_group("e15_paper_baseline");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("trail", SearchStrategy::Trail),
+        ("clone", SearchStrategy::CloneSearch),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &program,
+            |b, program| {
+                b.iter(|| check_with(program, strategy));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e15_branchy, e15_paper_baseline);
+criterion_main!(benches);

@@ -22,6 +22,7 @@
 use datagroups::{overhead, prover_metrics, CheckOptions, Checker};
 use oolong_engine::{BatchUnit, Engine, EngineOptions, Json};
 use oolong_interp::{ExecConfig, Interp, RngOracle, RunOutcome};
+use oolong_prover::SearchStrategy;
 use oolong_sema::Scope;
 use oolong_syntax::parse_program;
 use std::path::{Path, PathBuf};
@@ -44,9 +45,10 @@ fn usage() -> String {
     "usage:
   oolong check   <file|corpus:NAME> [--modular] [--naive] [--null-checks] [--explain]
                  [--explain-unknown] [--json] [--max-instances N] [--max-gen N]
+                 [--clone-search]
   oolong batch   <files|corpus:NAMEs...> [--cache-dir DIR] [--no-cache] [--workers N]
                  [--events PATH] [--json] [--naive] [--null-checks]
-                 [--max-instances N] [--max-gen N]
+                 [--max-instances N] [--max-gen N] [--clone-search]
   oolong recheck [--cache-dir DIR] [--events PATH] [--json]
   oolong run     <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
   oolong vc      <file|corpus:NAME> [--proc NAME]
@@ -150,6 +152,9 @@ fn check_options(args: &[String]) -> Result<CheckOptions, String> {
     }
     if let Some(n) = opt_value(args, "--max-gen") {
         options.budget.max_term_gen = n.parse().map_err(|_| "bad --max-gen")?;
+    }
+    if flag(args, "--clone-search") {
+        options.strategy = SearchStrategy::CloneSearch;
     }
     Ok(options)
 }
@@ -559,6 +564,15 @@ fn prover_metrics_json(metrics: &datagroups::ProverMetrics) -> Json {
         ("branches".to_string(), Json::Int(metrics.branches as i64)),
         ("clauses".to_string(), Json::Int(metrics.clauses as i64)),
         ("deferred".to_string(), Json::Int(metrics.deferred as i64)),
+        ("pops".to_string(), Json::Int(metrics.pops as i64)),
+        (
+            "undone_merges".to_string(),
+            Json::Int(metrics.undone_merges as i64),
+        ),
+        (
+            "trail_depth_max".to_string(),
+            Json::Int(metrics.trail_depth_max as i64),
+        ),
         (
             "by_kind".to_string(),
             Json::Object(

@@ -4,13 +4,13 @@
 
 use crate::restrict::check_pivot_uniqueness;
 use crate::vcgen::{Vc, VcGen, VcOptions};
-use oolong_prover::{prove, Budget, Outcome, Stats};
+use oolong_prover::{prove_with_strategy, Budget, Outcome, SearchStrategy, Stats};
 use oolong_sema::{ImplId, Scope};
 use oolong_syntax::{Diagnostic, Diagnostics, Program};
 use std::fmt;
 
 /// Configuration for a [`Checker`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CheckOptions {
     /// Prover resource limits.
     pub budget: Budget,
@@ -25,6 +25,24 @@ pub struct CheckOptions {
     /// Check at the arrays language level even when the scope uses no
     /// array features (for linking against arrays-level modules).
     pub force_arrays_level: bool,
+    /// How the prover backtracks out of case splits. The default
+    /// ([`SearchStrategy::Trail`], unless overridden by the
+    /// `OOLONG_PROVER_CLONE_SEARCH` environment variable) is right for
+    /// everything except differential testing and benchmarking of the
+    /// backtracking mechanism itself.
+    pub strategy: SearchStrategy,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            budget: Budget::default(),
+            naive: false,
+            null_checks: false,
+            force_arrays_level: false,
+            strategy: SearchStrategy::from_env(),
+        }
+    }
 }
 
 /// The verdict for one implementation.
@@ -242,7 +260,12 @@ impl Checker {
     /// Proves an already-generated verification condition and maps the
     /// proof outcome to a [`Verdict`].
     pub fn verdict_for_vc(&self, vc: &Vc) -> Verdict {
-        let proof = prove(&vc.hypotheses, &vc.goal, &self.options.budget);
+        let proof = prove_with_strategy(
+            &vc.hypotheses,
+            &vc.goal,
+            &self.options.budget,
+            self.options.strategy,
+        );
         match proof.outcome {
             Outcome::Proved => Verdict::Verified(proof.stats),
             Outcome::NotProved => Verdict::NotVerified(proof.stats, proof.open_branch),

@@ -111,6 +111,12 @@ pub struct ProverMetrics {
     pub clauses: u64,
     /// Total instantiations deferred by the matching-generation limit.
     pub deferred: u64,
+    /// Total backtracking checkpoints unwound (trail-mode search).
+    pub pops: u64,
+    /// Total E-graph merges rolled back by backtracking (trail mode).
+    pub undone_merges: u64,
+    /// Deepest undo trail across all obligations (trail mode).
+    pub trail_depth_max: u64,
     /// Instantiations per axiom kind, in a fixed order
     /// (rep-inclusion, inclusion, store, other).
     pub by_kind: Vec<(QuantKind, u64)>,
@@ -137,6 +143,11 @@ impl fmt::Display for ProverMetrics {
             self.merges,
             self.branches,
             self.clauses
+        )?;
+        writeln!(
+            f,
+            "backtracking: {} pops, {} undone merges, trail depth {}",
+            self.pops, self.undone_merges, self.trail_depth_max
         )?;
         writeln!(f, "instantiations by axiom kind:")?;
         for (kind, instances) in &self.by_kind {
@@ -180,6 +191,9 @@ pub fn prover_metrics(report: &Report) -> ProverMetrics {
         metrics.branches += s.branches;
         metrics.clauses += s.clauses;
         metrics.deferred += s.deferred_instances as u64;
+        metrics.pops += s.pops;
+        metrics.undone_merges += s.undone_merges;
+        metrics.trail_depth_max = metrics.trail_depth_max.max(s.trail_depth_max as u64);
         for q in &s.per_quant {
             let slot = kind_totals
                 .iter_mut()

@@ -157,6 +157,42 @@ pub fn generate_cyclic_source(seed: u64) -> String {
     out
 }
 
+/// Generates the source text of a *branch-heavy* program: a single
+/// implementation whose body is a chain of `depth` guarded choices, each
+/// bumping a field by one of two distinct amounts, followed by an assert
+/// that holds on every path.
+///
+/// `wlp` turns each choice into a conjunction of both arms, so the negated
+/// verification condition is a disjunction tree with `2^depth` leaves —
+/// the prover must case-split through all of them, making these programs
+/// the stress population for backtracking-search benchmarks (E15) and the
+/// trail-vs-clone differential suite. The seed varies the bump amounts
+/// and benign decoration; the branch structure depends only on `depth`.
+pub fn generate_branchy_source(seed: u64, depth: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    let _ = writeln!(out, "group g");
+    let _ = writeln!(out, "field v in g");
+    let _ = writeln!(out, "field w in g");
+    let _ = writeln!(out, "proc branchy(t) modifies t.g");
+    let _ = writeln!(out, "impl branchy(t) {{");
+    let _ = writeln!(out, "  assume t != null ;");
+    let _ = writeln!(out, "  t.v := 0 ;");
+    for _ in 0..depth {
+        // Both bumps are positive, so the running sum is nonzero on
+        // every one of the 2^depth paths and the final assert closes.
+        let a = rng.gen_range(1..=3);
+        let b = rng.gen_range(4..=6);
+        let _ = writeln!(out, "  {{ t.v := t.v + {a} [] t.v := t.v + {b} }} ;");
+    }
+    if rng.gen_bool(0.5) {
+        let _ = writeln!(out, "  skip ;");
+    }
+    let _ = writeln!(out, "  assert t.v != 0");
+    out.push_str("}\n");
+    out
+}
+
 impl Gen {
     fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.rng.gen_range(0..items.len())]
@@ -536,6 +572,24 @@ mod tests {
     #[test]
     fn cyclic_generation_is_deterministic() {
         assert_eq!(generate_cyclic_source(3), generate_cyclic_source(3));
+    }
+
+    #[test]
+    fn branchy_programs_are_well_formed() {
+        for seed in 0..10 {
+            let depth = 1 + (seed as usize % 6);
+            let src = generate_branchy_source(seed, depth);
+            let program = parse_program(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} fails to parse: {e}\n{src}"));
+            Scope::analyze(&program)
+                .unwrap_or_else(|e| panic!("seed {seed} fails analysis: {e}\n{src}"));
+            assert_eq!(src.matches("[]").count(), depth);
+        }
+    }
+
+    #[test]
+    fn branchy_generation_is_deterministic() {
+        assert_eq!(generate_branchy_source(5, 4), generate_branchy_source(5, 4));
     }
 
     #[test]

@@ -18,5 +18,7 @@
 pub mod generate;
 pub mod paper;
 
-pub use generate::{extend_source, generate_cyclic_source, generate_source, GenConfig};
+pub use generate::{
+    extend_source, generate_branchy_source, generate_cyclic_source, generate_source, GenConfig,
+};
 pub use paper::{all, by_name, CorpusProgram};

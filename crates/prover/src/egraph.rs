@@ -66,7 +66,8 @@ pub enum Sym {
 }
 
 impl Sym {
-    fn from_fn(f: &FnSym) -> Sym {
+    /// The E-graph symbol of a logic-level function symbol.
+    pub fn from_fn(f: &FnSym) -> Sym {
         match f {
             FnSym::Select => Sym::Select,
             FnSym::Update => Sym::Update,
@@ -119,6 +120,47 @@ impl fmt::Display for Conflict {
 
 impl std::error::Error for Conflict {}
 
+/// One recorded inverse of a primitive E-graph mutation, kept on the undo
+/// trail while at least one [`EGraph::push`] checkpoint is active. Popping
+/// a checkpoint replays these in LIFO order, which restores the exact
+/// pre-checkpoint state: every entry's undo is computed against the state
+/// the graph is in once all *later* entries have already been unwound.
+#[derive(Debug, Clone)]
+enum Undo {
+    /// The most recently created node (always `nodes.len() - 1` at undo
+    /// time): remove it and every index entry `add` installed for it.
+    NewNode,
+    /// `small`'s class was absorbed into `big`'s: detach it again.
+    Union {
+        small: NodeId,
+        big: NodeId,
+        /// The absorbed class, moved out of the class map intact.
+        small_data: ClassData,
+        /// `big`'s generation before taking the minimum.
+        big_gen: u32,
+        /// Whether `big` took its value from `small`.
+        value_taken: bool,
+        /// Lengths of `big`'s member lists before the merge appended
+        /// `small`'s (truncating restores them — appends only).
+        big_nodes_len: usize,
+        big_parents_len: usize,
+        big_diseqs_len: usize,
+    },
+    /// Congruence repair installed a re-canonicalized signature for `node`.
+    SigInsert { node: NodeId },
+    /// A disequality was pushed onto roots `a` and `b`.
+    Diseq { a: NodeId, b: NodeId },
+}
+
+/// A checkpoint returned by [`EGraph::push`] and consumed by
+/// [`EGraph::pop`]. Checkpoints must be popped in LIFO order.
+#[derive(Debug, Clone, Copy)]
+pub struct EgMark {
+    trail_len: usize,
+    merges: u64,
+    current_gen: u32,
+}
+
 /// The E-graph.
 #[derive(Debug, Clone)]
 pub struct EGraph {
@@ -132,10 +174,25 @@ pub struct EGraph {
     /// Distinguished boolean leaves.
     true_id: NodeId,
     false_id: NodeId,
-    /// Count of merges performed (for statistics).
+    /// Count of merges currently in effect. Restored by [`EGraph::pop`],
+    /// so saturation checks keyed on it behave identically whether a
+    /// branch state was reached by cloning or by push/assert/pop.
     merges: u64,
     /// Generation assigned to newly created classes (see `ClassData::gen`).
     current_gen: u32,
+    /// Undo entries recorded since the oldest active checkpoint.
+    trail: Vec<Undo>,
+    /// Number of active checkpoints; mutations record onto the trail only
+    /// when this is non-zero (top-level asserts need no undo).
+    frames: usize,
+    /// Monotonic count of merges ever performed, across pops.
+    merges_performed: u64,
+    /// Checkpoints popped (telemetry).
+    pops: u64,
+    /// Merges unwound by pops (telemetry).
+    undone_merges: u64,
+    /// High-water mark of trail length (telemetry).
+    trail_high_water: usize,
 }
 
 impl Default for EGraph {
@@ -157,6 +214,12 @@ impl EGraph {
             false_id: 0,
             merges: 0,
             current_gen: 0,
+            trail: Vec::new(),
+            frames: 0,
+            merges_performed: 0,
+            pops: 0,
+            undone_merges: 0,
+            trail_high_water: 0,
         };
         eg.true_id = eg
             .add(Sym::Lit(Cst::Bool(true)), vec![])
@@ -182,9 +245,139 @@ impl EGraph {
         self.nodes.len()
     }
 
-    /// Number of class merges performed so far.
+    /// Number of class merges currently in effect. Unlike
+    /// [`EGraph::merges_performed`] this is rolled back by [`EGraph::pop`],
+    /// so it describes the *state*, not the work done.
     pub fn merge_count(&self) -> u64 {
         self.merges
+    }
+
+    /// Total merges ever performed, including ones later unwound by
+    /// [`EGraph::pop`] — the work counter for statistics.
+    pub fn merges_performed(&self) -> u64 {
+        self.merges_performed
+    }
+
+    /// Checkpoints unwound so far (telemetry).
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Merges unwound by [`EGraph::pop`] so far (telemetry).
+    pub fn undone_merges(&self) -> u64 {
+        self.undone_merges
+    }
+
+    /// High-water mark of the undo trail's length (telemetry).
+    pub fn trail_high_water(&self) -> usize {
+        self.trail_high_water
+    }
+
+    // ------------------------------------------------------------ backtracking
+
+    /// Opens a checkpoint: mutations from here on are recorded on the undo
+    /// trail, and [`EGraph::pop`] with the returned mark restores the
+    /// current state exactly, in time proportional to the work done since.
+    /// Checkpoints nest and must be popped in LIFO order.
+    pub fn push(&mut self) -> EgMark {
+        self.frames += 1;
+        EgMark {
+            trail_len: self.trail.len(),
+            merges: self.merges,
+            current_gen: self.current_gen,
+        }
+    }
+
+    /// Unwinds all mutations made since the matching [`EGraph::push`].
+    pub fn pop(&mut self, mark: EgMark) {
+        debug_assert!(self.frames > 0, "pop without a matching push");
+        debug_assert!(mark.trail_len <= self.trail.len(), "pops out of order");
+        self.pops += 1;
+        while self.trail.len() > mark.trail_len {
+            let entry = self.trail.pop().expect("length checked");
+            self.undo(entry);
+        }
+        self.frames -= 1;
+        self.merges = mark.merges;
+        self.current_gen = mark.current_gen;
+    }
+
+    fn record(&mut self, entry: Undo) {
+        if self.frames > 0 {
+            self.trail.push(entry);
+            self.trail_high_water = self.trail_high_water.max(self.trail.len());
+        }
+    }
+
+    fn undo(&mut self, entry: Undo) {
+        match entry {
+            Undo::NewNode => {
+                let id = (self.nodes.len() - 1) as NodeId;
+                let node = self.nodes.pop().expect("node to undo");
+                self.parent.pop();
+                self.classes.remove(&id);
+                // Merges recorded after this node's creation are already
+                // unwound, so the children canonicalize to the same
+                // representatives as when `add` built the signature.
+                let canon: Vec<NodeId> = node.children.iter().map(|&c| self.find(c)).collect();
+                let removed = self.sig_table.remove(&(node.sym.clone(), canon));
+                debug_assert_eq!(removed, Some(id));
+                if let Some(ids) = self.by_sym.get_mut(&node.sym) {
+                    ids.pop();
+                    if ids.is_empty() {
+                        self.by_sym.remove(&node.sym);
+                    }
+                }
+                // `add` pushed one parent entry per child occurrence
+                // (duplicates included).
+                for &c in &node.children {
+                    let root = self.find(c);
+                    self.classes
+                        .get_mut(&root)
+                        .expect("child class exists")
+                        .parents
+                        .pop();
+                }
+            }
+            Undo::Union {
+                small,
+                big,
+                small_data,
+                big_gen,
+                value_taken,
+                big_nodes_len,
+                big_parents_len,
+                big_diseqs_len,
+            } => {
+                let big_data = self.classes.get_mut(&big).expect("big class exists");
+                big_data.nodes.truncate(big_nodes_len);
+                big_data.parents.truncate(big_parents_len);
+                big_data.diseqs.truncate(big_diseqs_len);
+                big_data.gen = big_gen;
+                if value_taken {
+                    big_data.value = None;
+                }
+                self.parent[small as usize] = small;
+                self.classes.insert(small, small_data);
+                self.undone_merges += 1;
+            }
+            Undo::SigInsert { node } => {
+                // The union this repair belongs to is still applied (its
+                // Union entry is older on the trail), so recomputing the
+                // canonical signature reproduces the inserted key.
+                let n = &self.nodes[node as usize];
+                let key = (
+                    n.sym.clone(),
+                    n.children.iter().map(|&c| self.find(c)).collect::<Vec<_>>(),
+                );
+                let removed = self.sig_table.remove(&key);
+                debug_assert_eq!(removed, Some(node));
+            }
+            Undo::Diseq { a, b } => {
+                self.classes.get_mut(&a).expect("class exists").diseqs.pop();
+                self.classes.get_mut(&b).expect("class exists").diseqs.pop();
+            }
+        }
     }
 
     /// Sets the generation stamped onto classes created from now on.
@@ -390,6 +583,7 @@ impl EGraph {
                 .parents
                 .push(id);
         }
+        self.record(Undo::NewNode);
         self.try_eval(id)?;
         Ok(id)
     }
@@ -435,22 +629,43 @@ impl EGraph {
                 (rb, ra)
             };
             self.merges += 1;
+            self.merges_performed += 1;
             self.parent[small as usize] = big;
             let small_data = self.classes.remove(&small).expect("small class exists");
+            let big_parents_len;
+            let small_parent_count = small_data.parents.len();
             {
                 let big_data = self.classes.get_mut(&big).expect("big class exists");
+                let big_gen = big_data.gen;
+                let big_nodes_len = big_data.nodes.len();
+                let big_diseqs_len = big_data.diseqs.len();
+                big_parents_len = big_data.parents.len();
+                let value_taken = big_data.value.is_none() && small_data.value.is_some();
                 if big_data.value.is_none() {
-                    big_data.value = small_data.value;
+                    big_data.value = small_data.value.clone();
                 }
                 big_data.gen = big_data.gen.min(small_data.gen);
-                big_data.nodes.extend(small_data.nodes);
-                big_data.diseqs.extend(small_data.diseqs.iter().copied());
-                big_data.parents.extend(small_data.parents.iter().copied());
+                big_data.nodes.extend_from_slice(&small_data.nodes);
+                big_data.diseqs.extend_from_slice(&small_data.diseqs);
+                big_data.parents.extend_from_slice(&small_data.parents);
+                let entry = Undo::Union {
+                    small,
+                    big,
+                    small_data,
+                    big_gen,
+                    value_taken,
+                    big_nodes_len,
+                    big_parents_len,
+                    big_diseqs_len,
+                };
+                self.record(entry);
             }
 
             // Congruence repair: re-canonicalize signatures of parents of
-            // the merged class.
-            for &p in &small_data.parents {
+            // the merged class. They sit at the tail of `big`'s parent
+            // list (indices stay valid: the list only grows from here).
+            for k in 0..small_parent_count {
+                let p = self.classes[&big].parents[big_parents_len + k];
                 let node = &self.nodes[p as usize];
                 let key = (
                     node.sym.clone(),
@@ -466,6 +681,7 @@ impl EGraph {
                     Some(_) => {}
                     None => {
                         self.sig_table.insert(key, p);
+                        self.record(Undo::SigInsert { node: p });
                     }
                 }
                 self.try_eval_queued(p, &mut queue)?;
@@ -492,6 +708,7 @@ impl EGraph {
         }
         self.classes.get_mut(&ra).expect("class").diseqs.push(rb);
         self.classes.get_mut(&rb).expect("class").diseqs.push(ra);
+        self.record(Undo::Diseq { a: ra, b: rb });
         Ok(())
     }
 
@@ -557,6 +774,55 @@ impl EGraph {
     }
 
     // -------------------------------------------------------------- queries
+
+    /// A canonical rendering of the complete logical state (nodes,
+    /// union-find, class data, signature table, symbol index, merge count,
+    /// generation). Two E-graphs with equal `debug_state` are
+    /// indistinguishable to every query; push/pop round-trip tests compare
+    /// these. Telemetry counters (pops, performed merges, high-water
+    /// marks) are deliberately excluded — they describe work, not state.
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "merges={} gen={}", self.merges, self.current_gen);
+        for (id, node) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "node {id}: {:?}{:?} -> {}",
+                node.sym,
+                node.children,
+                self.find(id as NodeId)
+            );
+        }
+        let mut classes: Vec<_> = self.classes.iter().collect();
+        classes.sort_by_key(|(id, _)| **id);
+        for (id, data) in classes {
+            let _ = writeln!(
+                out,
+                "class {id}: value={:?} gen={} nodes={:?} parents={:?} diseqs={:?}",
+                data.value, data.gen, data.nodes, data.parents, data.diseqs
+            );
+        }
+        let mut sigs: Vec<String> = self
+            .sig_table
+            .iter()
+            .map(|((sym, children), id)| format!("sig {sym:?}{children:?} -> {id}"))
+            .collect();
+        sigs.sort();
+        for s in sigs {
+            let _ = writeln!(out, "{s}");
+        }
+        let mut syms: Vec<String> = self
+            .by_sym
+            .iter()
+            .map(|(sym, ids)| format!("sym {sym:?}: {ids:?}"))
+            .collect();
+        syms.sort();
+        for s in syms {
+            let _ = writeln!(out, "{s}");
+        }
+        out
+    }
 
     /// Truth value of an interned boolean node, if determined.
     pub fn bool_value(&self, id: NodeId) -> Option<bool> {
@@ -753,5 +1019,124 @@ mod tests {
         eg.merge(x, y).unwrap();
         assert!(eg.same_class(x, y));
         assert!(!snapshot.same_class(x, y));
+    }
+
+    #[test]
+    fn push_pop_undoes_a_merge() {
+        let mut eg = EGraph::new();
+        let x = eg.intern(&T::var("x")).unwrap();
+        let y = eg.intern(&T::var("y")).unwrap();
+        let before = eg.debug_state();
+        let mark = eg.push();
+        eg.merge(x, y).unwrap();
+        assert!(eg.same_class(x, y));
+        eg.pop(mark);
+        assert!(!eg.same_class(x, y));
+        assert_eq!(eg.debug_state(), before);
+        assert_eq!(eg.pops(), 1);
+        assert_eq!(eg.undone_merges(), 1);
+    }
+
+    #[test]
+    fn push_pop_undoes_node_creation_and_congruence() {
+        // Merging a = b repairs f(a)/f(b) signatures and interning new
+        // terms inside the frame must disappear on pop.
+        let mut eg = EGraph::new();
+        let fa = eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
+        let fb = eg.intern(&T::uninterp("f", vec![T::var("b")])).unwrap();
+        let before = eg.debug_state();
+        let nodes_before = eg.node_count();
+        let mark = eg.push();
+        let a = eg.intern(&T::var("a")).unwrap();
+        let b = eg.intern(&T::var("b")).unwrap();
+        eg.merge(a, b).unwrap();
+        assert!(eg.same_class(fa, fb));
+        eg.intern(&T::uninterp("g", vec![T::uninterp("f", vec![T::var("a")])]))
+            .unwrap();
+        eg.pop(mark);
+        assert_eq!(eg.node_count(), nodes_before);
+        assert!(!eg.same_class(fa, fb));
+        assert_eq!(eg.debug_state(), before);
+        // The graph is fully usable after the pop: re-assert and re-check.
+        let a = eg.intern(&T::var("a")).unwrap();
+        let b = eg.intern(&T::var("b")).unwrap();
+        eg.merge(a, b).unwrap();
+        assert!(eg.same_class(fa, fb));
+    }
+
+    #[test]
+    fn push_pop_undoes_diseqs_and_arithmetic() {
+        let mut eg = EGraph::new();
+        let x = eg.intern(&T::var("x")).unwrap();
+        let y = eg.intern(&T::var("y")).unwrap();
+        let sum = eg.intern(&T::add(T::var("x"), T::int(3))).unwrap();
+        let before = eg.debug_state();
+        let mark = eg.push();
+        eg.assert_diseq(x, y).unwrap();
+        let two = eg.intern(&T::int(2)).unwrap();
+        eg.merge(x, two).unwrap();
+        let five = eg.intern(&T::int(5)).unwrap();
+        assert!(eg.same_class(sum, five));
+        eg.pop(mark);
+        assert!(!eg.known_disequal(x, y));
+        assert_eq!(eg.debug_state(), before);
+    }
+
+    #[test]
+    fn nested_push_pop_unwinds_in_lifo_order() {
+        let mut eg = EGraph::new();
+        let x = eg.intern(&T::var("x")).unwrap();
+        let y = eg.intern(&T::var("y")).unwrap();
+        let z = eg.intern(&T::var("z")).unwrap();
+        let outer_state = eg.debug_state();
+        let outer = eg.push();
+        eg.merge(x, y).unwrap();
+        let inner_state = eg.debug_state();
+        let inner = eg.push();
+        eg.merge(y, z).unwrap();
+        assert!(eg.same_class(x, z));
+        eg.pop(inner);
+        assert_eq!(eg.debug_state(), inner_state);
+        assert!(eg.same_class(x, y));
+        assert!(!eg.same_class(x, z));
+        eg.pop(outer);
+        assert_eq!(eg.debug_state(), outer_state);
+        assert!(!eg.same_class(x, y));
+    }
+
+    #[test]
+    fn pop_restores_merge_count_but_not_performed() {
+        let mut eg = EGraph::new();
+        let x = eg.intern(&T::var("x")).unwrap();
+        let y = eg.intern(&T::var("y")).unwrap();
+        let count = eg.merge_count();
+        let mark = eg.push();
+        eg.merge(x, y).unwrap();
+        let performed = eg.merges_performed();
+        eg.pop(mark);
+        assert_eq!(eg.merge_count(), count);
+        assert_eq!(eg.merges_performed(), performed);
+        assert!(performed > count);
+    }
+
+    #[test]
+    fn pop_after_conflict_restores_state() {
+        // A merge that fails mid-way (after some queued unions applied)
+        // leaves partial state; popping the frame must clear all of it.
+        let mut eg = EGraph::new();
+        let fx = eg.intern(&T::uninterp("f", vec![T::var("x")])).unwrap();
+        let fy = eg.intern(&T::uninterp("f", vec![T::var("y")])).unwrap();
+        let one = eg.intern(&T::int(1)).unwrap();
+        let two = eg.intern(&T::int(2)).unwrap();
+        eg.merge(fx, one).unwrap();
+        eg.merge(fy, two).unwrap();
+        let before = eg.debug_state();
+        let mark = eg.push();
+        let x = eg.intern(&T::var("x")).unwrap();
+        let y = eg.intern(&T::var("y")).unwrap();
+        // x = y forces f(x) = f(y), i.e. 1 = 2: conflict.
+        assert!(eg.merge(x, y).is_err());
+        eg.pop(mark);
+        assert_eq!(eg.debug_state(), before);
     }
 }

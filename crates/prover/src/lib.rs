@@ -36,8 +36,9 @@ pub mod matcher;
 pub mod prover;
 pub mod triggers;
 
-pub use egraph::{Conflict, EGraph, NodeId, Sym};
+pub use egraph::{Conflict, EGraph, EgMark, NodeId, Sym};
 pub use prover::{
-    prove, refute, Budget, Divergence, Outcome, Proof, QuantProfile, Stats, UnknownReason,
+    prove, prove_with_strategy, refute, refute_with_strategy, Budget, Divergence, Outcome, Proof,
+    QuantProfile, SearchStrategy, Stats, UnknownReason,
 };
 pub use triggers::QuantKind;

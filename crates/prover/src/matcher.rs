@@ -8,10 +8,62 @@
 
 use crate::egraph::{EGraph, NodeId, Sym};
 use oolong_logic::{Atom, Cst, FnSym, Pattern, Term, Trigger};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
 
-/// A match of a trigger: each quantified variable bound to a class.
-pub type Binding = BTreeMap<String, NodeId>;
+/// A match of a trigger: each quantified variable — identified by its
+/// *hole index*, i.e. its position in the quantifier's variable list —
+/// bound to an E-graph class.
+///
+/// Bindings are cloned at every step of the matching search, so the
+/// representation matters: a small vector sorted by hole index clones as
+/// one allocation and probes with a short scan, where the previous
+/// `BTreeMap<String, NodeId>` allocated a tree node per variable and
+/// compared strings on every lookup.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Binding(Vec<(u16, NodeId)>);
+
+impl Binding {
+    /// The class bound to hole `hole`, if any.
+    pub fn node(&self, hole: u16) -> Option<NodeId> {
+        self.0.iter().find(|&&(h, _)| h == hole).map(|&(_, id)| id)
+    }
+
+    /// Number of holes bound.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no hole is bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The class bound to the variable named `name` under `vars` (the
+    /// quantifier's variable list that defined the hole indices).
+    pub fn named(&self, vars: &[String], name: &str) -> Option<NodeId> {
+        let hole = vars.iter().position(|v| v == name)? as u16;
+        self.node(hole)
+    }
+
+    fn insert(&mut self, hole: u16, id: NodeId) {
+        match self.0.binary_search_by_key(&hole, |&(h, _)| h) {
+            Ok(_) => debug_assert!(false, "hole {hole} bound twice"),
+            Err(pos) => self.0.insert(pos, (hole, id)),
+        }
+    }
+}
+
+/// Pre-resolved hole names: maps a pattern variable to its hole index by
+/// scanning the (tiny) quantifier variable list.
+struct Holes<'a> {
+    vars: &'a [String],
+}
+
+impl Holes<'_> {
+    fn index(&self, name: &str) -> Option<u16> {
+        self.vars.iter().position(|v| v == name).map(|i| i as u16)
+    }
+}
 
 /// Finds all bindings of `vars` under which every pattern of `trigger`
 /// matches a term (or atom) present in the E-graph.
@@ -37,7 +89,7 @@ fn match_trigger_impl(
     trigger: &Trigger,
     anchor: Option<NodeId>,
 ) -> Vec<Binding> {
-    let holes: HashSet<&str> = vars.iter().map(String::as_str).collect();
+    let holes = Holes { vars };
     let positions: Vec<Option<usize>> = match anchor {
         None => vec![None],
         Some(anchor) => {
@@ -59,7 +111,7 @@ fn match_trigger_impl(
     };
     let mut all = Vec::new();
     for pinned in positions {
-        let mut bindings = vec![Binding::new()];
+        let mut bindings = vec![Binding::default()];
         for (i, pattern) in trigger.0.iter().enumerate() {
             let mut next = Vec::new();
             for binding in &bindings {
@@ -78,8 +130,9 @@ fn match_trigger_impl(
         all.extend(bindings);
     }
     // A trigger that leaves some variable unbound cannot drive a complete
-    // instantiation; drop such bindings.
-    all.retain(|b| vars.iter().all(|v| b.contains_key(v)));
+    // instantiation; drop such bindings. (A binding can never bind a
+    // non-hole, so completeness is just a length check.)
+    all.retain(|b| b.len() == vars.len());
     dedup_bindings(eg, all)
 }
 
@@ -95,7 +148,7 @@ fn pattern_head(pattern: &Pattern) -> Option<Sym> {
 /// Matches one pattern against one specific node.
 fn match_pattern_at(
     eg: &EGraph,
-    holes: &HashSet<&str>,
+    holes: &Holes,
     pattern: &Pattern,
     node: NodeId,
     binding: &Binding,
@@ -118,8 +171,7 @@ fn dedup_bindings(eg: &EGraph, bindings: Vec<Binding>) -> Vec<Binding> {
     let mut seen = HashSet::new();
     let mut out = Vec::new();
     for b in bindings {
-        let key: Vec<(String, NodeId)> =
-            b.iter().map(|(v, &id)| (v.clone(), eg.find(id))).collect();
+        let key: Vec<(u16, NodeId)> = b.0.iter().map(|&(h, id)| (h, eg.find(id))).collect();
         if seen.insert(key) {
             out.push(b);
         }
@@ -129,7 +181,7 @@ fn dedup_bindings(eg: &EGraph, bindings: Vec<Binding>) -> Vec<Binding> {
 
 fn match_pattern_top(
     eg: &EGraph,
-    holes: &HashSet<&str>,
+    holes: &Holes,
     pattern: &Pattern,
     binding: &Binding,
     out: &mut Vec<Binding>,
@@ -157,17 +209,7 @@ fn match_pattern_top(
 }
 
 fn fn_sym(f: &FnSym) -> Sym {
-    match f {
-        FnSym::Select => Sym::Select,
-        FnSym::Update => Sym::Update,
-        FnSym::New => Sym::New,
-        FnSym::Succ => Sym::Succ,
-        FnSym::Add => Sym::Add,
-        FnSym::Sub => Sym::Sub,
-        FnSym::Mul => Sym::Mul,
-        FnSym::Neg => Sym::Neg,
-        FnSym::Uninterp(name) => Sym::Uninterp(name.clone()),
-    }
+    Sym::from_fn(f)
 }
 
 /// The E-graph symbol and argument terms of an atom pattern, or `None` for
@@ -204,7 +246,7 @@ fn atom_shape(atom: &Atom) -> Option<(Sym, Vec<&Term>)> {
 
 fn match_children(
     eg: &EGraph,
-    holes: &HashSet<&str>,
+    holes: &Holes,
     args: &[Term],
     node: NodeId,
     binding: Binding,
@@ -216,7 +258,7 @@ fn match_children(
 
 fn match_children_ref(
     eg: &EGraph,
-    holes: &HashSet<&str>,
+    holes: &Holes,
     args: &[&Term],
     node: NodeId,
     binding: Binding,
@@ -243,7 +285,7 @@ fn match_children_ref(
 /// Matches `pattern` against the class of `class_node`.
 fn match_term(
     eg: &EGraph,
-    holes: &HashSet<&str>,
+    holes: &Holes,
     pattern: &Term,
     class_node: NodeId,
     binding: &Binding,
@@ -251,27 +293,29 @@ fn match_term(
 ) {
     let class = eg.find(class_node);
     match pattern {
-        Term::Var(v) if holes.contains(v.as_str()) => match binding.get(v) {
-            Some(&bound) => {
-                if eg.find(bound) == class {
-                    out.push(binding.clone());
+        Term::Var(v) => match holes.index(v) {
+            Some(hole) => match binding.node(hole) {
+                Some(bound) => {
+                    if eg.find(bound) == class {
+                        out.push(binding.clone());
+                    }
                 }
-            }
+                None => {
+                    let mut b = binding.clone();
+                    b.insert(hole, class);
+                    out.push(b);
+                }
+            },
             None => {
-                let mut b = binding.clone();
-                b.insert(v.clone(), class);
-                out.push(b);
+                // A free constant: must already exist and be in this class.
+                for &leaf in eg.nodes_with_sym(&Sym::Var(v.clone())) {
+                    if eg.find(leaf) == class {
+                        out.push(binding.clone());
+                        return;
+                    }
+                }
             }
         },
-        Term::Var(v) => {
-            // A free constant: must already exist and be in this class.
-            for &leaf in eg.nodes_with_sym(&Sym::Var(v.clone())) {
-                if eg.find(leaf) == class {
-                    out.push(binding.clone());
-                    return;
-                }
-            }
-        }
         Term::Const(c) => {
             for &leaf in eg.nodes_with_sym(&Sym::Lit(c.clone())) {
                 if eg.find(leaf) == class {
@@ -403,7 +447,10 @@ mod tests {
         let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
         assert_eq!(bindings.len(), 1);
         let t_leaf = eg.intern(&T::var("t")).unwrap();
-        assert_eq!(eg.find(bindings[0]["X"]), eg.find(t_leaf));
+        assert_eq!(
+            eg.find(bindings[0].node(0).expect("X bound")),
+            eg.find(t_leaf)
+        );
     }
 
     #[test]
@@ -451,7 +498,10 @@ mod tests {
         let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
         assert_eq!(bindings.len(), 1);
         let b_leaf = eg.intern(&T::var("b")).unwrap();
-        assert_eq!(eg.find(bindings[0]["X"]), eg.find(b_leaf));
+        assert_eq!(
+            eg.find(bindings[0].node(0).expect("X bound")),
+            eg.find(b_leaf)
+        );
     }
 
     #[test]
@@ -527,7 +577,7 @@ mod tests {
         let bindings = match_trigger_anchored(&eg, &["X".to_string()], &trigger, fa);
         assert_eq!(bindings.len(), 1);
         let a = eg.intern(&T::var("a")).unwrap();
-        assert_eq!(eg.find(bindings[0]["X"]), eg.find(a));
+        assert_eq!(eg.find(bindings[0].node(0).expect("X bound")), eg.find(a));
         // Unanchored: both.
         assert_eq!(match_trigger(&eg, &["X".to_string()], &trigger).len(), 2);
     }

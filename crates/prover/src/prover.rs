@@ -279,6 +279,13 @@ pub struct Stats {
     pub merges: u64,
     /// Disjunctions registered for case splitting (clause count).
     pub clauses: u64,
+    /// High-water mark of the E-graph undo trail (trail-mode search only;
+    /// zero under the clone-based reference strategy).
+    pub trail_depth_max: usize,
+    /// Checkpoints unwound by backtracking (trail mode only).
+    pub pops: u64,
+    /// E-graph merges rolled back by backtracking (trail mode only).
+    pub undone_merges: u64,
     /// When the outcome was [`Outcome::Unknown`]: which limit tripped.
     pub exhausted: Option<UnknownReason>,
     /// Per-quantifier instantiation telemetry, ordered by stable id.
@@ -303,6 +310,9 @@ impl Stats {
             ("trigger_matches", self.trigger_matches),
             ("merges", self.merges),
             ("clauses", self.clauses),
+            ("trail_depth_max", self.trail_depth_max as u64),
+            ("pops", self.pops),
+            ("undone_merges", self.undone_merges),
         ]
     }
 
@@ -323,6 +333,9 @@ impl Stats {
                 "trigger_matches" => stats.trigger_matches = value,
                 "merges" => stats.merges = value,
                 "clauses" => stats.clauses = value,
+                "trail_depth_max" => stats.trail_depth_max = value as usize,
+                "pops" => stats.pops = value,
+                "undone_merges" => stats.undone_merges = value,
                 _ => {}
             }
         }
@@ -353,6 +366,20 @@ impl Stats {
             culprits: self.top_culprits(5).into_iter().cloned().collect(),
         })
     }
+
+    /// This stats record with the strategy-specific trail counters zeroed.
+    /// Every other counter is identical between the trail and clone search
+    /// strategies (they execute the same search); the trail counters
+    /// describe the backtracking mechanism itself, so differential
+    /// comparisons normalize them away with this.
+    pub fn without_trail_counters(&self) -> Stats {
+        Stats {
+            trail_depth_max: 0,
+            pops: 0,
+            undone_merges: 0,
+            ..self.clone()
+        }
+    }
 }
 
 impl fmt::Display for Stats {
@@ -360,7 +387,7 @@ impl fmt::Display for Stats {
         write!(
             f,
             "instances={} matches={} branches={} rounds={} depth={} peak_nodes={} merges={} \
-             clauses={} quants={} deferred={}",
+             clauses={} quants={} deferred={} pops={}",
             self.instances,
             self.trigger_matches,
             self.branches,
@@ -370,7 +397,8 @@ impl fmt::Display for Stats {
             self.merges,
             self.clauses,
             self.quants,
-            self.deferred_instances
+            self.deferred_instances,
+            self.pops
         )
     }
 }
@@ -435,20 +463,66 @@ impl Proof {
     }
 }
 
+/// How the search backtracks out of case-split arms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SearchStrategy {
+    /// One shared context; each arm runs between checkpoint and rollback
+    /// on an undo trail (Simplify's undo-stack discipline). Cost per
+    /// branch is proportional to the work the branch performs.
+    #[default]
+    Trail,
+    /// The clone-based reference: each arm deep-copies the whole context.
+    /// Retained for differential testing and the e15 benchmark; cost per
+    /// branch is proportional to the size of the accumulated state.
+    CloneSearch,
+}
+
+impl SearchStrategy {
+    /// The process default: [`SearchStrategy::Trail`], unless the
+    /// `OOLONG_PROVER_CLONE_SEARCH` environment variable is set (checked
+    /// once per process).
+    pub fn from_env() -> SearchStrategy {
+        static CLONE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *CLONE.get_or_init(|| std::env::var_os("OOLONG_PROVER_CLONE_SEARCH").is_some()) {
+            SearchStrategy::CloneSearch
+        } else {
+            SearchStrategy::Trail
+        }
+    }
+}
+
 /// Proves `hypotheses ⇒ goal` by refuting `hypotheses ∧ ¬goal`.
 pub fn prove(hypotheses: &[Formula], goal: &Formula, budget: &Budget) -> Proof {
+    prove_with_strategy(hypotheses, goal, budget, SearchStrategy::from_env())
+}
+
+/// [`prove`] with an explicit backtracking strategy.
+pub fn prove_with_strategy(
+    hypotheses: &[Formula],
+    goal: &Formula,
+    budget: &Budget,
+    strategy: SearchStrategy,
+) -> Proof {
     let mut fresh = FreshGen::new();
     let mut parts: Vec<Nnf> = hypotheses
         .iter()
         .map(|h| to_nnf(h, true, &mut fresh))
         .collect();
     parts.push(to_nnf(goal, false, &mut fresh));
-    refute(parts, budget)
+    refute_with_strategy(parts, budget, strategy)
 }
 
 /// Refutes a conjunction of NNF formulas: [`Outcome::Proved`] means the
 /// conjunction is unsatisfiable.
 pub fn refute(parts: Vec<Nnf>, budget: &Budget) -> Proof {
+    refute_with_strategy(parts, budget, SearchStrategy::from_env())
+}
+
+/// [`refute`] with an explicit backtracking strategy. Both strategies
+/// execute the identical search and report identical outcomes and
+/// counters, except for the trail-specific telemetry (see
+/// [`Stats::without_trail_counters`]).
+pub fn refute_with_strategy(parts: Vec<Nnf>, budget: &Budget, strategy: SearchStrategy) -> Proof {
     let start = std::time::Instant::now();
     let mut shared = Shared {
         budget: budget.clone(),
@@ -457,6 +531,7 @@ pub fn refute(parts: Vec<Nnf>, budget: &Budget) -> Proof {
         quant_meta: Vec::new(),
         fuel: None,
         open_branch: None,
+        strategy,
     };
     let mut ctx = Ctx {
         eg: EGraph::new(),
@@ -469,6 +544,8 @@ pub fn refute(parts: Vec<Nnf>, budget: &Budget) -> Proof {
         matched_upto: 0,
         fresh_quants_from: 0,
         full_pass_merges: u64::MAX,
+        trail: Vec::new(),
+        recording: 0,
     };
     let outcome = match search(&mut ctx, 0, &mut shared) {
         Branch::Closed => Outcome::Proved,
@@ -476,6 +553,15 @@ pub fn refute(parts: Vec<Nnf>, budget: &Budget) -> Proof {
         Branch::Fuel => Outcome::Unknown(shared.fuel.unwrap_or(UnknownReason::Instances)),
     };
     let mut stats = shared.stats;
+    if strategy == SearchStrategy::Trail {
+        // Under the clone strategy `search` sums per-frame merge deltas;
+        // with a single shared E-graph the monotonic counter is the same
+        // total, counted once.
+        stats.merges = ctx.eg.merges_performed();
+        stats.trail_depth_max = ctx.eg.trail_high_water();
+        stats.pops = ctx.eg.pops();
+        stats.undone_merges = ctx.eg.undone_merges();
+    }
     stats.exhausted = match outcome {
         Outcome::Unknown(reason) => Some(reason),
         _ => None,
@@ -534,6 +620,8 @@ struct Shared {
     fuel: Option<UnknownReason>,
     /// Literals of the first saturated open branch.
     open_branch: Option<Vec<String>>,
+    /// How case-split arms are backtracked.
+    strategy: SearchStrategy,
 }
 
 /// Accumulating telemetry for one quantifier (rendered to a
@@ -567,13 +655,69 @@ struct Quant {
     body: Nnf,
 }
 
+/// A disjunction awaiting a case split. Arms falsified by the current
+/// state are *masked* (`live[k] = false`) rather than removed, so
+/// backtracking revives them in O(1); dead arms are never re-evaluated.
+#[derive(Clone)]
+struct SplitClause {
+    arms: Vec<Nnf>,
+    /// Matching generation of the originating fact.
+    gen: u32,
+    /// Liveness mask, parallel to `arms`.
+    live: Vec<bool>,
+    /// Number of `true` entries in `live`.
+    live_count: usize,
+}
+
+impl SplitClause {
+    fn new(arms: Vec<Nnf>, gen: u32) -> SplitClause {
+        let live = vec![true; arms.len()];
+        let live_count = arms.len();
+        SplitClause {
+            arms,
+            gen,
+            live,
+            live_count,
+        }
+    }
+}
+
+/// One recorded inverse of a branch-local context mutation (the
+/// counterpart of the E-graph's own undo trail, for `splits` and `seen`).
+/// `pending` and `quants` only grow between checkpoints, so they roll back
+/// by truncation instead of per-entry records.
+#[derive(Clone)]
+enum CtxUndo {
+    /// A clause was appended to `splits`.
+    SplitAdded,
+    /// `splits.swap_remove(index)` removed this clause.
+    SplitRemoved { index: usize, clause: SplitClause },
+    /// Arm `arm` of `splits[clause]` was masked dead.
+    ArmKilled { clause: usize, arm: usize },
+    /// This instantiation key was added to `seen`.
+    SeenInserted { key: (usize, Vec<Term>) },
+}
+
+/// A checkpoint over the full context, taken before exploring a split arm
+/// in trail mode (see [`Ctx::checkpoint`] / [`Ctx::rollback`]).
+struct Checkpoint {
+    eg: crate::egraph::EgMark,
+    trail_len: usize,
+    pending_len: usize,
+    quants_len: usize,
+    deferred: bool,
+    matched_upto: usize,
+    fresh_quants_from: usize,
+    full_pass_merges: u64,
+}
+
 #[derive(Clone)]
 struct Ctx {
     eg: EGraph,
     /// Facts to assert, each stamped with its matching generation.
     pending: Vec<(Nnf, u32)>,
-    /// Disjunctions awaiting a case split, with their generation.
-    splits: Vec<(Vec<Nnf>, u32)>,
+    /// Disjunctions awaiting a case split.
+    splits: Vec<SplitClause>,
     quants: Vec<Quant>,
     quant_ids_present: HashSet<usize>,
     /// Instantiations already performed in this branch.
@@ -589,15 +733,112 @@ struct Ctx {
     /// saturation (anchored matching covers new nodes, registration
     /// covers new quantifiers, so only merges can enable anything else).
     full_pass_merges: u64,
+    /// Undo entries for `splits`/`seen` recorded since the oldest active
+    /// checkpoint (trail mode; empty in clone mode).
+    trail: Vec<CtxUndo>,
+    /// Active checkpoints; context mutations record onto `trail` only
+    /// when non-zero.
+    recording: usize,
+}
+
+impl Ctx {
+    fn record(&mut self, entry: CtxUndo) {
+        if self.recording > 0 {
+            self.trail.push(entry);
+        }
+    }
+
+    fn add_split(&mut self, clause: SplitClause) {
+        self.splits.push(clause);
+        self.record(CtxUndo::SplitAdded);
+    }
+
+    /// Removes clause `index` by swap, recording its reinsertion.
+    fn remove_split(&mut self, index: usize) {
+        let clause = self.splits.swap_remove(index);
+        if self.recording > 0 {
+            self.trail.push(CtxUndo::SplitRemoved { index, clause });
+        }
+    }
+
+    fn kill_arm(&mut self, clause: usize, arm: usize) {
+        let s = &mut self.splits[clause];
+        debug_assert!(s.live[arm]);
+        s.live[arm] = false;
+        s.live_count -= 1;
+        self.record(CtxUndo::ArmKilled { clause, arm });
+    }
+
+    /// Opens a checkpoint covering the E-graph and all branch-local state.
+    fn checkpoint(&mut self) -> Checkpoint {
+        self.recording += 1;
+        Checkpoint {
+            eg: self.eg.push(),
+            trail_len: self.trail.len(),
+            pending_len: self.pending.len(),
+            quants_len: self.quants.len(),
+            deferred: self.deferred,
+            matched_upto: self.matched_upto,
+            fresh_quants_from: self.fresh_quants_from,
+            full_pass_merges: self.full_pass_merges,
+        }
+    }
+
+    /// Restores the exact state at the matching [`Ctx::checkpoint`].
+    fn rollback(&mut self, cp: Checkpoint) {
+        while self.trail.len() > cp.trail_len {
+            match self.trail.pop().expect("length checked") {
+                CtxUndo::SplitAdded => {
+                    self.splits.pop();
+                }
+                CtxUndo::SplitRemoved { index, clause } => {
+                    // Inverse of swap_remove: put the clause back at the
+                    // end, then swap it into its old slot (a no-op swap
+                    // when it was the last element).
+                    self.splits.push(clause);
+                    let last = self.splits.len() - 1;
+                    self.splits.swap(index, last);
+                }
+                CtxUndo::ArmKilled { clause, arm } => {
+                    let s = &mut self.splits[clause];
+                    s.live[arm] = true;
+                    s.live_count += 1;
+                }
+                CtxUndo::SeenInserted { key } => {
+                    self.seen.remove(&key);
+                }
+            }
+        }
+        while self.quants.len() > cp.quants_len {
+            let q = self.quants.pop().expect("length checked");
+            self.quant_ids_present.remove(&q.id);
+        }
+        self.pending.truncate(cp.pending_len);
+        self.deferred = cp.deferred;
+        self.matched_upto = cp.matched_upto;
+        self.fresh_quants_from = cp.fresh_quants_from;
+        self.full_pass_merges = cp.full_pass_merges;
+        self.eg.pop(cp.eg);
+        self.recording -= 1;
+    }
 }
 
 fn search(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
-    // Frame-delta merge accounting: each child branch clones the E-graph,
-    // so counting each frame's own growth sums every merge exactly once.
-    let merges_at_entry = ctx.eg.merge_count();
-    let verdict = search_frame(ctx, depth, shared);
-    shared.stats.merges += ctx.eg.merge_count().saturating_sub(merges_at_entry);
-    verdict
+    match shared.strategy {
+        // Trail mode shares one E-graph, so its monotonic merge counter
+        // already counts every merge once; `refute_with_strategy` copies
+        // it into the stats at the end.
+        SearchStrategy::Trail => search_frame(ctx, depth, shared),
+        SearchStrategy::CloneSearch => {
+            // Frame-delta merge accounting: each child branch clones the
+            // E-graph, so counting each frame's own growth sums every
+            // merge exactly once.
+            let merges_at_entry = ctx.eg.merge_count();
+            let verdict = search_frame(ctx, depth, shared);
+            shared.stats.merges += ctx.eg.merge_count().saturating_sub(merges_at_entry);
+            verdict
+        }
+    }
 }
 
 fn search_frame(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
@@ -636,20 +877,43 @@ fn search_frame(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
         }
         // 4. Case split if a disjunction remains.
         if let Some(idx) = pick_split(ctx) {
-            let (arms, split_gen) = ctx.splits.swap_remove(idx);
+            // Remove the clause for the duration of the exploration (so
+            // child frames don't split on it again); the removal is
+            // recorded on the trail only once the arm loop is done, which
+            // keeps the trail LIFO — every child checkpoint has already
+            // been unwound by then.
+            let clause = ctx.splits.swap_remove(idx);
             let mut any_open = false;
             let mut any_fuel = false;
-            for arm in arms {
+            let mut fuel_out = false;
+            for (k, live) in clause.live.iter().enumerate() {
+                if !live {
+                    continue;
+                }
                 shared.stats.branches += 1;
                 if shared.stats.branches > shared.budget.max_branches {
-                    return out_of_fuel(shared, UnknownReason::Branches);
+                    fuel_out = true;
+                    shared.fuel.get_or_insert(UnknownReason::Branches);
+                    break;
                 }
+                let arm = clause.arms[k].clone();
                 if trace_enabled() {
                     eprintln!("[{:indent$}branch {arm}]", "", indent = depth.min(20));
                 }
-                let mut child = ctx.clone();
-                child.pending.push((arm, split_gen));
-                let verdict = search(&mut child, depth + 1, shared);
+                let verdict = match shared.strategy {
+                    SearchStrategy::Trail => {
+                        let cp = ctx.checkpoint();
+                        ctx.pending.push((arm, clause.gen));
+                        let verdict = search(ctx, depth + 1, shared);
+                        ctx.rollback(cp);
+                        verdict
+                    }
+                    SearchStrategy::CloneSearch => {
+                        let mut child = ctx.clone();
+                        child.pending.push((arm, clause.gen));
+                        search(&mut child, depth + 1, shared)
+                    }
+                };
                 if trace_enabled() {
                     eprintln!("[{:indent$}-> {verdict:?}]", "", indent = depth.min(20));
                 }
@@ -662,7 +926,12 @@ fn search_frame(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
                     Branch::Fuel => any_fuel = true,
                 }
             }
-            return if any_open {
+            if ctx.recording > 0 {
+                ctx.trail.push(CtxUndo::SplitRemoved { index: idx, clause });
+            }
+            return if fuel_out {
+                Branch::Fuel
+            } else if any_open {
                 Branch::Open
             } else if any_fuel {
                 Branch::Fuel
@@ -697,7 +966,7 @@ fn drain_pending(ctx: &mut Ctx, shared: &mut Shared) -> Step {
             Nnf::And(parts) => ctx.pending.extend(parts.into_iter().map(|p| (p, gen))),
             Nnf::Or(parts) => {
                 shared.stats.clauses += 1;
-                ctx.splits.push((parts, gen));
+                ctx.add_split(SplitClause::new(parts, gen));
             }
             Nnf::Lit { atom, positive } => {
                 ctx.eg.set_generation(gen);
@@ -831,39 +1100,47 @@ fn lit_truth(eg: &mut EGraph, atom: &Atom, positive: bool) -> Option<bool> {
 fn normalize_splits(ctx: &mut Ctx) -> Step {
     let mut i = 0;
     while i < ctx.splits.len() {
-        let gen = ctx.splits[i].1;
-        let mut arms = std::mem::take(&mut ctx.splits[i].0);
         let mut satisfied = false;
-        arms.retain(|arm| match arm {
-            Nnf::True => {
-                satisfied = true;
-                true
+        let arm_count = ctx.splits[i].arms.len();
+        for k in 0..arm_count {
+            if !ctx.splits[i].live[k] {
+                continue;
             }
-            Nnf::False => false,
-            Nnf::Lit { atom, positive } => match lit_truth(&mut ctx.eg, atom, *positive) {
-                Some(true) => {
-                    satisfied = true;
-                    true
-                }
-                Some(false) => false,
-                None => true,
-            },
-            _ => true,
-        });
+            // Evaluating a literal interns its atom (mutating the
+            // E-graph), so take the arm out of the clause for the call.
+            let arm = std::mem::replace(&mut ctx.splits[i].arms[k], Nnf::True);
+            let truth = match &arm {
+                Nnf::True => Some(true),
+                Nnf::False => Some(false),
+                Nnf::Lit { atom, positive } => lit_truth(&mut ctx.eg, atom, *positive),
+                _ => None,
+            };
+            ctx.splits[i].arms[k] = arm;
+            match truth {
+                Some(true) => satisfied = true,
+                Some(false) => ctx.kill_arm(i, k),
+                None => {}
+            }
+        }
         if satisfied {
-            ctx.splits.swap_remove(i);
+            ctx.remove_split(i);
             continue;
         }
-        match arms.len() {
+        match ctx.splits[i].live_count {
             0 => return Step::Conflict,
             1 => {
-                ctx.pending.push((arms.pop().expect("len checked"), gen));
-                ctx.splits.swap_remove(i);
+                let k = ctx.splits[i]
+                    .live
+                    .iter()
+                    .position(|&l| l)
+                    .expect("live_count is 1");
+                let arm = ctx.splits[i].arms[k].clone();
+                ctx.pending.push((arm, ctx.splits[i].gen));
+                ctx.remove_split(i);
                 // Re-examine remaining splits after the new fact lands.
                 return Step::Ok;
             }
             _ => {
-                ctx.splits[i].0 = arms;
                 i += 1;
             }
         }
@@ -875,7 +1152,7 @@ fn pick_split(ctx: &Ctx) -> Option<usize> {
     ctx.splits
         .iter()
         .enumerate()
-        .min_by_key(|(_, (arms, gen))| (arms.len(), *gen))
+        .min_by_key(|(_, clause)| (clause.live_count, clause.gen))
         .map(|(i, _)| i)
 }
 
@@ -964,7 +1241,6 @@ enum PassResult {
 
 fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResult {
     let mut produced = 0;
-    let quants = ctx.quants.clone();
     let new_nodes: Vec<crate::egraph::NodeId> = if full {
         Vec::new()
     } else {
@@ -975,57 +1251,70 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
     let fresh_from = ctx.fresh_quants_from;
     ctx.matched_upto = ctx.eg.node_count();
     ctx.fresh_quants_from = ctx.quants.len();
+    // Split borrows: quantifiers are only registered by `drain_pending`,
+    // never during a pass, so the list can be iterated in place while the
+    // E-graph, seen-set, and pending queue are mutated.
+    let Ctx {
+        eg,
+        pending,
+        quants,
+        seen,
+        deferred,
+        trail,
+        recording,
+        ..
+    } = ctx;
     for (qi, quant) in quants.iter().enumerate() {
         for trigger in &quant.triggers {
             let bindings = if full || qi >= fresh_from {
                 // Full pass, or a quantifier registered since the last
                 // pass: match against the whole graph.
-                match_trigger(&ctx.eg, &quant.vars, trigger)
+                match_trigger(eg, &quant.vars, trigger)
             } else {
                 let mut out = Vec::new();
                 for &node in &new_nodes {
-                    out.extend(match_trigger_anchored(&ctx.eg, &quant.vars, trigger, node));
+                    out.extend(match_trigger_anchored(eg, &quant.vars, trigger, node));
                 }
                 out
             };
             shared.stats.trigger_matches += bindings.len() as u64;
             shared.quant_meta[quant.id].matches += bindings.len() as u64;
             for binding in bindings {
-                let binding_gen = quant
-                    .vars
-                    .iter()
-                    .map(|v| ctx.eg.class_gen(binding[v]))
+                let bound = |hole: usize| binding.node(hole as u16).expect("binding is complete");
+                let binding_gen = (0..quant.vars.len())
+                    .map(|hole| eg.class_gen(bound(hole)))
                     .max()
                     .unwrap_or(0);
                 let instance_gen = binding_gen + 1;
                 if instance_gen > shared.budget.max_term_gen {
-                    ctx.deferred = true;
+                    *deferred = true;
                     shared.stats.deferred_instances += 1;
                     shared.quant_meta[quant.id].deferred += 1;
                     continue;
                 }
                 let mut aliases = Vec::new();
-                let terms: Vec<Term> = quant
-                    .vars
-                    .iter()
-                    .map(|v| term_of(&ctx.eg, binding[v], &mut aliases))
+                let terms: Vec<Term> = (0..quant.vars.len())
+                    .map(|hole| term_of(eg, bound(hole), &mut aliases))
                     .collect();
                 let key = (quant.id, terms.clone());
-                if ctx.seen.contains(&key) {
+                if seen.contains(&key) {
                     continue;
                 }
-                ctx.seen.insert(key);
+                if *recording > 0 {
+                    trail.push(CtxUndo::SeenInserted { key: key.clone() });
+                }
+                seen.insert(key);
                 // Definitional aliases keep instantiation sound for
                 // leafless cyclic classes.
                 for (alias, root) in aliases {
-                    let Ok(alias_id) = ctx.eg.intern(&alias) else {
+                    let Ok(alias_id) = eg.intern(&alias) else {
                         shared.fuel.get_or_insert(UnknownReason::Instances);
                         return PassResult::Fuel;
                     };
-                    if ctx.eg.merge(alias_id, root).is_err() {
+                    if eg.merge(alias_id, root).is_err() {
                         // The alias equates a class with itself; a conflict
                         // here means the branch is already contradictory.
-                        ctx.pending.push((Nnf::False, instance_gen));
+                        pending.push((Nnf::False, instance_gen));
                         return PassResult::Produced(produced + 1);
                     }
                 }
@@ -1035,7 +1324,7 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                         map.iter().map(|(v, t)| format!("{v}:={t}")).collect();
                     eprintln!("[inst q{} {}]", quant.id, binding.join(", "));
                 }
-                ctx.pending.push((quant.body.subst(&map), instance_gen));
+                pending.push((quant.body.subst(&map), instance_gen));
                 produced += 1;
                 shared.stats.instances += 1;
                 let meta = &mut shared.quant_meta[quant.id];

@@ -1,0 +1,169 @@
+//! Differential testing of the trail-based backtracking search against
+//! the retained clone-per-branch reference implementation.
+//!
+//! The trail rewrite ([`SearchStrategy::Trail`]) must be *behaviorally
+//! invisible*: over every verification condition of the paper corpus and
+//! of generated program populations — including the branch-heavy
+//! programs built to stress case splitting and the cyclic-rep programs
+//! built to starve the matcher — both strategies must return the
+//! identical [`Outcome`] and identical deterministic [`Stats`] counters
+//! (instances, matches, merges, branches, clauses, rounds, per-quantifier
+//! profiles, exhaustion reasons, ...). Only the trail telemetry counters
+//! (`trail_depth_max`, `pops`, `undone_merges`) may differ, which
+//! [`Stats::without_trail_counters`] normalizes away.
+//!
+//! Strategies are passed explicitly through [`prove_with_strategy`], not
+//! through the `OOLONG_PROVER_CLONE_SEARCH` environment override, so the
+//! suite is immune to test-harness parallelism.
+
+use oolong::corpus::{self, GenConfig};
+use oolong::datagroups::{CheckOptions, Checker};
+use oolong::prover::{prove_with_strategy, Budget, SearchStrategy};
+use oolong::syntax::parse_program;
+
+/// Proves every VC of `source` under every budget with both strategies
+/// and asserts outcome and normalized-stats equality.
+fn assert_strategies_agree(name: &str, source: &str, budgets: &[Budget]) {
+    let program = parse_program(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let checker =
+        Checker::new(&program, CheckOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let impl_ids: Vec<_> = checker.scope().impls().map(|(id, _)| id).collect();
+    let mut vcs = 0usize;
+    for impl_id in impl_ids {
+        let Ok(vc) = checker.vc(impl_id) else {
+            continue; // unsupported expression forms are not at issue here
+        };
+        vcs += 1;
+        for budget in budgets {
+            let trail =
+                prove_with_strategy(&vc.hypotheses, &vc.goal, budget, SearchStrategy::Trail);
+            let cloned = prove_with_strategy(
+                &vc.hypotheses,
+                &vc.goal,
+                budget,
+                SearchStrategy::CloneSearch,
+            );
+            assert_eq!(
+                trail.outcome, cloned.outcome,
+                "{name}: outcome diverges under {budget:?}"
+            );
+            assert_eq!(
+                trail.stats.without_trail_counters(),
+                cloned.stats.without_trail_counters(),
+                "{name}: stats diverge under {budget:?}"
+            );
+            // The clone-based reference never pops a trail; the counters
+            // it reports for backtracking must stay zero.
+            assert_eq!(cloned.stats.pops, 0, "{name}: clone search kept a trail");
+            assert_eq!(cloned.stats.undone_merges, 0);
+            assert_eq!(cloned.stats.trail_depth_max, 0);
+        }
+    }
+    assert!(vcs > 0, "{name}: no VC was generated");
+}
+
+/// A roomy-but-bounded budget plus deliberately starved ones, so both
+/// `Proved` searches and every `Unknown` exhaustion path are compared.
+/// The roomy budget is capped like the soundness suite's: an unbounded
+/// default budget would let hopeless generated VCs grind for minutes,
+/// and a timeout here only moves an outcome to `Unknown` — which the
+/// two strategies must still agree on.
+fn budget_grid() -> Vec<Budget> {
+    let roomy = Budget {
+        max_instances: 8_000,
+        max_branches: 8_000,
+        max_rounds: 400,
+        ..Budget::default()
+    };
+    vec![
+        roomy.clone(),
+        Budget::tiny(),
+        // The branch- and depth-starved entries also cap instantiation:
+        // once splitting is blocked the search falls back to saturating
+        // each stuck branch, and an 8k-instance grind per branch adds
+        // nothing to the equivalence claim being tested.
+        Budget {
+            max_branches: 6,
+            max_instances: 600,
+            max_rounds: 60,
+            ..roomy.clone()
+        },
+        Budget {
+            max_depth: 2,
+            max_instances: 600,
+            max_rounds: 60,
+            ..roomy.clone()
+        },
+        Budget {
+            max_instances: 40,
+            max_rounds: 25,
+            ..roomy
+        },
+    ]
+}
+
+#[test]
+fn trail_matches_clone_on_paper_corpus() {
+    for p in corpus::all() {
+        assert_strategies_agree(p.name, p.source, &budget_grid());
+    }
+}
+
+#[test]
+fn trail_matches_clone_on_generated_programs() {
+    let cfg = GenConfig::default();
+    for seed in 0..12 {
+        let src = corpus::generate_source(seed, &cfg);
+        assert_strategies_agree(&format!("generated seed {seed}"), &src, &budget_grid());
+    }
+}
+
+#[test]
+fn trail_matches_clone_on_cyclic_programs() {
+    // Cyclic rep inclusions starve the matcher (the paper's §5 third
+    // example); the strategies must agree on the Unknown outcomes and on
+    // which budget dimension tripped.
+    for seed in 0..6 {
+        let src = corpus::generate_cyclic_source(seed);
+        assert_strategies_agree(&format!("cyclic seed {seed}"), &src, &budget_grid());
+    }
+}
+
+#[test]
+fn trail_matches_clone_on_branchy_programs() {
+    // Branch-heavy choice chains are where the trail actually earns its
+    // keep: 2^depth case splits per VC. The VC itself has 2^depth leaves,
+    // so the clone-based reference gets slow very fast — a tighter grid
+    // (still completing full searches at these depths) keeps the suite
+    // within CI time.
+    let branchy_grid = vec![
+        Budget {
+            max_instances: 2_500,
+            max_branches: 2_000,
+            max_rounds: 200,
+            ..Budget::default()
+        },
+        Budget::tiny(),
+        Budget {
+            max_branches: 6,
+            max_instances: 600,
+            max_rounds: 60,
+            ..Budget::default()
+        },
+        Budget {
+            max_depth: 2,
+            max_instances: 600,
+            max_rounds: 60,
+            ..Budget::default()
+        },
+    ];
+    for seed in 0..6 {
+        let depth = 3 + (seed as usize % 3);
+        let src = corpus::generate_branchy_source(seed, depth);
+        assert_strategies_agree(
+            &format!("branchy seed {seed} depth {depth}"),
+            &src,
+            &branchy_grid,
+        );
+    }
+}

@@ -428,3 +428,131 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------- e-graph trail round-tripping
+
+/// Applies a random op sequence (interning applications and sums, merging,
+/// disequating) to the E-graph. Stops at the first [`Conflict`] — the
+/// trail must restore even a contradictory E-graph, so conflicted
+/// prefixes stay in the sample population.
+fn apply_trail_ops(
+    eg: &mut oolong::prover::EGraph,
+    pool: &mut Vec<Term>,
+    ids: &mut Vec<oolong::prover::NodeId>,
+    ops: &[(u64, usize, usize)],
+) {
+    for &(kind, i, j) in ops {
+        let n = pool.len();
+        match kind % 5 {
+            0 => {
+                let t = Term::uninterp("f", vec![pool[i % n].clone()]);
+                let Ok(id) = eg.intern(&t) else { return };
+                pool.push(t);
+                ids.push(id);
+            }
+            1 => {
+                let t = Term::uninterp("g", vec![pool[i % n].clone(), pool[j % n].clone()]);
+                let Ok(id) = eg.intern(&t) else { return };
+                pool.push(t);
+                ids.push(id);
+            }
+            2 => {
+                // Sums engage the eager arithmetic evaluator.
+                let t = Term::add(pool[i % n].clone(), pool[j % n].clone());
+                let Ok(id) = eg.intern(&t) else { return };
+                pool.push(t);
+                ids.push(id);
+            }
+            3 => {
+                if eg.merge(ids[i % ids.len()], ids[j % ids.len()]).is_err() {
+                    return;
+                }
+            }
+            _ => {
+                if eg
+                    .assert_diseq(ids[i % ids.len()], ids[j % ids.len()])
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Base universe: free constants and small integers, pre-interned so
+/// merges can hit both uninterpreted and evaluated classes.
+fn trail_base(eg: &mut oolong::prover::EGraph) -> (Vec<Term>, Vec<oolong::prover::NodeId>) {
+    let pool: Vec<Term> = vec![
+        Term::var("a"),
+        Term::var("b"),
+        Term::var("c"),
+        Term::int(0),
+        Term::int(1),
+        Term::int(2),
+        Term::null(),
+    ];
+    let ids = pool.iter().map(|t| eg.intern(t).unwrap()).collect();
+    (pool, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `push`/`pop` round-trips the full E-graph state: whatever happens
+    /// between the checkpoint and the pop — new nodes, merges with
+    /// congruence repair, arithmetic evaluation, disequations, even a
+    /// conflict — the canonical state rendering afterwards is identical
+    /// to the one before.
+    #[test]
+    fn egraph_push_pop_roundtrips(
+        setup in proptest::collection::vec((0u64..255, 0usize..32, 0usize..32), 0..12),
+        branch in proptest::collection::vec((0u64..255, 0usize..32, 0usize..32), 1..16),
+    ) {
+        use oolong::prover::EGraph;
+        let mut eg = EGraph::new();
+        let (mut pool, mut ids) = trail_base(&mut eg);
+        apply_trail_ops(&mut eg, &mut pool, &mut ids, &setup);
+        let before = eg.debug_state();
+        let merges_before = eg.merge_count();
+        let mark = eg.push();
+        apply_trail_ops(&mut eg, &mut pool, &mut ids, &branch);
+        eg.pop(mark);
+        prop_assert_eq!(eg.debug_state(), before, "ops {:?} then {:?}", setup, branch);
+        prop_assert_eq!(eg.merge_count(), merges_before);
+    }
+
+    /// Nested checkpoints unwind LIFO at arbitrary depths: popping any
+    /// suffix of the mark stack restores exactly the state that was
+    /// captured when the corresponding mark was taken.
+    #[test]
+    fn egraph_nested_push_pop_roundtrips(
+        segments in proptest::collection::vec(
+            proptest::collection::vec((0u64..255, 0usize..32, 0usize..32), 1..8),
+            1..5,
+        ),
+        keep in 0usize..5,
+    ) {
+        use oolong::prover::EGraph;
+        let mut eg = EGraph::new();
+        let (mut pool, mut ids) = trail_base(&mut eg);
+        let mut marks = Vec::new();
+        let mut snapshots = Vec::new();
+        for seg in &segments {
+            snapshots.push(eg.debug_state());
+            marks.push(eg.push());
+            apply_trail_ops(&mut eg, &mut pool, &mut ids, seg);
+        }
+        // Pop back to a random retained depth, checking each level.
+        let keep = keep % (marks.len() + 1);
+        while marks.len() > keep {
+            let mark = marks.pop().unwrap();
+            let expected = snapshots.pop().unwrap();
+            eg.pop(mark);
+            prop_assert_eq!(
+                eg.debug_state(), expected,
+                "level {} of {:?}", marks.len(), segments
+            );
+        }
+    }
+}

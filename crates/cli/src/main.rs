@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! oolong check   <file|corpus:NAME> [--naive] [--null-checks] [--json] [--explain-unknown]
+//! oolong explain <file|corpus:NAME> [--proc NAME] [--cache-dir DIR] [--json]
 //! oolong batch   <files...> [--cache-dir DIR] [--workers N] [--events PATH] [--json]
 //! oolong recheck [--cache-dir DIR] [--events PATH] [--json]
 //! oolong run     <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
@@ -14,13 +15,18 @@
 //! paper corpus (see `oolong corpus`). `batch` checks many units through
 //! the incremental engine, persisting verdicts under `--cache-dir`;
 //! `recheck` repeats the last recorded batch against the same cache, so an
-//! unchanged program verifies without a single prover call. `check
+//! unchanged program verifies without a single prover call. `explain`
+//! diagnoses every rejected implementation: it resolves the refuting
+//! branch's position label to a source command, concretizes the prover's
+//! candidate model into an initial store, and replays it through the
+//! interpreter to confirm (or demote) the counterexample. `check
 //! --explain-unknown` attributes a budget-exhausted verdict to the
 //! quantified axioms that consumed the budget; `stats` aggregates the same
 //! per-axiom telemetry across every obligation of a program.
 
 use datagroups::{overhead, prover_metrics, CheckOptions, Checker};
-use oolong_engine::{BatchUnit, Engine, EngineOptions, Json};
+use oolong_diagnose::{diagnose_refutation, diagnose_restriction, Diagnosis, Replay};
+use oolong_engine::{diagnosis_to_json, label_to_json, BatchUnit, Engine, EngineOptions, Json};
 use oolong_interp::{ExecConfig, Interp, RngOracle, RunOutcome};
 use oolong_prover::SearchStrategy;
 use oolong_sema::Scope;
@@ -46,6 +52,9 @@ fn usage() -> String {
   oolong check   <file|corpus:NAME> [--modular] [--naive] [--null-checks] [--explain]
                  [--explain-unknown] [--json] [--max-instances N] [--max-gen N]
                  [--clone-search]
+  oolong explain <file|corpus:NAME> [--proc NAME] [--cache-dir DIR] [--json]
+                 [--naive] [--null-checks] [--max-instances N] [--max-gen N]
+                 [--clone-search]
   oolong batch   <files|corpus:NAMEs...> [--cache-dir DIR] [--no-cache] [--workers N]
                  [--events PATH] [--json] [--naive] [--null-checks]
                  [--max-instances N] [--max-gen N] [--clone-search]
@@ -65,6 +74,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "recheck" => cmd_recheck(&args[1..]),
         "run" => cmd_run(&args[1..]),
@@ -175,15 +185,18 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     }
     let checker = Checker::new(&program, options).map_err(|e| e.render(&source))?;
     let report = checker.check_all_parallel();
+    let explain = flag(args, "--explain");
     if flag(args, "--json") {
-        println!("{}", check_report_json(&report).render());
+        println!(
+            "{}",
+            check_report_json(&checker, &source, &report, explain).render()
+        );
         return Ok(if report.all_verified() {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
         });
     }
-    let explain = flag(args, "--explain");
     let explain_unknown = flag(args, "--explain-unknown");
     for rep in &report.impls {
         print!("impl {}: {}", rep.proc_name, rep.verdict);
@@ -196,6 +209,11 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                 println!("  unrefuted scenario:");
                 for line in branch {
                     println!("    {line}");
+                }
+            }
+            if let Some(d) = diagnosis_for(&checker, &source, rep) {
+                for line in render_diagnosis(&d) {
+                    println!("  {line}");
                 }
             }
         }
@@ -216,8 +234,67 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-/// The `--json` rendering of a plain `check` report.
-fn check_report_json(report: &datagroups::Report) -> Json {
+/// Diagnoses one rejected implementation from a plain `check` report:
+/// refuted VCs go through model concretization and interpreter replay,
+/// restriction violations through the dynamic store audit.
+fn diagnosis_for(
+    checker: &Checker,
+    source: &str,
+    rep: &datagroups::ImplReport,
+) -> Option<Diagnosis> {
+    match &rep.verdict {
+        datagroups::Verdict::NotVerified(_, refutation) => {
+            let vc = checker.vc(rep.impl_id).ok()?;
+            diagnose_refutation(checker.scope(), source, &vc, refutation)
+        }
+        datagroups::Verdict::RestrictionViolation(violations) => diagnose_restriction(
+            checker.scope(),
+            source,
+            rep.impl_id,
+            &rep.proc_name,
+            violations,
+        ),
+        _ => None,
+    }
+}
+
+/// Human-readable lines for one diagnosis.
+fn render_diagnosis(d: &Diagnosis) -> Vec<String> {
+    let mut out = vec![
+        format!("{} at line {}, col {}:", d.kind.as_str(), d.line, d.col),
+        format!("  | {}", d.snippet),
+        format!("  clause: {}", d.clause),
+    ];
+    if !d.touched.is_empty() {
+        out.push(format!("  touched: {}", d.touched.join(", ")));
+    }
+    if !d.pre_store.is_empty() {
+        out.push(format!("  pre-store: {}", d.pre_store.join(", ")));
+    }
+    if !d.args.is_empty() {
+        out.push(format!("  args: {}", d.args.join(", ")));
+    }
+    out.push(match &d.replay {
+        Replay::Confirmed { oracle, witness } => {
+            format!("  replay: confirmed ({oracle} oracle) — {witness}")
+        }
+        Replay::Spurious { attempts } => {
+            format!("  replay: spurious (prover-internal) after {attempts} runs")
+        }
+        Replay::Unavailable { reason } => format!("  replay: unavailable — {reason}"),
+    });
+    out
+}
+
+/// The `--json` rendering of a plain `check` report. Refuted obligations
+/// always carry their attribution (obligation kind, label id); the full
+/// diagnosis rides along when `explain` is set.
+fn check_report_json(
+    checker: &Checker,
+    source: &str,
+    report: &datagroups::Report,
+    explain: bool,
+) -> Json {
     let impls = report
         .impls
         .iter()
@@ -259,6 +336,21 @@ fn check_report_json(report: &datagroups::Report) -> Json {
                     Json::Array(branch.iter().map(|l| Json::Str(l.clone())).collect()),
                 ));
             }
+            if let Some(refutation) = rep.verdict.refutation() {
+                if let Some(primary) = &refutation.primary {
+                    members.push((
+                        "obligation_kind".to_string(),
+                        Json::Str(primary.kind.as_str().to_string()),
+                    ));
+                    members.push(("label_id".to_string(), Json::Int(primary.id as i64)));
+                    members.push(("label".to_string(), label_to_json(primary)));
+                }
+            }
+            if explain {
+                if let Some(d) = diagnosis_for(checker, source, rep) {
+                    members.push(("diagnosis".to_string(), diagnosis_to_json(&d)));
+                }
+            }
             Json::Object(members)
         })
         .collect();
@@ -276,6 +368,107 @@ fn check_report_json(report: &datagroups::Report) -> Json {
     ])
 }
 
+/// `oolong explain` — diagnose every rejected implementation through the
+/// engine (so repeated explains of an unchanged program replay the cached
+/// diagnosis byte-for-byte instead of re-proving and re-running replay).
+fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
+    let spec = positional(args)?;
+    let source = load_source(spec)?;
+    let options = EngineOptions {
+        check: check_options(args)?,
+        workers: 0,
+        cache_dir: opt_value(args, "--cache-dir").map(PathBuf::from),
+        diagnose: true,
+    };
+    let engine = Engine::new(options).map_err(|e| format!("cannot open cache: {e}"))?;
+    let report = engine.check_source(spec, &source);
+    if let Some(error) = report.unit_errors.first() {
+        return Err(error.message.clone());
+    }
+    let filter = opt_value(args, "--proc");
+    let obligations: Vec<_> = report
+        .obligations
+        .iter()
+        .filter(|o| filter.as_deref().is_none_or(|f| o.proc_name == f))
+        .collect();
+    if obligations.is_empty() {
+        return Err(match filter {
+            Some(f) => format!("no implementation of `{f}` in `{spec}`"),
+            None => format!("no implementations in `{spec}`"),
+        });
+    }
+    let all_verified = obligations.iter().all(|o| o.verdict.is_verified());
+    if flag(args, "--json") {
+        let impls = obligations
+            .iter()
+            .map(|o| {
+                let mut members = vec![
+                    ("proc".to_string(), Json::Str(o.proc_name.clone())),
+                    (
+                        "verdict".to_string(),
+                        Json::Str(o.verdict.label().to_string()),
+                    ),
+                    ("cache_hit".to_string(), Json::Bool(o.cache_hit)),
+                ];
+                if let Some(refutation) = o.verdict.refutation() {
+                    if let Some(primary) = &refutation.primary {
+                        members.push((
+                            "obligation_kind".to_string(),
+                            Json::Str(primary.kind.as_str().to_string()),
+                        ));
+                        members.push(("label_id".to_string(), Json::Int(primary.id as i64)));
+                        members.push(("label".to_string(), label_to_json(primary)));
+                    }
+                }
+                members.push((
+                    "diagnosis".to_string(),
+                    match &o.diagnosis {
+                        Some(d) => diagnosis_to_json(d),
+                        None => Json::Null,
+                    },
+                ));
+                Json::Object(members)
+            })
+            .collect();
+        println!(
+            "{}",
+            Json::Object(vec![
+                ("unit".to_string(), Json::Str(spec.to_string())),
+                ("impls".to_string(), Json::Array(impls)),
+            ])
+            .render()
+        );
+        return Ok(if all_verified {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+    for o in &obligations {
+        print!("impl {}: {}", o.proc_name, o.verdict);
+        if o.cache_hit {
+            print!("  [cached]");
+        }
+        println!();
+        match &o.diagnosis {
+            Some(d) => {
+                for line in render_diagnosis(d) {
+                    println!("  {line}");
+                }
+            }
+            None if !o.verdict.is_verified() => {
+                println!("  no diagnosis: the refuting branch carried no position label");
+            }
+            None => {}
+        }
+    }
+    Ok(if all_verified {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// Default location of the persistent verdict cache and batch manifest.
 const DEFAULT_CACHE_DIR: &str = ".oolong-cache";
 
@@ -291,6 +484,7 @@ fn engine_options(args: &[String], cache_dir: Option<PathBuf>) -> Result<EngineO
         check: check_options(args)?,
         workers,
         cache_dir,
+        diagnose: flag(args, "--explain"),
     })
 }
 

@@ -119,6 +119,116 @@ fn check_json_schema_is_stable() {
     );
 }
 
+/// `explain --json` on the §3.1 bad call: the full diagnosis object —
+/// label, clause, touched chain, concrete pre-store, replay verdict.
+#[test]
+fn explain_json_schema_is_stable() {
+    let out = oolong(&[
+        "explain",
+        "corpus:section31_bad_call",
+        "--json",
+        "--proc",
+        "bad_caller",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = json::parse(stdout.trim()).expect("explain --json emits one JSON object");
+    assert_matches_snapshot("explain_bad_call.schema.txt", &value);
+
+    let rep = value
+        .get("impls")
+        .and_then(Json::as_array)
+        .and_then(|i| i.first())
+        .expect("the filtered impl");
+    assert_eq!(
+        rep.get("obligation_kind").and_then(Json::as_str),
+        Some("owner-exclusion")
+    );
+    let diagnosis = rep.get("diagnosis").expect("diagnosis present");
+    assert_eq!(
+        diagnosis.get("snippet").and_then(Json::as_str),
+        Some("w(st, st.vec)"),
+        "the diagnosis blames the bad call site"
+    );
+    assert_eq!(
+        diagnosis
+            .get("replay")
+            .and_then(|r| r.get("status"))
+            .and_then(Json::as_str),
+        Some("confirmed"),
+        "the replay confirms the violation"
+    );
+}
+
+/// `check --json` attribution on a refuted obligation: kind, label id,
+/// and the label object are present even without `--explain`; the full
+/// diagnosis member appears only with it.
+#[test]
+fn check_json_refuted_attribution_schema_is_stable() {
+    let out = oolong(&["check", "corpus:section31_bad_call", "--json", "--explain"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = json::parse(stdout.trim()).expect("check --json emits one JSON object");
+    let rep = value
+        .get("impls")
+        .and_then(Json::as_array)
+        .and_then(|impls| {
+            impls
+                .iter()
+                .find(|r| r.get("proc").and_then(Json::as_str) == Some("bad_caller"))
+        })
+        .expect("bad_caller report");
+    assert_matches_snapshot("check_bad_call_refuted.schema.txt", rep);
+
+    // Without --explain, attribution stays but the diagnosis is dropped.
+    let plain = oolong(&["check", "corpus:section31_bad_call", "--json"]);
+    let stdout = String::from_utf8_lossy(&plain.stdout);
+    let value = json::parse(stdout.trim()).expect("one JSON object");
+    let rep = value
+        .get("impls")
+        .and_then(Json::as_array)
+        .and_then(|impls| {
+            impls
+                .iter()
+                .find(|r| r.get("proc").and_then(Json::as_str) == Some("bad_caller"))
+        })
+        .expect("bad_caller report");
+    assert_eq!(
+        rep.get("obligation_kind").and_then(Json::as_str),
+        Some("owner-exclusion")
+    );
+    assert!(rep.get("label_id").is_some(), "label id survives");
+    assert!(rep.get("diagnosis").is_none(), "diagnosis needs --explain");
+}
+
+/// A cached diagnosis replays byte-for-byte: two `explain --json` runs
+/// against the same cache directory differ only in the cache-hit flag.
+#[test]
+fn explain_json_is_byte_stable_across_cache() {
+    let dir = std::env::temp_dir().join(format!("oolong-golden-{}", std::process::id()));
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let run = || {
+        let out = oolong(&[
+            "explain",
+            "corpus:section31_bad_call",
+            "--json",
+            "--cache-dir",
+            dir_s,
+        ]);
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let cold = run();
+    let warm = run();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        warm.contains("\"cache_hit\":true"),
+        "second run is served from the cache:\n{warm}"
+    );
+    assert_eq!(
+        cold.replace("\"cache_hit\":false", "\"cache_hit\":true"),
+        warm,
+        "the cached diagnosis must replay byte-for-byte"
+    );
+}
+
 /// `stats --json`: program shape plus the aggregated prover telemetry.
 #[test]
 fn stats_json_schema_is_stable() {

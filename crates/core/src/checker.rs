@@ -3,8 +3,8 @@
 //! theorem prover.
 
 use crate::restrict::check_pivot_uniqueness;
-use crate::vcgen::{Vc, VcGen, VcOptions};
-use oolong_prover::{prove_with_strategy, Budget, Outcome, SearchStrategy, Stats};
+use crate::vcgen::{ObligationLabel, Vc, VcGen, VcOptions};
+use oolong_prover::{prove_with_strategy, Budget, CandidateModel, Outcome, SearchStrategy, Stats};
 use oolong_sema::{ImplId, Scope};
 use oolong_syntax::{Diagnostic, Diagnostics, Program};
 use std::fmt;
@@ -45,6 +45,43 @@ impl Default for CheckOptions {
     }
 }
 
+/// Everything the prover reports about a rejected verification condition:
+/// the open-branch sketch, the position labels that landed on the refuting
+/// branch, the primary (innermost) obligation they identify, and the
+/// exported candidate model for counterexample concretization.
+#[derive(Debug, Clone, Default)]
+pub struct Refutation {
+    /// Human-readable sketch of the open branch's determined predicates.
+    pub open_branch: Option<Vec<String>>,
+    /// Position-label ids asserted on the refuting branch, in assertion
+    /// order (deduplicated).
+    pub labels: Vec<u32>,
+    /// The obligation the branch violates: the last asserted label,
+    /// resolved against the VC's label table.
+    pub primary: Option<ObligationLabel>,
+    /// The exported saturated branch context, when recorded.
+    pub model: Option<CandidateModel>,
+}
+
+impl Refutation {
+    /// Builds a refutation from a prover model, resolving the innermost
+    /// label id against the VC's label table.
+    pub fn from_proof(
+        open_branch: Option<Vec<String>>,
+        model: Option<CandidateModel>,
+        vc: &Vc,
+    ) -> Refutation {
+        let labels = model.as_ref().map(|m| m.labels.clone()).unwrap_or_default();
+        let primary = labels.last().and_then(|&id| vc.label(id)).cloned();
+        Refutation {
+            open_branch,
+            labels,
+            primary,
+            model,
+        }
+    }
+}
+
 /// The verdict for one implementation.
 #[derive(Debug, Clone)]
 pub enum Verdict {
@@ -54,9 +91,9 @@ pub enum Verdict {
     /// The implementation violates the pivot uniqueness restriction.
     RestrictionViolation(Vec<Diagnostic>),
     /// The VC could not be proved: a genuine error or an incompleteness.
-    /// Carries a sketch of the open branch (the literal assignment the
-    /// prover could not refute) when available.
-    NotVerified(Stats, Option<Vec<String>>),
+    /// Carries the prover's [`Refutation`] evidence (boxed: the candidate
+    /// model dwarfs every other variant).
+    NotVerified(Stats, Box<Refutation>),
     /// The prover ran out of budget.
     Unknown(Stats),
     /// VC generation failed (unsupported expression form).
@@ -93,7 +130,15 @@ impl Verdict {
     /// verification condition is not derivable.
     pub fn open_branch(&self) -> Option<&[String]> {
         match self {
-            Verdict::NotVerified(_, Some(branch)) => Some(branch),
+            Verdict::NotVerified(_, r) => r.open_branch.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// The full refutation evidence for a rejection.
+    pub fn refutation(&self) -> Option<&Refutation> {
+        match self {
+            Verdict::NotVerified(_, r) => Some(r),
             _ => None,
         }
     }
@@ -268,7 +313,10 @@ impl Checker {
         );
         match proof.outcome {
             Outcome::Proved => Verdict::Verified(proof.stats),
-            Outcome::NotProved => Verdict::NotVerified(proof.stats, proof.open_branch),
+            Outcome::NotProved => Verdict::NotVerified(
+                proof.stats,
+                Box::new(Refutation::from_proof(proof.open_branch, proof.model, vc)),
+            ),
             Outcome::Unknown(_) => Verdict::Unknown(proof.stats),
         }
     }

@@ -45,9 +45,9 @@ pub mod translate;
 pub mod vcgen;
 
 pub use checker::{
-    check_modular, CheckOptions, Checker, ImplReport, ModularReport, Report, Verdict,
+    check_modular, CheckOptions, Checker, ImplReport, ModularReport, Refutation, Report, Verdict,
 };
 pub use effects::{ModEntry, ModList};
 pub use metrics::{overhead, prover_metrics, HotAxiom, OverheadReport, ProverMetrics};
 pub use restrict::check_pivot_uniqueness;
-pub use vcgen::{Vc, VcGen, VcOptions};
+pub use vcgen::{ObligationKind, ObligationLabel, Vc, VcGen, VcOptions};

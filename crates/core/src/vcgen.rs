@@ -14,12 +14,73 @@
 //! store advances to `S_pre⁺`. The field-allocation rule is treated
 //! correspondingly: the final store is `$⁺(tr(E)·f := new($))`.
 
-use crate::effects::ModList;
+use crate::effects::{ModEntry, ModList};
 use crate::translate::{tr_formula, tr_value};
 use oolong_logic::transform::FreshGen;
 use oolong_logic::{Atom, Formula, Pattern, Term, Trigger};
 use oolong_sema::{ImplId, Scope};
 use oolong_syntax::{Cmd, Diagnostic, Expr, Span};
+use std::fmt;
+
+/// The kind of proof obligation a position label marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObligationKind {
+    /// A `mod(X·A, w, $0)` license for a field/slot write, or a caller's
+    /// license covering a callee's modifies entry.
+    ModifiesViolation,
+    /// An `ownExcl` clause for an argument at a call site.
+    OwnerExclusion,
+    /// An `assert E` command's condition.
+    Assert,
+    /// The syntactic pivot-uniqueness restriction (checked outside the
+    /// prover; never appears on a VC label, but shares the vocabulary).
+    PivotUniqueness,
+}
+
+impl ObligationKind {
+    /// Stable machine-readable name (used in JSON output and caches).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObligationKind::ModifiesViolation => "modifies-violation",
+            ObligationKind::OwnerExclusion => "owner-exclusion",
+            ObligationKind::Assert => "assert",
+            ObligationKind::PivotUniqueness => "pivot-uniqueness",
+        }
+    }
+
+    /// Inverse of [`ObligationKind::as_str`].
+    pub fn parse(s: &str) -> Option<ObligationKind> {
+        match s {
+            "modifies-violation" => Some(ObligationKind::ModifiesViolation),
+            "owner-exclusion" => Some(ObligationKind::OwnerExclusion),
+            "assert" => Some(ObligationKind::Assert),
+            "pivot-uniqueness" => Some(ObligationKind::PivotUniqueness),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ObligationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One position label (`lblpos`-style): the source command and obligation
+/// kind a labelled VC conjunct stands for. The prover treats the label as
+/// logically transparent but reports which labels land on a refuting
+/// branch, letting diagnostics point back at the offending command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObligationLabel {
+    /// The label id embedded in the formula ([`Formula::Labeled`]).
+    pub id: u32,
+    /// What kind of obligation the conjunct is.
+    pub kind: ObligationKind,
+    /// Source span of the offending command.
+    pub span: Span,
+    /// Human-readable description of the obligation.
+    pub detail: String,
+}
 
 /// Options controlling VC generation.
 #[derive(Debug, Clone)]
@@ -68,10 +129,21 @@ pub struct Vc {
     pub background_hyps: usize,
     /// `wlp_{w,$0}(C, true)`.
     pub goal: Formula,
+    /// The position labels embedded in `goal`, indexed by label id.
+    pub labels: Vec<ObligationLabel>,
 }
 
 impl Vc {
-    /// Total formula size (hypotheses plus goal), for statistics.
+    /// Looks up a label by its id.
+    pub fn label(&self, id: u32) -> Option<&ObligationLabel> {
+        self.labels.iter().find(|l| l.id == id)
+    }
+}
+
+impl Vc {
+    /// Total formula size (hypotheses plus goal), for statistics. Labels
+    /// are transparent to [`Formula::size`], so this matches the
+    /// unlabelled VC.
     pub fn size(&self) -> usize {
         self.hypotheses.iter().map(Formula::size).sum::<usize>() + self.goal.size()
     }
@@ -88,6 +160,9 @@ pub struct VcGen<'s> {
     /// axiom (4), the slot axioms, and the elementwise owner-exclusion
     /// clauses.
     arrays: bool,
+    /// Position labels allocated while generating the current VC's goal;
+    /// drained into [`Vc::labels`] by [`VcGen::vc_for_impl`].
+    labels: Vec<ObligationLabel>,
 }
 
 impl<'s> VcGen<'s> {
@@ -99,6 +174,40 @@ impl<'s> VcGen<'s> {
             options,
             fresh: FreshGen::new(),
             arrays,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Wraps an obligation conjunct in a fresh position label and records
+    /// the label's source metadata. Constant formulas pass through
+    /// unlabelled (there is nothing to report about them).
+    fn label(
+        &mut self,
+        kind: ObligationKind,
+        span: Span,
+        detail: impl Into<String>,
+        f: Formula,
+    ) -> Formula {
+        // A statically-false obligation (e.g. `assert false`) still needs
+        // a label to be blamed; represent it as an inert contradiction
+        // *literal* — a bare `False` would dissolve during NNF conversion
+        // before the prover could stamp the branch.
+        let f = if matches!(f, Formula::False) {
+            Formula::eq(Term::int(0), Term::int(1))
+        } else {
+            f
+        };
+        match Formula::labeled(self.labels.len() as u32, f) {
+            Formula::Labeled(id, body) => {
+                self.labels.push(ObligationLabel {
+                    id,
+                    kind,
+                    span,
+                    detail: detail.into(),
+                });
+                Formula::Labeled(id, body)
+            }
+            other => other,
         }
     }
 
@@ -162,6 +271,7 @@ impl<'s> VcGen<'s> {
         }
 
         let body = info.body.desugared();
+        self.labels.clear();
         let goal = self.wlp(&body, Formula::True, &w)?;
         Ok(Vc {
             impl_id,
@@ -169,16 +279,23 @@ impl<'s> VcGen<'s> {
             hypotheses,
             background_hyps,
             goal,
+            labels: std::mem::take(&mut self.labels),
         })
     }
 
     /// The weakest liberal precondition `wlp_{w,$0}(cmd, q)` (Figure 2).
     pub fn wlp(&mut self, cmd: &Cmd, q: Formula, w: &ModList) -> Result<Formula, Diagnostic> {
         match cmd {
-            Cmd::Assert(e, _) => {
+            Cmd::Assert(e, span) => {
                 let tr = tr_formula(e, &Term::store())?;
+                let condition = self.label(
+                    ObligationKind::Assert,
+                    *span,
+                    "assert condition may not hold",
+                    tr.formula,
+                );
                 Ok(Formula::and(
-                    self.defined(tr.defined).chain([tr.formula, q]).collect(),
+                    self.defined(tr.defined).chain([condition, q]).collect(),
                 ))
             }
             Cmd::Assume(e, _) => {
@@ -237,7 +354,15 @@ impl<'s> VcGen<'s> {
             Expr::Select { base, attr, .. } => {
                 let b = tr_value(base, &Term::store())?;
                 let attr_term = Term::attr(attr.text.clone());
-                let license = w.modifiable(&b.term, &attr_term, &Term::store0());
+                let license = self.label(
+                    ObligationKind::ModifiesViolation,
+                    span,
+                    format!(
+                        "write to field `{}` not covered by modifies list",
+                        attr.text
+                    ),
+                    w.modifiable(&b.term, &attr_term, &Term::store0()),
+                );
                 let updated =
                     Term::update(Term::store(), b.term.clone(), attr_term, r.term.clone());
                 let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
@@ -254,7 +379,12 @@ impl<'s> VcGen<'s> {
             Expr::Index { base, index, .. } => {
                 let b = tr_value(base, &Term::store())?;
                 let idx = tr_value(index, &Term::store())?;
-                let license = w.modifiable(&b.term, &idx.term, &Term::store0());
+                let license = self.label(
+                    ObligationKind::ModifiesViolation,
+                    span,
+                    "slot write not covered by modifies list",
+                    w.modifiable(&b.term, &idx.term, &Term::store0()),
+                );
                 let updated = Term::update(
                     Term::store(),
                     b.term.clone(),
@@ -298,7 +428,15 @@ impl<'s> VcGen<'s> {
             Expr::Select { base, attr, .. } => {
                 let b = tr_value(base, &Term::store())?;
                 let attr_term = Term::attr(attr.text.clone());
-                let license = w.modifiable(&b.term, &attr_term, &Term::store0());
+                let license = self.label(
+                    ObligationKind::ModifiesViolation,
+                    span,
+                    format!(
+                        "allocation into field `{}` not covered by modifies list",
+                        attr.text
+                    ),
+                    w.modifiable(&b.term, &attr_term, &Term::store0()),
+                );
                 let updated = Term::update(
                     Term::succ(Term::store()),
                     b.term.clone(),
@@ -316,7 +454,12 @@ impl<'s> VcGen<'s> {
             Expr::Index { base, index, .. } => {
                 let b = tr_value(base, &Term::store())?;
                 let idx = tr_value(index, &Term::store())?;
-                let license = w.modifiable(&b.term, &idx.term, &Term::store0());
+                let license = self.label(
+                    ObligationKind::ModifiesViolation,
+                    span,
+                    "allocation into slot not covered by modifies list",
+                    w.modifiable(&b.term, &idx.term, &Term::store0()),
+                );
                 let updated = Term::update(
                     Term::succ(Term::store()),
                     b.term.clone(),
@@ -375,18 +518,33 @@ impl<'s> VcGen<'s> {
         // Caller's license covers every callee target (evaluated in the
         // current store, against w evaluated in $0).
         let mut obligations = Vec::new();
-        for entry in ws.entries() {
+        for (target, entry) in callee.modifies.iter().zip(ws.entries()) {
             let (obj, attr) = entry.location(&Term::store());
-            obligations.push(w.modifiable(&obj, &attr, &Term::store0()));
+            let license = self.label(
+                ObligationKind::ModifiesViolation,
+                span,
+                format!(
+                    "call to `{}` requires license for its modifies entry `{}`",
+                    proc.text,
+                    entry_desc(&callee.params, target, entry),
+                ),
+                w.modifiable(&obj, &attr, &Term::store0()),
+            );
+            obligations.push(license);
         }
         // Owner exclusion for every parameter value.
         if self.options.restrictions {
-            for s in &si_terms {
-                obligations.push(ws.own_excl_leveled(
-                    s,
-                    &Term::store(),
-                    self.arrays,
-                    &mut self.fresh,
+            for (i, s) in si_terms.iter().enumerate() {
+                let own_excl = ws.own_excl_leveled(s, &Term::store(), self.arrays, &mut self.fresh);
+                obligations.push(self.label(
+                    ObligationKind::OwnerExclusion,
+                    span,
+                    format!(
+                        "argument `{}` of call to `{}` may be an owned pivot value",
+                        callee.params.get(i).map(String::as_str).unwrap_or("?"),
+                        proc.text,
+                    ),
+                    own_excl,
                 ));
             }
         }
@@ -441,6 +599,13 @@ impl<'s> VcGen<'s> {
                 .collect(),
         ))
     }
+}
+
+/// Renders a callee's modifies entry as written (`param.path`), for label
+/// details at call sites.
+fn entry_desc(params: &[String], target: &oolong_sema::ModTarget, entry: &ModEntry) -> String {
+    let root = params.get(target.param).map(String::as_str).unwrap_or("?");
+    format!("{root}.{}", entry.path.join("."))
 }
 
 /// Whether the scope opts into the arrays language level: it declares an

@@ -193,6 +193,136 @@ pub fn generate_branchy_source(seed: u64, depth: usize) -> String {
     out
 }
 
+/// One seeded modifies-discipline bug kind, for diagnosis-accuracy tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeededBug {
+    /// A write to a field whose `in` clause was forgotten (it belongs to
+    /// no group, so the procedure's group license never covers it):
+    /// refuted as a modifies violation at the write.
+    ForgottenIn,
+    /// A call whose callee's modifies entry the caller's downward closure
+    /// does not cover: refuted as a modifies violation at the call.
+    MissingClosureMember,
+    /// A copy of a pivot value into a sibling field: rejected by the
+    /// syntactic pivot-uniqueness restriction at the copy.
+    StrayPivotWrite,
+}
+
+impl SeededBug {
+    /// Every bug kind, in the order `seed % 3` selects them.
+    pub const ALL: [SeededBug; 3] = [
+        SeededBug::ForgottenIn,
+        SeededBug::MissingClosureMember,
+        SeededBug::StrayPivotWrite,
+    ];
+
+    /// The obligation-kind string a correct diagnosis must report.
+    pub fn expected_kind(self) -> &'static str {
+        match self {
+            SeededBug::ForgottenIn | SeededBug::MissingClosureMember => "modifies-violation",
+            SeededBug::StrayPivotWrite => "pivot-uniqueness",
+        }
+    }
+}
+
+/// A generated program carrying exactly one seeded violation, with the
+/// injected command's location recorded as ground truth.
+#[derive(Debug, Clone)]
+pub struct SeededViolation {
+    /// The program text.
+    pub source: String,
+    /// Name of the (single) implemented procedure containing the bug.
+    pub proc_name: String,
+    /// Which bug was injected.
+    pub bug: SeededBug,
+    /// Byte offset of the injected command within `source`.
+    pub start: u32,
+    /// Byte offset one past the injected command.
+    pub end: u32,
+}
+
+impl SeededViolation {
+    /// The injected command's text.
+    pub fn snippet(&self) -> &str {
+        &self.source[self.start as usize..self.end as usize]
+    }
+}
+
+/// Generates a program with one seeded violation; the bug kind cycles
+/// with `seed % 3` and the surrounding (licensed, correct) decoy commands
+/// vary with the seed.
+pub fn generate_seeded_violation_source(seed: u64) -> SeededViolation {
+    generate_seeded_violation_with(seed, SeededBug::ALL[(seed % 3) as usize])
+}
+
+/// Generates a program with one seeded violation of a chosen kind.
+///
+/// The backbone is always correct: field `a` lives in group `g`, the
+/// implemented procedure is licensed to modify `t.g`, and every decoy
+/// command writes `t.a`. The injection is the only ill-behaved command,
+/// so the diagnosis must blame exactly the recorded span.
+pub fn generate_seeded_violation_with(seed: u64, bug: SeededBug) -> SeededViolation {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5851_f42d).wrapping_add(1));
+    let mut out = String::new();
+    let _ = writeln!(out, "group g");
+    let _ = writeln!(out, "field a in g");
+    // The forgotten `in` clause: `b` belongs to no group, so the license
+    // `modifies t.g` never covers it.
+    let _ = writeln!(out, "field b");
+    let _ = writeln!(out, "field p in g maps g into g");
+    let _ = writeln!(out, "proc helper(u) modifies u.b");
+    let _ = writeln!(out, "proc seeded(t) modifies t.g");
+    let _ = writeln!(out, "impl seeded(t) {{");
+
+    let mut cmds: Vec<(String, bool)> = Vec::new();
+    for _ in 0..rng.gen_range(0..3usize) {
+        cmds.push((format!("t.a := {}", rng.gen_range(0..9)), false));
+    }
+    if bug == SeededBug::StrayPivotWrite {
+        // Seed the pivot so the stray copy duplicates a real object at
+        // run time (making the violation dynamically confirmable).
+        cmds.push(("t.p := new()".to_string(), false));
+    }
+    let injected = match bug {
+        SeededBug::ForgottenIn => format!("t.b := {}", rng.gen_range(0..9)),
+        SeededBug::MissingClosureMember => "helper(t)".to_string(),
+        SeededBug::StrayPivotWrite => "t.a := t.p".to_string(),
+    };
+    cmds.push((injected, true));
+    // Trailing decoys stay away from `a` for the pivot bug: overwriting
+    // `t.a` would erase the duplicated pivot value before the end-of-run
+    // uniqueness audit, making the violation dynamically unconfirmable.
+    if bug != SeededBug::StrayPivotWrite {
+        for _ in 0..rng.gen_range(0..2usize) {
+            cmds.push((format!("t.a := {}", rng.gen_range(0..9)), false));
+        }
+    }
+
+    let (mut start, mut end) = (0u32, 0u32);
+    for (i, (cmd, is_bug)) in cmds.iter().enumerate() {
+        out.push_str("  ");
+        if *is_bug {
+            start = out.len() as u32;
+        }
+        out.push_str(cmd);
+        if *is_bug {
+            end = out.len() as u32;
+        }
+        if i + 1 < cmds.len() {
+            out.push_str(" ;");
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    SeededViolation {
+        source: out,
+        proc_name: "seeded".to_string(),
+        bug,
+        start,
+        end,
+    }
+}
+
 impl Gen {
     fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.rng.gen_range(0..items.len())]
@@ -590,6 +720,44 @@ mod tests {
     #[test]
     fn branchy_generation_is_deterministic() {
         assert_eq!(generate_branchy_source(5, 4), generate_branchy_source(5, 4));
+    }
+
+    #[test]
+    fn seeded_violations_are_well_formed_with_accurate_spans() {
+        for seed in 0..30 {
+            let v = generate_seeded_violation_source(seed);
+            let program = parse_program(&v.source)
+                .unwrap_or_else(|e| panic!("seed {seed} fails to parse: {e}\n{}", v.source));
+            Scope::analyze(&program)
+                .unwrap_or_else(|e| panic!("seed {seed} fails analysis: {e}\n{}", v.source));
+            assert!(v.start < v.end, "seed {seed} recorded an empty span");
+            let expected = match v.bug {
+                SeededBug::ForgottenIn => "t.b :=",
+                SeededBug::MissingClosureMember => "helper(t)",
+                SeededBug::StrayPivotWrite => "t.a := t.p",
+            };
+            assert!(
+                v.snippet().starts_with(expected),
+                "seed {seed}: snippet {:?} does not start with {expected:?}",
+                v.snippet()
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_violation_covers_every_bug_kind() {
+        for (i, bug) in SeededBug::ALL.iter().enumerate() {
+            let v = generate_seeded_violation_source(i as u64);
+            assert_eq!(v.bug, *bug);
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = generate_seeded_violation_source(9);
+        let b = generate_seeded_violation_source(9);
+        assert_eq!(a.source, b.source);
+        assert_eq!((a.start, a.end), (b.start, b.end));
     }
 
     #[test]

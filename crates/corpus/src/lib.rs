@@ -19,6 +19,8 @@ pub mod generate;
 pub mod paper;
 
 pub use generate::{
-    extend_source, generate_branchy_source, generate_cyclic_source, generate_source, GenConfig,
+    extend_source, generate_branchy_source, generate_cyclic_source,
+    generate_seeded_violation_source, generate_seeded_violation_with, generate_source, GenConfig,
+    SeededBug, SeededViolation,
 };
 pub use paper::{all, by_name, CorpusProgram};

@@ -1,0 +1,203 @@
+//! Solving a [`CandidateModel`] into a concrete initial object store.
+//!
+//! The prover's open branch determines a finite partition of ground terms
+//! into E-classes, some with interpreted values, plus `select` entries
+//! describing the initial store's contents. Concretization assigns every
+//! class a runtime value — the interpreted constant where the branch
+//! fixed one, a *distinct* fresh object for every object-sorted class
+//! (distinctness is consistent: classes the branch required equal are the
+//! same class, and the branch's disequalities only ever separate classes)
+//! — and turns the initial-store `select` entries into field and slot
+//! writes.
+
+use oolong_logic::{Cst, Term, STORE, STORE0};
+use oolong_prover::CandidateModel;
+use oolong_sema::Scope;
+
+/// The planned runtime value of one E-class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassValue {
+    /// An interpreted integer.
+    Int(i64),
+    /// An interpreted boolean.
+    Bool(bool),
+    /// The null reference.
+    Null,
+    /// A distinct object, allocated at materialization time.
+    Object,
+    /// The store itself (no runtime value).
+    Store,
+    /// An attribute-name constant (no runtime value).
+    AttrName(String),
+}
+
+/// A concretized candidate model: per-class value plan plus the initial
+/// store's contents, all by class index into the model.
+#[derive(Debug, Clone, Default)]
+pub struct PreStorePlan {
+    /// Value plan per E-class, parallel to `model.classes`.
+    pub class_values: Vec<ClassValue>,
+    /// Field writes `(object class, attribute name, value class)`.
+    pub field_writes: Vec<(usize, String, usize)>,
+    /// Slot writes `(object class, index, value class)`.
+    pub slot_writes: Vec<(usize, i64, usize)>,
+    /// Per-parameter class index; `None` means the parameter never
+    /// appeared on the branch and gets a fresh object.
+    pub args: Vec<Option<usize>>,
+}
+
+/// Synthetic value for integer-sorted classes the branch left
+/// unconstrained: large enough not to collide with the small literals
+/// programs use, offset by class index so distinct classes stay distinct.
+const UNCONSTRAINED_INT_BASE: i64 = 1000;
+
+/// Builds the concretization plan for `model`, for an implementation of a
+/// procedure with parameters `params`.
+pub fn concretize(scope: &Scope, model: &CandidateModel, params: &[String]) -> PreStorePlan {
+    let n = model.classes.len();
+
+    // Integer-sorted classes without an interpreted value (the branch
+    // asserted isInt but never pinned a literal).
+    let mut is_int = vec![false; n];
+    for rel in &model.relations {
+        if rel.sym == "PIsInt" && rel.value == Some(true) {
+            if let Some(&c) = rel.args.first() {
+                if c < n {
+                    is_int[c] = true;
+                }
+            }
+        }
+    }
+
+    // Store classes: whichever classes contain the store constants `$`
+    // or `$0` (the entry hypothesis `$ = $0` usually merges them).
+    let is_store = |idx: usize| {
+        model.classes[idx]
+            .members
+            .iter()
+            .any(|m| matches!(m, Term::Var(v) if v == STORE || v == STORE0))
+    };
+
+    let mut class_values = Vec::with_capacity(n);
+    for (idx, class) in model.classes.iter().enumerate() {
+        let value = match &class.value {
+            Some(Cst::Int(i)) => ClassValue::Int(*i),
+            Some(Cst::Bool(b)) => ClassValue::Bool(*b),
+            Some(Cst::Null) => ClassValue::Null,
+            Some(Cst::Attr(a)) => ClassValue::AttrName(a.clone()),
+            None if is_store(idx) => ClassValue::Store,
+            None if is_int[idx] => ClassValue::Int(UNCONSTRAINED_INT_BASE + idx as i64),
+            // Everything else — parameters, skolem constants, select
+            // results — is object-sorted as far as the branch cares.
+            None => ClassValue::Object,
+        };
+        class_values.push(value);
+    }
+
+    // Initial-store select entries become writes. Entries over derived
+    // (post-update) stores describe later states and are skipped.
+    let mut field_writes = Vec::new();
+    let mut slot_writes = Vec::new();
+    for sel in &model.selects {
+        if sel.store >= n || sel.obj >= n || sel.attr >= n || sel.value >= n {
+            continue;
+        }
+        if !matches!(class_values[sel.store], ClassValue::Store) {
+            continue;
+        }
+        if !matches!(class_values[sel.obj], ClassValue::Object) {
+            continue;
+        }
+        match &class_values[sel.attr] {
+            ClassValue::AttrName(name) if scope.attr(name).is_some() => {
+                field_writes.push((sel.obj, name.clone(), sel.value));
+            }
+            ClassValue::Int(i) => {
+                slot_writes.push((sel.obj, *i, sel.value));
+            }
+            _ => {}
+        }
+    }
+    field_writes.sort();
+    field_writes.dedup();
+    slot_writes.sort();
+    slot_writes.dedup();
+
+    let args = params
+        .iter()
+        .map(|p| {
+            model.classes.iter().position(|c| {
+                c.members
+                    .iter()
+                    .any(|m| matches!(m, Term::Var(v) if v == p))
+            })
+        })
+        .collect();
+
+    PreStorePlan {
+        class_values,
+        field_writes,
+        slot_writes,
+        args,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oolong_prover::{ModelClass, ModelSelect};
+    use oolong_syntax::parse_program;
+
+    fn scope() -> Scope {
+        Scope::analyze(&parse_program("field f proc p(t) modifies t.f").unwrap()).unwrap()
+    }
+
+    fn class(members: Vec<Term>, value: Option<Cst>) -> ModelClass {
+        ModelClass {
+            repr: members.first().cloned().unwrap_or(Term::Var("_".into())),
+            members,
+            value,
+        }
+    }
+
+    #[test]
+    fn store_param_and_constant_classes_are_sorted() {
+        let model = CandidateModel {
+            labels: vec![],
+            classes: vec![
+                class(
+                    vec![Term::Var(STORE0.into()), Term::Var(STORE.into())],
+                    None,
+                ),
+                class(vec![Term::Var("t".into())], None),
+                class(vec![Term::Const(Cst::Int(3))], Some(Cst::Int(3))),
+                class(
+                    vec![Term::Const(Cst::Attr("f".into()))],
+                    Some(Cst::Attr("f".into())),
+                ),
+            ],
+            selects: vec![ModelSelect {
+                store: 0,
+                obj: 1,
+                attr: 3,
+                value: 2,
+            }],
+            relations: vec![],
+            diseqs: vec![],
+        };
+        let plan = concretize(&scope(), &model, &["t".into()]);
+        assert_eq!(plan.class_values[0], ClassValue::Store);
+        assert_eq!(plan.class_values[1], ClassValue::Object);
+        assert_eq!(plan.class_values[2], ClassValue::Int(3));
+        assert_eq!(plan.class_values[3], ClassValue::AttrName("f".into()));
+        assert_eq!(plan.field_writes, vec![(1, "f".into(), 2)]);
+        assert_eq!(plan.args, vec![Some(1)]);
+    }
+
+    #[test]
+    fn missing_param_gets_fresh_object() {
+        let model = CandidateModel::default();
+        let plan = concretize(&scope(), &model, &["t".into()]);
+        assert_eq!(plan.args, vec![None]);
+    }
+}

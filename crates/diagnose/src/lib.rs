@@ -1,0 +1,35 @@
+//! Counterexample extraction and source-level diagnosis.
+//!
+//! A refuted verification condition by itself says only *that* an
+//! implementation may violate its specification. This crate turns the
+//! prover's evidence into an actionable explanation, in three steps:
+//!
+//! * **concretization** ([`concretize`]) — the saturated open branch the
+//!   prover exports as a [`oolong_prover::CandidateModel`] (E-class
+//!   partition, disequalities, `select` function graph) is solved into a
+//!   concrete initial object store and argument values: one distinct
+//!   object per object-sorted E-class, field and slot writes from the
+//!   initial-store `select` entries;
+//! * **replay** ([`replay`]) — the implementation is executed on that
+//!   store by `oolong-interp` under its runtime side-effect monitor. A
+//!   dynamic violation of the predicted kind *confirms* the
+//!   counterexample; if every replay completes cleanly the finding is
+//!   demoted to "spurious (prover-internal)";
+//! * **rendering** ([`diagnose`]) — the violated clause, the offending
+//!   command's source span (via the position labels `oolong-core::vcgen`
+//!   embeds in each obligation conjunct), the touched location chain
+//!   through the inclusion relation, and the concrete pre-store are
+//!   packaged as a [`Diagnosis`].
+//!
+//! The analogous treatment for ESC-lineage checkers labels VC subformulas
+//! (`LBLPOS`) and reads error traces out of Simplify's countermodel; the
+//! interpreter replay is this reproduction's twist — we have an
+//! operational ground truth and use it as the final arbiter.
+
+pub mod concretize;
+pub mod diagnose;
+pub mod replay;
+
+pub use concretize::{ClassValue, PreStorePlan};
+pub use diagnose::{diagnose_refutation, diagnose_restriction, Diagnosis};
+pub use replay::{replay_plan, replay_restriction, Replay};

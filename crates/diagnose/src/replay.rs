@@ -1,0 +1,260 @@
+//! Dynamic validation of candidate counterexamples: materialize the
+//! concretized pre-store, run the implementation under the interpreter's
+//! side-effect monitor, and check whether the predicted violation
+//! actually happens.
+
+use crate::concretize::{ClassValue, PreStorePlan};
+use datagroups::ObligationKind;
+use oolong_interp::{
+    audit_pivot_uniqueness, ExecConfig, FirstOracle, Interp, Loc, Oracle, RngOracle, RunOutcome,
+    Store, Value, WrongKind,
+};
+use oolong_sema::{ImplId, Scope};
+
+/// The outcome of replaying a candidate counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Replay {
+    /// The interpreter reproduced a dynamic violation of the predicted
+    /// kind on the concretized pre-store.
+    Confirmed {
+        /// Which oracle produced the witness run.
+        oracle: String,
+        /// The interpreter's description of what went wrong.
+        witness: String,
+    },
+    /// Every replay completed, blocked, or failed differently: the
+    /// refutation looks prover-internal rather than a real execution.
+    Spurious {
+        /// How many runs were attempted.
+        attempts: usize,
+    },
+    /// Replay could not be attempted.
+    Unavailable {
+        /// Why not.
+        reason: String,
+    },
+}
+
+impl Replay {
+    /// Whether the counterexample was dynamically confirmed.
+    pub fn is_confirmed(&self) -> bool {
+        matches!(self, Replay::Confirmed { .. })
+    }
+}
+
+/// How many seeded random oracles to try after the deterministic one.
+const RNG_ATTEMPTS: u64 = 8;
+
+/// The dynamic [`WrongKind`] each obligation kind predicts.
+fn expected_wrong(kind: ObligationKind) -> Option<WrongKind> {
+    match kind {
+        ObligationKind::ModifiesViolation => Some(WrongKind::EffectViolation),
+        ObligationKind::OwnerExclusion => Some(WrongKind::OwnerExclusion),
+        ObligationKind::Assert => Some(WrongKind::AssertFailed),
+        ObligationKind::PivotUniqueness => None,
+    }
+}
+
+fn config_for(kind: ObligationKind) -> ExecConfig {
+    ExecConfig {
+        check_owner_exclusion: matches!(kind, ObligationKind::OwnerExclusion),
+        ..ExecConfig::default()
+    }
+}
+
+/// Materializes `plan` into `store`: allocates one distinct object per
+/// object-sorted class, performs the planned writes, and resolves the
+/// argument values. Returns `(per-class values, args)`.
+fn materialize(plan: &PreStorePlan, store: &mut Store) -> (Vec<Option<Value>>, Vec<Value>) {
+    let values: Vec<Option<Value>> = plan
+        .class_values
+        .iter()
+        .map(|cv| match cv {
+            ClassValue::Int(i) => Some(Value::Int(*i)),
+            ClassValue::Bool(b) => Some(Value::Bool(*b)),
+            ClassValue::Null => Some(Value::Null),
+            ClassValue::Object => Some(Value::Obj(store.alloc())),
+            ClassValue::Store | ClassValue::AttrName(_) => None,
+        })
+        .collect();
+    let args = plan
+        .args
+        .iter()
+        .map(|slot| match slot {
+            Some(idx) => values[*idx].unwrap_or(Value::Null),
+            None => Value::Obj(store.alloc()),
+        })
+        .collect();
+    (values, args)
+}
+
+/// Renders the materialized pre-store and argument values for display.
+fn render_pre(
+    scope: &Scope,
+    plan: &PreStorePlan,
+    values: &[Option<Value>],
+    args: &[Value],
+    params: &[String],
+) -> (Vec<String>, Vec<String>) {
+    let show = |v: &Value| v.to_string();
+    let mut pre = Vec::new();
+    for (obj, attr, val) in &plan.field_writes {
+        if let (Some(o), Some(v)) = (values[*obj], values[*val]) {
+            let _ = scope; // attr names were validated during planning
+            pre.push(format!("{}.{attr} = {}", show(&o), show(&v)));
+        }
+    }
+    for (obj, idx, val) in &plan.slot_writes {
+        if let (Some(o), Some(v)) = (values[*obj], values[*val]) {
+            pre.push(format!("{}[{idx}] = {}", show(&o), show(&v)));
+        }
+    }
+    pre.sort();
+    let rendered_args = params
+        .iter()
+        .zip(args.iter())
+        .map(|(p, v)| format!("{p} = {}", show(v)))
+        .collect();
+    (pre, rendered_args)
+}
+
+/// Applies the planned writes to the store. Writes whose object class was
+/// not materialized (e.g. the branch equated it with null) are skipped.
+fn apply_writes(scope: &Scope, plan: &PreStorePlan, values: &[Option<Value>], store: &mut Store) {
+    for (obj, attr, val) in &plan.field_writes {
+        let (Some(Value::Obj(o)), Some(attr_id)) = (values[*obj], scope.attr(attr)) else {
+            continue;
+        };
+        let v = values[*val].unwrap_or(Value::Null);
+        store.write(
+            Loc {
+                obj: o,
+                attr: attr_id,
+            },
+            v,
+        );
+    }
+    for (obj, idx, val) in &plan.slot_writes {
+        let Some(Value::Obj(o)) = values[*obj] else {
+            continue;
+        };
+        let v = values[*val].unwrap_or(Value::Null);
+        store.write_slot(o, *idx, v);
+    }
+}
+
+/// One replay run under a specific oracle. Returns the outcome.
+fn run_once<O: Oracle>(
+    scope: &Scope,
+    impl_id: ImplId,
+    plan: &PreStorePlan,
+    kind: ObligationKind,
+    oracle: O,
+) -> (RunOutcome, Vec<Option<Value>>, Vec<Value>) {
+    let mut interp = Interp::new(scope, config_for(kind), oracle);
+    let (values, args) = materialize(plan, interp.store_mut());
+    apply_writes(scope, plan, &values, interp.store_mut());
+    let outcome = interp.run_impl(impl_id, &args);
+    (outcome, values, args)
+}
+
+/// Replays a concretized counterexample: the deterministic oracle first,
+/// then seeded random oracles (nondeterministic choice and havoc may need
+/// several tries to drive execution down the refuted path). Returns the
+/// replay verdict plus the rendered pre-store and argument values of the
+/// first (deterministic) run.
+pub fn replay_plan(
+    scope: &Scope,
+    impl_id: ImplId,
+    plan: &PreStorePlan,
+    kind: ObligationKind,
+) -> (Replay, Vec<String>, Vec<String>) {
+    let Some(expected) = expected_wrong(kind) else {
+        return (
+            Replay::Unavailable {
+                reason: "pivot uniqueness is checked syntactically, not via a VC".into(),
+            },
+            Vec::new(),
+            Vec::new(),
+        );
+    };
+    let params: Vec<String> = {
+        let info = scope.impl_info(impl_id);
+        scope.proc_info(info.proc).params.clone()
+    };
+
+    let (first_outcome, values, args) = run_once(scope, impl_id, plan, kind, FirstOracle);
+    let (pre, rendered_args) = render_pre(scope, plan, &values, &args, &params);
+    if let RunOutcome::Wrong(w) = &first_outcome {
+        if w.kind == expected {
+            return (
+                Replay::Confirmed {
+                    oracle: "first".into(),
+                    witness: w.to_string(),
+                },
+                pre,
+                rendered_args,
+            );
+        }
+    }
+    let mut attempts = 1;
+    for seed in 0..RNG_ATTEMPTS {
+        attempts += 1;
+        let (outcome, _, _) = run_once(scope, impl_id, plan, kind, RngOracle::seeded(seed));
+        if let RunOutcome::Wrong(w) = &outcome {
+            if w.kind == expected {
+                return (
+                    Replay::Confirmed {
+                        oracle: format!("rng(seed={seed})"),
+                        witness: w.to_string(),
+                    },
+                    pre,
+                    rendered_args,
+                );
+            }
+        }
+    }
+    (Replay::Spurious { attempts }, pre, rendered_args)
+}
+
+/// Dynamic confirmation for a *pivot-uniqueness* restriction violation:
+/// run the implementation on fresh arguments and audit the resulting
+/// store for the uniqueness invariant.
+pub fn replay_restriction(scope: &Scope, impl_id: ImplId) -> Replay {
+    let mut attempts = 0;
+    for seed in 0..=RNG_ATTEMPTS {
+        attempts += 1;
+        let mut interp = Interp::new(scope, ExecConfig::default(), RngOracle::seeded(seed));
+        let info = interp_params(scope, impl_id);
+        let args: Vec<Value> = (0..info)
+            .map(|_| Value::Obj(interp.store_mut().alloc()))
+            .collect();
+        // Pre-seed every pivot field of every argument with a distinct
+        // fresh object: a leaked pivot *value* only trips the uniqueness
+        // audit when it is non-null (copying a null pivot is invisible).
+        for &arg in &args {
+            let Value::Obj(obj) = arg else { continue };
+            for &f in &scope.pivots() {
+                let fresh = interp.store_mut().alloc();
+                interp
+                    .store_mut()
+                    .write(Loc { obj, attr: f }, Value::Obj(fresh));
+            }
+        }
+        let outcome = interp.run_impl(impl_id, &args);
+        if matches!(outcome, RunOutcome::Completed | RunOutcome::Wrong(_)) {
+            if let Err(witness) = audit_pivot_uniqueness(scope, interp.store()) {
+                return Replay::Confirmed {
+                    oracle: format!("rng(seed={seed})"),
+                    witness,
+                };
+            }
+        }
+    }
+    Replay::Spurious { attempts }
+}
+
+fn interp_params(scope: &Scope, impl_id: ImplId) -> usize {
+    let info = scope.impl_info(impl_id);
+    scope.proc_info(info.proc).params.len()
+}

@@ -1,0 +1,66 @@
+//! End-to-end diagnosis: check → refutation → concretize → replay.
+
+use datagroups::{CheckOptions, Checker, ObligationKind, Verdict};
+use oolong_diagnose::{diagnose_refutation, Diagnosis};
+use oolong_syntax::parse_program;
+
+fn diagnose(src: &str, proc_name: &str) -> Diagnosis {
+    let program = parse_program(src).expect("parses");
+    let checker = Checker::new(&program, CheckOptions::default()).expect("analyses");
+    let (impl_id, _) = checker
+        .scope()
+        .impls()
+        .find(|(_, i)| checker.scope().proc_info(i.proc).name == proc_name)
+        .expect("impl exists");
+    let vc = checker.vc(impl_id).expect("vc generates");
+    let verdict = checker.verdict_for_vc(&vc);
+    let Verdict::NotVerified(_, refutation) = &verdict else {
+        panic!("expected a refutation, got {}", verdict.label());
+    };
+    diagnose_refutation(checker.scope(), src, &vc, refutation).expect("diagnosis")
+}
+
+#[test]
+fn unlicensed_field_write_is_confirmed_at_its_span() {
+    let src = "field f proc sneaky(r) impl sneaky(r) { r.f := 3 }";
+    let d = diagnose(src, "sneaky");
+    assert_eq!(d.kind, ObligationKind::ModifiesViolation);
+    assert_eq!(d.snippet, "r.f := 3", "span points at the write: {d:?}");
+    assert!(d.confirmed(), "replay should confirm: {:?}", d.replay);
+}
+
+#[test]
+fn failing_assert_is_confirmed_at_its_span() {
+    let src = "proc p(t) impl p(t) { assert false }";
+    let d = diagnose(src, "p");
+    assert_eq!(d.kind, ObligationKind::Assert);
+    assert_eq!(d.snippet, "assert false");
+    assert!(d.confirmed(), "replay should confirm: {:?}", d.replay);
+}
+
+#[test]
+fn second_of_two_writes_is_the_one_blamed() {
+    // The first write is licensed; only the second violates.
+    let src = "field f field g
+               proc p(t) modifies t.f
+               impl p(t) { t.f := 1 ; t.g := 2 }";
+    let d = diagnose(src, "p");
+    assert_eq!(d.kind, ObligationKind::ModifiesViolation);
+    assert_eq!(d.snippet, "t.g := 2", "blames the unlicensed write: {d:?}");
+    assert!(d.confirmed(), "replay should confirm: {:?}", d.replay);
+}
+
+#[test]
+fn call_without_license_is_blamed_at_the_call() {
+    let src = "field f proc callee(u) modifies u.f
+               proc q(t) impl q(t) { callee(t) }";
+    let d = diagnose(src, "q");
+    assert_eq!(d.kind, ObligationKind::ModifiesViolation);
+    assert_eq!(d.snippet, "callee(t)", "blames the call: {d:?}");
+    assert!(
+        d.clause.contains("callee") && d.clause.contains("u.f"),
+        "clause names the uncovered entry: {}",
+        d.clause
+    );
+    assert!(d.confirmed(), "replay should confirm: {:?}", d.replay);
+}

@@ -13,9 +13,11 @@
 //! every run: they are syntactic, cost microseconds, and carry
 //! source-anchored diagnostics that would go stale in a cache.
 
+use crate::diagjson::{diagnosis_from_json, diagnosis_to_json, label_from_json, label_to_json};
 use crate::fingerprint::Fingerprint;
 use crate::json::{self, Json};
-use datagroups::Verdict;
+use datagroups::{ObligationLabel, Refutation, Verdict};
+use oolong_diagnose::Diagnosis;
 use oolong_prover::{QuantKind, QuantProfile, Stats, UnknownReason};
 use std::collections::HashMap;
 use std::io;
@@ -25,7 +27,12 @@ use std::sync::Mutex;
 /// Format version of on-disk entries; mismatched entries are ignored.
 /// Version 2 added the structured stats members (`exhausted`, `per_quant`)
 /// required to replay prover telemetry bit-for-bit from warm caches.
-pub const CACHE_FORMAT_VERSION: u64 = 2;
+/// Version 3 added refutation attribution (`labels`, `primary`) and the
+/// optional source-level `diagnosis`, so warm runs replay a cold run's
+/// diagnosis byte-for-byte. The prover's candidate model is *not* cached —
+/// it is an internal artifact consumed by diagnosis, and cache hits
+/// rebuild the refutation without it.
+pub const CACHE_FORMAT_VERSION: u64 = 3;
 
 /// Full JSON form of prover stats: the scalar counters plus the
 /// structured members ([`Stats::exhausted`], [`Stats::per_quant`]), so a
@@ -116,6 +123,12 @@ pub struct CachedVerdict {
     pub stats: Stats,
     /// The open-branch sketch, when the VC was refuted.
     pub open_branch: Option<Vec<String>>,
+    /// Position-label ids recorded on the refuting branch.
+    pub labels: Vec<u32>,
+    /// The blamed obligation's label, when the VC was refuted.
+    pub primary: Option<ObligationLabel>,
+    /// The source-level diagnosis, when one was computed on the cold run.
+    pub diagnosis: Option<Diagnosis>,
 }
 
 /// The three prover outcomes a cache entry can record.
@@ -151,12 +164,17 @@ impl CachedOutcome {
 
 impl CachedVerdict {
     /// Captures a freshly computed verdict, when it is cacheable (prover
-    /// verdicts only).
-    pub fn from_verdict(proc_name: &str, verdict: &Verdict) -> Option<CachedVerdict> {
-        let (outcome, stats, open_branch) = match verdict {
+    /// verdicts only). The diagnosis, when one was computed, rides along
+    /// so warm runs replay it without re-proving or re-running replay.
+    pub fn from_verdict(
+        proc_name: &str,
+        verdict: &Verdict,
+        diagnosis: Option<&Diagnosis>,
+    ) -> Option<CachedVerdict> {
+        let (outcome, stats, refutation) = match verdict {
             Verdict::Verified(stats) => (CachedOutcome::Proved, stats.clone(), None),
-            Verdict::NotVerified(stats, branch) => {
-                (CachedOutcome::NotProved, stats.clone(), branch.clone())
+            Verdict::NotVerified(stats, refutation) => {
+                (CachedOutcome::NotProved, stats.clone(), Some(refutation))
             }
             Verdict::Unknown(stats) => (CachedOutcome::Unknown, stats.clone(), None),
             Verdict::RestrictionViolation(_) | Verdict::TranslationError(_) => return None,
@@ -165,17 +183,29 @@ impl CachedVerdict {
             proc_name: proc_name.to_string(),
             outcome,
             stats,
-            open_branch,
+            open_branch: refutation.and_then(|r| r.open_branch.clone()),
+            labels: refutation.map(|r| r.labels.clone()).unwrap_or_default(),
+            primary: refutation.and_then(|r| r.primary.clone()),
+            diagnosis: diagnosis.cloned(),
         })
     }
 
-    /// Reconstructs the verdict this entry recorded.
+    /// Reconstructs the verdict this entry recorded. The refutation's
+    /// candidate model is not cached, so the rebuilt refutation carries
+    /// `model: None` — diagnosis (which consumes the model) is replayed
+    /// from the cached [`CachedVerdict::diagnosis`] instead.
     pub fn to_verdict(&self) -> Verdict {
         match self.outcome {
             CachedOutcome::Proved => Verdict::Verified(self.stats.clone()),
-            CachedOutcome::NotProved => {
-                Verdict::NotVerified(self.stats.clone(), self.open_branch.clone())
-            }
+            CachedOutcome::NotProved => Verdict::NotVerified(
+                self.stats.clone(),
+                Box::new(Refutation {
+                    open_branch: self.open_branch.clone(),
+                    labels: self.labels.clone(),
+                    primary: self.primary.clone(),
+                    model: None,
+                }),
+            ),
             CachedOutcome::Unknown => Verdict::Unknown(self.stats.clone()),
         }
     }
@@ -205,6 +235,24 @@ impl CachedVerdict {
                     }
                 },
             ),
+            (
+                "labels".to_string(),
+                Json::Array(self.labels.iter().map(|&id| Json::Int(id as i64)).collect()),
+            ),
+            (
+                "primary".to_string(),
+                match &self.primary {
+                    Some(label) => label_to_json(label),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "diagnosis".to_string(),
+                match &self.diagnosis {
+                    Some(d) => diagnosis_to_json(d),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -226,6 +274,20 @@ impl CachedVerdict {
             ),
             _ => return None,
         };
+        let labels = value
+            .get("labels")?
+            .as_array()?
+            .iter()
+            .map(|id| Some(id.as_u64()? as u32))
+            .collect::<Option<_>>()?;
+        let primary = match value.get("primary")? {
+            Json::Null => None,
+            v => Some(label_from_json(v)?),
+        };
+        let diagnosis = match value.get("diagnosis")? {
+            Json::Null => None,
+            v => Some(diagnosis_from_json(v)?),
+        };
         Some((
             fingerprint,
             CachedVerdict {
@@ -233,6 +295,9 @@ impl CachedVerdict {
                 outcome,
                 stats,
                 open_branch,
+                labels,
+                primary,
+                diagnosis,
             },
         ))
     }
@@ -349,6 +414,30 @@ mod tests {
                 ..Stats::default()
             },
             open_branch: Some(vec!["x ≠ null".to_string(), "a = b".to_string()]),
+            labels: vec![0, 3],
+            primary: Some(ObligationLabel {
+                id: 3,
+                kind: datagroups::ObligationKind::ModifiesViolation,
+                span: oolong_syntax::Span::new(12, 20),
+                detail: "write to field `f` not covered by modifies list".to_string(),
+            }),
+            diagnosis: Some(Diagnosis {
+                proc_name: "push".to_string(),
+                kind: datagroups::ObligationKind::ModifiesViolation,
+                label_id: Some(3),
+                span: oolong_syntax::Span::new(12, 20),
+                line: 1,
+                col: 13,
+                snippet: "r.f := 3".to_string(),
+                clause: "write to field `f` not covered by modifies list".to_string(),
+                touched: vec![],
+                pre_store: vec!["#1.f = 0".to_string()],
+                args: vec!["r = #1".to_string()],
+                replay: oolong_diagnose::Replay::Confirmed {
+                    oracle: "first".to_string(),
+                    witness: "unlicensed write".to_string(),
+                },
+            }),
         }
     }
 
@@ -393,6 +482,6 @@ mod tests {
     fn diagnostic_verdicts_are_not_cacheable() {
         use oolong_syntax::{Diagnostic, Span};
         let verdict = Verdict::TranslationError(Diagnostic::error("nope", Span::DUMMY));
-        assert!(CachedVerdict::from_verdict("p", &verdict).is_none());
+        assert!(CachedVerdict::from_verdict("p", &verdict, None).is_none());
     }
 }

@@ -10,11 +10,13 @@
 //! cache-aware. Results and events are reassembled in obligation order, so
 //! a batch report is deterministic regardless of thread interleaving.
 
-use crate::cache::{CachedVerdict, VerdictCache};
+use crate::cache::{CachedOutcome, CachedVerdict, VerdictCache};
+use crate::diagjson::{diagnosis_to_json, label_to_json};
 use crate::events::{render_jsonl, Event};
 use crate::fingerprint::{fingerprint_vc, Fingerprint};
 use crate::json::Json;
 use datagroups::{CheckOptions, Checker, Report, Verdict};
+use oolong_diagnose::{diagnose_refutation, diagnose_restriction, Diagnosis};
 use oolong_syntax::parse_program;
 use std::io;
 use std::path::PathBuf;
@@ -32,6 +34,12 @@ pub struct EngineOptions {
     /// Directory for the persistent verdict cache; `None` keeps the cache
     /// in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Compute a full source-level [`Diagnosis`] (concretization +
+    /// interpreter replay) for every rejected obligation. Off by default;
+    /// refuted obligations still carry their obligation kind and label id
+    /// either way. A cache hit that lacks a diagnosis is re-proved when
+    /// this is set, since the candidate model is not cached.
+    pub diagnose: bool,
 }
 
 /// One named source in a batch.
@@ -59,6 +67,9 @@ pub struct ObligationReport {
     pub cache_hit: bool,
     /// Wall-clock milliseconds spent on this obligation.
     pub millis: f64,
+    /// The source-level diagnosis, when diagnosis was enabled and the
+    /// obligation was rejected.
+    pub diagnosis: Option<Diagnosis>,
 }
 
 /// A unit that failed to parse or scope-analyse.
@@ -151,6 +162,21 @@ impl BatchReport {
                                 .collect(),
                         ),
                     ));
+                }
+                // Refuted obligations always carry their attribution —
+                // kind and label id — even when full diagnosis is off.
+                if let Some(refutation) = o.verdict.refutation() {
+                    if let Some(primary) = &refutation.primary {
+                        members.push((
+                            "obligation_kind".to_string(),
+                            Json::Str(primary.kind.as_str().to_string()),
+                        ));
+                        members.push(("label_id".to_string(), Json::Int(primary.id as i64)));
+                        members.push(("label".to_string(), label_to_json(primary)));
+                    }
+                }
+                if let Some(diagnosis) = &o.diagnosis {
+                    members.push(("diagnosis".to_string(), diagnosis_to_json(diagnosis)));
                 }
                 Json::Object(members)
             })
@@ -384,6 +410,11 @@ impl Engine {
         let violations = checker.restriction_violations(impl_id);
         if !violations.is_empty() {
             let rendered = violations.iter().map(|d| d.to_string()).collect();
+            let diagnosis = if self.options.diagnose {
+                diagnose_restriction(scope, &unit.source, impl_id, &proc_name, &violations)
+            } else {
+                None
+            };
             let verdict = Verdict::RestrictionViolation(violations);
             return TaskOutcome {
                 events: vec![
@@ -400,6 +431,7 @@ impl Engine {
                     verdict,
                     cache_hit: false,
                     millis: start.elapsed().as_secs_f64() * 1_000.0,
+                    diagnosis,
                 },
                 cache_hit: false,
                 prover_call: false,
@@ -419,6 +451,7 @@ impl Engine {
                         verdict: Verdict::TranslationError(diagnostic),
                         cache_hit: false,
                         millis: start.elapsed().as_secs_f64() * 1_000.0,
+                        diagnosis: None,
                     },
                     cache_hit: false,
                     prover_call: false,
@@ -427,7 +460,15 @@ impl Engine {
         };
 
         let fingerprint = fingerprint_vc(&vc, &checker.options().budget);
-        if let Some(hit) = self.cache.get(fingerprint) {
+        // A hit that predates diagnosis (or was cached with diagnosis off)
+        // cannot serve an `--explain` run: the candidate model needed to
+        // build a diagnosis is not cached, so re-prove instead.
+        let hit = self.cache.get(fingerprint).filter(|hit| {
+            !(self.options.diagnose
+                && hit.outcome == CachedOutcome::NotProved
+                && hit.diagnosis.is_none())
+        });
+        if let Some(hit) = hit {
             return TaskOutcome {
                 events: vec![
                     started(Some(fingerprint)),
@@ -449,6 +490,7 @@ impl Engine {
                     verdict: hit.to_verdict(),
                     cache_hit: true,
                     millis: start.elapsed().as_secs_f64() * 1_000.0,
+                    diagnosis: hit.diagnosis.clone(),
                 },
                 cache_hit: true,
                 prover_call: false,
@@ -456,8 +498,14 @@ impl Engine {
         }
 
         let verdict = checker.verdict_for_vc(&vc);
+        let diagnosis = match (&verdict, self.options.diagnose) {
+            (Verdict::NotVerified(_, refutation), true) => {
+                diagnose_refutation(scope, &unit.source, &vc, refutation)
+            }
+            _ => None,
+        };
         let millis = start.elapsed().as_secs_f64() * 1_000.0;
-        if let Some(entry) = CachedVerdict::from_verdict(&proc_name, &verdict) {
+        if let Some(entry) = CachedVerdict::from_verdict(&proc_name, &verdict, diagnosis.as_ref()) {
             self.cache.insert(fingerprint, entry);
         }
         let terminal = match &verdict {
@@ -466,11 +514,14 @@ impl Engine {
                 millis,
                 stats: stats.clone(),
             },
-            Verdict::NotVerified(stats, open_branch) => Event::Refuted {
+            Verdict::NotVerified(stats, refutation) => Event::Refuted {
                 seq,
                 millis,
                 stats: stats.clone(),
-                open_branch: open_branch.clone(),
+                open_branch: refutation.open_branch.clone(),
+                labels: refutation.labels.clone(),
+                primary: refutation.primary.clone(),
+                diagnosis: diagnosis.clone().map(Box::new),
             },
             Verdict::Unknown(stats) => Event::FuelExhausted {
                 seq,
@@ -498,6 +549,7 @@ impl Engine {
                 verdict,
                 cache_hit: false,
                 millis,
+                diagnosis,
             },
             cache_hit: false,
             prover_call: true,

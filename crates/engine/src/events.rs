@@ -18,8 +18,11 @@
 //! timing fields.
 
 use crate::cache::stats_to_json;
+use crate::diagjson::{diagnosis_to_json, label_to_json};
 use crate::fingerprint::Fingerprint;
 use crate::json::Json;
+use datagroups::ObligationLabel;
+use oolong_diagnose::Diagnosis;
 use oolong_prover::Stats;
 
 /// One structured engine event.
@@ -77,6 +80,14 @@ pub enum Event {
         stats: Stats,
         /// Lines of the open-branch sketch, when recorded.
         open_branch: Option<Vec<String>>,
+        /// Ids of every position label on the refuting branch.
+        labels: Vec<u32>,
+        /// The primary label — the obligation blamed for the refutation —
+        /// with its kind, span, and clause description.
+        primary: Option<ObligationLabel>,
+        /// The full source-level diagnosis, when diagnosis was enabled
+        /// (boxed: a diagnosis dwarfs every other event variant).
+        diagnosis: Option<Box<Diagnosis>>,
     },
     /// The prover exhausted its budget without a verdict.
     FuelExhausted {
@@ -230,6 +241,9 @@ impl Event {
                 millis,
                 stats,
                 open_branch,
+                labels,
+                primary,
+                diagnosis,
             } => {
                 members.push(("seq".to_string(), Json::Int(*seq as i64)));
                 members.push(("millis".to_string(), Json::Float(*millis)));
@@ -241,6 +255,24 @@ impl Event {
                         Some(lines) => {
                             Json::Array(lines.iter().map(|l| Json::Str(l.clone())).collect())
                         }
+                    },
+                ));
+                members.push((
+                    "labels".to_string(),
+                    Json::Array(labels.iter().map(|&id| Json::Int(id as i64)).collect()),
+                ));
+                members.push((
+                    "primary".to_string(),
+                    match primary {
+                        Some(label) => label_to_json(label),
+                        None => Json::Null,
+                    },
+                ));
+                members.push((
+                    "diagnosis".to_string(),
+                    match diagnosis {
+                        Some(d) => diagnosis_to_json(d),
+                        None => Json::Null,
                     },
                 ));
             }
@@ -339,6 +371,14 @@ mod tests {
                 millis: 0.5,
                 stats: Stats::default(),
                 open_branch: Some(vec!["x = y".to_string()]),
+                labels: vec![0, 2],
+                primary: Some(ObligationLabel {
+                    id: 2,
+                    kind: datagroups::ObligationKind::ModifiesViolation,
+                    span: oolong_syntax::Span::new(10, 18),
+                    detail: "write not covered".to_string(),
+                }),
+                diagnosis: None,
             },
             Event::FuelExhausted {
                 seq: 3,

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod cache;
+pub mod diagjson;
 pub mod engine;
 pub mod events;
 pub mod fingerprint;
@@ -61,6 +62,7 @@ pub use cache::{
     stats_from_json, stats_to_json, CachedOutcome, CachedVerdict, VerdictCache,
     CACHE_FORMAT_VERSION,
 };
+pub use diagjson::{diagnosis_from_json, diagnosis_to_json, label_from_json, label_to_json};
 pub use engine::{
     unit_report, BatchReport, BatchUnit, Engine, EngineOptions, ObligationReport, UnitError,
 };

@@ -243,6 +243,11 @@ pub enum Formula {
     /// Existential quantification. The triggers apply when the quantifier
     /// flips to a universal under negation (refutation of a `¬∃` branch).
     Exists(Vec<String>, Vec<Trigger>, Box<Formula>),
+    /// A position label (the `lblpos` marker of ESC-lineage checkers):
+    /// logically transparent, but literals derived from the wrapped
+    /// subformula carry the label id so a refuting prover branch can be
+    /// traced back to the proof obligation it violates.
+    Labeled(u32, Box<Formula>),
 }
 
 impl Formula {
@@ -343,6 +348,47 @@ impl Formula {
         }
     }
 
+    /// Wraps `body` in a position label. Constants are not worth labelling:
+    /// they produce no literals for the prover to record.
+    pub fn labeled(id: u32, body: Formula) -> Formula {
+        match body {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            other => Formula::Labeled(id, Box::new(other)),
+        }
+    }
+
+    /// Strips every [`Formula::Labeled`] wrapper, returning the logically
+    /// identical unlabelled formula.
+    #[must_use]
+    pub fn strip_labels(&self) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => Formula::Atom(a.clone()),
+            Formula::Not(p) => Formula::Not(Box::new(p.strip_labels())),
+            Formula::And(ps) => Formula::And(ps.iter().map(Formula::strip_labels).collect()),
+            Formula::Or(ps) => Formula::Or(ps.iter().map(Formula::strip_labels).collect()),
+            Formula::Implies(p, q) => {
+                Formula::Implies(Box::new(p.strip_labels()), Box::new(q.strip_labels()))
+            }
+            Formula::Iff(p, q) => {
+                Formula::Iff(Box::new(p.strip_labels()), Box::new(q.strip_labels()))
+            }
+            Formula::Forall(vars, triggers, body) => Formula::Forall(
+                vars.clone(),
+                triggers.clone(),
+                Box::new(body.strip_labels()),
+            ),
+            Formula::Exists(vars, triggers, body) => Formula::Exists(
+                vars.clone(),
+                triggers.clone(),
+                Box::new(body.strip_labels()),
+            ),
+            Formula::Labeled(_, body) => body.strip_labels(),
+        }
+    }
+
     /// Simultaneously substitutes variables by terms.
     ///
     /// Substitution does **not** rename binders; the workspace generates
@@ -410,6 +456,7 @@ impl Formula {
                     .collect();
                 Formula::Exists(vars.clone(), triggers, Box::new(body.subst(&inner)))
             }
+            Formula::Labeled(id, body) => Formula::Labeled(*id, Box::new(body.subst(map))),
         }
     }
 
@@ -442,6 +489,7 @@ impl Formula {
                 }
                 out.extend(inner);
             }
+            Formula::Labeled(_, body) => body.free_vars_into(out),
         }
     }
 
@@ -458,6 +506,7 @@ impl Formula {
             Formula::And(ps) | Formula::Or(ps) => 1 + ps.iter().map(Formula::size).sum::<usize>(),
             Formula::Implies(p, q) | Formula::Iff(p, q) => 1 + p.size() + q.size(),
             Formula::Forall(_, _, body) | Formula::Exists(_, _, body) => 1 + body.size(),
+            Formula::Labeled(_, body) => body.size(),
         }
     }
 }
@@ -515,6 +564,7 @@ impl fmt::Display for Formula {
             Formula::Exists(vars, _, body) => {
                 write!(f, "(∃ {} :: {body})", vars.join(", "))
             }
+            Formula::Labeled(id, body) => write!(f, "⟨L{id}: {body}⟩"),
         }
     }
 }
@@ -611,6 +661,25 @@ mod tests {
             attr2: Term::attr("cnt"),
         });
         assert_eq!(a.to_string(), "$ ⊨ st·#contents ≽ v·#cnt");
+    }
+
+    #[test]
+    fn labels_are_logically_transparent() {
+        let a = Formula::eq(Term::var("x"), Term::int(1));
+        let labelled = Formula::labeled(3, a.clone());
+        assert_eq!(labelled.strip_labels(), a);
+        assert_eq!(labelled.size(), a.size());
+        assert_eq!(labelled.free_vars(), a.free_vars());
+        // Constants are never labelled.
+        assert_eq!(Formula::labeled(0, Formula::True), Formula::True);
+        assert_eq!(Formula::labeled(0, Formula::False), Formula::False);
+        // Substitution preserves the label.
+        let subbed = labelled.subst(&[("x".to_string(), Term::var("y"))]);
+        assert_eq!(
+            subbed,
+            Formula::labeled(3, Formula::eq(Term::var("y"), Term::int(1)))
+        );
+        assert_eq!(labelled.to_string(), "⟨L3: x = 1⟩");
     }
 
     #[test]

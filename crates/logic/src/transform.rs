@@ -46,6 +46,13 @@ pub enum Nnf {
         atom: Atom,
         /// `true` for the atom itself, `false` for its negation.
         positive: bool,
+        /// The position label of the enclosing [`Formula::Labeled`]
+        /// wrapper, if any. Logically inert: the prover asserts the
+        /// literal exactly as if unlabelled, but records the label when
+        /// the literal lands on a branch. Labels never occur inside
+        /// quantifier bodies (conversion clears them), so quantifier
+        /// identity is unaffected.
+        label: Option<u32>,
     },
     /// Conjunction.
     And(Vec<Nnf>),
@@ -105,9 +112,14 @@ impl Nnf {
         match self {
             Nnf::True => Nnf::True,
             Nnf::False => Nnf::False,
-            Nnf::Lit { atom, positive } => Nnf::Lit {
+            Nnf::Lit {
+                atom,
+                positive,
+                label,
+            } => Nnf::Lit {
                 atom: atom.subst(map),
                 positive: *positive,
+                label: *label,
             },
             Nnf::And(ps) => Nnf::And(ps.iter().map(|p| p.subst(map)).collect()),
             Nnf::Or(ps) => Nnf::Or(ps.iter().map(|p| p.subst(map)).collect()),
@@ -161,10 +173,12 @@ impl std::fmt::Display for Nnf {
             Nnf::Lit {
                 atom,
                 positive: true,
+                ..
             } => write!(f, "{atom}"),
             Nnf::Lit {
                 atom,
                 positive: false,
+                ..
             } => write!(f, "¬({atom})"),
             Nnf::And(ps) => {
                 write!(f, "(")?;
@@ -209,7 +223,7 @@ impl std::fmt::Display for Nnf {
 /// enclosing universal variables. All remaining bound variables are renamed
 /// to fresh names.
 pub fn to_nnf(formula: &Formula, positive: bool, fresh: &mut FreshGen) -> Nnf {
-    convert(formula, positive, &mut Vec::new(), fresh)
+    convert(formula, positive, &mut Vec::new(), fresh, None)
 }
 
 fn convert(
@@ -217,6 +231,7 @@ fn convert(
     positive: bool,
     universals: &mut Vec<String>,
     fresh: &mut FreshGen,
+    label: Option<u32>,
 ) -> Nnf {
     match formula {
         Formula::True => {
@@ -236,12 +251,13 @@ fn convert(
         Formula::Atom(a) => Nnf::Lit {
             atom: a.clone(),
             positive,
+            label,
         },
-        Formula::Not(p) => convert(p, !positive, universals, fresh),
+        Formula::Not(p) => convert(p, !positive, universals, fresh, label),
         Formula::And(ps) => {
             let parts: Vec<Nnf> = ps
                 .iter()
-                .map(|p| convert(p, positive, universals, fresh))
+                .map(|p| convert(p, positive, universals, fresh, label))
                 .collect();
             if positive {
                 Nnf::and(parts)
@@ -252,7 +268,7 @@ fn convert(
         Formula::Or(ps) => {
             let parts: Vec<Nnf> = ps
                 .iter()
-                .map(|p| convert(p, positive, universals, fresh))
+                .map(|p| convert(p, positive, universals, fresh, label))
                 .collect();
             if positive {
                 Nnf::or(parts)
@@ -262,8 +278,8 @@ fn convert(
         }
         Formula::Implies(p, q) => {
             // p ⇒ q  ≡  ¬p ∨ q
-            let np = convert(p, !positive, universals, fresh);
-            let nq = convert(q, positive, universals, fresh);
+            let np = convert(p, !positive, universals, fresh, label);
+            let nq = convert(q, positive, universals, fresh, label);
             if positive {
                 Nnf::or(vec![np, nq])
             } else {
@@ -276,22 +292,26 @@ fn convert(
                 Formula::Implies(p.clone(), q.clone()),
                 Formula::Implies(q.clone(), p.clone()),
             ]);
-            convert(&expanded, positive, universals, fresh)
+            convert(&expanded, positive, universals, fresh, label)
         }
         Formula::Forall(vars, triggers, body) => {
             if positive {
                 rename_and_quantify(vars, triggers, body, true, universals, fresh)
             } else {
-                skolemize(vars, body, false, universals, fresh)
+                skolemize(vars, body, false, universals, fresh, label)
             }
         }
         Formula::Exists(vars, triggers, body) => {
             if positive {
-                skolemize(vars, body, true, universals, fresh)
+                skolemize(vars, body, true, universals, fresh, label)
             } else {
                 rename_and_quantify(vars, triggers, body, false, universals, fresh)
             }
         }
+        // Labels are transparent for conversion: the wrapped subformula
+        // converts as-is, with its literals stamped. Inner labels shadow
+        // outer ones.
+        Formula::Labeled(id, body) => convert(body, positive, universals, fresh, Some(*id)),
     }
 }
 
@@ -334,7 +354,11 @@ fn rename_and_quantify(
     let renamed_body = body.subst(&renaming);
     let depth = universals.len();
     universals.extend(new_names.iter().cloned());
-    let inner = convert(&renamed_body, body_polarity, universals, fresh);
+    // Labels are cleared inside quantifier bodies: quantifiers are shared
+    // (instantiated many times, deduplicated by body identity in the
+    // prover), so a label inside would both leak across obligations and
+    // split otherwise-identical quantifiers.
+    let inner = convert(&renamed_body, body_polarity, universals, fresh, None);
     universals.truncate(depth);
     match inner {
         Nnf::True => Nnf::True,
@@ -354,6 +378,7 @@ fn skolemize(
     body_polarity: bool,
     universals: &mut Vec<String>,
     fresh: &mut FreshGen,
+    label: Option<u32>,
 ) -> Nnf {
     let args: Vec<Term> = universals.iter().map(Term::var).collect();
     let map: Vec<(String, Term)> = vars
@@ -369,7 +394,7 @@ fn skolemize(
         })
         .collect();
     let skolemized = body.subst(&map);
-    convert(&skolemized, body_polarity, universals, fresh)
+    convert(&skolemized, body_polarity, universals, fresh, label)
 }
 
 #[cfg(test)]
@@ -451,6 +476,7 @@ mod tests {
             Nnf::Lit {
                 atom: Atom::Eq(T::Var(v), _),
                 positive: true,
+                ..
             } => {
                 assert!(v.starts_with("sk_x!"), "got {v}");
             }
@@ -551,14 +577,74 @@ mod tests {
         let lit = Nnf::Lit {
             atom: Atom::Eq(T::var("v"), T::int(1)),
             positive: true,
+            label: None,
         };
         let inst = lit.subst(&[("v".to_string(), T::var("c"))]);
         assert_eq!(
             inst,
             Nnf::Lit {
                 atom: Atom::Eq(T::var("c"), T::int(1)),
-                positive: true
+                positive: true,
+                label: None,
             }
         );
+    }
+
+    #[test]
+    fn labels_stamp_literals_in_both_polarities() {
+        // ⟨L7: p ∧ q⟩ converts to the same shape as p ∧ q, with every
+        // literal stamped — under negation too.
+        let f = F::labeled(7, F::and(vec![atom("p"), atom("q")]));
+        for positive in [true, false] {
+            let nnf = to_nnf(&f, positive, &mut FreshGen::new());
+            let plain = to_nnf(&f.strip_labels(), positive, &mut FreshGen::new());
+            let parts = match (&nnf, positive) {
+                (Nnf::And(parts), true) | (Nnf::Or(parts), false) => parts,
+                other => panic!("unexpected shape {other:?}"),
+            };
+            assert!(parts
+                .iter()
+                .all(|p| matches!(p, Nnf::Lit { label: Some(7), .. })));
+            // Same structure modulo the stamp.
+            assert_eq!(nnf.size(), plain.size());
+        }
+    }
+
+    #[test]
+    fn labels_survive_skolemization_but_not_quantification() {
+        // Negated ⟨L2: ∀x :: p(x)⟩ skolemizes: the ground literal keeps
+        // the label.
+        let f = F::labeled(
+            2,
+            F::forall(
+                vec!["x".into()],
+                vec![],
+                F::Atom(Atom::BoolTerm(T::var("x"))),
+            ),
+        );
+        let neg = to_nnf(&f, false, &mut FreshGen::new());
+        assert!(
+            matches!(
+                neg,
+                Nnf::Lit {
+                    positive: false,
+                    label: Some(2),
+                    ..
+                }
+            ),
+            "{neg}"
+        );
+        // Positive ⟨L2: ∀x :: p(x)⟩ stays universal: the body is shared
+        // across instantiations, so the label is cleared inside it.
+        let pos = to_nnf(&f, true, &mut FreshGen::new());
+        match pos {
+            Nnf::Forall { body, .. } => {
+                assert!(
+                    matches!(*body, Nnf::Lit { label: None, .. }),
+                    "labels never occur inside quantifier bodies"
+                );
+            }
+            other => panic!("expected forall, got {other}"),
+        }
     }
 }

@@ -38,7 +38,8 @@ pub mod triggers;
 
 pub use egraph::{Conflict, EGraph, EgMark, NodeId, Sym};
 pub use prover::{
-    prove, prove_with_strategy, refute, refute_with_strategy, Budget, Divergence, Outcome, Proof,
-    QuantProfile, SearchStrategy, Stats, UnknownReason,
+    prove, prove_with_strategy, refute, refute_with_strategy, Budget, CandidateModel, Divergence,
+    ModelClass, ModelRelation, ModelSelect, Outcome, Proof, QuantProfile, SearchStrategy, Stats,
+    UnknownReason,
 };
 pub use triggers::QuantKind;

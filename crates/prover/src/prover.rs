@@ -21,7 +21,7 @@
 //! "loops irrevocably" on cyclic rep inclusions is reproduced as a
 //! measurable result rather than a hang.
 
-use crate::egraph::EGraph;
+use crate::egraph::{EGraph, NodeId};
 use crate::matcher::{match_trigger, match_trigger_anchored, term_of};
 use crate::triggers::{classify_quant, infer_triggers, QuantKind};
 use oolong_logic::transform::{to_nnf, FreshGen, Nnf};
@@ -434,6 +434,74 @@ impl fmt::Display for Outcome {
     }
 }
 
+/// One E-class of a [`CandidateModel`]: the ground terms the refuting
+/// branch identified, plus the class's interpreted value when it has one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelClass {
+    /// A rendered representative term (leaf-preferring; `@classN` aliases
+    /// for leafless cyclic classes).
+    pub repr: Term,
+    /// Leaf members: the free variables and interpreted constants the
+    /// class contains.
+    pub members: Vec<Term>,
+    /// The class's interpreted constant, if any.
+    pub value: Option<oolong_logic::Cst>,
+}
+
+/// One `select(store, obj, attr) = value` entry of a candidate model's
+/// function graph, as indices into [`CandidateModel::classes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelSelect {
+    /// Class of the store argument.
+    pub store: usize,
+    /// Class of the object argument.
+    pub obj: usize,
+    /// Class of the attribute argument.
+    pub attr: usize,
+    /// Class the select term evaluates into.
+    pub value: usize,
+}
+
+/// One determined (or undetermined) predicate entry of a candidate model:
+/// `sym(args) = value`, args as class indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelRelation {
+    /// Predicate name (the E-graph symbol's debug name, e.g. `PInc`).
+    pub sym: String,
+    /// Argument classes.
+    pub args: Vec<usize>,
+    /// Truth value, when the branch determined one.
+    pub value: Option<bool>,
+}
+
+/// The saturated context of the first open (refuting) branch, exported for
+/// counterexample concretization: the ground E-class partition, the
+/// `select` function graph, the determined predicate entries, known
+/// disequalities, and the position labels asserted on the branch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CandidateModel {
+    /// Position labels ([`Nnf::Lit::label`]) asserted on the branch, in
+    /// assertion order, deduplicated. The *last* label is the innermost
+    /// obligation the branch violates.
+    pub labels: Vec<u32>,
+    /// The ground E-class partition.
+    pub classes: Vec<ModelClass>,
+    /// `select` function-graph entries.
+    pub selects: Vec<ModelSelect>,
+    /// Predicate entries (`PAlive`, `PInc`, …).
+    pub relations: Vec<ModelRelation>,
+    /// Pairs of classes (by index, `i < j`) known disequal.
+    pub diseqs: Vec<(usize, usize)>,
+}
+
+impl CandidateModel {
+    /// The innermost (most recently asserted) position label of the
+    /// branch: the obligation the counterexample violates.
+    pub fn primary_label(&self) -> Option<u32> {
+        self.labels.last().copied()
+    }
+}
+
 /// The result of [`prove`]: outcome plus work counters.
 #[derive(Debug, Clone)]
 pub struct Proof {
@@ -445,6 +513,10 @@ pub struct Proof {
     /// literals of the first saturated open branch (a model sketch), for
     /// diagnosing why the conjecture failed.
     pub open_branch: Option<Vec<String>>,
+    /// When the outcome is [`Outcome::NotProved`]: the exported saturated
+    /// context of the first open branch, for counterexample
+    /// concretization and replay.
+    pub model: Option<CandidateModel>,
     /// Wall-clock time of the attempt, in milliseconds. Deliberately not
     /// part of [`Stats`]: stats must be deterministic and cache-replayable.
     pub millis: f64,
@@ -531,6 +603,7 @@ pub fn refute_with_strategy(parts: Vec<Nnf>, budget: &Budget, strategy: SearchSt
         quant_meta: Vec::new(),
         fuel: None,
         open_branch: None,
+        model: None,
         strategy,
     };
     let mut ctx = Ctx {
@@ -540,6 +613,7 @@ pub fn refute_with_strategy(parts: Vec<Nnf>, budget: &Budget, strategy: SearchSt
         quants: Vec::new(),
         quant_ids_present: HashSet::new(),
         seen: HashSet::new(),
+        labels: Vec::new(),
         deferred: false,
         matched_upto: 0,
         fresh_quants_from: 0,
@@ -595,6 +669,7 @@ pub fn refute_with_strategy(parts: Vec<Nnf>, budget: &Budget, strategy: SearchSt
         outcome,
         stats,
         open_branch: shared.open_branch,
+        model: shared.model,
         millis: start.elapsed().as_secs_f64() * 1_000.0,
     }
 }
@@ -620,6 +695,8 @@ struct Shared {
     fuel: Option<UnknownReason>,
     /// Literals of the first saturated open branch.
     open_branch: Option<Vec<String>>,
+    /// Exported context of the first saturated open branch.
+    model: Option<CandidateModel>,
     /// How case-split arms are backtracked.
     strategy: SearchStrategy,
 }
@@ -705,6 +782,7 @@ struct Checkpoint {
     trail_len: usize,
     pending_len: usize,
     quants_len: usize,
+    labels_len: usize,
     deferred: bool,
     matched_upto: usize,
     fresh_quants_from: usize,
@@ -722,6 +800,9 @@ struct Ctx {
     quant_ids_present: HashSet<usize>,
     /// Instantiations already performed in this branch.
     seen: HashSet<(usize, Vec<Term>)>,
+    /// Position labels of the labelled literals asserted (or found already
+    /// true) on this branch, in order. Rolls back by truncation.
+    labels: Vec<u32>,
     /// Whether the generation limit deferred any instantiation.
     deferred: bool,
     /// Number of E-graph nodes already covered by anchored matching.
@@ -777,6 +858,7 @@ impl Ctx {
             trail_len: self.trail.len(),
             pending_len: self.pending.len(),
             quants_len: self.quants.len(),
+            labels_len: self.labels.len(),
             deferred: self.deferred,
             matched_upto: self.matched_upto,
             fresh_quants_from: self.fresh_quants_from,
@@ -814,6 +896,7 @@ impl Ctx {
             self.quant_ids_present.remove(&q.id);
         }
         self.pending.truncate(cp.pending_len);
+        self.labels.truncate(cp.labels_len);
         self.deferred = cp.deferred;
         self.matched_upto = cp.matched_upto;
         self.fresh_quants_from = cp.fresh_quants_from;
@@ -947,6 +1030,7 @@ fn search_frame(ctx: &mut Ctx, depth: usize, shared: &mut Shared) -> Branch {
         }
         if shared.open_branch.is_none() {
             shared.open_branch = Some(describe_branch(ctx));
+            shared.model = Some(extract_model(ctx));
         }
         return Branch::Open;
     }
@@ -968,7 +1052,14 @@ fn drain_pending(ctx: &mut Ctx, shared: &mut Shared) -> Step {
                 shared.stats.clauses += 1;
                 ctx.add_split(SplitClause::new(parts, gen));
             }
-            Nnf::Lit { atom, positive } => {
+            Nnf::Lit {
+                atom,
+                positive,
+                label,
+            } => {
+                if let Some(id) = label {
+                    ctx.labels.push(id);
+                }
                 ctx.eg.set_generation(gen);
                 if assert_lit(&mut ctx.eg, &atom, positive).is_err() {
                     return Step::Conflict;
@@ -1109,15 +1200,26 @@ fn normalize_splits(ctx: &mut Ctx) -> Step {
             // Evaluating a literal interns its atom (mutating the
             // E-graph), so take the arm out of the clause for the call.
             let arm = std::mem::replace(&mut ctx.splits[i].arms[k], Nnf::True);
-            let truth = match &arm {
-                Nnf::True => Some(true),
-                Nnf::False => Some(false),
-                Nnf::Lit { atom, positive } => lit_truth(&mut ctx.eg, atom, *positive),
-                _ => None,
+            let (truth, label) = match &arm {
+                Nnf::True => (Some(true), None),
+                Nnf::False => (Some(false), None),
+                Nnf::Lit {
+                    atom,
+                    positive,
+                    label,
+                } => (lit_truth(&mut ctx.eg, atom, *positive), *label),
+                _ => (None, None),
             };
             ctx.splits[i].arms[k] = arm;
             match truth {
-                Some(true) => satisfied = true,
+                Some(true) => {
+                    // A labelled literal that already holds on the branch
+                    // still stamps the branch with its position.
+                    if let Some(id) = label {
+                        ctx.labels.push(id);
+                    }
+                    satisfied = true;
+                }
                 Some(false) => ctx.kill_arm(i, k),
                 None => {}
             }
@@ -1199,6 +1301,107 @@ fn describe_branch(ctx: &Ctx) -> Vec<String> {
     out.sort();
     out.dedup();
     out
+}
+
+/// How many E-classes the pairwise disequality scan of [`extract_model`]
+/// covers. Refuting branches are small in practice; the cap only guards
+/// against quadratic blowup on pathological saturations.
+const MODEL_DISEQ_CLASS_CAP: usize = 256;
+
+/// Exports the saturated branch context as a [`CandidateModel`]: the
+/// ground E-class partition, the `select` function graph, the determined
+/// predicate entries, known disequalities, and the position labels
+/// asserted on the branch.
+fn extract_model(ctx: &Ctx) -> CandidateModel {
+    use crate::egraph::Sym;
+    let eg = &ctx.eg;
+    let mut aliases = Vec::new();
+    // Partition the nodes into classes, indexed in first-appearance order
+    // (deterministic: node ids are allocation-ordered).
+    let mut index: HashMap<NodeId, usize> = HashMap::new();
+    let mut roots: Vec<NodeId> = Vec::new();
+    let mut classes: Vec<ModelClass> = Vec::new();
+    for id in 0..eg.node_count() as NodeId {
+        let root = eg.find(id);
+        let idx = *index.entry(root).or_insert_with(|| {
+            roots.push(root);
+            classes.push(ModelClass {
+                repr: term_of(eg, root, &mut aliases),
+                members: Vec::new(),
+                value: eg.class_value(root).cloned(),
+            });
+            classes.len() - 1
+        });
+        match &eg.node(id).sym {
+            Sym::Var(name) => classes[idx].members.push(Term::Var(name.clone())),
+            Sym::Lit(c) => classes[idx].members.push(Term::Const(c.clone())),
+            _ => {}
+        }
+    }
+    let class_of = |id: NodeId| index[&eg.find(id)];
+    let mut selects = Vec::new();
+    for &node in eg.nodes_with_sym(&Sym::Select) {
+        let ch = &eg.node(node).children;
+        if ch.len() == 3 {
+            selects.push(ModelSelect {
+                store: class_of(ch[0]),
+                obj: class_of(ch[1]),
+                attr: class_of(ch[2]),
+                value: class_of(node),
+            });
+        }
+    }
+    selects.sort_unstable_by_key(|s| (s.store, s.obj, s.attr, s.value));
+    selects.dedup();
+    let mut relations = Vec::new();
+    for sym in [
+        Sym::PAlive,
+        Sym::PLocalInc,
+        Sym::PRepInc,
+        Sym::PInc,
+        Sym::PLt,
+        Sym::PLe,
+        Sym::PIsObj,
+        Sym::PIsInt,
+        Sym::PRepIncElem,
+    ] {
+        for &node in eg.nodes_with_sym(&sym) {
+            relations.push(ModelRelation {
+                sym: format!("{sym:?}"),
+                args: eg
+                    .node(node)
+                    .children
+                    .iter()
+                    .map(|&c| class_of(c))
+                    .collect(),
+                value: eg.bool_value(node),
+            });
+        }
+    }
+    relations.sort_unstable_by(|a, b| (&a.sym, &a.args).cmp(&(&b.sym, &b.args)));
+    relations.dedup();
+    let mut diseqs = Vec::new();
+    let scan = roots.len().min(MODEL_DISEQ_CLASS_CAP);
+    for i in 0..scan {
+        for j in i + 1..scan {
+            if eg.known_disequal(roots[i], roots[j]) {
+                diseqs.push((i, j));
+            }
+        }
+    }
+    let mut labels = Vec::new();
+    for &l in &ctx.labels {
+        if !labels.contains(&l) {
+            labels.push(l);
+        }
+    }
+    CandidateModel {
+        labels,
+        classes,
+        selects,
+        relations,
+        diseqs,
+    }
 }
 
 /// Whether the `OOLONG_PROVER_TRACE` environment variable enables

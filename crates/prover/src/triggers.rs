@@ -293,6 +293,7 @@ mod tests {
         Nnf::Lit {
             atom,
             positive: true,
+            label: None,
         }
     }
 
@@ -339,6 +340,7 @@ mod tests {
             Nnf::Lit {
                 atom: Atom::LocalInc(T::var("A"), T::var("B")),
                 positive: false,
+                label: None,
             },
             Nnf::False,
         ]);

@@ -290,19 +290,22 @@ impl Cmd {
                 cond,
                 then_branch,
                 else_branch,
-                span,
+                span: _,
             } => {
                 let neg = Expr::Unary {
                     op: UnaryOp::Not,
                     operand: Box::new(cond.clone()),
                     span: cond.span(),
                 };
+                // The synthesised assumes carry the *condition's* span, not
+                // the whole `if` command's, so downstream diagnostics point
+                // at the guard rather than the entire statement.
                 let else_arm = Cmd::Seq(
-                    Box::new(Cmd::Assume(neg, *span)),
+                    Box::new(Cmd::Assume(neg, cond.span())),
                     Box::new(else_branch.desugared()),
                 );
                 let then_arm = Cmd::Seq(
-                    Box::new(Cmd::Assume(cond.clone(), *span)),
+                    Box::new(Cmd::Assume(cond.clone(), cond.span())),
                     Box::new(then_branch.desugared()),
                 );
                 Cmd::Choice(Box::new(else_arm), Box::new(then_arm))

@@ -1,0 +1,140 @@
+//! E17: interned symbols and the hash-consed term arena.
+//!
+//! The VC pipeline builds terms into a global hash-consed arena
+//! (`Term(u32)` handles over immutable shared nodes) with interned
+//! symbols (`Symbol(u32)`) instead of owned string trees. This bench
+//! measures the pipeline stages the representation change touches:
+//!
+//! * `e17_vcgen` — pure VC construction (parse → analyse → wlp →
+//!   background axioms) over the whole paper corpus, no proving. Every
+//!   term the generator builds is an arena intern instead of a tree
+//!   allocation.
+//! * `e17_cold_batch` — full cold verification (`Checker::check_all`,
+//!   default trail search) over the whole paper corpus: the end-to-end
+//!   number the incremental engine's cold path pays per obligation.
+//! * `e17_subst_sharing` — the transform layer's worst former habit:
+//!   substituting through a conjunction whose conjuncts share one large
+//!   subterm. The memoized arena substitution rewrites the shared
+//!   subterm once; the old deep-copy substitution rewrote it per
+//!   occurrence.
+//!
+//! There is no in-process "string-tree" baseline to race against — the
+//! old representation no longer compiles — so BENCH_e17.json compares
+//! these numbers against the pre-refactor medians recorded for the same
+//! workloads (BENCH_e15.json and the identically-shaped groups here),
+//! plus peak-RSS figures captured around the cold batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagroups::{CheckOptions, Checker};
+use oolong_corpus::paper;
+use oolong_logic::{Formula, Term};
+use oolong_syntax::parse_program;
+
+/// Parses and analyses every paper-corpus program once; iterations then
+/// measure VC construction alone.
+fn e17_vcgen(c: &mut Criterion) {
+    let programs: Vec<_> = paper::all()
+        .into_iter()
+        .map(|p| parse_program(p.source).expect("corpus parses"))
+        .collect();
+    let mut group = c.benchmark_group("e17_vcgen");
+    group.sample_size(20);
+    group.bench_function("paper_corpus", |b| {
+        b.iter(|| {
+            let mut vcs = 0usize;
+            for program in &programs {
+                let checker = Checker::new(program, CheckOptions::default()).expect("analyses");
+                let impl_ids: Vec<_> = checker.scope().impls().map(|(id, _)| id).collect();
+                for impl_id in impl_ids {
+                    if checker.vc(impl_id).is_ok() {
+                        vcs += 1;
+                    }
+                }
+            }
+            vcs
+        });
+    });
+    group.finish();
+}
+
+/// Cold end-to-end batch: every obligation of every corpus program is
+/// proved from scratch each iteration.
+fn e17_cold_batch(c: &mut Criterion) {
+    let programs: Vec<_> = paper::all()
+        .into_iter()
+        .map(|p| parse_program(p.source).expect("corpus parses"))
+        .collect();
+    let mut group = c.benchmark_group("e17_cold_batch");
+    group.sample_size(10);
+    group.bench_function("paper_corpus", |b| {
+        b.iter(|| {
+            let mut verified = 0usize;
+            for program in &programs {
+                let report = Checker::new(program, CheckOptions::default())
+                    .expect("analyses")
+                    .check_all();
+                verified += report.impls.len();
+            }
+            verified
+        });
+    });
+    group.finish();
+}
+
+/// A store-shaped term of the given depth: nested updates over `$`.
+fn deep_store(depth: usize) -> Term {
+    let mut store = Term::store();
+    for i in 0..depth {
+        store = Term::update(
+            store,
+            Term::var("x"),
+            Term::attr(format!("f{i}")),
+            Term::int(i as i64),
+        );
+    }
+    store
+}
+
+/// Substitution through heavy sharing: `width` equalities all mention
+/// the same `depth`-deep store term, and the substitution rewrites the
+/// store variable inside it.
+fn e17_subst_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_subst_sharing");
+    group.sample_size(20);
+    for (width, depth) in [(64usize, 64usize), (256, 128)] {
+        let shared = deep_store(depth);
+        let conj = Formula::and(
+            (0..width)
+                .map(|i| {
+                    Formula::eq(
+                        Term::select(shared, Term::var("x"), Term::attr(format!("g{i}"))),
+                        Term::int(i as i64),
+                    )
+                })
+                .collect(),
+        );
+        let image = Term::succ(Term::store());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{width}_d{depth}")),
+            &conj,
+            |b, conj| {
+                b.iter(|| conj.subst(&[(oolong_logic::STORE.into(), image)]));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Not a timing group: reports the process peak RSS after the other
+/// groups ran, for the memory row of BENCH_e17.json.
+fn e17_peak_rss(_c: &mut Criterion) {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if line.starts_with("VmHWM") || line.starts_with("VmRSS") {
+            println!("e17_peak_rss {}", line.split_whitespace().skip(1).collect::<Vec<_>>().join(" "));
+        }
+    }
+}
+
+criterion_group!(benches, e17_vcgen, e17_cold_batch, e17_subst_sharing, e17_peak_rss);
+criterion_main!(benches);

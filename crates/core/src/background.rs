@@ -18,7 +18,7 @@
 //! two stores and has no usable trigger).
 
 use oolong_logic::transform::FreshGen;
-use oolong_logic::{Atom, Formula, Pattern, Term, Trigger};
+use oolong_logic::{Atom, Formula, Pattern, Symbol, Term, Trigger};
 use oolong_sema::{AttrKind, Scope};
 
 /// Generates the universal background predicate as a list of axioms.
@@ -702,9 +702,9 @@ fn inclusion_connection(arrays: bool, fresh: &mut FreshGen) -> Formula {
     if arrays {
         chains.push(Formula::and(vec![
             Formula::Atom(Atom::IsInt(Term::var(b.clone()))),
-            slot_chain_body(fresh, &s, &x, &a, &y),
+            slot_chain_body(fresh, s, x, a, y),
         ]));
-        chains.push(elem_chain_body(fresh, &s, &x, &a, &y, &b));
+        chains.push(elem_chain_body(fresh, s, x, a, y, b));
     }
     let nonlocal_case = Formula::and(vec![
         Formula::neq(Term::var(x.clone()), Term::var(y.clone())),
@@ -723,7 +723,7 @@ fn inclusion_connection(arrays: bool, fresh: &mut FreshGen) -> Formula {
 
 /// The elementwise *slot* chain of extended axiom (4):
 /// `∃Z,H,F,K :: S ⊨ X·A ≽ Z·H ∧ H ⇉F K ∧ Y = S(Z·F)`.
-fn slot_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str) -> Formula {
+fn slot_chain_body(fresh: &mut FreshGen, s: Symbol, x: Symbol, a: Symbol, y: Symbol) -> Formula {
     let (z, h, f, k) = (
         fresh.fresh("ubZ"),
         fresh.fresh("ubH"),
@@ -731,9 +731,9 @@ fn slot_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str) -> 
         fresh.fresh("ubK"),
     );
     let inc = Atom::Inc {
-        store: Term::var(s.to_string()),
-        obj: Term::var(x.to_string()),
-        attr: Term::var(a.to_string()),
+        store: Term::var(s),
+        obj: Term::var(x),
+        attr: Term::var(a),
         obj2: Term::var(z.clone()),
         attr2: Term::var(h.clone()),
     };
@@ -743,7 +743,7 @@ fn slot_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str) -> 
         mapped: Term::var(k.clone()),
     };
     let read = Term::select(
-        Term::var(s.to_string()),
+        Term::var(s),
         Term::var(z.clone()),
         Term::var(f.clone()),
     );
@@ -759,7 +759,7 @@ fn slot_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str) -> 
         Formula::and(vec![
             Formula::Atom(inc),
             Formula::Atom(rep),
-            Formula::eq(Term::var(y.to_string()), read),
+            Formula::eq(Term::var(y), read),
         ]),
     )
 }
@@ -767,7 +767,7 @@ fn slot_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str) -> 
 /// The elementwise *element* chain of extended axiom (4):
 /// `∃Z,H,F,K,R,I :: S ⊨ X·A ≽ Z·H ∧ H ⇉F K ∧ R = S(Z·F) ∧ R ≠ null
 ///                 ∧ isInt(I) ∧ Y = S(R·I) ∧ K ⊒ B`.
-fn elem_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str, b: &str) -> Formula {
+fn elem_chain_body(fresh: &mut FreshGen, s: Symbol, x: Symbol, a: Symbol, y: Symbol, b: Symbol) -> Formula {
     let (z, h, f, k, i) = (
         fresh.fresh("ubZ"),
         fresh.fresh("ubH"),
@@ -776,9 +776,9 @@ fn elem_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str, b: 
         fresh.fresh("ubI"),
     );
     let inc = Atom::Inc {
-        store: Term::var(s.to_string()),
-        obj: Term::var(x.to_string()),
-        attr: Term::var(a.to_string()),
+        store: Term::var(s),
+        obj: Term::var(x),
+        attr: Term::var(a),
         obj2: Term::var(z.clone()),
         attr2: Term::var(h.clone()),
     };
@@ -788,11 +788,11 @@ fn elem_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str, b: 
         mapped: Term::var(k.clone()),
     };
     let arr = Term::select(
-        Term::var(s.to_string()),
+        Term::var(s),
         Term::var(z.clone()),
         Term::var(f.clone()),
     );
-    let slot = Term::select(Term::var(s.to_string()), arr.clone(), Term::var(i.clone()));
+    let slot = Term::select(Term::var(s), arr.clone(), Term::var(i.clone()));
     Formula::exists_with_triggers(
         vec![z.clone(), h, f.clone(), k.clone(), i.clone()],
         // The nested slot-read pattern keeps the negated reading from
@@ -813,8 +813,8 @@ fn elem_chain_body(fresh: &mut FreshGen, s: &str, x: &str, a: &str, y: &str, b: 
             Formula::Atom(rep),
             Formula::neq(arr, Term::null()),
             Formula::Atom(Atom::IsInt(Term::var(i))),
-            Formula::eq(Term::var(y.to_string()), slot),
-            Formula::Atom(Atom::LocalInc(Term::var(k), Term::var(b.to_string()))),
+            Formula::eq(Term::var(y), slot),
+            Formula::Atom(Atom::LocalInc(Term::var(k), Term::var(b))),
         ]),
     )
 }

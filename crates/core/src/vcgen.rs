@@ -17,7 +17,7 @@
 use crate::effects::{ModEntry, ModList};
 use crate::translate::{tr_formula, tr_value};
 use oolong_logic::transform::FreshGen;
-use oolong_logic::{Atom, Formula, Pattern, Term, Trigger};
+use oolong_logic::{Atom, Formula, Pattern, Symbol, Term, Trigger};
 use oolong_sema::{ImplId, Scope};
 use oolong_syntax::{Cmd, Diagnostic, Expr, Span};
 use std::fmt;
@@ -308,7 +308,7 @@ impl<'s> VcGen<'s> {
             }
             Cmd::Var(x, body, _) => {
                 let inner = self.wlp(body, q, w)?;
-                Ok(Formula::forall(vec![x.text.clone()], vec![], inner))
+                Ok(Formula::forall(vec![x.text.as_str().into()], vec![], inner))
             }
             Cmd::Seq(c0, c1) => {
                 let q1 = self.wlp(c1, q, w)?;
@@ -345,7 +345,7 @@ impl<'s> VcGen<'s> {
         match lhs {
             // x := E  —  Q[x := tr(E)].
             Expr::Id(x) => {
-                let subst = q.subst(&[(x.text.clone(), r.term)]);
+                let subst = q.subst(&[(x.text.as_str().into(), r.term)]);
                 Ok(Formula::and(
                     self.defined(r.defined).chain([subst]).collect(),
                 ))
@@ -365,7 +365,7 @@ impl<'s> VcGen<'s> {
                 );
                 let updated =
                     Term::update(Term::store(), b.term.clone(), attr_term, r.term.clone());
-                let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
+                let subst = q.subst(&[(oolong_logic::STORE.into(), updated)]);
                 let defined: Vec<Formula> = b.defined.into_iter().chain(r.defined).collect();
                 let mut defined_with_target = defined;
                 defined_with_target.push(Formula::neq(b.term, Term::null()));
@@ -391,7 +391,7 @@ impl<'s> VcGen<'s> {
                     idx.term.clone(),
                     r.term.clone(),
                 );
-                let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
+                let subst = q.subst(&[(oolong_logic::STORE.into(), updated)]);
                 let mut defined: Vec<Formula> = b
                     .defined
                     .into_iter()
@@ -421,8 +421,8 @@ impl<'s> VcGen<'s> {
         match lhs {
             // x := new()  —  Q[x := new($), $ := $⁺] (parallel).
             Expr::Id(x) => Ok(q.subst(&[
-                (x.text.clone(), Term::new_obj(Term::store())),
-                (oolong_logic::STORE.to_string(), Term::succ(Term::store())),
+                (x.text.as_str().into(), Term::new_obj(Term::store())),
+                (oolong_logic::STORE.into(), Term::succ(Term::store())),
             ])),
             // E.f := new() — mod(tr(E)·f, w, $0) ∧ Q[$ := $⁺(tr(E)·f := new($))].
             Expr::Select { base, attr, .. } => {
@@ -443,7 +443,7 @@ impl<'s> VcGen<'s> {
                     attr_term,
                     Term::new_obj(Term::store()),
                 );
-                let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
+                let subst = q.subst(&[(oolong_logic::STORE.into(), updated)]);
                 let mut defined = b.defined;
                 defined.push(Formula::neq(b.term, Term::null()));
                 Ok(Formula::and(
@@ -466,7 +466,7 @@ impl<'s> VcGen<'s> {
                     idx.term.clone(),
                     Term::new_obj(Term::store()),
                 );
-                let subst = q.subst(&[(oolong_logic::STORE.to_string(), updated)]);
+                let subst = q.subst(&[(oolong_logic::STORE.into(), updated)]);
                 let mut defined: Vec<Formula> = b.defined.into_iter().chain(idx.defined).collect();
                 defined.push(Formula::neq(b.term, Term::null()));
                 Ok(Formula::and(
@@ -499,12 +499,12 @@ impl<'s> VcGen<'s> {
         let callee = self.scope.proc_info(callee_id).clone();
 
         // Fresh sᵢ bound to the actuals.
-        let si: Vec<String> = callee
+        let si: Vec<Symbol> = callee
             .params
             .iter()
             .map(|p| self.fresh.fresh(&format!("s_{p}")))
             .collect();
-        let si_terms: Vec<Term> = si.iter().map(Term::var).collect();
+        let si_terms: Vec<Term> = si.iter().copied().map(Term::var).collect();
         let mut equalities = Vec::new();
         let mut defined = Vec::new();
         for (s, arg) in si_terms.iter().zip(args.iter()) {
@@ -581,7 +581,7 @@ impl<'s> VcGen<'s> {
                     ws.modifiable(&Term::var(xv2), &Term::var(fv), &Term::store()),
                 ]),
             );
-            let q_post = q.subst(&[(oolong_logic::STORE.to_string(), post.clone())]);
+            let q_post = q.subst(&[(oolong_logic::STORE.into(), post.clone())]);
             Formula::forall(
                 vec![post_store],
                 vec![],

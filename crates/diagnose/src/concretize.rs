@@ -10,7 +10,7 @@
 //! — and turns the initial-store `select` entries into field and slot
 //! writes.
 
-use oolong_logic::{Cst, Term, STORE, STORE0};
+use oolong_logic::{Cst, STORE, STORE0};
 use oolong_prover::CandidateModel;
 use oolong_sema::Scope;
 
@@ -75,7 +75,7 @@ pub fn concretize(scope: &Scope, model: &CandidateModel, params: &[String]) -> P
         model.classes[idx]
             .members
             .iter()
-            .any(|m| matches!(m, Term::Var(v) if v == STORE || v == STORE0))
+            .any(|m| m.is_var(STORE) || m.is_var(STORE0))
     };
 
     let mut class_values = Vec::with_capacity(n);
@@ -84,7 +84,7 @@ pub fn concretize(scope: &Scope, model: &CandidateModel, params: &[String]) -> P
             Some(Cst::Int(i)) => ClassValue::Int(*i),
             Some(Cst::Bool(b)) => ClassValue::Bool(*b),
             Some(Cst::Null) => ClassValue::Null,
-            Some(Cst::Attr(a)) => ClassValue::AttrName(a.clone()),
+            Some(Cst::Attr(a)) => ClassValue::AttrName(a.to_string()),
             None if is_store(idx) => ClassValue::Store,
             None if is_int[idx] => ClassValue::Int(UNCONSTRAINED_INT_BASE + idx as i64),
             // Everything else — parameters, skolem constants, select
@@ -129,7 +129,7 @@ pub fn concretize(scope: &Scope, model: &CandidateModel, params: &[String]) -> P
             model.classes.iter().position(|c| {
                 c.members
                     .iter()
-                    .any(|m| matches!(m, Term::Var(v) if v == p))
+                    .any(|m| m.is_var(p))
             })
         })
         .collect();
@@ -145,6 +145,7 @@ pub fn concretize(scope: &Scope, model: &CandidateModel, params: &[String]) -> P
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oolong_logic::{Symbol, Term};
     use oolong_prover::{ModelClass, ModelSelect};
     use oolong_syntax::parse_program;
 
@@ -154,7 +155,7 @@ mod tests {
 
     fn class(members: Vec<Term>, value: Option<Cst>) -> ModelClass {
         ModelClass {
-            repr: members.first().cloned().unwrap_or(Term::Var("_".into())),
+            repr: members.first().cloned().unwrap_or(Term::var("_")),
             members,
             value,
         }
@@ -166,14 +167,14 @@ mod tests {
             labels: vec![],
             classes: vec![
                 class(
-                    vec![Term::Var(STORE0.into()), Term::Var(STORE.into())],
+                    vec![Term::var(STORE0), Term::var(STORE)],
                     None,
                 ),
-                class(vec![Term::Var("t".into())], None),
-                class(vec![Term::Const(Cst::Int(3))], Some(Cst::Int(3))),
+                class(vec![Term::var("t")], None),
+                class(vec![Term::int(3)], Some(Cst::Int(3))),
                 class(
-                    vec![Term::Const(Cst::Attr("f".into()))],
-                    Some(Cst::Attr("f".into())),
+                    vec![Term::attr("f")],
+                    Some(Cst::Attr(Symbol::intern("f"))),
                 ),
             ],
             selects: vec![ModelSelect {

@@ -32,7 +32,13 @@ use std::sync::Mutex;
 /// diagnosis byte-for-byte. The prover's candidate model is *not* cached —
 /// it is an internal artifact consumed by diagnosis, and cache hits
 /// rebuild the refutation without it.
-pub const CACHE_FORMAT_VERSION: u64 = 3;
+/// Version 4 accompanies the hash-consed term arena: fingerprints are now
+/// computed from interned-term content digests (see
+/// `FINGERPRINT_VERSION` 2), so v3 entries address obligations under a
+/// recipe this build can no longer reproduce. Migration is by miss, not
+/// by rewrite: v3 entries are skipped (never corrupted or misread) and
+/// the first cold run repopulates the store in v4 format.
+pub const CACHE_FORMAT_VERSION: u64 = 4;
 
 /// Full JSON form of prover stats: the scalar counters plus the
 /// structured members ([`Stats::exhausted`], [`Stats::per_quant`]), so a
@@ -476,6 +482,41 @@ mod tests {
             members[0].1 = Json::Int(999);
         }
         assert!(CachedVerdict::from_json(&value).is_none());
+    }
+
+    #[test]
+    fn v3_entries_miss_without_corruption() {
+        // A v3 store must degrade to cold misses under a v4 build: the old
+        // entry files are neither loaded nor rewritten, and fresh v4
+        // entries land alongside them.
+        let dir = std::env::temp_dir().join(format!("oolong-cache-v3-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("creates dir");
+        let old_fp = Fingerprint(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        let mut value = sample_entry().to_json(old_fp);
+        if let Json::Object(members) = &mut value {
+            assert_eq!(members[0].0, "version");
+            members[0].1 = Json::Int(3);
+        }
+        let old_path = dir.join(format!("{old_fp}.json"));
+        let old_bytes = value.render();
+        std::fs::write(&old_path, &old_bytes).expect("writes v3 entry");
+
+        let cache = VerdictCache::at_dir(&dir).expect("loads");
+        assert!(cache.is_empty(), "v3 entries must not be loaded");
+        assert_eq!(cache.get(old_fp), None);
+
+        let new_fp = Fingerprint(99);
+        cache.insert(new_fp, sample_entry());
+        assert_eq!(
+            std::fs::read_to_string(&old_path).expect("v3 file still present"),
+            old_bytes,
+            "migration is by miss: the v3 file must not be rewritten"
+        );
+        let reloaded = VerdictCache::at_dir(&dir).expect("reloads");
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.get(new_fp), Some(sample_entry()));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

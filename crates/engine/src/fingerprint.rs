@@ -26,7 +26,14 @@ use std::str::FromStr;
 /// Version of the fingerprint recipe. Bump on any change to the hash
 /// inputs or the stable-hash algorithm: a bump invalidates every existing
 /// cache entry, which is exactly the safe behaviour.
-pub const FINGERPRINT_VERSION: u32 = 1;
+///
+/// Version 2: terms and symbols are hash-consed; their `Hash` impls now
+/// write precomputed content digests (FNV-1a of the name for symbols, a
+/// 128-bit structural digest for terms) instead of hashing the old
+/// string-tree representation field by field. The digests are
+/// process-stable but differ from the v1 byte streams, so every v1
+/// fingerprint is invalid.
+pub const FINGERPRINT_VERSION: u32 = 2;
 
 /// The content address of one proof obligation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

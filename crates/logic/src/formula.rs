@@ -1,11 +1,12 @@
 //! First-order formulas over the object-store term language.
 
-use crate::term::Term;
-use std::collections::BTreeSet;
+use crate::intern::Symbol;
+use crate::term::{SubstMemo, Term};
 use std::fmt;
 
-/// An atomic formula.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// An atomic formula. Atoms hold only hash-consed [`Term`] handles, so
+/// they are `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Atom {
     /// `t = u` — equality on values (also used for stores).
     Eq(Term, Term),
@@ -57,28 +58,33 @@ pub enum Atom {
 impl Atom {
     /// Simultaneously substitutes variables by terms in all arguments.
     #[must_use]
-    pub fn subst(&self, map: &[(String, Term)]) -> Atom {
+    pub fn subst(&self, map: &[(Symbol, Term)]) -> Atom {
+        self.subst_memo(map, &mut SubstMemo::new())
+    }
+
+    pub(crate) fn subst_memo(&self, map: &[(Symbol, Term)], memo: &mut SubstMemo) -> Atom {
+        let mut s = |t: &Term| t.subst_memo(map, memo);
         match self {
-            Atom::Eq(a, b) => Atom::Eq(a.subst(map), b.subst(map)),
-            Atom::Alive(s, x) => Atom::Alive(s.subst(map), x.subst(map)),
-            Atom::LocalInc(a, b) => Atom::LocalInc(a.subst(map), b.subst(map)),
+            Atom::Eq(a, b) => Atom::Eq(s(a), s(b)),
+            Atom::Alive(st, x) => Atom::Alive(s(st), s(x)),
+            Atom::LocalInc(a, b) => Atom::LocalInc(s(a), s(b)),
             Atom::RepInc {
                 group,
                 pivot,
                 mapped,
             } => Atom::RepInc {
-                group: group.subst(map),
-                pivot: pivot.subst(map),
-                mapped: mapped.subst(map),
+                group: s(group),
+                pivot: s(pivot),
+                mapped: s(mapped),
             },
             Atom::RepIncElem {
                 group,
                 pivot,
                 mapped,
             } => Atom::RepIncElem {
-                group: group.subst(map),
-                pivot: pivot.subst(map),
-                mapped: mapped.subst(map),
+                group: s(group),
+                pivot: s(pivot),
+                mapped: s(mapped),
             },
             Atom::Inc {
                 store,
@@ -87,22 +93,23 @@ impl Atom {
                 obj2,
                 attr2,
             } => Atom::Inc {
-                store: store.subst(map),
-                obj: obj.subst(map),
-                attr: attr.subst(map),
-                obj2: obj2.subst(map),
-                attr2: attr2.subst(map),
+                store: s(store),
+                obj: s(obj),
+                attr: s(attr),
+                obj2: s(obj2),
+                attr2: s(attr2),
             },
-            Atom::Lt(a, b) => Atom::Lt(a.subst(map), b.subst(map)),
-            Atom::Le(a, b) => Atom::Le(a.subst(map), b.subst(map)),
-            Atom::IsObj(t) => Atom::IsObj(t.subst(map)),
-            Atom::IsInt(t) => Atom::IsInt(t.subst(map)),
-            Atom::BoolTerm(t) => Atom::BoolTerm(t.subst(map)),
+            Atom::Lt(a, b) => Atom::Lt(s(a), s(b)),
+            Atom::Le(a, b) => Atom::Le(s(a), s(b)),
+            Atom::IsObj(t) => Atom::IsObj(s(t)),
+            Atom::IsInt(t) => Atom::IsInt(s(t)),
+            Atom::BoolTerm(t) => Atom::BoolTerm(s(t)),
         }
     }
 
-    /// Collects free variables of all argument terms.
-    pub fn free_vars(&self, out: &mut BTreeSet<String>) {
+    /// Collects free variables of all argument terms (deduplicated,
+    /// first-occurrence order).
+    pub fn free_vars(&self, out: &mut Vec<Symbol>) {
         self.for_each_term(&mut |t| t.free_vars(out));
     }
 
@@ -184,12 +191,21 @@ impl fmt::Display for Atom {
 }
 
 /// One pattern in a matching trigger: either a term shape or an atom shape.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pattern {
     /// Match a term in the E-graph.
     Term(Term),
     /// Match an asserted (or denied) atom.
     Atom(Atom),
+}
+
+impl Pattern {
+    pub(crate) fn subst_memo(&self, map: &[(Symbol, Term)], memo: &mut SubstMemo) -> Pattern {
+        match self {
+            Pattern::Term(t) => Pattern::Term(t.subst_memo(map, memo)),
+            Pattern::Atom(a) => Pattern::Atom(a.subst_memo(map, memo)),
+        }
+    }
 }
 
 impl fmt::Display for Pattern {
@@ -219,6 +235,17 @@ impl fmt::Display for Trigger {
     }
 }
 
+fn subst_triggers(
+    triggers: &[Trigger],
+    map: &[(Symbol, Term)],
+    memo: &mut SubstMemo,
+) -> Vec<Trigger> {
+    triggers
+        .iter()
+        .map(|t| Trigger(t.0.iter().map(|p| p.subst_memo(map, memo)).collect()))
+        .collect()
+}
+
 /// A first-order formula.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Formula {
@@ -239,10 +266,10 @@ pub enum Formula {
     /// Bi-implication.
     Iff(Box<Formula>, Box<Formula>),
     /// Universal quantification with optional matching triggers.
-    Forall(Vec<String>, Vec<Trigger>, Box<Formula>),
+    Forall(Vec<Symbol>, Vec<Trigger>, Box<Formula>),
     /// Existential quantification. The triggers apply when the quantifier
     /// flips to a universal under negation (refutation of a `¬∃` branch).
-    Exists(Vec<String>, Vec<Trigger>, Box<Formula>),
+    Exists(Vec<Symbol>, Vec<Trigger>, Box<Formula>),
     /// A position label (the `lblpos` marker of ESC-lineage checkers):
     /// logically transparent, but literals derived from the wrapped
     /// subformula carry the label id so a refuting prover branch can be
@@ -321,7 +348,7 @@ impl Formula {
 
     /// Builds `∀ vars :: body` with explicit triggers (empty `vars` returns
     /// the body unchanged).
-    pub fn forall(vars: Vec<String>, triggers: Vec<Trigger>, body: Formula) -> Formula {
+    pub fn forall(vars: Vec<Symbol>, triggers: Vec<Trigger>, body: Formula) -> Formula {
         if vars.is_empty() {
             body
         } else {
@@ -330,14 +357,14 @@ impl Formula {
     }
 
     /// Builds `∃ vars :: body` (empty `vars` returns the body unchanged).
-    pub fn exists(vars: Vec<String>, body: Formula) -> Formula {
+    pub fn exists(vars: Vec<Symbol>, body: Formula) -> Formula {
         Formula::exists_with_triggers(vars, vec![], body)
     }
 
     /// Builds `∃ vars :: body` with triggers for the negated (universal)
     /// reading.
     pub fn exists_with_triggers(
-        vars: Vec<String>,
+        vars: Vec<Symbol>,
         triggers: Vec<Trigger>,
         body: Formula,
     ) -> Formula {
@@ -365,7 +392,7 @@ impl Formula {
         match self {
             Formula::True => Formula::True,
             Formula::False => Formula::False,
-            Formula::Atom(a) => Formula::Atom(a.clone()),
+            Formula::Atom(a) => Formula::Atom(*a),
             Formula::Not(p) => Formula::Not(Box::new(p.strip_labels())),
             Formula::And(ps) => Formula::And(ps.iter().map(Formula::strip_labels).collect()),
             Formula::Or(ps) => Formula::Or(ps.iter().map(Formula::strip_labels).collect()),
@@ -393,81 +420,104 @@ impl Formula {
     ///
     /// Substitution does **not** rename binders; the workspace generates
     /// globally fresh bound-variable names, so capture cannot occur. The
-    /// method enforces this with a debug assertion.
+    /// method enforces this with a debug assertion. Because binders are
+    /// fresh, they almost never shadow the domain, so the common path
+    /// reuses the map (and its memo) untouched instead of rebuilding a
+    /// filtered copy at every quantifier.
     ///
     /// # Panics
     ///
-    /// In debug builds, panics if a bound variable occurs in the domain or
-    /// in the free variables of an image (which would capture).
+    /// In debug builds, panics if a bound variable occurs in the free
+    /// variables of an image (which would capture).
     #[must_use]
-    pub fn subst(&self, map: &[(String, Term)]) -> Formula {
+    pub fn subst(&self, map: &[(Symbol, Term)]) -> Formula {
+        self.subst_memo(map, &mut SubstMemo::new())
+    }
+
+    fn subst_memo(&self, map: &[(Symbol, Term)], memo: &mut SubstMemo) -> Formula {
         match self {
             Formula::True => Formula::True,
             Formula::False => Formula::False,
-            Formula::Atom(a) => Formula::Atom(a.subst(map)),
-            Formula::Not(p) => Formula::Not(Box::new(p.subst(map))),
-            Formula::And(ps) => Formula::And(ps.iter().map(|p| p.subst(map)).collect()),
-            Formula::Or(ps) => Formula::Or(ps.iter().map(|p| p.subst(map)).collect()),
-            Formula::Implies(p, q) => {
-                Formula::Implies(Box::new(p.subst(map)), Box::new(q.subst(map)))
+            Formula::Atom(a) => Formula::Atom(a.subst_memo(map, memo)),
+            Formula::Not(p) => Formula::Not(Box::new(p.subst_memo(map, memo))),
+            Formula::And(ps) => {
+                Formula::And(ps.iter().map(|p| p.subst_memo(map, memo)).collect())
             }
-            Formula::Iff(p, q) => Formula::Iff(Box::new(p.subst(map)), Box::new(q.subst(map))),
+            Formula::Or(ps) => Formula::Or(ps.iter().map(|p| p.subst_memo(map, memo)).collect()),
+            Formula::Implies(p, q) => Formula::Implies(
+                Box::new(p.subst_memo(map, memo)),
+                Box::new(q.subst_memo(map, memo)),
+            ),
+            Formula::Iff(p, q) => Formula::Iff(
+                Box::new(p.subst_memo(map, memo)),
+                Box::new(q.subst_memo(map, memo)),
+            ),
             Formula::Forall(vars, triggers, body) => {
                 debug_assert!(no_capture(vars, map), "bound variable capture in subst");
-                let inner: Vec<(String, Term)> = map
-                    .iter()
-                    .filter(|(v, _)| !vars.contains(v))
-                    .cloned()
-                    .collect();
-                let triggers = triggers
-                    .iter()
-                    .map(|t| {
-                        Trigger(
-                            t.0.iter()
-                                .map(|p| match p {
-                                    Pattern::Term(t) => Pattern::Term(t.subst(&inner)),
-                                    Pattern::Atom(a) => Pattern::Atom(a.subst(&inner)),
-                                })
-                                .collect(),
-                        )
-                    })
-                    .collect();
-                Formula::Forall(vars.clone(), triggers, Box::new(body.subst(&inner)))
+                if vars.iter().any(|v| map.iter().any(|(d, _)| d == v)) {
+                    // Shadowed: filter the domain and start a fresh memo
+                    // for the narrowed map.
+                    let inner: Vec<(Symbol, Term)> = map
+                        .iter()
+                        .filter(|(v, _)| !vars.contains(v))
+                        .copied()
+                        .collect();
+                    let mut inner_memo = SubstMemo::new();
+                    let triggers = subst_triggers(triggers, &inner, &mut inner_memo);
+                    Formula::Forall(
+                        vars.clone(),
+                        triggers,
+                        Box::new(body.subst_memo(&inner, &mut inner_memo)),
+                    )
+                } else {
+                    let triggers = subst_triggers(triggers, map, memo);
+                    Formula::Forall(
+                        vars.clone(),
+                        triggers,
+                        Box::new(body.subst_memo(map, memo)),
+                    )
+                }
             }
             Formula::Exists(vars, triggers, body) => {
                 debug_assert!(no_capture(vars, map), "bound variable capture in subst");
-                let inner: Vec<(String, Term)> = map
-                    .iter()
-                    .filter(|(v, _)| !vars.contains(v))
-                    .cloned()
-                    .collect();
-                let triggers = triggers
-                    .iter()
-                    .map(|t| {
-                        Trigger(
-                            t.0.iter()
-                                .map(|p| match p {
-                                    Pattern::Term(t) => Pattern::Term(t.subst(&inner)),
-                                    Pattern::Atom(a) => Pattern::Atom(a.subst(&inner)),
-                                })
-                                .collect(),
-                        )
-                    })
-                    .collect();
-                Formula::Exists(vars.clone(), triggers, Box::new(body.subst(&inner)))
+                if vars.iter().any(|v| map.iter().any(|(d, _)| d == v)) {
+                    let inner: Vec<(Symbol, Term)> = map
+                        .iter()
+                        .filter(|(v, _)| !vars.contains(v))
+                        .copied()
+                        .collect();
+                    let mut inner_memo = SubstMemo::new();
+                    let triggers = subst_triggers(triggers, &inner, &mut inner_memo);
+                    Formula::Exists(
+                        vars.clone(),
+                        triggers,
+                        Box::new(body.subst_memo(&inner, &mut inner_memo)),
+                    )
+                } else {
+                    let triggers = subst_triggers(triggers, map, memo);
+                    Formula::Exists(
+                        vars.clone(),
+                        triggers,
+                        Box::new(body.subst_memo(map, memo)),
+                    )
+                }
             }
-            Formula::Labeled(id, body) => Formula::Labeled(*id, Box::new(body.subst(map))),
+            Formula::Labeled(id, body) => {
+                Formula::Labeled(*id, Box::new(body.subst_memo(map, memo)))
+            }
         }
     }
 
-    /// Collects free variables.
-    pub fn free_vars(&self) -> BTreeSet<String> {
-        let mut out = BTreeSet::new();
+    /// Collects free variables, sorted by name (deterministic across
+    /// runs even though symbol ids are not).
+    pub fn free_vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
         self.free_vars_into(&mut out);
+        out.sort_by_key(|s| s.as_str());
         out
     }
 
-    fn free_vars_into(&self, out: &mut BTreeSet<String>) {
+    fn free_vars_into(&self, out: &mut Vec<Symbol>) {
         match self {
             Formula::True | Formula::False => {}
             Formula::Atom(a) => a.free_vars(out),
@@ -482,12 +532,13 @@ impl Formula {
                 q.free_vars_into(out);
             }
             Formula::Forall(vars, _, body) | Formula::Exists(vars, _, body) => {
-                let mut inner = BTreeSet::new();
+                let mut inner = Vec::new();
                 body.free_vars_into(&mut inner);
-                for v in vars {
-                    inner.remove(v);
+                for v in inner {
+                    if !vars.contains(&v) && !out.contains(&v) {
+                        out.push(v);
+                    }
                 }
-                out.extend(inner);
             }
             Formula::Labeled(_, body) => body.free_vars_into(out),
         }
@@ -511,18 +562,28 @@ impl Formula {
     }
 }
 
-fn no_capture(bound: &[String], map: &[(String, Term)]) -> bool {
+fn no_capture(bound: &[Symbol], map: &[(Symbol, Term)]) -> bool {
     for (v, image) in map {
         if bound.contains(v) {
             continue; // shadowed — handled by filtering, not capture
         }
-        let mut image_vars = BTreeSet::new();
+        let mut image_vars = Vec::new();
         image.free_vars(&mut image_vars);
         if bound.iter().any(|b| image_vars.contains(b)) {
             return false;
         }
     }
     true
+}
+
+fn write_vars(f: &mut fmt::Formatter<'_>, vars: &[Symbol]) -> fmt::Result {
+    for (i, v) in vars.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{v}")?;
+    }
+    Ok(())
 }
 
 impl fmt::Display for Formula {
@@ -555,14 +616,17 @@ impl fmt::Display for Formula {
             Formula::Implies(p, q) => write!(f, "({p} ⇒ {q})"),
             Formula::Iff(p, q) => write!(f, "({p} ⇔ {q})"),
             Formula::Forall(vars, triggers, body) => {
-                write!(f, "(∀ {}", vars.join(", "))?;
+                write!(f, "(∀ ")?;
+                write_vars(f, vars)?;
                 for t in triggers {
                     write!(f, " {t}")?;
                 }
                 write!(f, " :: {body})")
             }
             Formula::Exists(vars, _, body) => {
-                write!(f, "(∃ {} :: {body})", vars.join(", "))
+                write!(f, "(∃ ")?;
+                write_vars(f, vars)?;
+                write!(f, " :: {body})")
             }
             Formula::Labeled(id, body) => write!(f, "⟨L{id}: {body}⟩"),
         }
@@ -611,7 +675,7 @@ mod tests {
         // (∀ v :: v = x)[x := 3] = ∀ v :: v = 3
         let body = Formula::eq(Term::var("v"), Term::var("x"));
         let q = Formula::forall(vec!["v".into()], vec![], body);
-        let subbed = q.subst(&[("x".to_string(), Term::int(3))]);
+        let subbed = q.subst(&[("x".into(), Term::int(3))]);
         assert_eq!(
             subbed,
             Formula::forall(
@@ -621,7 +685,7 @@ mod tests {
             )
         );
         // Substituting the bound variable itself is a no-op inside.
-        let same = q.subst(&[("v".to_string(), Term::int(7))]);
+        let same = q.subst(&[("v".into(), Term::int(7))]);
         assert_eq!(same, q);
     }
 
@@ -633,9 +697,9 @@ mod tests {
         );
         let q = Formula::forall(vec!["v".into()], vec![], body);
         let fv = q.free_vars();
-        assert!(fv.contains("x"));
-        assert!(fv.contains(STORE));
-        assert!(!fv.contains("v"));
+        assert!(fv.iter().any(|s| *s == "x"));
+        assert!(fv.iter().any(|s| *s == STORE));
+        assert!(!fv.iter().any(|s| *s == "v"));
     }
 
     #[test]
@@ -648,7 +712,7 @@ mod tests {
             vec![],
             Formula::eq(Term::var("x"), Term::var("v")),
         );
-        let _ = q.subst(&[("x".to_string(), Term::var("v"))]);
+        let _ = q.subst(&[("x".into(), Term::var("v"))]);
     }
 
     #[test]
@@ -674,7 +738,7 @@ mod tests {
         assert_eq!(Formula::labeled(0, Formula::True), Formula::True);
         assert_eq!(Formula::labeled(0, Formula::False), Formula::False);
         // Substitution preserves the label.
-        let subbed = labelled.subst(&[("x".to_string(), Term::var("y"))]);
+        let subbed = labelled.subst(&[("x".into(), Term::var("y"))]);
         assert_eq!(
             subbed,
             Formula::labeled(3, Formula::eq(Term::var("y"), Term::int(1)))
@@ -689,5 +753,35 @@ mod tests {
             Formula::eq(Term::var("y"), Term::int(2)),
         ]);
         assert_eq!(f.size(), 7);
+    }
+
+    #[test]
+    fn shared_subtrees_substitute_once() {
+        // A formula with the same big subterm twice: after substitution
+        // both occurrences must still be the same hash-consed id.
+        let big = Term::select(Term::store(), Term::var("o"), Term::attr("f"));
+        let f = Formula::and(vec![
+            Formula::eq(big, Term::int(1)),
+            Formula::eq(big, Term::var("z")),
+        ]);
+        let g = f.subst(&[("o".into(), Term::var("p"))]);
+        match g {
+            Formula::And(parts) => {
+                let first = match &parts[0] {
+                    Formula::Atom(Atom::Eq(a, _)) => *a,
+                    other => panic!("unexpected shape: {other:?}"),
+                };
+                let second = match &parts[1] {
+                    Formula::Atom(Atom::Eq(a, _)) => *a,
+                    other => panic!("unexpected shape: {other:?}"),
+                };
+                assert_eq!(first.id(), second.id());
+                assert_eq!(
+                    first,
+                    Term::select(Term::store(), Term::var("p"), Term::attr("f"))
+                );
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
     }
 }

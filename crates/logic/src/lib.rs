@@ -30,11 +30,13 @@
 //! ```
 
 pub mod formula;
+pub mod intern;
 pub mod stable_hash;
 pub mod term;
 pub mod transform;
 
 pub use formula::{Atom, Formula, Pattern, Trigger};
+pub use intern::Symbol;
 pub use stable_hash::{stable_hash128, StableHasher};
-pub use term::{Cst, FnSym, Term, STORE, STORE0};
+pub use term::{Cst, FnSym, Term, TermNode, STORE, STORE0};
 pub use transform::{to_nnf, FreshGen, Nnf};

@@ -7,8 +7,9 @@
 //! variable renamed to a globally fresh name (so downstream substitution
 //! never captures).
 
-use crate::formula::{Atom, Formula, Pattern, Trigger};
-use crate::term::Term;
+use crate::formula::{Atom, Formula, Trigger};
+use crate::intern::Symbol;
+use crate::term::{SubstMemo, Term};
 
 /// Generator of globally fresh variable and function names.
 ///
@@ -25,11 +26,11 @@ impl FreshGen {
         Self::default()
     }
 
-    /// Returns a fresh name with the given prefix, e.g. `sk!7`.
-    pub fn fresh(&mut self, prefix: &str) -> String {
+    /// Returns a fresh interned name with the given prefix, e.g. `sk!7`.
+    pub fn fresh(&mut self, prefix: &str) -> Symbol {
         let n = self.next;
         self.next += 1;
-        format!("{prefix}!{n}")
+        Symbol::intern(&format!("{prefix}!{n}"))
     }
 }
 
@@ -61,7 +62,7 @@ pub enum Nnf {
     /// A (positive) universal quantifier with matching triggers.
     Forall {
         /// Bound variables (globally fresh names).
-        vars: Vec<String>,
+        vars: Vec<Symbol>,
         /// Matching triggers; empty means the prover infers them.
         triggers: Vec<Trigger>,
         /// The quantified body.
@@ -107,8 +108,14 @@ impl Nnf {
     }
 
     /// Substitutes variables by terms (used for quantifier instantiation).
+    /// This is the prover's hottest rewrite; the memo rides the
+    /// hash-consed ids so each distinct subterm is rewritten once.
     #[must_use]
-    pub fn subst(&self, map: &[(String, Term)]) -> Nnf {
+    pub fn subst(&self, map: &[(Symbol, Term)]) -> Nnf {
+        self.subst_memo(map, &mut SubstMemo::new())
+    }
+
+    fn subst_memo(&self, map: &[(Symbol, Term)], memo: &mut SubstMemo) -> Nnf {
         match self {
             Nnf::True => Nnf::True,
             Nnf::False => Nnf::False,
@@ -117,39 +124,51 @@ impl Nnf {
                 positive,
                 label,
             } => Nnf::Lit {
-                atom: atom.subst(map),
+                atom: atom.subst_memo(map, memo),
                 positive: *positive,
                 label: *label,
             },
-            Nnf::And(ps) => Nnf::And(ps.iter().map(|p| p.subst(map)).collect()),
-            Nnf::Or(ps) => Nnf::Or(ps.iter().map(|p| p.subst(map)).collect()),
+            Nnf::And(ps) => Nnf::And(ps.iter().map(|p| p.subst_memo(map, memo)).collect()),
+            Nnf::Or(ps) => Nnf::Or(ps.iter().map(|p| p.subst_memo(map, memo)).collect()),
             Nnf::Forall {
                 vars,
                 triggers,
                 body,
             } => {
-                let inner: Vec<(String, Term)> = map
-                    .iter()
-                    .filter(|(v, _)| !vars.contains(v))
-                    .cloned()
-                    .collect();
-                let triggers = triggers
-                    .iter()
-                    .map(|t| {
-                        Trigger(
-                            t.0.iter()
-                                .map(|p| match p {
-                                    Pattern::Term(t) => Pattern::Term(t.subst(&inner)),
-                                    Pattern::Atom(a) => Pattern::Atom(a.subst(&inner)),
-                                })
-                                .collect(),
-                        )
-                    })
-                    .collect();
-                Nnf::Forall {
-                    vars: vars.clone(),
-                    triggers,
-                    body: Box::new(body.subst(&inner)),
+                if vars.iter().any(|v| map.iter().any(|(d, _)| d == v)) {
+                    // Shadowed (bound variables are globally fresh, so
+                    // this is the rare path): narrow the map.
+                    let inner: Vec<(Symbol, Term)> = map
+                        .iter()
+                        .filter(|(v, _)| !vars.contains(v))
+                        .copied()
+                        .collect();
+                    let mut inner_memo = SubstMemo::new();
+                    let triggers = triggers
+                        .iter()
+                        .map(|t| {
+                            Trigger(
+                                t.0.iter()
+                                    .map(|p| p.subst_memo(&inner, &mut inner_memo))
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    Nnf::Forall {
+                        vars: vars.clone(),
+                        triggers,
+                        body: Box::new(body.subst_memo(&inner, &mut inner_memo)),
+                    }
+                } else {
+                    let triggers = triggers
+                        .iter()
+                        .map(|t| Trigger(t.0.iter().map(|p| p.subst_memo(map, memo)).collect()))
+                        .collect();
+                    Nnf::Forall {
+                        vars: vars.clone(),
+                        triggers,
+                        body: Box::new(body.subst_memo(map, memo)),
+                    }
                 }
             }
         }
@@ -205,7 +224,13 @@ impl std::fmt::Display for Nnf {
                 triggers,
                 body,
             } => {
-                write!(f, "(∀ {}", vars.join(", "))?;
+                write!(f, "(∀ ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
                 for t in triggers {
                     write!(f, " {t}")?;
                 }
@@ -229,7 +254,7 @@ pub fn to_nnf(formula: &Formula, positive: bool, fresh: &mut FreshGen) -> Nnf {
 fn convert(
     formula: &Formula,
     positive: bool,
-    universals: &mut Vec<String>,
+    universals: &mut Vec<Symbol>,
     fresh: &mut FreshGen,
     label: Option<u32>,
 ) -> Nnf {
@@ -249,7 +274,7 @@ fn convert(
             }
         }
         Formula::Atom(a) => Nnf::Lit {
-            atom: a.clone(),
+            atom: *a,
             positive,
             label,
         },
@@ -320,40 +345,35 @@ fn convert(
 /// rename the bound variables to fresh names and recurse on the body with
 /// the given polarity.
 fn rename_and_quantify(
-    vars: &[String],
+    vars: &[Symbol],
     triggers: &[Trigger],
     body: &Formula,
     body_polarity: bool,
-    universals: &mut Vec<String>,
+    universals: &mut Vec<Symbol>,
     fresh: &mut FreshGen,
 ) -> Nnf {
-    let renaming: Vec<(String, Term)> = vars
+    let renaming: Vec<(Symbol, Term)> = vars
         .iter()
-        .map(|v| (v.clone(), Term::var(fresh.fresh(&format!("q_{v}")))))
+        .map(|v| (*v, Term::var(fresh.fresh(&format!("q_{v}")))))
         .collect();
-    let new_names: Vec<String> = renaming
+    let new_names: Vec<Symbol> = renaming
         .iter()
-        .map(|(_, t)| match t {
-            Term::Var(n) => n.clone(),
-            _ => unreachable!("renaming images are variables"),
-        })
+        .map(|(_, t)| t.as_var().expect("renaming images are variables"))
         .collect();
+    let mut memo = SubstMemo::new();
     let renamed_triggers: Vec<Trigger> = triggers
         .iter()
         .map(|t| {
             Trigger(
                 t.0.iter()
-                    .map(|p| match p {
-                        Pattern::Term(t) => Pattern::Term(t.subst(&renaming)),
-                        Pattern::Atom(a) => Pattern::Atom(a.subst(&renaming)),
-                    })
+                    .map(|p| p.subst_memo(&renaming, &mut memo))
                     .collect(),
             )
         })
         .collect();
     let renamed_body = body.subst(&renaming);
     let depth = universals.len();
-    universals.extend(new_names.iter().cloned());
+    universals.extend(new_names.iter().copied());
     // Labels are cleared inside quantifier bodies: quantifiers are shared
     // (instantiated many times, deduplicated by body identity in the
     // prover), so a label inside would both leak across obligations and
@@ -373,15 +393,15 @@ fn rename_and_quantify(
 /// Positive existential (or negated universal): replace each bound variable
 /// by a Skolem function of the enclosing universals.
 fn skolemize(
-    vars: &[String],
+    vars: &[Symbol],
     body: &Formula,
     body_polarity: bool,
-    universals: &mut Vec<String>,
+    universals: &mut Vec<Symbol>,
     fresh: &mut FreshGen,
     label: Option<u32>,
 ) -> Nnf {
-    let args: Vec<Term> = universals.iter().map(Term::var).collect();
-    let map: Vec<(String, Term)> = vars
+    let args: Vec<Term> = universals.iter().map(|v| Term::var(*v)).collect();
+    let map: Vec<(Symbol, Term)> = vars
         .iter()
         .map(|v| {
             let name = fresh.fresh(&format!("sk_{v}"));
@@ -390,7 +410,7 @@ fn skolemize(
             } else {
                 Term::uninterp(name, args.clone())
             };
-            (v.clone(), image)
+            (*v, image)
         })
         .collect();
     let skolemized = body.subst(&map);
@@ -401,7 +421,9 @@ fn skolemize(
 mod tests {
     use super::*;
     use crate::formula::Formula as F;
+    use crate::formula::Pattern;
     use crate::term::Term as T;
+    use crate::term::TermNode;
 
     fn atom(name: &str) -> F {
         F::Atom(Atom::BoolTerm(T::var(name)))
@@ -413,7 +435,7 @@ mod tests {
         let a = gen.fresh("sk");
         let b = gen.fresh("sk");
         assert_ne!(a, b);
-        assert!(a.contains('!'));
+        assert!(a.as_str().contains('!'));
     }
 
     #[test]
@@ -474,11 +496,12 @@ mod tests {
         let nnf = to_nnf(&f, true, &mut FreshGen::new());
         match nnf {
             Nnf::Lit {
-                atom: Atom::Eq(T::Var(v), _),
+                atom: Atom::Eq(lhs, _),
                 positive: true,
                 ..
             } => {
-                assert!(v.starts_with("sk_x!"), "got {v}");
+                let v = lhs.as_var().expect("skolem constant is a variable");
+                assert!(v.as_str().starts_with("sk_x!"), "got {v}");
             }
             other => panic!("expected literal, got {other}"),
         }
@@ -498,12 +521,15 @@ mod tests {
                 assert_eq!(vars.len(), 1);
                 match *body {
                     Nnf::Lit {
-                        atom: Atom::Eq(T::App(_, args), _),
+                        atom: Atom::Eq(lhs, _),
                         ..
-                    } => {
-                        assert_eq!(args.len(), 1, "skolem fn applied to the universal");
-                        assert_eq!(args[0], T::var(&vars[0]));
-                    }
+                    } => match lhs.node() {
+                        TermNode::App(_, args) => {
+                            assert_eq!(args.len(), 1, "skolem fn applied to the universal");
+                            assert_eq!(args[0], T::var(vars[0]));
+                        }
+                        other => panic!("expected skolem app, got {other:?}"),
+                    },
                     other => panic!("expected skolem app, got {other}"),
                 }
             }
@@ -538,8 +564,8 @@ mod tests {
         let nnf = to_nnf(&f, true, &mut FreshGen::new());
         match nnf {
             Nnf::Forall { vars, .. } => {
-                assert_ne!(vars[0], "x");
-                assert!(vars[0].contains('!'));
+                assert_ne!(vars[0].as_str(), "x");
+                assert!(vars[0].as_str().contains('!'));
             }
             other => panic!("expected forall, got {other}"),
         }
@@ -562,9 +588,12 @@ mod tests {
             Nnf::Forall { vars, triggers, .. } => {
                 assert_eq!(triggers.len(), 1);
                 match &triggers[0].0[0] {
-                    Pattern::Term(T::App(_, args)) => {
-                        assert_eq!(args[1], T::var(&vars[0]), "trigger references renamed var");
-                    }
+                    Pattern::Term(t) => match t.node() {
+                        TermNode::App(_, args) => {
+                            assert_eq!(args[1], T::var(vars[0]), "trigger references renamed var");
+                        }
+                        other => panic!("unexpected pattern {other:?}"),
+                    },
                     other => panic!("unexpected pattern {other:?}"),
                 }
             }
@@ -579,7 +608,7 @@ mod tests {
             positive: true,
             label: None,
         };
-        let inst = lit.subst(&[("v".to_string(), T::var("c"))]);
+        let inst = lit.subst(&[("v".into(), T::var("c"))]);
         assert_eq!(
             inst,
             Nnf::Lit {

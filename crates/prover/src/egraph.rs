@@ -13,18 +13,25 @@
 //! that are merged with the distinguished `true`/`false` nodes when
 //! asserted; equality atoms act directly on the union-find.
 
-use oolong_logic::{Atom, Cst, FnSym, Term};
+use oolong_logic::{Atom, Cst, FnSym, Symbol, Term, TermNode};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Dense node identifier.
 pub type NodeId = u32;
 
+/// Sentinel for "term not yet interned" in the term memo.
+const NO_NODE: NodeId = u32::MAX;
+/// Term-memo page size (terms are hash-consed globally, so the memo is a
+/// sparse paged map from arena id to node id).
+const MEMO_PAGE: usize = 1024;
+type MemoPage = [NodeId; MEMO_PAGE];
+
 /// Function and predicate symbols of E-graph nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sym {
     /// A free variable / constant leaf.
-    Var(String),
+    Var(Symbol),
     /// An interpreted constant leaf.
     Lit(Cst),
     /// `select(S, X, A)`.
@@ -44,7 +51,7 @@ pub enum Sym {
     /// Integer negation.
     Neg,
     /// Uninterpreted function (Skolem functions).
-    Uninterp(String),
+    Uninterp(Symbol),
     /// Predicate `alive(S, X)`.
     PAlive,
     /// Predicate `A ⊒ B`.
@@ -77,7 +84,7 @@ impl Sym {
             FnSym::Sub => Sym::Sub,
             FnSym::Mul => Sym::Mul,
             FnSym::Neg => Sym::Neg,
-            FnSym::Uninterp(name) => Sym::Uninterp(name.clone()),
+            FnSym::Uninterp(name) => Sym::Uninterp(*name),
         }
     }
 }
@@ -150,6 +157,11 @@ enum Undo {
     SigInsert { node: NodeId },
     /// A disequality was pushed onto roots `a` and `b`.
     Diseq { a: NodeId, b: NodeId },
+    /// A term→node memo entry was installed inside a frame. Frame-local
+    /// entries must be cleared on pop: the mapped node may itself be
+    /// undone, or may only coincide with the term under merges that the
+    /// pop unwinds (a signature hit through a frame-local union).
+    MemoInsert { term: u32 },
 }
 
 /// A checkpoint returned by [`EGraph::push`] and consumed by
@@ -169,6 +181,11 @@ pub struct EGraph {
     classes: HashMap<NodeId, ClassData>,
     /// Canonical signature (sym, canonical children) → node.
     sig_table: HashMap<(Sym, Vec<NodeId>), NodeId>,
+    /// Hash-consed term arena id → node, paged and sparse. Turns repeat
+    /// interning of a term (the prover re-asserts shared hypotheses and
+    /// instantiations constantly) into one array load instead of a
+    /// recursive walk with a hash per node.
+    term_memo: Vec<Option<Box<MemoPage>>>,
     /// All nodes by symbol, for pattern matching.
     by_sym: HashMap<Sym, Vec<NodeId>>,
     /// Distinguished boolean leaves.
@@ -209,6 +226,7 @@ impl EGraph {
             parent: Vec::new(),
             classes: HashMap::new(),
             sig_table: HashMap::new(),
+            term_memo: Vec::new(),
             by_sym: HashMap::new(),
             true_id: 0,
             false_id: 0,
@@ -377,7 +395,34 @@ impl EGraph {
                 self.classes.get_mut(&a).expect("class exists").diseqs.pop();
                 self.classes.get_mut(&b).expect("class exists").diseqs.pop();
             }
+            Undo::MemoInsert { term } => {
+                self.term_memo[term as usize / MEMO_PAGE]
+                    .as_mut()
+                    .expect("memo page exists")[term as usize % MEMO_PAGE] = NO_NODE;
+            }
         }
+    }
+
+    fn memo_get(&self, term: Term) -> Option<NodeId> {
+        let idx = term.id() as usize;
+        match self.term_memo.get(idx / MEMO_PAGE)? {
+            Some(page) => match page[idx % MEMO_PAGE] {
+                NO_NODE => None,
+                id => Some(id),
+            },
+            None => None,
+        }
+    }
+
+    fn memo_insert(&mut self, term: Term, id: NodeId) {
+        let idx = term.id() as usize;
+        let page_idx = idx / MEMO_PAGE;
+        if self.term_memo.len() <= page_idx {
+            self.term_memo.resize(page_idx + 1, None);
+        }
+        let page = self.term_memo[page_idx].get_or_insert_with(|| Box::new([NO_NODE; MEMO_PAGE]));
+        page[idx % MEMO_PAGE] = id;
+        self.record(Undo::MemoInsert { term: term.id() });
     }
 
     /// Sets the generation stamped onto classes created from now on.
@@ -457,17 +502,22 @@ impl EGraph {
     /// Returns [`Conflict`] if eager evaluation of the new node contradicts
     /// existing facts (possible via congruence with evaluated arithmetic).
     pub fn intern(&mut self, term: &Term) -> Result<NodeId, Conflict> {
-        match term {
-            Term::Var(v) => self.add(Sym::Var(v.clone()), vec![]),
-            Term::Const(c) => self.add(Sym::Lit(c.clone()), vec![]),
-            Term::App(f, args) => {
+        if let Some(hit) = self.memo_get(*term) {
+            return Ok(hit);
+        }
+        let id = match term.node() {
+            TermNode::Var(v) => self.add(Sym::Var(*v), vec![])?,
+            TermNode::Const(c) => self.add(Sym::Lit(*c), vec![])?,
+            TermNode::App(f, args) => {
                 let mut children = Vec::with_capacity(args.len());
                 for a in args {
                     children.push(self.intern(a)?);
                 }
-                self.add(Sym::from_fn(f), children)
+                self.add(Sym::from_fn(f), children)?
             }
-        }
+        };
+        self.memo_insert(*term, id);
+        Ok(id)
     }
 
     /// Interns an atom as a boolean-valued node.

@@ -7,7 +7,7 @@
 //! turns that fragility into a measurable `Unknown` outcome).
 
 use crate::egraph::{EGraph, NodeId, Sym};
-use oolong_logic::{Atom, Cst, FnSym, Pattern, Term, Trigger};
+use oolong_logic::{Atom, FnSym, Pattern, Symbol, Term, TermNode, Trigger};
 use std::collections::HashSet;
 
 /// A match of a trigger: each quantified variable — identified by its
@@ -40,8 +40,8 @@ impl Binding {
 
     /// The class bound to the variable named `name` under `vars` (the
     /// quantifier's variable list that defined the hole indices).
-    pub fn named(&self, vars: &[String], name: &str) -> Option<NodeId> {
-        let hole = vars.iter().position(|v| v == name)? as u16;
+    pub fn named(&self, vars: &[Symbol], name: &str) -> Option<NodeId> {
+        let hole = vars.iter().position(|v| *v == *name)? as u16;
         self.node(hole)
     }
 
@@ -56,18 +56,18 @@ impl Binding {
 /// Pre-resolved hole names: maps a pattern variable to its hole index by
 /// scanning the (tiny) quantifier variable list.
 struct Holes<'a> {
-    vars: &'a [String],
+    vars: &'a [Symbol],
 }
 
 impl Holes<'_> {
-    fn index(&self, name: &str) -> Option<u16> {
-        self.vars.iter().position(|v| v == name).map(|i| i as u16)
+    fn index(&self, name: Symbol) -> Option<u16> {
+        self.vars.iter().position(|&v| v == name).map(|i| i as u16)
     }
 }
 
 /// Finds all bindings of `vars` under which every pattern of `trigger`
 /// matches a term (or atom) present in the E-graph.
-pub fn match_trigger(eg: &EGraph, vars: &[String], trigger: &Trigger) -> Vec<Binding> {
+pub fn match_trigger(eg: &EGraph, vars: &[Symbol], trigger: &Trigger) -> Vec<Binding> {
     match_trigger_impl(eg, vars, trigger, None)
 }
 
@@ -76,7 +76,7 @@ pub fn match_trigger(eg: &EGraph, vars: &[String], trigger: &Trigger) -> Vec<Bin
 /// matching against newly created nodes only.
 pub fn match_trigger_anchored(
     eg: &EGraph,
-    vars: &[String],
+    vars: &[Symbol],
     trigger: &Trigger,
     anchor: NodeId,
 ) -> Vec<Binding> {
@@ -85,7 +85,7 @@ pub fn match_trigger_anchored(
 
 fn match_trigger_impl(
     eg: &EGraph,
-    vars: &[String],
+    vars: &[Symbol],
     trigger: &Trigger,
     anchor: Option<NodeId>,
 ) -> Vec<Binding> {
@@ -139,8 +139,10 @@ fn match_trigger_impl(
 /// The E-graph head symbol a pattern matches on, if any.
 fn pattern_head(pattern: &Pattern) -> Option<Sym> {
     match pattern {
-        Pattern::Term(Term::App(f, _)) => Some(fn_sym(f)),
-        Pattern::Term(_) => None,
+        Pattern::Term(t) => match t.node() {
+            TermNode::App(f, _) => Some(fn_sym(f)),
+            _ => None,
+        },
         Pattern::Atom(atom) => atom_shape(atom).map(|(sym, _)| sym),
     }
 }
@@ -155,10 +157,11 @@ fn match_pattern_at(
     out: &mut Vec<Binding>,
 ) {
     match pattern {
-        Pattern::Term(Term::App(_, args)) => {
-            match_children(eg, holes, args, node, binding.clone(), out)
+        Pattern::Term(t) => {
+            if let TermNode::App(_, args) = t.node() {
+                match_children(eg, holes, args, node, binding.clone(), out);
+            }
         }
-        Pattern::Term(_) => {}
         Pattern::Atom(atom) => {
             if let Some((_, args)) = atom_shape(atom) {
                 match_children_ref(eg, holes, &args, node, binding.clone(), out);
@@ -188,7 +191,7 @@ fn match_pattern_top(
 ) {
     match pattern {
         Pattern::Term(term) => {
-            let Term::App(f, args) = term else {
+            let TermNode::App(f, args) = term.node() else {
                 // Bare variables/constants make useless patterns.
                 return;
             };
@@ -292,8 +295,8 @@ fn match_term(
     out: &mut Vec<Binding>,
 ) {
     let class = eg.find(class_node);
-    match pattern {
-        Term::Var(v) => match holes.index(v) {
+    match pattern.node() {
+        TermNode::Var(v) => match holes.index(*v) {
             Some(hole) => match binding.node(hole) {
                 Some(bound) => {
                     if eg.find(bound) == class {
@@ -308,7 +311,7 @@ fn match_term(
             },
             None => {
                 // A free constant: must already exist and be in this class.
-                for &leaf in eg.nodes_with_sym(&Sym::Var(v.clone())) {
+                for &leaf in eg.nodes_with_sym(&Sym::Var(*v)) {
                     if eg.find(leaf) == class {
                         out.push(binding.clone());
                         return;
@@ -316,15 +319,15 @@ fn match_term(
                 }
             }
         },
-        Term::Const(c) => {
-            for &leaf in eg.nodes_with_sym(&Sym::Lit(c.clone())) {
+        TermNode::Const(c) => {
+            for &leaf in eg.nodes_with_sym(&Sym::Lit(*c)) {
                 if eg.find(leaf) == class {
                     out.push(binding.clone());
                     return;
                 }
             }
         }
-        Term::App(f, args) => {
+        TermNode::App(f, args) => {
             let sym = fn_sym(f);
             for &member in eg.class_nodes(class) {
                 if eg.node(member).sym == sym {
@@ -399,7 +402,7 @@ fn term_of_rec(
         Sym::Uninterp(name) => FnSym::Uninterp(name),
         _ => unreachable!("predicates filtered above"),
     };
-    Term::App(f, args)
+    Term::app(f, args)
 }
 
 fn is_pred(sym: &Sym) -> bool {
@@ -419,11 +422,8 @@ fn is_pred(sym: &Sym) -> bool {
 
 fn leaf_term(eg: &EGraph, id: NodeId) -> Term {
     match &eg.node(id).sym {
-        Sym::Var(v) => Term::var(v.clone()),
-        Sym::Lit(Cst::Int(n)) => Term::int(*n),
-        Sym::Lit(Cst::Bool(b)) => Term::boolean(*b),
-        Sym::Lit(Cst::Null) => Term::null(),
-        Sym::Lit(Cst::Attr(a)) => Term::attr(a.clone()),
+        Sym::Var(v) => Term::var(*v),
+        Sym::Lit(c) => Term::lit(*c),
         other => unreachable!("not a leaf: {other:?}"),
     }
 }
@@ -444,7 +444,7 @@ mod tests {
             T::var("X"),
             T::attr("f"),
         ))]);
-        let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
+        let bindings = match_trigger(&eg, &["X".into()], &trigger);
         assert_eq!(bindings.len(), 1);
         let t_leaf = eg.intern(&T::var("t")).unwrap();
         assert_eq!(
@@ -481,7 +481,7 @@ mod tests {
             T::var("X"),
             T::attr("g"),
         ))]);
-        assert!(match_trigger(&eg, &["X".to_string()], &trigger).is_empty());
+        assert!(match_trigger(&eg, &["X".into()], &trigger).is_empty());
     }
 
     #[test]
@@ -495,7 +495,7 @@ mod tests {
             Pattern::Term(T::uninterp("f", vec![T::var("X")])),
             Pattern::Term(T::uninterp("g", vec![T::var("X")])),
         ]);
-        let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
+        let bindings = match_trigger(&eg, &["X".into()], &trigger);
         assert_eq!(bindings.len(), 1);
         let b_leaf = eg.intern(&T::var("b")).unwrap();
         assert_eq!(
@@ -515,7 +515,7 @@ mod tests {
             "h",
             vec![T::var("X"), T::var("X")],
         ))]);
-        let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
+        let bindings = match_trigger(&eg, &["X".into()], &trigger);
         assert_eq!(bindings.len(), 1, "only h(a, a) matches h(X, X)");
     }
 
@@ -533,7 +533,7 @@ mod tests {
             pivot: T::attr("vec"),
             mapped: T::var("B"),
         })]);
-        let bindings = match_trigger(&eg, &["G".to_string(), "B".to_string()], &trigger);
+        let bindings = match_trigger(&eg, &["G".into(), "B".into()], &trigger);
         assert_eq!(bindings.len(), 1);
     }
 
@@ -550,7 +550,7 @@ mod tests {
             T::var("X"),
             T::attr("f"),
         ))]);
-        let bindings = match_trigger(&eg, &["S".to_string(), "X".to_string()], &trigger);
+        let bindings = match_trigger(&eg, &["S".into(), "X".into()], &trigger);
         assert_eq!(bindings.len(), 1);
     }
 
@@ -563,7 +563,7 @@ mod tests {
         let b = eg.intern(&T::var("b")).unwrap();
         eg.merge(a, b).unwrap();
         let trigger = Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))]);
-        let bindings = match_trigger(&eg, &["X".to_string()], &trigger);
+        let bindings = match_trigger(&eg, &["X".into()], &trigger);
         assert_eq!(bindings.len(), 1, "equal classes yield one binding");
     }
 
@@ -574,12 +574,12 @@ mod tests {
         let _fb = eg.intern(&T::uninterp("f", vec![T::var("b")])).unwrap();
         let trigger = Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))]);
         // Anchored at f(a): only the a-binding.
-        let bindings = match_trigger_anchored(&eg, &["X".to_string()], &trigger, fa);
+        let bindings = match_trigger_anchored(&eg, &["X".into()], &trigger, fa);
         assert_eq!(bindings.len(), 1);
         let a = eg.intern(&T::var("a")).unwrap();
         assert_eq!(eg.find(bindings[0].node(0).expect("X bound")), eg.find(a));
         // Unanchored: both.
-        assert_eq!(match_trigger(&eg, &["X".to_string()], &trigger).len(), 2);
+        assert_eq!(match_trigger(&eg, &["X".into()], &trigger).len(), 2);
     }
 
     #[test]
@@ -588,7 +588,7 @@ mod tests {
         let ga = eg.intern(&T::uninterp("g", vec![T::var("a")])).unwrap();
         eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
         let trigger = Trigger(vec![Pattern::Term(T::uninterp("f", vec![T::var("X")]))]);
-        assert!(match_trigger_anchored(&eg, &["X".to_string()], &trigger, ga).is_empty());
+        assert!(match_trigger_anchored(&eg, &["X".into()], &trigger, ga).is_empty());
     }
 
     #[test]
@@ -602,7 +602,7 @@ mod tests {
             Pattern::Term(T::uninterp("f", vec![T::var("X")])),
             Pattern::Term(T::uninterp("g", vec![T::var("X")])),
         ]);
-        let bindings = match_trigger_anchored(&eg, &["X".to_string()], &trigger, gb);
+        let bindings = match_trigger_anchored(&eg, &["X".into()], &trigger, gb);
         assert_eq!(bindings.len(), 1);
     }
 

@@ -25,7 +25,7 @@ use crate::egraph::{EGraph, NodeId};
 use crate::matcher::{match_trigger, match_trigger_anchored, term_of};
 use crate::triggers::{classify_quant, infer_triggers, QuantKind};
 use oolong_logic::transform::{to_nnf, FreshGen, Nnf};
-use oolong_logic::{Atom, Formula, Term, Trigger};
+use oolong_logic::{Atom, Formula, Symbol, Term, Trigger};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -687,7 +687,7 @@ struct Shared {
     budget: Budget,
     stats: Stats,
     /// Stable ids for structurally identical quantifiers.
-    quant_ids: HashMap<(Vec<String>, Nnf), usize>,
+    quant_ids: HashMap<(Vec<Symbol>, Nnf), usize>,
     /// Per-quantifier telemetry, indexed by stable id (kept in lockstep
     /// with `quant_ids`).
     quant_meta: Vec<QuantMeta>,
@@ -706,7 +706,7 @@ struct Shared {
 struct QuantMeta {
     kind: QuantKind,
     trigger: String,
-    vars: Vec<String>,
+    vars: Vec<Symbol>,
     matches: u64,
     instances: u64,
     deferred: u64,
@@ -727,7 +727,7 @@ fn out_of_fuel(shared: &mut Shared, reason: UnknownReason) -> Branch {
 #[derive(Clone)]
 struct Quant {
     id: usize,
-    vars: Vec<String>,
+    vars: Vec<Symbol>,
     triggers: Vec<Trigger>,
     body: Nnf,
 }
@@ -1085,7 +1085,7 @@ fn drain_pending(ctx: &mut Ctx, shared: &mut Shared) -> Step {
 fn register_quant(
     ctx: &mut Ctx,
     shared: &mut Shared,
-    vars: Vec<String>,
+    vars: Vec<Symbol>,
     triggers: Vec<Trigger>,
     body: Nnf,
 ) {
@@ -1127,7 +1127,10 @@ fn register_quant(
     if trace_enabled() {
         eprintln!(
             "[quant q{id} ∀{} {} :: {body}]",
-            vars.join(","),
+            vars.iter()
+                .map(|v| v.as_str())
+                .collect::<Vec<_>>()
+                .join(","),
             triggers
                 .iter()
                 .map(ToString::to_string)
@@ -1333,8 +1336,8 @@ fn extract_model(ctx: &Ctx) -> CandidateModel {
             classes.len() - 1
         });
         match &eg.node(id).sym {
-            Sym::Var(name) => classes[idx].members.push(Term::Var(name.clone())),
-            Sym::Lit(c) => classes[idx].members.push(Term::Const(c.clone())),
+            Sym::Var(name) => classes[idx].members.push(Term::var(*name)),
+            Sym::Lit(c) => classes[idx].members.push(Term::lit(*c)),
             _ => {}
         }
     }
@@ -1521,7 +1524,7 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                         return PassResult::Produced(produced + 1);
                     }
                 }
-                let map: Vec<(String, Term)> = quant.vars.iter().cloned().zip(terms).collect();
+                let map: Vec<(Symbol, Term)> = quant.vars.iter().copied().zip(terms).collect();
                 if trace_enabled() {
                     let binding: Vec<String> =
                         map.iter().map(|(v, t)| format!("{v}:={t}")).collect();

@@ -6,8 +6,7 @@
 //! when no single pattern covers every variable.
 
 use oolong_logic::transform::Nnf;
-use oolong_logic::{Atom, FnSym, Pattern, Term, Trigger};
-use std::collections::BTreeSet;
+use oolong_logic::{Atom, FnSym, Pattern, Symbol, Term, TermNode, Trigger};
 use std::fmt;
 
 /// Coarse classification of a quantified axiom by the theory vocabulary it
@@ -71,7 +70,7 @@ pub fn classify_quant(triggers: &[Trigger], body: &Nnf) -> QuantKind {
     fn check_term(t: &Term, vocab: &mut Vocab) {
         let mut store = vocab.store;
         t.walk(&mut |sub| {
-            if let Term::App(f, _) = sub {
+            if let TermNode::App(f, _) = sub.node() {
                 if matches!(f, FnSym::Select | FnSym::Update | FnSym::New | FnSym::Succ) {
                     store = true;
                 }
@@ -89,7 +88,7 @@ pub fn classify_quant(triggers: &[Trigger], body: &Nnf) -> QuantKind {
         let mut store = vocab.store;
         atom.for_each_term(&mut |t| {
             t.walk(&mut |sub| {
-                if let Term::App(f, _) = sub {
+                if let TermNode::App(f, _) = sub.node() {
                     if matches!(f, FnSym::Select | FnSym::Update | FnSym::New | FnSym::Succ) {
                         store = true;
                     }
@@ -136,17 +135,16 @@ fn visit_atoms(body: &Nnf, f: &mut impl FnMut(&Atom)) {
 
 /// Infers triggers for `∀ vars :: body`. Returns an empty vector when no
 /// usable trigger exists (the quantifier is then inert).
-pub fn infer_triggers(vars: &[String], body: &Nnf) -> Vec<Trigger> {
-    let var_set: BTreeSet<&str> = vars.iter().map(String::as_str).collect();
-    let mut candidates: Vec<(Pattern, BTreeSet<String>, usize)> = Vec::new();
-    collect(body, &var_set, &mut BTreeSet::new(), &mut candidates);
+pub fn infer_triggers(vars: &[Symbol], body: &Nnf) -> Vec<Trigger> {
+    let mut candidates: Vec<(Pattern, Vec<Symbol>, usize)> = Vec::new();
+    collect(body, vars, &mut Vec::new(), &mut candidates);
 
     // Deduplicate.
     candidates.sort_by_key(|a| a.2);
     candidates.dedup_by(|a, b| a.0 == b.0);
 
     // Single-pattern triggers that cover everything.
-    let full: Vec<&(Pattern, BTreeSet<String>, usize)> = candidates
+    let full: Vec<&(Pattern, Vec<Symbol>, usize)> = candidates
         .iter()
         .filter(|(_, covered, _)| covered.len() == vars.len())
         .collect();
@@ -154,21 +152,19 @@ pub fn infer_triggers(vars: &[String], body: &Nnf) -> Vec<Trigger> {
         return full
             .iter()
             .take(2)
-            .map(|(p, _, _)| Trigger(vec![p.clone()]))
+            .map(|(p, _, _)| Trigger(vec![*p]))
             .collect();
     }
 
     // Greedy multi-pattern cover.
-    let mut remaining: BTreeSet<String> = vars.iter().cloned().collect();
+    let mut remaining: Vec<Symbol> = vars.to_vec();
     let mut chosen = Vec::new();
-    let mut pool: Vec<&(Pattern, BTreeSet<String>, usize)> = candidates.iter().collect();
+    let mut pool: Vec<&(Pattern, Vec<Symbol>, usize)> = candidates.iter().collect();
     pool.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.2.cmp(&b.2)));
     for (pattern, covered, _) in pool {
         if covered.iter().any(|v| remaining.contains(v)) {
-            for v in covered {
-                remaining.remove(v);
-            }
-            chosen.push(pattern.clone());
+            remaining.retain(|v| !covered.contains(v));
+            chosen.push(*pattern);
             if remaining.is_empty() {
                 break;
             }
@@ -185,9 +181,9 @@ pub fn infer_triggers(vars: &[String], body: &Nnf) -> Vec<Trigger> {
 /// variables bound by nested quantifiers (`illegal`).
 fn collect(
     body: &Nnf,
-    vars: &BTreeSet<&str>,
-    illegal: &mut BTreeSet<String>,
-    out: &mut Vec<(Pattern, BTreeSet<String>, usize)>,
+    vars: &[Symbol],
+    illegal: &mut Vec<Symbol>,
+    out: &mut Vec<(Pattern, Vec<Symbol>, usize)>,
 ) {
     match body {
         Nnf::True | Nnf::False => {}
@@ -200,33 +196,31 @@ fn collect(
         Nnf::Forall {
             vars: inner, body, ..
         } => {
-            let added: Vec<String> = inner
-                .iter()
-                .filter(|v| illegal.insert((*v).clone()))
-                .cloned()
-                .collect();
-            collect(body, vars, illegal, out);
-            for v in added {
-                illegal.remove(&v);
+            let mark = illegal.len();
+            for v in inner {
+                if !illegal.contains(v) {
+                    illegal.push(*v);
+                }
             }
+            collect(body, vars, illegal, out);
+            illegal.truncate(mark);
         }
     }
 }
 
 fn collect_atom(
     atom: &Atom,
-    vars: &BTreeSet<&str>,
-    illegal: &BTreeSet<String>,
-    out: &mut Vec<(Pattern, BTreeSet<String>, usize)>,
+    vars: &[Symbol],
+    illegal: &[Symbol],
+    out: &mut Vec<(Pattern, Vec<Symbol>, usize)>,
 ) {
     // The atom itself is a candidate (except equality / bare booleans).
     if !matches!(atom, Atom::Eq(..) | Atom::BoolTerm(_)) {
-        if let Some((covered, clean)) = coverage_atom(atom, vars, illegal) {
-            if !covered.is_empty() && clean {
-                let mut size = 0;
-                atom.for_each_term(&mut |t| size += t.size());
-                out.push((Pattern::Atom(atom.clone()), covered, size + 1));
-            }
+        let (covered, clean) = coverage_atom(atom, vars, illegal);
+        if !covered.is_empty() && clean {
+            let mut size = 0;
+            atom.for_each_term(&mut |t| size += t.size());
+            out.push((Pattern::Atom(*atom), covered, size + 1));
         }
     }
     // Every application subterm is a candidate.
@@ -235,53 +229,38 @@ fn collect_atom(
 
 fn collect_term(
     term: &Term,
-    vars: &BTreeSet<&str>,
-    illegal: &BTreeSet<String>,
-    out: &mut Vec<(Pattern, BTreeSet<String>, usize)>,
+    vars: &[Symbol],
+    illegal: &[Symbol],
+    out: &mut Vec<(Pattern, Vec<Symbol>, usize)>,
 ) {
     term.walk(&mut |sub| {
-        let Term::App(f, _) = sub else { return };
+        let TermNode::App(f, _) = sub.node() else { return };
         if matches!(f, FnSym::Add | FnSym::Sub | FnSym::Mul | FnSym::Neg) {
             return; // arithmetic heads make poor triggers
         }
-        if let Some((covered, clean)) = coverage_term(sub, vars, illegal) {
-            if !covered.is_empty() && clean {
-                out.push((Pattern::Term(sub.clone()), covered, sub.size()));
-            }
+        let (covered, clean) = coverage_term(sub, vars, illegal);
+        if !covered.is_empty() && clean {
+            out.push((Pattern::Term(*sub), covered, sub.size()));
         }
     });
 }
 
 /// Returns the quantified variables covered by the term and whether it is
 /// free of illegal (nested-bound) variables.
-fn coverage_term(
-    term: &Term,
-    vars: &BTreeSet<&str>,
-    illegal: &BTreeSet<String>,
-) -> Option<(BTreeSet<String>, bool)> {
-    let mut free = BTreeSet::new();
+fn coverage_term(term: &Term, vars: &[Symbol], illegal: &[Symbol]) -> (Vec<Symbol>, bool) {
+    let mut free = Vec::new();
     term.free_vars(&mut free);
     let clean = free.iter().all(|v| !illegal.contains(v));
-    let covered = free
-        .into_iter()
-        .filter(|v| vars.contains(v.as_str()))
-        .collect();
-    Some((covered, clean))
+    let covered = free.into_iter().filter(|v| vars.contains(v)).collect();
+    (covered, clean)
 }
 
-fn coverage_atom(
-    atom: &Atom,
-    vars: &BTreeSet<&str>,
-    illegal: &BTreeSet<String>,
-) -> Option<(BTreeSet<String>, bool)> {
-    let mut free = BTreeSet::new();
+fn coverage_atom(atom: &Atom, vars: &[Symbol], illegal: &[Symbol]) -> (Vec<Symbol>, bool) {
+    let mut free = Vec::new();
     atom.free_vars(&mut free);
     let clean = free.iter().all(|v| !illegal.contains(v));
-    let covered = free
-        .into_iter()
-        .filter(|v| vars.contains(v.as_str()))
-        .collect();
-    Some((covered, clean))
+    let covered = free.into_iter().filter(|v| vars.contains(v)).collect();
+    (covered, clean)
 }
 
 #[cfg(test)]
@@ -301,10 +280,13 @@ mod tests {
     fn single_pattern_covering_all_vars() {
         // ∀X :: f(X) = 0 — trigger should be f(X).
         let body = lit(Atom::Eq(T::uninterp("f", vec![T::var("X")]), T::int(0)));
-        let trigs = infer_triggers(&["X".to_string()], &body);
+        let trigs = infer_triggers(&["X".into()], &body);
         assert!(!trigs.is_empty());
         assert_eq!(trigs[0].0.len(), 1);
-        assert!(matches!(&trigs[0].0[0], Pattern::Term(T::App(..))));
+        assert!(matches!(
+            &trigs[0].0[0],
+            Pattern::Term(t) if matches!(t.node(), TermNode::App(..))
+        ));
     }
 
     #[test]
@@ -314,9 +296,12 @@ mod tests {
             T::uninterp("g", vec![T::uninterp("f", vec![T::var("X")])]),
             T::int(0),
         ));
-        let trigs = infer_triggers(&["X".to_string()], &body);
+        let trigs = infer_triggers(&["X".into()], &body);
         match &trigs[0].0[0] {
-            Pattern::Term(T::App(FnSym::Uninterp(name), _)) => assert_eq!(name, "f"),
+            Pattern::Term(t) => match t.node() {
+                TermNode::App(FnSym::Uninterp(name), _) => assert_eq!(name.as_str(), "f"),
+                other => panic!("unexpected pattern {other:?}"),
+            },
             other => panic!("unexpected pattern {other:?}"),
         }
     }
@@ -328,7 +313,7 @@ mod tests {
             T::uninterp("f", vec![T::var("X")]),
             T::uninterp("g", vec![T::var("Y")]),
         ));
-        let trigs = infer_triggers(&["X".to_string(), "Y".to_string()], &body);
+        let trigs = infer_triggers(&["X".into(), "Y".into()], &body);
         assert_eq!(trigs.len(), 1);
         assert_eq!(trigs[0].0.len(), 2);
     }
@@ -344,7 +329,7 @@ mod tests {
             },
             Nnf::False,
         ]);
-        let trigs = infer_triggers(&["A".to_string(), "B".to_string()], &body);
+        let trigs = infer_triggers(&["A".into(), "B".into()], &body);
         assert!(!trigs.is_empty());
         assert!(matches!(&trigs[0].0[0], Pattern::Atom(Atom::LocalInc(..))));
     }
@@ -353,7 +338,7 @@ mod tests {
     fn no_trigger_for_uncoverable_var() {
         // ∀X :: X = 0 — bare variable, no application to match on.
         let body = lit(Atom::Eq(T::var("X"), T::int(0)));
-        assert!(infer_triggers(&["X".to_string()], &body).is_empty());
+        assert!(infer_triggers(&["X".into()], &body).is_empty());
     }
 
     #[test]
@@ -361,14 +346,14 @@ mod tests {
         // ∀X :: (∀Y :: f(X, Y) = 0) — f(X, Y) mentions Y which is nested;
         // no usable trigger for the outer X.
         let inner = Nnf::Forall {
-            vars: vec!["Y".to_string()],
+            vars: vec!["Y".into()],
             triggers: vec![],
             body: Box::new(lit(Atom::Eq(
                 T::uninterp("f", vec![T::var("X"), T::var("Y")]),
                 T::int(0),
             ))),
         };
-        assert!(infer_triggers(&["X".to_string()], &inner).is_empty());
+        assert!(infer_triggers(&["X".into()], &inner).is_empty());
     }
 
     #[test]
@@ -378,10 +363,13 @@ mod tests {
             T::add(T::var("X"), T::int(1)),
             T::uninterp("f", vec![T::var("X")]),
         ));
-        let trigs = infer_triggers(&["X".to_string()], &body);
+        let trigs = infer_triggers(&["X".into()], &body);
         assert_eq!(trigs.len(), 1);
         match &trigs[0].0[0] {
-            Pattern::Term(T::App(FnSym::Uninterp(name), _)) => assert_eq!(name, "f"),
+            Pattern::Term(t) => match t.node() {
+                TermNode::App(FnSym::Uninterp(name), _) => assert_eq!(name.as_str(), "f"),
+                other => panic!("unexpected pattern {other:?}"),
+            },
             other => panic!("unexpected pattern {other:?}"),
         }
     }

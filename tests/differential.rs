@@ -130,6 +130,22 @@ fn trail_matches_clone_on_cyclic_programs() {
 }
 
 #[test]
+fn trail_matches_clone_on_seeded_violations() {
+    // Programs with a known injected bug exercise the refutation path:
+    // the prover must actually close the negated obligation, and both
+    // strategies must find the same refutation-side counters while doing
+    // so (the populations above are dominated by Proved/Unknown VCs).
+    for seed in 0..12 {
+        let v = corpus::generate_seeded_violation_source(seed);
+        assert_strategies_agree(
+            &format!("seeded violation seed {seed} ({:?})", v.bug),
+            &v.source,
+            &budget_grid(),
+        );
+    }
+}
+
+#[test]
 fn trail_matches_clone_on_branchy_programs() {
     // Branch-heavy choice chains are where the trail actually earns its
     // keep: 2^depth case splits per VC. The VC itself has 2^depth leaves,

@@ -556,3 +556,302 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------------------ hash-consed terms
+
+use oolong::logic::{Cst, FnSym, TermNode};
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        Just(Term::var("x")),
+        Just(Term::var("y")),
+        Just(Term::store()),
+        Just(Term::store0()),
+        Just(Term::null()),
+        Just(Term::attr("f")),
+        Just(Term::attr("grp")),
+        (0i64..50).prop_map(Term::int),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Term::succ),
+            inner.clone().prop_map(Term::neg),
+            inner.clone().prop_map(Term::new_obj),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::sub(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::mul(a, b)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(s, x, a)| Term::select(s, x, a)),
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(s, x, a, v)| Term::update(s, x, a, v)),
+            proptest::collection::vec(inner, 1..3)
+                .prop_map(|args| Term::uninterp("fn1", args)),
+        ]
+    })
+}
+
+/// Rebuilds `t` bottom-up through the public constructors, exactly as a
+/// second independent construction of the same structural term would.
+fn rebuild(t: Term) -> Term {
+    match t.node() {
+        TermNode::Var(v) => Term::var(*v),
+        TermNode::Const(c) => Term::lit(*c),
+        TermNode::App(f, args) => Term::app(*f, args.iter().map(|a| rebuild(*a)).collect()),
+    }
+}
+
+/// A minimal recursive-descent parser for the `Display` rendering of
+/// [`Term`] (the crate has no term parser; this one exists only to state
+/// the round-trip property). Handles exactly the forms `arb_term`
+/// produces: identifiers, integers, `null`, `#attr`, `t⁺`, `(a op b)`,
+/// `head(args)` calls, and the store forms `s(x·a)` / `s(x·a := v)`.
+fn parse_term(text: &str) -> Term {
+    struct P {
+        chars: Vec<char>,
+        pos: usize,
+    }
+    impl P {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+        fn skip_ws(&mut self) {
+            while self.peek() == Some(' ') {
+                self.pos += 1;
+            }
+        }
+        fn eat(&mut self, c: char) -> bool {
+            self.skip_ws();
+            if self.peek() == Some(c) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        }
+        fn expect(&mut self, c: char) {
+            assert!(self.eat(c), "expected `{c}` at {}", self.pos);
+        }
+        fn ident(&mut self) -> String {
+            self.skip_ws();
+            let start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '$' || c == '!')
+            {
+                self.pos += 1;
+            }
+            assert!(self.pos > start, "expected identifier at {start}");
+            self.chars[start..self.pos].iter().collect()
+        }
+        fn term(&mut self) -> Term {
+            let mut t = self.primary();
+            loop {
+                self.skip_ws();
+                if self.eat('⁺') {
+                    t = Term::succ(t);
+                } else if self.peek() == Some('(') {
+                    // A parenthesized group after a *composite* term is
+                    // always a select/update postfix (calls are consumed
+                    // inside `primary`, where the head is a bare name).
+                    t = self.store_postfix(t);
+                } else {
+                    return t;
+                }
+            }
+        }
+        /// Parses `(x·a)` or `(x·a := v)` after the head store term.
+        fn store_postfix(&mut self, head: Term) -> Term {
+            self.expect('(');
+            let obj = self.term();
+            self.expect('·');
+            let attr = self.term();
+            self.skip_ws();
+            if self.eat(')') {
+                Term::select(head, obj, attr)
+            } else {
+                self.expect(':');
+                self.expect('=');
+                let value = self.term();
+                self.expect(')');
+                Term::update(head, obj, attr, value)
+            }
+        }
+        fn primary(&mut self) -> Term {
+            self.skip_ws();
+            match self.peek().expect("unexpected end of term") {
+                '(' => {
+                    self.expect('(');
+                    let a = self.term();
+                    self.skip_ws();
+                    let op = self.chars[self.pos];
+                    self.pos += 1;
+                    let b = self.term();
+                    self.expect(')');
+                    match op {
+                        '+' => Term::add(a, b),
+                        '-' => Term::sub(a, b),
+                        '*' => Term::mul(a, b),
+                        other => panic!("unknown operator `{other}`"),
+                    }
+                }
+                '#' => {
+                    self.expect('#');
+                    Term::attr(self.ident().as_str())
+                }
+                c if c.is_ascii_digit() => {
+                    let mut n = 0i64;
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        n = n * 10 + (self.chars[self.pos] as i64 - '0' as i64);
+                        self.pos += 1;
+                    }
+                    Term::int(n)
+                }
+                _ => {
+                    let name = self.ident();
+                    match name.as_str() {
+                        "null" => return Term::null(),
+                        "true" => return Term::lit(Cst::Bool(true)),
+                        "false" => return Term::lit(Cst::Bool(false)),
+                        _ => {}
+                    }
+                    self.skip_ws();
+                    if self.peek() != Some('(') {
+                        return Term::var(name.as_str());
+                    }
+                    // Either a call `f(a, b)` or a select/update whose
+                    // head is the variable `name`: disambiguated by the
+                    // separator after the first argument.
+                    self.expect('(');
+                    let first = self.term();
+                    self.skip_ws();
+                    if self.peek() == Some('·') {
+                        self.expect('·');
+                        let attr = self.term();
+                        self.skip_ws();
+                        let head = Term::var(name.as_str());
+                        if self.eat(')') {
+                            return Term::select(head, first, attr);
+                        }
+                        self.expect(':');
+                        self.expect('=');
+                        let value = self.term();
+                        self.expect(')');
+                        return Term::update(head, first, attr, value);
+                    }
+                    let mut args = vec![first];
+                    while self.eat(',') {
+                        args.push(self.term());
+                    }
+                    self.expect(')');
+                    match name.as_str() {
+                        "neg" => Term::neg(args.remove(0)),
+                        "new" => Term::new_obj(args.remove(0)),
+                        _ => Term::uninterp(name.as_str(), args),
+                    }
+                }
+            }
+        }
+    }
+    let mut p = P {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    let t = p.term();
+    p.skip_ws();
+    assert_eq!(p.pos, p.chars.len(), "trailing input in `{text}`");
+    t
+}
+
+proptest! {
+    /// Interning is canonical: constructing the same structural term a
+    /// second time yields the *same arena id*, so structural equality and
+    /// id equality coincide.
+    #[test]
+    fn hash_consing_is_canonical(t in arb_term()) {
+        let again = rebuild(t);
+        prop_assert_eq!(t.id(), again.id());
+        prop_assert_eq!(t, again);
+    }
+
+    /// The content digest (what fingerprints hash) is a function of
+    /// structure alone: independently rebuilt terms hash identically.
+    #[test]
+    fn term_digest_is_structural(t in arb_term()) {
+        use oolong::logic::stable_hash128;
+        prop_assert_eq!(stable_hash128(&t), stable_hash128(&rebuild(t)));
+    }
+
+    /// Display round-trip: parsing a term's rendering re-interns the very
+    /// same arena node.
+    #[test]
+    fn term_display_roundtrip(t in arb_term()) {
+        let printed = t.to_string();
+        let reparsed = parse_term(&printed);
+        prop_assert_eq!(t.id(), reparsed.id(), "`{}` reparsed as `{}`", printed, reparsed);
+    }
+}
+
+/// The interner-boundary gate: raw-string construction of interned
+/// payloads must funnel through `Symbol::intern` (via the `Into<Symbol>`
+/// constructors). Scans crate sources for `FnSym::Uninterp(`/`Cst::Attr(`
+/// applied to string expressions outside the two modules that own the
+/// representation.
+#[test]
+fn interned_payloads_are_not_built_from_raw_strings() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let mut offenders = Vec::new();
+    let mut stack = vec![root];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable source tree") {
+            let path = entry.expect("dirent").path();
+            if path.is_dir() {
+                // Vendored dev-dependency stubs don't touch the logic.
+                if path.ends_with("crates/proptest")
+                    || path.ends_with("crates/rand")
+                    || path.ends_with("crates/criterion")
+                {
+                    continue;
+                }
+                stack.push(path);
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let rel = path.strip_prefix(path.ancestors().nth(4).unwrap()).unwrap();
+            let rel = rel.to_string_lossy().replace('\\', "/");
+            // The representation owners may mention the raw constructors.
+            if rel.ends_with("logic/src/term.rs") || rel.ends_with("logic/src/intern.rs") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).expect("readable source");
+            for (lineno, line) in text.lines().enumerate() {
+                for needle in ["FnSym::Uninterp(", "Cst::Attr("] {
+                    let Some(at) = line.find(needle) else { continue };
+                    let tail = &line[at + needle.len()..];
+                    // Only the constructor's argument span matters; text
+                    // past the closing paren belongs to the surrounding
+                    // expression (e.g. a match arm destructuring the
+                    // variant).
+                    let span = tail.split(')').next().unwrap_or(tail);
+                    // Symbol-typed payloads (bindings, `*name`, `sym`,
+                    // `Symbol::intern(..)`) are fine; string-expression
+                    // payloads are the violation.
+                    let raw = span.trim_start().starts_with('"')
+                        || span.contains(".to_string()")
+                        || span.contains("String::from")
+                        || span.contains("format!")
+                        || span.contains(".into()");
+                    if raw {
+                        offenders.push(format!("{rel}:{}: {}", lineno + 1, line.trim()));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "raw-string construction of interned payloads outside the interner:\n{}",
+        offenders.join("\n")
+    );
+}

@@ -131,10 +131,22 @@ fn e17_peak_rss(_c: &mut Criterion) {
     let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
     for line in status.lines() {
         if line.starts_with("VmHWM") || line.starts_with("VmRSS") {
-            println!("e17_peak_rss {}", line.split_whitespace().skip(1).collect::<Vec<_>>().join(" "));
+            println!(
+                "e17_peak_rss {}",
+                line.split_whitespace()
+                    .skip(1)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
         }
     }
 }
 
-criterion_group!(benches, e17_vcgen, e17_cold_batch, e17_subst_sharing, e17_peak_rss);
+criterion_group!(
+    benches,
+    e17_vcgen,
+    e17_cold_batch,
+    e17_subst_sharing,
+    e17_peak_rss
+);
 criterion_main!(benches);

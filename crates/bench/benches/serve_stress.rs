@@ -1,0 +1,167 @@
+//! E18: many-client stress against the resident verification service.
+//!
+//! Starts an in-process `oolong serve` daemon on a Unix socket backed by
+//! a fresh disk cache, then drives it with concurrent client sessions
+//! over the whole paper corpus:
+//!
+//! * **cold** — one pass by N clients starting from an empty cache.
+//!   Each client carries a distinct per-request prover budget; budgets
+//!   are part of the verdict fingerprint, so every client's cold pass
+//!   genuinely proves its obligations instead of free-riding on a
+//!   verdict another client finished a millisecond earlier (which would
+//!   make "cold" mostly warm and the comparison meaningless);
+//! * **warm** — repeated passes by the same clients with the same
+//!   budgets: every fingerprinted obligation is served from the shared
+//!   in-memory tier without a prover call.
+//!
+//! Reported per phase: wall-clock, request throughput, and client-side
+//! latency percentiles (p50/p95/p99, nearest-rank). The acceptance bar
+//! for BENCH_e18.json is warm throughput ≥ 5× cold with ≥ 8 concurrent
+//! clients. Run with `cargo bench -p oolong-bench --bench serve_stress`.
+
+use oolong_serve::{response_ok, Client, ServeOptions, Server};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const CLIENTS: usize = 8;
+const WARM_ROUNDS: usize = 5;
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct Phase {
+    name: &'static str,
+    requests: usize,
+    wall_ms: f64,
+    latencies: Vec<f64>,
+}
+
+impl Phase {
+    fn report(&self) {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        println!(
+            "e18_{}: {} requests in {:.1} ms  ({:.0} req/s)  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+            self.name,
+            self.requests,
+            self.wall_ms,
+            self.requests as f64 / (self.wall_ms / 1_000.0),
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.95),
+            percentile(&sorted, 0.99),
+            sorted.last().copied().unwrap_or(0.0),
+        );
+    }
+
+    fn throughput(&self) -> f64 {
+        self.requests as f64 / (self.wall_ms / 1_000.0)
+    }
+}
+
+/// One pass: every client checks every corpus unit once (each client
+/// walks the corpus at its own offset so misses overlap), latencies
+/// recorded client-side.
+fn pass(name: &'static str, socket: &std::path::Path, units: &[String]) -> Phase {
+    let start_gate = Arc::new(Barrier::new(CLIENTS + 1));
+    let wall = std::thread::scope(|scope| {
+        let mut threads = Vec::new();
+        for client_id in 0..CLIENTS {
+            let start_gate = start_gate.clone();
+            threads.push(scope.spawn(move || {
+                let mut client = Client::connect(socket).expect("connects");
+                start_gate.wait();
+                let mut latencies = Vec::with_capacity(units.len());
+                // A distinct budget per client: same verdicts (the
+                // default budget already suffices for the whole corpus),
+                // distinct fingerprints, honest cold-phase prover work.
+                let budget = 120_000 + client_id;
+                for i in 0..units.len() {
+                    let unit = &units[(i + client_id * units.len() / CLIENTS) % units.len()];
+                    let sent = Instant::now();
+                    let response = client
+                        .request(&format!(
+                            r#"{{"cmd":"check","unit":"{unit}","options":{{"max_instances":{budget}}}}}"#
+                        ))
+                        .expect("response");
+                    latencies.push(sent.elapsed().as_secs_f64() * 1_000.0);
+                    assert!(response_ok(&response), "{unit}: {response:?}");
+                }
+                latencies
+            }));
+        }
+        start_gate.wait();
+        let started = Instant::now();
+        let latencies: Vec<f64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("client thread"))
+            .collect();
+        (started.elapsed().as_secs_f64() * 1_000.0, latencies)
+    });
+    Phase {
+        name,
+        requests: CLIENTS * units.len(),
+        wall_ms: wall.0,
+        latencies: wall.1,
+    }
+}
+
+fn main() {
+    // `cargo bench` passes harness flags; this bench takes none.
+    let dir = std::env::temp_dir().join(format!("oolong-e18-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let server = Server::bind(ServeOptions {
+        socket: dir.join("oolong.sock"),
+        cache_dir: Some(dir.join("cache")),
+        quiet: true,
+        ..ServeOptions::default()
+    })
+    .expect("server binds");
+    let socket = server.socket().to_path_buf();
+    let handle = server.spawn();
+
+    let units: Vec<String> = oolong_corpus::all()
+        .iter()
+        .map(|p| format!("corpus:{}", p.name))
+        .collect();
+    println!(
+        "e18_serve_stress: {CLIENTS} clients x {} corpus units, {WARM_ROUNDS} warm rounds",
+        units.len()
+    );
+
+    let cold = pass("cold", &socket, &units);
+    cold.report();
+    let mut warm_all = Phase {
+        name: "warm",
+        requests: 0,
+        wall_ms: 0.0,
+        latencies: Vec::new(),
+    };
+    for _ in 0..WARM_ROUNDS {
+        let round = pass("warm_round", &socket, &units);
+        warm_all.requests += round.requests;
+        warm_all.wall_ms += round.wall_ms;
+        warm_all.latencies.extend(round.latencies);
+    }
+    warm_all.report();
+
+    let speedup = warm_all.throughput() / cold.throughput();
+    println!("e18_speedup: warm/cold throughput = {speedup:.1}x");
+
+    let mut client = Client::connect(&socket).expect("connects");
+    let stats = client.request(r#"{"cmd":"stats"}"#).expect("stats");
+    println!("e18_server_stats: {}", stats.render());
+    client.request(r#"{"cmd":"shutdown"}"#).expect("shutdown");
+    handle.join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        speedup >= 5.0,
+        "acceptance: warm-cache throughput must be >= 5x cold (got {speedup:.1}x)"
+    );
+}

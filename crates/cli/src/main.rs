@@ -5,6 +5,8 @@
 //! oolong explain <file|corpus:NAME> [--proc NAME] [--cache-dir DIR] [--json]
 //! oolong batch   <files...> [--cache-dir DIR] [--workers N] [--events PATH] [--json]
 //! oolong recheck [--cache-dir DIR] [--events PATH] [--json]
+//! oolong serve   --socket PATH [--cache-dir DIR] [--workers N] [--queue N] [--json-log]
+//! oolong client  <request.json> | --eval '<json>' [--socket PATH]
 //! oolong run     <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
 //! oolong vc      <file|corpus:NAME> [--proc NAME]
 //! oolong stats   <file|corpus:NAME> [--json]
@@ -15,7 +17,10 @@
 //! paper corpus (see `oolong corpus`). `batch` checks many units through
 //! the incremental engine, persisting verdicts under `--cache-dir`;
 //! `recheck` repeats the last recorded batch against the same cache, so an
-//! unchanged program verifies without a single prover call. `explain`
+//! unchanged program verifies without a single prover call. `serve` keeps
+//! a resident daemon on a Unix socket answering the same requests over
+//! newline-delimited JSON through a shared in-memory + on-disk verdict
+//! cache; `client` scripts a session against it. `explain`
 //! diagnoses every rejected implementation: it resolves the refuting
 //! branch's position label to a source command, concretizes the prover's
 //! candidate model into an initial store, and replays it through the
@@ -30,6 +35,7 @@ use oolong_engine::{diagnosis_to_json, label_to_json, BatchUnit, Engine, EngineO
 use oolong_interp::{ExecConfig, Interp, RngOracle, RunOutcome};
 use oolong_prover::SearchStrategy;
 use oolong_sema::Scope;
+use oolong_serve::{Client, ServeOptions, Server};
 use oolong_syntax::parse_program;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -59,6 +65,10 @@ fn usage() -> String {
                  [--events PATH] [--json] [--naive] [--null-checks]
                  [--max-instances N] [--max-gen N] [--clone-search]
   oolong recheck [--cache-dir DIR] [--events PATH] [--json]
+  oolong serve   --socket PATH [--cache-dir DIR] [--no-cache] [--workers N] [--queue N]
+                 [--mem-cap N] [--events PATH] [--json-log] [--quiet] [--naive]
+                 [--null-checks] [--max-instances N] [--max-gen N] [--clone-search]
+  oolong client  <request.json> | --eval '<json>' [--socket PATH]
   oolong run     <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
   oolong vc      <file|corpus:NAME> [--proc NAME]
   oolong stats   <file|corpus:NAME> [--json] [--naive] [--null-checks]
@@ -77,6 +87,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "explain" => cmd_explain(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "recheck" => cmd_recheck(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "vc" => cmd_vc(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
@@ -115,6 +127,10 @@ const VALUE_OPTS: &[&str] = &[
     "--cache-dir",
     "--workers",
     "--events",
+    "--socket",
+    "--queue",
+    "--mem-cap",
+    "--eval",
 ];
 
 fn opt_value(args: &[String], name: &str) -> Option<String> {
@@ -497,7 +513,12 @@ fn run_batch(
     let engine = Engine::new(options).map_err(|e| format!("cannot open cache: {e}"))?;
     let report = engine.check_batch(&units);
     if let Some(path) = opt_value(args, "--events") {
-        std::fs::write(&path, report.events_jsonl())
+        // Streamed line by line with per-line flush, so a crashed or
+        // interrupted run still leaves every completed event on disk.
+        let mut writer = oolong_engine::EventLogWriter::create(Path::new(&path))
+            .map_err(|e| format!("cannot open `{path}`: {e}"))?;
+        writer
+            .write_all(&report.events)
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }
     if flag(args, "--json") {
@@ -619,6 +640,72 @@ fn read_manifest(dir: &Path) -> Result<Vec<String>, String> {
         })
         .filter(|units| !units.is_empty())
         .ok_or_else(|| format!("corrupt manifest `{}`: no units", path.display()))
+}
+
+/// `oolong serve` — run the resident verification daemon in the
+/// foreground until a client sends `shutdown`.
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let socket = opt_value(args, "--socket").ok_or("serve needs --socket PATH")?;
+    let workers = match opt_value(args, "--workers") {
+        Some(n) => n.parse().map_err(|_| "bad --workers")?,
+        None => 0,
+    };
+    let queue = match opt_value(args, "--queue") {
+        Some(n) => n.parse().map_err(|_| "bad --queue")?,
+        None => 64,
+    };
+    let mem_capacity = match opt_value(args, "--mem-cap") {
+        Some(n) => n.parse().map_err(|_| "bad --mem-cap")?,
+        None => oolong_engine::DEFAULT_MEMORY_CAPACITY,
+    };
+    let options = ServeOptions {
+        socket: PathBuf::from(socket),
+        cache_dir: batch_cache_dir(args),
+        mem_capacity,
+        workers,
+        queue,
+        check: check_options(args)?,
+        events: opt_value(args, "--events").map(PathBuf::from),
+        json_log: flag(args, "--json-log"),
+        quiet: flag(args, "--quiet"),
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(options).map_err(|e| format!("cannot start server: {e}"))?;
+    server.run().map_err(|e| format!("server failed: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `oolong client` — send request lines to a running daemon and print
+/// each response line. Requests come from `--eval '<json>'` or a file of
+/// newline-delimited requests (`-` for stdin).
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    let socket = opt_value(args, "--socket").unwrap_or_else(|| "oolong.sock".to_string());
+    let requests = if let Some(request) = opt_value(args, "--eval") {
+        request
+    } else {
+        match positional(args)? {
+            "-" => std::io::read_to_string(std::io::stdin())
+                .map_err(|e| format!("cannot read stdin: {e}"))?,
+            path => {
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+            }
+        }
+    };
+    let mut client = Client::connect(&socket)
+        .map_err(|e| format!("cannot connect to `{socket}`: {e} (is the server running?)"))?;
+    let mut all_ok = true;
+    for line in requests.lines().filter(|l| !l.trim().is_empty()) {
+        let response = client
+            .request(line)
+            .map_err(|e| format!("request failed: {e}"))?;
+        all_ok &= oolong_serve::response_ok(&response);
+        println!("{}", response.render());
+    }
+    Ok(if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {

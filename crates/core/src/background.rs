@@ -87,33 +87,24 @@ pub fn closed_world_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formu
     {
         let (av, fv, bv) = (fresh.fresh("cwA"), fresh.fresh("cwF"), fresh.fresh("cwB"));
         let atom = Atom::RepInc {
-            group: Term::var(av.clone()),
-            pivot: Term::var(fv.clone()),
-            mapped: Term::var(bv.clone()),
+            group: Term::var(av),
+            pivot: Term::var(fv),
+            mapped: Term::var(bv),
         };
         let arms = scope
             .rep_triples()
             .into_iter()
             .map(|(g, f, b)| {
                 Formula::and(vec![
-                    Formula::eq(
-                        Term::var(av.clone()),
-                        Term::attr(scope.attr_info(g).name.clone()),
-                    ),
-                    Formula::eq(
-                        Term::var(fv.clone()),
-                        Term::attr(scope.attr_info(f).name.clone()),
-                    ),
-                    Formula::eq(
-                        Term::var(bv.clone()),
-                        Term::attr(scope.attr_info(b).name.clone()),
-                    ),
+                    Formula::eq(Term::var(av), Term::attr(scope.attr_info(g).name.clone())),
+                    Formula::eq(Term::var(fv), Term::attr(scope.attr_info(f).name.clone())),
+                    Formula::eq(Term::var(bv), Term::attr(scope.attr_info(b).name.clone())),
                 ])
             })
             .collect();
         axioms.push(Formula::forall(
             vec![av, fv, bv],
-            vec![Trigger(vec![Pattern::Atom(atom.clone())])],
+            vec![Trigger(vec![Pattern::Atom(atom)])],
             Formula::implies(Formula::Atom(atom), Formula::or(arms)),
         ));
     }
@@ -121,22 +112,19 @@ pub fn closed_world_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formu
     // ∀G,A :: G ⊒ A ⇒ G = A ∨ ⋁ declared enclosing pairs.
     {
         let (gv, av) = (fresh.fresh("cwG"), fresh.fresh("cwA"));
-        let atom = Atom::LocalInc(Term::var(gv.clone()), Term::var(av.clone()));
-        let mut arms = vec![Formula::eq(Term::var(gv.clone()), Term::var(av.clone()))];
+        let atom = Atom::LocalInc(Term::var(gv), Term::var(av));
+        let mut arms = vec![Formula::eq(Term::var(gv), Term::var(av))];
         for (attr, info) in scope.attrs() {
             for &g in scope.enclosing_groups(attr) {
                 arms.push(Formula::and(vec![
-                    Formula::eq(
-                        Term::var(gv.clone()),
-                        Term::attr(scope.attr_info(g).name.clone()),
-                    ),
-                    Formula::eq(Term::var(av.clone()), Term::attr(info.name.clone())),
+                    Formula::eq(Term::var(gv), Term::attr(scope.attr_info(g).name.clone())),
+                    Formula::eq(Term::var(av), Term::attr(info.name.clone())),
                 ]));
             }
         }
         axioms.push(Formula::forall(
             vec![gv, av],
-            vec![Trigger(vec![Pattern::Atom(atom.clone())])],
+            vec![Trigger(vec![Pattern::Atom(atom)])],
             Formula::implies(Formula::Atom(atom), Formula::or(arms)),
         ));
     }
@@ -151,27 +139,27 @@ pub fn scope_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formula> {
     for (attr_id, info) in scope.attrs() {
         let a = Term::attr(info.name.clone());
         // Ground reflexivity and the declared transitive enclosing groups.
-        axioms.push(Formula::Atom(Atom::LocalInc(a.clone(), a.clone())));
+        axioms.push(Formula::Atom(Atom::LocalInc(a, a)));
         for &g in scope.enclosing_groups(attr_id) {
             axioms.push(Formula::Atom(Atom::LocalInc(
                 Term::attr(scope.attr_info(g).name.clone()),
-                a.clone(),
+                a,
             )));
         }
         // Enumeration axiom for ⊒ into this attribute:
         //   ∀G :: G ⊒ a ⇔ (G = a ∨ G = g₁ ∨ … ∨ G = gₙ).
         let gv = fresh.fresh("bgG");
-        let mut arms = vec![Formula::eq(Term::var(gv.clone()), a.clone())];
+        let mut arms = vec![Formula::eq(Term::var(gv), a)];
         for &g in scope.enclosing_groups(attr_id) {
             arms.push(Formula::eq(
-                Term::var(gv.clone()),
+                Term::var(gv),
                 Term::attr(scope.attr_info(g).name.clone()),
             ));
         }
-        let atom = Atom::LocalInc(Term::var(gv.clone()), a.clone());
+        let atom = Atom::LocalInc(Term::var(gv), a);
         axioms.push(Formula::forall(
             vec![gv],
-            vec![Trigger(vec![Pattern::Atom(atom.clone())])],
+            vec![Trigger(vec![Pattern::Atom(atom)])],
             Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
         ));
 
@@ -215,22 +203,17 @@ fn field_rep_axioms(
         let av = fresh.fresh("bgA");
         let bv = fresh.fresh("bgB");
         let atom = Atom::RepInc {
-            group: Term::var(av.clone()),
-            pivot: f.clone(),
-            mapped: Term::var(bv.clone()),
+            group: Term::var(av),
+            pivot: *f,
+            mapped: Term::var(bv),
         };
         let arms = mapped
             .iter()
-            .map(|&b| {
-                Formula::eq(
-                    Term::var(bv.clone()),
-                    Term::attr(scope.attr_info(b).name.clone()),
-                )
-            })
+            .map(|&b| Formula::eq(Term::var(bv), Term::attr(scope.attr_info(b).name.clone())))
             .collect();
         axioms.push(Formula::forall(
             vec![av, bv],
-            vec![Trigger(vec![Pattern::Atom(atom.clone())])],
+            vec![Trigger(vec![Pattern::Atom(atom)])],
             Formula::implies(Formula::Atom(atom), Formula::or(arms)),
         ));
     }
@@ -241,23 +224,18 @@ fn field_rep_axioms(
         let av = fresh.fresh("bgA");
         let b_term = Term::attr(scope.attr_info(b).name.clone());
         let atom = Atom::RepInc {
-            group: Term::var(av.clone()),
-            pivot: f.clone(),
+            group: Term::var(av),
+            pivot: *f,
             mapped: b_term,
         };
         let arms = scope
             .mappers(field, b)
             .iter()
-            .map(|&a| {
-                Formula::eq(
-                    Term::var(av.clone()),
-                    Term::attr(scope.attr_info(a).name.clone()),
-                )
-            })
+            .map(|&a| Formula::eq(Term::var(av), Term::attr(scope.attr_info(a).name.clone())))
             .collect();
         axioms.push(Formula::forall(
             vec![av],
-            vec![Trigger(vec![Pattern::Atom(atom.clone())])],
+            vec![Trigger(vec![Pattern::Atom(atom)])],
             Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
         ));
     }
@@ -275,29 +253,24 @@ fn field_rep_axioms(
             fresh.fresh("bgY"),
             fresh.fresh("bgB"),
         );
-        let updated = Term::update(
-            Term::var(s.clone()),
-            Term::var(z.clone()),
-            f.clone(),
-            Term::var(v.clone()),
-        );
+        let updated = Term::update(Term::var(s), Term::var(z), *f, Term::var(v));
         let inc_upd = Atom::Inc {
-            store: updated.clone(),
-            obj: Term::var(x.clone()),
-            attr: Term::var(a.clone()),
-            obj2: Term::var(y.clone()),
-            attr2: Term::var(b.clone()),
+            store: updated,
+            obj: Term::var(x),
+            attr: Term::var(a),
+            obj2: Term::var(y),
+            attr2: Term::var(b),
         };
         let inc_base = Atom::Inc {
-            store: Term::var(s.clone()),
-            obj: Term::var(x.clone()),
-            attr: Term::var(a.clone()),
-            obj2: Term::var(y.clone()),
-            attr2: Term::var(b.clone()),
+            store: Term::var(s),
+            obj: Term::var(x),
+            attr: Term::var(a),
+            obj2: Term::var(y),
+            attr2: Term::var(b),
         };
         let _ = updated;
         // Query-driven: one trigger on the post-update side only.
-        let triggers = vec![Trigger(vec![Pattern::Atom(inc_upd.clone())])];
+        let triggers = vec![Trigger(vec![Pattern::Atom(inc_upd)])];
         axioms.push(Formula::forall(
             vec![s, z, v, x, a, y, b],
             triggers,
@@ -327,22 +300,17 @@ fn field_rep_elem_axioms(
         let av = fresh.fresh("bgA");
         let bv = fresh.fresh("bgB");
         let atom = Atom::RepIncElem {
-            group: Term::var(av.clone()),
-            pivot: f.clone(),
-            mapped: Term::var(bv.clone()),
+            group: Term::var(av),
+            pivot: *f,
+            mapped: Term::var(bv),
         };
         let arms = mapped
             .iter()
-            .map(|&b| {
-                Formula::eq(
-                    Term::var(bv.clone()),
-                    Term::attr(scope.attr_info(b).name.clone()),
-                )
-            })
+            .map(|&b| Formula::eq(Term::var(bv), Term::attr(scope.attr_info(b).name.clone())))
             .collect();
         axioms.push(Formula::forall(
             vec![av, bv],
-            vec![Trigger(vec![Pattern::Atom(atom.clone())])],
+            vec![Trigger(vec![Pattern::Atom(atom)])],
             Formula::implies(Formula::Atom(atom), Formula::or(arms)),
         ));
     }
@@ -352,23 +320,18 @@ fn field_rep_elem_axioms(
         let av = fresh.fresh("bgA");
         let b_term = Term::attr(scope.attr_info(b).name.clone());
         let atom = Atom::RepIncElem {
-            group: Term::var(av.clone()),
-            pivot: f.clone(),
+            group: Term::var(av),
+            pivot: *f,
             mapped: b_term,
         };
         let arms = scope
             .mappers_kind(field, b, true)
             .iter()
-            .map(|&a| {
-                Formula::eq(
-                    Term::var(av.clone()),
-                    Term::attr(scope.attr_info(a).name.clone()),
-                )
-            })
+            .map(|&a| Formula::eq(Term::var(av), Term::attr(scope.attr_info(a).name.clone())))
             .collect();
         axioms.push(Formula::forall(
             vec![av],
-            vec![Trigger(vec![Pattern::Atom(atom.clone())])],
+            vec![Trigger(vec![Pattern::Atom(atom)])],
             Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
         ));
     }
@@ -386,16 +349,8 @@ fn select_update_same(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubA"),
         fresh.fresh("ubV"),
     );
-    let upd = Term::update(
-        Term::var(s.clone()),
-        Term::var(x.clone()),
-        Term::var(a.clone()),
-        Term::var(v.clone()),
-    );
-    let body = Formula::eq(
-        Term::select(upd.clone(), Term::var(x.clone()), Term::var(a.clone())),
-        Term::var(v.clone()),
-    );
+    let upd = Term::update(Term::var(s), Term::var(x), Term::var(a), Term::var(v));
+    let body = Formula::eq(Term::select(upd, Term::var(x), Term::var(a)), Term::var(v));
     Formula::forall(
         vec![s, x, a, v],
         vec![Trigger(vec![Pattern::Term(upd)])],
@@ -413,26 +368,14 @@ fn select_update_other(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubY"),
         fresh.fresh("ubB"),
     );
-    let upd = Term::update(
-        Term::var(s.clone()),
-        Term::var(x.clone()),
-        Term::var(a.clone()),
-        Term::var(v.clone()),
-    );
-    let read = Term::select(upd, Term::var(y.clone()), Term::var(b.clone()));
+    let upd = Term::update(Term::var(s), Term::var(x), Term::var(a), Term::var(v));
+    let read = Term::select(upd, Term::var(y), Term::var(b));
     let body = Formula::or(vec![
         Formula::and(vec![
-            Formula::eq(Term::var(x.clone()), Term::var(y.clone())),
-            Formula::eq(Term::var(a.clone()), Term::var(b.clone())),
+            Formula::eq(Term::var(x), Term::var(y)),
+            Formula::eq(Term::var(a), Term::var(b)),
         ]),
-        Formula::eq(
-            read.clone(),
-            Term::select(
-                Term::var(s.clone()),
-                Term::var(y.clone()),
-                Term::var(b.clone()),
-            ),
-        ),
+        Formula::eq(read, Term::select(Term::var(s), Term::var(y), Term::var(b))),
     ]);
     Formula::forall(
         vec![s, x, a, v, y, b],
@@ -444,13 +387,10 @@ fn select_update_other(fresh: &mut FreshGen) -> Formula {
 /// `∀S :: ¬alive(S, new(S)) ∧ new(S) ≠ null`.
 fn new_unallocated(fresh: &mut FreshGen) -> Formula {
     let s = fresh.fresh("ubS");
-    let new = Term::new_obj(Term::var(s.clone()));
+    let new = Term::new_obj(Term::var(s));
     let body = Formula::and(vec![
-        Formula::not(Formula::Atom(Atom::Alive(
-            Term::var(s.clone()),
-            new.clone(),
-        ))),
-        Formula::neq(new.clone(), Term::null()),
+        Formula::not(Formula::Atom(Atom::Alive(Term::var(s), new))),
+        Formula::neq(new, Term::null()),
     ]);
     Formula::forall(vec![s], vec![Trigger(vec![Pattern::Term(new)])], body)
 }
@@ -458,11 +398,8 @@ fn new_unallocated(fresh: &mut FreshGen) -> Formula {
 /// `∀S :: alive(S⁺, new(S))`.
 fn succ_allocates_new(fresh: &mut FreshGen) -> Formula {
     let s = fresh.fresh("ubS");
-    let succ = Term::succ(Term::var(s.clone()));
-    let body = Formula::Atom(Atom::Alive(
-        succ.clone(),
-        Term::new_obj(Term::var(s.clone())),
-    ));
+    let succ = Term::succ(Term::var(s));
+    let body = Formula::Atom(Atom::Alive(succ, Term::new_obj(Term::var(s))));
     Formula::forall(vec![s], vec![Trigger(vec![Pattern::Term(succ)])], body)
 }
 
@@ -472,14 +409,14 @@ fn succ_allocates_new(fresh: &mut FreshGen) -> Formula {
 /// keeps instantiation from fanning out over every store/object pair).
 fn succ_alive_iff(fresh: &mut FreshGen) -> Formula {
     let (s, x) = (fresh.fresh("ubS"), fresh.fresh("ubX"));
-    let post = Atom::Alive(Term::succ(Term::var(s.clone())), Term::var(x.clone()));
+    let post = Atom::Alive(Term::succ(Term::var(s)), Term::var(x));
     let pre = Formula::or(vec![
-        Formula::Atom(Atom::Alive(Term::var(s.clone()), Term::var(x.clone()))),
-        Formula::eq(Term::var(x.clone()), Term::new_obj(Term::var(s.clone()))),
+        Formula::Atom(Atom::Alive(Term::var(s), Term::var(x))),
+        Formula::eq(Term::var(x), Term::new_obj(Term::var(s))),
     ]);
     Formula::forall(
         vec![s, x],
-        vec![Trigger(vec![Pattern::Atom(post.clone())])],
+        vec![Trigger(vec![Pattern::Atom(post)])],
         Formula::Iff(Box::new(Formula::Atom(post)), Box::new(pre)),
     )
 }
@@ -489,16 +426,12 @@ fn succ_alive_iff(fresh: &mut FreshGen) -> Formula {
 /// value).
 fn succ_preserves_select(fresh: &mut FreshGen) -> Formula {
     let (s, x, a) = (fresh.fresh("ubS"), fresh.fresh("ubX"), fresh.fresh("ubA"));
-    let succ = Term::succ(Term::var(s.clone()));
-    let post = Term::select(succ.clone(), Term::var(x.clone()), Term::var(a.clone()));
-    let pre = Term::select(
-        Term::var(s.clone()),
-        Term::var(x.clone()),
-        Term::var(a.clone()),
-    );
+    let succ = Term::succ(Term::var(s));
+    let post = Term::select(succ, Term::var(x), Term::var(a));
+    let pre = Term::select(Term::var(s), Term::var(x), Term::var(a));
     let triggers = vec![
-        Trigger(vec![Pattern::Term(post.clone())]),
-        Trigger(vec![Pattern::Term(pre.clone()), Pattern::Term(succ)]),
+        Trigger(vec![Pattern::Term(post)]),
+        Trigger(vec![Pattern::Term(pre), Pattern::Term(succ)]),
     ];
     Formula::forall(vec![s, x, a], triggers, Formula::eq(post, pre))
 }
@@ -513,16 +446,11 @@ fn update_preserves_alive(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubV"),
         fresh.fresh("ubX"),
     );
-    let upd = Term::update(
-        Term::var(s.clone()),
-        Term::var(z.clone()),
-        Term::var(fv.clone()),
-        Term::var(v.clone()),
-    );
-    let post = Atom::Alive(upd, Term::var(x.clone()));
-    let pre = Atom::Alive(Term::var(s.clone()), Term::var(x.clone()));
+    let upd = Term::update(Term::var(s), Term::var(z), Term::var(fv), Term::var(v));
+    let post = Atom::Alive(upd, Term::var(x));
+    let pre = Atom::Alive(Term::var(s), Term::var(x));
     // Query-driven: one trigger on the post-update side only.
-    let triggers = vec![Trigger(vec![Pattern::Atom(post.clone())])];
+    let triggers = vec![Trigger(vec![Pattern::Atom(post)])];
     Formula::forall(
         vec![s, z, fv, v, x],
         triggers,
@@ -536,8 +464,8 @@ fn update_preserves_alive(fresh: &mut FreshGen) -> Formula {
 /// to `alive(S, v)` queries once `v = null` is known.
 fn null_is_alive(fresh: &mut FreshGen) -> Formula {
     let (s, x) = (fresh.fresh("ubS"), fresh.fresh("ubX"));
-    let query = Atom::Alive(Term::var(s.clone()), Term::var(x.clone()));
-    let fact = Atom::Alive(Term::var(s.clone()), Term::null());
+    let query = Atom::Alive(Term::var(s), Term::var(x));
+    let fact = Atom::Alive(Term::var(s), Term::null());
     Formula::forall(
         vec![s, x],
         vec![Trigger(vec![Pattern::Atom(query)])],
@@ -559,18 +487,14 @@ fn reads_are_alive_or_null(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubA"),
         fresh.fresh("ubS"),
     );
-    let read = Term::select(
-        Term::var(s.clone()),
-        Term::var(x.clone()),
-        Term::var(a.clone()),
-    );
+    let read = Term::select(Term::var(s), Term::var(x), Term::var(a));
     let body = Formula::or(vec![
-        Formula::eq(read.clone(), Term::null()),
-        Formula::Atom(Atom::Alive(Term::var(s.clone()), read.clone())),
+        Formula::eq(read, Term::null()),
+        Formula::Atom(Atom::Alive(Term::var(s), read)),
     ]);
     // Query-driven: fires only when the aliveness of a read is in
     // question (in any store S2), not for every select term.
-    let query = Atom::Alive(Term::var(s2.clone()), read);
+    let query = Atom::Alive(Term::var(s2), read);
     Formula::forall(
         vec![s, x, a, s2],
         vec![Trigger(vec![Pattern::Atom(query)])],
@@ -584,17 +508,17 @@ fn reads_are_alive_or_null(fresh: &mut FreshGen) -> Formula {
 /// lets the checker conclude `isInt(i)` for an array index parameter.
 fn comparisons_are_ints(fresh: &mut FreshGen) -> Formula {
     let (a, b) = (fresh.fresh("ubA"), fresh.fresh("ubB"));
-    let lt = Atom::Lt(Term::var(a.clone()), Term::var(b.clone()));
-    let le = Atom::Le(Term::var(a.clone()), Term::var(b.clone()));
+    let lt = Atom::Lt(Term::var(a), Term::var(b));
+    let le = Atom::Le(Term::var(a), Term::var(b));
     let ints = Formula::and(vec![
-        Formula::Atom(Atom::IsInt(Term::var(a.clone()))),
-        Formula::Atom(Atom::IsInt(Term::var(b.clone()))),
+        Formula::Atom(Atom::IsInt(Term::var(a))),
+        Formula::Atom(Atom::IsInt(Term::var(b))),
     ]);
     Formula::forall(
         vec![a, b],
         vec![
-            Trigger(vec![Pattern::Atom(lt.clone())]),
-            Trigger(vec![Pattern::Atom(le.clone())]),
+            Trigger(vec![Pattern::Atom(lt)]),
+            Trigger(vec![Pattern::Atom(le)]),
         ],
         Formula::and(vec![
             Formula::implies(Formula::Atom(lt), ints.clone()),
@@ -640,60 +564,46 @@ fn inclusion_connection(arrays: bool, fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubK"),
     );
     let inc = Atom::Inc {
-        store: Term::var(s.clone()),
-        obj: Term::var(x.clone()),
-        attr: Term::var(a.clone()),
-        obj2: Term::var(y.clone()),
-        attr2: Term::var(b.clone()),
+        store: Term::var(s),
+        obj: Term::var(x),
+        attr: Term::var(a),
+        obj2: Term::var(y),
+        attr2: Term::var(b),
     };
     let local_case = Formula::and(vec![
-        Formula::eq(Term::var(x.clone()), Term::var(y.clone())),
-        Formula::Atom(Atom::LocalInc(Term::var(a.clone()), Term::var(b.clone()))),
+        Formula::eq(Term::var(x), Term::var(y)),
+        Formula::Atom(Atom::LocalInc(Term::var(a), Term::var(b))),
     ]);
     let chain_inc = Atom::Inc {
-        store: Term::var(s.clone()),
-        obj: Term::var(x.clone()),
-        attr: Term::var(a.clone()),
-        obj2: Term::var(z.clone()),
-        attr2: Term::var(h.clone()),
+        store: Term::var(s),
+        obj: Term::var(x),
+        attr: Term::var(a),
+        obj2: Term::var(z),
+        attr2: Term::var(h),
     };
     let chain_rep = Atom::RepInc {
-        group: Term::var(h.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(k.clone()),
+        group: Term::var(h),
+        pivot: Term::var(f),
+        mapped: Term::var(k),
     };
-    let chain_read = Term::select(
-        Term::var(s.clone()),
-        Term::var(z.clone()),
-        Term::var(f.clone()),
-    );
+    let chain_read = Term::select(Term::var(s), Term::var(z), Term::var(f));
     let chain = Formula::exists_with_triggers(
-        vec![z.clone(), h.clone(), f.clone(), k.clone()],
+        vec![z, h, f, k],
         // Selective triggers for the negated (universal) reading: an
         // inclusion prefix + rep declaration, or a pivot read + rep
         // declaration.
         vec![
-            Trigger(vec![
-                Pattern::Atom(chain_inc.clone()),
-                Pattern::Atom(chain_rep.clone()),
-            ]),
-            Trigger(vec![
-                Pattern::Term(chain_read),
-                Pattern::Atom(chain_rep.clone()),
-            ]),
+            Trigger(vec![Pattern::Atom(chain_inc), Pattern::Atom(chain_rep)]),
+            Trigger(vec![Pattern::Term(chain_read), Pattern::Atom(chain_rep)]),
         ],
         Formula::and(vec![
             Formula::Atom(chain_inc),
             Formula::Atom(chain_rep),
             Formula::eq(
-                Term::var(y.clone()),
-                Term::select(
-                    Term::var(s.clone()),
-                    Term::var(z.clone()),
-                    Term::var(f.clone()),
-                ),
+                Term::var(y),
+                Term::select(Term::var(s), Term::var(z), Term::var(f)),
             ),
-            Formula::Atom(Atom::LocalInc(Term::var(k.clone()), Term::var(b.clone()))),
+            Formula::Atom(Atom::LocalInc(Term::var(k), Term::var(b))),
         ]),
     );
     // Factor the common guards: X ≠ Y ∧ Y ≠ null apply to every
@@ -701,19 +611,19 @@ fn inclusion_connection(arrays: bool, fresh: &mut FreshGen) -> Formula {
     let mut chains = vec![chain];
     if arrays {
         chains.push(Formula::and(vec![
-            Formula::Atom(Atom::IsInt(Term::var(b.clone()))),
+            Formula::Atom(Atom::IsInt(Term::var(b))),
             slot_chain_body(fresh, s, x, a, y),
         ]));
         chains.push(elem_chain_body(fresh, s, x, a, y, b));
     }
     let nonlocal_case = Formula::and(vec![
-        Formula::neq(Term::var(x.clone()), Term::var(y.clone())),
-        Formula::neq(Term::var(y.clone()), Term::null()),
+        Formula::neq(Term::var(x), Term::var(y)),
+        Formula::neq(Term::var(y), Term::null()),
         Formula::or(chains),
     ]);
     Formula::forall(
         vec![s, x, a, y, b],
-        vec![Trigger(vec![Pattern::Atom(inc.clone())])],
+        vec![Trigger(vec![Pattern::Atom(inc)])],
         Formula::Iff(
             Box::new(Formula::Atom(inc)),
             Box::new(Formula::or(vec![local_case, nonlocal_case])),
@@ -734,27 +644,20 @@ fn slot_chain_body(fresh: &mut FreshGen, s: Symbol, x: Symbol, a: Symbol, y: Sym
         store: Term::var(s),
         obj: Term::var(x),
         attr: Term::var(a),
-        obj2: Term::var(z.clone()),
-        attr2: Term::var(h.clone()),
+        obj2: Term::var(z),
+        attr2: Term::var(h),
     };
     let rep = Atom::RepIncElem {
-        group: Term::var(h.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(k.clone()),
+        group: Term::var(h),
+        pivot: Term::var(f),
+        mapped: Term::var(k),
     };
-    let read = Term::select(
-        Term::var(s),
-        Term::var(z.clone()),
-        Term::var(f.clone()),
-    );
+    let read = Term::select(Term::var(s), Term::var(z), Term::var(f));
     Formula::exists_with_triggers(
-        vec![z.clone(), h, f.clone(), k],
+        vec![z, h, f, k],
         vec![
-            Trigger(vec![Pattern::Atom(inc.clone()), Pattern::Atom(rep.clone())]),
-            Trigger(vec![
-                Pattern::Term(read.clone()),
-                Pattern::Atom(rep.clone()),
-            ]),
+            Trigger(vec![Pattern::Atom(inc), Pattern::Atom(rep)]),
+            Trigger(vec![Pattern::Term(read), Pattern::Atom(rep)]),
         ],
         Formula::and(vec![
             Formula::Atom(inc),
@@ -767,7 +670,14 @@ fn slot_chain_body(fresh: &mut FreshGen, s: Symbol, x: Symbol, a: Symbol, y: Sym
 /// The elementwise *element* chain of extended axiom (4):
 /// `∃Z,H,F,K,R,I :: S ⊨ X·A ≽ Z·H ∧ H ⇉F K ∧ R = S(Z·F) ∧ R ≠ null
 ///                 ∧ isInt(I) ∧ Y = S(R·I) ∧ K ⊒ B`.
-fn elem_chain_body(fresh: &mut FreshGen, s: Symbol, x: Symbol, a: Symbol, y: Symbol, b: Symbol) -> Formula {
+fn elem_chain_body(
+    fresh: &mut FreshGen,
+    s: Symbol,
+    x: Symbol,
+    a: Symbol,
+    y: Symbol,
+    b: Symbol,
+) -> Formula {
     let (z, h, f, k, i) = (
         fresh.fresh("ubZ"),
         fresh.fresh("ubH"),
@@ -779,34 +689,27 @@ fn elem_chain_body(fresh: &mut FreshGen, s: Symbol, x: Symbol, a: Symbol, y: Sym
         store: Term::var(s),
         obj: Term::var(x),
         attr: Term::var(a),
-        obj2: Term::var(z.clone()),
-        attr2: Term::var(h.clone()),
+        obj2: Term::var(z),
+        attr2: Term::var(h),
     };
     let rep = Atom::RepIncElem {
-        group: Term::var(h.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(k.clone()),
+        group: Term::var(h),
+        pivot: Term::var(f),
+        mapped: Term::var(k),
     };
-    let arr = Term::select(
-        Term::var(s),
-        Term::var(z.clone()),
-        Term::var(f.clone()),
-    );
-    let slot = Term::select(Term::var(s), arr.clone(), Term::var(i.clone()));
+    let arr = Term::select(Term::var(s), Term::var(z), Term::var(f));
+    let slot = Term::select(Term::var(s), arr, Term::var(i));
     Formula::exists_with_triggers(
-        vec![z.clone(), h, f.clone(), k.clone(), i.clone()],
+        vec![z, h, f, k, i],
         // The nested slot-read pattern keeps the negated reading from
         // firing on every select pair.
         vec![
             Trigger(vec![
-                Pattern::Atom(inc.clone()),
-                Pattern::Atom(rep.clone()),
-                Pattern::Term(slot.clone()),
+                Pattern::Atom(inc),
+                Pattern::Atom(rep),
+                Pattern::Term(slot),
             ]),
-            Trigger(vec![
-                Pattern::Term(slot.clone()),
-                Pattern::Atom(rep.clone()),
-            ]),
+            Trigger(vec![Pattern::Term(slot), Pattern::Atom(rep)]),
         ],
         Formula::and(vec![
             Formula::Atom(inc),
@@ -831,30 +734,27 @@ fn inc_transitive(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubC"),
     );
     let first = Atom::Inc {
-        store: Term::var(s.clone()),
-        obj: Term::var(x.clone()),
-        attr: Term::var(a.clone()),
-        obj2: Term::var(y.clone()),
-        attr2: Term::var(b.clone()),
+        store: Term::var(s),
+        obj: Term::var(x),
+        attr: Term::var(a),
+        obj2: Term::var(y),
+        attr2: Term::var(b),
     };
     let second = Atom::Inc {
-        store: Term::var(s.clone()),
-        obj: Term::var(y.clone()),
-        attr: Term::var(b.clone()),
-        obj2: Term::var(z.clone()),
-        attr2: Term::var(c.clone()),
+        store: Term::var(s),
+        obj: Term::var(y),
+        attr: Term::var(b),
+        obj2: Term::var(z),
+        attr2: Term::var(c),
     };
     let conclusion = Atom::Inc {
-        store: Term::var(s.clone()),
-        obj: Term::var(x.clone()),
-        attr: Term::var(a.clone()),
-        obj2: Term::var(z.clone()),
-        attr2: Term::var(c.clone()),
+        store: Term::var(s),
+        obj: Term::var(x),
+        attr: Term::var(a),
+        obj2: Term::var(z),
+        attr2: Term::var(c),
     };
-    let trigger = Trigger(vec![
-        Pattern::Atom(first.clone()),
-        Pattern::Atom(second.clone()),
-    ]);
+    let trigger = Trigger(vec![Pattern::Atom(first), Pattern::Atom(second)]);
     Formula::forall(
         vec![s, x, a, y, b, z, c],
         vec![trigger],
@@ -876,24 +776,24 @@ fn succ_preserves_inc(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubY"),
         fresh.fresh("ubB"),
     );
-    let succ = Term::succ(Term::var(s.clone()));
+    let succ = Term::succ(Term::var(s));
     let inc_succ = Atom::Inc {
-        store: succ.clone(),
-        obj: Term::var(x.clone()),
-        attr: Term::var(a.clone()),
-        obj2: Term::var(y.clone()),
-        attr2: Term::var(b.clone()),
+        store: succ,
+        obj: Term::var(x),
+        attr: Term::var(a),
+        obj2: Term::var(y),
+        attr2: Term::var(b),
     };
     let inc_base = Atom::Inc {
-        store: Term::var(s.clone()),
-        obj: Term::var(x.clone()),
-        attr: Term::var(a.clone()),
-        obj2: Term::var(y.clone()),
-        attr2: Term::var(b.clone()),
+        store: Term::var(s),
+        obj: Term::var(x),
+        attr: Term::var(a),
+        obj2: Term::var(y),
+        attr2: Term::var(b),
     };
     let _ = (&inc_base, succ);
     // Query-driven: one trigger on the post-allocation side only.
-    let triggers = vec![Trigger(vec![Pattern::Atom(inc_succ.clone())])];
+    let triggers = vec![Trigger(vec![Pattern::Atom(inc_succ)])];
     Formula::forall(
         vec![s, x, a, y, b],
         triggers,
@@ -908,10 +808,10 @@ fn succ_preserves_inc(fresh: &mut FreshGen) -> Formula {
 /// only when a reflexive query term exists.
 fn local_inc_reflexive(fresh: &mut FreshGen) -> Formula {
     let a = fresh.fresh("ubA");
-    let atom = Atom::LocalInc(Term::var(a.clone()), Term::var(a.clone()));
+    let atom = Atom::LocalInc(Term::var(a), Term::var(a));
     Formula::forall(
         vec![a],
-        vec![Trigger(vec![Pattern::Atom(atom.clone())])],
+        vec![Trigger(vec![Pattern::Atom(atom)])],
         Formula::Atom(atom),
     )
 }
@@ -932,28 +832,20 @@ fn pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubB"),
     );
     let rep = Atom::RepInc {
-        group: Term::var(g.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(a.clone()),
+        group: Term::var(g),
+        pivot: Term::var(f),
+        mapped: Term::var(a),
     };
-    let pivot_read = Term::select(
-        Term::var(s.clone()),
-        Term::var(x.clone()),
-        Term::var(f.clone()),
-    );
-    let other_read = Term::select(
-        Term::var(s.clone()),
-        Term::var(y.clone()),
-        Term::var(b.clone()),
-    );
+    let pivot_read = Term::select(Term::var(s), Term::var(x), Term::var(f));
+    let other_read = Term::select(Term::var(s), Term::var(y), Term::var(b));
     let antecedent = Formula::and(vec![
-        Formula::Atom(rep.clone()),
-        Formula::neq(pivot_read.clone(), Term::null()),
-        Formula::eq(pivot_read.clone(), other_read.clone()),
+        Formula::Atom(rep),
+        Formula::neq(pivot_read, Term::null()),
+        Formula::eq(pivot_read, other_read),
     ]);
     let conclusion = Formula::and(vec![
-        Formula::eq(Term::var(x.clone()), Term::var(y.clone())),
-        Formula::eq(Term::var(f.clone()), Term::var(b.clone())),
+        Formula::eq(Term::var(x), Term::var(y)),
+        Formula::eq(Term::var(f), Term::var(b)),
     ]);
     let trigger = Trigger(vec![
         Pattern::Atom(rep),
@@ -984,30 +876,26 @@ fn owner_acyclicity(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubB"),
     );
     let rep = Atom::RepInc {
-        group: Term::var(g.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(a.clone()),
+        group: Term::var(g),
+        pivot: Term::var(f),
+        mapped: Term::var(a),
     };
     let inc = Atom::Inc {
-        store: Term::var(s.clone()),
-        obj: Term::var(y.clone()),
-        attr: Term::var(b.clone()),
-        obj2: Term::var(x.clone()),
-        attr2: Term::var(g.clone()),
+        store: Term::var(s),
+        obj: Term::var(y),
+        attr: Term::var(b),
+        obj2: Term::var(x),
+        attr2: Term::var(g),
     };
     let antecedent = Formula::and(vec![
-        Formula::Atom(rep.clone()),
+        Formula::Atom(rep),
         Formula::eq(
-            Term::var(y.clone()),
-            Term::select(
-                Term::var(s.clone()),
-                Term::var(x.clone()),
-                Term::var(f.clone()),
-            ),
+            Term::var(y),
+            Term::select(Term::var(s), Term::var(x), Term::var(f)),
         ),
-        Formula::neq(Term::var(y.clone()), Term::null()),
+        Formula::neq(Term::var(y), Term::null()),
     ]);
-    let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Atom(inc.clone())]);
+    let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Atom(inc)]);
     Formula::forall(
         vec![g, f, a, s, x, y, b],
         vec![trigger],
@@ -1035,20 +923,16 @@ fn pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubX"),
     );
     let rep = Atom::RepInc {
-        group: Term::var(g.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(a.clone()),
+        group: Term::var(g),
+        pivot: Term::var(f),
+        mapped: Term::var(a),
     };
-    let read = Term::select(
-        Term::var(s.clone()),
-        Term::var(x.clone()),
-        Term::var(f.clone()),
-    );
+    let read = Term::select(Term::var(s), Term::var(x), Term::var(f));
     let body = Formula::implies(
-        Formula::Atom(rep.clone()),
+        Formula::Atom(rep),
         Formula::or(vec![
-            Formula::eq(read.clone(), Term::null()),
-            Formula::Atom(Atom::IsObj(read.clone())),
+            Formula::eq(read, Term::null()),
+            Formula::Atom(Atom::IsObj(read)),
         ]),
     );
     let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(read)]);
@@ -1072,30 +956,26 @@ fn owner_acyclicity_elem_array(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubB"),
     );
     let rep = Atom::RepIncElem {
-        group: Term::var(g.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(a.clone()),
+        group: Term::var(g),
+        pivot: Term::var(f),
+        mapped: Term::var(a),
     };
     let inc = Atom::Inc {
-        store: Term::var(s.clone()),
-        obj: Term::var(y.clone()),
-        attr: Term::var(b.clone()),
-        obj2: Term::var(x.clone()),
-        attr2: Term::var(g.clone()),
+        store: Term::var(s),
+        obj: Term::var(y),
+        attr: Term::var(b),
+        obj2: Term::var(x),
+        attr2: Term::var(g),
     };
     let antecedent = Formula::and(vec![
-        Formula::Atom(rep.clone()),
+        Formula::Atom(rep),
         Formula::eq(
-            Term::var(y.clone()),
-            Term::select(
-                Term::var(s.clone()),
-                Term::var(x.clone()),
-                Term::var(f.clone()),
-            ),
+            Term::var(y),
+            Term::select(Term::var(s), Term::var(x), Term::var(f)),
         ),
-        Formula::neq(Term::var(y.clone()), Term::null()),
+        Formula::neq(Term::var(y), Term::null()),
     ]);
-    let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Atom(inc.clone())]);
+    let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Atom(inc)]);
     Formula::forall(
         vec![g, f, a, s, x, y, b],
         vec![trigger],
@@ -1123,40 +1003,32 @@ fn owner_acyclicity_element(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubB"),
     );
     let rep = Atom::RepIncElem {
-        group: Term::var(g.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(a.clone()),
+        group: Term::var(g),
+        pivot: Term::var(f),
+        mapped: Term::var(a),
     };
     let inc = Atom::Inc {
-        store: Term::var(s.clone()),
-        obj: Term::var(e.clone()),
-        attr: Term::var(b.clone()),
-        obj2: Term::var(x.clone()),
-        attr2: Term::var(g.clone()),
+        store: Term::var(s),
+        obj: Term::var(e),
+        attr: Term::var(b),
+        obj2: Term::var(x),
+        attr2: Term::var(g),
     };
     let antecedent = Formula::and(vec![
-        Formula::Atom(rep.clone()),
+        Formula::Atom(rep),
         Formula::eq(
-            Term::var(r.clone()),
-            Term::select(
-                Term::var(s.clone()),
-                Term::var(x.clone()),
-                Term::var(f.clone()),
-            ),
+            Term::var(r),
+            Term::select(Term::var(s), Term::var(x), Term::var(f)),
         ),
-        Formula::neq(Term::var(r.clone()), Term::null()),
-        Formula::Atom(Atom::IsInt(Term::var(i.clone()))),
+        Formula::neq(Term::var(r), Term::null()),
+        Formula::Atom(Atom::IsInt(Term::var(i))),
         Formula::eq(
-            Term::var(e.clone()),
-            Term::select(
-                Term::var(s.clone()),
-                Term::var(r.clone()),
-                Term::var(i.clone()),
-            ),
+            Term::var(e),
+            Term::select(Term::var(s), Term::var(r), Term::var(i)),
         ),
-        Formula::neq(Term::var(e.clone()), Term::null()),
+        Formula::neq(Term::var(e), Term::null()),
     ]);
-    let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Atom(inc.clone())]);
+    let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Atom(inc)]);
     Formula::forall(
         vec![g, f, a, s, x, r, i, e, b],
         vec![trigger],
@@ -1181,28 +1053,20 @@ fn elem_pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubB"),
     );
     let rep = Atom::RepIncElem {
-        group: Term::var(g.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(a.clone()),
+        group: Term::var(g),
+        pivot: Term::var(f),
+        mapped: Term::var(a),
     };
-    let pivot_read = Term::select(
-        Term::var(s.clone()),
-        Term::var(x.clone()),
-        Term::var(f.clone()),
-    );
-    let other_read = Term::select(
-        Term::var(s.clone()),
-        Term::var(y.clone()),
-        Term::var(b.clone()),
-    );
+    let pivot_read = Term::select(Term::var(s), Term::var(x), Term::var(f));
+    let other_read = Term::select(Term::var(s), Term::var(y), Term::var(b));
     let antecedent = Formula::and(vec![
-        Formula::Atom(rep.clone()),
-        Formula::neq(pivot_read.clone(), Term::null()),
-        Formula::eq(pivot_read.clone(), other_read.clone()),
+        Formula::Atom(rep),
+        Formula::neq(pivot_read, Term::null()),
+        Formula::eq(pivot_read, other_read),
     ]);
     let conclusion = Formula::and(vec![
-        Formula::eq(Term::var(x.clone()), Term::var(y.clone())),
-        Formula::eq(Term::var(f.clone()), Term::var(b.clone())),
+        Formula::eq(Term::var(x), Term::var(y)),
+        Formula::eq(Term::var(f), Term::var(b)),
     ]);
     let trigger = Trigger(vec![
         Pattern::Atom(rep),
@@ -1231,20 +1095,16 @@ fn elem_pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubX"),
     );
     let rep = Atom::RepIncElem {
-        group: Term::var(g.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(a.clone()),
+        group: Term::var(g),
+        pivot: Term::var(f),
+        mapped: Term::var(a),
     };
-    let read = Term::select(
-        Term::var(s.clone()),
-        Term::var(x.clone()),
-        Term::var(f.clone()),
-    );
+    let read = Term::select(Term::var(s), Term::var(x), Term::var(f));
     let body = Formula::implies(
-        Formula::Atom(rep.clone()),
+        Formula::Atom(rep),
         Formula::or(vec![
-            Formula::eq(read.clone(), Term::null()),
-            Formula::Atom(Atom::IsObj(read.clone())),
+            Formula::eq(read, Term::null()),
+            Formula::Atom(Atom::IsObj(read)),
         ]),
     );
     let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(read)]);
@@ -1264,21 +1124,21 @@ fn elem_pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
 fn pivots_are_attributes(fresh: &mut FreshGen) -> Formula {
     let (a, f, b) = (fresh.fresh("ubA"), fresh.fresh("ubF"), fresh.fresh("ubB"));
     let rep = Atom::RepInc {
-        group: Term::var(a.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(b.clone()),
+        group: Term::var(a),
+        pivot: Term::var(f),
+        mapped: Term::var(b),
     };
     let rep_elem = Atom::RepIncElem {
-        group: Term::var(a.clone()),
-        pivot: Term::var(f.clone()),
-        mapped: Term::var(b.clone()),
+        group: Term::var(a),
+        pivot: Term::var(f),
+        mapped: Term::var(b),
     };
-    let not_int = Formula::not(Formula::Atom(Atom::IsInt(Term::var(f.clone()))));
+    let not_int = Formula::not(Formula::Atom(Atom::IsInt(Term::var(f))));
     Formula::forall(
         vec![a, f, b],
         vec![
-            Trigger(vec![Pattern::Atom(rep.clone())]),
-            Trigger(vec![Pattern::Atom(rep_elem.clone())]),
+            Trigger(vec![Pattern::Atom(rep)]),
+            Trigger(vec![Pattern::Atom(rep_elem)]),
         ],
         Formula::and(vec![
             Formula::implies(Formula::Atom(rep), not_int.clone()),
@@ -1302,24 +1162,16 @@ fn slot_uniqueness(fresh: &mut FreshGen) -> Formula {
         fresh.fresh("ubY"),
         fresh.fresh("ubB"),
     );
-    let slot_read = Term::select(
-        Term::var(s.clone()),
-        Term::var(x.clone()),
-        Term::var(i.clone()),
-    );
-    let other_read = Term::select(
-        Term::var(s.clone()),
-        Term::var(y.clone()),
-        Term::var(b.clone()),
-    );
+    let slot_read = Term::select(Term::var(s), Term::var(x), Term::var(i));
+    let other_read = Term::select(Term::var(s), Term::var(y), Term::var(b));
     let antecedent = Formula::and(vec![
-        Formula::Atom(Atom::IsInt(Term::var(i.clone()))),
-        Formula::neq(slot_read.clone(), Term::null()),
-        Formula::eq(slot_read.clone(), other_read.clone()),
+        Formula::Atom(Atom::IsInt(Term::var(i))),
+        Formula::neq(slot_read, Term::null()),
+        Formula::eq(slot_read, other_read),
     ]);
     let conclusion = Formula::and(vec![
-        Formula::eq(Term::var(x.clone()), Term::var(y.clone())),
-        Formula::eq(Term::var(i.clone()), Term::var(b.clone())),
+        Formula::eq(Term::var(x), Term::var(y)),
+        Formula::eq(Term::var(i), Term::var(b)),
     ]);
     let trigger = Trigger(vec![Pattern::Term(slot_read), Pattern::Term(other_read)]);
     Formula::forall(
@@ -1337,16 +1189,12 @@ fn slot_uniqueness(fresh: &mut FreshGen) -> Formula {
 /// ```
 fn slot_values_are_objects(fresh: &mut FreshGen) -> Formula {
     let (s, x, i) = (fresh.fresh("ubS"), fresh.fresh("ubX"), fresh.fresh("ubI"));
-    let read = Term::select(
-        Term::var(s.clone()),
-        Term::var(x.clone()),
-        Term::var(i.clone()),
-    );
+    let read = Term::select(Term::var(s), Term::var(x), Term::var(i));
     let body = Formula::implies(
-        Formula::Atom(Atom::IsInt(Term::var(i.clone()))),
+        Formula::Atom(Atom::IsInt(Term::var(i))),
         Formula::or(vec![
-            Formula::eq(read.clone(), Term::null()),
-            Formula::Atom(Atom::IsObj(read.clone())),
+            Formula::eq(read, Term::null()),
+            Formula::Atom(Atom::IsObj(read)),
         ]),
     );
     Formula::forall(
@@ -1359,10 +1207,10 @@ fn slot_values_are_objects(fresh: &mut FreshGen) -> Formula {
 /// `∀S :: isObj(new(S))` — freshly allocated values are object references.
 fn fresh_objects_are_objects(fresh: &mut FreshGen) -> Formula {
     let s = fresh.fresh("ubS");
-    let new = Term::new_obj(Term::var(s.clone()));
+    let new = Term::new_obj(Term::var(s));
     Formula::forall(
         vec![s],
-        vec![Trigger(vec![Pattern::Term(new.clone())])],
+        vec![Trigger(vec![Pattern::Term(new)])],
         Formula::Atom(Atom::IsObj(new)),
     )
 }
@@ -1492,8 +1340,8 @@ mod tests {
         // The chain disjunct of (4) needs X ≠ Y and Y ≠ null; pivot values
         // are distinct from their owners in restricted programs, and here
         // the pivot is assumed set.
-        hyps.push(Formula::neq(Term::var("st"), vec_val.clone()));
-        hyps.push(Formula::neq(vec_val.clone(), Term::null()));
+        hyps.push(Formula::neq(Term::var("st"), vec_val));
+        hyps.push(Formula::neq(vec_val, Term::null()));
         let goal = Formula::Atom(Atom::Inc {
             store: Term::store(),
             obj: Term::var("st"),
@@ -1526,7 +1374,7 @@ mod tests {
         let vec_read = Term::select(Term::store(), Term::var("t"), Term::attr("vec"));
         let obj_read = Term::select(Term::store(), Term::var("r"), Term::attr("obj"));
         let mut hyps = axioms;
-        hyps.push(Formula::neq(vec_read.clone(), Term::null()));
+        hyps.push(Formula::neq(vec_read, Term::null()));
         let goal = Formula::neq(vec_read, obj_read);
         assert!(prove(&hyps, &goal, &Budget::default()).is_proved());
     }

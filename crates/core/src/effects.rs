@@ -45,9 +45,9 @@ impl ModEntry {
     /// term (root dereferenced through all but the last attribute) and the
     /// final attribute.
     pub fn location(&self, store: &Term) -> (Term, Term) {
-        let mut obj = self.root.clone();
+        let mut obj = self.root;
         for attr in &self.path[..self.path.len() - 1] {
-            obj = Term::select(store.clone(), obj, Term::attr(attr.clone()));
+            obj = Term::select(*store, obj, Term::attr(attr.clone()));
         }
         let attr = Term::attr(self.path.last().expect("path non-empty").clone());
         (obj, attr)
@@ -65,7 +65,7 @@ impl ModList {
         let entries = targets
             .iter()
             .map(|t| ModEntry {
-                root: roots[t.param].clone(),
+                root: roots[t.param],
                 path: t
                     .path
                     .iter()
@@ -96,11 +96,11 @@ impl ModList {
                 .map(|e| {
                     let (eobj, eattr) = e.location(store);
                     Formula::Atom(Atom::Inc {
-                        store: store.clone(),
+                        store: *store,
                         obj: eobj,
                         attr: eattr,
-                        obj2: obj.clone(),
-                        attr2: attr.clone(),
+                        obj2: *obj,
+                        attr2: *attr,
                     })
                 })
                 .collect(),
@@ -110,7 +110,7 @@ impl ModList {
     /// `mod(obj·attr, self, store)`.
     pub fn modifiable(&self, obj: &Term, attr: &Term, store: &Term) -> Formula {
         Formula::or(vec![
-            Formula::not(Formula::Atom(Atom::Alive(store.clone(), obj.clone()))),
+            Formula::not(Formula::Atom(Atom::Alive(*store, *obj))),
             self.incl(obj, attr, store),
         ])
     }
@@ -147,18 +147,17 @@ impl ModList {
         let f = fresh.fresh("oeF");
         let b = fresh.fresh("oeB");
         let rep = Atom::RepInc {
-            group: Term::var(a.clone()),
-            pivot: Term::var(f.clone()),
-            mapped: Term::var(b.clone()),
+            group: Term::var(a),
+            pivot: Term::var(f),
+            mapped: Term::var(b),
         };
-        let pivot_read = Term::select(store.clone(), Term::var(x.clone()), Term::var(f.clone()));
+        let pivot_read = Term::select(*store, Term::var(x), Term::var(f));
         let antecedent = Formula::and(vec![
-            Formula::Atom(rep.clone()),
-            Formula::eq(t.clone(), pivot_read.clone()),
-            Formula::neq(t.clone(), Term::null()),
+            Formula::Atom(rep),
+            Formula::eq(*t, pivot_read),
+            Formula::neq(*t, Term::null()),
         ]);
-        let conclusion =
-            Formula::not(self.incl(&Term::var(x.clone()), &Term::var(a.clone()), store));
+        let conclusion = Formula::not(self.incl(&Term::var(x), &Term::var(a), store));
         let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(pivot_read)]);
         Formula::forall(
             vec![x, a, f, b],
@@ -175,18 +174,17 @@ impl ModList {
         let f = fresh.fresh("oeF");
         let b = fresh.fresh("oeB");
         let rep = Atom::RepIncElem {
-            group: Term::var(a.clone()),
-            pivot: Term::var(f.clone()),
-            mapped: Term::var(b.clone()),
+            group: Term::var(a),
+            pivot: Term::var(f),
+            mapped: Term::var(b),
         };
-        let pivot_read = Term::select(store.clone(), Term::var(x.clone()), Term::var(f.clone()));
+        let pivot_read = Term::select(*store, Term::var(x), Term::var(f));
         let antecedent = Formula::and(vec![
-            Formula::Atom(rep.clone()),
-            Formula::eq(t.clone(), pivot_read.clone()),
-            Formula::neq(t.clone(), Term::null()),
+            Formula::Atom(rep),
+            Formula::eq(*t, pivot_read),
+            Formula::neq(*t, Term::null()),
         ]);
-        let conclusion =
-            Formula::not(self.incl(&Term::var(x.clone()), &Term::var(a.clone()), store));
+        let conclusion = Formula::not(self.incl(&Term::var(x), &Term::var(a), store));
         let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(pivot_read)]);
         Formula::forall(
             vec![x, a, f, b],
@@ -204,20 +202,19 @@ impl ModList {
         let b = fresh.fresh("oeB");
         let i = fresh.fresh("oeI");
         let rep = Atom::RepIncElem {
-            group: Term::var(a.clone()),
-            pivot: Term::var(f.clone()),
-            mapped: Term::var(b.clone()),
+            group: Term::var(a),
+            pivot: Term::var(f),
+            mapped: Term::var(b),
         };
-        let arr_read = Term::select(store.clone(), Term::var(x.clone()), Term::var(f.clone()));
-        let slot_read = Term::select(store.clone(), arr_read.clone(), Term::var(i.clone()));
+        let arr_read = Term::select(*store, Term::var(x), Term::var(f));
+        let slot_read = Term::select(*store, arr_read, Term::var(i));
         let antecedent = Formula::and(vec![
-            Formula::Atom(rep.clone()),
-            Formula::Atom(Atom::IsInt(Term::var(i.clone()))),
-            Formula::eq(t.clone(), slot_read.clone()),
-            Formula::neq(t.clone(), Term::null()),
+            Formula::Atom(rep),
+            Formula::Atom(Atom::IsInt(Term::var(i))),
+            Formula::eq(*t, slot_read),
+            Formula::neq(*t, Term::null()),
         ]);
-        let conclusion =
-            Formula::not(self.incl(&Term::var(x.clone()), &Term::var(a.clone()), store));
+        let conclusion = Formula::not(self.incl(&Term::var(x), &Term::var(a), store));
         let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(slot_read)]);
         Formula::forall(
             vec![x, a, f, b, i],

@@ -61,9 +61,9 @@ fn tr_value_inner(
         Expr::Id(id) => Ok(Term::var(id.text.clone())),
         Expr::Select { base, attr, .. } => {
             let base_term = tr_value_inner(base, store, defined)?;
-            defined.push(Formula::neq(base_term.clone(), Term::null()));
+            defined.push(Formula::neq(base_term, Term::null()));
             Ok(Term::select(
-                store.clone(),
+                *store,
                 base_term,
                 Term::attr(attr.text.clone()),
             ))
@@ -73,8 +73,8 @@ fn tr_value_inner(
             // position, so integer slots reuse `select` directly.
             let base_term = tr_value_inner(base, store, defined)?;
             let index_term = tr_value_inner(index, store, defined)?;
-            defined.push(Formula::neq(base_term.clone(), Term::null()));
-            Ok(Term::select(store.clone(), base_term, index_term))
+            defined.push(Formula::neq(base_term, Term::null()));
+            Ok(Term::select(*store, base_term, index_term))
         }
         Expr::Binary { op, lhs, rhs, span } => {
             let l = tr_value_inner(lhs, store, defined)?;
@@ -189,10 +189,7 @@ mod tests {
     fn dereference_chain_builds_selects() {
         let v = value("t.c.d");
         let inner = Term::select(Term::store(), Term::var("t"), Term::attr("c"));
-        assert_eq!(
-            v.term,
-            Term::select(Term::store(), inner.clone(), Term::attr("d"))
-        );
+        assert_eq!(v.term, Term::select(Term::store(), inner, Term::attr("d")));
         // Two dereferences, two definedness conditions.
         assert_eq!(v.defined.len(), 2);
         assert_eq!(v.defined[0], Formula::neq(Term::var("t"), Term::null()));

@@ -252,8 +252,8 @@ impl<'s> VcGen<'s> {
             let (obj, attr) = entry.location(&Term::store0());
             hypotheses.push(Formula::Atom(Atom::Inc {
                 store: Term::store0(),
-                obj: obj.clone(),
-                attr: attr.clone(),
+                obj,
+                attr,
                 obj2: obj,
                 attr2: attr,
             }));
@@ -267,7 +267,7 @@ impl<'s> VcGen<'s> {
                     &mut self.fresh,
                 ));
             }
-            hypotheses.push(Formula::Atom(Atom::Alive(Term::store0(), p.clone())));
+            hypotheses.push(Formula::Atom(Atom::Alive(Term::store0(), *p)));
         }
 
         let body = info.body.desugared();
@@ -363,8 +363,7 @@ impl<'s> VcGen<'s> {
                     ),
                     w.modifiable(&b.term, &attr_term, &Term::store0()),
                 );
-                let updated =
-                    Term::update(Term::store(), b.term.clone(), attr_term, r.term.clone());
+                let updated = Term::update(Term::store(), b.term, attr_term, r.term);
                 let subst = q.subst(&[(oolong_logic::STORE.into(), updated)]);
                 let defined: Vec<Formula> = b.defined.into_iter().chain(r.defined).collect();
                 let mut defined_with_target = defined;
@@ -385,12 +384,7 @@ impl<'s> VcGen<'s> {
                     "slot write not covered by modifies list",
                     w.modifiable(&b.term, &idx.term, &Term::store0()),
                 );
-                let updated = Term::update(
-                    Term::store(),
-                    b.term.clone(),
-                    idx.term.clone(),
-                    r.term.clone(),
-                );
+                let updated = Term::update(Term::store(), b.term, idx.term, r.term);
                 let subst = q.subst(&[(oolong_logic::STORE.into(), updated)]);
                 let mut defined: Vec<Formula> = b
                     .defined
@@ -439,7 +433,7 @@ impl<'s> VcGen<'s> {
                 );
                 let updated = Term::update(
                     Term::succ(Term::store()),
-                    b.term.clone(),
+                    b.term,
                     attr_term,
                     Term::new_obj(Term::store()),
                 );
@@ -462,8 +456,8 @@ impl<'s> VcGen<'s> {
                 );
                 let updated = Term::update(
                     Term::succ(Term::store()),
-                    b.term.clone(),
-                    idx.term.clone(),
+                    b.term,
+                    idx.term,
                     Term::new_obj(Term::store()),
                 );
                 let subst = q.subst(&[(oolong_logic::STORE.into(), updated)]);
@@ -510,7 +504,7 @@ impl<'s> VcGen<'s> {
         for (s, arg) in si_terms.iter().zip(args.iter()) {
             let a = tr_value(arg, &Term::store())?;
             defined.extend(a.defined);
-            equalities.push(Formula::eq(s.clone(), a.term));
+            equalities.push(Formula::eq(*s, a.term));
         }
         // ws: the callee's modifies list with formals replaced by sᵢ.
         let ws = ModList::new(self.scope, &callee.modifies, &si_terms);
@@ -551,37 +545,35 @@ impl<'s> VcGen<'s> {
 
         // Frame: ∀$' :: alive-monotone ∧ per-location change license ⇒ Q[$ := $'].
         let post_store = self.fresh.fresh("post");
-        let post = Term::var(post_store.clone());
+        let post = Term::var(post_store);
         let frame = {
             let xv = self.fresh.fresh("frX");
-            let alive_pre = Atom::Alive(Term::store(), Term::var(xv.clone()));
-            let alive_post = Atom::Alive(post.clone(), Term::var(xv.clone()));
+            let alive_pre = Atom::Alive(Term::store(), Term::var(xv));
+            let alive_post = Atom::Alive(post, Term::var(xv));
             let alive_mono = Formula::forall(
                 vec![xv],
                 vec![
-                    Trigger(vec![Pattern::Atom(alive_pre.clone())]),
-                    Trigger(vec![Pattern::Atom(alive_post.clone())]),
+                    Trigger(vec![Pattern::Atom(alive_pre)]),
+                    Trigger(vec![Pattern::Atom(alive_post)]),
                 ],
                 Formula::implies(Formula::Atom(alive_pre), Formula::Atom(alive_post)),
             );
             let xv2 = self.fresh.fresh("frX");
             let fv = self.fresh.fresh("frF");
-            let pre_read =
-                Term::select(Term::store(), Term::var(xv2.clone()), Term::var(fv.clone()));
-            let post_read =
-                Term::select(post.clone(), Term::var(xv2.clone()), Term::var(fv.clone()));
+            let pre_read = Term::select(Term::store(), Term::var(xv2), Term::var(fv));
+            let post_read = Term::select(post, Term::var(xv2), Term::var(fv));
             let change_licensed = Formula::forall(
-                vec![xv2.clone(), fv.clone()],
+                vec![xv2, fv],
                 vec![
-                    Trigger(vec![Pattern::Term(pre_read.clone())]),
-                    Trigger(vec![Pattern::Term(post_read.clone())]),
+                    Trigger(vec![Pattern::Term(pre_read)]),
+                    Trigger(vec![Pattern::Term(post_read)]),
                 ],
                 Formula::or(vec![
                     Formula::eq(pre_read, post_read),
                     ws.modifiable(&Term::var(xv2), &Term::var(fv), &Term::store()),
                 ]),
             );
-            let q_post = q.subst(&[(oolong_logic::STORE.into(), post.clone())]);
+            let q_post = q.subst(&[(oolong_logic::STORE.into(), post)]);
             Formula::forall(
                 vec![post_store],
                 vec![],

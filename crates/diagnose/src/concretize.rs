@@ -126,11 +126,10 @@ pub fn concretize(scope: &Scope, model: &CandidateModel, params: &[String]) -> P
     let args = params
         .iter()
         .map(|p| {
-            model.classes.iter().position(|c| {
-                c.members
-                    .iter()
-                    .any(|m| m.is_var(p))
-            })
+            model
+                .classes
+                .iter()
+                .position(|c| c.members.iter().any(|m| m.is_var(p)))
         })
         .collect();
 
@@ -166,16 +165,10 @@ mod tests {
         let model = CandidateModel {
             labels: vec![],
             classes: vec![
-                class(
-                    vec![Term::var(STORE0), Term::var(STORE)],
-                    None,
-                ),
+                class(vec![Term::var(STORE0), Term::var(STORE)], None),
                 class(vec![Term::var("t")], None),
                 class(vec![Term::int(3)], Some(Cst::Int(3))),
-                class(
-                    vec![Term::attr("f")],
-                    Some(Cst::Attr(Symbol::intern("f"))),
-                ),
+                class(vec![Term::attr("f")], Some(Cst::Attr(Symbol::intern("f")))),
             ],
             selects: vec![ModelSelect {
                 store: 0,

@@ -216,7 +216,7 @@ impl CachedVerdict {
         }
     }
 
-    fn to_json(&self, fingerprint: Fingerprint) -> Json {
+    pub(crate) fn to_json(&self, fingerprint: Fingerprint) -> Json {
         Json::Object(vec![
             (
                 "version".to_string(),
@@ -262,7 +262,7 @@ impl CachedVerdict {
         ])
     }
 
-    fn from_json(value: &Json) -> Option<(Fingerprint, CachedVerdict)> {
+    pub(crate) fn from_json(value: &Json) -> Option<(Fingerprint, CachedVerdict)> {
         if value.get("version")?.as_u64()? != CACHE_FORMAT_VERSION {
             return None;
         }

@@ -10,16 +10,18 @@
 //! cache-aware. Results and events are reassembled in obligation order, so
 //! a batch report is deterministic regardless of thread interleaving.
 
-use crate::cache::{CachedOutcome, CachedVerdict, VerdictCache};
+use crate::cache::{CachedOutcome, CachedVerdict};
 use crate::diagjson::{diagnosis_to_json, label_to_json};
 use crate::events::{render_jsonl, Event};
 use crate::fingerprint::{fingerprint_vc, Fingerprint};
 use crate::json::Json;
+use crate::store::{TieredStore, VerdictStore, DEFAULT_MEMORY_CAPACITY};
 use datagroups::{CheckOptions, Checker, Report, Verdict};
 use oolong_diagnose::{diagnose_refutation, diagnose_restriction, Diagnosis};
 use oolong_syntax::parse_program;
 use std::io;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration for an [`Engine`].
@@ -221,33 +223,43 @@ struct TaskOutcome {
     prover_call: bool,
 }
 
-/// The incremental verification engine: a verdict cache plus a batch
+/// The incremental verification engine: a verdict store plus a batch
 /// scheduler.
 #[derive(Debug)]
 pub struct Engine {
     options: EngineOptions,
-    cache: VerdictCache,
+    store: Arc<dyn VerdictStore>,
 }
 
 impl Engine {
-    /// Creates an engine, loading the persistent cache when
-    /// `options.cache_dir` is set.
+    /// Creates an engine over a private [`TieredStore`]: a bounded
+    /// in-memory LRU tier, backed by a lazy on-disk tier when
+    /// `options.cache_dir` is set. Opening is O(1) — entries are read
+    /// on demand, one file per lookup, never scanned up front.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the cache directory cannot be created or
-    /// scanned.
+    /// Returns the I/O error if the cache directory cannot be created.
     pub fn new(options: EngineOptions) -> io::Result<Engine> {
-        let cache = match &options.cache_dir {
-            Some(dir) => VerdictCache::at_dir(dir)?,
-            None => VerdictCache::in_memory(),
+        let store: Arc<dyn VerdictStore> = match &options.cache_dir {
+            Some(dir) => Arc::new(TieredStore::at_dir(dir, DEFAULT_MEMORY_CAPACITY)?),
+            None => Arc::new(TieredStore::in_memory(DEFAULT_MEMORY_CAPACITY)),
         };
-        Ok(Engine { options, cache })
+        Ok(Engine { options, store })
     }
 
-    /// The engine's verdict cache.
-    pub fn cache(&self) -> &VerdictCache {
-        &self.cache
+    /// Creates an engine over a shared store handle. This is the resident
+    /// shape: a long-lived process opens its cache once, then builds one
+    /// cheap `Engine` per request (each request may carry its own prover
+    /// budget) against the same store. `options.cache_dir` is ignored —
+    /// the store already decided where it persists.
+    pub fn with_store(options: EngineOptions, store: Arc<dyn VerdictStore>) -> Engine {
+        Engine { options, store }
+    }
+
+    /// The engine's verdict store.
+    pub fn store(&self) -> &Arc<dyn VerdictStore> {
+        &self.store
     }
 
     /// The engine's configuration.
@@ -463,7 +475,7 @@ impl Engine {
         // A hit that predates diagnosis (or was cached with diagnosis off)
         // cannot serve an `--explain` run: the candidate model needed to
         // build a diagnosis is not cached, so re-prove instead.
-        let hit = self.cache.get(fingerprint).filter(|hit| {
+        let hit = self.store.get(fingerprint).filter(|hit| {
             !(self.options.diagnose
                 && hit.outcome == CachedOutcome::NotProved
                 && hit.diagnosis.is_none())
@@ -506,7 +518,7 @@ impl Engine {
         };
         let millis = start.elapsed().as_secs_f64() * 1_000.0;
         if let Some(entry) = CachedVerdict::from_verdict(&proc_name, &verdict, diagnosis.as_ref()) {
-            self.cache.insert(fingerprint, entry);
+            self.store.put(fingerprint, entry);
         }
         let terminal = match &verdict {
             Verdict::Verified(stats) => Event::Verified {

@@ -334,6 +334,71 @@ pub fn render_jsonl(events: &[Event]) -> String {
     out
 }
 
+/// A durable streaming JSONL event writer.
+///
+/// Every [`write`](EventLogWriter::write) renders one event line and
+/// flushes it to the OS before returning, so a request aborted mid-flight
+/// (client disconnect, worker panic, process kill between requests) leaves
+/// every event it had produced on disk — the log is never sitting in a
+/// userspace buffer. Dropping the writer flushes again as a backstop for
+/// any future buffered path.
+#[derive(Debug)]
+pub struct EventLogWriter {
+    out: std::io::BufWriter<std::fs::File>,
+    path: std::path::PathBuf,
+}
+
+impl EventLogWriter {
+    /// Creates (truncating) the log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn create(path: &std::path::Path) -> std::io::Result<EventLogWriter> {
+        Ok(EventLogWriter {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Appends one event line and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the line cannot be written or flushed.
+    pub fn write(&mut self, event: &Event) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut line = event.to_json().render();
+        line.push('\n');
+        self.out.write_all(line.as_bytes())?;
+        self.out.flush()
+    }
+
+    /// Appends a batch of events, flushing after each line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered.
+    pub fn write_all(&mut self, events: &[Event]) -> std::io::Result<()> {
+        for event in events {
+            self.write(event)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for EventLogWriter {
+    fn drop(&mut self) {
+        use std::io::Write as _;
+        let _ = self.out.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -272,13 +272,17 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid utf-8"))?;
-                    let c = s.chars().next().expect("peeked nonempty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy the maximal run up to the next quote or escape
+                    // in one step, validating UTF-8 once per run — not
+                    // once per character over the whole remaining input,
+                    // which made large documents parse quadratically.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    out.push_str(run);
                 }
             }
         }

@@ -57,6 +57,7 @@ pub mod engine;
 pub mod events;
 pub mod fingerprint;
 pub mod json;
+pub mod store;
 
 pub use cache::{
     stats_from_json, stats_to_json, CachedOutcome, CachedVerdict, VerdictCache,
@@ -66,6 +67,9 @@ pub use diagjson::{diagnosis_from_json, diagnosis_to_json, label_from_json, labe
 pub use engine::{
     unit_report, BatchReport, BatchUnit, Engine, EngineOptions, ObligationReport, UnitError,
 };
-pub use events::{render_jsonl, Event};
+pub use events::{render_jsonl, Event, EventLogWriter};
 pub use fingerprint::{fingerprint_vc, Fingerprint, FINGERPRINT_VERSION};
 pub use json::{Json, JsonError};
+pub use store::{
+    DiskTier, MemoryTier, StoreMetrics, TieredStore, VerdictStore, DEFAULT_MEMORY_CAPACITY,
+};

@@ -440,9 +440,7 @@ impl Formula {
             Formula::False => Formula::False,
             Formula::Atom(a) => Formula::Atom(a.subst_memo(map, memo)),
             Formula::Not(p) => Formula::Not(Box::new(p.subst_memo(map, memo))),
-            Formula::And(ps) => {
-                Formula::And(ps.iter().map(|p| p.subst_memo(map, memo)).collect())
-            }
+            Formula::And(ps) => Formula::And(ps.iter().map(|p| p.subst_memo(map, memo)).collect()),
             Formula::Or(ps) => Formula::Or(ps.iter().map(|p| p.subst_memo(map, memo)).collect()),
             Formula::Implies(p, q) => Formula::Implies(
                 Box::new(p.subst_memo(map, memo)),
@@ -471,11 +469,7 @@ impl Formula {
                     )
                 } else {
                     let triggers = subst_triggers(triggers, map, memo);
-                    Formula::Forall(
-                        vars.clone(),
-                        triggers,
-                        Box::new(body.subst_memo(map, memo)),
-                    )
+                    Formula::Forall(vars.clone(), triggers, Box::new(body.subst_memo(map, memo)))
                 }
             }
             Formula::Exists(vars, triggers, body) => {
@@ -495,11 +489,7 @@ impl Formula {
                     )
                 } else {
                     let triggers = subst_triggers(triggers, map, memo);
-                    Formula::Exists(
-                        vars.clone(),
-                        triggers,
-                        Box::new(body.subst_memo(map, memo)),
-                    )
+                    Formula::Exists(vars.clone(), triggers, Box::new(body.subst_memo(map, memo)))
                 }
             }
             Formula::Labeled(id, body) => {

@@ -98,7 +98,9 @@ impl Symbol {
         let mut page = store.pages[page_idx].load(Ordering::Acquire);
         if page.is_null() {
             let fresh: Box<SymPage> =
-                Box::new(std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())));
+                Box::new(std::array::from_fn(
+                    |_| AtomicPtr::new(std::ptr::null_mut()),
+                ));
             page = Box::into_raw(fresh);
             // Only one writer holds the dedup lock, so a plain store is
             // race-free against other writers; Release pairs with reader
@@ -255,7 +257,9 @@ pub(crate) fn intern_term(node: TermNode) -> Term {
     let mut page = store.pages[page_idx].load(Ordering::Acquire);
     if page.is_null() {
         let fresh: Box<TermPage> =
-            Box::new(std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())));
+            Box::new(std::array::from_fn(
+                |_| AtomicPtr::new(std::ptr::null_mut()),
+            ));
         page = Box::into_raw(fresh);
         store.pages[page_idx].store(page, Ordering::Release);
     }

@@ -423,10 +423,7 @@ mod tests {
     fn substitution_is_simultaneous() {
         // x := y, y := x swaps.
         let t = Term::add(Term::var("x"), Term::var("y"));
-        let swapped = t.subst(&[
-            ("x".into(), Term::var("y")),
-            ("y".into(), Term::var("x")),
-        ]);
+        let swapped = t.subst(&[("x".into(), Term::var("y")), ("y".into(), Term::var("x"))]);
         assert_eq!(swapped, Term::add(Term::var("y"), Term::var("x")));
     }
 

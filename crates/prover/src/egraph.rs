@@ -338,7 +338,7 @@ impl EGraph {
                 // unwound, so the children canonicalize to the same
                 // representatives as when `add` built the signature.
                 let canon: Vec<NodeId> = node.children.iter().map(|&c| self.find(c)).collect();
-                let removed = self.sig_table.remove(&(node.sym.clone(), canon));
+                let removed = self.sig_table.remove(&(node.sym, canon));
                 debug_assert_eq!(removed, Some(id));
                 if let Some(ids) = self.by_sym.get_mut(&node.sym) {
                     ids.pop();
@@ -385,7 +385,7 @@ impl EGraph {
                 // canonical signature reproduces the inserted key.
                 let n = &self.nodes[node as usize];
                 let key = (
-                    n.sym.clone(),
+                    n.sym,
                     n.children.iter().map(|&c| self.find(c)).collect::<Vec<_>>(),
                 );
                 let removed = self.sig_table.remove(&key);
@@ -601,13 +601,13 @@ impl EGraph {
 
     fn add(&mut self, sym: Sym, children: Vec<NodeId>) -> Result<NodeId, Conflict> {
         let canon: Vec<NodeId> = children.iter().map(|&c| self.find(c)).collect();
-        let key = (sym.clone(), canon);
+        let key = (sym, canon);
         if let Some(&existing) = self.sig_table.get(&key) {
             return Ok(existing);
         }
         let id = self.nodes.len() as NodeId;
         self.nodes.push(Node {
-            sym: sym.clone(),
+            sym,
             children: children.clone(),
         });
         self.parent.push(id);
@@ -618,7 +618,7 @@ impl EGraph {
         // Interpreted constants are always generation 0: reaching `3` via a
         // deep instantiation does not make `3` expensive.
         if let Sym::Lit(c) = &sym {
-            data.value = Some(c.clone());
+            data.value = Some(*c);
             data.gen = 0;
         }
         data.nodes.push(id);
@@ -655,8 +655,8 @@ impl EGraph {
                 continue;
             }
             // Conflict checks.
-            let va = self.classes[&ra].value.clone();
-            let vb = self.classes[&rb].value.clone();
+            let va = self.classes[&ra].value;
+            let vb = self.classes[&rb].value;
             if let (Some(x), Some(y)) = (&va, &vb) {
                 if x != y {
                     return Err(Conflict(format!(
@@ -692,7 +692,7 @@ impl EGraph {
                 big_parents_len = big_data.parents.len();
                 let value_taken = big_data.value.is_none() && small_data.value.is_some();
                 if big_data.value.is_none() {
-                    big_data.value = small_data.value.clone();
+                    big_data.value = small_data.value;
                 }
                 big_data.gen = big_data.gen.min(small_data.gen);
                 big_data.nodes.extend_from_slice(&small_data.nodes);
@@ -718,7 +718,7 @@ impl EGraph {
                 let p = self.classes[&big].parents[big_parents_len + k];
                 let node = &self.nodes[p as usize];
                 let key = (
-                    node.sym.clone(),
+                    node.sym,
                     node.children
                         .iter()
                         .map(|&c| self.find(c))

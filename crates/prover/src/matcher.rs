@@ -373,14 +373,14 @@ fn term_of_rec(
     let Some(m) = best else {
         let name = format!("@class{root}");
         let t = Term::var(name);
-        aliases.push((t.clone(), root));
+        aliases.push((t, root));
         return t;
     };
     if !visiting.insert(root) {
         // Cycle: introduce a definitional alias for this class.
         let name = format!("@class{root}");
         let t = Term::var(name);
-        aliases.push((t.clone(), root));
+        aliases.push((t, root));
         return t;
     }
     let node = eg.node(m).clone();

@@ -1538,8 +1538,7 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                 if meta.recent.len() == CHAIN_LEN {
                     meta.recent.remove(0);
                 }
-                meta.recent
-                    .push(map.iter().map(|(_, t)| t.clone()).collect());
+                meta.recent.push(map.iter().map(|(_, t)| *t).collect());
                 if shared.stats.instances >= shared.budget.max_instances {
                     shared.fuel.get_or_insert(UnknownReason::Instances);
                     return PassResult::Fuel;

@@ -234,7 +234,9 @@ fn collect_term(
     out: &mut Vec<(Pattern, Vec<Symbol>, usize)>,
 ) {
     term.walk(&mut |sub| {
-        let TermNode::App(f, _) = sub.node() else { return };
+        let TermNode::App(f, _) = sub.node() else {
+            return;
+        };
         if matches!(f, FnSym::Add | FnSym::Sub | FnSym::Mul | FnSym::Neg) {
             return; // arithmetic heads make poor triggers
         }

@@ -30,4 +30,5 @@ pub use oolong_interp as interp;
 pub use oolong_logic as logic;
 pub use oolong_prover as prover;
 pub use oolong_sema as sema;
+pub use oolong_serve as serve;
 pub use oolong_syntax as syntax;

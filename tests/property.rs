@@ -445,20 +445,20 @@ fn apply_trail_ops(
         let n = pool.len();
         match kind % 5 {
             0 => {
-                let t = Term::uninterp("f", vec![pool[i % n].clone()]);
+                let t = Term::uninterp("f", vec![pool[i % n]]);
                 let Ok(id) = eg.intern(&t) else { return };
                 pool.push(t);
                 ids.push(id);
             }
             1 => {
-                let t = Term::uninterp("g", vec![pool[i % n].clone(), pool[j % n].clone()]);
+                let t = Term::uninterp("g", vec![pool[i % n], pool[j % n]]);
                 let Ok(id) = eg.intern(&t) else { return };
                 pool.push(t);
                 ids.push(id);
             }
             2 => {
                 // Sums engage the eager arithmetic evaluator.
-                let t = Term::add(pool[i % n].clone(), pool[j % n].clone());
+                let t = Term::add(pool[i % n], pool[j % n]);
                 let Ok(id) = eg.intern(&t) else { return };
                 pool.push(t);
                 ids.push(id);
@@ -559,7 +559,7 @@ proptest! {
 
 // ------------------------------------------------------ hash-consed terms
 
-use oolong::logic::{Cst, FnSym, TermNode};
+use oolong::logic::{Cst, TermNode};
 
 fn arb_term() -> impl Strategy<Value = Term> {
     let leaf = prop_oneof![
@@ -584,8 +584,7 @@ fn arb_term() -> impl Strategy<Value = Term> {
                 .prop_map(|(s, x, a)| Term::select(s, x, a)),
             (inner.clone(), inner.clone(), inner.clone(), inner.clone())
                 .prop_map(|(s, x, a, v)| Term::update(s, x, a, v)),
-            proptest::collection::vec(inner, 1..3)
-                .prop_map(|args| Term::uninterp("fn1", args)),
+            proptest::collection::vec(inner, 1..3).prop_map(|args| Term::uninterp("fn1", args)),
         ]
     })
 }
@@ -827,7 +826,9 @@ fn interned_payloads_are_not_built_from_raw_strings() {
             let text = std::fs::read_to_string(&path).expect("readable source");
             for (lineno, line) in text.lines().enumerate() {
                 for needle in ["FnSym::Uninterp(", "Cst::Attr("] {
-                    let Some(at) = line.find(needle) else { continue };
+                    let Some(at) = line.find(needle) else {
+                        continue;
+                    };
                     let tail = &line[at + needle.len()..];
                     // Only the constructor's argument span matters; text
                     // past the closing paren belongs to the surrounding

@@ -57,13 +57,14 @@ fn usage() -> String {
     "usage:
   oolong check   <file|corpus:NAME> [--modular] [--naive] [--null-checks] [--explain]
                  [--explain-unknown] [--json] [--max-instances N] [--max-gen N]
-                 [--clone-search]
+                 [--clone-search] [--no-share-contexts] [--no-slice-axioms]
   oolong explain <file|corpus:NAME> [--proc NAME] [--cache-dir DIR] [--json]
                  [--naive] [--null-checks] [--max-instances N] [--max-gen N]
                  [--clone-search]
   oolong batch   <files|corpus:NAMEs...> [--cache-dir DIR] [--no-cache] [--workers N]
                  [--events PATH] [--json] [--naive] [--null-checks]
                  [--max-instances N] [--max-gen N] [--clone-search]
+                 [--no-share-contexts] [--no-slice-axioms]
   oolong recheck [--cache-dir DIR] [--events PATH] [--json]
   oolong serve   --socket PATH [--cache-dir DIR] [--no-cache] [--workers N] [--queue N]
                  [--mem-cap N] [--events PATH] [--json-log] [--quiet] [--naive]
@@ -72,7 +73,8 @@ fn usage() -> String {
   oolong run     <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
   oolong vc      <file|corpus:NAME> [--proc NAME]
   oolong stats   <file|corpus:NAME> [--json] [--naive] [--null-checks]
-                 [--max-instances N] [--max-gen N]
+                 [--max-instances N] [--max-gen N] [--no-share-contexts]
+                 [--no-slice-axioms]
   oolong corpus
   oolong experiments"
         .to_string()
@@ -181,6 +183,12 @@ fn check_options(args: &[String]) -> Result<CheckOptions, String> {
     }
     if flag(args, "--clone-search") {
         options.strategy = SearchStrategy::CloneSearch;
+    }
+    if flag(args, "--no-share-contexts") {
+        options.share_contexts = false;
+    }
+    if flag(args, "--no-slice-axioms") {
+        options.slice_axioms = false;
     }
     Ok(options)
 }
@@ -853,6 +861,10 @@ fn prover_metrics_json(metrics: &datagroups::ProverMetrics) -> Json {
         (
             "trail_depth_max".to_string(),
             Json::Int(metrics.trail_depth_max as i64),
+        ),
+        (
+            "sliced_axioms".to_string(),
+            Json::Int(metrics.sliced_axioms as i64),
         ),
         (
             "by_kind".to_string(),

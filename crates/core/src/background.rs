@@ -38,38 +38,86 @@ pub fn universal_background(
     arrays: bool,
     fresh: &mut FreshGen,
 ) -> Vec<Formula> {
-    let mut axioms = vec![
-        select_update_same(fresh),
-        select_update_other(fresh),
-        new_unallocated(fresh),
-        succ_allocates_new(fresh),
-        succ_alive_iff(fresh),
-        succ_preserves_select(fresh),
-        update_preserves_alive(fresh),
-        null_is_alive(fresh),
-        reads_are_alive_or_null(fresh),
-        inclusion_connection(arrays, fresh),
-        inc_transitive(fresh),
-        succ_preserves_inc(fresh),
-        local_inc_reflexive(fresh),
+    universal_background_named(alias_restrictions, arrays, fresh)
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect()
+}
+
+/// [`universal_background`] with a stable name attached to every axiom, so
+/// slicing decisions, telemetry, and the slicing-soundness witness corpus
+/// can refer to axioms by name instead of by position.
+pub fn universal_background_named(
+    alias_restrictions: bool,
+    arrays: bool,
+    fresh: &mut FreshGen,
+) -> Vec<(String, Formula)> {
+    let mut axioms: Vec<(&'static str, Formula)> = vec![
+        ("select-update-same", select_update_same(fresh)),
+        ("select-update-other", select_update_other(fresh)),
+        ("new-unallocated", new_unallocated(fresh)),
+        ("succ-allocates-new", succ_allocates_new(fresh)),
+        ("succ-alive-iff", succ_alive_iff(fresh)),
+        ("succ-preserves-select", succ_preserves_select(fresh)),
+        ("update-preserves-alive", update_preserves_alive(fresh)),
+        ("null-is-alive", null_is_alive(fresh)),
+        ("reads-are-alive-or-null", reads_are_alive_or_null(fresh)),
+        ("inclusion-connection", inclusion_connection(arrays, fresh)),
+        ("inc-transitive", inc_transitive(fresh)),
+        ("succ-preserves-inc", succ_preserves_inc(fresh)),
+        ("local-inc-reflexive", local_inc_reflexive(fresh)),
+        (
+            "fresh-objects-are-objects",
+            fresh_objects_are_objects(fresh),
+        ),
     ];
-    axioms.push(fresh_objects_are_objects(fresh));
     if arrays {
-        axioms.push(comparisons_are_ints(fresh));
+        axioms.push(("comparisons-are-ints", comparisons_are_ints(fresh)));
     }
     if alias_restrictions {
-        axioms.push(pivot_uniqueness(fresh));
-        axioms.push(owner_acyclicity(fresh));
-        axioms.push(pivot_values_are_objects(fresh));
+        axioms.push(("pivot-uniqueness", pivot_uniqueness(fresh)));
+        axioms.push(("owner-acyclicity", owner_acyclicity(fresh)));
+        axioms.push(("pivot-values-are-objects", pivot_values_are_objects(fresh)));
         if arrays {
-            axioms.push(slot_uniqueness(fresh));
-            axioms.push(slot_values_are_objects(fresh));
-            axioms.push(owner_acyclicity_elem_array(fresh));
-            axioms.push(owner_acyclicity_element(fresh));
-            axioms.push(elem_pivot_uniqueness(fresh));
-            axioms.push(elem_pivot_values_are_objects(fresh));
-            axioms.push(pivots_are_attributes(fresh));
+            axioms.push(("slot-uniqueness", slot_uniqueness(fresh)));
+            axioms.push(("slot-values-are-objects", slot_values_are_objects(fresh)));
+            axioms.push((
+                "owner-acyclicity-elem-array",
+                owner_acyclicity_elem_array(fresh),
+            ));
+            axioms.push(("owner-acyclicity-element", owner_acyclicity_element(fresh)));
+            axioms.push(("elem-pivot-uniqueness", elem_pivot_uniqueness(fresh)));
+            axioms.push((
+                "elem-pivot-values-are-objects",
+                elem_pivot_values_are_objects(fresh),
+            ));
+            axioms.push(("pivots-are-attributes", pivots_are_attributes(fresh)));
         }
+    }
+    axioms
+        .into_iter()
+        .map(|(name, f)| (name.to_string(), f))
+        .collect()
+}
+
+/// The complete background a verification condition asserts for `scope`,
+/// in assertion order, with stable axiom names: the universal background,
+/// then the scope-dependent background, then — when `alias_restrictions`
+/// is off, i.e. for the naive baseline — the closed-world additions.
+///
+/// `vc_for_impl` builds `Vc::hypotheses[..background_hyps]` from exactly
+/// this list in exactly this order, so the names here index the VC's
+/// background hypotheses one-for-one.
+pub fn named_background(
+    scope: &Scope,
+    alias_restrictions: bool,
+    arrays: bool,
+    fresh: &mut FreshGen,
+) -> Vec<(String, Formula)> {
+    let mut axioms = universal_background_named(alias_restrictions, arrays, fresh);
+    axioms.extend(scope_background_named(scope, fresh));
+    if !alias_restrictions {
+        axioms.extend(closed_world_background_named(scope, fresh));
     }
     axioms
 }
@@ -81,6 +129,17 @@ pub fn universal_background(
 /// `q` (§3.0) checkable in the small scope, and then fails scope
 /// monotonicity the moment the pivot declaration comes into view.
 pub fn closed_world_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formula> {
+    closed_world_background_named(scope, fresh)
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect()
+}
+
+/// [`closed_world_background`] with stable axiom names.
+pub fn closed_world_background_named(
+    scope: &Scope,
+    fresh: &mut FreshGen,
+) -> Vec<(String, Formula)> {
     let mut axioms = Vec::new();
 
     // ∀A,F,B :: A →F B ⇒ ⋁ declared triples.
@@ -102,10 +161,13 @@ pub fn closed_world_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formu
                 ])
             })
             .collect();
-        axioms.push(Formula::forall(
-            vec![av, fv, bv],
-            vec![Trigger(vec![Pattern::Atom(atom)])],
-            Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+        axioms.push((
+            "closed-world-rep".to_string(),
+            Formula::forall(
+                vec![av, fv, bv],
+                vec![Trigger(vec![Pattern::Atom(atom)])],
+                Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+            ),
         ));
     }
 
@@ -122,10 +184,13 @@ pub fn closed_world_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formu
                 ]));
             }
         }
-        axioms.push(Formula::forall(
-            vec![gv, av],
-            vec![Trigger(vec![Pattern::Atom(atom)])],
-            Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+        axioms.push((
+            "closed-world-local".to_string(),
+            Formula::forall(
+                vec![gv, av],
+                vec![Trigger(vec![Pattern::Atom(atom)])],
+                Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+            ),
         ));
     }
 
@@ -134,17 +199,30 @@ pub fn closed_world_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formu
 
 /// Generates the scope-dependent background predicate `BP_D`.
 pub fn scope_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formula> {
+    scope_background_named(scope, fresh)
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect()
+}
+
+/// [`scope_background`] with stable axiom names (parameterized by the
+/// declared attribute names involved).
+pub fn scope_background_named(scope: &Scope, fresh: &mut FreshGen) -> Vec<(String, Formula)> {
     let mut axioms = Vec::new();
 
     for (attr_id, info) in scope.attrs() {
         let a = Term::attr(info.name.clone());
         // Ground reflexivity and the declared transitive enclosing groups.
-        axioms.push(Formula::Atom(Atom::LocalInc(a, a)));
+        axioms.push((
+            format!("local-inc-refl:{}", info.name),
+            Formula::Atom(Atom::LocalInc(a, a)),
+        ));
         for &g in scope.enclosing_groups(attr_id) {
-            axioms.push(Formula::Atom(Atom::LocalInc(
-                Term::attr(scope.attr_info(g).name.clone()),
-                a,
-            )));
+            let g_name = &scope.attr_info(g).name;
+            axioms.push((
+                format!("local-inc:{}>{}", g_name, info.name),
+                Formula::Atom(Atom::LocalInc(Term::attr(g_name.clone()), a)),
+            ));
         }
         // Enumeration axiom for ⊒ into this attribute:
         //   ∀G :: G ⊒ a ⇔ (G = a ∨ G = g₁ ∨ … ∨ G = gₙ).
@@ -157,10 +235,13 @@ pub fn scope_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formula> {
             ));
         }
         let atom = Atom::LocalInc(Term::var(gv), a);
-        axioms.push(Formula::forall(
-            vec![gv],
-            vec![Trigger(vec![Pattern::Atom(atom)])],
-            Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
+        axioms.push((
+            format!("local-inc-enum:{}", info.name),
+            Formula::forall(
+                vec![gv],
+                vec![Trigger(vec![Pattern::Atom(atom)])],
+                Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
+            ),
         ));
 
         if info.kind == AttrKind::Field {
@@ -170,19 +251,35 @@ pub fn scope_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formula> {
 
     // Ground rep-inclusion facts a →f b for every declared triple.
     for (g, f, b) in scope.rep_triples() {
-        axioms.push(Formula::Atom(Atom::RepInc {
-            group: Term::attr(scope.attr_info(g).name.clone()),
-            pivot: Term::attr(scope.attr_info(f).name.clone()),
-            mapped: Term::attr(scope.attr_info(b).name.clone()),
-        }));
+        let (g_name, f_name, b_name) = (
+            &scope.attr_info(g).name,
+            &scope.attr_info(f).name,
+            &scope.attr_info(b).name,
+        );
+        axioms.push((
+            format!("rep:{g_name}-{f_name}>{b_name}"),
+            Formula::Atom(Atom::RepInc {
+                group: Term::attr(g_name.clone()),
+                pivot: Term::attr(f_name.clone()),
+                mapped: Term::attr(b_name.clone()),
+            }),
+        ));
     }
     // Ground elementwise facts a ⇉f b (array dependencies).
     for (g, f, b) in scope.rep_elem_triples() {
-        axioms.push(Formula::Atom(Atom::RepIncElem {
-            group: Term::attr(scope.attr_info(g).name.clone()),
-            pivot: Term::attr(scope.attr_info(f).name.clone()),
-            mapped: Term::attr(scope.attr_info(b).name.clone()),
-        }));
+        let (g_name, f_name, b_name) = (
+            &scope.attr_info(g).name,
+            &scope.attr_info(f).name,
+            &scope.attr_info(b).name,
+        );
+        axioms.push((
+            format!("rep-elem:{g_name}-{f_name}>{b_name}"),
+            Formula::Atom(Atom::RepIncElem {
+                group: Term::attr(g_name.clone()),
+                pivot: Term::attr(f_name.clone()),
+                mapped: Term::attr(b_name.clone()),
+            }),
+        ));
     }
 
     axioms
@@ -193,8 +290,9 @@ fn field_rep_axioms(
     field: oolong_sema::AttrId,
     f: &Term,
     fresh: &mut FreshGen,
-) -> Vec<Formula> {
+) -> Vec<(String, Formula)> {
     let mut axioms = Vec::new();
+    let field_name = &scope.attr_info(field).name;
     let mapped = scope.mapped_attrs(field);
     axioms.extend(field_rep_elem_axioms(scope, field, f, fresh));
 
@@ -211,10 +309,13 @@ fn field_rep_axioms(
             .iter()
             .map(|&b| Formula::eq(Term::var(bv), Term::attr(scope.attr_info(b).name.clone())))
             .collect();
-        axioms.push(Formula::forall(
-            vec![av, bv],
-            vec![Trigger(vec![Pattern::Atom(atom)])],
-            Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+        axioms.push((
+            format!("rep-range:{field_name}"),
+            Formula::forall(
+                vec![av, bv],
+                vec![Trigger(vec![Pattern::Atom(atom)])],
+                Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+            ),
         ));
     }
 
@@ -222,7 +323,8 @@ fn field_rep_axioms(
     //   ∀A :: A →f b ⇔ (A = a₁ ∨ … ∨ A = aₙ).
     for &b in &mapped {
         let av = fresh.fresh("bgA");
-        let b_term = Term::attr(scope.attr_info(b).name.clone());
+        let b_name = &scope.attr_info(b).name;
+        let b_term = Term::attr(b_name.clone());
         let atom = Atom::RepInc {
             group: Term::var(av),
             pivot: *f,
@@ -233,10 +335,13 @@ fn field_rep_axioms(
             .iter()
             .map(|&a| Formula::eq(Term::var(av), Term::attr(scope.attr_info(a).name.clone())))
             .collect();
-        axioms.push(Formula::forall(
-            vec![av],
-            vec![Trigger(vec![Pattern::Atom(atom)])],
-            Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
+        axioms.push((
+            format!("rep-mappers:{field_name}>{b_name}"),
+            Formula::forall(
+                vec![av],
+                vec![Trigger(vec![Pattern::Atom(atom)])],
+                Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
+            ),
         ));
     }
 
@@ -271,12 +376,15 @@ fn field_rep_axioms(
         let _ = updated;
         // Query-driven: one trigger on the post-update side only.
         let triggers = vec![Trigger(vec![Pattern::Atom(inc_upd)])];
-        axioms.push(Formula::forall(
-            vec![s, z, v, x, a, y, b],
-            triggers,
-            Formula::Iff(
-                Box::new(Formula::Atom(inc_upd)),
-                Box::new(Formula::Atom(inc_base)),
+        axioms.push((
+            format!("store-insensitive:{field_name}"),
+            Formula::forall(
+                vec![s, z, v, x, a, y, b],
+                triggers,
+                Formula::Iff(
+                    Box::new(Formula::Atom(inc_upd)),
+                    Box::new(Formula::Atom(inc_base)),
+                ),
             ),
         ));
     }
@@ -291,8 +399,9 @@ fn field_rep_elem_axioms(
     field: oolong_sema::AttrId,
     f: &Term,
     fresh: &mut FreshGen,
-) -> Vec<Formula> {
+) -> Vec<(String, Formula)> {
     let mut axioms = Vec::new();
+    let field_name = &scope.attr_info(field).name;
     let mapped = scope.mapped_attrs_kind(field, true);
 
     // (8)-elem: ∀A,B :: A ⇉f B ⇒ (B = b₁ ∨ …); empty → ¬(A ⇉f B).
@@ -308,17 +417,21 @@ fn field_rep_elem_axioms(
             .iter()
             .map(|&b| Formula::eq(Term::var(bv), Term::attr(scope.attr_info(b).name.clone())))
             .collect();
-        axioms.push(Formula::forall(
-            vec![av, bv],
-            vec![Trigger(vec![Pattern::Atom(atom)])],
-            Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+        axioms.push((
+            format!("rep-elem-range:{field_name}"),
+            Formula::forall(
+                vec![av, bv],
+                vec![Trigger(vec![Pattern::Atom(atom)])],
+                Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+            ),
         ));
     }
 
     // (9)-elem, per mapped attribute b: ∀A :: A ⇉f b ⇔ (A = a₁ ∨ …).
     for &b in &mapped {
         let av = fresh.fresh("bgA");
-        let b_term = Term::attr(scope.attr_info(b).name.clone());
+        let b_name = &scope.attr_info(b).name;
+        let b_term = Term::attr(b_name.clone());
         let atom = Atom::RepIncElem {
             group: Term::var(av),
             pivot: *f,
@@ -329,10 +442,13 @@ fn field_rep_elem_axioms(
             .iter()
             .map(|&a| Formula::eq(Term::var(av), Term::attr(scope.attr_info(a).name.clone())))
             .collect();
-        axioms.push(Formula::forall(
-            vec![av],
-            vec![Trigger(vec![Pattern::Atom(atom)])],
-            Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
+        axioms.push((
+            format!("rep-elem-mappers:{field_name}>{b_name}"),
+            Formula::forall(
+                vec![av],
+                vec![Trigger(vec![Pattern::Atom(atom)])],
+                Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
+            ),
         ));
     }
 

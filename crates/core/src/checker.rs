@@ -3,8 +3,10 @@
 //! theorem prover.
 
 use crate::restrict::check_pivot_uniqueness;
+use crate::slice::{slice_background, BackgroundSlice};
 use crate::vcgen::{ObligationLabel, Vc, VcGen, VcOptions};
-use oolong_prover::{prove_with_strategy, Budget, CandidateModel, Outcome, SearchStrategy, Stats};
+use oolong_logic::Formula;
+use oolong_prover::{Budget, CandidateModel, Outcome, ScopeContext, SearchStrategy, Stats};
 use oolong_sema::{ImplId, Scope};
 use oolong_syntax::{Diagnostic, Diagnostics, Program};
 use std::fmt;
@@ -31,6 +33,18 @@ pub struct CheckOptions {
     /// everything except differential testing and benchmarking of the
     /// backtracking mechanism itself.
     pub strategy: SearchStrategy,
+    /// Build one prover context per scope-background group and prove each
+    /// obligation inside a trail frame of it, instead of rebuilding and
+    /// re-saturating the background for every obligation. Outcomes and
+    /// statistics are identical either way (the differential harness
+    /// checks this); off is useful only for differential testing and as
+    /// the benchmark baseline.
+    pub share_contexts: bool,
+    /// Slice away background axioms whose declared triggers can never
+    /// match the obligation's reachable vocabulary (see [`crate::slice`]).
+    /// Sound by construction — a sliced axiom has zero E-matches — so off
+    /// is again only for differential testing and benchmarking.
+    pub slice_axioms: bool,
 }
 
 impl Default for CheckOptions {
@@ -41,6 +55,8 @@ impl Default for CheckOptions {
             null_checks: false,
             force_arrays_level: false,
             strategy: SearchStrategy::from_env(),
+            share_contexts: true,
+            slice_axioms: true,
         }
     }
 }
@@ -302,23 +318,88 @@ impl Checker {
         }
     }
 
-    /// Proves an already-generated verification condition and maps the
-    /// proof outcome to a [`Verdict`].
-    pub fn verdict_for_vc(&self, vc: &Vc) -> Verdict {
-        let proof = prove_with_strategy(
-            &vc.hypotheses,
-            &vc.goal,
+    /// The stable names of the scope-background axioms, index-aligned with
+    /// `Vc::hypotheses[..background_hyps]` of every VC this checker
+    /// generates (see [`crate::background::named_background`]). Lets tests
+    /// and diagnostics refer to background hypotheses by name rather than
+    /// position.
+    pub fn background_names(&self) -> Vec<String> {
+        let opts = self.vc_options();
+        let arrays = opts.force_arrays_level || crate::vcgen::scope_uses_arrays(&self.scope);
+        let mut fresh = oolong_logic::FreshGen::new();
+        crate::background::named_background(&self.scope, opts.restrictions, arrays, &mut fresh)
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect()
+    }
+
+    /// The axiom-relevance slice of a VC's scope background: which of the
+    /// leading `background_hyps` hypotheses to keep. All-true when slicing
+    /// is disabled.
+    pub fn background_slice(&self, vc: &Vc) -> BackgroundSlice {
+        let background = &vc.hypotheses[..vc.background_hyps];
+        if self.options.slice_axioms {
+            let seeds = vc.hypotheses[vc.background_hyps..]
+                .iter()
+                .chain(std::iter::once(&vc.goal));
+            slice_background(background, seeds)
+        } else {
+            BackgroundSlice {
+                keep: vec![true; background.len()],
+            }
+        }
+    }
+
+    /// The kept background formulas of `vc` under `slice`, in order.
+    pub fn sliced_background(&self, vc: &Vc, slice: &BackgroundSlice) -> Vec<Formula> {
+        vc.hypotheses[..vc.background_hyps]
+            .iter()
+            .zip(&slice.keep)
+            .filter(|(_, &k)| k)
+            .map(|(f, _)| f.clone())
+            .collect()
+    }
+
+    /// Builds a prover context holding a VC's (sliced) scope background,
+    /// saturated once and reusable across every obligation whose slice is
+    /// the same.
+    pub fn context_for_slice(&self, vc: &Vc, slice: &BackgroundSlice) -> ScopeContext {
+        ScopeContext::new(
+            &self.sliced_background(vc, slice),
             &self.options.budget,
             self.options.strategy,
-        );
+        )
+    }
+
+    /// Proves a verification condition inside `ctx` — which must hold the
+    /// VC's sliced scope background — and maps the proof outcome to a
+    /// [`Verdict`]. `dropped` is the number of sliced-away axioms, recorded
+    /// in the verdict's statistics.
+    pub fn verdict_for_vc_in(&self, ctx: &mut ScopeContext, vc: &Vc, dropped: usize) -> Verdict {
+        let init = &vc.hypotheses[vc.background_hyps..];
+        let proof = ctx.prove(init, &vc.goal);
+        let mut stats = proof.stats;
+        stats.sliced_axioms = dropped;
         match proof.outcome {
-            Outcome::Proved => Verdict::Verified(proof.stats),
+            Outcome::Proved => Verdict::Verified(stats),
             Outcome::NotProved => Verdict::NotVerified(
-                proof.stats,
+                stats,
                 Box::new(Refutation::from_proof(proof.open_branch, proof.model, vc)),
             ),
-            Outcome::Unknown(_) => Verdict::Unknown(proof.stats),
+            Outcome::Unknown(_) => Verdict::Unknown(stats),
         }
+    }
+
+    /// Proves an already-generated verification condition and maps the
+    /// proof outcome to a [`Verdict`].
+    ///
+    /// Builds a one-shot scope context: the same code path as shared
+    /// checking, so outcomes and statistics agree exactly with
+    /// [`Checker::check_all`] whatever the sharing mode.
+    pub fn verdict_for_vc(&self, vc: &Vc) -> Verdict {
+        let slice = self.background_slice(vc);
+        let mut ctx = self.context_for_slice(vc, &slice);
+        self.verdict_for_vc_in(&mut ctx, vc, slice.dropped())
     }
 
     /// Checks a single implementation: pivot uniqueness first (unless
@@ -371,35 +452,135 @@ impl Checker {
     /// Checks every implementation in the scope across `workers` threads.
     /// The report lists implementations in declaration order regardless of
     /// thread interleaving.
+    ///
+    /// With [`CheckOptions::share_contexts`] on, obligations whose sliced
+    /// background agrees are grouped, each group saturates its scope
+    /// context once, and every member proves inside a trail frame of it.
+    /// Groups — not individual obligations — are the unit of work
+    /// distribution, so a context is only ever touched by one thread.
     pub fn check_all_with_workers(&self, workers: usize) -> Report {
         let ids: Vec<ImplId> = self.scope.impls().map(|(id, _)| id).collect();
-        if workers <= 1 || ids.len() <= 1 {
-            return Report {
-                impls: ids.into_iter().map(|id| self.check_impl(id)).collect(),
-            };
+        let mut slots: Vec<Option<ImplReport>> = ids.iter().map(|_| None).collect();
+
+        // Phase 1 (cheap, sequential): restriction checks and VC
+        // generation. Early verdicts fill their slot; the rest become
+        // prover work items carrying their background slice.
+        struct Todo {
+            slot: usize,
+            impl_id: ImplId,
+            proc_name: String,
+            vc: Vc,
+            slice: BackgroundSlice,
         }
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::Mutex;
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<ImplReport>>> = ids.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers.min(ids.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&id) = ids.get(i) else { break };
-                    let report = self.check_impl(id);
-                    *slots[i].lock().expect("no panics while holding slot lock") = Some(report);
+        let mut todos: Vec<Todo> = Vec::new();
+        for (i, &impl_id) in ids.iter().enumerate() {
+            let proc_name = self
+                .scope
+                .proc_info(self.scope.impl_info(impl_id).proc)
+                .name
+                .clone();
+            let violations = self.restriction_violations(impl_id);
+            if !violations.is_empty() {
+                slots[i] = Some(ImplReport {
+                    impl_id,
+                    proc_name,
+                    verdict: Verdict::RestrictionViolation(violations),
                 });
+                continue;
             }
-        });
+            match self.vc(impl_id) {
+                Err(d) => {
+                    slots[i] = Some(ImplReport {
+                        impl_id,
+                        proc_name,
+                        verdict: Verdict::TranslationError(d),
+                    });
+                }
+                Ok(vc) => {
+                    let slice = self.background_slice(&vc);
+                    todos.push(Todo {
+                        slot: i,
+                        impl_id,
+                        proc_name,
+                        vc,
+                        slice,
+                    });
+                }
+            }
+        }
+
+        // Phase 2: group work items by slice keep-mask. Within one checker
+        // the unsliced background list is structurally identical across
+        // implementations (the fresh-name generator restarts per VC), so
+        // equal masks mean equal sliced backgrounds.
+        let groups: Vec<Vec<usize>> = if self.options.share_contexts {
+            let mut keys: Vec<&[bool]> = Vec::new();
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for (t, todo) in todos.iter().enumerate() {
+                match keys.iter().position(|k| *k == todo.slice.keep.as_slice()) {
+                    Some(g) => groups[g].push(t),
+                    None => {
+                        keys.push(&todo.slice.keep);
+                        groups.push(vec![t]);
+                    }
+                }
+            }
+            groups
+        } else {
+            (0..todos.len()).map(|t| vec![t]).collect()
+        };
+
+        let prove_group = |members: &[usize]| -> Vec<(usize, ImplReport)> {
+            let first = &todos[members[0]];
+            let mut ctx = self.context_for_slice(&first.vc, &first.slice);
+            members
+                .iter()
+                .map(|&t| {
+                    let todo = &todos[t];
+                    let verdict = self.verdict_for_vc_in(&mut ctx, &todo.vc, todo.slice.dropped());
+                    (
+                        todo.slot,
+                        ImplReport {
+                            impl_id: todo.impl_id,
+                            proc_name: todo.proc_name.clone(),
+                            verdict,
+                        },
+                    )
+                })
+                .collect()
+        };
+
+        if workers <= 1 || groups.len() <= 1 {
+            for members in &groups {
+                for (slot, report) in prove_group(members) {
+                    slots[slot] = Some(report);
+                }
+            }
+        } else {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+            let next = AtomicUsize::new(0);
+            let out: Mutex<Vec<(usize, ImplReport)>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(groups.len()) {
+                    scope.spawn(|| loop {
+                        let g = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(members) = groups.get(g) else { break };
+                        let reports = prove_group(members);
+                        out.lock()
+                            .expect("no panics while holding result lock")
+                            .extend(reports);
+                    });
+                }
+            });
+            for (slot, report) in out.into_inner().expect("worker panicked") {
+                slots[slot] = Some(report);
+            }
+        }
         Report {
             impls: slots
                 .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("worker panicked")
-                        .expect("every slot filled before workers exit")
-                })
+                .map(|slot| slot.expect("every implementation got a verdict"))
                 .collect(),
         }
     }

@@ -224,26 +224,20 @@ impl<'s> VcGen<'s> {
         let params: Vec<Term> = proc.params.iter().map(Term::var).collect();
         let w = ModList::new(self.scope, &proc.modifies, &params);
 
-        // Init(m): $ = $0, plus ownExcl and alive for each formal (5).
-        let mut hypotheses = crate::background::universal_background(
+        // The scope-level background (universal, scope-dependent, and — for
+        // the naive baseline — the unsound closed-world additions), via the
+        // named builder so axiom names align with hypothesis indices.
+        let mut hypotheses: Vec<Formula> = crate::background::named_background(
+            self.scope,
             self.options.restrictions,
             self.arrays,
             &mut self.fresh,
-        );
-        hypotheses.extend(crate::background::scope_background(
-            self.scope,
-            &mut self.fresh,
-        ));
-        if !self.options.restrictions {
-            // The naive baseline compensates for the missing restrictions
-            // with a closed-world reading of the declared inclusions —
-            // the classically unsound design of Section 3.
-            hypotheses.extend(crate::background::closed_world_background(
-                self.scope,
-                &mut self.fresh,
-            ));
-        }
+        )
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect();
         let background_hyps = hypotheses.len();
+        // Init(m): $ = $0, plus ownExcl and alive for each formal (5).
         hypotheses.push(Formula::eq(Term::store(), Term::store0()));
         // Fieldwise reflexivity, pre-derived: every modifies entry's own
         // location includes itself (axiom (4) local case + reflexive ⊒).
@@ -602,7 +596,7 @@ fn entry_desc(params: &[String], target: &oolong_sema::ModTarget, entry: &ModEnt
 
 /// Whether the scope opts into the arrays language level: it declares an
 /// elementwise rep inclusion or some implementation uses index syntax.
-fn scope_uses_arrays(scope: &Scope) -> bool {
+pub(crate) fn scope_uses_arrays(scope: &Scope) -> bool {
     if !scope.rep_elem_triples().is_empty() {
         return true;
     }

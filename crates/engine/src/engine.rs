@@ -11,6 +11,7 @@
 //! a batch report is deterministic regardless of thread interleaving.
 
 use crate::cache::{CachedOutcome, CachedVerdict};
+use crate::contexts::{context_key, ContextPool, DEFAULT_CONTEXT_CAPACITY};
 use crate::diagjson::{diagnosis_to_json, label_to_json};
 use crate::events::{render_jsonl, Event};
 use crate::fingerprint::{fingerprint_vc, Fingerprint};
@@ -224,11 +225,12 @@ struct TaskOutcome {
 }
 
 /// The incremental verification engine: a verdict store plus a batch
-/// scheduler.
+/// scheduler plus a pool of warm scope contexts.
 #[derive(Debug)]
 pub struct Engine {
     options: EngineOptions,
     store: Arc<dyn VerdictStore>,
+    contexts: Arc<ContextPool>,
 }
 
 impl Engine {
@@ -245,7 +247,11 @@ impl Engine {
             Some(dir) => Arc::new(TieredStore::at_dir(dir, DEFAULT_MEMORY_CAPACITY)?),
             None => Arc::new(TieredStore::in_memory(DEFAULT_MEMORY_CAPACITY)),
         };
-        Ok(Engine { options, store })
+        Ok(Engine {
+            options,
+            store,
+            contexts: Arc::new(ContextPool::with_capacity(DEFAULT_CONTEXT_CAPACITY)),
+        })
     }
 
     /// Creates an engine over a shared store handle. This is the resident
@@ -254,12 +260,37 @@ impl Engine {
     /// budget) against the same store. `options.cache_dir` is ignored —
     /// the store already decided where it persists.
     pub fn with_store(options: EngineOptions, store: Arc<dyn VerdictStore>) -> Engine {
-        Engine { options, store }
+        Engine {
+            options,
+            store,
+            contexts: Arc::new(ContextPool::with_capacity(DEFAULT_CONTEXT_CAPACITY)),
+        }
+    }
+
+    /// Like [`Engine::with_store`], but also sharing a pool of warm scope
+    /// contexts: a resident process passes the same pool to every
+    /// per-request engine so background saturation is paid once per scope,
+    /// not once per request.
+    pub fn with_store_and_contexts(
+        options: EngineOptions,
+        store: Arc<dyn VerdictStore>,
+        contexts: Arc<ContextPool>,
+    ) -> Engine {
+        Engine {
+            options,
+            store,
+            contexts,
+        }
     }
 
     /// The engine's verdict store.
     pub fn store(&self) -> &Arc<dyn VerdictStore> {
         &self.store
+    }
+
+    /// The engine's warm scope-context pool.
+    pub fn contexts(&self) -> &Arc<ContextPool> {
+        &self.contexts
     }
 
     /// The engine's configuration.
@@ -471,7 +502,8 @@ impl Engine {
             }
         };
 
-        let fingerprint = fingerprint_vc(&vc, &checker.options().budget);
+        let slice = checker.background_slice(&vc);
+        let fingerprint = fingerprint_vc(&vc, &checker.options().budget, &slice.keep);
         // A hit that predates diagnosis (or was cached with diagnosis off)
         // cannot serve an `--explain` run: the candidate model needed to
         // build a diagnosis is not cached, so re-prove instead.
@@ -509,7 +541,25 @@ impl Engine {
             };
         }
 
-        let verdict = checker.verdict_for_vc(&vc);
+        let verdict = if checker.options().share_contexts {
+            // Prove inside a warm scope context from the pool, building
+            // (and thereby saturating) it only on the first encounter of
+            // this sliced background. The slot mutex keys same-scope
+            // obligations to one thread at a time; unrelated scopes
+            // proceed in parallel.
+            let background = checker.sliced_background(&vc, &slice);
+            let key = context_key(
+                &background,
+                &checker.options().budget,
+                checker.options().strategy,
+            );
+            let slot = self.contexts.checkout(key);
+            let mut guard = slot.lock().expect("context slot lock poisoned");
+            let ctx = guard.get_or_insert_with(|| checker.context_for_slice(&vc, &slice));
+            checker.verdict_for_vc_in(ctx, &vc, slice.dropped())
+        } else {
+            checker.verdict_for_vc(&vc)
+        };
         let diagnosis = match (&verdict, self.options.diagnose) {
             (Verdict::NotVerified(_, refutation), true) => {
                 diagnose_refutation(scope, &unit.source, &vc, refutation)

@@ -33,7 +33,16 @@ use std::str::FromStr;
 /// string-tree representation field by field. The digests are
 /// process-stable but differ from the v1 byte streams, so every v1
 /// fingerprint is invalid.
-pub const FINGERPRINT_VERSION: u32 = 2;
+///
+/// Version 3: the axiom-relevance slice (which background hypotheses the
+/// checker keeps) joins the hash inputs. Slicing never changes an
+/// outcome, but it does change the recorded statistics (`sliced_axioms`,
+/// quantifier counts), and a v2 entry would replay pre-slicing telemetry
+/// as if it were current; trigger-pattern annotations were already
+/// covered, since declared triggers are part of each hypothesis formula's
+/// structural hash. Old entries migrate by miss: the bump makes every v2
+/// fingerprint unreachable, and the store simply re-proves and re-caches.
+pub const FINGERPRINT_VERSION: u32 = 3;
 
 /// The content address of one proof obligation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -52,8 +61,11 @@ impl FromStr for Fingerprint {
     }
 }
 
-/// The fingerprint of the obligation "prove `vc` under `budget`".
-pub fn fingerprint_vc(vc: &Vc, budget: &Budget) -> Fingerprint {
+/// The fingerprint of the obligation "prove `vc` under `budget`, keeping
+/// the background axioms `keep` selects" (the checker's relevance slice —
+/// all-true when slicing is off, which therefore fingerprints differently
+/// from any proper slice).
+pub fn fingerprint_vc(vc: &Vc, budget: &Budget, keep: &[bool]) -> Fingerprint {
     let mut hasher = StableHasher::new();
     FINGERPRINT_VERSION.hash(&mut hasher);
     // The background/Init split is part of the content: the same formula
@@ -62,6 +74,7 @@ pub fn fingerprint_vc(vc: &Vc, budget: &Budget) -> Fingerprint {
     vc.hypotheses.hash(&mut hasher);
     vc.goal.hash(&mut hasher);
     budget.hash(&mut hasher);
+    keep.hash(&mut hasher);
     Fingerprint(hasher.finish128())
 }
 
@@ -89,22 +102,38 @@ mod tests {
          proc bump(r) modifies r.value
          impl bump(r) { r.num := 3 }";
 
+    /// Fingerprint with the trivial (all-kept) slice.
+    fn fp(vc: &Vc, budget: &Budget) -> Fingerprint {
+        fingerprint_vc(vc, budget, &vec![true; vc.background_hyps])
+    }
+
     #[test]
     fn fingerprint_is_deterministic() {
         let a = vcs_for(BASE);
         let b = vcs_for(BASE);
-        assert_eq!(
-            fingerprint_vc(&a[0], &Budget::default()),
-            fingerprint_vc(&b[0], &Budget::default())
-        );
+        assert_eq!(fp(&a[0], &Budget::default()), fp(&b[0], &Budget::default()));
     }
 
     #[test]
     fn budget_is_part_of_the_obligation() {
         let vcs = vcs_for(BASE);
         assert_ne!(
-            fingerprint_vc(&vcs[0], &Budget::default()),
-            fingerprint_vc(&vcs[0], &Budget::tiny())
+            fp(&vcs[0], &Budget::default()),
+            fp(&vcs[0], &Budget::tiny())
+        );
+    }
+
+    #[test]
+    fn slice_is_part_of_the_obligation() {
+        // The same VC under a different relevance slice is a different
+        // content address: slicing changes the recorded statistics, so a
+        // cached entry must not be served across slice changes.
+        let vcs = vcs_for(BASE);
+        let mut sliced = vec![true; vcs[0].background_hyps];
+        sliced[0] = false;
+        assert_ne!(
+            fp(&vcs[0], &Budget::default()),
+            fingerprint_vc(&vcs[0], &Budget::default(), &sliced)
         );
     }
 
@@ -114,8 +143,8 @@ mod tests {
         // A second write extends the wlp chain: a different obligation.
         let after = vcs_for(&BASE.replace("r.num := 3", "r.num := 3 ; r.num := 3"));
         assert_ne!(
-            fingerprint_vc(&before[0], &Budget::default()),
-            fingerprint_vc(&after[0], &Budget::default())
+            fp(&before[0], &Budget::default()),
+            fp(&after[0], &Budget::default())
         );
     }
 
@@ -126,16 +155,36 @@ mod tests {
         let before = vcs_for(BASE);
         let after = vcs_for(&BASE.replace("r.num := 3", "r.num := 4"));
         assert_eq!(
-            fingerprint_vc(&before[0], &Budget::default()),
-            fingerprint_vc(&after[0], &Budget::default())
+            fp(&before[0], &Budget::default()),
+            fp(&after[0], &Budget::default())
         );
     }
 
     #[test]
     fn display_parses_back() {
         let vcs = vcs_for(BASE);
-        let fp = fingerprint_vc(&vcs[0], &Budget::default());
-        assert_eq!(fp.to_string().parse::<Fingerprint>().expect("parses"), fp);
-        assert_eq!(fp.to_string().len(), 32);
+        let fingerprint = fp(&vcs[0], &Budget::default());
+        assert_eq!(
+            fingerprint
+                .to_string()
+                .parse::<Fingerprint>()
+                .expect("parses"),
+            fingerprint
+        );
+        assert_eq!(fingerprint.to_string().len(), 32);
     }
+
+    #[test]
+    fn fingerprint_bytes_are_stable_across_processes() {
+        // Pinned hex: symbols hash by name digest and terms by structural
+        // digest, so this value must never depend on interner state or
+        // process layout. If this test fails because the recipe changed
+        // on purpose, bump FINGERPRINT_VERSION and re-pin — silently
+        // shifting bytes would orphan (or worse, mis-serve) disk caches.
+        let vcs = vcs_for(BASE);
+        let fingerprint = fp(&vcs[0], &Budget::default());
+        assert_eq!(fingerprint.to_string(), PINNED_V3);
+    }
+
+    const PINNED_V3: &str = "93ba95b8c14d5081e3c0f183bb0043c9";
 }

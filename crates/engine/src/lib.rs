@@ -52,6 +52,7 @@
 //! ```
 
 pub mod cache;
+pub mod contexts;
 pub mod diagjson;
 pub mod engine;
 pub mod events;
@@ -62,6 +63,9 @@ pub mod store;
 pub use cache::{
     stats_from_json, stats_to_json, CachedOutcome, CachedVerdict, VerdictCache,
     CACHE_FORMAT_VERSION,
+};
+pub use contexts::{
+    context_key, ContextPool, ContextPoolMetrics, ContextSlot, DEFAULT_CONTEXT_CAPACITY,
 };
 pub use diagjson::{diagnosis_from_json, diagnosis_to_json, label_from_json, label_to_json};
 pub use engine::{

@@ -210,6 +210,19 @@ pub struct EGraph {
     undone_merges: u64,
     /// High-water mark of trail length (telemetry).
     trail_high_water: usize,
+    /// Per-symbol stamp of the last mutation that could change what a
+    /// trigger mentioning that symbol matches (see [`EGraph::touch_stamp`]).
+    /// Monotonic across pops: undoing a mutation *re*-stamps its symbols,
+    /// so staleness checks stay conservative in both directions.
+    touch: HashMap<Sym, u64>,
+    /// Like `touch`, but stamped only by *structural* mutations — class
+    /// unions and node removals/restorations — never by plain node
+    /// creation. A trigger whose symbols pass this weaker check kept every
+    /// match it had; only matches anchored at nodes appended since can be
+    /// new, so a cached match set extends by scanning the bucket suffix.
+    touch_struct: HashMap<Sym, u64>,
+    /// Clock issuing touch stamps.
+    touch_clock: u64,
 }
 
 impl Default for EGraph {
@@ -238,6 +251,9 @@ impl EGraph {
             pops: 0,
             undone_merges: 0,
             trail_high_water: 0,
+            touch: HashMap::new(),
+            touch_struct: HashMap::new(),
+            touch_clock: 0,
         };
         eg.true_id = eg
             .add(Sym::Lit(Cst::Bool(true)), vec![])
@@ -291,6 +307,66 @@ impl EGraph {
         self.trail_high_water
     }
 
+    /// Rebases the trail high-water mark to the current trail length, so a
+    /// long-lived E-graph (a shared scope context) can report the trail
+    /// depth of each proof individually instead of the lifetime maximum.
+    pub fn reset_trail_high_water(&mut self) {
+        self.trail_high_water = self.trail.len();
+    }
+
+    // ------------------------------------------------------------ touch stamps
+
+    /// The current value of the matching-relevance clock. A full trigger
+    /// match performed now stays valid while
+    /// [`EGraph::syms_unchanged_since`] holds for the trigger's symbols.
+    pub fn touch_stamp(&self) -> u64 {
+        self.touch_clock
+    }
+
+    /// Whether no mutation since `stamp` could have changed what a trigger
+    /// mentioning exactly `syms` matches. Sound over-approximation: node
+    /// creation/removal stamps the node's symbol, and a class union stamps
+    /// the symbols of the absorbed class's members and parents (any pair
+    /// of terms made newly equal has one side in the absorbed class, so
+    /// every equality a match could newly exploit — bound-hole agreement,
+    /// ground-argument identity, member descent — stamps a symbol the
+    /// trigger mentions).
+    pub fn syms_unchanged_since(&self, syms: &[Sym], stamp: u64) -> bool {
+        syms.iter()
+            .all(|s| self.touch.get(s).is_none_or(|&t| t <= stamp))
+    }
+
+    /// Whether no *union or node removal* since `stamp` touched `syms`.
+    /// Weaker than [`EGraph::syms_unchanged_since`]: node creation is
+    /// allowed, so matches present at `stamp` are still present (with the
+    /// same canonical dedup keys) and any new match involves an appended
+    /// node.
+    pub fn syms_struct_unchanged_since(&self, syms: &[Sym], stamp: u64) -> bool {
+        syms.iter()
+            .all(|s| self.touch_struct.get(s).is_none_or(|&t| t <= stamp))
+    }
+
+    fn bump_add_sym(&mut self, sym: Sym) {
+        self.touch.insert(sym, self.touch_clock);
+    }
+
+    fn bump_sym(&mut self, sym: Sym) {
+        self.touch.insert(sym, self.touch_clock);
+        self.touch_struct.insert(sym, self.touch_clock);
+    }
+
+    /// Stamps every symbol whose match sets a union of `absorbed` into
+    /// another class can affect: the absorbed members' own symbols and the
+    /// head symbols of their parent nodes.
+    fn bump_class_syms(&mut self, absorbed: &ClassData) {
+        for i in 0..absorbed.nodes.len() {
+            self.bump_sym(self.nodes[absorbed.nodes[i] as usize].sym);
+        }
+        for i in 0..absorbed.parents.len() {
+            self.bump_sym(self.nodes[absorbed.parents[i] as usize].sym);
+        }
+    }
+
     // ------------------------------------------------------------ backtracking
 
     /// Opens a checkpoint: mutations from here on are recorded on the undo
@@ -332,6 +408,8 @@ impl EGraph {
             Undo::NewNode => {
                 let id = (self.nodes.len() - 1) as NodeId;
                 let node = self.nodes.pop().expect("node to undo");
+                self.touch_clock += 1;
+                self.bump_sym(node.sym);
                 self.parent.pop();
                 self.classes.remove(&id);
                 // Merges recorded after this node's creation are already
@@ -368,6 +446,7 @@ impl EGraph {
                 big_diseqs_len,
             } => {
                 let big_data = self.classes.get_mut(&big).expect("big class exists");
+                let gen_restored = big_data.gen != big_gen;
                 big_data.nodes.truncate(big_nodes_len);
                 big_data.parents.truncate(big_parents_len);
                 big_data.diseqs.truncate(big_diseqs_len);
@@ -376,6 +455,15 @@ impl EGraph {
                     big_data.value = None;
                 }
                 self.parent[small as usize] = small;
+                self.touch_clock += 1;
+                self.bump_class_syms(&small_data);
+                if gen_restored {
+                    let n = self.classes[&big].parents.len();
+                    for i in 0..n {
+                        let sym = self.nodes[self.classes[&big].parents[i] as usize].sym;
+                        self.bump_sym(sym);
+                    }
+                }
                 self.classes.insert(small, small_data);
                 self.undone_merges += 1;
             }
@@ -625,6 +713,8 @@ impl EGraph {
         self.classes.insert(id, data);
         self.sig_table.insert(key, id);
         self.by_sym.entry(sym).or_default().push(id);
+        self.touch_clock += 1;
+        self.bump_add_sym(sym);
         for &c in &children {
             let root = self.find(c);
             self.classes
@@ -682,6 +772,17 @@ impl EGraph {
             self.merges_performed += 1;
             self.parent[small as usize] = big;
             let small_data = self.classes.remove(&small).expect("small class exists");
+            self.touch_clock += 1;
+            self.bump_class_syms(&small_data);
+            // A generation drop on the surviving class re-prices bindings
+            // bound to it, which only its parents' triggers can observe.
+            if small_data.gen < self.classes[&big].gen {
+                let n = self.classes[&big].parents.len();
+                for i in 0..n {
+                    let sym = self.nodes[self.classes[&big].parents[i] as usize].sym;
+                    self.bump_sym(sym);
+                }
+            }
             let big_parents_len;
             let small_parent_count = small_data.parents.len();
             {

@@ -39,7 +39,7 @@ pub mod triggers;
 pub use egraph::{Conflict, EGraph, EgMark, NodeId, Sym};
 pub use prover::{
     prove, prove_with_strategy, refute, refute_with_strategy, Budget, CandidateModel, Divergence,
-    ModelClass, ModelRelation, ModelSelect, Outcome, Proof, QuantProfile, SearchStrategy, Stats,
-    UnknownReason,
+    ModelClass, ModelRelation, ModelSelect, Outcome, Proof, QuantProfile, ScopeContext,
+    SearchStrategy, Stats, UnknownReason,
 };
 pub use triggers::QuantKind;

@@ -8,6 +8,7 @@
 
 use crate::egraph::{EGraph, NodeId, Sym};
 use oolong_logic::{Atom, FnSym, Pattern, Symbol, Term, TermNode, Trigger};
+use std::borrow::Borrow;
 use std::collections::HashSet;
 
 /// A match of a trigger: each quantified variable — identified by its
@@ -147,6 +148,130 @@ fn pattern_head(pattern: &Pattern) -> Option<Sym> {
     }
 }
 
+/// The distinct head symbols of a trigger's patterns. Anchored matching
+/// can only succeed at nodes carrying one of these, so callers sweeping
+/// many candidate anchors use this to skip nodes that cannot pin any
+/// pattern.
+pub(crate) fn trigger_heads(trigger: &Trigger) -> Vec<Sym> {
+    let mut heads: Vec<Sym> = Vec::new();
+    for head in trigger.0.iter().filter_map(pattern_head) {
+        if !heads.contains(&head) {
+            heads.push(head);
+        }
+    }
+    heads
+}
+
+/// The head symbol of a single-pattern trigger, if it has one. Only such
+/// triggers support suffix extension of a cached match set: their full
+/// match is an in-order scan of one symbol bucket, so new matches can only
+/// come from nodes appended to that bucket.
+pub(crate) fn trigger_single_head(trigger: &Trigger) -> Option<Sym> {
+    match trigger.0.as_slice() {
+        [p] => pattern_head(p),
+        _ => None,
+    }
+}
+
+/// Extends `base` — a previously computed `match_trigger` result for a
+/// single-pattern trigger with head `head` — with matches anchored at
+/// bucket positions `from..` of `nodes_with_sym(head)`.
+///
+/// Exact under [`EGraph::syms_struct_unchanged_since`] for the trigger's
+/// symbols since `base` was computed: the prefix scan reproduces `base`
+/// verbatim (no union or removal disturbed its matches or their canonical
+/// dedup keys), so full-rescan output equals `base` plus the deduped
+/// suffix matches, in bucket order.
+pub(crate) fn match_trigger_extend(
+    eg: &EGraph,
+    vars: &[Symbol],
+    trigger: &Trigger,
+    head: Sym,
+    from: usize,
+    base: &mut Vec<Binding>,
+) {
+    let holes = Holes { vars };
+    let bucket = eg.nodes_with_sym(&head);
+    if from >= bucket.len() {
+        return;
+    }
+    let mut fresh = Vec::new();
+    let binding = Binding::default();
+    match &trigger.0[0] {
+        Pattern::Term(term) => {
+            let TermNode::App(_, args) = term.node() else {
+                return;
+            };
+            for &node in &bucket[from..] {
+                match_children(eg, &holes, args, node, &binding, &mut fresh);
+            }
+        }
+        Pattern::Atom(atom) => {
+            let Some((_, args)) = atom_shape(atom) else {
+                return;
+            };
+            for &node in &bucket[from..] {
+                match_children(eg, &holes, &args, node, &binding, &mut fresh);
+            }
+        }
+    }
+    fresh.retain(|b| b.len() == vars.len());
+    // Keep-first dedup across the prefix (already deduped) and the suffix,
+    // exactly as a full rescan's final dedup would.
+    let mut seen: HashSet<Vec<(u16, NodeId)>> = base.iter().map(|b| canon_key(eg, b)).collect();
+    for b in fresh {
+        if seen.insert(canon_key(eg, &b)) {
+            base.push(b);
+        }
+    }
+}
+
+/// Every E-graph symbol a full match of `trigger` consults: pattern heads,
+/// nested function symbols, free constants, and literals — everything but
+/// the quantified holes in `vars`. If none of these symbols has been
+/// touched (see `EGraph::syms_unchanged_since`), the trigger's full match
+/// set is unchanged.
+pub(crate) fn trigger_syms(vars: &[Symbol], trigger: &Trigger) -> Vec<Sym> {
+    fn walk_term(vars: &[Symbol], t: &Term, out: &mut Vec<Sym>) {
+        match t.node() {
+            TermNode::Var(v) => {
+                if !vars.contains(v) {
+                    out.push(Sym::Var(*v));
+                }
+            }
+            TermNode::Const(c) => out.push(Sym::Lit(*c)),
+            TermNode::App(f, args) => {
+                out.push(fn_sym(f));
+                for a in args {
+                    walk_term(vars, a, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for pattern in &trigger.0 {
+        match pattern {
+            Pattern::Term(t) => walk_term(vars, t, &mut out),
+            Pattern::Atom(atom) => {
+                if let Some((sym, args)) = atom_shape(atom) {
+                    out.push(sym);
+                    for a in args {
+                        walk_term(vars, a, &mut out);
+                    }
+                }
+            }
+        }
+    }
+    // Tiny lists: dedup by scan rather than requiring Ord on Sym.
+    let mut uniq: Vec<Sym> = Vec::with_capacity(out.len());
+    for s in out {
+        if !uniq.contains(&s) {
+            uniq.push(s);
+        }
+    }
+    uniq
+}
+
 /// Matches one pattern against one specific node.
 fn match_pattern_at(
     eg: &EGraph,
@@ -159,23 +284,26 @@ fn match_pattern_at(
     match pattern {
         Pattern::Term(t) => {
             if let TermNode::App(_, args) = t.node() {
-                match_children(eg, holes, args, node, binding.clone(), out);
+                match_children(eg, holes, args, node, binding, out);
             }
         }
         Pattern::Atom(atom) => {
             if let Some((_, args)) = atom_shape(atom) {
-                match_children_ref(eg, holes, &args, node, binding.clone(), out);
+                match_children(eg, holes, &args, node, binding, out);
             }
         }
     }
+}
+
+fn canon_key(eg: &EGraph, b: &Binding) -> Vec<(u16, NodeId)> {
+    b.0.iter().map(|&(h, id)| (h, eg.find(id))).collect()
 }
 
 fn dedup_bindings(eg: &EGraph, bindings: Vec<Binding>) -> Vec<Binding> {
     let mut seen = HashSet::new();
     let mut out = Vec::new();
     for b in bindings {
-        let key: Vec<(u16, NodeId)> = b.0.iter().map(|&(h, id)| (h, eg.find(id))).collect();
-        if seen.insert(key) {
+        if seen.insert(canon_key(eg, &b)) {
             out.push(b);
         }
     }
@@ -197,7 +325,7 @@ fn match_pattern_top(
             };
             let sym = fn_sym(f);
             for &node in eg.nodes_with_sym(&sym) {
-                match_children(eg, holes, args, node, binding.clone(), out);
+                match_children(eg, holes, args, node, binding, out);
             }
         }
         Pattern::Atom(atom) => {
@@ -205,7 +333,7 @@ fn match_pattern_top(
                 return;
             };
             for &node in eg.nodes_with_sym(&sym) {
-                match_children_ref(eg, holes, &args, node, binding.clone(), out);
+                match_children(eg, holes, &args, node, binding, out);
             }
         }
     }
@@ -247,35 +375,26 @@ fn atom_shape(atom: &Atom) -> Option<(Sym, Vec<&Term>)> {
     }
 }
 
-fn match_children(
+/// Matches a pattern's argument list against a node's children, extending
+/// `binding`. Generic over owned (`Term`) and borrowed (`&Term`) argument
+/// slices so neither the term nor the atom path allocates a shim vector.
+fn match_children<B: Borrow<Term>>(
     eg: &EGraph,
     holes: &Holes,
-    args: &[Term],
+    args: &[B],
     node: NodeId,
-    binding: Binding,
+    binding: &Binding,
     out: &mut Vec<Binding>,
 ) {
-    let refs: Vec<&Term> = args.iter().collect();
-    match_children_ref(eg, holes, &refs, node, binding, out);
-}
-
-fn match_children_ref(
-    eg: &EGraph,
-    holes: &Holes,
-    args: &[&Term],
-    node: NodeId,
-    binding: Binding,
-    out: &mut Vec<Binding>,
-) {
-    let children = eg.node(node).children.clone();
+    let children = &eg.node(node).children;
     if children.len() != args.len() {
         return;
     }
-    let mut states = vec![binding];
+    let mut states = vec![binding.clone()];
     for (pat, &child) in args.iter().zip(children.iter()) {
         let mut next = Vec::new();
         for b in &states {
-            match_term(eg, holes, pat, child, b, &mut next);
+            match_term(eg, holes, pat.borrow(), child, b, &mut next);
         }
         states = next;
         if states.is_empty() {
@@ -331,7 +450,7 @@ fn match_term(
             let sym = fn_sym(f);
             for &member in eg.class_nodes(class) {
                 if eg.node(member).sym == sym {
-                    match_children(eg, holes, args, member, binding.clone(), out);
+                    match_children(eg, holes, args, member, binding, out);
                 }
             }
         }

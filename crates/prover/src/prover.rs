@@ -286,6 +286,11 @@ pub struct Stats {
     pub pops: u64,
     /// E-graph merges rolled back by backtracking (trail mode only).
     pub undone_merges: u64,
+    /// Background axioms pruned by relevance slicing before the proof
+    /// attempt (zero when slicing is disabled). Set by the checker, which
+    /// owns the slicing decision; deterministic per fingerprinted
+    /// obligation because the sliced axiom set is part of the fingerprint.
+    pub sliced_axioms: usize,
     /// When the outcome was [`Outcome::Unknown`]: which limit tripped.
     pub exhausted: Option<UnknownReason>,
     /// Per-quantifier instantiation telemetry, ordered by stable id.
@@ -313,6 +318,7 @@ impl Stats {
             ("trail_depth_max", self.trail_depth_max as u64),
             ("pops", self.pops),
             ("undone_merges", self.undone_merges),
+            ("sliced_axioms", self.sliced_axioms as u64),
         ]
     }
 
@@ -336,6 +342,7 @@ impl Stats {
                 "trail_depth_max" => stats.trail_depth_max = value as usize,
                 "pops" => stats.pops = value,
                 "undone_merges" => stats.undone_merges = value,
+                "sliced_axioms" => stats.sliced_axioms = value as usize,
                 _ => {}
             }
         }
@@ -620,12 +627,9 @@ pub fn refute_with_strategy(parts: Vec<Nnf>, budget: &Budget, strategy: SearchSt
         full_pass_merges: u64::MAX,
         trail: Vec::new(),
         recording: 0,
+        match_cache: HashMap::new(),
     };
-    let outcome = match search(&mut ctx, 0, &mut shared) {
-        Branch::Closed => Outcome::Proved,
-        Branch::Open => Outcome::NotProved,
-        Branch::Fuel => Outcome::Unknown(shared.fuel.unwrap_or(UnknownReason::Instances)),
-    };
+    let outcome = outcome_of(search(&mut ctx, 0, &mut shared), shared.fuel);
     let mut stats = shared.stats;
     if strategy == SearchStrategy::Trail {
         // Under the clone strategy `search` sums per-frame merge deltas;
@@ -640,14 +644,34 @@ pub fn refute_with_strategy(parts: Vec<Nnf>, budget: &Budget, strategy: SearchSt
         Outcome::Unknown(reason) => Some(reason),
         _ => None,
     };
-    stats.per_quant = shared
-        .quant_meta
-        .into_iter()
+    stats.per_quant = render_per_quant(&shared.quant_meta);
+    Proof {
+        outcome,
+        stats,
+        open_branch: shared.open_branch,
+        model: shared.model,
+        millis: start.elapsed().as_secs_f64() * 1_000.0,
+    }
+}
+
+fn outcome_of(branch: Branch, fuel: Option<UnknownReason>) -> Outcome {
+    match branch {
+        Branch::Closed => Outcome::Proved,
+        Branch::Open => Outcome::NotProved,
+        Branch::Fuel => Outcome::Unknown(fuel.unwrap_or(UnknownReason::Instances)),
+    }
+}
+
+/// Renders the accumulated per-quantifier telemetry as [`QuantProfile`]
+/// rows ordered by stable id.
+fn render_per_quant(quant_meta: &[QuantMeta]) -> Vec<QuantProfile> {
+    quant_meta
+        .iter()
         .enumerate()
         .map(|(id, meta)| QuantProfile {
             id,
             kind: meta.kind,
-            trigger: meta.trigger,
+            trigger: meta.trigger.clone(),
             matches: meta.matches,
             instances: meta.instances,
             deferred: meta.deferred,
@@ -664,13 +688,291 @@ pub fn refute_with_strategy(parts: Vec<Nnf>, budget: &Budget, strategy: SearchSt
                 })
                 .collect(),
         })
-        .collect();
-    Proof {
-        outcome,
-        stats,
-        open_branch: shared.open_branch,
-        model: shared.model,
-        millis: start.elapsed().as_secs_f64() * 1_000.0,
+        .collect()
+}
+
+/// A prover context pre-loaded with a scope's shared background.
+///
+/// The background formulas are asserted and ground-saturated **once**; any
+/// number of obligations can then be proved against the saturated state,
+/// each one inside a checkpoint/rollback frame of the shared E-graph
+/// (trail mode) or against a clone of it (clone mode). This amortizes
+/// context construction — NNF conversion, interning, background quantifier
+/// saturation — across every obligation of a scope, the way Boogie asserts
+/// its `UnivBackPred` once per prover session.
+///
+/// Proofs are **order-independent**: every [`ScopeContext::prove`] call
+/// starts from private copies of the mutable search state (statistics,
+/// quantifier registry, fresh-name generator) and leaves the shared
+/// E-graph exactly as it found it, so a context proves a given obligation
+/// to the same [`Proof`] — outcome *and* deterministic stats — no matter
+/// what was proved before it, and identically whether the context is
+/// shared across a scope or built one-shot for a single obligation. The
+/// differential matrix harness relies on this equivalence.
+pub struct ScopeContext {
+    budget: Budget,
+    strategy: SearchStrategy,
+    base: Ctx,
+    /// Work counters accumulated while building the base. Every proof's
+    /// stats start from a copy, so construction cost is reported in each
+    /// proof — identically whether the context is shared or one-shot,
+    /// which keeps cached stats deterministic per obligation.
+    base_stats: Stats,
+    base_quant_ids: HashMap<(Vec<Symbol>, Nnf), usize>,
+    base_quant_meta: Vec<QuantMeta>,
+    base_fresh: FreshGen,
+    /// For each background formula (by index): the stable quantifier ids
+    /// its assertion registered, for cross-checking axiom slicing against
+    /// per-quantifier telemetry.
+    axiom_quants: Vec<Vec<usize>>,
+    /// Monotonic merge count consumed by base construction.
+    base_merges: u64,
+    /// The background itself was contradictory: every conjecture proves.
+    contradictory: bool,
+    /// Base saturation exhausted the budget: every proof is Unknown.
+    poisoned: Option<UnknownReason>,
+}
+
+impl fmt::Debug for ScopeContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScopeContext")
+            .field("strategy", &self.strategy)
+            .field("axioms", &self.axiom_quants.len())
+            .field("quants", &self.base_quant_meta.len())
+            .field("base_merges", &self.base_merges)
+            .field("contradictory", &self.contradictory)
+            .field("poisoned", &self.poisoned)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScopeContext {
+    /// Asserts and saturates `background` into a fresh context.
+    ///
+    /// Saturation runs the same drain / unit-propagate / instantiate loop
+    /// as the search itself but never case-splits: derived facts land in
+    /// the shared state, surviving disjunctions are carried into every
+    /// proof's own search. A contradictory background makes every proof
+    /// succeed; a background that exhausts the budget poisons the context
+    /// and makes every proof report [`Outcome::Unknown`].
+    pub fn new(background: &[Formula], budget: &Budget, strategy: SearchStrategy) -> ScopeContext {
+        let mut fresh = FreshGen::new();
+        let mut shared = Shared {
+            budget: budget.clone(),
+            stats: Stats::default(),
+            quant_ids: HashMap::new(),
+            quant_meta: Vec::new(),
+            fuel: None,
+            open_branch: None,
+            model: None,
+            strategy,
+        };
+        let mut ctx = Ctx {
+            eg: EGraph::new(),
+            pending: Vec::new(),
+            splits: Vec::new(),
+            quants: Vec::new(),
+            quant_ids_present: HashSet::new(),
+            seen: HashSet::new(),
+            labels: Vec::new(),
+            deferred: false,
+            matched_upto: 0,
+            fresh_quants_from: 0,
+            full_pass_merges: u64::MAX,
+            trail: Vec::new(),
+            recording: 0,
+            match_cache: HashMap::new(),
+        };
+        let mut axiom_quants: Vec<Vec<usize>> = Vec::with_capacity(background.len());
+        let mut contradictory = false;
+        for f in background {
+            let ids_before = shared.quant_ids.len();
+            ctx.pending.push((to_nnf(f, true, &mut fresh), 0));
+            let step = drain_pending(&mut ctx, &mut shared);
+            axiom_quants.push((ids_before..shared.quant_ids.len()).collect());
+            match step {
+                Step::Conflict => {
+                    contradictory = true;
+                    break;
+                }
+                Step::Fuel => break,
+                Step::Ok => {}
+            }
+        }
+        axiom_quants.resize(background.len(), Vec::new());
+        while !contradictory && shared.fuel.is_none() {
+            match drain_pending(&mut ctx, &mut shared) {
+                Step::Conflict => {
+                    contradictory = true;
+                    break;
+                }
+                Step::Fuel => break,
+                Step::Ok => {}
+            }
+            match normalize_splits(&mut ctx) {
+                Step::Conflict => {
+                    contradictory = true;
+                    break;
+                }
+                Step::Fuel => break,
+                Step::Ok => {}
+            }
+            if !ctx.pending.is_empty() {
+                continue; // unit propagation produced new facts
+            }
+            shared.stats.rounds += 1;
+            if shared.stats.rounds > shared.budget.max_rounds {
+                shared.fuel.get_or_insert(UnknownReason::Rounds);
+                break;
+            }
+            match instantiate_round(&mut ctx, &mut shared) {
+                InstResult::Progress => {}
+                InstResult::Fuel | InstResult::Saturated => break,
+            }
+        }
+        let base_merges = ctx.eg.merges_performed();
+        let mut base_stats = shared.stats;
+        // Pre-seed the merge counter with the base total: clone-mode
+        // frame-delta accounting then adds each proof's own merges on top,
+        // and the trail-mode fix-up in `prove` reproduces the same sum.
+        base_stats.merges = base_merges;
+        ScopeContext {
+            budget: budget.clone(),
+            strategy,
+            base: ctx,
+            base_stats,
+            base_quant_ids: shared.quant_ids,
+            base_quant_meta: shared.quant_meta,
+            base_fresh: fresh,
+            axiom_quants,
+            base_merges,
+            contradictory,
+            poisoned: shared.fuel,
+        }
+    }
+
+    /// Proves `hypotheses ⇒ goal` against the saturated background, leaving
+    /// the context state untouched for the next obligation.
+    pub fn prove(&mut self, hypotheses: &[Formula], goal: &Formula) -> Proof {
+        let start = std::time::Instant::now();
+        if self.contradictory {
+            let mut stats = self.base_stats.clone();
+            stats.per_quant = render_per_quant(&self.base_quant_meta);
+            return Proof {
+                outcome: Outcome::Proved,
+                stats,
+                open_branch: None,
+                model: None,
+                millis: start.elapsed().as_secs_f64() * 1_000.0,
+            };
+        }
+        if let Some(reason) = self.poisoned {
+            let mut stats = self.base_stats.clone();
+            stats.exhausted = Some(reason);
+            stats.per_quant = render_per_quant(&self.base_quant_meta);
+            return Proof {
+                outcome: Outcome::Unknown(reason),
+                stats,
+                open_branch: None,
+                model: None,
+                millis: start.elapsed().as_secs_f64() * 1_000.0,
+            };
+        }
+        let mut fresh = self.base_fresh.clone();
+        let mut parts: Vec<Nnf> = hypotheses
+            .iter()
+            .map(|h| to_nnf(h, true, &mut fresh))
+            .collect();
+        parts.push(to_nnf(goal, false, &mut fresh));
+        let mut shared = Shared {
+            budget: self.budget.clone(),
+            stats: self.base_stats.clone(),
+            quant_ids: self.base_quant_ids.clone(),
+            quant_meta: self.base_quant_meta.clone(),
+            fuel: None,
+            open_branch: None,
+            model: None,
+            strategy: self.strategy,
+        };
+        let (outcome, mut stats) = match self.strategy {
+            SearchStrategy::Trail => {
+                // Monotonic-counter samples so the proof reports only its
+                // own trail work (plus the base merges), not the lifetime
+                // totals of a long-lived shared E-graph.
+                let merges_before = self.base.eg.merges_performed();
+                let pops_before = self.base.eg.pops();
+                let undone_before = self.base.eg.undone_merges();
+                self.base.eg.reset_trail_high_water();
+                let cp = self.base.checkpoint();
+                self.base.pending.extend(parts.into_iter().map(|p| (p, 0)));
+                let outcome = outcome_of(search(&mut self.base, 0, &mut shared), shared.fuel);
+                let mut stats = shared.stats;
+                stats.merges = self.base_merges + (self.base.eg.merges_performed() - merges_before);
+                stats.trail_depth_max = self.base.eg.trail_high_water();
+                stats.pops = self.base.eg.pops() - pops_before;
+                stats.undone_merges = self.base.eg.undone_merges() - undone_before;
+                self.base.rollback(cp);
+                (outcome, stats)
+            }
+            SearchStrategy::CloneSearch => {
+                let mut child = self.base.clone();
+                child.pending.extend(parts.into_iter().map(|p| (p, 0)));
+                let outcome = outcome_of(search(&mut child, 0, &mut shared), shared.fuel);
+                (outcome, shared.stats)
+            }
+        };
+        stats.exhausted = match outcome {
+            Outcome::Unknown(reason) => Some(reason),
+            _ => None,
+        };
+        stats.per_quant = render_per_quant(&shared.quant_meta);
+        Proof {
+            outcome,
+            stats,
+            open_branch: shared.open_branch,
+            model: shared.model,
+            millis: start.elapsed().as_secs_f64() * 1_000.0,
+        }
+    }
+
+    /// The stable quantifier ids registered by background formula `axiom`
+    /// (its index in the slice passed to [`ScopeContext::new`]). Proofs
+    /// from this context report per-quantifier telemetry under these ids,
+    /// so slicing decisions can be cross-checked against what actually
+    /// fired.
+    pub fn background_quants(&self, axiom: usize) -> &[usize] {
+        self.axiom_quants
+            .get(axiom)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether the background alone was contradictory (every proof
+    /// trivially succeeds).
+    pub fn is_contradictory(&self) -> bool {
+        self.contradictory
+    }
+
+    /// The budget dimension the base saturation exhausted, if any (every
+    /// proof reports [`Outcome::Unknown`] with this reason).
+    pub fn poisoned(&self) -> Option<UnknownReason> {
+        self.poisoned
+    }
+
+    /// The budget the context was built with.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The search strategy the context was built with.
+    pub fn strategy(&self) -> SearchStrategy {
+        self.strategy
+    }
+
+    /// A rendering of the shared E-graph's state, for asserting that a
+    /// proof's rollback left the context byte-clean.
+    pub fn debug_state(&self) -> String {
+        self.base.eg.debug_state()
     }
 }
 
@@ -703,6 +1005,7 @@ struct Shared {
 
 /// Accumulating telemetry for one quantifier (rendered to a
 /// [`QuantProfile`] when the search finishes).
+#[derive(Clone)]
 struct QuantMeta {
     kind: QuantKind,
     trigger: String,
@@ -789,6 +1092,29 @@ struct Checkpoint {
     full_pass_merges: u64,
 }
 
+/// A full-trigger-match result, reusable while the E-graph's touch stamps
+/// show none of the trigger's symbols changed — under that condition a
+/// rematch would return this exact binding vector (same classes, same
+/// order). Cached bindings are still *walked* normally on reuse, so
+/// instance terms, deferrals, and every counter come out identical to a
+/// real rematch; only the E-graph scan is skipped.
+#[derive(Clone)]
+struct MatchCacheEntry {
+    /// Symbols the trigger's full match consults.
+    syms: Vec<crate::egraph::Sym>,
+    /// Touch stamp taken immediately before the cached match ran.
+    stamp: u64,
+    /// Head symbol, for single-pattern triggers. Such a match is an
+    /// in-order scan of one symbol bucket, so when only node *creation*
+    /// (never a union or removal) touched the trigger's symbols, the
+    /// cached bindings extend exactly by scanning the bucket suffix.
+    head: Option<crate::egraph::Sym>,
+    /// Length of the head's symbol bucket when the cached match ran.
+    bucket_len: usize,
+    /// The bindings the full match produced.
+    bindings: Vec<crate::matcher::Binding>,
+}
+
 #[derive(Clone)]
 struct Ctx {
     eg: EGraph,
@@ -820,6 +1146,11 @@ struct Ctx {
     /// Active checkpoints; context mutations record onto `trail` only
     /// when non-zero.
     recording: usize,
+    /// Completed full-match results per `(quantifier index, trigger
+    /// index)`. Cleared wholesale on rollback: entries may reference
+    /// quantifier slots a rollback truncates, and `seen` keys inserted on
+    /// the unwound branch disappear with it.
+    match_cache: HashMap<(usize, usize), MatchCacheEntry>,
 }
 
 impl Ctx {
@@ -901,6 +1232,7 @@ impl Ctx {
         self.matched_upto = cp.matched_upto;
         self.fresh_quants_from = cp.fresh_quants_from;
         self.full_pass_merges = cp.full_pass_merges;
+        self.match_cache.clear();
         self.eg.pop(cp.eg);
         self.recording -= 1;
     }
@@ -1445,7 +1777,41 @@ enum PassResult {
     Fuel,
 }
 
+// TEMP instrumentation
+
+/// `term_of`, memoized by class root for the duration of one pass. The
+/// E-graph only changes mid-pass through alias merges, which bump the
+/// (node, merge) counts and flush the memo; results that pushed aliases
+/// carry a side effect and are never cached. Under those rules a hit
+/// returns exactly what a fresh `term_of` call would.
+fn term_of_memo(
+    eg: &EGraph,
+    id: crate::egraph::NodeId,
+    aliases: &mut Vec<(Term, crate::egraph::NodeId)>,
+    memo: &mut HashMap<crate::egraph::NodeId, Term>,
+    version: &mut (usize, u64),
+) -> Term {
+    let now = (eg.node_count(), eg.merge_count());
+    if *version != now {
+        memo.clear();
+        *version = now;
+    }
+    let root = eg.find(id);
+    if let Some(&t) = memo.get(&root) {
+        return t;
+    }
+    let before = aliases.len();
+    let t = term_of(eg, id, aliases);
+    if aliases.len() == before {
+        memo.insert(root, t);
+    }
+    t
+}
+
 fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResult {
+    let mut term_memo: HashMap<crate::egraph::NodeId, Term> = HashMap::new();
+    let mut memo_version: (usize, u64) = (0, 0);
+
     let mut produced = 0;
     let new_nodes: Vec<crate::egraph::NodeId> = if full {
         Vec::new()
@@ -1468,20 +1834,100 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
         deferred,
         trail,
         recording,
+        match_cache,
         ..
     } = ctx;
+    // Bucket the new nodes by head symbol once: anchored matching can only
+    // pin a pattern at a node whose head symbol one of the trigger's
+    // patterns carries, so each trigger sweeps its head buckets instead of
+    // every new node.
+    let mut by_head: HashMap<crate::egraph::Sym, Vec<crate::egraph::NodeId>> = HashMap::new();
+    for &node in &new_nodes {
+        by_head.entry(eg.node(node).sym).or_default().push(node);
+    }
     for (qi, quant) in quants.iter().enumerate() {
-        for trigger in &quant.triggers {
-            let bindings = if full || qi >= fresh_from {
+        for (ti, trigger) in quant.triggers.iter().enumerate() {
+            let full_match = full || qi >= fresh_from;
+            let anchored_bindings;
+            let bindings: &[crate::matcher::Binding] = if full_match {
                 // Full pass, or a quantifier registered since the last
-                // pass: match against the whole graph.
-                match_trigger(eg, &quant.vars, trigger)
+                // pass: match against the whole graph — unless an earlier
+                // full match of this trigger is still valid, in which case
+                // a rematch would return the identical binding vector and
+                // the cached one is walked instead. Walking (not skipping)
+                // keeps instance terms, deferrals, and counters exact.
+                enum Plan {
+                    Hit,
+                    Extend,
+                    Rescan,
+                }
+                let plan = match match_cache.get(&(qi, ti)) {
+                    Some(e) if eg.syms_unchanged_since(&e.syms, e.stamp) => Plan::Hit,
+                    Some(e)
+                        if e.head.is_some() && eg.syms_struct_unchanged_since(&e.syms, e.stamp) =>
+                    {
+                        Plan::Extend
+                    }
+                    _ => Plan::Rescan,
+                };
+                match plan {
+                    Plan::Hit => {}
+                    Plan::Extend => {
+                        // Only node creation touched the trigger's symbols:
+                        // every cached match survives with its dedup key, and
+                        // new matches can only sit at nodes appended to the
+                        // head bucket. Scanning that suffix reproduces a full
+                        // rescan exactly, in order.
+                        let e = match_cache.get_mut(&(qi, ti)).expect("entry exists");
+                        let head = e.head.expect("extend plan implies head");
+                        e.stamp = eg.touch_stamp();
+                        crate::matcher::match_trigger_extend(
+                            eg,
+                            &quant.vars,
+                            trigger,
+                            head,
+                            e.bucket_len,
+                            &mut e.bindings,
+                        );
+                        e.bucket_len = eg.nodes_with_sym(&head).len();
+                    }
+                    Plan::Rescan => {
+                        let stamp = eg.touch_stamp();
+                        let bindings = match_trigger(eg, &quant.vars, trigger);
+                        let head = crate::matcher::trigger_single_head(trigger);
+                        let bucket_len = head.map_or(0, |h| eg.nodes_with_sym(&h).len());
+                        match_cache.insert(
+                            (qi, ti),
+                            MatchCacheEntry {
+                                syms: crate::matcher::trigger_syms(&quant.vars, trigger),
+                                stamp,
+                                head,
+                                bucket_len,
+                                bindings,
+                            },
+                        );
+                    }
+                }
+                &match_cache[&(qi, ti)].bindings
             } else {
+                let heads = crate::matcher::trigger_heads(trigger);
+                let mut candidates: Vec<crate::egraph::NodeId> = Vec::new();
+                for head in &heads {
+                    if let Some(bucket) = by_head.get(head) {
+                        candidates.extend_from_slice(bucket);
+                    }
+                }
+                if heads.len() > 1 {
+                    // Restore creation order across buckets (each bucket is
+                    // already ordered); a node can appear in only one.
+                    candidates.sort_unstable();
+                }
                 let mut out = Vec::new();
-                for &node in &new_nodes {
+                for &node in &candidates {
                     out.extend(match_trigger_anchored(eg, &quant.vars, trigger, node));
                 }
-                out
+                anchored_bindings = out;
+                &anchored_bindings
             };
             shared.stats.trigger_matches += bindings.len() as u64;
             shared.quant_meta[quant.id].matches += bindings.len() as u64;
@@ -1500,7 +1946,15 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                 }
                 let mut aliases = Vec::new();
                 let terms: Vec<Term> = (0..quant.vars.len())
-                    .map(|hole| term_of(eg, bound(hole), &mut aliases))
+                    .map(|hole| {
+                        term_of_memo(
+                            eg,
+                            bound(hole),
+                            &mut aliases,
+                            &mut term_memo,
+                            &mut memo_version,
+                        )
+                    })
                     .collect();
                 let key = (quant.id, terms.clone());
                 if seen.contains(&key) {

@@ -38,8 +38,8 @@ use crate::protocol::{
 };
 use datagroups::CheckOptions;
 use oolong_engine::{
-    BatchReport, BatchUnit, Engine, EngineOptions, EventLogWriter, Json, TieredStore, VerdictStore,
-    DEFAULT_MEMORY_CAPACITY,
+    BatchReport, BatchUnit, ContextPool, Engine, EngineOptions, EventLogWriter, Json, TieredStore,
+    VerdictStore, DEFAULT_CONTEXT_CAPACITY, DEFAULT_MEMORY_CAPACITY,
 };
 use oolong_prover::Budget;
 use std::io::{BufRead, BufReader, Write};
@@ -134,6 +134,9 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 struct Shared {
     options: ServeOptions,
     store: Arc<TieredStore>,
+    /// Warm scope contexts, shared across requests: the first obligation
+    /// of a scope saturates its background, later requests reuse it.
+    contexts: Arc<ContextPool>,
     metrics: Metrics,
     stop: AtomicBool,
     started: Instant,
@@ -192,7 +195,7 @@ impl Shared {
     /// Runs one proving request to a finished [`BatchReport`], absorbing
     /// its events into the server log and its counters into the metrics.
     fn run_engine(&self, units: &[BatchUnit], check: CheckOptions, diagnose: bool) -> BatchReport {
-        let engine = Engine::with_store(
+        let engine = Engine::with_store_and_contexts(
             EngineOptions {
                 check,
                 // Sessions are the unit of parallelism; one request keeps
@@ -202,6 +205,7 @@ impl Shared {
                 diagnose,
             },
             self.store.clone() as Arc<dyn VerdictStore>,
+            self.contexts.clone(),
         );
         let report = engine.check_batch(units);
         self.metrics
@@ -440,6 +444,15 @@ impl Shared {
                     ),
                 ]),
             ),
+            ("contexts".to_string(), {
+                let c = self.contexts.metrics();
+                Json::Object(vec![
+                    ("warm".to_string(), Json::Int(c.size as i64)),
+                    ("hits".to_string(), Json::Int(c.hits as i64)),
+                    ("misses".to_string(), Json::Int(c.misses as i64)),
+                    ("evictions".to_string(), Json::Int(c.evictions as i64)),
+                ])
+            }),
             (
                 "latency_millis".to_string(),
                 Json::Object(vec![
@@ -518,6 +531,7 @@ impl Server {
             listener,
             shared: Arc::new(Shared {
                 store,
+                contexts: Arc::new(ContextPool::with_capacity(DEFAULT_CONTEXT_CAPACITY)),
                 metrics: Metrics::default(),
                 stop: AtomicBool::new(false),
                 started: Instant::now(),

@@ -1,73 +1,338 @@
-//! Differential testing of the trail-based backtracking search against
-//! the retained clone-per-branch reference implementation.
+//! Differential testing of the prover's configuration matrix:
+//! {trail, clone-search} × {shared context, per-obligation context} ×
+//! {sliced background, full background}.
 //!
-//! The trail rewrite ([`SearchStrategy::Trail`]) must be *behaviorally
-//! invisible*: over every verification condition of the paper corpus and
-//! of generated program populations — including the branch-heavy
-//! programs built to stress case splitting and the cyclic-rep programs
-//! built to starve the matcher — both strategies must return the
-//! identical [`Outcome`] and identical deterministic [`Stats`] counters
-//! (instances, matches, merges, branches, clauses, rounds, per-quantifier
-//! profiles, exhaustion reasons, ...). Only the trail telemetry counters
-//! (`trail_depth_max`, `pops`, `undone_merges`) may differ, which
-//! [`Stats::without_trail_counters`] normalizes away.
+//! Three independent mechanisms claim to be *behaviorally invisible*, and
+//! each claim is checked against every verification condition of the
+//! paper corpus and of generated program populations (plain, cyclic,
+//! branchy, seeded-violation), under a roomy budget and deliberately
+//! starved ones:
 //!
-//! Strategies are passed explicitly through [`prove_with_strategy`], not
-//! through the `OOLONG_PROVER_CLONE_SEARCH` environment override, so the
-//! suite is immune to test-harness parallelism.
+//! * **Backtracking strategy** ([`SearchStrategy::Trail`] vs the retained
+//!   clone-per-branch reference): identical outcomes and identical
+//!   deterministic [`Stats`] up to the trail telemetry counters, which
+//!   [`Stats::without_trail_counters`] normalizes away.
+//! * **Context sharing** (`share_contexts`: one saturated scope context
+//!   reused by every obligation of a scope, vs a fresh context per
+//!   obligation): *bit-identical* stats — every proof starts from private
+//!   copies of the mutable search state and leaves the shared E-graph as
+//!   it found it, so sharing may not perturb anything, trail counters
+//!   included.
+//! * **Axiom slicing** (`slice_axioms`: background axioms whose triggers
+//!   cannot reach the obligation's vocabulary are dropped): identical
+//!   outcomes, refutation labels, and divergence attribution, and
+//!   identical work counters — a sliced axiom must have zero E-matches,
+//!   so only the registration counts (`quants`, `skipped_quants`,
+//!   `sliced_axioms`, inert `per_quant` rows) may change. The quantifier
+//!   rows that did any work must agree as multisets keyed by
+//!   (kind, trigger, matches, instances, deferred) — ids may shift.
+//!
+//! The reference cell is trail × per-obligation × full background.
+//! Configurations are passed explicitly through [`CheckOptions`], not
+//! through environment overrides, so the suite is immune to test-harness
+//! parallelism.
 
 use oolong::corpus::{self, GenConfig};
-use oolong::datagroups::{CheckOptions, Checker};
-use oolong::prover::{prove_with_strategy, Budget, SearchStrategy};
+use oolong::datagroups::{CheckOptions, Checker, Report};
+use oolong::prover::{Budget, SearchStrategy, Stats};
 use oolong::syntax::parse_program;
 
-/// Proves every VC of `source` under every budget with both strategies
-/// and asserts outcome and normalized-stats equality.
-fn assert_strategies_agree(name: &str, source: &str, budgets: &[Budget]) {
-    let program = parse_program(source).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let checker =
-        Checker::new(&program, CheckOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let impl_ids: Vec<_> = checker.scope().impls().map(|(id, _)| id).collect();
-    let mut vcs = 0usize;
-    for impl_id in impl_ids {
-        let Ok(vc) = checker.vc(impl_id) else {
-            continue; // unsupported expression forms are not at issue here
-        };
-        vcs += 1;
-        for budget in budgets {
-            let trail =
-                prove_with_strategy(&vc.hypotheses, &vc.goal, budget, SearchStrategy::Trail);
-            let cloned = prove_with_strategy(
-                &vc.hypotheses,
-                &vc.goal,
-                budget,
-                SearchStrategy::CloneSearch,
-            );
-            assert_eq!(
-                trail.outcome, cloned.outcome,
-                "{name}: outcome diverges under {budget:?}"
-            );
-            assert_eq!(
-                trail.stats.without_trail_counters(),
-                cloned.stats.without_trail_counters(),
-                "{name}: stats diverge under {budget:?}"
-            );
-            // The clone-based reference never pops a trail; the counters
-            // it reports for backtracking must stay zero.
-            assert_eq!(cloned.stats.pops, 0, "{name}: clone search kept a trail");
-            assert_eq!(cloned.stats.undone_merges, 0);
-            assert_eq!(cloned.stats.trail_depth_max, 0);
+#[derive(Clone, Copy)]
+struct Cell {
+    strategy: SearchStrategy,
+    shared: bool,
+    sliced: bool,
+}
+
+impl Cell {
+    fn name(self) -> String {
+        format!(
+            "{:?}×{}×{}",
+            self.strategy,
+            if self.shared { "shared" } else { "per-ob" },
+            if self.sliced { "sliced" } else { "full" },
+        )
+    }
+}
+
+fn all_cells() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for strategy in [SearchStrategy::Trail, SearchStrategy::CloneSearch] {
+        for shared in [false, true] {
+            for sliced in [false, true] {
+                cells.push(Cell {
+                    strategy,
+                    shared,
+                    sliced,
+                });
+            }
         }
     }
-    assert!(vcs > 0, "{name}: no VC was generated");
+    cells
+}
+
+fn run_cell(source: &str, budget: &Budget, cell: Cell) -> Report {
+    let program = parse_program(source).expect("population programs parse");
+    let options = CheckOptions {
+        budget: budget.clone(),
+        strategy: cell.strategy,
+        share_contexts: cell.shared,
+        slice_axioms: cell.sliced,
+        ..CheckOptions::default()
+    };
+    Checker::new(&program, options)
+        .expect("population programs analyse")
+        .check_all()
+}
+
+/// Strips the `!NN` freshness suffixes from a rendered trigger: fresh
+/// symbol numbering depends on how many background formulas were
+/// processed before the quantifier, which axiom slicing legitimately
+/// shifts. The base names and trigger structure must still agree.
+fn normalize_trigger(trigger: &str) -> String {
+    let mut out = String::with_capacity(trigger.len());
+    let mut chars = trigger.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '!' && chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                chars.next();
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The quantifier rows that performed any matching work, as a sorted
+/// multiset keyed independently of registration ids (slicing shifts ids).
+fn work_rows(stats: &Stats) -> Vec<(String, String, u64, u64, u64)> {
+    let mut rows: Vec<_> = stats
+        .per_quant
+        .iter()
+        .filter(|q| q.matches > 0 || q.instances > 0 || q.deferred > 0)
+        .map(|q| {
+            (
+                q.kind.to_string(),
+                normalize_trigger(&q.trigger),
+                q.matches,
+                q.instances,
+                q.deferred,
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// A culprit row keyed without ids: kind, normalized trigger, and the
+/// match/instance/deferral counters.
+type CulpritRow = (String, String, u64, u64, u64);
+
+/// Divergence attribution as comparable data: the exhausted dimension and
+/// the culprit rows keyed without ids.
+fn divergence_key(stats: &Stats) -> Option<(String, Vec<CulpritRow>)> {
+    stats.divergence().map(|d| {
+        (
+            d.reason.as_str().to_string(),
+            d.culprits
+                .iter()
+                .map(|q| {
+                    (
+                        q.kind.to_string(),
+                        normalize_trigger(&q.trigger),
+                        q.matches,
+                        q.instances,
+                        q.deferred,
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Checks every matrix invariant for one program under one budget.
+fn assert_matrix_agrees_under(name: &str, source: &str, budget: &Budget) {
+    let cells = all_cells();
+    let reports: Vec<(Cell, Report)> = cells
+        .iter()
+        .map(|&cell| (cell, run_cell(source, budget, cell)))
+        .collect();
+    let reference = &reports
+        .iter()
+        .find(|(c, _)| c.strategy == SearchStrategy::Trail && !c.shared && !c.sliced)
+        .expect("reference cell present")
+        .1;
+
+    // Outcome-level invariants hold across the whole matrix.
+    for (cell, report) in &reports {
+        let cell = cell.name();
+        assert_eq!(
+            report.impls.len(),
+            reference.impls.len(),
+            "{name}: {cell}: obligation count diverges under {budget:?}"
+        );
+        for (got, want) in report.impls.iter().zip(&reference.impls) {
+            assert_eq!(
+                got.proc_name, want.proc_name,
+                "{name}: {cell}: order diverges"
+            );
+            assert_eq!(
+                got.verdict.label(),
+                want.verdict.label(),
+                "{name}: {cell}: verdict for `{}` diverges under {budget:?}",
+                got.proc_name
+            );
+            // Refutations must land on the same obligation labels.
+            let labels = |r: &oolong::datagroups::ImplReport| {
+                r.verdict.refutation().map(|refutation| {
+                    (
+                        refutation.labels.clone(),
+                        refutation.primary.as_ref().map(|p| p.id),
+                    )
+                })
+            };
+            assert_eq!(
+                labels(got),
+                labels(want),
+                "{name}: {cell}: refutation labels for `{}` diverge under {budget:?}",
+                got.proc_name
+            );
+            // Divergence attribution: same exhausted dimension, same
+            // culprits (keyed without registration ids).
+            if let (Some(g), Some(w)) = (got.verdict.stats(), want.verdict.stats()) {
+                assert_eq!(
+                    g.exhausted, w.exhausted,
+                    "{name}: {cell}: exhaustion reason for `{}` diverges under {budget:?}",
+                    got.proc_name
+                );
+                assert_eq!(
+                    divergence_key(g),
+                    divergence_key(w),
+                    "{name}: {cell}: divergence culprits for `{}` diverge under {budget:?}",
+                    got.proc_name
+                );
+            }
+        }
+    }
+
+    let stats_of = |shared: bool, sliced: bool, strategy: SearchStrategy| -> Vec<Option<&Stats>> {
+        let (_, report) = reports
+            .iter()
+            .find(|(c, _)| c.shared == shared && c.sliced == sliced && c.strategy == strategy)
+            .expect("cell present");
+        report.impls.iter().map(|r| r.verdict.stats()).collect()
+    };
+
+    for strategy in [SearchStrategy::Trail, SearchStrategy::CloneSearch] {
+        for sliced in [false, true] {
+            // Context sharing is bit-invisible: shared vs per-obligation
+            // stats agree exactly, trail counters included.
+            for (i, (shared, per_ob)) in stats_of(true, sliced, strategy)
+                .iter()
+                .zip(stats_of(false, sliced, strategy))
+                .enumerate()
+            {
+                assert_eq!(
+                    shared.cloned(),
+                    per_ob.cloned(),
+                    "{name}: sharing perturbs stats (impl {i}, {strategy:?}, sliced={sliced}) under {budget:?}"
+                );
+            }
+        }
+    }
+
+    for shared in [false, true] {
+        for sliced in [false, true] {
+            // Trail vs clone agree up to trail telemetry, and the clone
+            // reference itself must report no trail activity beyond the
+            // shared base (whose counters are zero: base construction
+            // never backtracks).
+            for (i, (trail, clone)) in stats_of(shared, sliced, SearchStrategy::Trail)
+                .iter()
+                .zip(stats_of(shared, sliced, SearchStrategy::CloneSearch))
+                .enumerate()
+            {
+                let (Some(trail), Some(clone)) = (trail, clone) else {
+                    continue;
+                };
+                assert_eq!(
+                    trail.without_trail_counters(),
+                    clone.without_trail_counters(),
+                    "{name}: strategies diverge (impl {i}, shared={shared}, sliced={sliced}) under {budget:?}"
+                );
+                assert_eq!(clone.pops, 0, "{name}: clone search kept a trail");
+                assert_eq!(clone.undone_merges, 0);
+                assert_eq!(clone.trail_depth_max, 0);
+            }
+        }
+    }
+
+    for strategy in [SearchStrategy::Trail, SearchStrategy::CloneSearch] {
+        for shared in [false, true] {
+            // Slicing only removes inert registrations: all work counters
+            // agree, and the quantifier rows that did work agree as
+            // multisets. `quants` may only shrink, by exactly the number
+            // of dropped axioms plus their never-instantiated registrations.
+            for (i, (sliced, full)) in stats_of(shared, true, strategy)
+                .iter()
+                .zip(stats_of(shared, false, strategy))
+                .enumerate()
+            {
+                let (Some(sliced), Some(full)) = (sliced, full) else {
+                    continue;
+                };
+                let ctx =
+                    format!("{name}: impl {i}, {strategy:?}, shared={shared}, under {budget:?}");
+                assert_eq!(sliced.instances, full.instances, "{ctx}: instances");
+                assert_eq!(sliced.branches, full.branches, "{ctx}: branches");
+                assert_eq!(sliced.rounds, full.rounds, "{ctx}: rounds");
+                assert_eq!(sliced.max_depth, full.max_depth, "{ctx}: max_depth");
+                assert_eq!(sliced.peak_nodes, full.peak_nodes, "{ctx}: peak_nodes");
+                assert_eq!(
+                    sliced.deferred_instances, full.deferred_instances,
+                    "{ctx}: deferred"
+                );
+                assert_eq!(
+                    sliced.trigger_matches, full.trigger_matches,
+                    "{ctx}: matches"
+                );
+                assert_eq!(sliced.merges, full.merges, "{ctx}: merges");
+                assert_eq!(sliced.clauses, full.clauses, "{ctx}: clauses");
+                assert_eq!(sliced.pops, full.pops, "{ctx}: pops");
+                assert_eq!(
+                    sliced.undone_merges, full.undone_merges,
+                    "{ctx}: undone merges"
+                );
+                assert_eq!(
+                    sliced.trail_depth_max, full.trail_depth_max,
+                    "{ctx}: trail depth"
+                );
+                assert_eq!(work_rows(sliced), work_rows(full), "{ctx}: work rows");
+                assert!(
+                    sliced.quants <= full.quants,
+                    "{ctx}: slicing grew the registry ({} > {})",
+                    sliced.quants,
+                    full.quants
+                );
+                assert_eq!(full.sliced_axioms, 0, "{ctx}: full run reported slicing");
+            }
+        }
+    }
+}
+
+fn assert_matrix_agrees(name: &str, source: &str, budgets: &[Budget]) {
+    for budget in budgets {
+        assert_matrix_agrees_under(name, source, budget);
+    }
 }
 
 /// A roomy-but-bounded budget plus deliberately starved ones, so both
 /// `Proved` searches and every `Unknown` exhaustion path are compared.
 /// The roomy budget is capped like the soundness suite's: an unbounded
 /// default budget would let hopeless generated VCs grind for minutes,
-/// and a timeout here only moves an outcome to `Unknown` — which the
-/// two strategies must still agree on.
+/// and a timeout here only moves an outcome to `Unknown` — which every
+/// matrix cell must still agree on.
 fn budget_grid() -> Vec<Budget> {
     let roomy = Budget {
         max_instances: 8_000,
@@ -103,41 +368,41 @@ fn budget_grid() -> Vec<Budget> {
 }
 
 #[test]
-fn trail_matches_clone_on_paper_corpus() {
+fn matrix_agrees_on_paper_corpus() {
     for p in corpus::all() {
-        assert_strategies_agree(p.name, p.source, &budget_grid());
+        assert_matrix_agrees(p.name, p.source, &budget_grid());
     }
 }
 
 #[test]
-fn trail_matches_clone_on_generated_programs() {
+fn matrix_agrees_on_generated_programs() {
     let cfg = GenConfig::default();
     for seed in 0..12 {
         let src = corpus::generate_source(seed, &cfg);
-        assert_strategies_agree(&format!("generated seed {seed}"), &src, &budget_grid());
+        assert_matrix_agrees(&format!("generated seed {seed}"), &src, &budget_grid());
     }
 }
 
 #[test]
-fn trail_matches_clone_on_cyclic_programs() {
+fn matrix_agrees_on_cyclic_programs() {
     // Cyclic rep inclusions starve the matcher (the paper's §5 third
-    // example); the strategies must agree on the Unknown outcomes and on
+    // example); every cell must agree on the Unknown outcomes and on
     // which budget dimension tripped.
     for seed in 0..6 {
         let src = corpus::generate_cyclic_source(seed);
-        assert_strategies_agree(&format!("cyclic seed {seed}"), &src, &budget_grid());
+        assert_matrix_agrees(&format!("cyclic seed {seed}"), &src, &budget_grid());
     }
 }
 
 #[test]
-fn trail_matches_clone_on_seeded_violations() {
+fn matrix_agrees_on_seeded_violations() {
     // Programs with a known injected bug exercise the refutation path:
-    // the prover must actually close the negated obligation, and both
-    // strategies must find the same refutation-side counters while doing
-    // so (the populations above are dominated by Proved/Unknown VCs).
+    // the prover must actually close the negated obligation, and every
+    // cell must find the same refuting labels while doing so (the
+    // populations above are dominated by Proved/Unknown VCs).
     for seed in 0..12 {
         let v = corpus::generate_seeded_violation_source(seed);
-        assert_strategies_agree(
+        assert_matrix_agrees(
             &format!("seeded violation seed {seed} ({:?})", v.bug),
             &v.source,
             &budget_grid(),
@@ -146,7 +411,7 @@ fn trail_matches_clone_on_seeded_violations() {
 }
 
 #[test]
-fn trail_matches_clone_on_branchy_programs() {
+fn matrix_agrees_on_branchy_programs() {
     // Branch-heavy choice chains are where the trail actually earns its
     // keep: 2^depth case splits per VC. The VC itself has 2^depth leaves,
     // so the clone-based reference gets slow very fast — a tighter grid
@@ -176,7 +441,7 @@ fn trail_matches_clone_on_branchy_programs() {
     for seed in 0..6 {
         let depth = 3 + (seed as usize % 3);
         let src = corpus::generate_branchy_source(seed, depth);
-        assert_strategies_agree(
+        assert_matrix_agrees(
             &format!("branchy seed {seed} depth {depth}"),
             &src,
             &branchy_grid,

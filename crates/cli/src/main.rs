@@ -10,6 +10,7 @@
 //! oolong run     <file|corpus:NAME> --proc NAME [--seeds N] [--owner-exclusion]
 //! oolong vc      <file|corpus:NAME> [--proc NAME]
 //! oolong stats   <file|corpus:NAME> [--json]
+//! oolong axioms  <file|corpus:NAME> [--json]
 //! oolong corpus
 //! ```
 //!
@@ -27,9 +28,12 @@
 //! interpreter to confirm (or demote) the counterexample. `check
 //! --explain-unknown` attributes a budget-exhausted verdict to the
 //! quantified axioms that consumed the budget; `stats` aggregates the same
-//! per-axiom telemetry across every obligation of a program.
+//! per-axiom telemetry across every obligation of a program. `axioms`
+//! dumps every background axiom's declared matching patterns (PATS/MPAT),
+//! its scheduling phase, and where its instantiations landed (background
+//! pre-saturation vs obligation frames) across the program's proofs.
 
-use datagroups::{overhead, prover_metrics, CheckOptions, Checker};
+use datagroups::{overhead, prover_metrics, BackgroundSlice, CheckOptions, Checker};
 use oolong_diagnose::{diagnose_refutation, diagnose_restriction, Diagnosis, Replay};
 use oolong_engine::{diagnosis_to_json, label_to_json, BatchUnit, Engine, EngineOptions, Json};
 use oolong_interp::{ExecConfig, Interp, RngOracle, RunOutcome};
@@ -58,13 +62,14 @@ fn usage() -> String {
   oolong check   <file|corpus:NAME> [--modular] [--naive] [--null-checks] [--explain]
                  [--explain-unknown] [--json] [--max-instances N] [--max-gen N]
                  [--clone-search] [--no-share-contexts] [--no-slice-axioms]
+                 [--no-pattern-policies]
   oolong explain <file|corpus:NAME> [--proc NAME] [--cache-dir DIR] [--json]
                  [--naive] [--null-checks] [--max-instances N] [--max-gen N]
                  [--clone-search]
   oolong batch   <files|corpus:NAMEs...> [--cache-dir DIR] [--no-cache] [--workers N]
                  [--events PATH] [--json] [--naive] [--null-checks]
                  [--max-instances N] [--max-gen N] [--clone-search]
-                 [--no-share-contexts] [--no-slice-axioms]
+                 [--no-share-contexts] [--no-slice-axioms] [--no-pattern-policies]
   oolong recheck [--cache-dir DIR] [--events PATH] [--json]
   oolong serve   --socket PATH [--cache-dir DIR] [--no-cache] [--workers N] [--queue N]
                  [--mem-cap N] [--events PATH] [--json-log] [--quiet] [--naive]
@@ -74,7 +79,9 @@ fn usage() -> String {
   oolong vc      <file|corpus:NAME> [--proc NAME]
   oolong stats   <file|corpus:NAME> [--json] [--naive] [--null-checks]
                  [--max-instances N] [--max-gen N] [--no-share-contexts]
-                 [--no-slice-axioms]
+                 [--no-slice-axioms] [--no-pattern-policies]
+  oolong axioms  <file|corpus:NAME> [--json] [--naive] [--null-checks]
+                 [--max-instances N] [--max-gen N] [--no-pattern-policies]
   oolong corpus
   oolong experiments"
         .to_string()
@@ -94,6 +101,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "run" => cmd_run(&args[1..]),
         "vc" => cmd_vc(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "axioms" => cmd_axioms(&args[1..]),
         "corpus" => cmd_corpus(),
         "experiments" => {
             experiments::run_all();
@@ -189,6 +197,9 @@ fn check_options(args: &[String]) -> Result<CheckOptions, String> {
     }
     if flag(args, "--no-slice-axioms") {
         options.slice_axioms = false;
+    }
+    if flag(args, "--no-pattern-policies") {
+        options.pattern_policies = false;
     }
     Ok(options)
 }
@@ -846,6 +857,14 @@ fn prover_metrics_json(metrics: &datagroups::ProverMetrics) -> Json {
         ("unknown".to_string(), Json::Int(metrics.unknown as i64)),
         ("instances".to_string(), Json::Int(metrics.instances as i64)),
         (
+            "presat_instances".to_string(),
+            Json::Int(metrics.presat_instances as i64),
+        ),
+        (
+            "goal_instances".to_string(),
+            Json::Int(metrics.goal_instances as i64),
+        ),
+        (
             "trigger_matches".to_string(),
             Json::Int(metrics.trigger_matches as i64),
         ),
@@ -891,6 +910,11 @@ fn prover_metrics_json(metrics: &datagroups::ProverMetrics) -> Json {
                             ("trigger".to_string(), Json::Str(axiom.trigger.clone())),
                             ("matches".to_string(), Json::Int(axiom.matches as i64)),
                             ("instances".to_string(), Json::Int(axiom.instances as i64)),
+                            (
+                                "presat".to_string(),
+                                Json::Int(axiom.presat_instances as i64),
+                            ),
+                            ("goal".to_string(), Json::Int(axiom.goal_instances as i64)),
                             ("deferred".to_string(), Json::Int(axiom.deferred as i64)),
                             (
                                 "obligations".to_string(),
@@ -902,6 +926,127 @@ fn prover_metrics_json(metrics: &datagroups::ProverMetrics) -> Json {
             ),
         ),
     ])
+}
+
+/// `oolong axioms` — the declared pattern-policy table of a program's
+/// scope background, joined with where each axiom's instantiations landed
+/// (pre-saturation vs obligation frames) when every implementation is
+/// proved against the full (unsliced) background.
+fn cmd_axioms(args: &[String]) -> Result<ExitCode, String> {
+    let source = load_source(positional(args)?)?;
+    let program = parse_program(&source).map_err(|e| e.render(&source))?;
+    let checker = Checker::new(&program, check_options(args)?).map_err(|e| e.render(&source))?;
+    let policies = checker.background_policies();
+    let phases = checker.background_phases();
+
+    // Per-axiom telemetry, summed over every obligation. Each VC is proved
+    // against the full background so the per-quantifier rows line up with
+    // the policy table by index — the slicer would renumber them.
+    let n = policies.len();
+    let (mut presat, mut goal, mut matches) = (vec![0i64; n], vec![0i64; n], vec![0i64; n]);
+    let impl_ids: Vec<_> = checker.scope().impls().map(|(id, _)| id).collect();
+    for id in impl_ids {
+        let Ok(vc) = checker.vc(id) else { continue };
+        let full = BackgroundSlice {
+            keep: vec![true; vc.background_hyps],
+        };
+        let mut ctx = checker.context_for_slice(&vc, &full);
+        let verdict = checker.verdict_for_vc_in(&mut ctx, &vc, 0);
+        let Some(stats) = verdict.stats() else {
+            continue;
+        };
+        for (axiom, ((p, g), m)) in presat
+            .iter_mut()
+            .zip(goal.iter_mut())
+            .zip(matches.iter_mut())
+            .enumerate()
+        {
+            for q in &stats.per_quant {
+                if ctx.background_quants(axiom).contains(&q.id) {
+                    *p += q.presat_instances as i64;
+                    *g += q.goal_instances as i64;
+                    *m += q.matches as i64;
+                }
+            }
+        }
+    }
+
+    let pats = |p: &oolong_logic::PatternPolicy| {
+        p.triggers
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    };
+    let mpat = |p: &oolong_logic::PatternPolicy| {
+        p.multi_patterns
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    };
+    if flag(args, "--json") {
+        let axioms = policies
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _, policy))| {
+                Json::Object(vec![
+                    ("name".to_string(), Json::Str(name.clone())),
+                    (
+                        "phase".to_string(),
+                        Json::Str(phases[i].as_str().to_string()),
+                    ),
+                    (
+                        "pats".to_string(),
+                        Json::Array(pats(policy).into_iter().map(Json::Str).collect()),
+                    ),
+                    (
+                        "mpat".to_string(),
+                        Json::Array(mpat(policy).into_iter().map(Json::Str).collect()),
+                    ),
+                    ("presat".to_string(), Json::Int(presat[i])),
+                    ("goal".to_string(), Json::Int(goal[i])),
+                    ("matches".to_string(), Json::Int(matches[i])),
+                ])
+            })
+            .collect();
+        println!(
+            "{}",
+            Json::Object(vec![
+                ("axioms".to_string(), Json::Array(axioms)),
+                (
+                    "totals".to_string(),
+                    Json::Object(vec![
+                        ("presat".to_string(), Json::Int(presat.iter().sum())),
+                        ("goal".to_string(), Json::Int(goal.iter().sum())),
+                    ]),
+                ),
+            ])
+            .render()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    for (i, (name, _, policy)) in policies.iter().enumerate() {
+        println!("{name} [{}]", phases[i]);
+        for t in pats(policy) {
+            println!("  PATS {t}");
+        }
+        for t in mpat(policy) {
+            println!("  MPAT {t}");
+        }
+        println!(
+            "  {} instances ({} presat + {} goal), {} matches",
+            presat[i] + goal[i],
+            presat[i],
+            goal[i],
+            matches[i]
+        );
+    }
+    println!(
+        "total: {} presat + {} goal instances across {} axioms",
+        presat.iter().sum::<i64>(),
+        goal.iter().sum::<i64>(),
+        n
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_corpus() -> Result<ExitCode, String> {

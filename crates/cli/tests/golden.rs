@@ -65,6 +65,14 @@ fn assert_matches_snapshot(name: &str, value: &Json) {
     schema(value, 0, &mut actual);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/");
     let path = format!("{path}{name}");
+    // `UPDATE_GOLDEN=1 cargo test -p oolong-cli --test golden` rewrites
+    // the snapshots after a deliberate schema change; the diff is then
+    // reviewed like any other source change.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual)
+            .unwrap_or_else(|e| panic!("cannot update snapshot `{path}`: {e}"));
+        return;
+    }
     let expected = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read snapshot `{path}`: {e}\nactual:\n{actual}"));
     assert_eq!(

@@ -18,8 +18,30 @@
 //! two stores and has no usable trigger).
 
 use oolong_logic::transform::FreshGen;
-use oolong_logic::{Atom, Formula, Pattern, Symbol, Term, Trigger};
+use oolong_logic::{Atom, Formula, Pattern, PatternPolicy, Symbol, Term, Trigger};
 use oolong_sema::{AttrKind, Scope};
+
+/// The single point where a background quantifier is built. Every axiom in
+/// this file declares its [`PatternPolicy`] here, and the policy's trigger
+/// list *is* the quantifier's trigger list — so the formula the prover
+/// sees and the policy the scheduler honors can never disagree. The
+/// policy-gate test (`tests/policy_gate.rs`) enforces that no other call
+/// site in this file constructs a quantifier directly, which is what makes
+/// heuristic trigger inference a user-level-only fallback.
+fn declare(vars: Vec<Symbol>, policy: PatternPolicy, body: Formula) -> (Formula, PatternPolicy) {
+    debug_assert!(
+        policy.is_declared(),
+        "background quantifiers must declare patterns"
+    );
+    let formula = Formula::forall(vars, policy.all_triggers(), body);
+    (formula, policy)
+}
+
+/// A ground (quantifier-free) background fact: nothing to match, so the
+/// policy declares no patterns and the phase is vacuously eager.
+fn ground(formula: Formula) -> (Formula, PatternPolicy) {
+    (formula, PatternPolicy::eager(Vec::new()))
+}
 
 /// Generates the universal background predicate as a list of axioms.
 ///
@@ -52,7 +74,20 @@ pub fn universal_background_named(
     arrays: bool,
     fresh: &mut FreshGen,
 ) -> Vec<(String, Formula)> {
-    let mut axioms: Vec<(&'static str, Formula)> = vec![
+    universal_background_policies(alias_restrictions, arrays, fresh)
+        .into_iter()
+        .map(|(name, f, _)| (name, f))
+        .collect()
+}
+
+/// [`universal_background_named`] with each axiom's declared
+/// [`PatternPolicy`] attached.
+pub fn universal_background_policies(
+    alias_restrictions: bool,
+    arrays: bool,
+    fresh: &mut FreshGen,
+) -> Vec<(String, Formula, PatternPolicy)> {
+    let mut axioms: Vec<(&'static str, (Formula, PatternPolicy))> = vec![
         ("select-update-same", select_update_same(fresh)),
         ("select-update-other", select_update_other(fresh)),
         ("new-unallocated", new_unallocated(fresh)),
@@ -96,7 +131,7 @@ pub fn universal_background_named(
     }
     axioms
         .into_iter()
-        .map(|(name, f)| (name.to_string(), f))
+        .map(|(name, (f, policy))| (name.to_string(), f, policy))
         .collect()
 }
 
@@ -114,10 +149,27 @@ pub fn named_background(
     arrays: bool,
     fresh: &mut FreshGen,
 ) -> Vec<(String, Formula)> {
-    let mut axioms = universal_background_named(alias_restrictions, arrays, fresh);
-    axioms.extend(scope_background_named(scope, fresh));
+    named_background_policies(scope, alias_restrictions, arrays, fresh)
+        .into_iter()
+        .map(|(name, f, _)| (name, f))
+        .collect()
+}
+
+/// [`named_background`] with each axiom's declared [`PatternPolicy`]
+/// attached, in the same order. The policies' [`Phase`] column is the
+/// input to the prover's two-phase schedule (and to the engine's
+/// fingerprint phase mask), so it must stay in lockstep with the
+/// hypothesis list — which it does by construction, being the same list.
+pub fn named_background_policies(
+    scope: &Scope,
+    alias_restrictions: bool,
+    arrays: bool,
+    fresh: &mut FreshGen,
+) -> Vec<(String, Formula, PatternPolicy)> {
+    let mut axioms = universal_background_policies(alias_restrictions, arrays, fresh);
+    axioms.extend(scope_background_policies(scope, fresh));
     if !alias_restrictions {
-        axioms.extend(closed_world_background_named(scope, fresh));
+        axioms.extend(closed_world_background_policies(scope, fresh));
     }
     axioms
 }
@@ -140,6 +192,20 @@ pub fn closed_world_background_named(
     scope: &Scope,
     fresh: &mut FreshGen,
 ) -> Vec<(String, Formula)> {
+    closed_world_background_policies(scope, fresh)
+        .into_iter()
+        .map(|(name, f, _)| (name, f))
+        .collect()
+}
+
+/// [`closed_world_background_named`] with declared pattern policies. Both
+/// enumeration axioms are goal-directed: they fire once per rep/local
+/// inclusion atom, and asserting them against a goalless background
+/// enumerates the scope's whole declaration table into every context.
+pub fn closed_world_background_policies(
+    scope: &Scope,
+    fresh: &mut FreshGen,
+) -> Vec<(String, Formula, PatternPolicy)> {
     let mut axioms = Vec::new();
 
     // ∀A,F,B :: A →F B ⇒ ⋁ declared triples.
@@ -161,14 +227,12 @@ pub fn closed_world_background_named(
                 ])
             })
             .collect();
-        axioms.push((
-            "closed-world-rep".to_string(),
-            Formula::forall(
-                vec![av, fv, bv],
-                vec![Trigger(vec![Pattern::Atom(atom)])],
-                Formula::implies(Formula::Atom(atom), Formula::or(arms)),
-            ),
-        ));
+        let (formula, policy) = declare(
+            vec![av, fv, bv],
+            PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Atom(atom)])]),
+            Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+        );
+        axioms.push(("closed-world-rep".to_string(), formula, policy));
     }
 
     // ∀G,A :: G ⊒ A ⇒ G = A ∨ ⋁ declared enclosing pairs.
@@ -184,14 +248,12 @@ pub fn closed_world_background_named(
                 ]));
             }
         }
-        axioms.push((
-            "closed-world-local".to_string(),
-            Formula::forall(
-                vec![gv, av],
-                vec![Trigger(vec![Pattern::Atom(atom)])],
-                Formula::implies(Formula::Atom(atom), Formula::or(arms)),
-            ),
-        ));
+        let (formula, policy) = declare(
+            vec![gv, av],
+            PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Atom(atom)])]),
+            Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+        );
+        axioms.push(("closed-world-local".to_string(), formula, policy));
     }
 
     axioms
@@ -208,21 +270,34 @@ pub fn scope_background(scope: &Scope, fresh: &mut FreshGen) -> Vec<Formula> {
 /// [`scope_background`] with stable axiom names (parameterized by the
 /// declared attribute names involved).
 pub fn scope_background_named(scope: &Scope, fresh: &mut FreshGen) -> Vec<(String, Formula)> {
+    scope_background_policies(scope, fresh)
+        .into_iter()
+        .map(|(name, f, _)| (name, f))
+        .collect()
+}
+
+/// [`scope_background_named`] with declared pattern policies. The ground
+/// inclusion facts are (vacuously) eager; the per-attribute and per-field
+/// *enumeration* axioms are goal-directed — they fire on every ground
+/// `⊒`/`→f` fact, so letting them run during goalless pre-saturation
+/// enumerates the scope's whole declaration lattice (and, through the
+/// `Iff` bodies' freshly interned arm atoms, re-triggers itself) in every
+/// context whether or not an obligation ever asks.
+pub fn scope_background_policies(
+    scope: &Scope,
+    fresh: &mut FreshGen,
+) -> Vec<(String, Formula, PatternPolicy)> {
     let mut axioms = Vec::new();
 
     for (attr_id, info) in scope.attrs() {
         let a = Term::attr(info.name.clone());
         // Ground reflexivity and the declared transitive enclosing groups.
-        axioms.push((
-            format!("local-inc-refl:{}", info.name),
-            Formula::Atom(Atom::LocalInc(a, a)),
-        ));
+        let (f, policy) = ground(Formula::Atom(Atom::LocalInc(a, a)));
+        axioms.push((format!("local-inc-refl:{}", info.name), f, policy));
         for &g in scope.enclosing_groups(attr_id) {
             let g_name = &scope.attr_info(g).name;
-            axioms.push((
-                format!("local-inc:{}>{}", g_name, info.name),
-                Formula::Atom(Atom::LocalInc(Term::attr(g_name.clone()), a)),
-            ));
+            let (f, policy) = ground(Formula::Atom(Atom::LocalInc(Term::attr(g_name.clone()), a)));
+            axioms.push((format!("local-inc:{}>{}", g_name, info.name), f, policy));
         }
         // Enumeration axiom for ⊒ into this attribute:
         //   ∀G :: G ⊒ a ⇔ (G = a ∨ G = g₁ ∨ … ∨ G = gₙ).
@@ -235,14 +310,12 @@ pub fn scope_background_named(scope: &Scope, fresh: &mut FreshGen) -> Vec<(Strin
             ));
         }
         let atom = Atom::LocalInc(Term::var(gv), a);
-        axioms.push((
-            format!("local-inc-enum:{}", info.name),
-            Formula::forall(
-                vec![gv],
-                vec![Trigger(vec![Pattern::Atom(atom)])],
-                Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
-            ),
-        ));
+        let (f, policy) = declare(
+            vec![gv],
+            PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Atom(atom)])]),
+            Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
+        );
+        axioms.push((format!("local-inc-enum:{}", info.name), f, policy));
 
         if info.kind == AttrKind::Field {
             axioms.extend(field_rep_axioms(scope, attr_id, &a, fresh));
@@ -256,14 +329,12 @@ pub fn scope_background_named(scope: &Scope, fresh: &mut FreshGen) -> Vec<(Strin
             &scope.attr_info(f).name,
             &scope.attr_info(b).name,
         );
-        axioms.push((
-            format!("rep:{g_name}-{f_name}>{b_name}"),
-            Formula::Atom(Atom::RepInc {
-                group: Term::attr(g_name.clone()),
-                pivot: Term::attr(f_name.clone()),
-                mapped: Term::attr(b_name.clone()),
-            }),
-        ));
+        let (formula, policy) = ground(Formula::Atom(Atom::RepInc {
+            group: Term::attr(g_name.clone()),
+            pivot: Term::attr(f_name.clone()),
+            mapped: Term::attr(b_name.clone()),
+        }));
+        axioms.push((format!("rep:{g_name}-{f_name}>{b_name}"), formula, policy));
     }
     // Ground elementwise facts a ⇉f b (array dependencies).
     for (g, f, b) in scope.rep_elem_triples() {
@@ -272,13 +343,15 @@ pub fn scope_background_named(scope: &Scope, fresh: &mut FreshGen) -> Vec<(Strin
             &scope.attr_info(f).name,
             &scope.attr_info(b).name,
         );
+        let (formula, policy) = ground(Formula::Atom(Atom::RepIncElem {
+            group: Term::attr(g_name.clone()),
+            pivot: Term::attr(f_name.clone()),
+            mapped: Term::attr(b_name.clone()),
+        }));
         axioms.push((
             format!("rep-elem:{g_name}-{f_name}>{b_name}"),
-            Formula::Atom(Atom::RepIncElem {
-                group: Term::attr(g_name.clone()),
-                pivot: Term::attr(f_name.clone()),
-                mapped: Term::attr(b_name.clone()),
-            }),
+            formula,
+            policy,
         ));
     }
 
@@ -290,7 +363,7 @@ fn field_rep_axioms(
     field: oolong_sema::AttrId,
     f: &Term,
     fresh: &mut FreshGen,
-) -> Vec<(String, Formula)> {
+) -> Vec<(String, Formula, PatternPolicy)> {
     let mut axioms = Vec::new();
     let field_name = &scope.attr_info(field).name;
     let mapped = scope.mapped_attrs(field);
@@ -309,14 +382,12 @@ fn field_rep_axioms(
             .iter()
             .map(|&b| Formula::eq(Term::var(bv), Term::attr(scope.attr_info(b).name.clone())))
             .collect();
-        axioms.push((
-            format!("rep-range:{field_name}"),
-            Formula::forall(
-                vec![av, bv],
-                vec![Trigger(vec![Pattern::Atom(atom)])],
-                Formula::implies(Formula::Atom(atom), Formula::or(arms)),
-            ),
-        ));
+        let (formula, policy) = declare(
+            vec![av, bv],
+            PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Atom(atom)])]),
+            Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+        );
+        axioms.push((format!("rep-range:{field_name}"), formula, policy));
     }
 
     // Axiom (9), per mapped attribute b:
@@ -335,13 +406,15 @@ fn field_rep_axioms(
             .iter()
             .map(|&a| Formula::eq(Term::var(av), Term::attr(scope.attr_info(a).name.clone())))
             .collect();
+        let (formula, policy) = declare(
+            vec![av],
+            PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Atom(atom)])]),
+            Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
+        );
         axioms.push((
             format!("rep-mappers:{field_name}>{b_name}"),
-            Formula::forall(
-                vec![av],
-                vec![Trigger(vec![Pattern::Atom(atom)])],
-                Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
-            ),
+            formula,
+            policy,
         ));
     }
 
@@ -374,19 +447,19 @@ fn field_rep_axioms(
             attr2: Term::var(b),
         };
         let _ = updated;
-        // Query-driven: one trigger on the post-update side only.
-        let triggers = vec![Trigger(vec![Pattern::Atom(inc_upd)])];
-        axioms.push((
-            format!("store-insensitive:{field_name}"),
-            Formula::forall(
-                vec![s, z, v, x, a, y, b],
-                triggers,
-                Formula::Iff(
-                    Box::new(Formula::Atom(inc_upd)),
-                    Box::new(Formula::Atom(inc_base)),
-                ),
+        // Query-driven: one trigger on the post-update side only. Nothing
+        // in a goalless background contains an update term, so the axiom
+        // is goal-directed — it can only fire once an obligation's
+        // post-state `≽` queries exist.
+        let (formula, policy) = declare(
+            vec![s, z, v, x, a, y, b],
+            PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Atom(inc_upd)])]),
+            Formula::Iff(
+                Box::new(Formula::Atom(inc_upd)),
+                Box::new(Formula::Atom(inc_base)),
             ),
-        ));
+        );
+        axioms.push((format!("store-insensitive:{field_name}"), formula, policy));
     }
 
     axioms
@@ -399,7 +472,7 @@ fn field_rep_elem_axioms(
     field: oolong_sema::AttrId,
     f: &Term,
     fresh: &mut FreshGen,
-) -> Vec<(String, Formula)> {
+) -> Vec<(String, Formula, PatternPolicy)> {
     let mut axioms = Vec::new();
     let field_name = &scope.attr_info(field).name;
     let mapped = scope.mapped_attrs_kind(field, true);
@@ -417,14 +490,12 @@ fn field_rep_elem_axioms(
             .iter()
             .map(|&b| Formula::eq(Term::var(bv), Term::attr(scope.attr_info(b).name.clone())))
             .collect();
-        axioms.push((
-            format!("rep-elem-range:{field_name}"),
-            Formula::forall(
-                vec![av, bv],
-                vec![Trigger(vec![Pattern::Atom(atom)])],
-                Formula::implies(Formula::Atom(atom), Formula::or(arms)),
-            ),
-        ));
+        let (formula, policy) = declare(
+            vec![av, bv],
+            PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Atom(atom)])]),
+            Formula::implies(Formula::Atom(atom), Formula::or(arms)),
+        );
+        axioms.push((format!("rep-elem-range:{field_name}"), formula, policy));
     }
 
     // (9)-elem, per mapped attribute b: ∀A :: A ⇉f b ⇔ (A = a₁ ∨ …).
@@ -442,13 +513,15 @@ fn field_rep_elem_axioms(
             .iter()
             .map(|&a| Formula::eq(Term::var(av), Term::attr(scope.attr_info(a).name.clone())))
             .collect();
+        let (formula, policy) = declare(
+            vec![av],
+            PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Atom(atom)])]),
+            Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
+        );
         axioms.push((
             format!("rep-elem-mappers:{field_name}>{b_name}"),
-            Formula::forall(
-                vec![av],
-                vec![Trigger(vec![Pattern::Atom(atom)])],
-                Formula::Iff(Box::new(Formula::Atom(atom)), Box::new(Formula::or(arms))),
-            ),
+            formula,
+            policy,
         ));
     }
 
@@ -458,7 +531,7 @@ fn field_rep_elem_axioms(
 // ----------------------------------------------------------------- UBP parts
 
 /// `∀S,X,A,V :: select(S(X·A := V), X, A) = V`.
-fn select_update_same(fresh: &mut FreshGen) -> Formula {
+fn select_update_same(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x, a, v) = (
         fresh.fresh("ubS"),
         fresh.fresh("ubX"),
@@ -467,15 +540,15 @@ fn select_update_same(fresh: &mut FreshGen) -> Formula {
     );
     let upd = Term::update(Term::var(s), Term::var(x), Term::var(a), Term::var(v));
     let body = Formula::eq(Term::select(upd, Term::var(x), Term::var(a)), Term::var(v));
-    Formula::forall(
+    declare(
         vec![s, x, a, v],
-        vec![Trigger(vec![Pattern::Term(upd)])],
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Term(upd)])]),
         body,
     )
 }
 
 /// `∀S,X,A,V,Y,B :: (X = Y ∧ A = B) ∨ select(S(X·A := V), Y, B) = select(S, Y, B)`.
-fn select_update_other(fresh: &mut FreshGen) -> Formula {
+fn select_update_other(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x, a, v, y, b) = (
         fresh.fresh("ubS"),
         fresh.fresh("ubX"),
@@ -493,46 +566,54 @@ fn select_update_other(fresh: &mut FreshGen) -> Formula {
         ]),
         Formula::eq(read, Term::select(Term::var(s), Term::var(y), Term::var(b))),
     ]);
-    Formula::forall(
+    declare(
         vec![s, x, a, v, y, b],
-        vec![Trigger(vec![Pattern::Term(read)])],
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Term(read)])]),
         body,
     )
 }
 
 /// `∀S :: ¬alive(S, new(S)) ∧ new(S) ≠ null`.
-fn new_unallocated(fresh: &mut FreshGen) -> Formula {
+fn new_unallocated(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let s = fresh.fresh("ubS");
     let new = Term::new_obj(Term::var(s));
     let body = Formula::and(vec![
         Formula::not(Formula::Atom(Atom::Alive(Term::var(s), new))),
         Formula::neq(new, Term::null()),
     ]);
-    Formula::forall(vec![s], vec![Trigger(vec![Pattern::Term(new)])], body)
+    declare(
+        vec![s],
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Term(new)])]),
+        body,
+    )
 }
 
 /// `∀S :: alive(S⁺, new(S))`.
-fn succ_allocates_new(fresh: &mut FreshGen) -> Formula {
+fn succ_allocates_new(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let s = fresh.fresh("ubS");
     let succ = Term::succ(Term::var(s));
     let body = Formula::Atom(Atom::Alive(succ, Term::new_obj(Term::var(s))));
-    Formula::forall(vec![s], vec![Trigger(vec![Pattern::Term(succ)])], body)
+    declare(
+        vec![s],
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Term(succ)])]),
+        body,
+    )
 }
 
 /// `∀S,X :: alive(S⁺, X) ⇔ (alive(S, X) ∨ X = new(S))` — `S ⊑ S⁺` and
 /// `S⁺` allocates exactly `new(S)`, stated as a single query-driven
 /// equivalence (it fires only when some `alive(S⁺, X)` node exists, which
 /// keeps instantiation from fanning out over every store/object pair).
-fn succ_alive_iff(fresh: &mut FreshGen) -> Formula {
+fn succ_alive_iff(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x) = (fresh.fresh("ubS"), fresh.fresh("ubX"));
     let post = Atom::Alive(Term::succ(Term::var(s)), Term::var(x));
     let pre = Formula::or(vec![
         Formula::Atom(Atom::Alive(Term::var(s), Term::var(x))),
         Formula::eq(Term::var(x), Term::new_obj(Term::var(s))),
     ]);
-    Formula::forall(
+    declare(
         vec![s, x],
-        vec![Trigger(vec![Pattern::Atom(post)])],
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Atom(post)])]),
         Formula::Iff(Box::new(Formula::Atom(post)), Box::new(pre)),
     )
 }
@@ -540,7 +621,7 @@ fn succ_alive_iff(fresh: &mut FreshGen) -> Formula {
 /// `∀S,X,A :: select(S⁺, X, A) = select(S, X, A)` (other half of `S ⊑ S⁺`,
 /// strengthened to all objects — allocation does not change any attribute
 /// value).
-fn succ_preserves_select(fresh: &mut FreshGen) -> Formula {
+fn succ_preserves_select(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x, a) = (fresh.fresh("ubS"), fresh.fresh("ubX"), fresh.fresh("ubA"));
     let succ = Term::succ(Term::var(s));
     let post = Term::select(succ, Term::var(x), Term::var(a));
@@ -549,12 +630,16 @@ fn succ_preserves_select(fresh: &mut FreshGen) -> Formula {
         Trigger(vec![Pattern::Term(post)]),
         Trigger(vec![Pattern::Term(pre), Pattern::Term(succ)]),
     ];
-    Formula::forall(vec![s, x, a], triggers, Formula::eq(post, pre))
+    declare(
+        vec![s, x, a],
+        PatternPolicy::eager(triggers),
+        Formula::eq(post, pre),
+    )
 }
 
 /// `∀S,Z,F,V,X :: alive(S(Z·F := V), X) ⇔ alive(S, X)` — field updates do
 /// not allocate.
-fn update_preserves_alive(fresh: &mut FreshGen) -> Formula {
+fn update_preserves_alive(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, z, fv, v, x) = (
         fresh.fresh("ubS"),
         fresh.fresh("ubZ"),
@@ -566,10 +651,9 @@ fn update_preserves_alive(fresh: &mut FreshGen) -> Formula {
     let post = Atom::Alive(upd, Term::var(x));
     let pre = Atom::Alive(Term::var(s), Term::var(x));
     // Query-driven: one trigger on the post-update side only.
-    let triggers = vec![Trigger(vec![Pattern::Atom(post)])];
-    Formula::forall(
+    declare(
         vec![s, z, fv, v, x],
-        triggers,
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Atom(post)])]),
         Formula::Iff(Box::new(Formula::Atom(post)), Box::new(Formula::Atom(pre))),
     )
 }
@@ -578,13 +662,13 @@ fn update_preserves_alive(fresh: &mut FreshGen) -> Formula {
 /// as allocated; only genuinely fresh objects are non-alive. Triggered by
 /// any aliveness query on the store and non-splitting: congruence links it
 /// to `alive(S, v)` queries once `v = null` is known.
-fn null_is_alive(fresh: &mut FreshGen) -> Formula {
+fn null_is_alive(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x) = (fresh.fresh("ubS"), fresh.fresh("ubX"));
     let query = Atom::Alive(Term::var(s), Term::var(x));
     let fact = Atom::Alive(Term::var(s), Term::null());
-    Formula::forall(
+    declare(
         vec![s, x],
-        vec![Trigger(vec![Pattern::Atom(query)])],
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Atom(query)])]),
         Formula::Atom(fact),
     )
 }
@@ -596,7 +680,7 @@ fn null_is_alive(fresh: &mut FreshGen) -> Formula {
 /// axiom ESC-style checkers add; §3.0's `q` needs it to know the value
 /// returned through `result.obj` is not a fresh object the callee could
 /// freely mutate.
-fn reads_are_alive_or_null(fresh: &mut FreshGen) -> Formula {
+fn reads_are_alive_or_null(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x, a, s2) = (
         fresh.fresh("ubS"),
         fresh.fresh("ubX"),
@@ -611,9 +695,9 @@ fn reads_are_alive_or_null(fresh: &mut FreshGen) -> Formula {
     // Query-driven: fires only when the aliveness of a read is in
     // question (in any store S2), not for every select term.
     let query = Atom::Alive(Term::var(s2), read);
-    Formula::forall(
+    declare(
         vec![s, x, a, s2],
-        vec![Trigger(vec![Pattern::Atom(query)])],
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Atom(query)])]),
         body,
     )
 }
@@ -622,7 +706,7 @@ fn reads_are_alive_or_null(fresh: &mut FreshGen) -> Formula {
 /// comparisons of non-integers go wrong operationally, so on every
 /// surviving path the operands are integers. This is how `assume i >= 0`
 /// lets the checker conclude `isInt(i)` for an array index parameter.
-fn comparisons_are_ints(fresh: &mut FreshGen) -> Formula {
+fn comparisons_are_ints(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (a, b) = (fresh.fresh("ubA"), fresh.fresh("ubB"));
     let lt = Atom::Lt(Term::var(a), Term::var(b));
     let le = Atom::Le(Term::var(a), Term::var(b));
@@ -630,12 +714,12 @@ fn comparisons_are_ints(fresh: &mut FreshGen) -> Formula {
         Formula::Atom(Atom::IsInt(Term::var(a))),
         Formula::Atom(Atom::IsInt(Term::var(b))),
     ]);
-    Formula::forall(
+    declare(
         vec![a, b],
-        vec![
+        PatternPolicy::eager(vec![
             Trigger(vec![Pattern::Atom(lt)]),
             Trigger(vec![Pattern::Atom(le)]),
-        ],
+        ]),
         Formula::and(vec![
             Formula::implies(Formula::Atom(lt), ints.clone()),
             Formula::implies(Formula::Atom(le), ints),
@@ -665,7 +749,7 @@ fn comparisons_are_ints(fresh: &mut FreshGen) -> Formula {
 /// real representation objects only; without it, an extension's null pivot
 /// would give callees license on locations of `null`, making §3.0's `q`
 /// unverifiable.
-fn inclusion_connection(arrays: bool, fresh: &mut FreshGen) -> Formula {
+fn inclusion_connection(arrays: bool, fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x, a, y, b) = (
         fresh.fresh("ubS"),
         fresh.fresh("ubX"),
@@ -737,9 +821,12 @@ fn inclusion_connection(arrays: bool, fresh: &mut FreshGen) -> Formula {
         Formula::neq(Term::var(y), Term::null()),
         Formula::or(chains),
     ]);
-    Formula::forall(
+    // Eager despite its size: the trigger is an `≽` atom, and a goalless
+    // background contains none, so pre-saturation never fires it — while
+    // gating it would clone its (large) body into every obligation frame.
+    declare(
         vec![s, x, a, y, b],
-        vec![Trigger(vec![Pattern::Atom(inc)])],
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Atom(inc)])]),
         Formula::Iff(
             Box::new(Formula::Atom(inc)),
             Box::new(Formula::or(vec![local_case, nonlocal_case])),
@@ -839,7 +926,7 @@ fn elem_chain_body(
 }
 
 /// Transitivity of `≽` (stated as a universal background axiom in §4.0).
-fn inc_transitive(fresh: &mut FreshGen) -> Formula {
+fn inc_transitive(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x, a, y, b, z, c) = (
         fresh.fresh("ubS"),
         fresh.fresh("ubX"),
@@ -870,10 +957,13 @@ fn inc_transitive(fresh: &mut FreshGen) -> Formula {
         obj2: Term::var(z),
         attr2: Term::var(c),
     };
+    // MPAT: both premise inclusions must match under one binding. Goal
+    // directed — transitivity chains grow quadratically when saturated
+    // without a goal to aim the chain at.
     let trigger = Trigger(vec![Pattern::Atom(first), Pattern::Atom(second)]);
-    Formula::forall(
+    declare(
         vec![s, x, a, y, b, z, c],
-        vec![trigger],
+        PatternPolicy::goal_directed(vec![trigger]),
         Formula::implies(
             Formula::and(vec![Formula::Atom(first), Formula::Atom(second)]),
             Formula::Atom(conclusion),
@@ -884,7 +974,7 @@ fn inc_transitive(fresh: &mut FreshGen) -> Formula {
 /// `≽` is insensitive to allocation: `S⁺ ⊨ X·A ≽ Y·B ⇔ S ⊨ X·A ≽ Y·B`
 /// (a special case of the paper's store-insensitivity axiom — `S` and `S⁺`
 /// agree on every attribute value).
-fn succ_preserves_inc(fresh: &mut FreshGen) -> Formula {
+fn succ_preserves_inc(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x, a, y, b) = (
         fresh.fresh("ubS"),
         fresh.fresh("ubX"),
@@ -909,10 +999,9 @@ fn succ_preserves_inc(fresh: &mut FreshGen) -> Formula {
     };
     let _ = (&inc_base, succ);
     // Query-driven: one trigger on the post-allocation side only.
-    let triggers = vec![Trigger(vec![Pattern::Atom(inc_succ)])];
-    Formula::forall(
+    declare(
         vec![s, x, a, y, b],
-        triggers,
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Atom(inc_succ)])]),
         Formula::Iff(
             Box::new(Formula::Atom(inc_succ)),
             Box::new(Formula::Atom(inc_base)),
@@ -922,12 +1011,12 @@ fn succ_preserves_inc(fresh: &mut FreshGen) -> Formula {
 
 /// `∀A :: A ⊒ A` — reflexivity of the local inclusion relation, triggered
 /// only when a reflexive query term exists.
-fn local_inc_reflexive(fresh: &mut FreshGen) -> Formula {
+fn local_inc_reflexive(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let a = fresh.fresh("ubA");
     let atom = Atom::LocalInc(Term::var(a), Term::var(a));
-    Formula::forall(
+    declare(
         vec![a],
-        vec![Trigger(vec![Pattern::Atom(atom)])],
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Atom(atom)])]),
         Formula::Atom(atom),
     )
 }
@@ -937,7 +1026,7 @@ fn local_inc_reflexive(fresh: &mut FreshGen) -> Formula {
 /// ```text
 /// G →F A ∧ S(X·F) ≠ null ∧ S(X·F) = S(Y·B) ⇒ X = Y ∧ F = B
 /// ```
-fn pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
+fn pivot_uniqueness(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (g, f, a, s, x, y, b) = (
         fresh.fresh("ubG"),
         fresh.fresh("ubF"),
@@ -963,14 +1052,17 @@ fn pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
         Formula::eq(Term::var(x), Term::var(y)),
         Formula::eq(Term::var(f), Term::var(b)),
     ]);
+    // MPAT: a rep declaration plus *two* store reads must be present —
+    // the antisymmetry shape E14 flagged as a divergence culprit when
+    // left to fire freely.
     let trigger = Trigger(vec![
         Pattern::Atom(rep),
         Pattern::Term(pivot_read),
         Pattern::Term(other_read),
     ]);
-    Formula::forall(
+    declare(
         vec![g, f, a, s, x, y, b],
-        vec![trigger],
+        PatternPolicy::goal_directed(vec![trigger]),
         Formula::implies(antecedent, conclusion),
     )
 }
@@ -981,7 +1073,7 @@ fn pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
 /// ```text
 /// G →F A ∧ Y = S(X·F) ∧ Y ≠ null ⇒ ¬(S ⊨ Y·B ≽ X·G)
 /// ```
-fn owner_acyclicity(fresh: &mut FreshGen) -> Formula {
+fn owner_acyclicity(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (g, f, a, s, x, y, b) = (
         fresh.fresh("ubG"),
         fresh.fresh("ubF"),
@@ -1012,9 +1104,9 @@ fn owner_acyclicity(fresh: &mut FreshGen) -> Formula {
         Formula::neq(Term::var(y), Term::null()),
     ]);
     let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Atom(inc)]);
-    Formula::forall(
+    declare(
         vec![g, f, a, s, x, y, b],
-        vec![trigger],
+        PatternPolicy::goal_directed(vec![trigger]),
         Formula::implies(antecedent, Formula::not(Formula::Atom(inc))),
     )
 }
@@ -1030,7 +1122,7 @@ fn owner_acyclicity(fresh: &mut FreshGen) -> Formula {
 /// Without this, owner exclusion could not be discharged for non-object
 /// arguments (e.g. the literal `3` in the paper's `push(st, 3)`): nothing
 /// else rules out an extension's pivot field holding `3`.
-fn pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
+fn pivot_values_are_objects(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (g, f, a, s, x) = (
         fresh.fresh("ubG"),
         fresh.fresh("ubF"),
@@ -1052,7 +1144,11 @@ fn pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
         ]),
     );
     let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(read)]);
-    Formula::forall(vec![g, f, a, s, x], vec![trigger], body)
+    declare(
+        vec![g, f, a, s, x],
+        PatternPolicy::goal_directed(vec![trigger]),
+        body,
+    )
 }
 
 /// The (7)-analogue for elem-pivot arrays: no location of the array
@@ -1061,7 +1157,7 @@ fn pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
 /// ```text
 /// G ⇉F A ∧ Y = S(X·F) ∧ Y ≠ null ⇒ ¬(S ⊨ Y·B ≽ X·G)
 /// ```
-fn owner_acyclicity_elem_array(fresh: &mut FreshGen) -> Formula {
+fn owner_acyclicity_elem_array(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (g, f, a, s, x, y, b) = (
         fresh.fresh("ubG"),
         fresh.fresh("ubF"),
@@ -1092,9 +1188,9 @@ fn owner_acyclicity_elem_array(fresh: &mut FreshGen) -> Formula {
         Formula::neq(Term::var(y), Term::null()),
     ]);
     let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Atom(inc)]);
-    Formula::forall(
+    declare(
         vec![g, f, a, s, x, y, b],
-        vec![trigger],
+        PatternPolicy::goal_directed(vec![trigger]),
         Formula::implies(antecedent, Formula::not(Formula::Atom(inc))),
     )
 }
@@ -1106,7 +1202,7 @@ fn owner_acyclicity_elem_array(fresh: &mut FreshGen) -> Formula {
 /// G ⇉F A ∧ R = S(X·F) ∧ R ≠ null ∧ isInt(I) ∧ E = S(R·I) ∧ E ≠ null
 ///   ⇒ ¬(S ⊨ E·B ≽ X·G)
 /// ```
-fn owner_acyclicity_element(fresh: &mut FreshGen) -> Formula {
+fn owner_acyclicity_element(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (g, f, a, s, x, r, i, e, b) = (
         fresh.fresh("ubG"),
         fresh.fresh("ubF"),
@@ -1145,9 +1241,9 @@ fn owner_acyclicity_element(fresh: &mut FreshGen) -> Formula {
         Formula::neq(Term::var(e), Term::null()),
     ]);
     let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Atom(inc)]);
-    Formula::forall(
+    declare(
         vec![g, f, a, s, x, r, i, e, b],
-        vec![trigger],
+        PatternPolicy::goal_directed(vec![trigger]),
         Formula::implies(antecedent, Formula::not(Formula::Atom(inc))),
     )
 }
@@ -1158,7 +1254,7 @@ fn owner_acyclicity_element(fresh: &mut FreshGen) -> Formula {
 /// ```text
 /// G ⇉F A ∧ S(X·F) ≠ null ∧ S(X·F) = S(Y·B) ⇒ X = Y ∧ F = B
 /// ```
-fn elem_pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
+fn elem_pivot_uniqueness(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (g, f, a, s, x, y, b) = (
         fresh.fresh("ubG"),
         fresh.fresh("ubF"),
@@ -1189,9 +1285,9 @@ fn elem_pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
         Pattern::Term(pivot_read),
         Pattern::Term(other_read),
     ]);
-    Formula::forall(
+    declare(
         vec![g, f, a, s, x, y, b],
-        vec![trigger],
+        PatternPolicy::goal_directed(vec![trigger]),
         Formula::implies(antecedent, conclusion),
     )
 }
@@ -1202,7 +1298,7 @@ fn elem_pivot_uniqueness(fresh: &mut FreshGen) -> Formula {
 /// ```text
 /// G ⇉F A ⇒ S(X·F) = null ∨ isObj(S(X·F))
 /// ```
-fn elem_pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
+fn elem_pivot_values_are_objects(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (g, f, a, s, x) = (
         fresh.fresh("ubG"),
         fresh.fresh("ubF"),
@@ -1224,7 +1320,11 @@ fn elem_pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
         ]),
     );
     let trigger = Trigger(vec![Pattern::Atom(rep), Pattern::Term(read)]);
-    Formula::forall(vec![g, f, a, s, x], vec![trigger], body)
+    declare(
+        vec![g, f, a, s, x],
+        PatternPolicy::goal_directed(vec![trigger]),
+        body,
+    )
 }
 
 /// Pivot positions of rep inclusions are declared attribute names, never
@@ -1237,7 +1337,7 @@ fn elem_pivot_values_are_objects(fresh: &mut FreshGen) -> Formula {
 /// Needed to discharge owner exclusion for element values: an element
 /// equal to a "pivot read" at an *integer* key would otherwise evade the
 /// per-field enumeration axioms.
-fn pivots_are_attributes(fresh: &mut FreshGen) -> Formula {
+fn pivots_are_attributes(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (a, f, b) = (fresh.fresh("ubA"), fresh.fresh("ubF"), fresh.fresh("ubB"));
     let rep = Atom::RepInc {
         group: Term::var(a),
@@ -1250,12 +1350,15 @@ fn pivots_are_attributes(fresh: &mut FreshGen) -> Formula {
         mapped: Term::var(b),
     };
     let not_int = Formula::not(Formula::Atom(Atom::IsInt(Term::var(f))));
-    Formula::forall(
+    // Goal-directed: its triggers are the ground rep facts of the scope,
+    // so eager scheduling would stamp a ¬isInt fact per declared triple
+    // into every context regardless of need.
+    declare(
         vec![a, f, b],
-        vec![
+        PatternPolicy::goal_directed(vec![
             Trigger(vec![Pattern::Atom(rep)]),
             Trigger(vec![Pattern::Atom(rep_elem)]),
-        ],
+        ]),
         Formula::and(vec![
             Formula::implies(Formula::Atom(rep), not_int.clone()),
             Formula::implies(Formula::Atom(rep_elem), not_int),
@@ -1270,7 +1373,7 @@ fn pivots_are_attributes(fresh: &mut FreshGen) -> Formula {
 /// ```text
 /// isInt(I) ∧ S(X·I) ≠ null ∧ S(X·I) = S(Y·B) ⇒ X = Y ∧ I = B
 /// ```
-fn slot_uniqueness(fresh: &mut FreshGen) -> Formula {
+fn slot_uniqueness(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x, i, y, b) = (
         fresh.fresh("ubS"),
         fresh.fresh("ubX"),
@@ -1290,9 +1393,9 @@ fn slot_uniqueness(fresh: &mut FreshGen) -> Formula {
         Formula::eq(Term::var(i), Term::var(b)),
     ]);
     let trigger = Trigger(vec![Pattern::Term(slot_read), Pattern::Term(other_read)]);
-    Formula::forall(
+    declare(
         vec![s, x, i, y, b],
-        vec![trigger],
+        PatternPolicy::goal_directed(vec![trigger]),
         Formula::implies(antecedent, conclusion),
     )
 }
@@ -1303,7 +1406,7 @@ fn slot_uniqueness(fresh: &mut FreshGen) -> Formula {
 /// ```text
 /// isInt(I) ⇒ S(X·I) = null ∨ isObj(S(X·I))
 /// ```
-fn slot_values_are_objects(fresh: &mut FreshGen) -> Formula {
+fn slot_values_are_objects(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let (s, x, i) = (fresh.fresh("ubS"), fresh.fresh("ubX"), fresh.fresh("ubI"));
     let read = Term::select(Term::var(s), Term::var(x), Term::var(i));
     let body = Formula::implies(
@@ -1313,20 +1416,20 @@ fn slot_values_are_objects(fresh: &mut FreshGen) -> Formula {
             Formula::Atom(Atom::IsObj(read)),
         ]),
     );
-    Formula::forall(
+    declare(
         vec![s, x, i],
-        vec![Trigger(vec![Pattern::Term(read)])],
+        PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Term(read)])]),
         body,
     )
 }
 
 /// `∀S :: isObj(new(S))` — freshly allocated values are object references.
-fn fresh_objects_are_objects(fresh: &mut FreshGen) -> Formula {
+fn fresh_objects_are_objects(fresh: &mut FreshGen) -> (Formula, PatternPolicy) {
     let s = fresh.fresh("ubS");
     let new = Term::new_obj(Term::var(s));
-    Formula::forall(
+    declare(
         vec![s],
-        vec![Trigger(vec![Pattern::Term(new)])],
+        PatternPolicy::eager(vec![Trigger(vec![Pattern::Term(new)])]),
         Formula::Atom(Atom::IsObj(new)),
     )
 }

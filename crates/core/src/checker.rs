@@ -5,7 +5,7 @@
 use crate::restrict::check_pivot_uniqueness;
 use crate::slice::{slice_background, BackgroundSlice};
 use crate::vcgen::{ObligationLabel, Vc, VcGen, VcOptions};
-use oolong_logic::Formula;
+use oolong_logic::{Formula, PatternPolicy, Phase};
 use oolong_prover::{Budget, CandidateModel, Outcome, ScopeContext, SearchStrategy, Stats};
 use oolong_sema::{ImplId, Scope};
 use oolong_syntax::{Diagnostic, Diagnostics, Program};
@@ -45,6 +45,14 @@ pub struct CheckOptions {
     /// Sound by construction — a sliced axiom has zero E-matches — so off
     /// is again only for differential testing and benchmarking.
     pub slice_axioms: bool,
+    /// Honor the background axioms' declared activation policies
+    /// ([`oolong_logic::PatternPolicy`]): goal-directed axioms arm only
+    /// inside each obligation's frame instead of participating in the
+    /// shared context's pre-saturation. The phase is scheduling metadata,
+    /// not logic — verdicts and labels are unchanged (the differential
+    /// harness checks this across the policy dimension) — so off is only
+    /// for differential testing and benchmarking the E19 regression.
+    pub pattern_policies: bool,
 }
 
 impl Default for CheckOptions {
@@ -57,6 +65,7 @@ impl Default for CheckOptions {
             strategy: SearchStrategy::from_env(),
             share_contexts: true,
             slice_axioms: true,
+            pattern_policies: true,
         }
     }
 }
@@ -324,13 +333,40 @@ impl Checker {
     /// and diagnostics refer to background hypotheses by name rather than
     /// position.
     pub fn background_names(&self) -> Vec<String> {
+        self.background_policies()
+            .into_iter()
+            .map(|(name, _, _)| name)
+            .collect()
+    }
+
+    /// The scope-background axioms with their stable names and declared
+    /// activation policies, index-aligned with
+    /// `Vc::hypotheses[..background_hyps]` exactly like
+    /// [`Checker::background_names`].
+    pub fn background_policies(&self) -> Vec<(String, Formula, PatternPolicy)> {
         let opts = self.vc_options();
         let arrays = opts.force_arrays_level || crate::vcgen::scope_uses_arrays(&self.scope);
         let mut fresh = oolong_logic::FreshGen::new();
-        crate::background::named_background(&self.scope, opts.restrictions, arrays, &mut fresh)
-            .into_iter()
-            .map(|(name, _)| name)
-            .collect()
+        crate::background::named_background_policies(
+            &self.scope,
+            opts.restrictions,
+            arrays,
+            &mut fresh,
+        )
+    }
+
+    /// The effective scheduling phase of every scope-background axiom,
+    /// index-aligned with the VC's background hypotheses. All-`Eager` when
+    /// [`CheckOptions::pattern_policies`] is off — that cell of the
+    /// differential matrix reproduces the PR-7 goalless saturation
+    /// schedule.
+    pub fn background_phases(&self) -> Vec<Phase> {
+        let policies = self.background_policies();
+        if self.options.pattern_policies {
+            policies.into_iter().map(|(_, _, p)| p.phase).collect()
+        } else {
+            vec![Phase::Eager; policies.len()]
+        }
     }
 
     /// The axiom-relevance slice of a VC's scope background: which of the
@@ -360,12 +396,25 @@ impl Checker {
             .collect()
     }
 
+    /// The kept axioms' scheduling phases under `slice`, index-aligned
+    /// with [`Checker::sliced_background`].
+    pub fn sliced_phases(&self, slice: &BackgroundSlice) -> Vec<Phase> {
+        self.background_phases()
+            .into_iter()
+            .zip(&slice.keep)
+            .filter(|(_, &k)| k)
+            .map(|(p, _)| p)
+            .collect()
+    }
+
     /// Builds a prover context holding a VC's (sliced) scope background,
     /// saturated once and reusable across every obligation whose slice is
-    /// the same.
+    /// the same. Pre-saturation fires only the `Eager` axioms; the
+    /// goal-directed ones arm per obligation inside its frame.
     pub fn context_for_slice(&self, vc: &Vc, slice: &BackgroundSlice) -> ScopeContext {
-        ScopeContext::new(
+        ScopeContext::new_with_phases(
             &self.sliced_background(vc, slice),
+            &self.sliced_phases(slice),
             &self.options.budget,
             self.options.strategy,
         )

@@ -68,6 +68,10 @@ pub struct HotAxiom {
     pub matches: u64,
     /// Instantiations performed, summed.
     pub instances: u64,
+    /// Instantiations performed during background pre-saturation, summed.
+    pub presat_instances: u64,
+    /// Instantiations performed inside obligation frames, summed.
+    pub goal_instances: u64,
     /// Instantiations deferred by the matching-generation limit, summed.
     pub deferred: u64,
     /// How many obligations registered this axiom.
@@ -78,7 +82,7 @@ impl fmt::Display for HotAxiom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[{}] {}: {} instances, {} matches over {} obligation(s)",
+            "[{}] {}: {} instances ({} presat + {} goal), {} matches over {} obligation(s)",
             self.kind,
             if self.trigger.is_empty() {
                 "(no trigger)"
@@ -86,6 +90,8 @@ impl fmt::Display for HotAxiom {
                 &self.trigger
             },
             self.instances,
+            self.presat_instances,
+            self.goal_instances,
             self.matches,
             self.obligations
         )
@@ -101,6 +107,13 @@ pub struct ProverMetrics {
     pub unknown: usize,
     /// Total quantifier instantiations.
     pub instances: u64,
+    /// Quantifier instantiations performed during background
+    /// pre-saturation (reported once per obligation proved against the
+    /// shared context — presat work is part of every proof's budget).
+    pub presat_instances: u64,
+    /// Quantifier instantiations performed inside obligation frames,
+    /// after the goal terms were asserted.
+    pub goal_instances: u64,
     /// Total trigger-match bindings.
     pub trigger_matches: u64,
     /// Total E-graph merges.
@@ -139,9 +152,11 @@ impl fmt::Display for ProverMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} obligation(s): {} instances, {} matches, {} merges, {} branches, {} clauses",
+            "{} obligation(s): {} instances ({} presat + {} goal), {} matches, {} merges, {} branches, {} clauses",
             self.obligations,
             self.instances,
+            self.presat_instances,
+            self.goal_instances,
             self.trigger_matches,
             self.merges,
             self.branches,
@@ -209,6 +224,8 @@ pub fn prover_metrics(report: &Report) -> ProverMetrics {
                 .find(|(k, _)| *k == q.kind)
                 .expect("all kinds listed");
             slot.1 += q.instances;
+            metrics.presat_instances += q.presat_instances;
+            metrics.goal_instances += q.goal_instances;
             let entry = merged
                 .entry((q.kind, q.trigger.clone()))
                 .or_insert_with(|| HotAxiom {
@@ -216,11 +233,15 @@ pub fn prover_metrics(report: &Report) -> ProverMetrics {
                     trigger: q.trigger.clone(),
                     matches: 0,
                     instances: 0,
+                    presat_instances: 0,
+                    goal_instances: 0,
                     deferred: 0,
                     obligations: 0,
                 });
             entry.matches += q.matches;
             entry.instances += q.instances;
+            entry.presat_instances += q.presat_instances;
+            entry.goal_instances += q.goal_instances;
             entry.deferred += q.deferred;
             entry.obligations += 1;
         }
@@ -369,6 +390,11 @@ mod tests {
         assert_eq!(m.by_kind.len(), 4);
         let total_by_kind: u64 = m.by_kind.iter().map(|(_, n)| n).sum();
         assert_eq!(total_by_kind, m.instances);
+        assert_eq!(
+            m.presat_instances + m.goal_instances,
+            m.instances,
+            "every instantiation is attributed to exactly one phase"
+        );
         assert!(!m.hottest.is_empty());
         // Hottest table is sorted by instantiation pressure.
         for pair in m.hottest.windows(2) {

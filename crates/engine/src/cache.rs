@@ -38,7 +38,11 @@ use std::sync::Mutex;
 /// recipe this build can no longer reproduce. Migration is by miss, not
 /// by rewrite: v3 entries are skipped (never corrupted or misread) and
 /// the first cold run repopulates the store in v4 format.
-pub const CACHE_FORMAT_VERSION: u64 = 4;
+/// Version 5 accompanies declared pattern policies: per-quantifier
+/// profiles split `instances` into `presat`/`goal` (and fingerprints fold
+/// in the activation-phase mask, `FINGERPRINT_VERSION` 4), so v4 entries
+/// would replay telemetry without the split. Same migration by miss.
+pub const CACHE_FORMAT_VERSION: u64 = 5;
 
 /// Full JSON form of prover stats: the scalar counters plus the
 /// structured members ([`Stats::exhausted`], [`Stats::per_quant`]), so a
@@ -93,6 +97,8 @@ fn quant_profile_to_json(q: &QuantProfile) -> Json {
         ("trigger".to_string(), Json::Str(q.trigger.clone())),
         ("matches".to_string(), Json::Int(q.matches as i64)),
         ("instances".to_string(), Json::Int(q.instances as i64)),
+        ("presat".to_string(), Json::Int(q.presat_instances as i64)),
+        ("goal".to_string(), Json::Int(q.goal_instances as i64)),
         ("deferred".to_string(), Json::Int(q.deferred as i64)),
         (
             "chain".to_string(),
@@ -108,6 +114,8 @@ fn quant_profile_from_json(value: &Json) -> Option<QuantProfile> {
         trigger: value.get("trigger")?.as_str()?.to_string(),
         matches: value.get("matches")?.as_u64()?,
         instances: value.get("instances")?.as_u64()?,
+        presat_instances: value.get("presat")?.as_u64()?,
+        goal_instances: value.get("goal")?.as_u64()?,
         deferred: value.get("deferred")?.as_u64()?,
         chain: value
             .get("chain")?
@@ -414,6 +422,8 @@ mod tests {
                     trigger: "{RepInc(A, F, B)}".to_string(),
                     matches: 29,
                     instances: 17,
+                    presat_instances: 12,
+                    goal_instances: 5,
                     deferred: 2,
                     chain: vec!["A := #g, F := #next, B := #g".to_string()],
                 }],
@@ -485,33 +495,33 @@ mod tests {
     }
 
     #[test]
-    fn v3_entries_miss_without_corruption() {
-        // A v3 store must degrade to cold misses under a v4 build: the old
-        // entry files are neither loaded nor rewritten, and fresh v4
+    fn outdated_entries_miss_without_corruption() {
+        // A v4 store must degrade to cold misses under a v5 build: the old
+        // entry files are neither loaded nor rewritten, and fresh v5
         // entries land alongside them.
-        let dir = std::env::temp_dir().join(format!("oolong-cache-v3-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("oolong-cache-v4-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("creates dir");
         let old_fp = Fingerprint(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
         let mut value = sample_entry().to_json(old_fp);
         if let Json::Object(members) = &mut value {
             assert_eq!(members[0].0, "version");
-            members[0].1 = Json::Int(3);
+            members[0].1 = Json::Int(4);
         }
         let old_path = dir.join(format!("{old_fp}.json"));
         let old_bytes = value.render();
-        std::fs::write(&old_path, &old_bytes).expect("writes v3 entry");
+        std::fs::write(&old_path, &old_bytes).expect("writes v4 entry");
 
         let cache = VerdictCache::at_dir(&dir).expect("loads");
-        assert!(cache.is_empty(), "v3 entries must not be loaded");
+        assert!(cache.is_empty(), "v4 entries must not be loaded");
         assert_eq!(cache.get(old_fp), None);
 
         let new_fp = Fingerprint(99);
         cache.insert(new_fp, sample_entry());
         assert_eq!(
-            std::fs::read_to_string(&old_path).expect("v3 file still present"),
+            std::fs::read_to_string(&old_path).expect("v4 file still present"),
             old_bytes,
-            "migration is by miss: the v3 file must not be rewritten"
+            "migration is by miss: the v4 file must not be rewritten"
         );
         let reloaded = VerdictCache::at_dir(&dir).expect("reloads");
         assert_eq!(reloaded.len(), 1);

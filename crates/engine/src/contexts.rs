@@ -16,7 +16,7 @@
 //! drops the pool's reference — a checked-out context survives until its
 //! borrower finishes.
 
-use oolong_logic::{Formula, StableHasher};
+use oolong_logic::{Formula, Phase, StableHasher};
 use oolong_prover::{Budget, ScopeContext, SearchStrategy};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -26,11 +26,22 @@ use std::sync::{Arc, Mutex};
 /// Default number of warm contexts a pool retains.
 pub const DEFAULT_CONTEXT_CAPACITY: usize = 64;
 
-/// The stable identity of a scope context: sliced background + budget +
-/// strategy. Two obligations with equal keys can share a context.
-pub fn context_key(background: &[Formula], budget: &Budget, strategy: SearchStrategy) -> u128 {
+/// The stable identity of a scope context: sliced background + activation
+/// phases + budget + strategy. Two obligations with equal keys can share a
+/// context. The phase list is part of the identity because it determines
+/// what the context pre-saturated: a policy-gated context and an all-eager
+/// context over the same background hold different E-graphs.
+pub fn context_key(
+    background: &[Formula],
+    phases: &[Phase],
+    budget: &Budget,
+    strategy: SearchStrategy,
+) -> u128 {
     let mut hasher = StableHasher::new();
     background.hash(&mut hasher);
+    // Byte-stable phase mask (see `fingerprint_vc`): one bool per axiom.
+    let mask: Vec<bool> = phases.iter().map(|&p| p == Phase::GoalDirected).collect();
+    mask.hash(&mut hasher);
     budget.hash(&mut hasher);
     strategy.hash(&mut hasher);
     hasher.finish128()
@@ -136,24 +147,30 @@ mod tests {
     }
 
     #[test]
-    fn key_separates_background_budget_and_strategy() {
+    fn key_separates_background_phases_budget_and_strategy() {
         let (a, b) = backgrounds();
-        let base = context_key(&a, &Budget::default(), SearchStrategy::Trail);
+        let eager = vec![Phase::Eager; a.len()];
+        let gated = vec![Phase::GoalDirected; a.len()];
+        let base = context_key(&a, &eager, &Budget::default(), SearchStrategy::Trail);
         assert_eq!(
             base,
-            context_key(&a, &Budget::default(), SearchStrategy::Trail)
+            context_key(&a, &eager, &Budget::default(), SearchStrategy::Trail)
         );
         assert_ne!(
             base,
-            context_key(&b, &Budget::default(), SearchStrategy::Trail)
+            context_key(&b, &eager, &Budget::default(), SearchStrategy::Trail)
         );
         assert_ne!(
             base,
-            context_key(&a, &Budget::tiny(), SearchStrategy::Trail)
+            context_key(&a, &gated, &Budget::default(), SearchStrategy::Trail)
         );
         assert_ne!(
             base,
-            context_key(&a, &Budget::default(), SearchStrategy::CloneSearch)
+            context_key(&a, &eager, &Budget::tiny(), SearchStrategy::Trail)
+        );
+        assert_ne!(
+            base,
+            context_key(&a, &eager, &Budget::default(), SearchStrategy::CloneSearch)
         );
     }
 
@@ -187,7 +204,12 @@ mod tests {
     fn built_context_stays_warm() {
         let (a, _) = backgrounds();
         let pool = ContextPool::with_capacity(4);
-        let key = context_key(&a, &Budget::default(), SearchStrategy::Trail);
+        let key = context_key(
+            &a,
+            &vec![Phase::Eager; a.len()],
+            &Budget::default(),
+            SearchStrategy::Trail,
+        );
         {
             let slot = pool.checkout(key);
             let mut guard = slot.lock().unwrap();

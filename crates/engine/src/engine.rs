@@ -503,7 +503,8 @@ impl Engine {
         };
 
         let slice = checker.background_slice(&vc);
-        let fingerprint = fingerprint_vc(&vc, &checker.options().budget, &slice.keep);
+        let phases = checker.sliced_phases(&slice);
+        let fingerprint = fingerprint_vc(&vc, &checker.options().budget, &slice.keep, &phases);
         // A hit that predates diagnosis (or was cached with diagnosis off)
         // cannot serve an `--explain` run: the candidate model needed to
         // build a diagnosis is not cached, so re-prove instead.
@@ -550,6 +551,7 @@ impl Engine {
             let background = checker.sliced_background(&vc, &slice);
             let key = context_key(
                 &background,
+                &phases,
                 &checker.options().budget,
                 checker.options().strategy,
             );

@@ -17,7 +17,7 @@
 //! an implementation's scope.
 
 use datagroups::Vc;
-use oolong_logic::StableHasher;
+use oolong_logic::{Phase, StableHasher};
 use oolong_prover::Budget;
 use std::fmt;
 use std::hash::Hash;
@@ -42,7 +42,17 @@ use std::str::FromStr;
 /// covered, since declared triggers are part of each hypothesis formula's
 /// structural hash. Old entries migrate by miss: the bump makes every v2
 /// fingerprint unreachable, and the store simply re-proves and re-caches.
-pub const FINGERPRINT_VERSION: u32 = 3;
+///
+/// Version 4: the activation-phase mask (which kept background axioms are
+/// goal-directed vs eager, from the declared [`PatternPolicy`] layer)
+/// joins the hash inputs. Phase gating never changes an outcome, but it
+/// moves instantiations between pre-saturation and the obligation frame,
+/// so a v3 entry would replay the goalless-saturation telemetry as if it
+/// were current — and flipping `--no-pattern-policies` must re-prove, not
+/// hit. Same migration by miss.
+///
+/// [`PatternPolicy`]: oolong_logic::PatternPolicy
+pub const FINGERPRINT_VERSION: u32 = 4;
 
 /// The content address of one proof obligation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -62,10 +72,13 @@ impl FromStr for Fingerprint {
 }
 
 /// The fingerprint of the obligation "prove `vc` under `budget`, keeping
-/// the background axioms `keep` selects" (the checker's relevance slice —
+/// the background axioms `keep` selects (the checker's relevance slice —
 /// all-true when slicing is off, which therefore fingerprints differently
-/// from any proper slice).
-pub fn fingerprint_vc(vc: &Vc, budget: &Budget, keep: &[bool]) -> Fingerprint {
+/// from any proper slice) and scheduling the kept axioms by `phases` (the
+/// effective activation phases, index-aligned with the *kept* axioms —
+/// all-`Eager` when `--no-pattern-policies`, which again fingerprints
+/// differently from the policy-gated schedule)".
+pub fn fingerprint_vc(vc: &Vc, budget: &Budget, keep: &[bool], phases: &[Phase]) -> Fingerprint {
     let mut hasher = StableHasher::new();
     FINGERPRINT_VERSION.hash(&mut hasher);
     // The background/Init split is part of the content: the same formula
@@ -75,6 +88,11 @@ pub fn fingerprint_vc(vc: &Vc, budget: &Budget, keep: &[bool]) -> Fingerprint {
     vc.goal.hash(&mut hasher);
     budget.hash(&mut hasher);
     keep.hash(&mut hasher);
+    // Hash the phase mask as booleans: bools write one byte each, so the
+    // stream stays process-stable regardless of how the enum's derived
+    // `Hash` encodes its discriminant.
+    let mask: Vec<bool> = phases.iter().map(|&p| p == Phase::GoalDirected).collect();
+    mask.hash(&mut hasher);
     Fingerprint(hasher.finish128())
 }
 
@@ -102,9 +120,15 @@ mod tests {
          proc bump(r) modifies r.value
          impl bump(r) { r.num := 3 }";
 
-    /// Fingerprint with the trivial (all-kept) slice.
+    /// Fingerprint with the trivial (all-kept) slice and an all-eager
+    /// phase mask.
     fn fp(vc: &Vc, budget: &Budget) -> Fingerprint {
-        fingerprint_vc(vc, budget, &vec![true; vc.background_hyps])
+        fingerprint_vc(
+            vc,
+            budget,
+            &vec![true; vc.background_hyps],
+            &vec![Phase::Eager; vc.background_hyps],
+        )
     }
 
     #[test]
@@ -133,7 +157,28 @@ mod tests {
         sliced[0] = false;
         assert_ne!(
             fp(&vcs[0], &Budget::default()),
-            fingerprint_vc(&vcs[0], &Budget::default(), &sliced)
+            fingerprint_vc(
+                &vcs[0],
+                &Budget::default(),
+                &sliced,
+                &vec![Phase::Eager; vcs[0].background_hyps],
+            )
+        );
+    }
+
+    #[test]
+    fn phase_mask_is_part_of_the_obligation() {
+        // The same VC under a different activation schedule is a different
+        // content address: gating moves instantiations between presat and
+        // goal, so a cached entry must not be served across policy changes
+        // (e.g. flipping --no-pattern-policies).
+        let vcs = vcs_for(BASE);
+        let keep = vec![true; vcs[0].background_hyps];
+        let mut phases = vec![Phase::Eager; vcs[0].background_hyps];
+        phases[0] = Phase::GoalDirected;
+        assert_ne!(
+            fp(&vcs[0], &Budget::default()),
+            fingerprint_vc(&vcs[0], &Budget::default(), &keep, &phases)
         );
     }
 
@@ -183,8 +228,8 @@ mod tests {
         // shifting bytes would orphan (or worse, mis-serve) disk caches.
         let vcs = vcs_for(BASE);
         let fingerprint = fp(&vcs[0], &Budget::default());
-        assert_eq!(fingerprint.to_string(), PINNED_V3);
+        assert_eq!(fingerprint.to_string(), PINNED_V4);
     }
 
-    const PINNED_V3: &str = "93ba95b8c14d5081e3c0f183bb0043c9";
+    const PINNED_V4: &str = "d68bdfd64720573374a5af737447340b";
 }

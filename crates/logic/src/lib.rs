@@ -31,12 +31,14 @@
 
 pub mod formula;
 pub mod intern;
+pub mod policy;
 pub mod stable_hash;
 pub mod term;
 pub mod transform;
 
 pub use formula::{Atom, Formula, Pattern, Trigger};
 pub use intern::Symbol;
+pub use policy::{PatternPolicy, Phase};
 pub use stable_hash::{stable_hash128, StableHasher};
 pub use term::{Cst, FnSym, Term, TermNode, STORE, STORE0};
 pub use transform::{to_nnf, FreshGen, Nnf};

@@ -1,0 +1,166 @@
+//! Declared activation policies for background axioms.
+//!
+//! Boogie's `UnivBackPred` annotates every background axiom with explicit
+//! `PATS`/`MPAT` matching patterns so the prover's E-matching is driven by
+//! *declared* triggers instead of heuristic inference. A [`PatternPolicy`]
+//! carries that declaration for one axiom — the single-pattern alternatives
+//! (`PATS`), the conjunction-gated multi-patterns (`MPAT`), and a
+//! scheduling [`Phase`] that says *when* the axiom may fire in the
+//! scope-shared two-phase prover schedule:
+//!
+//! - [`Phase::Eager`] axioms participate in background pre-saturation:
+//!   they are registered and may instantiate while the scope context is
+//!   built, before any obligation's goal exists. Cheap, scope-local
+//!   enumerations belong here — their instances are reused by every
+//!   obligation proved against the context.
+//! - [`Phase::GoalDirected`] axioms arm only inside an obligation's trail
+//!   frame, after the goal terms are asserted. Transitivity- and
+//!   antisymmetry-shaped axioms belong here: saturating them against a
+//!   goalless background over-instantiates (the E19 regression), while a
+//!   goal-directed search stops at the first contradiction.
+//!
+//! The phase is *scheduling metadata*, not logic: a goal-directed axiom is
+//! still asserted in every proof, so the set of derivable facts — and
+//! therefore every verdict and refutation label — is unchanged. Only the
+//! order (and hence the budget accounting) of instantiations moves.
+
+use crate::formula::Trigger;
+use std::fmt;
+
+/// When a background axiom's quantifiers may fire in the two-phase
+/// scope-shared prover schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Fires during background pre-saturation and inside obligation frames.
+    Eager,
+    /// Arms only inside an obligation's frame, after goal terms exist.
+    GoalDirected,
+}
+
+impl Phase {
+    /// Stable lower-case name, used in JSON output and event logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Eager => "eager",
+            Phase::GoalDirected => "goal-directed",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The declared activation policy of one background axiom: its matching
+/// patterns, split PATS/MPAT-style, plus its scheduling [`Phase`].
+///
+/// `triggers` holds the single-pattern alternatives (any one pattern
+/// matching fires the axiom — Boogie's `PATS`); `multi_patterns` holds the
+/// conjunction-gated alternatives (every pattern of one trigger must match
+/// under a consistent binding — Boogie's `MPAT`). The quantifier's
+/// effective trigger list is [`PatternPolicy::all_triggers`], in declared
+/// order: `triggers` first, then `multi_patterns`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatternPolicy {
+    /// Single-pattern trigger alternatives (`PATS`).
+    pub triggers: Vec<Trigger>,
+    /// Multi-pattern (conjunction-gated) trigger alternatives (`MPAT`).
+    pub multi_patterns: Vec<Trigger>,
+    /// When the axiom's quantifiers may fire.
+    pub phase: Phase,
+}
+
+impl PatternPolicy {
+    /// Builds a policy from a mixed trigger list, classifying each trigger
+    /// by arity: single-pattern triggers are `PATS`, multi-pattern triggers
+    /// are `MPAT`. (All current axioms declare their single-pattern
+    /// alternatives first, so [`PatternPolicy::all_triggers`] reproduces
+    /// the declared order.)
+    pub fn new(phase: Phase, declared: Vec<Trigger>) -> PatternPolicy {
+        let (multi_patterns, triggers) = declared.into_iter().partition(|t| t.0.len() > 1);
+        PatternPolicy {
+            triggers,
+            multi_patterns,
+            phase,
+        }
+    }
+
+    /// An eagerly scheduled policy (fires during pre-saturation).
+    pub fn eager(declared: Vec<Trigger>) -> PatternPolicy {
+        PatternPolicy::new(Phase::Eager, declared)
+    }
+
+    /// A goal-directed policy (arms only inside obligation frames).
+    pub fn goal_directed(declared: Vec<Trigger>) -> PatternPolicy {
+        PatternPolicy::new(Phase::GoalDirected, declared)
+    }
+
+    /// The quantifier's effective trigger list: the `PATS` alternatives
+    /// followed by the `MPAT` alternatives.
+    pub fn all_triggers(&self) -> Vec<Trigger> {
+        let mut all = self.triggers.clone();
+        all.extend(self.multi_patterns.iter().cloned());
+        all
+    }
+
+    /// Whether the policy declares any pattern at all. A background axiom
+    /// whose policy is empty would fall back to heuristic trigger
+    /// inference, which the background gate test forbids.
+    pub fn is_declared(&self) -> bool {
+        !self.triggers.is_empty() || !self.multi_patterns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Pattern;
+    use crate::Term;
+
+    fn single(name: &str) -> Trigger {
+        Trigger(vec![Pattern::Term(Term::uninterp(
+            name,
+            vec![Term::var("X")],
+        ))])
+    }
+
+    fn pair(a: &str, b: &str) -> Trigger {
+        Trigger(vec![
+            Pattern::Term(Term::uninterp(a, vec![Term::var("X")])),
+            Pattern::Term(Term::uninterp(b, vec![Term::var("X")])),
+        ])
+    }
+
+    #[test]
+    fn new_classifies_by_arity() {
+        let p = PatternPolicy::eager(vec![single("f"), pair("f", "g"), single("g")]);
+        assert_eq!(p.triggers.len(), 2);
+        assert_eq!(p.multi_patterns.len(), 1);
+        assert_eq!(p.phase, Phase::Eager);
+        assert!(p.is_declared());
+    }
+
+    #[test]
+    fn all_triggers_lists_pats_then_mpat() {
+        let p = PatternPolicy::goal_directed(vec![single("f"), pair("g", "h")]);
+        let all = p.all_triggers();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0.len(), 1);
+        assert_eq!(all[1].0.len(), 2);
+        assert_eq!(p.phase, Phase::GoalDirected);
+    }
+
+    #[test]
+    fn empty_policy_is_undeclared() {
+        let p = PatternPolicy::eager(vec![]);
+        assert!(!p.is_declared());
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(Phase::Eager.as_str(), "eager");
+        assert_eq!(Phase::GoalDirected.as_str(), "goal-directed");
+    }
+}

@@ -52,6 +52,17 @@ impl Binding {
             Err(pos) => self.0.insert(pos, (hole, id)),
         }
     }
+
+    /// Undoes an [`insert`](Self::insert) during the backtracking match
+    /// search.
+    fn remove(&mut self, hole: u16) {
+        match self.0.binary_search_by_key(&hole, |&(h, _)| h) {
+            Ok(pos) => {
+                self.0.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "hole {hole} not bound"),
+        }
+    }
 }
 
 /// Pre-resolved hole names: maps a pattern variable to its hole index by
@@ -112,8 +123,23 @@ fn match_trigger_impl(
     };
     let mut all = Vec::new();
     for pinned in positions {
+        // Match the pinned pattern *first*: the anchor fixes its holes, so
+        // every other pattern's bucket scan runs under an already-constrained
+        // binding instead of enumerating its full cross-product. The
+        // conjunction join is commutative and the final dedup is by
+        // canonical binding, so the resulting binding set is order-
+        // independent; only the search cost changes. The remaining patterns
+        // keep their declared order (MPAT declarations put the most
+        // selective premise first).
+        let order: Vec<usize> = match pinned {
+            None => (0..trigger.0.len()).collect(),
+            Some(p) => std::iter::once(p)
+                .chain((0..trigger.0.len()).filter(|&i| i != p))
+                .collect(),
+        };
         let mut bindings = vec![Binding::default()];
-        for (i, pattern) in trigger.0.iter().enumerate() {
+        for i in order {
+            let pattern = &trigger.0[i];
             let mut next = Vec::new();
             for binding in &bindings {
                 if pinned == Some(i) {
@@ -317,6 +343,10 @@ fn match_pattern_top(
     binding: &Binding,
     out: &mut Vec<Binding>,
 ) {
+    // One working clone serves the whole bucket sweep: `match_args`
+    // restores it between candidates.
+    let mut work = binding.clone();
+    let mut emit = |b: &mut Binding| out.push(b.clone());
     match pattern {
         Pattern::Term(term) => {
             let TermNode::App(f, args) = term.node() else {
@@ -325,7 +355,10 @@ fn match_pattern_top(
             };
             let sym = fn_sym(f);
             for &node in eg.nodes_with_sym(&sym) {
-                match_children(eg, holes, args, node, binding, out);
+                let children = &eg.node(node).children;
+                if children.len() == args.len() {
+                    match_args(eg, holes, args, children, 0, &mut work, &mut emit);
+                }
             }
         }
         Pattern::Atom(atom) => {
@@ -333,7 +366,10 @@ fn match_pattern_top(
                 return;
             };
             for &node in eg.nodes_with_sym(&sym) {
-                match_children(eg, holes, &args, node, binding, out);
+                let children = &eg.node(node).children;
+                if children.len() == args.len() {
+                    match_args(eg, holes, &args, children, 0, &mut work, &mut emit);
+                }
             }
         }
     }
@@ -390,49 +426,69 @@ fn match_children<B: Borrow<Term>>(
     if children.len() != args.len() {
         return;
     }
-    let mut states = vec![binding.clone()];
-    for (pat, &child) in args.iter().zip(children.iter()) {
-        let mut next = Vec::new();
-        for b in &states {
-            match_term(eg, holes, pat.borrow(), child, b, &mut next);
-        }
-        states = next;
-        if states.is_empty() {
-            return;
-        }
-    }
-    out.extend(states);
+    let mut work = binding.clone();
+    match_args(eg, holes, args, children, 0, &mut work, &mut |b| {
+        out.push(b.clone())
+    });
 }
 
-/// Matches `pattern` against the class of `class_node`.
-fn match_term(
+/// Matches `args[i..]` against `children[i..]` by backtracking depth-first
+/// search over one working binding, calling `k` once per complete match.
+/// Every alternative is explored with its hole assignments undone on the
+/// way out, so `b` is restored to its entry state on return — the search
+/// allocates only when a completed binding is emitted, where the old
+/// breadth-first join materialised a `Vec<Binding>` frontier (clone per
+/// candidate per level) on the prover's hottest path. Enumeration order is
+/// the frontier order: alternatives of an earlier argument are outer,
+/// in-class members in registration order, so downstream instantiation
+/// order (and with it verdicts and statistics) is unchanged.
+fn match_args<B: Borrow<Term>>(
+    eg: &EGraph,
+    holes: &Holes,
+    args: &[B],
+    children: &[NodeId],
+    i: usize,
+    b: &mut Binding,
+    k: &mut dyn FnMut(&mut Binding),
+) {
+    match args.get(i) {
+        None => k(b),
+        Some(pat) => match_term_at(eg, holes, pat.borrow(), children[i], b, &mut |b| {
+            match_args(eg, holes, args, children, i + 1, b, k)
+        }),
+    }
+}
+
+/// Matches `pattern` against the class of `class_node`, calling `k` under
+/// each extension of the working binding (undone before returning).
+fn match_term_at(
     eg: &EGraph,
     holes: &Holes,
     pattern: &Term,
     class_node: NodeId,
-    binding: &Binding,
-    out: &mut Vec<Binding>,
+    b: &mut Binding,
+    k: &mut dyn FnMut(&mut Binding),
 ) {
     let class = eg.find(class_node);
     match pattern.node() {
         TermNode::Var(v) => match holes.index(*v) {
-            Some(hole) => match binding.node(hole) {
+            Some(hole) => match b.node(hole) {
                 Some(bound) => {
                     if eg.find(bound) == class {
-                        out.push(binding.clone());
+                        k(b);
                     }
                 }
                 None => {
-                    let mut b = binding.clone();
                     b.insert(hole, class);
-                    out.push(b);
+                    k(b);
+                    b.remove(hole);
                 }
             },
             None => {
                 // A free constant: must already exist and be in this class.
                 for &leaf in eg.nodes_with_sym(&Sym::Var(*v)) {
                     if eg.find(leaf) == class {
-                        out.push(binding.clone());
+                        k(b);
                         return;
                     }
                 }
@@ -441,7 +497,7 @@ fn match_term(
         TermNode::Const(c) => {
             for &leaf in eg.nodes_with_sym(&Sym::Lit(*c)) {
                 if eg.find(leaf) == class {
-                    out.push(binding.clone());
+                    k(b);
                     return;
                 }
             }
@@ -450,7 +506,10 @@ fn match_term(
             let sym = fn_sym(f);
             for &member in eg.class_nodes(class) {
                 if eg.node(member).sym == sym {
-                    match_children(eg, holes, args, member, binding, out);
+                    let children = &eg.node(member).children;
+                    if children.len() == args.len() {
+                        match_args(eg, holes, args, children, 0, b, k);
+                    }
                 }
             }
         }
@@ -723,6 +782,37 @@ mod tests {
         ]);
         let bindings = match_trigger_anchored(&eg, &["X".into()], &trigger, gb);
         assert_eq!(bindings.len(), 1);
+    }
+
+    #[test]
+    fn anchored_multipattern_matches_pinned_pattern_first() {
+        // Trigger {f(X), g(X, Y), h(Y)} anchored at the middle pattern:
+        // pinning g(a, b) first must bind both holes before f and h scan,
+        // and the resulting binding set must equal the unanchored join
+        // restricted to the anchor.
+        let mut eg = EGraph::new();
+        eg.intern(&T::uninterp("f", vec![T::var("a")])).unwrap();
+        eg.intern(&T::uninterp("f", vec![T::var("c")])).unwrap();
+        let gab = eg
+            .intern(&T::uninterp("g", vec![T::var("a"), T::var("b")]))
+            .unwrap();
+        eg.intern(&T::uninterp("g", vec![T::var("c"), T::var("d")]))
+            .unwrap();
+        eg.intern(&T::uninterp("h", vec![T::var("b")])).unwrap();
+        let trigger = Trigger(vec![
+            Pattern::Term(T::uninterp("f", vec![T::var("X")])),
+            Pattern::Term(T::uninterp("g", vec![T::var("X"), T::var("Y")])),
+            Pattern::Term(T::uninterp("h", vec![T::var("Y")])),
+        ]);
+        let vars: Vec<Symbol> = vec!["X".into(), "Y".into()];
+        let anchored = match_trigger_anchored(&eg, &vars, &trigger, gab);
+        assert_eq!(anchored.len(), 1, "only the a/b binding survives h(Y)");
+        let a = eg.intern(&T::var("a")).unwrap();
+        let b = eg.intern(&T::var("b")).unwrap();
+        assert_eq!(eg.find(anchored[0].node(0).unwrap()), eg.find(a));
+        assert_eq!(eg.find(anchored[0].node(1).unwrap()), eg.find(b));
+        // The unanchored join finds the same (single) binding.
+        assert_eq!(match_trigger(&eg, &vars, &trigger), anchored);
     }
 
     #[test]

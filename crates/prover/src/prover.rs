@@ -25,7 +25,7 @@ use crate::egraph::{EGraph, NodeId};
 use crate::matcher::{match_trigger, match_trigger_anchored, term_of};
 use crate::triggers::{classify_quant, infer_triggers, QuantKind};
 use oolong_logic::transform::{to_nnf, FreshGen, Nnf};
-use oolong_logic::{Atom, Formula, Symbol, Term, Trigger};
+use oolong_logic::{Atom, Formula, Phase, Symbol, Term, Trigger};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -185,6 +185,14 @@ pub struct QuantProfile {
     pub matches: u64,
     /// Instantiations actually asserted.
     pub instances: u64,
+    /// Instantiations asserted during background pre-saturation (context
+    /// construction, before any obligation's goal exists). Zero for
+    /// one-shot proofs, which have no pre-saturation phase.
+    pub presat_instances: u64,
+    /// Instantiations asserted inside an obligation's frame, after the
+    /// goal terms were asserted. `presat_instances + goal_instances ==
+    /// instances` always.
+    pub goal_instances: u64,
     /// Instantiations deferred by the matching-generation limit.
     pub deferred: u64,
     /// The most recent instantiation bindings (at most three, rendered as
@@ -204,7 +212,7 @@ impl fmt::Display for QuantProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "q{} [{}] {}: {} instances, {} matches",
+            "q{} [{}] {}: {} instances ({} presat + {} goal), {} matches",
             self.id,
             self.kind,
             if self.trigger.is_empty() {
@@ -213,6 +221,8 @@ impl fmt::Display for QuantProfile {
                 &self.trigger
             },
             self.instances,
+            self.presat_instances,
+            self.goal_instances,
             self.matches,
         )?;
         if self.deferred > 0 {
@@ -612,6 +622,7 @@ pub fn refute_with_strategy(parts: Vec<Nnf>, budget: &Budget, strategy: SearchSt
         open_branch: None,
         model: None,
         strategy,
+        presat: false,
     };
     let mut ctx = Ctx {
         eg: EGraph::new(),
@@ -674,6 +685,8 @@ fn render_per_quant(quant_meta: &[QuantMeta]) -> Vec<QuantProfile> {
             trigger: meta.trigger.clone(),
             matches: meta.matches,
             instances: meta.instances,
+            presat_instances: meta.presat_instances,
+            goal_instances: meta.goal_instances,
             deferred: meta.deferred,
             chain: meta
                 .recent
@@ -727,6 +740,12 @@ pub struct ScopeContext {
     axiom_quants: Vec<Vec<usize>>,
     /// Monotonic merge count consumed by base construction.
     base_merges: u64,
+    /// Goal-directed background quantifiers: registered with stable ids at
+    /// construction (so telemetry rows and `axiom_quants` cover them) but
+    /// *not* activated in the base — each [`ScopeContext::prove`] arms a
+    /// copy inside the obligation's frame, after the goal terms are
+    /// asserted, and the frame rollback disarms them again.
+    gated_quants: Vec<Quant>,
     /// The background itself was contradictory: every conjecture proves.
     contradictory: bool,
     /// Base saturation exhausted the budget: every proof is Unknown.
@@ -756,6 +775,28 @@ impl ScopeContext {
     /// succeed; a background that exhausts the budget poisons the context
     /// and makes every proof report [`Outcome::Unknown`].
     pub fn new(background: &[Formula], budget: &Budget, strategy: SearchStrategy) -> ScopeContext {
+        ScopeContext::new_with_phases(background, &[], budget, strategy)
+    }
+
+    /// [`ScopeContext::new`] honoring a per-axiom activation [`Phase`]
+    /// (`phases[i]` schedules `background[i]`; missing entries default to
+    /// [`Phase::Eager`], so the empty slice reproduces [`ScopeContext::new`]
+    /// exactly).
+    ///
+    /// [`Phase::GoalDirected`] axioms do not participate in base
+    /// saturation: their top-level quantifiers are parked in
+    /// `gated_quants` (ground conjuncts, if any, are still asserted
+    /// eagerly — they are facts, not matching rules) and armed inside each
+    /// obligation's frame by [`ScopeContext::prove`]. The derivable facts
+    /// are unchanged — every proof still sees every axiom — only *when*
+    /// instantiation may happen moves, which is what keeps verdicts and
+    /// labels identical across phase assignments.
+    pub fn new_with_phases(
+        background: &[Formula],
+        phases: &[Phase],
+        budget: &Budget,
+        strategy: SearchStrategy,
+    ) -> ScopeContext {
         let mut fresh = FreshGen::new();
         let mut shared = Shared {
             budget: budget.clone(),
@@ -766,6 +807,7 @@ impl ScopeContext {
             open_branch: None,
             model: None,
             strategy,
+            presat: true,
         };
         let mut ctx = Ctx {
             eg: EGraph::new(),
@@ -784,10 +826,21 @@ impl ScopeContext {
             match_cache: HashMap::new(),
         };
         let mut axiom_quants: Vec<Vec<usize>> = Vec::with_capacity(background.len());
+        let mut gated_quants: Vec<Quant> = Vec::new();
         let mut contradictory = false;
-        for f in background {
+        for (i, f) in background.iter().enumerate() {
             let ids_before = shared.quant_ids.len();
-            ctx.pending.push((to_nnf(f, true, &mut fresh), 0));
+            let phase = phases.get(i).copied().unwrap_or(Phase::Eager);
+            let nnf = to_nnf(f, true, &mut fresh);
+            match phase {
+                Phase::Eager => ctx.pending.push((nnf, 0)),
+                Phase::GoalDirected => {
+                    // Park the top-level quantifiers; assert ground parts.
+                    split_gated(nnf, &mut ctx.pending, &mut |vars, triggers, body| {
+                        gated_quants.push(park_gated_quant(&mut shared, vars, triggers, body));
+                    });
+                }
+            }
             let step = drain_pending(&mut ctx, &mut shared);
             axiom_quants.push((ids_before..shared.quant_ids.len()).collect());
             match step {
@@ -846,6 +899,7 @@ impl ScopeContext {
             base_fresh: fresh,
             axiom_quants,
             base_merges,
+            gated_quants,
             contradictory,
             poisoned: shared.fuel,
         }
@@ -893,6 +947,7 @@ impl ScopeContext {
             open_branch: None,
             model: None,
             strategy: self.strategy,
+            presat: false,
         };
         let (outcome, mut stats) = match self.strategy {
             SearchStrategy::Trail => {
@@ -904,6 +959,7 @@ impl ScopeContext {
                 let undone_before = self.base.eg.undone_merges();
                 self.base.eg.reset_trail_high_water();
                 let cp = self.base.checkpoint();
+                arm_gated(&mut self.base, &mut shared, &self.gated_quants);
                 self.base.pending.extend(parts.into_iter().map(|p| (p, 0)));
                 let outcome = outcome_of(search(&mut self.base, 0, &mut shared), shared.fuel);
                 let mut stats = shared.stats;
@@ -916,6 +972,7 @@ impl ScopeContext {
             }
             SearchStrategy::CloneSearch => {
                 let mut child = self.base.clone();
+                arm_gated(&mut child, &mut shared, &self.gated_quants);
                 child.pending.extend(parts.into_iter().map(|p| (p, 0)));
                 let outcome = outcome_of(search(&mut child, 0, &mut shared), shared.fuel);
                 (outcome, shared.stats)
@@ -1001,6 +1058,10 @@ struct Shared {
     model: Option<CandidateModel>,
     /// How case-split arms are backtracked.
     strategy: SearchStrategy,
+    /// Whether the search is currently in background pre-saturation (true
+    /// only while [`ScopeContext::new`] builds the base); instantiations
+    /// are attributed to the presat/goal telemetry split by this flag.
+    presat: bool,
 }
 
 /// Accumulating telemetry for one quantifier (rendered to a
@@ -1012,6 +1073,8 @@ struct QuantMeta {
     vars: Vec<Symbol>,
     matches: u64,
     instances: u64,
+    presat_instances: u64,
+    goal_instances: u64,
     deferred: u64,
     /// Ring of the most recent instantiation bindings (capacity
     /// [`CHAIN_LEN`]): the representative term chain for loop diagnosis.
@@ -1414,6 +1477,95 @@ fn drain_pending(ctx: &mut Ctx, shared: &mut Shared) -> Step {
     Step::Ok
 }
 
+/// Splits a goal-directed background axiom's NNF into its ground conjuncts
+/// (pushed onto `pending` for eager assertion — they are facts, not
+/// matching rules) and its top-level quantifiers (handed to `gate`).
+/// Quantifiers nested under disjunctions or other quantifiers stay where
+/// they are: they only come alive through instantiation inside a frame, so
+/// they are goal-directed already.
+fn split_gated(
+    nnf: Nnf,
+    pending: &mut Vec<(Nnf, u32)>,
+    gate: &mut impl FnMut(Vec<Symbol>, Vec<Trigger>, Nnf),
+) {
+    match nnf {
+        Nnf::And(parts) => {
+            for part in parts {
+                split_gated(part, pending, gate);
+            }
+        }
+        Nnf::Forall {
+            vars,
+            triggers,
+            body,
+        } => gate(vars, triggers, *body),
+        other => pending.push((other, 0)),
+    }
+}
+
+/// Assigns a gated quantifier its stable id and telemetry row *without*
+/// activating it: the id is allocated in background order (so `axiom_quants`
+/// and per-quantifier telemetry cover gated axioms exactly like eager
+/// ones), but the quantifier joins no branch until [`arm_gated`] runs
+/// inside an obligation frame.
+fn park_gated_quant(
+    shared: &mut Shared,
+    vars: Vec<Symbol>,
+    triggers: Vec<Trigger>,
+    body: Nnf,
+) -> Quant {
+    let key = (vars.clone(), body.clone());
+    let next_id = shared.quant_ids.len();
+    let id = *shared.quant_ids.entry(key).or_insert(next_id);
+    let triggers = if triggers.is_empty() {
+        infer_triggers(&vars, &body)
+    } else {
+        triggers
+    };
+    if id == shared.quant_meta.len() {
+        shared.quant_meta.push(QuantMeta {
+            kind: classify_quant(&triggers, &body),
+            trigger: triggers
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" "),
+            vars: vars.clone(),
+            matches: 0,
+            instances: 0,
+            presat_instances: 0,
+            goal_instances: 0,
+            deferred: 0,
+            recent: Vec::new(),
+        });
+    }
+    Quant {
+        id,
+        vars,
+        triggers,
+        body,
+    }
+}
+
+/// Activates the context's gated quantifiers in the current branch. Runs
+/// after the obligation frame's checkpoint (trail) or on the frame's clone,
+/// so rollback/drop disarms them; armed quantifiers sit past
+/// `fresh_quants_from` and get a full matching pass on the frame's first
+/// saturation round, exactly like a quantifier registered by the
+/// obligation itself.
+fn arm_gated(ctx: &mut Ctx, shared: &mut Shared, gated: &[Quant]) {
+    for q in gated {
+        if !ctx.quant_ids_present.insert(q.id) {
+            continue; // structurally shared with an eager axiom
+        }
+        shared.stats.quants += 1;
+        if q.triggers.is_empty() {
+            shared.stats.skipped_quants += 1;
+        }
+        ctx.quants.push(q.clone());
+    }
+}
+
 fn register_quant(
     ctx: &mut Ctx,
     shared: &mut Shared,
@@ -1452,6 +1604,8 @@ fn register_quant(
             vars: vars.clone(),
             matches: 0,
             instances: 0,
+            presat_instances: 0,
+            goal_instances: 0,
             deferred: 0,
             recent: Vec::new(),
         });
@@ -1989,6 +2143,11 @@ fn instantiate_pass(ctx: &mut Ctx, shared: &mut Shared, full: bool) -> PassResul
                 shared.stats.instances += 1;
                 let meta = &mut shared.quant_meta[quant.id];
                 meta.instances += 1;
+                if shared.presat {
+                    meta.presat_instances += 1;
+                } else {
+                    meta.goal_instances += 1;
+                }
                 if meta.recent.len() == CHAIN_LEN {
                     meta.recent.remove(0);
                 }

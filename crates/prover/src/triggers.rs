@@ -4,6 +4,14 @@
 //! contain all quantified variables and are headed by a matchable symbol
 //! (not equality, not arithmetic). Falls back to a greedy multi-pattern
 //! when no single pattern covers every variable.
+//!
+//! Inference is a *user-level fallback only*: every background axiom in
+//! `crates/core/src/background.rs` carries a declared
+//! [`PatternPolicy`](oolong_logic::PatternPolicy) with explicit PATS/MPAT
+//! triggers and a scheduling phase (enforced by the `policy_gate` test), so
+//! [`infer_triggers`] only runs for quantifiers written in user
+//! specifications — hypotheses, procedure contracts, seeded violations —
+//! that omit their own triggers.
 
 use oolong_logic::transform::Nnf;
 use oolong_logic::{Atom, FnSym, Pattern, Symbol, Term, TermNode, Trigger};

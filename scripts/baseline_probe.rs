@@ -1,0 +1,40 @@
+//! Baseline-compatible cold-batch probe, injected into a git worktree of
+//! the pinned baseline commit by `scripts/bench_regression.sh`.
+//!
+//! It measures the same thing as `crates/bench/src/bin/cold_probe.rs` — a
+//! fresh engine checking the full paper corpus, empty caches — but uses
+//! only `CheckOptions::default()` so it compiles against trees that
+//! predate the pattern-policy options (the baseline commit is PR-6,
+//! 9de2311). Keep this file free of any `CheckOptions` field names.
+
+use std::time::Instant;
+
+use oolong_corpus::paper;
+use oolong_engine::{BatchUnit, Engine, EngineOptions};
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("sample count"))
+        .unwrap_or(5);
+    let units: Vec<BatchUnit> = paper::all()
+        .iter()
+        .map(|p| BatchUnit {
+            name: p.name.to_string(),
+            source: p.source.to_string(),
+        })
+        .collect();
+    let run = || {
+        let engine = Engine::new(EngineOptions::default()).expect("in-memory engine");
+        engine.check_batch(&units)
+    };
+    let _ = run(); // warmup
+    let mut times_ms: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let _ = run();
+        times_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+    }
+    times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    println!("{:.1}", times_ms[times_ms.len() / 2]);
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Cold-batch regression gate (E19/E20, CI job `bench-regression`).
+#
+# Measures the median cold paper-corpus batch through the engine (the
+# `e19_engine_cold` configuration, as the `cold_probe` binary) and fails
+# when it exceeds the recorded BENCH_e19 engine_cold median (286.4 ms) by
+# more than 15%. Absolute wall-clock on an unknown runner proves nothing
+# by itself, so a breach is confirmed with the machine-drift guard from
+# E19's methodology: the pinned baseline commit is built in a git worktree
+# and the two probes run interleaved round-for-round on the same machine;
+# only a current tree slower than 1.15x the interleaved baseline fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# BENCH_e19 engine_cold median 286.4 ms x 1.15 (override for testing).
+THRESHOLD_MS=${BENCH_THRESHOLD_MS:-329.0}
+BASELINE_COMMIT=9de2311     # PR-6: the last tree before the E19 regression
+DRIFT_FACTOR=1.15
+ROUNDS=3
+SAMPLES=5
+
+median_of() { # sorted median of "$@" (floats)
+    python3 -c 'import sys; xs = sorted(float(a) for a in sys.argv[1:]); print(f"{xs[len(xs)//2]:.1f}")' "$@"
+}
+
+echo "== cold-batch probe (current tree) =="
+cargo build --release -q -p oolong-bench --bin cold_probe
+./target/release/cold_probe --samples 7 | tee cold_probe.json
+median=$(python3 -c 'import json,sys; print(json.load(sys.stdin)["median_ms"])' < cold_probe.json)
+echo "current median: ${median} ms (threshold ${THRESHOLD_MS} ms)"
+
+if python3 -c "import sys; sys.exit(0 if ${median} <= ${THRESHOLD_MS} else 1)"; then
+    echo "PASS: within the absolute threshold"
+    exit 0
+fi
+
+echo "== threshold exceeded: interleaved machine-drift guard =="
+worktree=target/bench-baseline
+git worktree add --force "$worktree" "$BASELINE_COMMIT"
+trap 'git worktree remove --force "$worktree" >/dev/null 2>&1 || true' EXIT
+mkdir -p "$worktree/crates/bench/src/bin"
+cp scripts/baseline_probe.rs "$worktree/crates/bench/src/bin/cold_probe.rs"
+(cd "$worktree" && cargo build --release -q -p oolong-bench --bin cold_probe)
+
+cur_medians=()
+base_medians=()
+for round in $(seq "$ROUNDS"); do
+    base=$("$worktree/target/release/cold_probe" "$SAMPLES")
+    cur=$(./target/release/cold_probe --samples "$SAMPLES" \
+        | python3 -c 'import json,sys; print(json.load(sys.stdin)["median_ms"])')
+    echo "round ${round}: baseline ${base} ms, current ${cur} ms"
+    base_medians+=("$base")
+    cur_medians+=("$cur")
+done
+base_median=$(median_of "${base_medians[@]}")
+cur_median=$(median_of "${cur_medians[@]}")
+echo "interleaved medians: baseline ${base_median} ms, current ${cur_median} ms"
+
+if python3 -c "import sys; sys.exit(0 if ${cur_median} <= ${base_median} * ${DRIFT_FACTOR} else 1)"; then
+    echo "PASS: machine drift — current tree is within ${DRIFT_FACTOR}x of the interleaved baseline"
+    exit 0
+fi
+echo "FAIL: cold batch regressed past ${DRIFT_FACTOR}x of the interleaved PR-6 baseline"
+exit 1

@@ -55,7 +55,6 @@ const WITNESSES: &[(&str, bool, &str, &str)] = &[
         "observer",
         "elem-pivot-values-are-objects",
     ),
-    ("section30_q", false, "q", "local-inc-refl:obj"),
     ("section30_q", false, "q", "local-inc-enum:cnt"),
     ("section30_q", false, "q", "rep-range:obj"),
     ("example3", false, "updateAll", "rep:g-next>g"),
@@ -71,8 +70,12 @@ const WITNESSES: &[(&str, bool, &str, &str)] = &[
 /// Families present in the corpus background that neither flip a verdict
 /// nor E-match anywhere in it: their kept-ness is guarded by the
 /// structural always-keep rule checked in
-/// [`unsliceable_axioms_are_always_kept`].
-const INERT_FAMILIES: &[&str] = &["local-inc", "owner-acyclicity-element"];
+/// [`unsliceable_axioms_are_always_kept`]. `local-inc-refl` (ground
+/// reflexivity facts) joined the list when goal-directed scheduling made
+/// every corpus proof complete within budget from the `local-inc-reflexive`
+/// universal alone — the ground facts are now pure accelerators, and
+/// ground facts are unsliceable by construction.
+const INERT_FAMILIES: &[&str] = &["local-inc", "local-inc-refl", "owner-acyclicity-element"];
 
 fn witness_budget() -> Budget {
     Budget {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! oolong check   <file|corpus:NAME> [--naive] [--null-checks] [--json] [--explain-unknown]
+//! oolong infer   <file|corpus:NAME|stripped:NAME|unannotated:SEED> [--proc NAME] [--apply] [--json]
 //! oolong explain <file|corpus:NAME> [--proc NAME] [--cache-dir DIR] [--json]
 //! oolong batch   <files...> [--cache-dir DIR] [--workers N] [--events PATH] [--json]
 //! oolong recheck [--cache-dir DIR] [--events PATH] [--json]
@@ -66,6 +67,9 @@ fn usage() -> String {
   oolong explain <file|corpus:NAME> [--proc NAME] [--cache-dir DIR] [--json]
                  [--naive] [--null-checks] [--max-instances N] [--max-gen N]
                  [--clone-search]
+  oolong infer   <file|corpus:NAME|stripped:NAME|unannotated:SEED> [--proc NAME]
+                 [--apply] [--json] [--max-rounds N] [--cache-dir DIR] [--no-cache]
+                 [--naive] [--null-checks] [--max-instances N] [--max-gen N]
   oolong batch   <files|corpus:NAMEs...> [--cache-dir DIR] [--no-cache] [--workers N]
                  [--events PATH] [--json] [--naive] [--null-checks]
                  [--max-instances N] [--max-gen N] [--clone-search]
@@ -94,6 +98,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
         "explain" => cmd_explain(&args[1..]),
+        "infer" => cmd_infer(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "recheck" => cmd_recheck(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
@@ -132,6 +137,7 @@ fn flag(args: &[String], name: &str) -> bool {
 const VALUE_OPTS: &[&str] = &[
     "--max-instances",
     "--max-gen",
+    "--max-rounds",
     "--proc",
     "--seeds",
     "--cache-dir",
@@ -510,6 +516,106 @@ const DEFAULT_CACHE_DIR: &str = ".oolong-cache";
 /// Parses everything `batch`/`recheck` need *before* any side effect
 /// (notably the manifest write), so a bad option leaves the recorded
 /// batch untouched.
+fn cmd_infer(args: &[String]) -> Result<ExitCode, String> {
+    let spec = positional(args)?;
+    let unit = match oolong_infer::resolve_spec(spec) {
+        Some(resolved) => resolved?,
+        None => oolong_infer::InferUnit {
+            name: spec.to_string(),
+            source: load_source(spec)?,
+            truth: None,
+        },
+    };
+    let mut opts = oolong_infer::InferOptions {
+        check: check_options(args)?,
+        proc: opt_value(args, "--proc"),
+        ..Default::default()
+    };
+    if let Some(n) = opt_value(args, "--max-rounds") {
+        opts.max_rounds = n.parse().map_err(|_| "bad --max-rounds")?;
+    }
+    let engine_opts = EngineOptions {
+        check: opts.check.clone(),
+        workers: 0,
+        cache_dir: batch_cache_dir(args),
+        diagnose: false,
+    };
+    let engine = Engine::new(engine_opts).map_err(|e| format!("cannot open cache: {e}"))?;
+    let outcome = oolong_infer::infer(&engine, &unit.name, &unit.source, &opts)?;
+    let accuracy = match &unit.truth {
+        Some(truth) => Some(oolong_infer::accuracy(&outcome, truth)?),
+        None => None,
+    };
+
+    // `--apply` rewrites file units in place; for corpus/generated units
+    // (no backing file) it prints the rewritten source instead.
+    let apply = flag(args, "--apply");
+    let is_file = !spec.contains(':') || Path::new(spec).exists();
+    if apply && is_file {
+        std::fs::write(spec, &outcome.edited_source)
+            .map_err(|e| format!("cannot write `{spec}`: {e}"))?;
+    }
+
+    if flag(args, "--json") {
+        println!(
+            "{}",
+            oolong_infer::infer_json(&outcome, accuracy.as_ref(), apply).render()
+        );
+        return Ok(if outcome.verified {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    if apply && !is_file {
+        println!("{}", outcome.edited_source.trim_end());
+        println!("---");
+    }
+    for proposal in &outcome.proposals {
+        println!(
+            "{}: {} {}  [{}, round {}]",
+            proposal.proc,
+            proposal.kind_name(),
+            proposal.target(&|p| outcome.params_of(p)),
+            proposal.provenance.as_str(),
+            proposal.round
+        );
+    }
+    for note in &outcome.notes {
+        println!("note: {note}");
+    }
+    if let Some(acc) = &accuracy {
+        println!(
+            "accuracy: {}/{} exact, {} superset, {} other",
+            acc.exact(),
+            acc.total(),
+            acc.superset(),
+            acc.other()
+        );
+    }
+    println!(
+        "{} proposals in {} rounds: fixpoint={}, verified={}{}",
+        outcome.proposals.len(),
+        outcome.rounds,
+        outcome.fixpoint,
+        outcome.verified,
+        if outcome.membership_fallback {
+            " (membership fallback)"
+        } else {
+            ""
+        }
+    );
+    if !outcome.unverified_procs.is_empty() {
+        println!("unverified: {}", outcome.unverified_procs.join(", "));
+    }
+    Ok(if outcome.verified {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn engine_options(args: &[String], cache_dir: Option<PathBuf>) -> Result<EngineOptions, String> {
     let workers = match opt_value(args, "--workers") {
         Some(n) => n.parse().map_err(|_| "bad --workers")?,

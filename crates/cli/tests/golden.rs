@@ -272,3 +272,50 @@ fn stats_text_reports_prover_telemetry() {
         assert!(stdout.contains(needle), "missing `{needle}` in:\n{stdout}");
     }
 }
+
+/// `infer --json` on a stripped paper program: proposals with span-anchored
+/// edits, provenance, and the round/fixpoint/verification summary.
+#[test]
+fn infer_json_schema_is_stable() {
+    let out = oolong(&["infer", "stripped:example1", "--json", "--no-cache"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = json::parse(stdout.trim()).expect("infer --json emits one JSON object");
+    assert_matches_snapshot("infer_stripped.schema.txt", &value);
+
+    assert_eq!(value.get("verified"), Some(&Json::Bool(true)));
+    assert_eq!(value.get("fixpoint"), Some(&Json::Bool(true)));
+    let proposals = value
+        .get("proposals")
+        .and_then(Json::as_array)
+        .expect("proposals");
+    assert_eq!(proposals.len(), 1, "example1 needs exactly one entry");
+    let p = &proposals[0];
+    assert_eq!(
+        p.get("kind").and_then(Json::as_str),
+        Some("modifies-extension")
+    );
+    assert_eq!(p.get("target").and_then(Json::as_str), Some("t.c.d.g"));
+    assert_eq!(p.get("provenance").and_then(Json::as_str), Some("static"));
+    assert!(
+        p.get("edit").and_then(|e| e.get("insert")).is_some(),
+        "the edit is machine-applicable"
+    );
+}
+
+/// `infer --json` on a generated unannotated program: the accuracy member
+/// compares the inferred frames against generator ground truth.
+#[test]
+fn infer_json_accuracy_schema_is_stable() {
+    let out = oolong(&["infer", "unannotated:7", "--json", "--no-cache"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = json::parse(stdout.trim()).expect("infer --json emits one JSON object");
+    assert_matches_snapshot("infer_unannotated.schema.txt", &value);
+
+    assert_eq!(value.get("verified"), Some(&Json::Bool(true)));
+    let acc = value.get("accuracy").expect("accuracy present");
+    assert_eq!(
+        acc.get("procs").and_then(Json::as_u64),
+        acc.get("exact").and_then(Json::as_u64),
+        "every inferred frame matches ground truth exactly"
+    );
+}

@@ -318,6 +318,22 @@ pub fn scope_background_policies(
         axioms.push((format!("local-inc-enum:{}", info.name), f, policy));
 
         if info.kind == AttrKind::Field {
+            // Fields have no proper members: ∀B :: a ⊒ B ⇒ B = a. Members
+            // attach to groups only (sema rejects `in` clauses naming a
+            // field), so no scope extension can ever put an attribute
+            // below a field — unlike the group enumeration, this closed
+            // form is scope-monotone. It discharges owner-exclusion
+            // obligations at calls whose refutation witness bottoms out
+            // below a field-level modifies entry with a quantified
+            // member attribute.
+            let bv = fresh.fresh("bgB");
+            let below = Atom::LocalInc(a, Term::var(bv));
+            let (f, policy) = declare(
+                vec![bv],
+                PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Atom(below)])]),
+                Formula::implies(Formula::Atom(below), Formula::eq(Term::var(bv), a)),
+            );
+            axioms.push((format!("local-inc-members:{}", info.name), f, policy));
             axioms.extend(field_rep_axioms(scope, attr_id, &a, fresh));
         }
     }

@@ -641,6 +641,333 @@ impl Gen {
     }
 }
 
+/// Shape parameters for [`generate_unannotated_source`].
+#[derive(Debug, Clone)]
+pub struct UnannotatedConfig {
+    /// Number of data groups declared.
+    pub groups: usize,
+    /// Number of object fields declared.
+    pub fields: usize,
+    /// Number of procedures (each with an implementation).
+    pub procs: usize,
+    /// Keep the `in` clauses in the stripped source (only `modifies`
+    /// lists are erased). With the group structure intact, ground-truth
+    /// frames stay at the data-group level and exercise group lifting;
+    /// without it, ground truth is the concrete field footprint.
+    pub keep_includes: bool,
+}
+
+impl Default for UnannotatedConfig {
+    fn default() -> Self {
+        UnannotatedConfig {
+            groups: 3,
+            fields: 6,
+            procs: 5,
+            keep_includes: false,
+        }
+    }
+}
+
+/// The erased ground-truth frame of one generated procedure: modifies
+/// entries as `(parameter index, attribute path)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthFrame {
+    /// Procedure name.
+    pub proc: String,
+    /// Ground-truth modifies entries, sorted.
+    pub entries: Vec<(usize, Vec<String>)>,
+}
+
+/// A generated program with its annotations stripped and the erased
+/// ground truth recorded — the inference-accuracy workload.
+#[derive(Debug, Clone)]
+pub struct UnannotatedProgram {
+    /// Stable unit name, `unannotated-<seed>`.
+    pub name: String,
+    /// The stripped source (no `modifies` clauses; no `in` clauses unless
+    /// `keep_includes`).
+    pub source: String,
+    /// The fully annotated original (verifies as generated).
+    pub annotated: String,
+    /// Erased ground-truth frames, one per procedure, in name order.
+    pub truth: Vec<TruthFrame>,
+    /// Erased `(field, group)` memberships (empty with `keep_includes`).
+    pub erased_includes: Vec<(String, String)>,
+}
+
+/// Generates an annotated program whose bodies exercise exactly their
+/// declared frames, then erases the annotations and records them as
+/// ground truth.
+///
+/// Construction guarantees the annotated program verifies: every direct
+/// write is licensed by the procedure's own entry, every call passes
+/// formals whose frames are unions of the callees' (the call graph is a
+/// DAG resolved bottom-up), and there are no pivots, so the alias
+/// restrictions are vacuous. A procedure whose per-parameter footprint
+/// covers *all* member fields of a group is annotated with the group
+/// entry (the smallest covering group); leftover fields stay field-level
+/// entries — mirroring the minimality the inference subsystem aims for.
+pub fn generate_unannotated_source(seed: u64, cfg: &UnannotatedConfig) -> UnannotatedProgram {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(0xA11F));
+    let groups: Vec<String> = (0..cfg.groups.max(1)).map(|i| format!("g{i}")).collect();
+    let fields: Vec<String> = (0..cfg.fields.max(2)).map(|i| format!("f{i}")).collect();
+    // Each field joins at most one group; some stay ungrouped so field-level
+    // entries appear in the ground truth too.
+    let membership: Vec<Option<usize>> = (0..fields.len())
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                Some(rng.gen_range(0..groups.len()))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let members_of = |g: usize| -> Vec<usize> {
+        membership
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| **m == Some(g))
+            .map(|(f, _)| f)
+            .collect()
+    };
+
+    // Plan procedures: params, direct writes per param, calls to earlier
+    // procedures (a DAG, so footprints resolve bottom-up in one pass).
+    struct Plan {
+        params: usize,
+        /// field indices directly written per param, with allocation flag
+        direct: Vec<Vec<(usize, bool)>>,
+        /// (callee index, caller-param per callee-param)
+        calls: Vec<(usize, Vec<usize>)>,
+        /// resolved footprint: field indices per param
+        footprint: Vec<std::collections::BTreeSet<usize>>,
+        /// fresh-local noise: field index written through a fresh local
+        noise: Option<usize>,
+    }
+    let nprocs = cfg.procs.max(1);
+    let mut plans: Vec<Plan> = Vec::with_capacity(nprocs);
+    for i in 0..nprocs {
+        let params = 1 + rng.gen_range(0..2usize);
+        let mut direct: Vec<Vec<(usize, bool)>> = vec![Vec::new(); params];
+        for d in direct.iter_mut() {
+            if rng.gen_bool(0.5) {
+                // Group-complete intent: write every member field of a
+                // non-empty group, making the group the smallest cover.
+                let g = rng.gen_range(0..groups.len());
+                let members = members_of(g);
+                if !members.is_empty() {
+                    for f in members {
+                        d.push((f, rng.gen_bool(0.25)));
+                    }
+                    continue;
+                }
+            }
+            for _ in 0..1 + rng.gen_range(0..2usize) {
+                d.push((rng.gen_range(0..fields.len()), rng.gen_bool(0.25)));
+            }
+        }
+        let mut calls = Vec::new();
+        if i > 0 && rng.gen_bool(0.6) {
+            let callee = rng.gen_range(0..i);
+            // Callee parameters get *distinct* caller parameters: passing
+            // the same object twice aliases the callee's per-parameter
+            // frames, and the checker (rightly) refuses to prove the
+            // resulting owner-exclusion obligations. A callee with more
+            // parameters than the caller has is simply not called.
+            if plans[callee].params <= params {
+                let mut avail: Vec<usize> = (0..params).collect();
+                let mapping: Vec<usize> = (0..plans[callee].params)
+                    .map(|_| avail.remove(rng.gen_range(0..avail.len())))
+                    .collect();
+                calls.push((callee, mapping));
+            }
+        }
+        let mut footprint: Vec<std::collections::BTreeSet<usize>> = direct
+            .iter()
+            .map(|d| d.iter().map(|&(f, _)| f).collect())
+            .collect();
+        for (callee, mapping) in &calls {
+            for (callee_param, &caller_param) in mapping.iter().enumerate() {
+                let extra: Vec<usize> = plans[*callee].footprint[callee_param]
+                    .iter()
+                    .copied()
+                    .collect();
+                footprint[caller_param].extend(extra);
+            }
+        }
+        let noise = if rng.gen_bool(0.4) {
+            Some(rng.gen_range(0..fields.len()))
+        } else {
+            None
+        };
+        plans.push(Plan {
+            params,
+            direct,
+            calls,
+            footprint,
+            noise,
+        });
+    }
+
+    // Annotated modifies entries: lift complete member sets to the group
+    // (largest groups first), keep the rest field-level.
+    let entries_for = |footprint: &[std::collections::BTreeSet<usize>]| {
+        let mut entries: Vec<(usize, Vec<String>)> = Vec::new();
+        for (param, written) in footprint.iter().enumerate() {
+            let mut remaining = written.clone();
+            let mut lifts: Vec<(usize, Vec<usize>)> = (0..groups.len())
+                .map(|g| (g, members_of(g)))
+                .filter(|(_, m)| !m.is_empty())
+                .collect();
+            lifts.sort_by_key(|(g, m)| (usize::MAX - m.len(), *g));
+            for (g, members) in lifts {
+                if members.iter().all(|f| remaining.contains(f)) {
+                    for f in &members {
+                        remaining.remove(f);
+                    }
+                    entries.push((param, vec![groups[g].clone()]));
+                }
+            }
+            for f in remaining {
+                entries.push((param, vec![fields[f].clone()]));
+            }
+        }
+        entries.sort();
+        entries
+    };
+    // A group entry licenses everything below it, but owner exclusion at
+    // a call transfers pointwise by entry *identity*: the obligation for
+    // a callee entry is a conjunct of the caller's assumed exclusion only
+    // when the caller's own list carries that entry verbatim. So a caller
+    // keeps its callees' entries alongside the lifted groups (the DAG is
+    // resolved bottom-up, callees first).
+    let mut all_entries: Vec<Vec<(usize, Vec<String>)>> = Vec::with_capacity(plans.len());
+    for plan in &plans {
+        let mut entries = entries_for(&plan.footprint);
+        for (callee, mapping) in &plan.calls {
+            for (callee_param, path) in &all_entries[*callee] {
+                let e = (mapping[*callee_param], path.clone());
+                if !entries.contains(&e) {
+                    entries.push(e);
+                }
+            }
+        }
+        entries.sort();
+        all_entries.push(entries);
+    }
+
+    // Render both versions.
+    let render = |strip: bool| -> String {
+        let mut out = String::new();
+        for g in &groups {
+            let _ = writeln!(out, "group {g}");
+        }
+        for (f, m) in fields.iter().zip(&membership) {
+            match m {
+                Some(g) if !strip || cfg.keep_includes => {
+                    let _ = writeln!(out, "field {f} in {}", groups[*g]);
+                }
+                _ => {
+                    let _ = writeln!(out, "field {f}");
+                }
+            }
+        }
+        for (i, plan) in plans.iter().enumerate() {
+            let params: Vec<String> = (0..plan.params).map(|k| format!("t{k}")).collect();
+            let mut decl = format!("proc p{i}({})", params.join(", "));
+            if !strip {
+                let rendered: Vec<String> = all_entries[i]
+                    .iter()
+                    .map(|(param, path)| format!("{}.{}", params[*param], path.join(".")))
+                    .collect();
+                if !rendered.is_empty() {
+                    let _ = write!(decl, " modifies {}", rendered.join(", "));
+                }
+            }
+            let _ = writeln!(out, "{decl}");
+            let mut cmds: Vec<String> = Vec::new();
+            // Calls first: a call's license obligations are discharged in
+            // the initial heap. Emitting them after field updates makes the
+            // prover re-derive every license under the accumulated heap
+            // stores, which blows up case splits exponentially in the
+            // number of preceding writes.
+            for (callee, mapping) in &plan.calls {
+                let args: Vec<String> = mapping.iter().map(|&p| format!("t{p}")).collect();
+                cmds.push(format!("p{callee}({})", args.join(", ")));
+            }
+            for (param, writes) in plan.direct.iter().enumerate() {
+                for &(f, alloc) in writes {
+                    if alloc {
+                        cmds.push(format!("t{param}.{} := new()", fields[f]));
+                    } else {
+                        cmds.push(format!("t{param}.{} := {}", fields[f], f % 7));
+                    }
+                }
+            }
+            // Fresh-local noise: writes through a provably fresh local need
+            // no license and must not leak into the inferred frame.
+            if let Some(f) = plan.noise {
+                cmds.push(format!(
+                    "var v{i} in v{i} := new() ; v{i}.{} := 1 end",
+                    fields[f]
+                ));
+            }
+            let _ = writeln!(out, "impl p{i}({}) {{", params.join(", "));
+            let _ = writeln!(out, "  {}", cmds.join(" ;\n  "));
+            let _ = writeln!(out, "}}");
+        }
+        out
+    };
+    let annotated = render(false);
+    let source = render(true);
+
+    // Ground truth: against the *stripped* scope. With includes erased the
+    // group entries have no members to cover, so truth is the concrete
+    // field footprint; with includes kept the lifted entries are exact.
+    let truth: Vec<TruthFrame> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            let entries = if cfg.keep_includes {
+                all_entries[i].clone()
+            } else {
+                let mut es: Vec<(usize, Vec<String>)> = plan
+                    .footprint
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(param, ws)| {
+                        let fields = &fields;
+                        ws.iter().map(move |&f| (param, vec![fields[f].clone()]))
+                    })
+                    .collect();
+                es.sort();
+                es
+            };
+            TruthFrame {
+                proc: format!("p{i}"),
+                entries,
+            }
+        })
+        .collect();
+    let erased_includes = if cfg.keep_includes {
+        Vec::new()
+    } else {
+        fields
+            .iter()
+            .zip(&membership)
+            .filter_map(|(f, m)| m.map(|g| (f.clone(), groups[g].clone())))
+            .collect()
+    };
+
+    UnannotatedProgram {
+        name: format!("unannotated-{seed}"),
+        source,
+        annotated,
+        truth,
+        erased_includes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,8 +51,16 @@ use std::str::FromStr;
 /// were current — and flipping `--no-pattern-policies` must re-prove, not
 /// hit. Same migration by miss.
 ///
+/// Version 5: the scope background gained the per-field
+/// `local-inc-members` axiom (fields have no proper members — a
+/// scope-monotone closed form, since `in` targets must be groups in
+/// every extension). The axiom is part of each VC's hypothesis set, so
+/// v4 entries were proved under a strictly weaker theory: a v4 verdict
+/// is still sound, but its refutation search and telemetry no longer
+/// match what this build would produce. Same migration by miss.
+///
 /// [`PatternPolicy`]: oolong_logic::PatternPolicy
-pub const FINGERPRINT_VERSION: u32 = 4;
+pub const FINGERPRINT_VERSION: u32 = 5;
 
 /// The content address of one proof obligation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -228,8 +236,8 @@ mod tests {
         // shifting bytes would orphan (or worse, mis-serve) disk caches.
         let vcs = vcs_for(BASE);
         let fingerprint = fp(&vcs[0], &Budget::default());
-        assert_eq!(fingerprint.to_string(), PINNED_V4);
+        assert_eq!(fingerprint.to_string(), PINNED_V5);
     }
 
-    const PINNED_V4: &str = "d68bdfd64720573374a5af737447340b";
+    const PINNED_V5: &str = "2a5ece446ba9baebcc8b1a5394831fc3";
 }

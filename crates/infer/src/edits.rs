@@ -1,0 +1,194 @@
+//! Proposals and machine-applicable span-anchored edits.
+//!
+//! A [`Proposal`] is an annotation change: extending a procedure's
+//! `modifies` list with a frame entry, or adding a local `in` membership
+//! to a field declaration. [`render_edits`] turns proposals into concrete
+//! [`Edit`]s anchored in the *base* source (insertion points computed from
+//! declaration spans), and [`apply_edits`] splices them. Edits at the same
+//! anchor apply in listed order: a later insert lands after the text of an
+//! earlier one, so per-proposal edits compose to the same result as the
+//! grouped rendering used internally.
+
+use std::collections::BTreeMap;
+
+use oolong_syntax::ast::Program;
+
+use crate::analysis::{all_field_decls, all_proc_decls, implemented_procs, FrameEntry};
+
+/// Where a proposal came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Phase 1: the static may-write analysis.
+    Static,
+    /// Phase 2: translated from a refuted obligation.
+    Repair,
+}
+
+impl Provenance {
+    /// Stable lowercase name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Provenance::Static => "static",
+            Provenance::Repair => "repair",
+        }
+    }
+}
+
+/// The annotation change a proposal makes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProposalKind {
+    /// Append `entry` to the `modifies` list of the procedure.
+    Extend(FrameEntry),
+    /// Add `field in group` to the field's declaration.
+    Membership {
+        /// The field gaining a membership.
+        field: String,
+        /// The group it joins.
+        group: String,
+    },
+}
+
+/// One proposed annotation edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proposal {
+    /// The procedure whose obligation demanded the change.
+    pub proc: String,
+    /// What to change.
+    pub kind: ProposalKind,
+    /// Phase that produced it.
+    pub provenance: Provenance,
+    /// Repair round that produced it (0 for static).
+    pub round: usize,
+}
+
+impl Proposal {
+    /// Renders the proposal target, e.g. `t.c.g` or `b in g`.
+    pub fn target(&self, params_of: &dyn Fn(&str) -> Vec<String>) -> String {
+        match &self.kind {
+            ProposalKind::Extend(e) => e.render(&params_of(&self.proc)),
+            ProposalKind::Membership { field, group } => format!("{field} in {group}"),
+        }
+    }
+
+    /// Stable kind name for reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            ProposalKind::Extend(_) => "modifies-extension",
+            ProposalKind::Membership { .. } => "group-membership",
+        }
+    }
+}
+
+/// A span-anchored text edit: replace `source[start..end]` with `insert`
+/// (`start == end` for pure insertion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    /// Byte offset where the edit starts.
+    pub start: usize,
+    /// Byte offset where the edit ends.
+    pub end: usize,
+    /// Replacement text.
+    pub insert: String,
+}
+
+/// Renders one edit per proposal against the base program. Returns `None`
+/// for a proposal whose target declaration cannot be found (the caller
+/// reports it as a note).
+pub fn render_edits(program: &Program, proposals: &[Proposal]) -> Vec<Option<Edit>> {
+    let procs: BTreeMap<&str, _> = all_proc_decls(program)
+        .into_iter()
+        .map(|p| (p.name.text.as_str(), p))
+        .collect();
+    let fields: BTreeMap<&str, _> = all_field_decls(program)
+        .into_iter()
+        .map(|f| (f.name.text.as_str(), f))
+        .collect();
+    let mut prior_ext: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut prior_mem: BTreeMap<&str, usize> = BTreeMap::new();
+    proposals
+        .iter()
+        .map(|p| match &p.kind {
+            ProposalKind::Extend(entry) => {
+                let decl = procs.get(p.proc.as_str())?;
+                let params: Vec<String> = decl.params.iter().map(|i| i.text.clone()).collect();
+                let prior = prior_ext.entry(p.proc.as_str()).or_insert(0);
+                let has_list = !decl.modifies.is_empty() || *prior > 0;
+                *prior += 1;
+                let anchor = decl.span.end as usize;
+                let text = if has_list {
+                    format!(", {}", entry.render(&params))
+                } else {
+                    format!(" modifies {}", entry.render(&params))
+                };
+                Some(Edit {
+                    start: anchor,
+                    end: anchor,
+                    insert: text,
+                })
+            }
+            ProposalKind::Membership { field, group } => {
+                let decl = fields.get(field.as_str())?;
+                let prior = prior_mem.entry(field.as_str()).or_insert(0);
+                let has_list = !decl.includes.is_empty() || *prior > 0;
+                *prior += 1;
+                let anchor = if let Some(last) = decl.includes.last() {
+                    last.span.end as usize
+                } else {
+                    decl.name.span.end as usize
+                };
+                let text = if has_list {
+                    format!(", {group}")
+                } else {
+                    format!(" in {group}")
+                };
+                Some(Edit {
+                    start: anchor,
+                    end: anchor,
+                    insert: text,
+                })
+            }
+        })
+        .collect()
+}
+
+/// Applies edits to `source`. Same-anchor inserts land in listed order.
+pub fn apply_edits(source: &str, edits: &[Edit]) -> String {
+    let mut order: Vec<usize> = (0..edits.len()).collect();
+    order.sort_by_key(|&i| (edits[i].start, i));
+    let mut out = source.to_string();
+    for &i in order.iter().rev() {
+        let e = &edits[i];
+        out.replace_range(e.start..e.end, &e.insert);
+    }
+    out
+}
+
+/// Removes the `modifies` clause of every procedure that has an
+/// implementation in the unit (interface-only procedures keep their
+/// declared frames — there is no body to infer one from). Returns the
+/// stripped source.
+pub fn strip_implemented_modifies(source: &str) -> Result<String, String> {
+    let program = oolong_syntax::parse_program(source).map_err(|d| format!("parse error: {d}"))?;
+    let implemented = implemented_procs(&program);
+    let mut deletions: Vec<(usize, usize)> = Vec::new();
+    for decl in all_proc_decls(&program) {
+        if decl.modifies.is_empty() || !implemented.contains(&decl.name.text) {
+            continue;
+        }
+        let first = decl.modifies[0].span().start as usize;
+        let Some(kw) = source[..first].rfind("modifies") else {
+            continue;
+        };
+        let mut start = kw;
+        while start > 0 && source.as_bytes()[start - 1].is_ascii_whitespace() {
+            start -= 1;
+        }
+        deletions.push((start, decl.span.end as usize));
+    }
+    deletions.sort();
+    let mut out = source.to_string();
+    for &(start, end) in deletions.iter().rev() {
+        out.replace_range(start..end, "");
+    }
+    Ok(out)
+}

@@ -1,0 +1,31 @@
+//! Automatic frame inference for oolong programs.
+//!
+//! Given a unit whose procedures lack (or under-specify) their `modifies`
+//! clauses, this crate infers candidate frames in two phases:
+//!
+//! 1. **Static analysis** ([`analysis`]): a may-write analysis over
+//!    guarded-command bodies, run to fixpoint across the call graph, with
+//!    concrete write locations lifted to the smallest covering data groups.
+//! 2. **Counterexample-guided repair** ([`repair`]): candidates are checked
+//!    through the verification engine; each refuted modifies obligation
+//!    names the offending location, which is translated into the minimal
+//!    annotation edit (a `modifies` extension or an `in` membership) and
+//!    re-checked, iterating to fixpoint under a bounded round count.
+//!
+//! Proposals are emitted as span-anchored, machine-applicable edits
+//! ([`edits`]); [`report`] renders them as JSON (shared byte-for-byte with
+//! the serve daemon) and measures accuracy against generator ground truth.
+
+pub mod analysis;
+pub mod edits;
+pub mod repair;
+pub mod report;
+pub mod workload;
+
+pub use analysis::{FrameEntry, GroupGraph};
+pub use edits::{
+    apply_edits, render_edits, strip_implemented_modifies, Edit, Proposal, ProposalKind, Provenance,
+};
+pub use repair::{infer, InferOptions, InferOutcome};
+pub use report::{accuracy, infer_json, Accuracy, GroundTruth, Match};
+pub use workload::{resolve_spec, InferUnit};

@@ -1,0 +1,481 @@
+//! Phase 2: counterexample-guided annotation repair.
+//!
+//! The repair loop applies the current proposal set to the source, checks
+//! the result through the verification engine (riding the shared verdict
+//! cache and warm scope contexts), and translates every refuted
+//! modifies-obligation back to the minimal annotation edit: locate the
+//! offending command via the obligation label's span, recompute its
+//! license demand with the static machinery, and either extend a
+//! `modifies` list or add a group membership. Proposals grow monotonically
+//! over a finite entry universe (designator paths are length-bounded, the
+//! attribute vocabulary is fixed), so the loop terminates: each round
+//! either adds a proposal or reaches fixpoint, and the round count is
+//! bounded by [`InferOptions::max_rounds`] as a belt-and-braces guard.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use datagroups::{CheckOptions, ObligationKind, ObligationLabel, Verdict};
+use oolong_engine::{BatchReport, Engine};
+use oolong_sema::Scope;
+use oolong_syntax::parse_program;
+
+use crate::analysis::{
+    collect_events, event_demands, final_frames, static_frames, Event, FrameEntry, GroupGraph, Seg,
+};
+use crate::edits::{apply_edits, render_edits, Edit, Proposal, ProposalKind, Provenance};
+
+/// Options for an inference run.
+#[derive(Debug, Clone)]
+pub struct InferOptions {
+    /// Checker options for the repair-loop engine rounds.
+    pub check: CheckOptions,
+    /// Maximum number of engine check rounds.
+    pub max_rounds: usize,
+    /// Restrict proposals to this procedure.
+    pub proc: Option<String>,
+}
+
+impl Default for InferOptions {
+    fn default() -> Self {
+        InferOptions {
+            check: CheckOptions::default(),
+            max_rounds: 8,
+            proc: None,
+        }
+    }
+}
+
+/// The result of an inference run.
+pub struct InferOutcome {
+    /// Unit name the run was invoked on.
+    pub unit: String,
+    /// Accepted proposals, in application order.
+    pub proposals: Vec<Proposal>,
+    /// Rendered edit per proposal (anchored in the base source).
+    pub edits: Vec<Option<Edit>>,
+    /// Engine check rounds performed.
+    pub rounds: usize,
+    /// Whether the repair loop converged (no repairable refutation left)
+    /// within the round bound.
+    pub fixpoint: bool,
+    /// Whether the final annotated unit verifies completely.
+    pub verified: bool,
+    /// Procedures with unverified obligations in the final round.
+    pub unverified_procs: Vec<String>,
+    /// Inexpressible demands and unrepairable refutations.
+    pub notes: Vec<String>,
+    /// The base source with every proposal applied.
+    pub edited_source: String,
+    /// Whether group-membership proposals were retracted in favour of
+    /// modifies extensions after breaking an unrelated proof.
+    pub membership_fallback: bool,
+}
+
+impl InferOutcome {
+    /// Parameter names of `proc` in the final program (for rendering).
+    pub fn params_of(&self, proc: &str) -> Vec<String> {
+        parse_program(&self.edited_source)
+            .ok()
+            .and_then(|p| {
+                crate::analysis::all_proc_decls(&p)
+                    .into_iter()
+                    .find(|d| d.name.text == proc)
+                    .map(|d| d.params.iter().map(|i| i.text.clone()).collect())
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Chooses the proposal kind for a demanded entry: a group membership when
+/// the originally-declared frame already licenses a group on the same
+/// parameter (the paper's "forgot the `in` clause" shape — the minimal
+/// edit restores the membership), otherwise a modifies extension.
+fn choose_kind(
+    graph: &GroupGraph,
+    base_declared: &BTreeSet<FrameEntry>,
+    entry: &FrameEntry,
+    allow_membership: bool,
+) -> ProposalKind {
+    if allow_membership && entry.path.len() == 1 && graph.is_field(&entry.path[0]) {
+        // A declared group that already contains the field licenses the
+        // writes but cannot entail a call-inherited entry's exclusion
+        // obligation — re-proposing the membership would be a no-op, so
+        // only groups the field is *not* yet below qualify.
+        let mut groups: Vec<&String> = base_declared
+            .iter()
+            .filter(|d| {
+                d.param == entry.param
+                    && d.path.len() == 1
+                    && graph.is_group(&d.path[0])
+                    && !graph.covers(&d.path[0], &entry.path)
+            })
+            .map(|d| &d.path[0])
+            .collect();
+        groups.sort();
+        if let Some(g) = groups.first() {
+            return ProposalKind::Membership {
+                field: entry.path[0].clone(),
+                group: (*g).clone(),
+            };
+        }
+    }
+    ProposalKind::Extend(entry.clone())
+}
+
+/// Per-round working state shared between the static phase and repair.
+struct Attempt {
+    proposals: Vec<Proposal>,
+    notes: BTreeSet<String>,
+    rounds: usize,
+    fixpoint: bool,
+    verified: bool,
+    unverified_procs: BTreeSet<String>,
+    edited_source: String,
+}
+
+fn in_scope(opts: &InferOptions, proc: &str) -> bool {
+    opts.proc.as_deref().map(|p| p == proc).unwrap_or(true)
+}
+
+/// Runs one full inference attempt (static phase + repair rounds).
+fn run_attempt(
+    engine: &Engine,
+    unit: &str,
+    source: &str,
+    opts: &InferOptions,
+    allow_membership: bool,
+) -> Result<Attempt, String> {
+    let program = parse_program(source).map_err(|ds| format!("parse error: {ds}"))?;
+    let scope = Scope::analyze(&program).map_err(|ds| format!("scope error: {ds}"))?;
+    let graph = GroupGraph::from_scope(&scope);
+
+    // Base declared frames, for the membership heuristic.
+    let base_declared: BTreeMap<String, BTreeSet<FrameEntry>> = scope
+        .procs()
+        .map(|(id, info)| {
+            (
+                info.name.clone(),
+                crate::analysis::declared_entries(&scope, id),
+            )
+        })
+        .collect();
+
+    let mut state = Attempt {
+        proposals: Vec::new(),
+        notes: BTreeSet::new(),
+        rounds: 0,
+        fixpoint: false,
+        verified: false,
+        unverified_procs: BTreeSet::new(),
+        edited_source: source.to_string(),
+    };
+
+    // Phase 1: static proposals.
+    let analysis = static_frames(&scope, &graph);
+    for n in &analysis.notes {
+        state.notes.insert(n.clone());
+    }
+    let mut seen_memberships: BTreeSet<(String, String)> = BTreeSet::new();
+    let finals = final_frames(&scope, &graph, &analysis);
+    for (proc_name, canonical) in &finals {
+        if !in_scope(opts, proc_name) || canonical.is_empty() {
+            continue;
+        }
+        let declared = base_declared.get(proc_name).cloned().unwrap_or_default();
+        for entry in canonical {
+            let kind = choose_kind(&graph, &declared, entry, allow_membership);
+            if let ProposalKind::Membership { field, group } = &kind {
+                if !seen_memberships.insert((field.clone(), group.clone())) {
+                    continue;
+                }
+            }
+            state.proposals.push(Proposal {
+                proc: proc_name.clone(),
+                kind,
+                provenance: Provenance::Static,
+                round: 0,
+            });
+        }
+    }
+
+    // Phase 2: check-and-repair rounds.
+    while state.rounds < opts.max_rounds {
+        state.rounds += 1;
+        let edits: Vec<Edit> = render_edits(&program, &state.proposals)
+            .into_iter()
+            .flatten()
+            .collect();
+        let edited = apply_edits(source, &edits);
+        let report = engine.check_source(unit, &edited);
+        if !report.unit_errors.is_empty() {
+            let msgs: Vec<String> = report
+                .unit_errors
+                .iter()
+                .map(|e| e.message.clone())
+                .collect();
+            return Err(format!(
+                "proposed annotations produced an ill-formed unit: {}",
+                msgs.join("; ")
+            ));
+        }
+        state.edited_source = edited;
+        state.unverified_procs = report
+            .obligations
+            .iter()
+            .filter(|o| !o.verdict.is_verified())
+            .map(|o| o.proc_name.clone())
+            .collect();
+        if report.all_verified() {
+            state.fixpoint = true;
+            state.verified = true;
+            break;
+        }
+        let new = repair_round(
+            &state.edited_source,
+            &report,
+            &base_declared,
+            opts,
+            allow_membership,
+            state.rounds,
+            &mut state.notes,
+        )?;
+        let mut progressed = false;
+        for p in new {
+            if let ProposalKind::Membership { field, group } = &p.kind {
+                if !seen_memberships.insert((field.clone(), group.clone())) {
+                    continue;
+                }
+            }
+            if state.proposals.contains(&p) {
+                continue;
+            }
+            state.proposals.push(p);
+            progressed = true;
+        }
+        if !progressed {
+            // No repairable refutation produced a new proposal: the loop is
+            // at fixpoint with the remaining refutations unrepairable.
+            state.fixpoint = true;
+            state.verified = false;
+            break;
+        }
+    }
+    Ok(state)
+}
+
+/// Matches a refuted obligation label to the body events it implicates.
+///
+/// Spans are authoritative when they land inside an event: that is the
+/// common case. But the verdict cache is keyed by VC fingerprint alone,
+/// so a fingerprint-identical obligation first proved under a *different*
+/// unit returns a cached refutation whose label span points into that
+/// unit's source. The verdict itself is still valid — only the span is
+/// unit-relative — so fall back to matching by the label's detail text:
+/// the callee name for call licenses, the field name for field writes,
+/// and the slot shape for slot writes.
+fn matching_events<'a>(label: &ObligationLabel, events: &'a [Event]) -> Vec<&'a Event> {
+    let by_span: Vec<&Event> = events
+        .iter()
+        .filter(|e| {
+            let s = e.span();
+            s.start <= label.span.start && label.span.end <= s.end
+        })
+        .collect();
+    if !by_span.is_empty() {
+        return by_span;
+    }
+    let named = label.detail.split('`').nth(1);
+    if label.detail.starts_with("call to ") {
+        if let Some(name) = named {
+            return events
+                .iter()
+                .filter(|e| matches!(e, Event::Call { callee, .. } if callee == name))
+                .collect();
+        }
+    }
+    if label.detail.contains("field") {
+        if let Some(name) = named {
+            return events
+                .iter()
+                .filter(|e| {
+                    matches!(e, Event::Write { segs, .. }
+                        if segs.last() == Some(&Seg::Attr(name.to_string())))
+                })
+                .collect();
+        }
+    }
+    if label.detail.contains("slot") {
+        return events
+            .iter()
+            .filter(|e| matches!(e, Event::Write { segs, .. } if segs.last() == Some(&Seg::Slot)))
+            .collect();
+    }
+    Vec::new()
+}
+
+/// Translates the refuted obligations of one round into new proposals.
+fn repair_round(
+    edited_source: &str,
+    report: &BatchReport,
+    base_declared: &BTreeMap<String, BTreeSet<FrameEntry>>,
+    opts: &InferOptions,
+    allow_membership: bool,
+    round: usize,
+    notes: &mut BTreeSet<String>,
+) -> Result<Vec<Proposal>, String> {
+    let program =
+        parse_program(edited_source).map_err(|ds| format!("parse error in edited unit: {ds}"))?;
+    let scope =
+        Scope::analyze(&program).map_err(|ds| format!("scope error in edited unit: {ds}"))?;
+    let graph = GroupGraph::from_scope(&scope);
+    // Effective (declared-in-edited) frames for callee lookup.
+    let frames: BTreeMap<String, BTreeSet<FrameEntry>> = scope
+        .procs()
+        .map(|(id, info)| {
+            (
+                info.name.clone(),
+                crate::analysis::declared_entries(&scope, id),
+            )
+        })
+        .collect();
+    let mut proposals = Vec::new();
+    for ob in &report.obligations {
+        let Verdict::NotVerified(_, refutation) = &ob.verdict else {
+            match &ob.verdict {
+                Verdict::Verified(_) => {}
+                Verdict::RestrictionViolation(_) => {
+                    notes.insert(format!(
+                        "{}: pivot-uniqueness restriction violation is not repairable by \
+                         annotations",
+                        ob.proc_name
+                    ));
+                }
+                Verdict::Unknown(_) => {
+                    notes.insert(format!(
+                        "{}: obligation exhausted the prover budget",
+                        ob.proc_name
+                    ));
+                }
+                Verdict::TranslationError(d) => {
+                    notes.insert(format!("{}: translation error: {d}", ob.proc_name));
+                }
+                Verdict::NotVerified(..) => unreachable!("matched above"),
+            }
+            continue;
+        };
+        let Some(label) = &refutation.primary else {
+            notes.insert(format!(
+                "{}: refuted obligation carries no primary label",
+                ob.proc_name
+            ));
+            continue;
+        };
+        if label.kind != ObligationKind::ModifiesViolation {
+            notes.insert(format!(
+                "{}: refuted {} obligation is not repairable by annotations ({})",
+                ob.proc_name,
+                label.kind.as_str(),
+                label.detail
+            ));
+            continue;
+        }
+        if !in_scope(opts, &ob.proc_name) {
+            notes.insert(format!(
+                "{}: refuted modifies obligation left alone (outside --proc filter)",
+                ob.proc_name
+            ));
+            continue;
+        }
+        // Locate the offending command in the implementation body.
+        let Some(proc_id) = scope.proc(&ob.proc_name) else {
+            continue;
+        };
+        let pinfo = scope.proc_info(proc_id).clone();
+        let declared = frames.get(&ob.proc_name).cloned().unwrap_or_default();
+        let base = base_declared
+            .get(&ob.proc_name)
+            .cloned()
+            .unwrap_or_default();
+        let mut translated = false;
+        for (_, iinfo) in scope.impls_of(proc_id) {
+            let body = collect_events(&pinfo.params, &iinfo.body);
+            for event in matching_events(label, &body.events) {
+                let (demands, ns) = event_demands(&graph, &body, event, &frames);
+                for n in ns {
+                    notes.insert(format!("{}: {n}", ob.proc_name));
+                }
+                for entry in demands {
+                    if graph.frame_covers(&declared, &entry) {
+                        continue;
+                    }
+                    let kind = choose_kind(&graph, &base, &entry, allow_membership);
+                    proposals.push(Proposal {
+                        proc: ob.proc_name.clone(),
+                        kind,
+                        provenance: Provenance::Repair,
+                        round,
+                    });
+                    translated = true;
+                }
+            }
+        }
+        if !translated {
+            notes.insert(format!(
+                "{}: could not translate refuted obligation to an annotation edit ({})",
+                ob.proc_name, label.detail
+            ));
+        }
+    }
+    Ok(proposals)
+}
+
+/// Runs frame inference on one unit: the static phase, then the repair
+/// loop, with a one-shot fallback that retracts group-membership edits
+/// (re-expressing them as modifies extensions) when a membership broke an
+/// unrelated proof.
+pub fn infer(
+    engine: &Engine,
+    unit: &str,
+    source: &str,
+    opts: &InferOptions,
+) -> Result<InferOutcome, String> {
+    let first = run_attempt(engine, unit, source, opts, true)?;
+    let had_membership = first
+        .proposals
+        .iter()
+        .any(|p| matches!(p.kind, ProposalKind::Membership { .. }));
+    let (chosen, fallback) = if !first.verified && had_membership {
+        let second = run_attempt(engine, unit, source, opts, false)?;
+        if second.verified {
+            (second, true)
+        } else {
+            (first, false)
+        }
+    } else {
+        (first, false)
+    };
+    let program = parse_program(source).map_err(|ds| format!("parse error: {ds}"))?;
+    let edits = render_edits(&program, &chosen.proposals);
+    for (p, e) in chosen.proposals.iter().zip(&edits) {
+        if e.is_none() {
+            // Should not happen (proposals name declarations of the same
+            // program), but keep the invariant visible.
+            return Err(format!(
+                "no anchor for proposal on `{}` — declaration not found",
+                p.proc
+            ));
+        }
+    }
+    Ok(InferOutcome {
+        unit: unit.to_string(),
+        edits,
+        proposals: chosen.proposals,
+        rounds: chosen.rounds,
+        fixpoint: chosen.fixpoint,
+        verified: chosen.verified,
+        unverified_procs: chosen.unverified_procs.into_iter().collect(),
+        notes: chosen.notes.into_iter().collect(),
+        edited_source: chosen.edited_source,
+        membership_fallback: fallback,
+    })
+}

@@ -1,0 +1,249 @@
+//! Inference reports: accuracy against generator ground truth and the
+//! `infer --json` rendering (shared verbatim by the serve daemon's
+//! `infer` request, keeping the two byte-compatible).
+
+use oolong_engine::Json;
+use oolong_sema::Scope;
+use oolong_syntax::parse_program;
+
+use crate::analysis::{declared_entries, FrameEntry, GroupGraph};
+use crate::repair::InferOutcome;
+
+/// Raw `(param index, attribute path)` entries of one procedure's
+/// ground-truth frame, as recorded by the corpus generator.
+pub type RawEntries = Vec<(usize, Vec<String>)>;
+
+/// Ground-truth frames for accuracy measurement: per-procedure modifies
+/// entries in `(param, attribute path)` form.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Procedure name → ground-truth entries.
+    pub procs: Vec<(String, Vec<FrameEntry>)>,
+}
+
+impl GroundTruth {
+    /// Builds ground truth from plain `(proc, entries)` tuples.
+    pub fn new(procs: Vec<(String, RawEntries)>) -> GroundTruth {
+        GroundTruth {
+            procs: procs
+                .into_iter()
+                .map(|(name, entries)| {
+                    (
+                        name,
+                        entries
+                            .into_iter()
+                            .map(|(param, path)| FrameEntry { param, path })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// How one inferred frame compares to its ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Match {
+    /// Mutually covering: the frames license the same locations.
+    Exact,
+    /// The inferred frame covers the truth but not vice versa: a sound
+    /// over-approximation.
+    Superset,
+    /// Anything else (would indicate a missed write — unsound if the unit
+    /// nevertheless verified, so this should never co-occur with
+    /// `verified`).
+    Other,
+}
+
+impl Match {
+    fn as_str(self) -> &'static str {
+        match self {
+            Match::Exact => "exact",
+            Match::Superset => "superset",
+            Match::Other => "other",
+        }
+    }
+}
+
+/// Accuracy of an inference run against generator ground truth.
+#[derive(Debug, Clone)]
+pub struct Accuracy {
+    /// Per-procedure comparisons, in ground-truth order.
+    pub procs: Vec<(String, Match)>,
+}
+
+impl Accuracy {
+    /// Number of procedures compared.
+    pub fn total(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Number with an exact frame match.
+    pub fn exact(&self) -> usize {
+        self.procs
+            .iter()
+            .filter(|(_, m)| *m == Match::Exact)
+            .count()
+    }
+
+    /// Number with a strict-superset (sound over-approximation) frame.
+    pub fn superset(&self) -> usize {
+        self.procs
+            .iter()
+            .filter(|(_, m)| *m == Match::Superset)
+            .count()
+    }
+
+    /// Number with any other relation.
+    pub fn other(&self) -> usize {
+        self.procs
+            .iter()
+            .filter(|(_, m)| *m == Match::Other)
+            .count()
+    }
+}
+
+/// Compares the final inferred frames (the declared modifies lists of the
+/// fully applied source) against ground truth, using the applied program's
+/// own group structure for the coverage relation.
+pub fn accuracy(outcome: &InferOutcome, truth: &GroundTruth) -> Result<Accuracy, String> {
+    let program = parse_program(&outcome.edited_source)
+        .map_err(|ds| format!("parse error in applied unit: {ds}"))?;
+    let scope =
+        Scope::analyze(&program).map_err(|ds| format!("scope error in applied unit: {ds}"))?;
+    let graph = GroupGraph::from_scope(&scope);
+    let mut procs = Vec::new();
+    for (name, truth_entries) in &truth.procs {
+        let Some(id) = scope.proc(name) else {
+            procs.push((name.clone(), Match::Other));
+            continue;
+        };
+        let inferred: Vec<FrameEntry> = declared_entries(&scope, id).into_iter().collect();
+        let fwd = all_covered(&graph, &inferred, truth_entries);
+        let bwd = all_covered(&graph, truth_entries, &inferred);
+        let m = match (fwd, bwd) {
+            (true, true) => Match::Exact,
+            (true, false) => Match::Superset,
+            _ => Match::Other,
+        };
+        procs.push((name.clone(), m));
+    }
+    Ok(Accuracy { procs })
+}
+
+/// True when every entry of `entries` is covered by some entry of `frame`.
+fn all_covered(graph: &GroupGraph, frame: &[FrameEntry], entries: &[FrameEntry]) -> bool {
+    entries.iter().all(|e| {
+        frame
+            .iter()
+            .any(|d| d.param == e.param && graph.entry_covers(&d.path, &e.path))
+    })
+}
+
+/// Renders the full inference result as JSON — the single source of truth
+/// for both `oolong infer --json` and the serve daemon's `infer` result.
+pub fn infer_json(outcome: &InferOutcome, accuracy: Option<&Accuracy>, applied: bool) -> Json {
+    let params_of = |proc: &str| outcome.params_of(proc);
+    let proposals: Vec<Json> = outcome
+        .proposals
+        .iter()
+        .zip(&outcome.edits)
+        .map(|(p, e)| {
+            let mut fields = vec![
+                ("proc".to_string(), Json::Str(p.proc.clone())),
+                ("kind".to_string(), Json::Str(p.kind_name().to_string())),
+                ("target".to_string(), Json::Str(p.target(&params_of))),
+                (
+                    "provenance".to_string(),
+                    Json::Str(p.provenance.as_str().to_string()),
+                ),
+                ("round".to_string(), Json::Int(p.round as i64)),
+            ];
+            let edit = match e {
+                Some(e) => Json::Object(vec![
+                    ("start".to_string(), Json::Int(e.start as i64)),
+                    ("end".to_string(), Json::Int(e.end as i64)),
+                    ("insert".to_string(), Json::Str(e.insert.clone())),
+                ]),
+                None => Json::Null,
+            };
+            fields.push(("edit".to_string(), edit));
+            Json::Object(fields)
+        })
+        .collect();
+    let statics = outcome
+        .proposals
+        .iter()
+        .filter(|p| p.provenance == crate::edits::Provenance::Static)
+        .count();
+    let mut changed: Vec<&str> = outcome.proposals.iter().map(|p| p.proc.as_str()).collect();
+    changed.sort_unstable();
+    changed.dedup();
+    let mut fields = vec![
+        ("unit".to_string(), Json::Str(outcome.unit.clone())),
+        ("rounds".to_string(), Json::Int(outcome.rounds as i64)),
+        ("fixpoint".to_string(), Json::Bool(outcome.fixpoint)),
+        ("verified".to_string(), Json::Bool(outcome.verified)),
+        ("applied".to_string(), Json::Bool(applied)),
+        (
+            "membership_fallback".to_string(),
+            Json::Bool(outcome.membership_fallback),
+        ),
+        ("proposals".to_string(), Json::Array(proposals)),
+        (
+            "unverified_procs".to_string(),
+            Json::Array(
+                outcome
+                    .unverified_procs
+                    .iter()
+                    .map(|p| Json::Str(p.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "notes".to_string(),
+            Json::Array(outcome.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+        ),
+        (
+            "summary".to_string(),
+            Json::Object(vec![
+                (
+                    "proposals".to_string(),
+                    Json::Int(outcome.proposals.len() as i64),
+                ),
+                ("static".to_string(), Json::Int(statics as i64)),
+                (
+                    "repair".to_string(),
+                    Json::Int((outcome.proposals.len() - statics) as i64),
+                ),
+                ("procs_changed".to_string(), Json::Int(changed.len() as i64)),
+            ]),
+        ),
+    ];
+    if let Some(acc) = accuracy {
+        fields.push((
+            "accuracy".to_string(),
+            Json::Object(vec![
+                ("procs".to_string(), Json::Int(acc.total() as i64)),
+                ("exact".to_string(), Json::Int(acc.exact() as i64)),
+                ("superset".to_string(), Json::Int(acc.superset() as i64)),
+                ("other".to_string(), Json::Int(acc.other() as i64)),
+                (
+                    "by_proc".to_string(),
+                    Json::Array(
+                        acc.procs
+                            .iter()
+                            .map(|(name, m)| {
+                                Json::Object(vec![
+                                    ("proc".to_string(), Json::Str(name.clone())),
+                                    ("match".to_string(), Json::Str(m.as_str().to_string())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    Json::Object(fields)
+}

@@ -5,9 +5,10 @@
 //! a `check` response's `result` member is shaped exactly like `oolong
 //! check --json` output (the golden schemas under `tests/golden/` pin
 //! it), a `batch` response's `result` like `oolong batch --json`, an
-//! `explain` response's like `oolong explain --json`, and the `events`
-//! member carries the engine's JSONL event objects verbatim. A client
-//! that already parses the CLI's output parses the server's.
+//! `explain` response's like `oolong explain --json`, an `infer`
+//! response's like `oolong infer --json`, and the `events` member carries
+//! the engine's JSONL event objects verbatim. A client that already
+//! parses the CLI's output parses the server's.
 //!
 //! ## Requests
 //!
@@ -17,8 +18,9 @@
 //!  "options":{"max_instances":500,"explain":true}}
 //! {"id":3,"cmd":"batch","units":["corpus:example1","corpus:stack_module"]}
 //! {"id":4,"cmd":"explain","unit":"corpus:section31_bad_call","proc":"bad_caller"}
-//! {"id":5,"cmd":"stats"}
-//! {"id":6,"cmd":"shutdown"}
+//! {"id":5,"cmd":"infer","unit":"stripped:stack_module","max_rounds":4}
+//! {"id":6,"cmd":"stats"}
+//! {"id":7,"cmd":"shutdown"}
 //! ```
 //!
 //! A unit is either a string (a `corpus:NAME` reference or a server-side
@@ -79,6 +81,19 @@ pub enum Command {
         /// Per-request option overrides.
         options: RequestOptions,
     },
+    /// Infer missing `modifies` clauses for one unit; respond in
+    /// `infer --json` shape.
+    Infer {
+        /// The unit to infer frames for. Named references additionally
+        /// accept the `stripped:NAME` and `unannotated:SEED` schemes.
+        unit: UnitRef,
+        /// Restrict proposals to one procedure, when set.
+        proc: Option<String>,
+        /// Override the repair-round bound.
+        max_rounds: Option<usize>,
+        /// Per-request option overrides.
+        options: RequestOptions,
+    },
     /// Report server load metrics: request counters, queue state, cache
     /// tier traffic, latency percentiles.
     Stats,
@@ -93,6 +108,7 @@ impl Command {
             Command::Check { .. } => "check",
             Command::Batch { .. } => "batch",
             Command::Explain { .. } => "explain",
+            Command::Infer { .. } => "infer",
             Command::Stats => "stats",
             Command::Shutdown => "shutdown",
         }
@@ -255,6 +271,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 explain: true,
                 ..options
             },
+        },
+        "infer" => Command::Infer {
+            unit: parse_unit(value.get("unit").ok_or("`infer` needs a `unit`")?)?,
+            proc: value.get("proc").and_then(Json::as_str).map(str::to_string),
+            max_rounds: value
+                .get("max_rounds")
+                .map(|v| v.as_u64().ok_or("bad `max_rounds`"))
+                .transpose()?
+                .map(|n| n as usize),
+            options,
         },
         "stats" => Command::Stats,
         "shutdown" => Command::Shutdown,
@@ -471,6 +497,23 @@ mod tests {
         assert_eq!(proc.as_deref(), Some("bad_caller"));
         assert!(options.explain, "explain requests always diagnose");
 
+        let r = parse_request(
+            r#"{"id":5,"cmd":"infer","unit":"stripped:stack_module","proc":"push","max_rounds":4}"#,
+        )
+        .expect("ok");
+        let Command::Infer {
+            unit,
+            proc,
+            max_rounds,
+            ..
+        } = r.command
+        else {
+            panic!("infer");
+        };
+        assert_eq!(unit.name(), "stripped:stack_module");
+        assert_eq!(proc.as_deref(), Some("push"));
+        assert_eq!(max_rounds, Some(4));
+
         assert!(matches!(
             parse_request(r#"{"cmd":"stats"}"#).expect("ok").command,
             Command::Stats
@@ -489,6 +532,8 @@ mod tests {
         assert!(parse_request(r#"{"cmd":"batch","units":[]}"#).is_err());
         assert!(parse_request(r#"{"id":"one","cmd":"stats"}"#).is_err());
         assert!(parse_request(r#"{"cmd":"check","unit":7}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"infer"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"infer","unit":"x","max_rounds":"lots"}"#).is_err());
     }
 
     #[test]

@@ -106,7 +106,7 @@ struct Metrics {
     answered: AtomicU64,
     errors: AtomicU64,
     degraded: AtomicU64,
-    by_cmd: [AtomicU64; 5],
+    by_cmd: [AtomicU64; 6],
     queue_depth: AtomicUsize,
     queue_peak: AtomicUsize,
     cache_hits: AtomicU64,
@@ -115,7 +115,7 @@ struct Metrics {
     latencies: Mutex<Vec<f64>>,
 }
 
-const CMD_NAMES: [&str; 5] = ["check", "batch", "explain", "stats", "shutdown"];
+const CMD_NAMES: [&str; 6] = ["check", "batch", "explain", "infer", "stats", "shutdown"];
 
 fn cmd_index(name: &str) -> usize {
     CMD_NAMES.iter().position(|&c| c == name).unwrap_or(0)
@@ -192,10 +192,10 @@ impl Shared {
         }
     }
 
-    /// Runs one proving request to a finished [`BatchReport`], absorbing
-    /// its events into the server log and its counters into the metrics.
-    fn run_engine(&self, units: &[BatchUnit], check: CheckOptions, diagnose: bool) -> BatchReport {
-        let engine = Engine::with_store_and_contexts(
+    /// An engine over the shared store and warm contexts, with the
+    /// request's effective options.
+    fn engine_for(&self, check: CheckOptions, diagnose: bool) -> Engine {
+        Engine::with_store_and_contexts(
             EngineOptions {
                 check,
                 // Sessions are the unit of parallelism; one request keeps
@@ -206,7 +206,13 @@ impl Shared {
             },
             self.store.clone() as Arc<dyn VerdictStore>,
             self.contexts.clone(),
-        );
+        )
+    }
+
+    /// Runs one proving request to a finished [`BatchReport`], absorbing
+    /// its events into the server log and its counters into the metrics.
+    fn run_engine(&self, units: &[BatchUnit], check: CheckOptions, diagnose: bool) -> BatchReport {
+        let engine = self.engine_for(check, diagnose);
         let report = engine.check_batch(units);
         self.metrics
             .cache_hits
@@ -311,6 +317,64 @@ impl Shared {
                     start.elapsed().as_secs_f64() * 1_000.0,
                     explain_result_json(unit.name(), &report, filter),
                     Some(&report.events),
+                )
+            }
+            Command::Infer {
+                unit,
+                proc,
+                max_rounds,
+                options,
+            } => {
+                // Named references accept the inference schemes
+                // (`stripped:NAME`, `unannotated:SEED`) on top of the
+                // usual corpus/file resolution.
+                let resolved = match unit {
+                    UnitRef::Named(spec) => match oolong_infer::resolve_spec(spec) {
+                        Some(Ok(u)) => u,
+                        Some(Err(e)) => return self.error(request.id, &e),
+                        None => match self.resolve(unit) {
+                            Ok(u) => oolong_infer::InferUnit {
+                                name: u.name,
+                                source: u.source,
+                                truth: None,
+                            },
+                            Err(e) => return self.error(request.id, &e),
+                        },
+                    },
+                    UnitRef::Inline { name, source } => oolong_infer::InferUnit {
+                        name: name.clone(),
+                        source: source.clone(),
+                        truth: None,
+                    },
+                };
+                let mut opts = oolong_infer::InferOptions {
+                    check: options.apply(&base),
+                    proc: proc.clone(),
+                    ..Default::default()
+                };
+                if let Some(n) = max_rounds {
+                    opts.max_rounds = *n;
+                }
+                let engine = self.engine_for(opts.check.clone(), false);
+                let outcome =
+                    match oolong_infer::infer(&engine, &resolved.name, &resolved.source, &opts) {
+                        Ok(o) => o,
+                        Err(e) => return self.error(request.id, &e),
+                    };
+                let accuracy = match &resolved.truth {
+                    Some(truth) => match oolong_infer::accuracy(&outcome, truth) {
+                        Ok(a) => Some(a),
+                        Err(e) => return self.error(request.id, &e),
+                    },
+                    None => None,
+                };
+                ok_response(
+                    request.id,
+                    "infer",
+                    degraded,
+                    start.elapsed().as_secs_f64() * 1_000.0,
+                    oolong_infer::infer_json(&outcome, accuracy.as_ref(), false),
+                    None,
                 )
             }
             Command::Stats | Command::Shutdown => {

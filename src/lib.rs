@@ -26,6 +26,7 @@ pub use datagroups;
 pub use oolong_corpus as corpus;
 pub use oolong_diagnose as diagnose;
 pub use oolong_engine as engine;
+pub use oolong_infer as infer;
 pub use oolong_interp as interp;
 pub use oolong_logic as logic;
 pub use oolong_prover as prover;

@@ -1,0 +1,262 @@
+//! Accuracy and soundness suite for the frame-inference subsystem
+//! (`oolong infer`).
+//!
+//! Soundness is checked by construction: every inferred annotation set is
+//! re-verified through the real engine, so a frame that misses a write
+//! cannot come back `verified`. The suite covers the stripped paper
+//! corpus (every originally-verified implementation re-verifies from
+//! inferred frames alone), a generated population with ground truth
+//! (≥50 programs in both stripping modes, exact-match rate and the
+//! strict-superset guarantee for mismatches), the seeded-violation repair
+//! shapes, and `--apply` idempotence.
+
+use std::collections::BTreeSet;
+
+use oolong::corpus::{
+    self, generate_seeded_violation_with, generate_unannotated_source, SeededBug, UnannotatedConfig,
+};
+use oolong::engine::{Engine, EngineOptions};
+use oolong::infer::{
+    accuracy, infer, resolve_spec, strip_implemented_modifies, GroundTruth, InferOptions, Match,
+    ProposalKind,
+};
+
+fn engine() -> Engine {
+    Engine::new(EngineOptions::default()).expect("in-memory engine")
+}
+
+fn truth_of(gen: &corpus::UnannotatedProgram) -> GroundTruth {
+    GroundTruth::new(
+        gen.truth
+            .iter()
+            .map(|t| (t.proc.clone(), t.entries.clone()))
+            .collect(),
+    )
+}
+
+/// Stripping the `modifies` clauses of every implemented procedure in the
+/// paper corpus and re-inferring them reaches a fixpoint within the round
+/// bound, and every implementation the original annotations verified is
+/// verified again from the inferred annotations alone.
+#[test]
+fn stripped_paper_corpus_reverifies() {
+    let engine = engine();
+    for program in corpus::all() {
+        let baseline = engine.check_source(program.name, program.source);
+        let baseline_ok: BTreeSet<&str> = baseline
+            .obligations
+            .iter()
+            .filter(|o| o.verdict.is_verified())
+            .map(|o| o.proc_name.as_str())
+            .collect();
+        let stripped = strip_implemented_modifies(program.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+        let outcome = infer(&engine, program.name, &stripped, &InferOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+        assert!(
+            outcome.fixpoint,
+            "{}: no fixpoint within {} rounds",
+            program.name, outcome.rounds
+        );
+        for proc in &baseline_ok {
+            assert!(
+                !outcome.unverified_procs.iter().any(|p| p == proc),
+                "{}: `{proc}` verified with the original annotations but \
+                 not with the inferred ones (notes: {:?})",
+                program.name,
+                outcome.notes
+            );
+        }
+    }
+}
+
+/// Inference over a generated population with known ground truth: every
+/// program verifies from the inferred annotations (soundness 100%), at
+/// least 90% of procedures get the exact ground-truth frame, and every
+/// mismatch is a strict superset (a sound over-approximation, never a
+/// missed location).
+#[test]
+fn generated_population_is_sound_and_minimal() {
+    let engine = engine();
+    let configs = [
+        UnannotatedConfig::default(),
+        UnannotatedConfig {
+            keep_includes: true,
+            ..UnannotatedConfig::default()
+        },
+    ];
+    let mut programs = 0usize;
+    let mut procs = 0usize;
+    let mut exact = 0usize;
+    for cfg in &configs {
+        for seed in 1..=30u64 {
+            let gen = generate_unannotated_source(seed, cfg);
+            let name = format!("{}-ki{}", gen.name, cfg.keep_includes);
+            let outcome = infer(&engine, &name, &gen.source, &InferOptions::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(outcome.fixpoint, "{name}: no fixpoint");
+            assert!(
+                outcome.verified,
+                "{name}: inferred annotations do not verify \
+                 (unverified: {:?}, notes: {:?})",
+                outcome.unverified_procs, outcome.notes
+            );
+            let acc = accuracy(&outcome, &truth_of(&gen)).expect("applied unit parses");
+            for (proc, m) in &acc.procs {
+                procs += 1;
+                match m {
+                    Match::Exact => exact += 1,
+                    Match::Superset => {}
+                    Match::Other => panic!(
+                        "{name}: `{proc}` inferred frame is not a superset of \
+                         ground truth — a location was missed"
+                    ),
+                }
+            }
+            programs += 1;
+        }
+    }
+    assert!(programs >= 50, "population too small: {programs}");
+    assert!(
+        exact * 10 >= procs * 9,
+        "exact-match rate below 90%: {exact}/{procs}"
+    );
+}
+
+/// The seeded-violation shapes the diagnosis subsystem pins are exactly
+/// the shapes the repair loop must handle: the forgotten-`in` and
+/// missing-closure-member bugs are repaired with a minimal
+/// group-membership edit, while the stray-pivot-write restriction
+/// violation is correctly reported as unrepairable by annotations.
+#[test]
+fn seeded_violations_repair_to_minimal_edits() {
+    let engine = engine();
+    for seed in [3u64, 11, 27] {
+        for bug in [SeededBug::ForgottenIn, SeededBug::MissingClosureMember] {
+            let v = generate_seeded_violation_with(seed, bug);
+            let name = format!("seeded-{seed}-{bug:?}");
+            let outcome =
+                infer(&engine, &name, &v.source, &InferOptions::default()).expect("infers");
+            assert!(
+                outcome.verified,
+                "{name}: not repaired: {:?}",
+                outcome.notes
+            );
+            let memberships: Vec<_> = outcome
+                .proposals
+                .iter()
+                .filter_map(|p| match &p.kind {
+                    ProposalKind::Membership { field, group } => {
+                        Some((field.as_str(), group.as_str()))
+                    }
+                    ProposalKind::Extend(_) => None,
+                })
+                .collect();
+            assert_eq!(
+                memberships,
+                vec![("b", "g")],
+                "{name}: the minimal edit restores the membership"
+            );
+        }
+        let v = generate_seeded_violation_with(seed, SeededBug::StrayPivotWrite);
+        let name = format!("seeded-{seed}-pivot");
+        let outcome = infer(&engine, &name, &v.source, &InferOptions::default()).expect("infers");
+        assert!(outcome.fixpoint, "{name}: no fixpoint");
+        assert!(
+            !outcome.verified,
+            "{name}: a restriction violation cannot be repaired by annotations"
+        );
+        assert!(
+            outcome
+                .notes
+                .iter()
+                .any(|n| n.contains("restriction violation")),
+            "{name}: the unrepairable refutation is reported: {:?}",
+            outcome.notes
+        );
+    }
+}
+
+/// Re-running inference on a unit whose proposals were applied proposes
+/// nothing: the applied annotations cover every demand, so the first
+/// engine round verifies and the loop stops immediately.
+#[test]
+fn apply_is_idempotent() {
+    let engine = engine();
+    for spec in [
+        "stripped:stack_module",
+        "stripped:example3",
+        "unannotated:3",
+    ] {
+        let unit = resolve_spec(spec)
+            .unwrap_or_else(|| panic!("`{spec}` resolves"))
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        let first = infer(&engine, spec, &unit.source, &InferOptions::default())
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert!(first.verified, "{spec}: first pass verifies");
+        assert!(
+            !first.proposals.is_empty(),
+            "{spec}: the stripped unit needs proposals"
+        );
+
+        // The per-proposal edits reproduce the applied source exactly —
+        // they are machine-applicable, not just a rendering.
+        let edits: Vec<_> = first.edits.iter().flatten().cloned().collect();
+        assert_eq!(
+            oolong::infer::apply_edits(&unit.source, &edits),
+            first.edited_source,
+            "{spec}: edits compose to the applied source"
+        );
+
+        let name = format!("{spec}-applied");
+        let second = infer(
+            &engine,
+            &name,
+            &first.edited_source,
+            &InferOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(second.verified, "{spec}: applied unit verifies");
+        assert_eq!(
+            second.proposals,
+            vec![],
+            "{spec}: re-inference on the applied unit proposes edits"
+        );
+        assert_eq!(second.rounds, 1, "{spec}: one confirming round only");
+    }
+}
+
+/// The `unannotated:SEED` workload spec is deterministic and carries
+/// ground truth; the other schemes resolve as documented.
+#[test]
+fn workload_specs_resolve() {
+    let a = resolve_spec("unannotated:42").expect("scheme").expect("ok");
+    let b = resolve_spec("unannotated:42").expect("scheme").expect("ok");
+    assert_eq!(a.source, b.source, "generation is deterministic");
+    assert!(a.truth.is_some(), "generated units carry ground truth");
+
+    let s = resolve_spec("stripped:example1")
+        .expect("scheme")
+        .expect("ok");
+    assert!(
+        !s.source.contains("proc p(t) modifies"),
+        "the implemented procedure's frame is stripped"
+    );
+    assert!(
+        s.source.contains("proc q(u) modifies u.g"),
+        "interface-only procedures keep their declared frame"
+    );
+    assert!(s.truth.is_none());
+
+    let c = resolve_spec("corpus:example1")
+        .expect("scheme")
+        .expect("ok");
+    assert!(c.source.contains("modifies"));
+
+    assert!(resolve_spec("unannotated:nope").expect("scheme").is_err());
+    assert!(resolve_spec("stripped:nope").expect("scheme").is_err());
+    assert!(
+        resolve_spec("some/file.oo").is_none(),
+        "plain paths pass through"
+    );
+}

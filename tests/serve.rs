@@ -398,6 +398,37 @@ fn check_response_matches_cli_golden_schema() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The `infer` response's `result` member is byte-compatible with
+/// `oolong infer --json`: it matches the same golden schema snapshot the
+/// CLI output is pinned to.
+#[test]
+fn infer_response_matches_cli_golden_schema() {
+    let dir = scratch("infer-schema");
+    let handle = spawn_server(&dir, ServeOptions::default());
+    let mut client = Client::connect(handle.socket()).expect("connects");
+    let response = client
+        .request(r#"{"cmd":"infer","unit":"stripped:example1"}"#)
+        .expect("response");
+    assert!(response_ok(&response));
+    let result = response.get("result").expect("result member");
+
+    let mut actual = String::new();
+    schema(result, 0, &mut actual);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/infer_stripped.schema.txt"
+    );
+    let expected = std::fs::read_to_string(path).expect("golden snapshot");
+    assert_eq!(
+        actual, expected,
+        "serve `infer` result drifted from the CLI `infer --json` schema\nactual:\n{actual}"
+    );
+
+    client.request(r#"{"cmd":"shutdown"}"#).expect("shutdown");
+    handle.join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// One scripted session end to end: cold check, warm recheck (zero
 /// prover calls), explain with a confirmed diagnosis, stats consistent
 /// with the session, shutdown. The server event log survives on disk
@@ -454,11 +485,33 @@ fn scripted_session_end_to_end() {
         "the diagnosis replay confirms the violation"
     );
 
-    let stats = client.request(r#"{"id":4,"cmd":"stats"}"#).expect("stats");
+    let infer = client
+        .request(r#"{"id":4,"cmd":"infer","unit":"stripped:stack_module"}"#)
+        .expect("infer");
+    assert!(response_ok(&infer));
+    let inferred = infer.get("result").expect("result");
+    assert_eq!(inferred.get("verified"), Some(&Json::Bool(true)));
+    assert!(
+        inferred
+            .get("proposals")
+            .and_then(Json::as_array)
+            .is_some_and(|ps| !ps.is_empty()),
+        "the stripped unit needs proposals"
+    );
+
+    let stats = client.request(r#"{"id":5,"cmd":"stats"}"#).expect("stats");
     let result = stats.get("result").expect("result");
     let requests = result.get("requests").expect("requests");
-    assert_eq!(requests.get("received").and_then(Json::as_u64), Some(4));
+    assert_eq!(requests.get("received").and_then(Json::as_u64), Some(5));
     assert_eq!(requests.get("errors").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        requests
+            .get("by_cmd")
+            .and_then(|b| b.get("infer"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "the stats counters track infer requests"
+    );
     let engine = result.get("engine").expect("engine section");
     assert!(
         engine.get("cache_hits").and_then(Json::as_u64).unwrap_or(0) >= 1,
@@ -475,7 +528,7 @@ fn scripted_session_end_to_end() {
     );
 
     let bye = client
-        .request(r#"{"id":5,"cmd":"shutdown"}"#)
+        .request(r#"{"id":6,"cmd":"shutdown"}"#)
         .expect("shutdown");
     assert!(response_ok(&bye));
     handle.join().expect("clean shutdown");

@@ -15,6 +15,10 @@
 //! * `--all-eager` — disable the declared pattern policies, forcing every
 //!   background axiom into pre-saturation (the pre-gating schedule); used
 //!   to measure what the goal-directed phase is worth
+//! * `--invariant-corpus` — swap the unit set for the generated
+//!   invariant + read-effect populations (10 seeds each), so the
+//!   invariant-preserved and read-license obligation kinds get their own
+//!   cold-batch regression gate
 
 use std::time::Instant;
 
@@ -28,6 +32,23 @@ fn corpus_units() -> Vec<BatchUnit> {
         .map(|p| BatchUnit {
             name: p.name.to_string(),
             source: p.source.to_string(),
+        })
+        .collect()
+}
+
+fn invariant_units() -> Vec<BatchUnit> {
+    (0..10u64)
+        .flat_map(|seed| {
+            [
+                BatchUnit {
+                    name: format!("invariant-{seed}"),
+                    source: oolong_corpus::generate_invariant_source(seed),
+                },
+                BatchUnit {
+                    name: format!("reads-{seed}"),
+                    source: oolong_corpus::generate_read_effect_source(seed),
+                },
+            ]
         })
         .collect()
 }
@@ -46,6 +67,7 @@ fn main() {
     let threshold_ms: Option<f64> =
         arg_value(&args, "--threshold-ms").map(|v| v.parse().expect("--threshold-ms takes ms"));
     let pattern_policies = !args.iter().any(|a| a == "--all-eager");
+    let invariant_corpus = args.iter().any(|a| a == "--invariant-corpus");
 
     let options = EngineOptions {
         check: CheckOptions {
@@ -54,7 +76,11 @@ fn main() {
         },
         ..EngineOptions::default()
     };
-    let units = corpus_units();
+    let units = if invariant_corpus {
+        invariant_units()
+    } else {
+        corpus_units()
+    };
     let run = || {
         let engine = Engine::new(options.clone()).expect("in-memory engine");
         engine.check_batch(&units)
@@ -80,9 +106,14 @@ fn main() {
     let median = sorted[sorted.len() / 2];
     let pass = threshold_ms.map(|t| median <= t);
 
+    let probe = if invariant_corpus {
+        "invariant_cold_batch"
+    } else {
+        "engine_cold_batch"
+    };
     let rendered: Vec<String> = times_ms.iter().map(|t| format!("{t:.1}")).collect();
     println!(
-        "{{\"probe\":\"engine_cold_batch\",\"pattern_policies\":{pattern_policies},\
+        "{{\"probe\":\"{probe}\",\"pattern_policies\":{pattern_policies},\
          \"verified\":{},\"refuted\":{},\"unknown\":{},\"samples\":{samples},\
          \"samples_ms\":[{}],\"median_ms\":{median:.1},\"threshold_ms\":{},\"pass\":{}}}",
         expected.0,

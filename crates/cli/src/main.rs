@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! oolong check   <file|corpus:NAME> [--naive] [--null-checks] [--json] [--explain-unknown]
-//! oolong infer   <file|corpus:NAME|stripped:NAME|unannotated:SEED> [--proc NAME] [--apply] [--json]
+//! oolong infer   <file|corpus:NAME|stripped:NAME|unannotated:SEED> [--proc NAME] [--reads] [--apply] [--json]
 //! oolong explain <file|corpus:NAME> [--proc NAME] [--cache-dir DIR] [--json]
 //! oolong batch   <files...> [--cache-dir DIR] [--workers N] [--events PATH] [--json]
 //! oolong recheck [--cache-dir DIR] [--events PATH] [--json]
@@ -68,7 +68,7 @@ fn usage() -> String {
                  [--naive] [--null-checks] [--max-instances N] [--max-gen N]
                  [--clone-search]
   oolong infer   <file|corpus:NAME|stripped:NAME|unannotated:SEED> [--proc NAME]
-                 [--apply] [--json] [--max-rounds N] [--cache-dir DIR] [--no-cache]
+                 [--reads] [--apply] [--json] [--max-rounds N] [--cache-dir DIR] [--no-cache]
                  [--naive] [--null-checks] [--max-instances N] [--max-gen N]
   oolong batch   <files|corpus:NAMEs...> [--cache-dir DIR] [--no-cache] [--workers N]
                  [--events PATH] [--json] [--naive] [--null-checks]
@@ -529,6 +529,7 @@ fn cmd_infer(args: &[String]) -> Result<ExitCode, String> {
     let mut opts = oolong_infer::InferOptions {
         check: check_options(args)?,
         proc: opt_value(args, "--proc"),
+        infer_reads: flag(args, "--reads"),
         ..Default::default()
     };
     if let Some(n) = opt_value(args, "--max-rounds") {
@@ -996,6 +997,16 @@ fn prover_metrics_json(metrics: &datagroups::ProverMetrics) -> Json {
             Json::Object(
                 metrics
                     .by_kind
+                    .iter()
+                    .map(|(kind, n)| (kind.as_str().to_string(), Json::Int(*n as i64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "obligation_kinds".to_string(),
+            Json::Object(
+                metrics
+                    .obligation_kinds
                     .iter()
                     .map(|(kind, n)| (kind.as_str().to_string(), Json::Int(*n as i64)))
                     .collect(),

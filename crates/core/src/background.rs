@@ -371,6 +371,31 @@ pub fn scope_background_policies(
         ));
     }
 
+    // Read-frame inclusion: read frames license dereferences through `≽`
+    // exactly like modifies lists, but where a modifies entry's reflexive
+    // inclusion is pre-derived per-VC, read obligations ask about
+    // arbitrary select chains. Scopes declaring read frames get the
+    // reflexive case as a general axiom, goal-directed on the reflexive
+    // inclusion atom itself (it is derivable from `local-inc-reflexive`
+    // via the inclusion connection; asserting it directly saves a
+    // matching generation on every read license).
+    if scope.has_read_frames() {
+        let (s, x, a) = (fresh.fresh("rfS"), fresh.fresh("rfX"), fresh.fresh("rfA"));
+        let atom = Atom::Inc {
+            store: Term::var(s),
+            obj: Term::var(x),
+            attr: Term::var(a),
+            obj2: Term::var(x),
+            attr2: Term::var(a),
+        };
+        let (formula, policy) = declare(
+            vec![s, x, a],
+            PatternPolicy::goal_directed(vec![Trigger(vec![Pattern::Atom(atom)])]),
+            Formula::Atom(atom),
+        );
+        axioms.push(("read-frame-inc-reflexive".to_string(), formula, policy));
+    }
+
     axioms
 }
 

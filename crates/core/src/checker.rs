@@ -4,7 +4,7 @@
 
 use crate::restrict::check_pivot_uniqueness;
 use crate::slice::{slice_background, BackgroundSlice};
-use crate::vcgen::{ObligationLabel, Vc, VcGen, VcOptions};
+use crate::vcgen::{ObligationKind, ObligationLabel, Vc, VcGen, VcOptions};
 use oolong_logic::{Formula, PatternPolicy, Phase};
 use oolong_prover::{Budget, CandidateModel, Outcome, ScopeContext, SearchStrategy, Stats};
 use oolong_sema::{ImplId, Scope};
@@ -211,6 +211,10 @@ pub struct ImplReport {
     pub proc_name: String,
     /// The verdict.
     pub verdict: Verdict,
+    /// Labeled obligation conjuncts per kind embedded in the VC (empty
+    /// when no VC was generated — restriction violations and translation
+    /// errors).
+    pub kind_counts: Vec<(ObligationKind, u32)>,
 }
 
 /// The results of checking every implementation in a scope.
@@ -465,6 +469,7 @@ impl Checker {
                 impl_id,
                 proc_name,
                 verdict: Verdict::RestrictionViolation(violations),
+                kind_counts: Vec::new(),
             };
         }
         let vc = match self.vc(impl_id) {
@@ -474,12 +479,14 @@ impl Checker {
                     impl_id,
                     proc_name,
                     verdict: Verdict::TranslationError(d),
+                    kind_counts: Vec::new(),
                 }
             }
         };
         ImplReport {
             impl_id,
             proc_name,
+            kind_counts: vc.kind_counts(),
             verdict: self.verdict_for_vc(&vc),
         }
     }
@@ -534,6 +541,7 @@ impl Checker {
                     impl_id,
                     proc_name,
                     verdict: Verdict::RestrictionViolation(violations),
+                    kind_counts: Vec::new(),
                 });
                 continue;
             }
@@ -543,6 +551,7 @@ impl Checker {
                         impl_id,
                         proc_name,
                         verdict: Verdict::TranslationError(d),
+                        kind_counts: Vec::new(),
                     });
                 }
                 Ok(vc) => {
@@ -592,6 +601,7 @@ impl Checker {
                         ImplReport {
                             impl_id: todo.impl_id,
                             proc_name: todo.proc_name.clone(),
+                            kind_counts: todo.vc.kind_counts(),
                             verdict,
                         },
                     )

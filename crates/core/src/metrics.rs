@@ -16,6 +16,7 @@
 //!   `oolong stats` subcommand.
 
 use crate::checker::Report;
+use crate::vcgen::ObligationKind;
 use oolong_prover::{QuantKind, Stats};
 use oolong_syntax::lexer::lex;
 use oolong_syntax::pretty;
@@ -136,6 +137,10 @@ pub struct ProverMetrics {
     /// Instantiations per axiom kind, in a fixed order
     /// (rep-inclusion, inclusion, store, other).
     pub by_kind: Vec<(QuantKind, u64)>,
+    /// Labeled proof-obligation conjuncts per obligation kind, summed
+    /// across implementations, in [`ObligationKind::ALL`] order with
+    /// zero-count kinds omitted.
+    pub obligation_kinds: Vec<(ObligationKind, u64)>,
     /// Axioms merged across obligations, hottest (by instantiation
     /// pressure) first.
     pub hottest: Vec<HotAxiom>,
@@ -175,6 +180,12 @@ impl fmt::Display for ProverMetrics {
         writeln!(f, "instantiations by axiom kind:")?;
         for (kind, instances) in &self.by_kind {
             writeln!(f, "  {kind}: {instances}")?;
+        }
+        if !self.obligation_kinds.is_empty() {
+            writeln!(f, "labeled obligations by kind:")?;
+            for (kind, count) in &self.obligation_kinds {
+                writeln!(f, "  {kind}: {count}")?;
+            }
         }
         if !self.hottest.is_empty() {
             writeln!(f, "hottest axioms:")?;
@@ -247,6 +258,16 @@ pub fn prover_metrics(report: &Report) -> ProverMetrics {
         }
     }
     metrics.by_kind = kind_totals.to_vec();
+    let mut obligation_totals: HashMap<ObligationKind, u64> = HashMap::new();
+    for rep in &report.impls {
+        for &(kind, n) in &rep.kind_counts {
+            *obligation_totals.entry(kind).or_default() += n as u64;
+        }
+    }
+    metrics.obligation_kinds = ObligationKind::ALL
+        .iter()
+        .filter_map(|kind| obligation_totals.get(kind).map(|&n| (*kind, n)))
+        .collect();
     let mut hottest: Vec<HotAxiom> = merged.into_values().collect();
     hottest.sort_by(|a, b| {
         (b.instances + b.deferred)
@@ -291,7 +312,17 @@ pub fn overhead(program: &Program) -> OverheadReport {
                     // keyword + entries + separating commas.
                     spec_tokens += 1 + entries + pd.modifies.len() - 1;
                 }
+                // `reads t.g, t.h` — same accounting as modifies.
+                if let Some(reads) = &pd.reads {
+                    let entries: usize = reads
+                        .iter()
+                        .map(|e| count_tokens(&pretty::print_expr(e)))
+                        .sum();
+                    spec_tokens += 1 + entries + reads.len().saturating_sub(1);
+                }
             }
+            // An invariant declaration is pure specification.
+            Decl::Invariant(_) => spec_tokens += count_tokens(&pretty::print_decl(decl)),
             Decl::Impl(_) => {}
             // Module syntax (`module M imports N { … }`) is organisational,
             // not specification; its member declarations are measured via

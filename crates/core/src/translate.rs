@@ -102,6 +102,65 @@ fn tr_value_inner(
     }
 }
 
+/// One heap read performed by an expression: a dereference `E.f` (or slot
+/// read `E[I]`) with the object and attribute as terms evaluated in the
+/// collection store, plus the dereference's source rendering and span for
+/// obligation labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapRead {
+    /// The read object, `tr(E)`.
+    pub obj: Term,
+    /// The read attribute (`Term::attr` for fields, `tr(I)` for slots).
+    pub attr: Term,
+    /// The dereference as written, e.g. `t.cnt`.
+    pub desc: String,
+    /// Span of the dereference expression.
+    pub span: oolong_syntax::Span,
+}
+
+/// Collects every heap read `expr` performs, innermost first, reading from
+/// the store denoted by `store`. Expressions that fail value translation
+/// contribute no reads (the caller's own `tr_*` call reports the error).
+pub fn heap_reads(expr: &Expr, store: &Term) -> Vec<HeapRead> {
+    let mut out = Vec::new();
+    collect_heap_reads(expr, store, &mut out);
+    out
+}
+
+fn collect_heap_reads(expr: &Expr, store: &Term, out: &mut Vec<HeapRead>) {
+    match expr {
+        Expr::Select { base, attr, .. } => {
+            collect_heap_reads(base, store, out);
+            if let Ok(b) = tr_value(base, store) {
+                out.push(HeapRead {
+                    obj: b.term,
+                    attr: Term::attr(attr.text.clone()),
+                    desc: oolong_syntax::pretty::print_expr(expr),
+                    span: expr.span(),
+                });
+            }
+        }
+        Expr::Index { base, index, .. } => {
+            collect_heap_reads(base, store, out);
+            collect_heap_reads(index, store, out);
+            if let (Ok(b), Ok(i)) = (tr_value(base, store), tr_value(index, store)) {
+                out.push(HeapRead {
+                    obj: b.term,
+                    attr: i.term,
+                    desc: oolong_syntax::pretty::print_expr(expr),
+                    span: expr.span(),
+                });
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_heap_reads(lhs, store, out);
+            collect_heap_reads(rhs, store, out);
+        }
+        Expr::Unary { operand, .. } => collect_heap_reads(operand, store, out),
+        Expr::Const(..) | Expr::Id(_) => {}
+    }
+}
+
 /// Translates an expression in *formula* position (an `assert`/`assume`
 /// condition or `if` guard).
 ///
@@ -259,6 +318,26 @@ mod tests {
     fn variable_as_proposition() {
         let f = formula("flag");
         assert_eq!(f.formula, Formula::Atom(Atom::BoolTerm(Term::var("flag"))));
+    }
+
+    #[test]
+    fn heap_reads_collects_dereferences_innermost_first() {
+        let e = parse_expr("t.c.d + u.f").unwrap();
+        let reads = heap_reads(&e, &Term::store());
+        assert_eq!(reads.len(), 3);
+        assert_eq!(reads[0].desc, "t.c");
+        assert_eq!(reads[0].obj, Term::var("t"));
+        assert_eq!(reads[0].attr, Term::attr("c"));
+        assert_eq!(reads[1].desc, "t.c.d");
+        assert_eq!(
+            reads[1].obj,
+            Term::select(Term::store(), Term::var("t"), Term::attr("c"))
+        );
+        assert_eq!(reads[2].desc, "u.f");
+        // Slot reads use the translated index as the attribute.
+        let s = heap_reads(&parse_expr("a[i].f").unwrap(), &Term::store());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].attr, Term::var("i"));
     }
 
     #[test]

@@ -35,9 +35,25 @@ pub enum ObligationKind {
     /// The syntactic pivot-uniqueness restriction (checked outside the
     /// prover; never appears on a VC label, but shares the vocabulary).
     PivotUniqueness,
+    /// A declared object invariant may not hold at a procedure exit or a
+    /// call boundary.
+    InvariantPreserved,
+    /// A heap read not licensed by the procedure's declared `reads` frame,
+    /// or a caller's read frame failing to cover a callee's reads entry.
+    ReadsViolation,
 }
 
 impl ObligationKind {
+    /// Every kind, in a fixed order (used for stable per-kind tallies).
+    pub const ALL: [ObligationKind; 6] = [
+        ObligationKind::ModifiesViolation,
+        ObligationKind::OwnerExclusion,
+        ObligationKind::Assert,
+        ObligationKind::PivotUniqueness,
+        ObligationKind::InvariantPreserved,
+        ObligationKind::ReadsViolation,
+    ];
+
     /// Stable machine-readable name (used in JSON output and caches).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -45,6 +61,8 @@ impl ObligationKind {
             ObligationKind::OwnerExclusion => "owner-exclusion",
             ObligationKind::Assert => "assert",
             ObligationKind::PivotUniqueness => "pivot-uniqueness",
+            ObligationKind::InvariantPreserved => "invariant-preserved",
+            ObligationKind::ReadsViolation => "reads-violation",
         }
     }
 
@@ -55,6 +73,8 @@ impl ObligationKind {
             "owner-exclusion" => Some(ObligationKind::OwnerExclusion),
             "assert" => Some(ObligationKind::Assert),
             "pivot-uniqueness" => Some(ObligationKind::PivotUniqueness),
+            "invariant-preserved" => Some(ObligationKind::InvariantPreserved),
+            "reads-violation" => Some(ObligationKind::ReadsViolation),
             _ => None,
         }
     }
@@ -138,6 +158,18 @@ impl Vc {
     pub fn label(&self, id: u32) -> Option<&ObligationLabel> {
         self.labels.iter().find(|l| l.id == id)
     }
+
+    /// Tally of labeled obligation conjuncts per kind, in the fixed
+    /// [`ObligationKind::ALL`] order, zero-count kinds omitted.
+    pub fn kind_counts(&self) -> Vec<(ObligationKind, u32)> {
+        ObligationKind::ALL
+            .iter()
+            .filter_map(|&kind| {
+                let n = self.labels.iter().filter(|l| l.kind == kind).count() as u32;
+                (n > 0).then_some((kind, n))
+            })
+            .collect()
+    }
 }
 
 impl Vc {
@@ -163,6 +195,11 @@ pub struct VcGen<'s> {
     /// Position labels allocated while generating the current VC's goal;
     /// drained into [`Vc::labels`] by [`VcGen::vc_for_impl`].
     labels: Vec<ObligationLabel>,
+    /// The current implementation's declared read frame, when its
+    /// procedure carries a `reads` clause: every heap `select` the body
+    /// performs is licensed against it. `None` leaves reads unconstrained
+    /// (a declaration without the clause, or `wlp` used standalone).
+    reads: Option<ModList>,
 }
 
 impl<'s> VcGen<'s> {
@@ -175,6 +212,7 @@ impl<'s> VcGen<'s> {
             fresh: FreshGen::new(),
             arrays,
             labels: Vec::new(),
+            reads: None,
         }
     }
 
@@ -211,6 +249,65 @@ impl<'s> VcGen<'s> {
         }
     }
 
+    /// One declared invariant as a closed formula over `store`:
+    ///
+    /// ```text
+    /// ∀o :: alive(store, o) ∧ o ≠ null ⇒ tr(E)[this := o]
+    /// ```
+    ///
+    /// In hypothesis position the quantifier triggers on the aliveness
+    /// atom; in goal position it is skolemized away, so no trigger is
+    /// declared. Well-definedness side conditions of the body are elided,
+    /// matching the paper's treatment of dereferences.
+    fn invariant_clause(
+        &mut self,
+        expr: &Expr,
+        store: &Term,
+        hypothesis: bool,
+    ) -> Result<Formula, Diagnostic> {
+        let tr = tr_formula(expr, store)?;
+        let o = self.fresh.fresh("invO");
+        let body = tr.formula.subst(&[("this".into(), Term::var(o))]);
+        let alive = Atom::Alive(*store, Term::var(o));
+        let triggers = if hypothesis {
+            vec![Trigger(vec![Pattern::Atom(alive)])]
+        } else {
+            Vec::new()
+        };
+        Ok(Formula::forall(
+            vec![o],
+            triggers,
+            Formula::implies(
+                Formula::and(vec![
+                    Formula::Atom(alive),
+                    Formula::neq(Term::var(o), Term::null()),
+                ]),
+                body,
+            ),
+        ))
+    }
+
+    /// Read-frame licenses for every heap `select` the expressions
+    /// perform, against the current implementation's declared `reads`
+    /// frame. Empty when the procedure declares no frame.
+    fn read_licenses(&mut self, exprs: &[&Expr]) -> Vec<Formula> {
+        let Some(reads) = self.reads.clone() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for expr in exprs {
+            for read in crate::translate::heap_reads(expr, &Term::store()) {
+                out.push(self.label(
+                    ObligationKind::ReadsViolation,
+                    read.span,
+                    format!("read of `{}` not covered by reads clause", read.desc),
+                    reads.modifiable(&read.obj, &read.attr, &Term::store0()),
+                ));
+            }
+        }
+        out
+    }
+
     /// Generates the verification condition for one implementation.
     ///
     /// # Errors
@@ -223,6 +320,10 @@ impl<'s> VcGen<'s> {
         let proc = self.scope.proc_info(info.proc);
         let params: Vec<Term> = proc.params.iter().map(Term::var).collect();
         let w = ModList::new(self.scope, &proc.modifies, &params);
+        self.reads = proc
+            .reads
+            .as_ref()
+            .map(|r| ModList::new(self.scope, r, &params));
 
         // The scope-level background (universal, scope-dependent, and — for
         // the naive baseline — the unsound closed-world additions), via the
@@ -263,10 +364,28 @@ impl<'s> VcGen<'s> {
             }
             hypotheses.push(Formula::Atom(Atom::Alive(Term::store0(), *p)));
         }
+        // Declared object invariants hold on entry: assumed at $0 for every
+        // alive object, triggered by the aliveness atom.
+        let scope = self.scope;
+        for inv in scope.invariants() {
+            let clause = self.invariant_clause(&inv.expr, &Term::store0(), true)?;
+            hypotheses.push(clause);
+        }
 
         let body = info.body.desugared();
         self.labels.clear();
-        let goal = self.wlp(&body, Formula::True, &w)?;
+        // Exit obligation: every invariant holds again in the final store.
+        let mut post = Vec::new();
+        for inv in scope.invariants() {
+            let clause = self.invariant_clause(&inv.expr, &Term::store(), false)?;
+            post.push(self.label(
+                ObligationKind::InvariantPreserved,
+                inv.span,
+                "object invariant may not be preserved at procedure exit",
+                clause,
+            ));
+        }
+        let goal = self.wlp(&body, Formula::and(post), &w)?;
         Ok(Vc {
             impl_id,
             proc_name: proc.name.clone(),
@@ -282,6 +401,7 @@ impl<'s> VcGen<'s> {
         match cmd {
             Cmd::Assert(e, span) => {
                 let tr = tr_formula(e, &Term::store())?;
+                let reads = self.read_licenses(&[e]);
                 let condition = self.label(
                     ObligationKind::Assert,
                     *span,
@@ -289,13 +409,20 @@ impl<'s> VcGen<'s> {
                     tr.formula,
                 );
                 Ok(Formula::and(
-                    self.defined(tr.defined).chain([condition, q]).collect(),
+                    reads
+                        .into_iter()
+                        .chain(self.defined(tr.defined))
+                        .chain([condition, q])
+                        .collect(),
                 ))
             }
             Cmd::Assume(e, _) => {
                 let tr = tr_formula(e, &Term::store())?;
+                let reads = self.read_licenses(&[e]);
                 Ok(Formula::and(
-                    self.defined(tr.defined)
+                    reads
+                        .into_iter()
+                        .chain(self.defined(tr.defined))
                         .chain([Formula::implies(tr.formula, q)])
                         .collect(),
                 ))
@@ -339,15 +466,21 @@ impl<'s> VcGen<'s> {
         match lhs {
             // x := E  —  Q[x := tr(E)].
             Expr::Id(x) => {
+                let reads = self.read_licenses(&[rhs]);
                 let subst = q.subst(&[(x.text.as_str().into(), r.term)]);
                 Ok(Formula::and(
-                    self.defined(r.defined).chain([subst]).collect(),
+                    reads
+                        .into_iter()
+                        .chain(self.defined(r.defined))
+                        .chain([subst])
+                        .collect(),
                 ))
             }
             // E0.f := E1 — mod(tr(E0)·f, w, $0) ∧ Q[$ := $(tr(E0)·f := tr(E1))].
             Expr::Select { base, attr, .. } => {
                 let b = tr_value(base, &Term::store())?;
                 let attr_term = Term::attr(attr.text.clone());
+                let reads = self.read_licenses(&[base, rhs]);
                 let license = self.label(
                     ObligationKind::ModifiesViolation,
                     span,
@@ -363,7 +496,9 @@ impl<'s> VcGen<'s> {
                 let mut defined_with_target = defined;
                 defined_with_target.push(Formula::neq(b.term, Term::null()));
                 Ok(Formula::and(
-                    self.defined(defined_with_target)
+                    reads
+                        .into_iter()
+                        .chain(self.defined(defined_with_target))
                         .chain([license, subst])
                         .collect(),
                 ))
@@ -372,6 +507,7 @@ impl<'s> VcGen<'s> {
             Expr::Index { base, index, .. } => {
                 let b = tr_value(base, &Term::store())?;
                 let idx = tr_value(index, &Term::store())?;
+                let reads = self.read_licenses(&[base, index, rhs]);
                 let license = self.label(
                     ObligationKind::ModifiesViolation,
                     span,
@@ -388,7 +524,11 @@ impl<'s> VcGen<'s> {
                     .collect();
                 defined.push(Formula::neq(b.term, Term::null()));
                 Ok(Formula::and(
-                    self.defined(defined).chain([license, subst]).collect(),
+                    reads
+                        .into_iter()
+                        .chain(self.defined(defined))
+                        .chain([license, subst])
+                        .collect(),
                 ))
             }
             other => Err(Diagnostic::error(
@@ -416,6 +556,7 @@ impl<'s> VcGen<'s> {
             Expr::Select { base, attr, .. } => {
                 let b = tr_value(base, &Term::store())?;
                 let attr_term = Term::attr(attr.text.clone());
+                let reads = self.read_licenses(&[base]);
                 let license = self.label(
                     ObligationKind::ModifiesViolation,
                     span,
@@ -435,13 +576,18 @@ impl<'s> VcGen<'s> {
                 let mut defined = b.defined;
                 defined.push(Formula::neq(b.term, Term::null()));
                 Ok(Formula::and(
-                    self.defined(defined).chain([license, subst]).collect(),
+                    reads
+                        .into_iter()
+                        .chain(self.defined(defined))
+                        .chain([license, subst])
+                        .collect(),
                 ))
             }
             // E[I] := new() — the slot analogue.
             Expr::Index { base, index, .. } => {
                 let b = tr_value(base, &Term::store())?;
                 let idx = tr_value(index, &Term::store())?;
+                let reads = self.read_licenses(&[base, index]);
                 let license = self.label(
                     ObligationKind::ModifiesViolation,
                     span,
@@ -458,7 +604,11 @@ impl<'s> VcGen<'s> {
                 let mut defined: Vec<Formula> = b.defined.into_iter().chain(idx.defined).collect();
                 defined.push(Formula::neq(b.term, Term::null()));
                 Ok(Formula::and(
-                    self.defined(defined).chain([license, subst]).collect(),
+                    reads
+                        .into_iter()
+                        .chain(self.defined(defined))
+                        .chain([license, subst])
+                        .collect(),
                 ))
             }
             other => Err(Diagnostic::error(
@@ -485,6 +635,8 @@ impl<'s> VcGen<'s> {
             ));
         };
         let callee = self.scope.proc_info(callee_id).clone();
+        // Caller's read frame licenses the evaluation of the actuals.
+        let arg_reads = self.read_licenses(&args.iter().collect::<Vec<_>>());
 
         // Fresh sᵢ bound to the actuals.
         let si: Vec<Symbol> = callee
@@ -519,6 +671,42 @@ impl<'s> VcGen<'s> {
                 w.modifiable(&obj, &attr, &Term::store0()),
             );
             obligations.push(license);
+        }
+        // Caller's read frame covers every *declared* callee reads entry.
+        // A callee without a `reads` clause is unconstrained and imposes
+        // nothing here (see DESIGN.md: declaring a frame on the caller
+        // only pays off once its callees declare theirs).
+        if let (Some(reads), Some(callee_reads)) = (self.reads.clone(), callee.reads.as_ref()) {
+            let rs = ModList::new(self.scope, callee_reads, &si_terms);
+            for (target, entry) in callee_reads.iter().zip(rs.entries()) {
+                let (obj, attr) = entry.location(&Term::store());
+                let license = self.label(
+                    ObligationKind::ReadsViolation,
+                    span,
+                    format!(
+                        "call to `{}` requires read license for its reads entry `{}`",
+                        proc.text,
+                        entry_desc(&callee.params, target, entry),
+                    ),
+                    reads.modifiable(&obj, &attr, &Term::store0()),
+                );
+                obligations.push(license);
+            }
+        }
+        // Every declared invariant holds when control transfers to the
+        // callee (the callee assumes it on entry, as this VC did at $0).
+        let scope = self.scope;
+        for inv in scope.invariants() {
+            let clause = self.invariant_clause(&inv.expr, &Term::store(), false)?;
+            obligations.push(self.label(
+                ObligationKind::InvariantPreserved,
+                span,
+                format!(
+                    "call to `{}` may observe a broken object invariant",
+                    proc.text
+                ),
+                clause,
+            ));
         }
         // Owner exclusion for every parameter value.
         if self.options.restrictions {
@@ -568,10 +756,17 @@ impl<'s> VcGen<'s> {
                 ]),
             );
             let q_post = q.subst(&[(oolong_logic::STORE.into(), post)]);
+            // The callee preserved every declared invariant: assume them
+            // in the post store (mirroring the exit obligation its own VC
+            // carries).
+            let mut antecedent = vec![alive_mono, change_licensed];
+            for inv in scope.invariants() {
+                antecedent.push(self.invariant_clause(&inv.expr, &post, true)?);
+            }
             Formula::forall(
                 vec![post_store],
                 vec![],
-                Formula::implies(Formula::and(vec![alive_mono, change_licensed]), q_post),
+                Formula::implies(Formula::and(antecedent), q_post),
             )
         };
 
@@ -580,7 +775,9 @@ impl<'s> VcGen<'s> {
             Formula::and(obligations.into_iter().chain([frame]).collect()),
         );
         Ok(Formula::and(
-            self.defined(defined)
+            arg_reads
+                .into_iter()
+                .chain(self.defined(defined))
                 .chain([Formula::forall(si, vec![], body)])
                 .collect(),
         ))
@@ -897,6 +1094,159 @@ mod tests {
                  field arr in g maps elem g into g
                  proc p(t)
                  impl p(t) { assume t != null && t.arr != null ; t.arr[0] := null }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn reads_clause_licenses_dereferences() {
+        // Reading t.f with `reads t.g` (f in g) verifies.
+        assert_eq!(
+            check_src(
+                "group g field f in g proc p(t) reads t.g
+                 impl p(t) { var x in x := t.f end }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+        // Reflexive frame: reading exactly the declared field.
+        assert_eq!(
+            check_src(
+                "field f proc p(t) reads t.f
+                 impl p(t) { var x in x := t.f end }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+        // An undeclared read is rejected.
+        assert_eq!(
+            check_src(
+                "field f field h proc p(t) reads t.f
+                 impl p(t) { var x in x := t.h end }",
+                "p"
+            ),
+            Outcome::NotProved
+        );
+        // No clause at all leaves reads unconstrained.
+        assert_eq!(
+            check_src("field f proc p(t) impl p(t) { var x in x := t.f end }", "p"),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn reads_frame_does_not_leak_to_other_objects() {
+        assert_eq!(
+            check_src(
+                "field f proc p(t, u) reads t.f
+                 impl p(t, u) { var x in x := u.f end }",
+                "p"
+            ),
+            Outcome::NotProved
+        );
+    }
+
+    #[test]
+    fn call_requires_callers_read_license() {
+        // callee reads u.f; caller's frame does not cover it.
+        assert_eq!(
+            check_src(
+                "field f field h proc callee(u) reads u.f
+                 proc q(t) reads t.h impl q(t) { callee(t) }",
+                "q"
+            ),
+            Outcome::NotProved
+        );
+        // A covering frame verifies.
+        assert_eq!(
+            check_src(
+                "field f proc callee(u) reads u.f
+                 proc q(t) reads t.f impl q(t) { callee(t) }",
+                "q"
+            ),
+            Outcome::Proved
+        );
+        // A caller without a reads clause is unconstrained.
+        assert_eq!(
+            check_src(
+                "field f proc callee(u) reads u.f
+                 proc q(t) impl q(t) { callee(t) }",
+                "q"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn invariant_preserved_at_exit() {
+        // Writing a value that re-establishes the invariant verifies.
+        assert_eq!(
+            check_src(
+                "group g field f in g invariant this.f = 0
+                 proc p(t) modifies t.g impl p(t) { t.f := 0 }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+        // Writing a violating value is rejected.
+        assert_eq!(
+            check_src(
+                "group g field f in g invariant this.f = 0
+                 proc p(t) modifies t.g impl p(t) { t.f := 1 }",
+                "p"
+            ),
+            Outcome::NotProved
+        );
+        // A body that never touches invariant state preserves it.
+        assert_eq!(
+            check_src(
+                "group g field f in g invariant this.f = 0
+                 proc p(t) impl p(t) { skip }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn invariant_checked_at_call_boundary() {
+        // The invariant is broken when control transfers to the callee.
+        assert_eq!(
+            check_src(
+                "group g field f in g invariant this.f = 0
+                 proc callee(u)
+                 proc p(t) modifies t.g
+                 impl p(t) { t.f := 1 ; callee(t) ; t.f := 0 }",
+                "p"
+            ),
+            Outcome::NotProved
+        );
+        // Restoring it before the call verifies.
+        assert_eq!(
+            check_src(
+                "group g field f in g invariant this.f = 0
+                 proc callee(u)
+                 proc p(t) modifies t.g
+                 impl p(t) { t.f := 1 ; t.f := 0 ; callee(t) }",
+                "p"
+            ),
+            Outcome::Proved
+        );
+    }
+
+    #[test]
+    fn invariant_assumed_after_call() {
+        // After the call the invariant may be assumed again: the assert
+        // cannot be discharged by the frame (t.g is modifiable) but
+        // follows from the callee's preservation obligation.
+        assert_eq!(
+            check_src(
+                "group g field f in g invariant this.f = 0
+                 proc callee(u) modifies u.g
+                 proc p(t) modifies t.g
+                 impl p(t) { assume t != null ; callee(t) ; assert t.f = 0 }",
                 "p"
             ),
             Outcome::Proved

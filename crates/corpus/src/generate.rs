@@ -193,7 +193,88 @@ pub fn generate_branchy_source(seed: u64, depth: usize) -> String {
     out
 }
 
-/// One seeded modifies-discipline bug kind, for diagnosis-accuracy tests.
+/// Generates the source text of a correct program exercising *object
+/// invariants*: a declared invariant over a guarded field, and an
+/// implementation that re-establishes it before every exit (plus,
+/// sometimes, a caller whose call boundaries must observe it).
+///
+/// Every generated program verifies: the only write to the constrained
+/// field restores the declared value, every other command touches an
+/// unconstrained sibling, and all writes are licensed by `modifies t.g`.
+/// The seed varies the invariant's constant, benign body decoration, and
+/// whether the call-boundary obligation appears at all.
+pub fn generate_invariant_source(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x94d0_49bb).wrapping_add(7));
+    let bound = rng.gen_range(0..3);
+    let mut out = String::new();
+    let _ = writeln!(out, "group g");
+    let _ = writeln!(out, "field v in g");
+    let _ = writeln!(out, "field c in g");
+    let _ = writeln!(out, "invariant this.c = {bound}");
+    let _ = writeln!(out, "proc keep(t) modifies t.g");
+    let with_caller = rng.gen_bool(0.5);
+    if with_caller {
+        let _ = writeln!(out, "proc relay(t) modifies t.g");
+    }
+    let _ = writeln!(out, "impl keep(t) {{");
+    let _ = writeln!(out, "  assume t != null ;");
+    for _ in 0..rng.gen_range(1..=3usize) {
+        let bump = rng.gen_range(1..=4);
+        let _ = writeln!(out, "  t.v := t.v + {bump} ;");
+    }
+    if rng.gen_bool(0.5) {
+        let _ = writeln!(out, "  skip ;");
+    }
+    let _ = writeln!(out, "  t.c := {bound}");
+    out.push_str("}\n");
+    if with_caller {
+        // The call boundary inside `relay` carries its own
+        // invariant-preserved obligation, discharged from the entry
+        // hypothesis (nothing is written before the call).
+        let _ = writeln!(out, "impl relay(t) {{");
+        let _ = writeln!(out, "  assume t != null ;");
+        let _ = writeln!(out, "  keep(t)");
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Generates the source text of a correct program exercising *read
+/// effects*: a procedure declaring `reads t.g` whose every heap
+/// dereference stays inside the declared frame (an ungrouped sibling
+/// field is declared but never read).
+///
+/// Every generated program verifies — the read licenses discharge through
+/// the `read-frame-inc-reflexive` background axiom — so the population
+/// stresses exactly the goal-directed activation path the reads machinery
+/// added. The seed varies the body's read/write mix and decoration.
+pub fn generate_read_effect_source(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_f491).wrapping_add(11));
+    let mut out = String::new();
+    let _ = writeln!(out, "group g");
+    let _ = writeln!(out, "field v in g");
+    let _ = writeln!(out, "field w in g");
+    let _ = writeln!(out, "field u");
+    let _ = writeln!(out, "proc sum(t) modifies t.g reads t.g");
+    let _ = writeln!(out, "impl sum(t) {{");
+    let _ = writeln!(out, "  assume t != null ;");
+    for _ in 0..rng.gen_range(1..=3usize) {
+        if rng.gen_bool(0.5) {
+            let _ = writeln!(out, "  t.v := t.v + t.w ;");
+        } else {
+            let bump = rng.gen_range(1..=4);
+            let _ = writeln!(out, "  t.w := t.w + {bump} ;");
+        }
+    }
+    if rng.gen_bool(0.5) {
+        let _ = writeln!(out, "  skip ;");
+    }
+    let _ = writeln!(out, "  t.v := t.v + t.w");
+    out.push_str("}\n");
+    out
+}
+
+/// One seeded effect-discipline bug kind, for diagnosis-accuracy tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SeededBug {
     /// A write to a field whose `in` clause was forgotten (it belongs to
@@ -206,14 +287,23 @@ pub enum SeededBug {
     /// A copy of a pivot value into a sibling field: rejected by the
     /// syntactic pivot-uniqueness restriction at the copy.
     StrayPivotWrite,
+    /// A heap read of an ungrouped field inside a procedure declaring
+    /// `reads t.g`: refuted as a reads violation at the dereference.
+    UncoveredRead,
+    /// A licensed write that leaves a declared object invariant false at
+    /// exit: refuted as an invariant-preservation failure, blamed on the
+    /// invariant declaration.
+    BrokenInvariant,
 }
 
 impl SeededBug {
-    /// Every bug kind, in the order `seed % 3` selects them.
-    pub const ALL: [SeededBug; 3] = [
+    /// Every bug kind, in the order `seed % 5` selects them.
+    pub const ALL: [SeededBug; 5] = [
         SeededBug::ForgottenIn,
         SeededBug::MissingClosureMember,
         SeededBug::StrayPivotWrite,
+        SeededBug::UncoveredRead,
+        SeededBug::BrokenInvariant,
     ];
 
     /// The obligation-kind string a correct diagnosis must report.
@@ -221,12 +311,16 @@ impl SeededBug {
         match self {
             SeededBug::ForgottenIn | SeededBug::MissingClosureMember => "modifies-violation",
             SeededBug::StrayPivotWrite => "pivot-uniqueness",
+            SeededBug::UncoveredRead => "reads-violation",
+            SeededBug::BrokenInvariant => "invariant-preserved",
         }
     }
 }
 
 /// A generated program carrying exactly one seeded violation, with the
-/// injected command's location recorded as ground truth.
+/// ground-truth blame location recorded: the injected command for most
+/// bug kinds, the invariant *declaration* for [`SeededBug::BrokenInvariant`]
+/// (invariant diagnoses anchor where the broken property is stated).
 #[derive(Debug, Clone)]
 pub struct SeededViolation {
     /// The program text.
@@ -235,24 +329,24 @@ pub struct SeededViolation {
     pub proc_name: String,
     /// Which bug was injected.
     pub bug: SeededBug,
-    /// Byte offset of the injected command within `source`.
+    /// Byte offset of the ground-truth blame span within `source`.
     pub start: u32,
-    /// Byte offset one past the injected command.
+    /// Byte offset one past the ground-truth blame span.
     pub end: u32,
 }
 
 impl SeededViolation {
-    /// The injected command's text.
+    /// The ground-truth blame span's text.
     pub fn snippet(&self) -> &str {
         &self.source[self.start as usize..self.end as usize]
     }
 }
 
 /// Generates a program with one seeded violation; the bug kind cycles
-/// with `seed % 3` and the surrounding (licensed, correct) decoy commands
+/// with `seed % 5` and the surrounding (licensed, correct) decoy commands
 /// vary with the seed.
 pub fn generate_seeded_violation_source(seed: u64) -> SeededViolation {
-    generate_seeded_violation_with(seed, SeededBug::ALL[(seed % 3) as usize])
+    generate_seeded_violation_with(seed, SeededBug::ALL[(seed as usize) % SeededBug::ALL.len()])
 }
 
 /// Generates a program with one seeded violation of a chosen kind.
@@ -264,14 +358,31 @@ pub fn generate_seeded_violation_source(seed: u64) -> SeededViolation {
 pub fn generate_seeded_violation_with(seed: u64, bug: SeededBug) -> SeededViolation {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5851_f42d).wrapping_add(1));
     let mut out = String::new();
+    let (mut start, mut end) = (0u32, 0u32);
     let _ = writeln!(out, "group g");
     let _ = writeln!(out, "field a in g");
     // The forgotten `in` clause: `b` belongs to no group, so the license
-    // `modifies t.g` never covers it.
+    // `modifies t.g` never covers it (and `reads t.g` never covers a
+    // read of it).
     let _ = writeln!(out, "field b");
     let _ = writeln!(out, "field p in g maps g into g");
+    if bug == SeededBug::BrokenInvariant {
+        // A grouped field the invariant constrains: the injected write to
+        // it is *licensed*, so the only failing obligation is the
+        // invariant's preservation. The declaration is the ground truth.
+        let _ = writeln!(out, "field c in g");
+        start = out.len() as u32;
+        let _ = write!(out, "invariant this.c = 0");
+        end = out.len() as u32;
+        out.push('\n');
+    }
     let _ = writeln!(out, "proc helper(u) modifies u.b");
-    let _ = writeln!(out, "proc seeded(t) modifies t.g");
+    if bug == SeededBug::UncoveredRead {
+        // The declared read frame the injected dereference escapes.
+        let _ = writeln!(out, "proc seeded(t) modifies t.g reads t.g");
+    } else {
+        let _ = writeln!(out, "proc seeded(t) modifies t.g");
+    }
     let _ = writeln!(out, "impl seeded(t) {{");
 
     let mut cmds: Vec<(String, bool)> = Vec::new();
@@ -287,6 +398,11 @@ pub fn generate_seeded_violation_with(seed: u64, bug: SeededBug) -> SeededViolat
         SeededBug::ForgottenIn => format!("t.b := {}", rng.gen_range(0..9)),
         SeededBug::MissingClosureMember => "helper(t)".to_string(),
         SeededBug::StrayPivotWrite => "t.a := t.p".to_string(),
+        // The write is licensed (`a` is in `g`); the *read* of the
+        // ungrouped `b` escapes the declared `reads t.g` frame.
+        SeededBug::UncoveredRead => "t.a := t.b".to_string(),
+        // Licensed write (`c` is in `g`) that falsifies `this.c = 0`.
+        SeededBug::BrokenInvariant => "t.c := 1".to_string(),
     };
     cmds.push((injected, true));
     // Trailing decoys stay away from `a` for the pivot bug: overwriting
@@ -298,14 +414,16 @@ pub fn generate_seeded_violation_with(seed: u64, bug: SeededBug) -> SeededViolat
         }
     }
 
-    let (mut start, mut end) = (0u32, 0u32);
+    // For the invariant bug the blame span was already recorded at the
+    // declaration; every other kind is blamed at the injected command.
+    let blame_cmd = bug != SeededBug::BrokenInvariant;
     for (i, (cmd, is_bug)) in cmds.iter().enumerate() {
         out.push_str("  ");
-        if *is_bug {
+        if *is_bug && blame_cmd {
             start = out.len() as u32;
         }
         out.push_str(cmd);
-        if *is_bug {
+        if *is_bug && blame_cmd {
             end = out.len() as u32;
         }
         if i + 1 < cmds.len() {
@@ -1062,6 +1180,8 @@ mod tests {
                 SeededBug::ForgottenIn => "t.b :=",
                 SeededBug::MissingClosureMember => "helper(t)",
                 SeededBug::StrayPivotWrite => "t.a := t.p",
+                SeededBug::UncoveredRead => "t.a := t.b",
+                SeededBug::BrokenInvariant => "invariant this.c = 0",
             };
             assert!(
                 v.snippet().starts_with(expected),
@@ -1077,6 +1197,35 @@ mod tests {
             let v = generate_seeded_violation_source(i as u64);
             assert_eq!(v.bug, *bug);
         }
+    }
+
+    #[test]
+    fn invariant_programs_are_well_formed() {
+        for seed in 0..20 {
+            let src = generate_invariant_source(seed);
+            let program = parse_program(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} fails to parse: {e}\n{src}"));
+            Scope::analyze(&program)
+                .unwrap_or_else(|e| panic!("seed {seed} fails analysis: {e}\n{src}"));
+            assert!(src.contains("invariant this.c ="));
+        }
+        assert_eq!(generate_invariant_source(4), generate_invariant_source(4));
+    }
+
+    #[test]
+    fn read_effect_programs_are_well_formed() {
+        for seed in 0..20 {
+            let src = generate_read_effect_source(seed);
+            let program = parse_program(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} fails to parse: {e}\n{src}"));
+            Scope::analyze(&program)
+                .unwrap_or_else(|e| panic!("seed {seed} fails analysis: {e}\n{src}"));
+            assert!(src.contains("reads t.g"));
+        }
+        assert_eq!(
+            generate_read_effect_source(4),
+            generate_read_effect_source(4)
+        );
     }
 
     #[test]

@@ -19,9 +19,9 @@ pub mod generate;
 pub mod paper;
 
 pub use generate::{
-    extend_source, generate_branchy_source, generate_cyclic_source,
-    generate_seeded_violation_source, generate_seeded_violation_with, generate_source,
-    generate_unannotated_source, GenConfig, SeededBug, SeededViolation, TruthFrame,
-    UnannotatedConfig, UnannotatedProgram,
+    extend_source, generate_branchy_source, generate_cyclic_source, generate_invariant_source,
+    generate_read_effect_source, generate_seeded_violation_source, generate_seeded_violation_with,
+    generate_source, generate_unannotated_source, GenConfig, SeededBug, SeededViolation,
+    TruthFrame, UnannotatedConfig, UnannotatedProgram,
 };
 pub use paper::{all, by_name, CorpusProgram};

@@ -52,12 +52,16 @@ fn expected_wrong(kind: ObligationKind) -> Option<WrongKind> {
         ObligationKind::OwnerExclusion => Some(WrongKind::OwnerExclusion),
         ObligationKind::Assert => Some(WrongKind::AssertFailed),
         ObligationKind::PivotUniqueness => None,
+        ObligationKind::ReadsViolation => Some(WrongKind::ReadViolation),
+        ObligationKind::InvariantPreserved => Some(WrongKind::InvariantBroken),
     }
 }
 
 fn config_for(kind: ObligationKind) -> ExecConfig {
     ExecConfig {
         check_owner_exclusion: matches!(kind, ObligationKind::OwnerExclusion),
+        check_reads: matches!(kind, ObligationKind::ReadsViolation),
+        check_invariants: matches!(kind, ObligationKind::InvariantPreserved),
         ..ExecConfig::default()
     }
 }

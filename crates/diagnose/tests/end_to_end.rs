@@ -51,6 +51,33 @@ fn second_of_two_writes_is_the_one_blamed() {
 }
 
 #[test]
+fn uncovered_read_is_confirmed_at_the_dereference() {
+    // q declares reads t.f but dereferences t.h.
+    let src = "field f field h
+               proc q(t) reads t.f
+               impl q(t) { assert t.h = t.h }";
+    let d = diagnose(src, "q");
+    assert_eq!(d.kind, ObligationKind::ReadsViolation);
+    assert_eq!(d.snippet, "t.h", "span points at the dereference: {d:?}");
+    assert!(d.confirmed(), "replay should confirm: {:?}", d.replay);
+}
+
+#[test]
+fn broken_invariant_is_confirmed_at_the_declaration() {
+    let src = "group g field f in g
+               invariant this.f = 0
+               proc p(t) modifies t.g
+               impl p(t) { t.f := 1 }";
+    let d = diagnose(src, "p");
+    assert_eq!(d.kind, ObligationKind::InvariantPreserved);
+    assert_eq!(
+        d.snippet, "invariant this.f = 0",
+        "span points at the declaration: {d:?}"
+    );
+    assert!(d.confirmed(), "replay should confirm: {:?}", d.replay);
+}
+
+#[test]
 fn call_without_license_is_blamed_at_the_call() {
     let src = "field f proc callee(u) modifies u.f
                proc q(t) impl q(t) { callee(t) }";

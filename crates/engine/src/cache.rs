@@ -42,7 +42,12 @@ use std::sync::Mutex;
 /// profiles split `instances` into `presat`/`goal` (and fingerprints fold
 /// in the activation-phase mask, `FINGERPRINT_VERSION` 4), so v4 entries
 /// would replay telemetry without the split. Same migration by miss.
-pub const CACHE_FORMAT_VERSION: u64 = 5;
+/// Version 6 accompanies object invariants and read effects
+/// (`FINGERPRINT_VERSION` 6): labels and diagnoses may now carry the
+/// `invariant-preserved` and `reads-violation` obligation kinds, and
+/// label ids were renumbered (exit obligations allocate first), so a v5
+/// attribution would blame the wrong conjunct. Same migration by miss.
+pub const CACHE_FORMAT_VERSION: u64 = 6;
 
 /// Full JSON form of prover stats: the scalar counters plus the
 /// structured members ([`Stats::exhausted`], [`Stats::per_quant`]), so a
@@ -496,32 +501,32 @@ mod tests {
 
     #[test]
     fn outdated_entries_miss_without_corruption() {
-        // A v4 store must degrade to cold misses under a v5 build: the old
-        // entry files are neither loaded nor rewritten, and fresh v5
+        // A v5 store must degrade to cold misses under a v6 build: the old
+        // entry files are neither loaded nor rewritten, and fresh v6
         // entries land alongside them.
-        let dir = std::env::temp_dir().join(format!("oolong-cache-v4-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("oolong-cache-v5-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("creates dir");
         let old_fp = Fingerprint(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
         let mut value = sample_entry().to_json(old_fp);
         if let Json::Object(members) = &mut value {
             assert_eq!(members[0].0, "version");
-            members[0].1 = Json::Int(4);
+            members[0].1 = Json::Int(5);
         }
         let old_path = dir.join(format!("{old_fp}.json"));
         let old_bytes = value.render();
-        std::fs::write(&old_path, &old_bytes).expect("writes v4 entry");
+        std::fs::write(&old_path, &old_bytes).expect("writes v5 entry");
 
         let cache = VerdictCache::at_dir(&dir).expect("loads");
-        assert!(cache.is_empty(), "v4 entries must not be loaded");
+        assert!(cache.is_empty(), "v5 entries must not be loaded");
         assert_eq!(cache.get(old_fp), None);
 
         let new_fp = Fingerprint(99);
         cache.insert(new_fp, sample_entry());
         assert_eq!(
-            std::fs::read_to_string(&old_path).expect("v4 file still present"),
+            std::fs::read_to_string(&old_path).expect("v5 file still present"),
             old_bytes,
-            "migration is by miss: the v4 file must not be rewritten"
+            "migration is by miss: the v5 file must not be rewritten"
         );
         let reloaded = VerdictCache::at_dir(&dir).expect("reloads");
         assert_eq!(reloaded.len(), 1);

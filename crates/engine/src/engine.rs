@@ -634,6 +634,7 @@ pub fn unit_report(batch: &BatchReport, unit: &str) -> Report {
                 impl_id: oolong_sema::ImplId(i as u32),
                 proc_name: o.proc_name.clone(),
                 verdict: o.verdict.clone(),
+                kind_counts: Vec::new(),
             })
             .collect(),
     }

@@ -59,8 +59,19 @@ use std::str::FromStr;
 /// is still sound, but its refutation search and telemetry no longer
 /// match what this build would produce. Same migration by miss.
 ///
+/// Version 6: obligations gained two new kinds (`invariant-preserved`
+/// and `reads-violation`): declared object invariants add hypotheses and
+/// exit/call-boundary conjuncts to every VC in their scope, declared
+/// `reads` clauses add per-dereference licensing conjuncts, and scopes
+/// with read frames gain the `read-frame-inc-reflexive` background
+/// axiom. For programs using neither feature the VC bytes are unchanged,
+/// but a v5 entry could carry a cached diagnosis whose obligation-kind
+/// vocabulary this build extends — and label ids are position-sensitive
+/// (exit obligations now allocate first), so v5 refutation attributions
+/// must not be replayed as current. Same migration by miss.
+///
 /// [`PatternPolicy`]: oolong_logic::PatternPolicy
-pub const FINGERPRINT_VERSION: u32 = 5;
+pub const FINGERPRINT_VERSION: u32 = 6;
 
 /// The content address of one proof obligation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -236,8 +247,8 @@ mod tests {
         // shifting bytes would orphan (or worse, mis-serve) disk caches.
         let vcs = vcs_for(BASE);
         let fingerprint = fp(&vcs[0], &Budget::default());
-        assert_eq!(fingerprint.to_string(), PINNED_V5);
+        assert_eq!(fingerprint.to_string(), PINNED_V6);
     }
 
-    const PINNED_V5: &str = "2a5ece446ba9baebcc8b1a5394831fc3";
+    const PINNED_V6: &str = "0b892184ff1295342d7da88b6ae11fc3";
 }

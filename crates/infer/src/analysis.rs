@@ -315,10 +315,33 @@ impl LocalSlot {
     }
 }
 
+/// One heap dereference the body performs (a `select` or slot read in
+/// any expression position the translation licenses).
+#[derive(Debug, Clone)]
+pub struct ReadEvent {
+    /// Root of the dereferenced designator.
+    pub root: Root,
+    /// Segments from the root to the read location (last segment is the
+    /// read itself; nested dereferences appear as their own events).
+    pub segs: Vec<Seg>,
+    /// Span of the dereference expression.
+    pub span: Span,
+    /// Whether the dereference occurs in a call-argument position. The
+    /// static may-read phase skips these — under the permissive call
+    /// model an argument dereference is attributable to either side of
+    /// the call, so phase 1 leaves them to the prover, whose refuted
+    /// read licenses the repair phase translates back (this is the
+    /// deliberate incompleteness that makes phase 2 load-bearing).
+    pub in_call: bool,
+}
+
 /// The licensing-relevant events of one implementation body.
 pub struct BodyEvents {
     /// Events in syntactic order.
     pub events: Vec<Event>,
+    /// Heap dereferences in syntactic order (innermost first within one
+    /// expression, mirroring the translation's license order).
+    pub reads: Vec<ReadEvent>,
     /// Local slots indexed by [`Root::Local`].
     pub locals: Vec<LocalSlot>,
     /// Formal parameters that are reassigned by the body (writes through
@@ -365,9 +388,61 @@ pub fn collect_events(params: &[String], body: &Cmd) -> BodyEvents {
             }
         }
 
+        /// Records every dereference `expr` performs (innermost first,
+        /// matching the translation's license order).
+        fn scan_reads(&mut self, expr: &Expr, in_call: bool) {
+            match expr {
+                Expr::Select { base, .. } => {
+                    self.scan_reads(base, in_call);
+                    self.push_read(expr, in_call);
+                }
+                Expr::Index { base, index, .. } => {
+                    self.scan_reads(base, in_call);
+                    self.scan_reads(index, in_call);
+                    self.push_read(expr, in_call);
+                }
+                Expr::Binary { lhs, rhs, .. } => {
+                    self.scan_reads(lhs, in_call);
+                    self.scan_reads(rhs, in_call);
+                }
+                Expr::Unary { operand, .. } => self.scan_reads(operand, in_call),
+                Expr::Const(..) | Expr::Id(_) => {}
+            }
+        }
+
+        fn push_read(&mut self, expr: &Expr, in_call: bool) {
+            let Some((root, segs)) = designator(expr) else {
+                return;
+            };
+            let Some(root) = self.resolve(&root) else {
+                return;
+            };
+            self.out.reads.push(ReadEvent {
+                root,
+                segs,
+                span: expr.span(),
+                in_call,
+            });
+        }
+
+        /// Scans the dereferences of a write's left-hand side: the target
+        /// location itself is written, not read, but reaching it reads
+        /// every intermediate designator (and any slot index).
+        fn scan_lhs_reads(&mut self, lhs: &Expr) {
+            match lhs {
+                Expr::Select { base, .. } => self.scan_reads(base, false),
+                Expr::Index { base, index, .. } => {
+                    self.scan_reads(base, false);
+                    self.scan_reads(index, false);
+                }
+                _ => {}
+            }
+        }
+
         fn walk(&mut self, cmd: &Cmd) {
             match cmd {
-                Cmd::Assert(..) | Cmd::Assume(..) | Cmd::Skip(_) => {}
+                Cmd::Assert(e, _) | Cmd::Assume(e, _) => self.scan_reads(e, false),
+                Cmd::Skip(_) => {}
                 Cmd::Var(x, body, _) => {
                     let slot = self.out.locals.len();
                     self.out.locals.push(LocalSlot {
@@ -383,16 +458,30 @@ pub fn collect_events(params: &[String], body: &Cmd) -> BodyEvents {
                     self.walk(b);
                 }
                 Cmd::If {
+                    cond,
                     then_branch,
                     else_branch,
                     ..
                 } => {
+                    // Desugaring turns the guard into `assume` commands,
+                    // so its dereferences are licensed like any other.
+                    self.scan_reads(cond, false);
                     self.walk(then_branch);
                     self.walk(else_branch);
                 }
-                Cmd::Assign { lhs, span, .. } => self.assign(lhs, false, *span),
-                Cmd::AssignNew { lhs, span } => self.assign(lhs, true, *span),
+                Cmd::Assign { lhs, rhs, span } => {
+                    self.scan_lhs_reads(lhs);
+                    self.scan_reads(rhs, false);
+                    self.assign(lhs, false, *span);
+                }
+                Cmd::AssignNew { lhs, span } => {
+                    self.scan_lhs_reads(lhs);
+                    self.assign(lhs, true, *span);
+                }
                 Cmd::Call { proc, args, span } => {
+                    for a in args {
+                        self.scan_reads(a, true);
+                    }
                     let args = args
                         .iter()
                         .map(|a| match designator(a) {
@@ -417,6 +506,7 @@ pub fn collect_events(params: &[String], body: &Cmd) -> BodyEvents {
         env: Vec::new(),
         out: BodyEvents {
             events: Vec::new(),
+            reads: Vec::new(),
             locals: Vec::new(),
             reassigned_params: BTreeSet::new(),
         },
@@ -567,6 +657,20 @@ pub fn event_demands(
     (entries, notes)
 }
 
+/// The `reads` entries one dereference demands, plus any
+/// inexpressibility notes — the read-side analogue of [`event_demands`].
+pub fn read_demands(
+    graph: &GroupGraph,
+    body: &BodyEvents,
+    read: &ReadEvent,
+) -> (Vec<FrameEntry>, Vec<String>) {
+    match resolve_demand(graph, body, read.root, &read.segs, &[], "read") {
+        Resolution::Entries(es) => (es, Vec::new()),
+        Resolution::Fresh => (Vec::new(), Vec::new()),
+        Resolution::Unexpressible(n) => (Vec::new(), vec![n]),
+    }
+}
+
 /// Per-procedure result of the static phase.
 pub struct ProcFrames {
     /// Declared modifies entries (name form).
@@ -662,6 +766,86 @@ pub fn static_frames(scope: &Scope, graph: &GroupGraph) -> StaticAnalysis {
         }
     }
     StaticAnalysis {
+        procs,
+        notes: notes.into_iter().collect(),
+    }
+}
+
+/// Per-procedure result of the static may-read phase.
+pub struct ProcReads {
+    /// Declared `reads` entries in name form; `None` when the declaration
+    /// carries no `reads` clause (reads unconstrained, no obligations).
+    pub declared: Option<BTreeSet<FrameEntry>>,
+    /// Entries the body's (non-call-argument) dereferences demand.
+    pub demanded: BTreeSet<FrameEntry>,
+    /// Formal parameter names (for rendering).
+    pub params: Vec<String>,
+}
+
+/// Result of the static may-read analysis.
+pub struct ReadAnalysis {
+    /// Read frames per *implemented* procedure name.
+    pub procs: BTreeMap<String, ProcReads>,
+    /// Inexpressible read demands (phase 2 is the backstop).
+    pub notes: Vec<String>,
+}
+
+/// Declared `reads` entries of `proc` in name form (`None` = no clause).
+pub fn declared_read_entries(
+    scope: &Scope,
+    proc: oolong_sema::ProcId,
+) -> Option<BTreeSet<FrameEntry>> {
+    scope.proc_info(proc).reads.as_ref().map(|reads| {
+        reads
+            .iter()
+            .map(|t| FrameEntry {
+                param: t.param,
+                path: t
+                    .path
+                    .iter()
+                    .map(|&a| scope.attr_info(a).name.clone())
+                    .collect(),
+            })
+            .collect()
+    })
+}
+
+/// Runs the static may-read analysis over every implementation in `scope`.
+///
+/// Unlike the may-write fixpoint there is no propagation through calls:
+/// the static reads model is *permissive* at call sites (a callee's
+/// dereferences are its own concern, checked against its own clause), so
+/// one pass over the direct dereferences of each body suffices.
+/// Call-argument dereferences are deliberately skipped here (see
+/// [`ReadEvent::in_call`]) — the prover licenses them at the call site,
+/// and the repair phase translates any refutation back to an entry.
+pub fn static_read_frames(scope: &Scope, graph: &GroupGraph) -> ReadAnalysis {
+    let mut procs: BTreeMap<String, ProcReads> = BTreeMap::new();
+    let mut notes: BTreeSet<String> = BTreeSet::new();
+    for (_, info) in scope.impls() {
+        let pinfo = scope.proc_info(info.proc);
+        let body = collect_events(&pinfo.params, &info.body);
+        let entry = procs
+            .entry(pinfo.name.clone())
+            .or_insert_with(|| ProcReads {
+                declared: declared_read_entries(scope, info.proc),
+                demanded: BTreeSet::new(),
+                params: pinfo.params.clone(),
+            });
+        for read in &body.reads {
+            if read.in_call {
+                continue;
+            }
+            match resolve_demand(graph, &body, read.root, &read.segs, &[], "read") {
+                Resolution::Entries(es) => entry.demanded.extend(es),
+                Resolution::Fresh => {}
+                Resolution::Unexpressible(n) => {
+                    notes.insert(format!("{}: {n}", pinfo.name));
+                }
+            }
+        }
+    }
+    ReadAnalysis {
         procs,
         notes: notes.into_iter().collect(),
     }

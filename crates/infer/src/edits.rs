@@ -46,6 +46,9 @@ pub enum ProposalKind {
         /// The group it joins.
         group: String,
     },
+    /// Append `entry` to the `reads` clause of the procedure (creating
+    /// the clause when the declaration has none).
+    ReadsExtend(FrameEntry),
 }
 
 /// One proposed annotation edit.
@@ -65,7 +68,9 @@ impl Proposal {
     /// Renders the proposal target, e.g. `t.c.g` or `b in g`.
     pub fn target(&self, params_of: &dyn Fn(&str) -> Vec<String>) -> String {
         match &self.kind {
-            ProposalKind::Extend(e) => e.render(&params_of(&self.proc)),
+            ProposalKind::Extend(e) | ProposalKind::ReadsExtend(e) => {
+                e.render(&params_of(&self.proc))
+            }
             ProposalKind::Membership { field, group } => format!("{field} in {group}"),
         }
     }
@@ -75,6 +80,7 @@ impl Proposal {
         match self.kind {
             ProposalKind::Extend(_) => "modifies-extension",
             ProposalKind::Membership { .. } => "group-membership",
+            ProposalKind::ReadsExtend(_) => "reads-extension",
         }
     }
 }
@@ -94,7 +100,14 @@ pub struct Edit {
 /// Renders one edit per proposal against the base program. Returns `None`
 /// for a proposal whose target declaration cannot be found (the caller
 /// reports it as a note).
-pub fn render_edits(program: &Program, proposals: &[Proposal]) -> Vec<Option<Edit>> {
+///
+/// `modifies` extensions anchor after the last declared modifies target —
+/// or after the parameter list's closing paren when the clause is missing —
+/// so they never land inside a trailing `reads` clause (the grammar puts
+/// `modifies` strictly before `reads`). `reads` extensions anchor at the
+/// end of the declaration. Proposals at the same anchor compose in listed
+/// order, so callers keep `ReadsExtend` proposals after `Extend` ones.
+pub fn render_edits(program: &Program, source: &str, proposals: &[Proposal]) -> Vec<Option<Edit>> {
     let procs: BTreeMap<&str, _> = all_proc_decls(program)
         .into_iter()
         .map(|p| (p.name.text.as_str(), p))
@@ -105,6 +118,7 @@ pub fn render_edits(program: &Program, proposals: &[Proposal]) -> Vec<Option<Edi
         .collect();
     let mut prior_ext: BTreeMap<&str, usize> = BTreeMap::new();
     let mut prior_mem: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut prior_reads: BTreeMap<&str, usize> = BTreeMap::new();
     proposals
         .iter()
         .map(|p| match &p.kind {
@@ -114,11 +128,38 @@ pub fn render_edits(program: &Program, proposals: &[Proposal]) -> Vec<Option<Edi
                 let prior = prior_ext.entry(p.proc.as_str()).or_insert(0);
                 let has_list = !decl.modifies.is_empty() || *prior > 0;
                 *prior += 1;
-                let anchor = decl.span.end as usize;
+                let anchor = if let Some(last) = decl.modifies.last() {
+                    last.span().end as usize
+                } else {
+                    let start = decl.span.start as usize;
+                    let end = decl.span.end as usize;
+                    start + source[start..end].find(')').map_or(end - start, |i| i + 1)
+                };
                 let text = if has_list {
                     format!(", {}", entry.render(&params))
                 } else {
                     format!(" modifies {}", entry.render(&params))
+                };
+                Some(Edit {
+                    start: anchor,
+                    end: anchor,
+                    insert: text,
+                })
+            }
+            ProposalKind::ReadsExtend(entry) => {
+                let decl = procs.get(p.proc.as_str())?;
+                let params: Vec<String> = decl.params.iter().map(|i| i.text.clone()).collect();
+                let prior = prior_reads.entry(p.proc.as_str()).or_insert(0);
+                let has_list = decl.reads.as_ref().is_some_and(|r| !r.is_empty()) || *prior > 0;
+                *prior += 1;
+                let anchor = match decl.reads.as_ref().and_then(|r| r.last()) {
+                    Some(last) => last.span().end as usize,
+                    None => decl.span.end as usize,
+                };
+                let text = if has_list {
+                    format!(", {}", entry.render(&params))
+                } else {
+                    format!(" reads {}", entry.render(&params))
                 };
                 Some(Edit {
                     start: anchor,
@@ -177,6 +218,52 @@ pub fn strip_implemented_modifies(source: &str) -> Result<String, String> {
         }
         let first = decl.modifies[0].span().start as usize;
         let Some(kw) = source[..first].rfind("modifies") else {
+            continue;
+        };
+        // A trailing `reads` clause survives the strip: end the deletion at
+        // its keyword instead of the declaration end (which covers it).
+        let end = match decl.reads.as_ref().and_then(|r| r.first()) {
+            Some(first_read) => {
+                let rs = first_read.span().start as usize;
+                match source[..rs].rfind("reads") {
+                    Some(rkw) => rkw,
+                    None => continue,
+                }
+            }
+            None => decl.span.end as usize,
+        };
+        let mut start = kw;
+        if decl.reads.is_none() {
+            while start > 0 && source.as_bytes()[start - 1].is_ascii_whitespace() {
+                start -= 1;
+            }
+        }
+        deletions.push((start, end));
+    }
+    deletions.sort();
+    let mut out = source.to_string();
+    for &(start, end) in deletions.iter().rev() {
+        out.replace_range(start..end, "");
+    }
+    Ok(out)
+}
+
+/// Removes the `reads` clause of every procedure that has an implementation
+/// in the unit, mirroring [`strip_implemented_modifies`]. Returns the
+/// stripped source.
+pub fn strip_implemented_reads(source: &str) -> Result<String, String> {
+    let program = oolong_syntax::parse_program(source).map_err(|d| format!("parse error: {d}"))?;
+    let implemented = implemented_procs(&program);
+    let mut deletions: Vec<(usize, usize)> = Vec::new();
+    for decl in all_proc_decls(&program) {
+        let Some(reads) = decl.reads.as_ref().filter(|r| !r.is_empty()) else {
+            continue;
+        };
+        if !implemented.contains(&decl.name.text) {
+            continue;
+        }
+        let first = reads[0].span().start as usize;
+        let Some(kw) = source[..first].rfind("reads") else {
             continue;
         };
         let mut start = kw;

@@ -5,12 +5,17 @@
 //!
 //! 1. **Static analysis** ([`analysis`]): a may-write analysis over
 //!    guarded-command bodies, run to fixpoint across the call graph, with
-//!    concrete write locations lifted to the smallest covering data groups.
+//!    concrete write locations lifted to the smallest covering data groups —
+//!    plus a may-*read* sibling that completes declared `reads` clauses
+//!    (and, opt-in, proposes new ones) from the body's direct dereferences.
 //! 2. **Counterexample-guided repair** ([`repair`]): candidates are checked
-//!    through the verification engine; each refuted modifies obligation
-//!    names the offending location, which is translated into the minimal
-//!    annotation edit (a `modifies` extension or an `in` membership) and
-//!    re-checked, iterating to fixpoint under a bounded round count.
+//!    through the verification engine; each refuted modifies obligation or
+//!    read license names the offending location, which is translated into
+//!    the minimal annotation edit (a `modifies` extension, an `in`
+//!    membership, or a `reads` extension) and re-checked, iterating to
+//!    fixpoint under a bounded round count. For reads the repair phase is
+//!    load-bearing by design: the static phase skips call-argument
+//!    dereferences, whose licenses only the prover attributes precisely.
 //!
 //! Proposals are emitted as span-anchored, machine-applicable edits
 //! ([`edits`]); [`report`] renders them as JSON (shared byte-for-byte with
@@ -22,9 +27,10 @@ pub mod repair;
 pub mod report;
 pub mod workload;
 
-pub use analysis::{FrameEntry, GroupGraph};
+pub use analysis::{FrameEntry, GroupGraph, ReadAnalysis, ReadEvent};
 pub use edits::{
-    apply_edits, render_edits, strip_implemented_modifies, Edit, Proposal, ProposalKind, Provenance,
+    apply_edits, render_edits, strip_implemented_modifies, strip_implemented_reads, Edit, Proposal,
+    ProposalKind, Provenance,
 };
 pub use repair::{infer, InferOptions, InferOutcome};
 pub use report::{accuracy, infer_json, Accuracy, GroundTruth, Match};

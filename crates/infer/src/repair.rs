@@ -20,7 +20,8 @@ use oolong_sema::Scope;
 use oolong_syntax::parse_program;
 
 use crate::analysis::{
-    collect_events, event_demands, final_frames, static_frames, Event, FrameEntry, GroupGraph, Seg,
+    canonicalize, collect_events, declared_read_entries, event_demands, final_frames, read_demands,
+    static_frames, static_read_frames, Event, FrameEntry, GroupGraph, ReadEvent, Seg,
 };
 use crate::edits::{apply_edits, render_edits, Edit, Proposal, ProposalKind, Provenance};
 
@@ -33,6 +34,11 @@ pub struct InferOptions {
     pub max_rounds: usize,
     /// Restrict proposals to this procedure.
     pub proc: Option<String>,
+    /// Propose a `reads` clause for procedures that declare none. Off by
+    /// default: an absent clause imposes no obligations, so inventing one
+    /// strengthens the spec rather than repairing it. Declared-but-
+    /// insufficient clauses are always completed, regardless of this flag.
+    pub infer_reads: bool,
 }
 
 impl Default for InferOptions {
@@ -41,6 +47,7 @@ impl Default for InferOptions {
             check: CheckOptions::default(),
             max_rounds: 8,
             proc: None,
+            infer_reads: false,
         }
     }
 }
@@ -137,6 +144,15 @@ fn in_scope(opts: &InferOptions, proc: &str) -> bool {
     opts.proc.as_deref().map(|p| p == proc).unwrap_or(true)
 }
 
+/// Keeps `ReadsExtend` proposals after every other kind (stable within each
+/// class). Edits at the same anchor apply in listed order, and for a
+/// declaration with neither clause the `modifies` and `reads` insertion
+/// points coincide — this ordering keeps `modifies` before `reads`, as the
+/// grammar requires.
+fn order_proposals(proposals: &mut [Proposal]) {
+    proposals.sort_by_key(|p| matches!(p.kind, ProposalKind::ReadsExtend(_)));
+}
+
 /// Runs one full inference attempt (static phase + repair rounds).
 fn run_attempt(
     engine: &Engine,
@@ -198,10 +214,37 @@ fn run_attempt(
         }
     }
 
+    // Phase 1b: static may-read proposals. A declared clause is always
+    // completed to cover the body's direct dereferences; an absent clause
+    // is only invented under `infer_reads`.
+    let read_analysis = static_read_frames(&scope, &graph);
+    for n in &read_analysis.notes {
+        state.notes.insert(n.clone());
+    }
+    for (proc_name, pr) in &read_analysis.procs {
+        if !in_scope(opts, proc_name) {
+            continue;
+        }
+        let declared = match &pr.declared {
+            Some(d) => d.clone(),
+            None if opts.infer_reads && !pr.demanded.is_empty() => BTreeSet::new(),
+            None => continue,
+        };
+        for entry in canonicalize(&graph, &declared, &pr.demanded, &BTreeSet::new()) {
+            state.proposals.push(Proposal {
+                proc: proc_name.clone(),
+                kind: ProposalKind::ReadsExtend(entry),
+                provenance: Provenance::Static,
+                round: 0,
+            });
+        }
+    }
+    order_proposals(&mut state.proposals);
+
     // Phase 2: check-and-repair rounds.
     while state.rounds < opts.max_rounds {
         state.rounds += 1;
-        let edits: Vec<Edit> = render_edits(&program, &state.proposals)
+        let edits: Vec<Edit> = render_edits(&program, source, &state.proposals)
             .into_iter()
             .flatten()
             .collect();
@@ -252,6 +295,7 @@ fn run_attempt(
             state.proposals.push(p);
             progressed = true;
         }
+        order_proposals(&mut state.proposals);
         if !progressed {
             // No repairable refutation produced a new proposal: the loop is
             // at fixpoint with the remaining refutations unrepairable.
@@ -313,6 +357,34 @@ fn matching_events<'a>(label: &ObligationLabel, events: &'a [Event]) -> Vec<&'a 
     Vec::new()
 }
 
+/// Matches a refuted read license to the dereferences it implicates, with
+/// the same span-then-detail strategy as [`matching_events`]: the label's
+/// span is the dereference expression itself, and the cached-cross-unit
+/// fallback keys on the attribute named in the pretty-printed designator.
+fn matching_reads<'a>(label: &ObligationLabel, reads: &'a [ReadEvent]) -> Vec<&'a ReadEvent> {
+    let by_span: Vec<&ReadEvent> = reads
+        .iter()
+        .filter(|r| r.span.start <= label.span.start && label.span.end <= r.span.end)
+        .collect();
+    if !by_span.is_empty() {
+        return by_span;
+    }
+    let Some(desc) = label.detail.split('`').nth(1) else {
+        return Vec::new();
+    };
+    let attr = desc.rsplit('.').next().unwrap_or(desc);
+    if attr.contains('[') {
+        return reads
+            .iter()
+            .filter(|r| r.segs.last() == Some(&Seg::Slot))
+            .collect();
+    }
+    reads
+        .iter()
+        .filter(|r| r.segs.last() == Some(&Seg::Attr(attr.to_string())))
+        .collect()
+}
+
 /// Translates the refuted obligations of one round into new proposals.
 fn repair_round(
     edited_source: &str,
@@ -370,7 +442,10 @@ fn repair_round(
             ));
             continue;
         };
-        if label.kind != ObligationKind::ModifiesViolation {
+        if !matches!(
+            label.kind,
+            ObligationKind::ModifiesViolation | ObligationKind::ReadsViolation
+        ) {
             notes.insert(format!(
                 "{}: refuted {} obligation is not repairable by annotations ({})",
                 ob.proc_name,
@@ -381,8 +456,9 @@ fn repair_round(
         }
         if !in_scope(opts, &ob.proc_name) {
             notes.insert(format!(
-                "{}: refuted modifies obligation left alone (outside --proc filter)",
-                ob.proc_name
+                "{}: refuted {} obligation left alone (outside --proc filter)",
+                ob.proc_name,
+                label.kind.as_str()
             ));
             continue;
         }
@@ -391,31 +467,59 @@ fn repair_round(
             continue;
         };
         let pinfo = scope.proc_info(proc_id).clone();
-        let declared = frames.get(&ob.proc_name).cloned().unwrap_or_default();
-        let base = base_declared
-            .get(&ob.proc_name)
-            .cloned()
-            .unwrap_or_default();
         let mut translated = false;
-        for (_, iinfo) in scope.impls_of(proc_id) {
-            let body = collect_events(&pinfo.params, &iinfo.body);
-            for event in matching_events(label, &body.events) {
-                let (demands, ns) = event_demands(&graph, &body, event, &frames);
-                for n in ns {
-                    notes.insert(format!("{}: {n}", ob.proc_name));
-                }
-                for entry in demands {
-                    if graph.frame_covers(&declared, &entry) {
-                        continue;
+        if label.kind == ObligationKind::ReadsViolation {
+            // A read license only exists under a declared `reads` clause,
+            // so the repair is always an extension of that clause — never
+            // a membership, which would also widen `modifies` coverage.
+            let declared_reads = declared_read_entries(&scope, proc_id).unwrap_or_default();
+            for (_, iinfo) in scope.impls_of(proc_id) {
+                let body = collect_events(&pinfo.params, &iinfo.body);
+                for read in matching_reads(label, &body.reads) {
+                    let (demands, ns) = read_demands(&graph, &body, read);
+                    for n in ns {
+                        notes.insert(format!("{}: {n}", ob.proc_name));
                     }
-                    let kind = choose_kind(&graph, &base, &entry, allow_membership);
-                    proposals.push(Proposal {
-                        proc: ob.proc_name.clone(),
-                        kind,
-                        provenance: Provenance::Repair,
-                        round,
-                    });
-                    translated = true;
+                    for entry in demands {
+                        if graph.frame_covers(&declared_reads, &entry) {
+                            continue;
+                        }
+                        proposals.push(Proposal {
+                            proc: ob.proc_name.clone(),
+                            kind: ProposalKind::ReadsExtend(entry),
+                            provenance: Provenance::Repair,
+                            round,
+                        });
+                        translated = true;
+                    }
+                }
+            }
+        } else {
+            let declared = frames.get(&ob.proc_name).cloned().unwrap_or_default();
+            let base = base_declared
+                .get(&ob.proc_name)
+                .cloned()
+                .unwrap_or_default();
+            for (_, iinfo) in scope.impls_of(proc_id) {
+                let body = collect_events(&pinfo.params, &iinfo.body);
+                for event in matching_events(label, &body.events) {
+                    let (demands, ns) = event_demands(&graph, &body, event, &frames);
+                    for n in ns {
+                        notes.insert(format!("{}: {n}", ob.proc_name));
+                    }
+                    for entry in demands {
+                        if graph.frame_covers(&declared, &entry) {
+                            continue;
+                        }
+                        let kind = choose_kind(&graph, &base, &entry, allow_membership);
+                        proposals.push(Proposal {
+                            proc: ob.proc_name.clone(),
+                            kind,
+                            provenance: Provenance::Repair,
+                            round,
+                        });
+                        translated = true;
+                    }
                 }
             }
         }
@@ -455,7 +559,7 @@ pub fn infer(
         (first, false)
     };
     let program = parse_program(source).map_err(|ds| format!("parse error: {ds}"))?;
-    let edits = render_edits(&program, &chosen.proposals);
+    let edits = render_edits(&program, source, &chosen.proposals);
     for (p, e) in chosen.proposals.iter().zip(&edits) {
         if e.is_none() {
             // Should not happen (proposals name declarations of the same

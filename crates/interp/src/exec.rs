@@ -103,6 +103,20 @@ pub struct ExecConfig {
     /// arbitrary extensions). When `false` such calls are
     /// [`WrongKind::MissingImpl`].
     pub havoc_unimplemented: bool,
+    /// Audit heap *reads* against declared `reads` clauses (reports
+    /// [`WrongKind::ReadViolation`]). A frame whose procedure has no
+    /// `reads` clause imposes nothing — mirroring the static checker,
+    /// where only a declared clause arms the per-dereference obligations.
+    /// Off by default: reads clauses are optional and most programs omit
+    /// them.
+    pub check_reads: bool,
+    /// Evaluate declared object invariants dynamically (reports
+    /// [`WrongKind::InvariantBroken`]). The static hypothesis assumes
+    /// invariants hold of every pre-store object, so (invariant, object)
+    /// pairs already broken at run entry are *exempt* — the hypothesis is
+    /// vacuous for exactly those. Everything else is checked at call
+    /// boundaries and procedure exits, matching the static obligations.
+    pub check_invariants: bool,
 }
 
 impl Default for ExecConfig {
@@ -112,6 +126,8 @@ impl Default for ExecConfig {
             max_depth: 200,
             check_owner_exclusion: false,
             havoc_unimplemented: true,
+            check_reads: false,
+            check_invariants: false,
         }
     }
 }
@@ -131,6 +147,11 @@ pub enum WrongKind {
     OwnerExclusion,
     /// A call to a procedure with no implementation (havoc disabled).
     MissingImpl,
+    /// A heap read outside some active frame's declared reads clause.
+    ReadViolation,
+    /// An object invariant evaluated to false at a call boundary or
+    /// procedure exit.
+    InvariantBroken,
 }
 
 impl fmt::Display for WrongKind {
@@ -142,6 +163,8 @@ impl fmt::Display for WrongKind {
             WrongKind::EffectViolation => "side effect outside modifies list",
             WrongKind::OwnerExclusion => "owner exclusion violated at call",
             WrongKind::MissingImpl => "no implementation available",
+            WrongKind::ReadViolation => "heap read outside reads clause",
+            WrongKind::InvariantBroken => "object invariant broken",
         };
         write!(f, "{s}")
     }
@@ -204,6 +227,13 @@ pub struct Interp<'s, O> {
     oracle: O,
     store: Store,
     frames: Vec<AllowedEffects>,
+    /// Declared read frames, parallel to `frames`. `None` = the
+    /// procedure has no `reads` clause and its frame licenses all reads.
+    read_frames: Vec<Option<AllowedEffects>>,
+    /// `(invariant index, object)` pairs already broken at run entry:
+    /// the static hypothesis is vacuous for these, so they are never
+    /// reported as violations.
+    inv_exempt: std::collections::HashSet<(usize, ObjId)>,
     steps: u64,
     /// Owner-exclusion violations observed (recorded even when they are
     /// not configured to be `Wrong`).
@@ -219,6 +249,8 @@ impl<'s, O: Oracle> Interp<'s, O> {
             oracle,
             store: Store::new(),
             frames: Vec::new(),
+            read_frames: Vec::new(),
+            inv_exempt: std::collections::HashSet::new(),
             steps: 0,
             owner_exclusion_events: 0,
         }
@@ -240,15 +272,20 @@ impl<'s, O: Oracle> Interp<'s, O> {
         let proc = self.scope.proc_info(info.proc).clone();
         assert_eq!(proc.params.len(), args.len(), "argument count mismatch");
         let allowed = allowed_effects(self.scope, &self.store, &proc.modifies, args);
+        self.record_entry_exemptions();
         self.frames.push(allowed);
+        self.read_frames.push(self.read_frame(&proc, args));
         let mut env: Vec<(String, Value)> = proc
             .params
             .iter()
             .cloned()
             .zip(args.iter().copied())
             .collect();
-        let result = self.exec(&info.body, &mut env, 0);
+        let result = self
+            .exec(&info.body, &mut env, 0)
+            .and_then(|()| self.check_exit_invariants(&proc.name));
         self.frames.pop();
+        self.read_frames.pop();
         match result {
             Ok(()) => RunOutcome::Completed,
             Err(Stop::Wrong(w)) => RunOutcome::Wrong(w),
@@ -370,6 +407,23 @@ impl<'s, O: Oracle> Interp<'s, O> {
         let proc = self.scope.proc_info(pid).clone();
         let allowed = allowed_effects(self.scope, &self.store, &proc.modifies, args);
 
+        // Call-boundary invariant obligation (at depth 0 the "call" is the
+        // run's entry, where a broken invariant exempts its object from
+        // the hypothesis instead of being an obligation).
+        if depth == 0 {
+            self.record_entry_exemptions();
+        } else if self.config.check_invariants {
+            if let Some(detail) = self.broken_invariant() {
+                return Err(wrong(
+                    WrongKind::InvariantBroken,
+                    format!(
+                        "call to `{}` observes a broken invariant: {detail}",
+                        proc.name
+                    ),
+                ));
+            }
+        }
+
         // Dynamic owner-exclusion observation.
         if self.owner_exclusion_violated(&allowed, args) {
             self.owner_exclusion_events += 1;
@@ -393,22 +447,153 @@ impl<'s, O: Oracle> Interp<'s, O> {
                 ));
             }
             self.frames.push(allowed);
+            self.read_frames.push(self.read_frame(&proc, args));
             let result = self.havoc();
             self.frames.pop();
+            self.read_frames.pop();
+            // Havoc models a callee from a *verified* extension, which
+            // would be obliged to preserve invariants; a havoc run that
+            // breaks one models no verified callee, so discard it.
+            if result.is_ok() && self.config.check_invariants && self.broken_invariant().is_some() {
+                return Err(Stop::Blocked);
+            }
             return result;
         }
         let chosen = impls[self.oracle.choose(impls.len())];
         let body = self.scope.impl_info(chosen).body.clone();
         self.frames.push(allowed);
+        self.read_frames.push(self.read_frame(&proc, args));
         let mut env: Vec<(String, Value)> = proc
             .params
             .iter()
             .cloned()
             .zip(args.iter().copied())
             .collect();
-        let result = self.exec(&body, &mut env, depth);
+        let result = self
+            .exec(&body, &mut env, depth)
+            .and_then(|()| self.check_exit_invariants(&proc.name));
         self.frames.pop();
+        self.read_frames.pop();
         result
+    }
+
+    /// The concrete denotation of the procedure's `reads` clause at call
+    /// entry, or `None` when no clause is declared (all reads licensed).
+    fn read_frame(&self, proc: &oolong_sema::ProcInfo, args: &[Value]) -> Option<AllowedEffects> {
+        if !self.config.check_reads {
+            return None;
+        }
+        proc.reads
+            .as_ref()
+            .map(|targets| allowed_effects(self.scope, &self.store, targets, args))
+    }
+
+    /// The exit-obligation mirror of the static `InvariantPreserved` kind:
+    /// every invariant must hold of every allocated object when a body
+    /// finishes.
+    fn check_exit_invariants(&mut self, proc: &str) -> Result<(), Stop> {
+        if !self.config.check_invariants {
+            return Ok(());
+        }
+        if let Some(detail) = self.broken_invariant() {
+            return Err(wrong(
+                WrongKind::InvariantBroken,
+                format!("at exit of `{proc}`: {detail}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Evaluates every declared invariant over every allocated object.
+    /// Returns a description of the first violation, or `None` when all
+    /// hold. Evaluation errors (e.g. a null dereference inside the
+    /// invariant body) count as violations.
+    fn broken_invariant(&mut self) -> Option<String> {
+        self.broken_pairs().first().map(|&(i, obj)| {
+            let expr = &self.scope.invariants()[i].expr;
+            format!(
+                "invariant `{}` does not hold for {obj}",
+                oolong_syntax::pretty::print_expr(expr)
+            )
+        })
+    }
+
+    /// Records every `(invariant, object)` pair broken in the current
+    /// (pre-)store as exempt from later checks: the static hypothesis
+    /// assumes invariants of pre-store objects, so it is vacuous for
+    /// exactly these pairs.
+    fn record_entry_exemptions(&mut self) {
+        if !self.config.check_invariants {
+            return;
+        }
+        let broken = self.broken_pairs_unfiltered();
+        self.inv_exempt.extend(broken);
+    }
+
+    /// Non-exempt `(invariant index, object)` pairs broken in the current
+    /// store.
+    fn broken_pairs(&mut self) -> Vec<(usize, ObjId)> {
+        let exempt = std::mem::take(&mut self.inv_exempt);
+        let mut broken = self.broken_pairs_unfiltered();
+        broken.retain(|pair| !exempt.contains(pair));
+        self.inv_exempt = exempt;
+        broken
+    }
+
+    fn broken_pairs_unfiltered(&mut self) -> Vec<(usize, ObjId)> {
+        let scope = self.scope;
+        let objects: Vec<ObjId> = self.store.objects().collect();
+        // The monitor's own dereferences are not program reads: evaluate
+        // with the read frames stashed away.
+        let saved = std::mem::take(&mut self.read_frames);
+        let mut broken = Vec::new();
+        for (i, inv) in scope.invariants().iter().enumerate() {
+            for &obj in &objects {
+                let mut env = vec![("this".to_string(), Value::Obj(obj))];
+                match self.eval_bool(&inv.expr, &mut env) {
+                    Ok(true) => {}
+                    // Evaluation errors (e.g. a null dereference inside
+                    // the invariant body) count as violations.
+                    _ => broken.push((i, obj)),
+                }
+            }
+        }
+        self.read_frames = saved;
+        broken
+    }
+
+    /// Checks a field read against every active declared read frame.
+    fn check_read(&self, loc: Loc) -> Result<(), Stop> {
+        for (i, frame) in self.read_frames.iter().enumerate() {
+            let Some(frame) = frame else { continue };
+            if !frame.permits(loc) {
+                let attr = &self.scope.attr_info(loc.attr).name;
+                return Err(wrong(
+                    WrongKind::ReadViolation,
+                    format!(
+                        "read of {}·{attr} exceeds the reads clause of active frame {i}",
+                        loc.obj
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks an array-slot read against every active declared read frame.
+    fn check_read_slot(&self, obj: ObjId, index: i64) -> Result<(), Stop> {
+        for (i, frame) in self.read_frames.iter().enumerate() {
+            let Some(frame) = frame else { continue };
+            if !frame.permits_slot(obj) {
+                return Err(wrong(
+                    WrongKind::ReadViolation,
+                    format!(
+                        "read of slot {obj}[{index}] exceeds the reads clause of active frame {i}"
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Whether passing `args` violates owner exclusion against the
@@ -640,11 +825,14 @@ impl<'s, O: Oracle> Interp<'s, O> {
                     .scope
                     .attr(&attr.text)
                     .expect("sema resolves attributes");
-                Ok(self.store.read(Loc { obj, attr: attr_id }))
+                let loc = Loc { obj, attr: attr_id };
+                self.check_read(loc)?;
+                Ok(self.store.read(loc))
             }
             Expr::Index { base, index, .. } => {
                 let obj = self.eval_obj(base, env)?;
                 let idx = self.eval_int(index, env)?;
+                self.check_read_slot(obj, idx)?;
                 Ok(self.store.read_slot(obj, idx))
             }
             Expr::Unary { op, operand, .. } => match op {
@@ -1039,6 +1227,192 @@ impl pipeline(t) { tinit(t) ; touch(t) }
 
     fn interp_scope_first_impl(scope: &Scope) -> (ImplId, ()) {
         let (id, _) = scope.impls().next().expect("impl exists");
+        (id, ())
+    }
+
+    #[test]
+    fn read_audit_flags_undeclared_read() {
+        // q declares reads t.f but reads t.h as well.
+        let scope = scope_of(
+            "field f field h
+             proc q(t) reads t.f
+             impl q(t) { assert t.f = t.f ; assert t.h = t.h }",
+        );
+        let config = ExecConfig {
+            check_reads: true,
+            ..ExecConfig::default()
+        };
+        let mut interp = Interp::new(&scope, config, FirstOracle);
+        match interp.run_proc_fresh("q") {
+            RunOutcome::Wrong(w) => assert_eq!(w.kind, WrongKind::ReadViolation),
+            other => panic!("expected read violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_audit_admits_group_covered_and_fresh_reads() {
+        let scope = scope_of(
+            "group g field f in g field h
+             proc q(t) reads t.g
+             impl q(t) {
+               assert t.f = t.f ;
+               var x in x := new() ; assert x.h = x.h end
+             }",
+        );
+        let config = ExecConfig {
+            check_reads: true,
+            ..ExecConfig::default()
+        };
+        let mut interp = Interp::new(&scope, config, FirstOracle);
+        assert_eq!(interp.run_proc_fresh("q"), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn read_audit_off_by_default() {
+        let scope = scope_of(
+            "field f field h
+             proc q(t) reads t.f
+             impl q(t) { assert t.h = t.h }",
+        );
+        let mut interp = Interp::new(&scope, ExecConfig::default(), FirstOracle);
+        assert_eq!(interp.run_proc_fresh("q"), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn invariant_broken_at_exit_detected() {
+        // p zeroes then clobbers f: the invariant f = 0 fails at exit.
+        let scope = scope_of(
+            "group g field f in g
+             invariant this.f = 0
+             proc p(t) modifies t.g
+             impl p(t) { t.f := 1 }",
+        );
+        let config = ExecConfig {
+            check_invariants: true,
+            ..ExecConfig::default()
+        };
+        let mut interp = Interp::new(&scope, config, FirstOracle);
+        let t = interp.store_mut().alloc();
+        let f = scope.attr("f").unwrap();
+        interp
+            .store_mut()
+            .write(Loc { obj: t, attr: f }, Value::Int(0));
+        let (impl_id, _) = interp_scope_first_impl(&scope);
+        match interp.run_impl(impl_id, &[Value::Obj(t)]) {
+            RunOutcome::Wrong(w) => assert_eq!(w.kind, WrongKind::InvariantBroken),
+            other => panic!("expected invariant broken, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invariant_reestablished_at_exit_completes() {
+        let scope = scope_of(
+            "group g field f in g
+             invariant this.f = 0
+             proc p(t) modifies t.g
+             impl p(t) { t.f := 1 ; t.f := 0 }",
+        );
+        let config = ExecConfig {
+            check_invariants: true,
+            ..ExecConfig::default()
+        };
+        let mut interp = Interp::new(&scope, config, FirstOracle);
+        let t = interp.store_mut().alloc();
+        let f = scope.attr("f").unwrap();
+        interp
+            .store_mut()
+            .write(Loc { obj: t, attr: f }, Value::Int(0));
+        let (impl_id, _) = interp_scope_first_impl(&scope);
+        assert_eq!(
+            interp.run_impl(impl_id, &[Value::Obj(t)]),
+            RunOutcome::Completed
+        );
+    }
+
+    #[test]
+    fn entry_broken_invariant_is_exempt_not_wrong() {
+        // The pre-store breaks the invariant (f defaults to null): the
+        // static hypothesis is vacuous for that object, so the run is
+        // not flagged at exit.
+        let scope = scope_of(
+            "group g field f in g
+             invariant this.f = 0
+             proc p(t) modifies t.g
+             impl p(t) { skip }",
+        );
+        let config = ExecConfig {
+            check_invariants: true,
+            ..ExecConfig::default()
+        };
+        let mut interp = Interp::new(&scope, config, FirstOracle);
+        let t = interp.store_mut().alloc();
+        let (impl_id, _) = interp_scope_first_impl(&scope);
+        assert_eq!(
+            interp.run_impl(impl_id, &[Value::Obj(t)]),
+            RunOutcome::Completed
+        );
+    }
+
+    #[test]
+    fn fresh_object_must_establish_invariant() {
+        // Objects allocated during the run have no entry exemption: the
+        // body must establish the invariant for them.
+        let scope = scope_of(
+            "group g field f in g
+             invariant this.f = 0
+             proc p(t) modifies t.g
+             impl p(t) { var x in x := new() end }",
+        );
+        let config = ExecConfig {
+            check_invariants: true,
+            ..ExecConfig::default()
+        };
+        let mut interp = Interp::new(&scope, config, FirstOracle);
+        let (impl_id, _) = interp_scope_first_impl(&scope);
+        match interp.run_impl(impl_id, &[Value::Null]) {
+            RunOutcome::Wrong(w) => assert_eq!(w.kind, WrongKind::InvariantBroken),
+            other => panic!("expected invariant broken, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invariant_checked_at_call_boundary() {
+        // p breaks the invariant, then calls q: flagged at the call, not
+        // only at exit.
+        let scope = scope_of(
+            "group g field f in g
+             invariant this.f = 0
+             proc q(u)
+             impl q(u) { skip }
+             proc p(t) modifies t.g
+             impl p(t) { t.f := 1 ; q(t) ; t.f := 0 }",
+        );
+        let config = ExecConfig {
+            check_invariants: true,
+            ..ExecConfig::default()
+        };
+        let mut interp = Interp::new(&scope, config, FirstOracle);
+        let t = interp.store_mut().alloc();
+        let f = scope.attr("f").unwrap();
+        interp
+            .store_mut()
+            .write(Loc { obj: t, attr: f }, Value::Int(0));
+        let (impl_id, _) = interp_scope_first_impl2(&scope, "p");
+        match interp.run_impl(impl_id, &[Value::Obj(t)]) {
+            RunOutcome::Wrong(w) => {
+                assert_eq!(w.kind, WrongKind::InvariantBroken);
+                assert!(w.detail.contains("call to `q`"), "{}", w.detail);
+            }
+            other => panic!("expected invariant broken at call, got {other:?}"),
+        }
+    }
+
+    fn interp_scope_first_impl2(scope: &Scope, name: &str) -> (ImplId, ()) {
+        let id = scope
+            .impls()
+            .find(|(_, i)| scope.proc_info(i.proc).name == name)
+            .map(|(id, _)| id)
+            .unwrap();
         (id, ())
     }
 

@@ -42,5 +42,6 @@ pub use modules::{flatten, has_modules, visible_program, ModuleInfo};
 pub use scope::Scope;
 pub use subset::{closure_for_impl, subset_program};
 pub use symbols::{
-    AttrId, AttrInfo, AttrKind, ImplId, ImplInfo, ModTarget, ProcId, ProcInfo, RepClause,
+    AttrId, AttrInfo, AttrKind, ImplId, ImplInfo, InvariantInfo, ModTarget, ProcId, ProcInfo,
+    RepClause,
 };

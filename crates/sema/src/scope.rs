@@ -20,6 +20,7 @@ pub struct Scope {
     attrs: Vec<AttrInfo>,
     procs: Vec<ProcInfo>,
     impls: Vec<ImplInfo>,
+    invariants: Vec<InvariantInfo>,
     attr_by_name: HashMap<String, AttrId>,
     proc_by_name: HashMap<String, ProcId>,
     /// Transitive enclosing groups per attribute (excluding the attribute
@@ -122,10 +123,11 @@ impl Scope {
                         name: p.name.text.clone(),
                         params: p.params.iter().map(|i| i.text.clone()).collect(),
                         modifies: Vec::new(),
+                        reads: None,
                         span: p.span,
                     });
                 }
-                Decl::Impl(_) => {}
+                Decl::Impl(_) | Decl::Invariant(_) => {}
                 Decl::Module(_) => unreachable!("modules are flattened before analysis"),
             }
         }
@@ -216,15 +218,36 @@ impl Scope {
                     let params = procs[id.index()].params.clone();
                     let mut modifies = Vec::new();
                     for entry in &p.modifies {
-                        if let Some(target) =
-                            resolve_mod_target(entry, &params, &attr_by_name, &attrs, &mut diags)
-                        {
+                        if let Some(target) = resolve_frame_target(
+                            entry,
+                            "modifies",
+                            &params,
+                            &attr_by_name,
+                            &attrs,
+                            &mut diags,
+                        ) {
                             modifies.push(target);
                         }
                     }
                     procs[id.index()].modifies = modifies;
+                    if let Some(entries) = &p.reads {
+                        let mut reads = Vec::new();
+                        for entry in entries {
+                            if let Some(target) = resolve_frame_target(
+                                entry,
+                                "reads",
+                                &params,
+                                &attr_by_name,
+                                &attrs,
+                                &mut diags,
+                            ) {
+                                reads.push(target);
+                            }
+                        }
+                        procs[id.index()].reads = Some(reads);
+                    }
                 }
-                Decl::Impl(_) => {}
+                Decl::Impl(_) | Decl::Invariant(_) => {}
                 Decl::Module(_) => unreachable!("modules are flattened before analysis"),
             }
         }
@@ -268,10 +291,27 @@ impl Scope {
         }
 
         let enclosing = compute_enclosing(&attrs);
+
+        // Pass 4.5: invariants. The body is an expression over the
+        // distinguished receiver `this`; every attribute it dereferences
+        // must be a field included in at least one declared data group
+        // (the group-dependency well-formedness rule: an invariant may
+        // depend only on locations reachable through the object's groups,
+        // so that `modifies`/`reads` framing covers it).
+        let mut invariants = Vec::new();
+        for decl in &program.decls {
+            let Decl::Invariant(v) = decl else { continue };
+            if let Some(info) = resolve_invariant(v, &attr_by_name, &attrs, &enclosing, &mut diags)
+            {
+                invariants.push(info);
+            }
+        }
+
         let scope = Scope {
             attrs,
             procs,
             impls,
+            invariants,
             attr_by_name,
             proc_by_name,
             enclosing,
@@ -361,6 +401,22 @@ impl Scope {
     /// The implementations of a given procedure.
     pub fn impls_of(&self, proc: ProcId) -> impl Iterator<Item = (ImplId, &ImplInfo)> {
         self.impls().filter(move |(_, im)| im.proc == proc)
+    }
+
+    /// The resolved object invariants declared in this scope, in source
+    /// order.
+    pub fn invariants(&self) -> &[InvariantInfo] {
+        &self.invariants
+    }
+
+    /// Whether the scope declares any object invariants.
+    pub fn has_invariants(&self) -> bool {
+        !self.invariants.is_empty()
+    }
+
+    /// Whether any procedure in the scope declares a read frame.
+    pub fn has_read_frames(&self) -> bool {
+        self.procs.iter().any(|p| p.reads.is_some())
     }
 
     // ----------------------------------------------------------- inclusion
@@ -458,11 +514,13 @@ impl Scope {
     }
 }
 
-/// Resolves one modifies-list designator `t.a1.….an` (n ≥ 1):
-/// the root must be a formal parameter, intermediate path elements must be
-/// fields, and the final element may be a field or a group.
-fn resolve_mod_target(
+/// Resolves one frame designator `t.a1.….an` (n ≥ 1) from a `modifies` or
+/// `reads` list: the root must be a formal parameter, intermediate path
+/// elements must be fields, and the final element may be a field or a
+/// group.
+fn resolve_frame_target(
     entry: &Expr,
+    what: &str,
     params: &[String],
     attr_by_name: &HashMap<String, AttrId>,
     attrs: &[AttrInfo],
@@ -470,7 +528,7 @@ fn resolve_mod_target(
 ) -> Option<ModTarget> {
     let Some((root, path)) = entry.as_designator_chain() else {
         diags.error(
-            "modifies entry must be a designator expression `t.a1.….an`",
+            format!("{what} entry must be a designator expression `t.a1.….an`"),
             entry.span(),
         );
         return None;
@@ -478,7 +536,7 @@ fn resolve_mod_target(
     let Some(param) = params.iter().position(|p| p == &root.text) else {
         diags.error(
             format!(
-                "modifies designator must be rooted at a formal parameter, but `{}` is not one",
+                "{what} designator must be rooted at a formal parameter, but `{}` is not one",
                 root.text
             ),
             root.span,
@@ -487,7 +545,7 @@ fn resolve_mod_target(
     };
     if path.is_empty() {
         diags.error(
-            "modifies entry must name at least one attribute (`t` alone grants no license)",
+            format!("{what} entry must name at least one attribute (`t` alone grants no license)"),
             entry.span(),
         );
         return None;
@@ -502,7 +560,7 @@ fn resolve_mod_target(
         if !is_last && attrs[id.index()].kind != AttrKind::Field {
             diags.error(
                 format!(
-                    "`{}` is a group and cannot be dereferenced in a modifies designator",
+                    "`{}` is a group and cannot be dereferenced in a {what} designator",
                     seg.text
                 ),
                 seg.span,
@@ -515,6 +573,67 @@ fn resolve_mod_target(
         param,
         path: ids,
         span: entry.span(),
+    })
+}
+
+/// Resolves one `invariant E` declaration. The body may mention only the
+/// receiver `this`; every dereferenced attribute must be a declared
+/// *field* that is included in at least one data group, so the invariant's
+/// footprint is expressible through the object's declared groups.
+fn resolve_invariant(
+    decl: &oolong_syntax::InvariantDecl,
+    attr_by_name: &HashMap<String, AttrId>,
+    attrs: &[AttrInfo],
+    enclosing: &[Vec<AttrId>],
+    diags: &mut Diagnostics,
+) -> Option<InvariantInfo> {
+    let before = diags.len();
+    let mut read_attrs: Vec<AttrId> = Vec::new();
+    decl.expr.walk(&mut |e| match e {
+        Expr::Id(id) if id.text != "this" => {
+            diags.error(
+                format!(
+                    "invariant may only mention the receiver `this`, found `{}`",
+                    id.text
+                ),
+                id.span,
+            );
+        }
+        Expr::Select { attr, .. } => match attr_by_name.get(&attr.text) {
+            None => {
+                diags.error(format!("undeclared attribute `{}`", attr.text), attr.span);
+            }
+            Some(&id) => {
+                if attrs[id.index()].kind != AttrKind::Field {
+                    diags.error(
+                        format!(
+                            "data group `{}` cannot appear in an invariant body (groups exist only in frames)",
+                            attr.text
+                        ),
+                        attr.span,
+                    );
+                } else if enclosing[id.index()].is_empty() {
+                    diags.error(
+                        format!(
+                            "invariant depends on `{}`, which is not included in any declared data group",
+                            attr.text
+                        ),
+                        attr.span,
+                    );
+                } else if !read_attrs.contains(&id) {
+                    read_attrs.push(id);
+                }
+            }
+        },
+        _ => {}
+    });
+    if diags.len() > before {
+        return None;
+    }
+    Some(InvariantInfo {
+        expr: decl.expr.clone(),
+        attrs: read_attrs,
+        span: decl.span,
     })
 }
 
@@ -771,5 +890,86 @@ mod tests {
     fn duplicate_parameter_rejected() {
         let err = analyze("proc p(t, t)").unwrap_err();
         assert!(err.to_string().contains("duplicate parameter"));
+    }
+
+    #[test]
+    fn reads_clause_resolves_like_modifies() {
+        let scope = analyze(
+            "group value
+             field num in value
+             proc peek(r) reads r.value
+             proc free(r)",
+        )
+        .expect("analyses");
+        let peek = scope.proc("peek").unwrap();
+        let info = scope.proc_info(peek);
+        let reads = info.reads.as_ref().expect("declared read frame");
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].param, 0);
+        assert_eq!(reads[0].licensed_attr(), scope.attr("value").unwrap());
+        // A missing clause stays `None`: unconstrained, not empty.
+        let free = scope.proc("free").unwrap();
+        assert!(scope.proc_info(free).reads.is_none());
+        assert!(scope.has_read_frames());
+    }
+
+    #[test]
+    fn reads_designator_errors_name_reads() {
+        let err = analyze("group g proc p(t) reads u.g").unwrap_err();
+        assert!(err.to_string().contains("reads designator"));
+        let err = analyze("proc p(t) reads t").unwrap_err();
+        assert!(err.to_string().contains("reads entry"));
+    }
+
+    #[test]
+    fn invariant_over_grouped_field_resolves() {
+        let scope = analyze(
+            "group value
+             field num in value
+             invariant this.num >= 0",
+        )
+        .expect("analyses");
+        assert!(scope.has_invariants());
+        let invs = scope.invariants();
+        assert_eq!(invs.len(), 1);
+        assert_eq!(invs[0].attrs, vec![scope.attr("num").unwrap()]);
+    }
+
+    #[test]
+    fn invariant_over_ungrouped_field_rejected() {
+        let err = analyze(
+            "group value
+             field num
+             invariant this.num >= 0",
+        )
+        .unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("not included in any declared data group"));
+    }
+
+    #[test]
+    fn invariant_may_only_mention_this() {
+        let err = analyze(
+            "group g
+             field f in g
+             invariant other.f = 0",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("receiver `this`"));
+    }
+
+    #[test]
+    fn invariant_over_group_rejected() {
+        let err = analyze("group g invariant this.g = 0").unwrap_err();
+        assert!(err.to_string().contains("groups exist only in frames"));
+    }
+
+    #[test]
+    fn invariant_diagnostic_carries_segment_span() {
+        let src = "group value\nfield num\ninvariant this.num >= 0";
+        let err = Scope::analyze(&parse_program(src).expect("parses")).unwrap_err();
+        let diag = err.iter().next().expect("one diagnostic");
+        assert_eq!(diag.span.snippet(src), "num");
     }
 }

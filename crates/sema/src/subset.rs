@@ -50,12 +50,20 @@ pub fn closure_for_impl(program: &Program, root: usize) -> Vec<usize> {
             Decl::Proc(p) => {
                 proc_decl.entry(p.name.as_str()).or_insert(i);
             }
-            Decl::Impl(_) | Decl::Module(_) => {}
+            Decl::Impl(_) | Decl::Module(_) | Decl::Invariant(_) => {}
         }
     }
 
     let mut kept: BTreeSet<usize> = BTreeSet::new();
     let mut queue = vec![root];
+    // Invariants constrain every object, so every closure keeps all of
+    // them (and, transitively, the attributes they mention) — otherwise a
+    // subset would drop invariant obligations and verify differently.
+    for (i, d) in program.decls.iter().enumerate() {
+        if matches!(d, Decl::Invariant(_)) {
+            queue.push(i);
+        }
+    }
     while let Some(i) = queue.pop() {
         if i >= program.decls.len() || !kept.insert(i) {
             continue;
@@ -86,6 +94,12 @@ pub fn closure_for_impl(program: &Program, root: usize) -> Vec<usize> {
                 for e in &p.modifies {
                     collect_expr_attrs(e, &mut |a| need_attr(a, &mut queue));
                 }
+                for e in p.reads.iter().flatten() {
+                    collect_expr_attrs(e, &mut |a| need_attr(a, &mut queue));
+                }
+            }
+            Decl::Invariant(v) => {
+                collect_expr_attrs(&v.expr, &mut |a| need_attr(a, &mut queue));
             }
             Decl::Impl(im) => {
                 if let Some(&j) = proc_decl.get(im.name.as_str()) {

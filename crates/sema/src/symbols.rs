@@ -1,6 +1,6 @@
 //! Symbol identifiers and per-declaration semantic records.
 
-use oolong_syntax::{Cmd, Span};
+use oolong_syntax::{Cmd, Expr, Span};
 use std::fmt;
 
 /// Identifier of a declared attribute (data group or object field) within a
@@ -145,6 +145,24 @@ pub struct ProcInfo {
     pub params: Vec<String>,
     /// Resolved modifies list.
     pub modifies: Vec<ModTarget>,
+    /// Resolved read frame. `None` when the declaration carried no `reads`
+    /// clause: the procedure's reads are unconstrained and no read-frame
+    /// obligations are generated for its implementations.
+    pub reads: Option<Vec<ModTarget>>,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// Semantic record of an `invariant E` declaration: the body over the
+/// receiver `this`, with the field attributes it dereferences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantInfo {
+    /// The invariant body, exactly as parsed (over `this`).
+    pub expr: Expr,
+    /// Field attributes the invariant reads, in first-occurrence order.
+    /// Sema guarantees each is included in at least one declared data
+    /// group (the group-dependency well-formedness rule).
+    pub attrs: Vec<AttrId>,
     /// Span of the declaration.
     pub span: Span,
 }

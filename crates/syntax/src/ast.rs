@@ -83,6 +83,14 @@ impl Program {
             _ => None,
         })
     }
+
+    /// Iterates over the object-invariant declarations.
+    pub fn invariants(&self) -> impl Iterator<Item = &InvariantDecl> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Invariant(v) => Some(v),
+            _ => None,
+        })
+    }
 }
 
 /// A top-level declaration (Figure 0 of the paper, plus the `module`
@@ -97,6 +105,10 @@ pub enum Decl {
     Proc(ProcDecl),
     /// `impl p(t, u, ...) { C }`
     Impl(ImplDecl),
+    /// `invariant E` (extension) — an object invariant over the receiver
+    /// `this`, constrained by sema to depend only on locations reachable
+    /// through the object's declared data groups.
+    Invariant(InvariantDecl),
     /// `module M imports N, ... { decls }` — an extension making the
     /// paper's prose notion of interface/implementation modules explicit
     /// ("a module is just a set of declarations"; the scope of a module is
@@ -106,14 +118,16 @@ pub enum Decl {
 }
 
 impl Decl {
-    /// The declared name (procedure name for `impl`).
-    pub fn name(&self) -> &Ident {
+    /// The declared name (procedure name for `impl`); `None` for the
+    /// anonymous `invariant` declaration.
+    pub fn name(&self) -> Option<&Ident> {
         match self {
-            Decl::Group(g) => &g.name,
-            Decl::Field(f) => &f.name,
-            Decl::Proc(p) => &p.name,
-            Decl::Impl(i) => &i.name,
-            Decl::Module(m) => &m.name,
+            Decl::Group(g) => Some(&g.name),
+            Decl::Field(f) => Some(&f.name),
+            Decl::Proc(p) => Some(&p.name),
+            Decl::Impl(i) => Some(&i.name),
+            Decl::Invariant(_) => None,
+            Decl::Module(m) => Some(&m.name),
         }
     }
 
@@ -124,6 +138,7 @@ impl Decl {
             Decl::Field(f) => f.span,
             Decl::Proc(p) => p.span,
             Decl::Impl(i) => i.span,
+            Decl::Invariant(v) => v.span,
             Decl::Module(m) => m.span,
         }
     }
@@ -195,8 +210,8 @@ impl FieldDecl {
     }
 }
 
-/// `proc p(t, u, ...) modifies E, F, ...` — a procedure declaration with
-/// its modifies list.
+/// `proc p(t, u, ...) modifies E, F, ... reads G, H, ...` — a procedure
+/// declaration with its modifies list and optional read frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcDecl {
     /// The procedure's name.
@@ -205,6 +220,24 @@ pub struct ProcDecl {
     pub params: Vec<Ident>,
     /// Designator expressions the procedure is licensed to modify.
     pub modifies: Vec<Expr>,
+    /// Designator expressions the procedure is licensed to read
+    /// (extension). `None` means no `reads` clause was written: the
+    /// procedure's reads are unconstrained, which is the paper's original
+    /// language. `Some` — even with a single entry — arms read-frame
+    /// checking for every implementation of the procedure.
+    pub reads: Option<Vec<Expr>>,
+    /// Source span of the whole declaration.
+    pub span: Span,
+}
+
+/// `invariant E` (extension) — declares an object invariant. The
+/// expression may mention the distinguished receiver `this`; sema rejects
+/// invariants that dereference attributes not reachable through the
+/// object's declared data groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantDecl {
+    /// The invariant body, over the receiver `this`.
+    pub expr: Expr,
     /// Source span of the whole declaration.
     pub span: Span,
 }
@@ -693,6 +726,7 @@ mod tests {
                     name: id("p"),
                     params: vec![],
                     modifies: vec![],
+                    reads: None,
                     span: Span::DUMMY,
                 }),
                 Decl::Impl(ImplDecl {

@@ -36,8 +36,8 @@ pub mod span;
 pub mod token;
 
 pub use ast::{
-    BinOp, Cmd, Const, Decl, Expr, FieldDecl, GroupDecl, Ident, ImplDecl, MapsClause, ModuleDecl,
-    ProcDecl, Program, UnaryOp,
+    BinOp, Cmd, Const, Decl, Expr, FieldDecl, GroupDecl, Ident, ImplDecl, InvariantDecl,
+    MapsClause, ModuleDecl, ProcDecl, Program, UnaryOp,
 };
 pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use parser::{parse_command, parse_expr, parse_program};

@@ -6,8 +6,9 @@
 //! program  ::= decl*
 //! decl     ::= "group" ID ("in" idlist)?
 //!            | "field" ID ("in" idlist)? ("maps" ID "into" idlist)*
-//!            | "proc" ID "(" idlist? ")" ("modifies" exprlist)?
+//!            | "proc" ID "(" idlist? ")" ("modifies" exprlist)? ("reads" exprlist)?
 //!            | "impl" ID "(" idlist? ")" "{" cmd "}"
+//!            | "invariant" expr                                 -- extension
 //!            | "module" ID ("imports" idlist)? "{" decl* "}"    -- extension
 //! cmd      ::= seq ("[]" seq)*                      -- choice, lowest
 //! seq      ::= atom (";" atom)*
@@ -220,6 +221,11 @@ impl Parser {
                         decls.push(Decl::Impl(d));
                     }
                 }
+                TokenKind::Invariant => {
+                    if let Some(d) = self.invariant_decl() {
+                        decls.push(Decl::Invariant(d));
+                    }
+                }
                 TokenKind::Module => {
                     if let Some(d) = self.module_decl() {
                         decls.push(Decl::Module(d));
@@ -228,7 +234,7 @@ impl Parser {
                 other => {
                     self.diags.push(Diagnostic::error(
                         format!(
-                            "expected a declaration (`group`, `field`, `proc`, `impl`, or `module`), found {}",
+                            "expected a declaration (`group`, `field`, `proc`, `impl`, `invariant`, or `module`), found {}",
                             other.describe()
                         ),
                         self.span(),
@@ -271,6 +277,7 @@ impl Parser {
                 | TokenKind::Field
                 | TokenKind::Proc
                 | TokenKind::Impl
+                | TokenKind::Invariant
                 | TokenKind::Module
                 | TokenKind::RBrace => break,
                 _ => {
@@ -354,10 +361,35 @@ impl Parser {
                 }
             }
         }
+        let reads = if self.eat(&TokenKind::Reads) {
+            let mut entries = Vec::new();
+            if let Some(e) = self.expr() {
+                entries.push(e);
+            }
+            while self.eat(&TokenKind::Comma) {
+                if let Some(e) = self.expr() {
+                    entries.push(e);
+                }
+            }
+            Some(entries)
+        } else {
+            None
+        };
         Some(ProcDecl {
             name,
             params,
             modifies,
+            reads,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn invariant_decl(&mut self) -> Option<InvariantDecl> {
+        let start = self.span();
+        self.expect(&TokenKind::Invariant);
+        let expr = self.expr()?;
+        Some(InvariantDecl {
+            expr,
             span: start.to(self.prev_span()),
         })
     }
@@ -950,5 +982,62 @@ mod tests {
         let p = prog.procs().next().unwrap();
         assert!(p.params.is_empty());
         assert!(p.modifies.is_empty());
+        assert!(p.reads.is_none());
+    }
+
+    #[test]
+    fn parses_reads_clause() {
+        let prog = parse_program(
+            "group value
+             proc peek(r) reads r.value
+             proc both(r, s) modifies r.value reads r.value, s.value",
+        )
+        .expect("parses");
+        let procs: Vec<_> = prog.procs().collect();
+        assert_eq!(procs[0].modifies.len(), 0);
+        let reads = procs[0].reads.as_ref().expect("reads clause present");
+        assert_eq!(reads.len(), 1);
+        let (root, path) = reads[0].as_designator_chain().unwrap();
+        assert_eq!(root.text, "r");
+        assert_eq!(path[0].text, "value");
+        let both = procs[1].reads.as_ref().expect("reads clause present");
+        assert_eq!(both.len(), 2);
+        assert_eq!(procs[1].modifies.len(), 1);
+    }
+
+    #[test]
+    fn parses_invariant_declaration() {
+        let prog = parse_program(
+            "group value
+             field num in value
+             invariant this.num >= 0",
+        )
+        .expect("parses");
+        let inv = prog.invariants().next().expect("invariant present");
+        assert!(matches!(inv.expr, Expr::Binary { op: BinOp::Ge, .. }));
+    }
+
+    #[test]
+    fn malformed_invariant_reports_span_and_recovers() {
+        // `invariant` with no expression: the error points at the
+        // offending token, and parsing recovers at the next declaration.
+        let src = "invariant ; group g";
+        let err = parse_program(src).unwrap_err();
+        let diag = err.iter().next().expect("has a diagnostic");
+        assert!(
+            diag.message.contains("expected an expression"),
+            "message: {}",
+            diag.message
+        );
+        assert_eq!(diag.span.snippet(src), ";");
+    }
+
+    #[test]
+    fn malformed_reads_clause_reports_span() {
+        let src = "proc p(t) reads , t.g";
+        let err = parse_program(src).unwrap_err();
+        let diag = err.iter().next().expect("has a diagnostic");
+        assert!(diag.message.contains("expected an expression"));
+        assert_eq!(diag.span.snippet(src), ",");
     }
 }

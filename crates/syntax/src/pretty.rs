@@ -45,6 +45,13 @@ pub fn print_decl(decl: &Decl) -> String {
                 let targets: Vec<String> = p.modifies.iter().map(print_expr).collect();
                 let _ = write!(out, " modifies {}", targets.join(", "));
             }
+            if let Some(reads) = &p.reads {
+                let targets: Vec<String> = reads.iter().map(print_expr).collect();
+                let _ = write!(out, " reads {}", targets.join(", "));
+            }
+        }
+        Decl::Invariant(v) => {
+            let _ = write!(out, "invariant {}", print_expr(&v.expr));
         }
         Decl::Impl(i) => {
             let _ = writeln!(out, "impl {}({}) {{", i.name, comma(&i.params));
@@ -298,6 +305,24 @@ mod tests {
         );
         let e = parse_expr("a[i + 1].f").unwrap();
         assert_eq!(print_expr(&e), "a[i + 1].f");
+    }
+
+    #[test]
+    fn invariants_and_reads_roundtrip() {
+        roundtrip_program(
+            "group value
+             field num in value
+             invariant this.num >= 0
+             proc peek(r) reads r.value
+             proc bump(r) modifies r.value reads r.value",
+        );
+        // `reads` with a single entry survives the trip distinctly from no
+        // clause at all.
+        let p = parse_program("proc peek(r) reads r.value").unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("reads r.value"), "{printed}");
+        let p2 = parse_program(&printed).unwrap();
+        assert!(p2.procs().next().unwrap().reads.is_some());
     }
 
     #[test]

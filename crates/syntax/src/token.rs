@@ -35,6 +35,10 @@ pub enum TokenKind {
     Elem,
     /// `modifies`
     Modifies,
+    /// `reads` (extension: declared read frames)
+    Reads,
+    /// `invariant` (extension: object invariants over data groups)
+    Invariant,
     /// `assert`
     Assert,
     /// `assume`
@@ -127,6 +131,8 @@ impl TokenKind {
             "into" => TokenKind::Into,
             "elem" => TokenKind::Elem,
             "modifies" => TokenKind::Modifies,
+            "reads" => TokenKind::Reads,
+            "invariant" => TokenKind::Invariant,
             "assert" => TokenKind::Assert,
             "assume" => TokenKind::Assume,
             "var" => TokenKind::Var,
@@ -170,6 +176,8 @@ impl fmt::Display for TokenKind {
             TokenKind::Into => "into",
             TokenKind::Elem => "elem",
             TokenKind::Modifies => "modifies",
+            TokenKind::Reads => "reads",
+            TokenKind::Invariant => "invariant",
             TokenKind::Assert => "assert",
             TokenKind::Assume => "assume",
             TokenKind::Var => "var",

@@ -29,6 +29,25 @@ cargo build --release -q -p oolong-bench --bin cold_probe
 median=$(python3 -c 'import json,sys; print(json.load(sys.stdin)["median_ms"])' < cold_probe.json)
 echo "current median: ${median} ms (threshold ${THRESHOLD_MS} ms)"
 
+# Second probe: the generated invariant + read-effect corpus, so the
+# invariant-preserved and read-license obligation kinds have their own
+# regression gate. The pinned baseline commit predates the populations,
+# so no worktree re-measurement is possible; instead the gate is the
+# ratio against the paper-corpus probe measured moments ago on the same
+# machine (recorded 0.09, i.e. 16 ms vs 176 ms — threshold 0.35 leaves
+# headroom for runner noise while still catching a blown-up axiom
+# schedule for the new kinds).
+INVARIANT_RATIO=${BENCH_INVARIANT_RATIO:-0.35}
+echo "== invariant-corpus probe (current tree) =="
+./target/release/cold_probe --invariant-corpus --samples 7 | tee invariant_probe.json
+inv_median=$(python3 -c 'import json,sys; print(json.load(sys.stdin)["median_ms"])' < invariant_probe.json)
+echo "invariant median: ${inv_median} ms (gate: <= ${INVARIANT_RATIO}x paper median ${median} ms)"
+if ! python3 -c "import sys; sys.exit(0 if ${inv_median} <= ${median} * ${INVARIANT_RATIO} else 1)"; then
+    echo "FAIL: the invariant/read-effect cold batch regressed past ${INVARIANT_RATIO}x the paper corpus"
+    exit 1
+fi
+echo "invariant-corpus probe PASS"
+
 if python3 -c "import sys; sys.exit(0 if ${median} <= ${THRESHOLD_MS} else 1)"; then
     echo "PASS: within the absolute threshold"
     exit 0

@@ -111,14 +111,15 @@ fn section31_bad_call_diagnosis_names_the_call() {
     assert!(matches!(d.replay, Replay::Confirmed { .. }));
 }
 
-/// Seeded-violation population: the diagnosis must name the injected
-/// command (exactly for modifies bugs, within it for the pivot copy,
-/// whose restriction diagnostic anchors on the right-hand side) and the
-/// expected clause kind, and the replay must confirm.
+/// Seeded-violation population: the diagnosis must name the ground-truth
+/// span (exactly for modifies bugs and the invariant declaration, within
+/// the injected command for the pivot copy and the uncovered read, whose
+/// diagnostics anchor on the offending subexpression) and the expected
+/// clause kind, and the replay must confirm.
 #[test]
 fn seeded_violations_diagnose_to_ground_truth() {
     for strategy in STRATEGIES {
-        for seed in 0..12u64 {
+        for seed in 0..15u64 {
             let v = corpus::generate_seeded_violation_source(seed);
             let checker = checker_for(&v.source, strategy);
             let report = checker.check_all();
@@ -146,7 +147,9 @@ fn seeded_violations_diagnose_to_ground_truth() {
                 v.bug
             );
             match v.bug {
-                SeededBug::ForgottenIn | SeededBug::MissingClosureMember => assert_eq!(
+                SeededBug::ForgottenIn
+                | SeededBug::MissingClosureMember
+                | SeededBug::BrokenInvariant => assert_eq!(
                     (d.span.start, d.span.end),
                     (v.start, v.end),
                     "seed {seed} ({strategy:?}): {:?} blamed {:?}, seeded {:?}",
@@ -162,6 +165,22 @@ fn seeded_violations_diagnose_to_ground_truth() {
                     v.start,
                     v.end
                 ),
+                SeededBug::UncoveredRead => {
+                    assert!(
+                        d.span.start >= v.start && d.span.end <= v.end,
+                        "seed {seed} ({strategy:?}): read diagnosis at {}..{} outside \
+                         seeded {}..{}",
+                        d.span.start,
+                        d.span.end,
+                        v.start,
+                        v.end
+                    );
+                    assert_eq!(
+                        &v.source[d.span.start as usize..d.span.end as usize],
+                        "t.b",
+                        "seed {seed} ({strategy:?}): read diagnosis off the dereference"
+                    );
+                }
             }
             assert!(
                 matches!(d.replay, Replay::Confirmed { .. }),
@@ -226,8 +245,40 @@ fn labels_never_change_outcomes_on_generated_programs() {
         let source = corpus::generate_source(seed, &cfg);
         assert_labels_transparent(&format!("generated-{seed}"), &source, SearchStrategy::Trail);
     }
-    for seed in 0..12 {
+    for seed in 0..15 {
         let v = corpus::generate_seeded_violation_source(seed);
         assert_labels_transparent(&format!("seeded-{seed}"), &v.source, SearchStrategy::Trail);
+    }
+    for seed in 0..6 {
+        let source = corpus::generate_invariant_source(seed);
+        assert_labels_transparent(&format!("invariant-{seed}"), &source, SearchStrategy::Trail);
+        let source = corpus::generate_read_effect_source(seed);
+        assert_labels_transparent(&format!("reads-{seed}"), &source, SearchStrategy::Trail);
+    }
+}
+
+/// The invariant and read-effect populations are *correct*: every
+/// implementation verifies, under both search strategies — the
+/// invariant-preserved and read-license obligations they carry are all
+/// dischargeable.
+#[test]
+fn invariant_and_read_effect_populations_verify() {
+    for strategy in STRATEGIES {
+        for seed in 0..8u64 {
+            for (family, source) in [
+                ("invariant", corpus::generate_invariant_source(seed)),
+                ("reads", corpus::generate_read_effect_source(seed)),
+            ] {
+                let checker = checker_for(&source, strategy);
+                for rep in &checker.check_all().impls {
+                    assert!(
+                        matches!(rep.verdict, Verdict::Verified(_)),
+                        "{family} seed {seed} ({strategy:?}): `{}` did not verify: {}\n{source}",
+                        rep.proc_name,
+                        rep.verdict
+                    );
+                }
+            }
+        }
     }
 }

@@ -471,13 +471,35 @@ fn matrix_agrees_on_seeded_violations() {
     // the prover must actually close the negated obligation, and every
     // cell must find the same refuting labels while doing so (the
     // populations above are dominated by Proved/Unknown VCs).
-    for seed in 0..12 {
+    for seed in 0..15 {
         let v = corpus::generate_seeded_violation_source(seed);
         assert_matrix_agrees(
             &format!("seeded violation seed {seed} ({:?})", v.bug),
             &v.source,
             &budget_grid(),
         );
+    }
+}
+
+#[test]
+fn matrix_agrees_on_invariant_programs() {
+    // Correct programs carrying invariant-preserved obligations at exits
+    // and call boundaries: the newest obligation kind must be just as
+    // invisible to strategy, sharing, slicing, and policy scheduling.
+    for seed in 0..6 {
+        let src = corpus::generate_invariant_source(seed);
+        assert_matrix_agrees(&format!("invariant seed {seed}"), &src, &budget_grid());
+    }
+}
+
+#[test]
+fn matrix_agrees_on_read_effect_programs() {
+    // Correct programs whose read licenses discharge through the
+    // goal-directed read-frame-inc-reflexive axiom — the population where
+    // the policy dimension actually gates a reads-specific axiom.
+    for seed in 0..6 {
+        let src = corpus::generate_read_effect_source(seed);
+        assert_matrix_agrees(&format!("read-effect seed {seed}"), &src, &budget_grid());
     }
 }
 

@@ -427,6 +427,46 @@ fn pivot_discipline_rejects_linked_insertion() {
     }
 }
 
+// -------------------------------------------------------------------- E22
+
+/// E22: the §4 scope-monotonicity theorem re-run over the enlarged
+/// language. Programs carrying invariant-preserved and read-license
+/// obligations keep their `verified` verdicts when the scope grows by
+/// later declarations — a new field joining the group and a new
+/// interface procedure — exactly the growth scenario the data-group
+/// semantics is designed to survive: the invariant still ranges over the
+/// same declared locations, and a `reads` clause naming a group covers
+/// the grown group's members by construction.
+#[test]
+fn e22_scope_monotonicity_invariants_and_reads() {
+    for seed in 0..8u64 {
+        for (family, source) in [
+            ("invariant", corpus::generate_invariant_source(seed)),
+            ("reads", corpus::generate_read_effect_source(seed)),
+        ] {
+            let base_report = check(&source);
+            let extended =
+                format!("{source}\nfield zz in g\nproc probe(t) modifies t.g reads t.g\n");
+            let ext_report = check(&extended);
+            let program = parse_program(&source).expect("parses");
+            let scope = Scope::analyze(&program).expect("analyses");
+            for (_, info) in scope.impls() {
+                let name = scope.proc_info(info.proc).name.clone();
+                assert_eq!(
+                    label(&base_report, &name),
+                    "verified",
+                    "{family} seed {seed}: base population verifies"
+                );
+                assert_eq!(
+                    label(&ext_report, &name),
+                    "verified",
+                    "{family} seed {seed}: impl {name} degraded when the scope grew\n{extended}"
+                );
+            }
+        }
+    }
+}
+
 // -------------------------------------------------------------------- E10
 
 /// E10 (§6): "the overhead for specifying data groups, inclusions, and

@@ -17,8 +17,8 @@ use oolong::corpus::{
 };
 use oolong::engine::{Engine, EngineOptions};
 use oolong::infer::{
-    accuracy, infer, resolve_spec, strip_implemented_modifies, GroundTruth, InferOptions, Match,
-    ProposalKind,
+    accuracy, infer, resolve_spec, strip_implemented_modifies, strip_implemented_reads,
+    GroundTruth, InferOptions, Match, ProposalKind, Provenance,
 };
 
 fn engine() -> Engine {
@@ -149,7 +149,7 @@ fn seeded_violations_repair_to_minimal_edits() {
                     ProposalKind::Membership { field, group } => {
                         Some((field.as_str(), group.as_str()))
                     }
-                    ProposalKind::Extend(_) => None,
+                    ProposalKind::Extend(_) | ProposalKind::ReadsExtend(_) => None,
                 })
                 .collect();
             assert_eq!(
@@ -223,6 +223,175 @@ fn apply_is_idempotent() {
             "{spec}: re-inference on the applied unit proposes edits"
         );
         assert_eq!(second.rounds, 1, "{spec}: one confirming round only");
+    }
+}
+
+/// A declared-but-insufficient `reads` clause is completed by the static
+/// may-read phase alone: the body's direct dereference of `t.h` is not
+/// covered by `reads t.f`, so phase 1 proposes the extension and the
+/// first engine round confirms.
+#[test]
+fn insufficient_reads_clause_completed_statically() {
+    let engine = engine();
+    let source = "group g\n\
+                  field f in g\n\
+                  field h in g\n\
+                  proc p(t) modifies t.g reads t.f\n\
+                  impl p(t) {\n  assume t != null ;\n  t.f := t.h\n}\n";
+    let outcome = infer(&engine, "reads-static", source, &InferOptions::default()).expect("infers");
+    assert!(
+        outcome.verified,
+        "completed clause verifies (notes: {:?})",
+        outcome.notes
+    );
+    assert_eq!(outcome.rounds, 1, "static proposal, one confirming round");
+    let reads: Vec<_> = outcome
+        .proposals
+        .iter()
+        .filter(|p| matches!(p.kind, ProposalKind::ReadsExtend(_)))
+        .collect();
+    assert_eq!(reads.len(), 1, "exactly one reads extension");
+    assert_eq!(reads[0].provenance, Provenance::Static);
+    assert!(
+        outcome.edited_source.contains("reads t.f, t.h"),
+        "extension appends to the declared clause: {}",
+        outcome.edited_source
+    );
+}
+
+/// The acceptance scenario for read-effect inference: a dereference in
+/// call-argument position is invisible to the static may-read phase (the
+/// permissive call model leaves it to the prover), so the proposal that
+/// completes the clause can only come from a refuted read license —
+/// repair provenance, round ≥ 1.
+#[test]
+fn call_argument_read_requires_repair_provenance() {
+    let engine = engine();
+    let source = "group g\n\
+                  field v in g\n\
+                  field w in g\n\
+                  field b in g\n\
+                  proc helper(x)\n\
+                  proc peek(t) modifies t.g reads t.v\n\
+                  impl peek(t) {\n  assume t != null ;\n  t.v := t.w ;\n  helper(t.b)\n}\n";
+    let outcome = infer(&engine, "reads-repair", source, &InferOptions::default()).expect("infers");
+    assert!(
+        outcome.verified,
+        "repaired clause verifies (notes: {:?})",
+        outcome.notes
+    );
+    let mut static_reads = 0usize;
+    let mut repair_reads = 0usize;
+    for p in &outcome.proposals {
+        if matches!(p.kind, ProposalKind::ReadsExtend(_)) {
+            match p.provenance {
+                Provenance::Static => static_reads += 1,
+                Provenance::Repair => {
+                    repair_reads += 1;
+                    assert!(p.round >= 1, "repair proposals carry their round");
+                }
+            }
+        }
+    }
+    assert_eq!(
+        static_reads, 1,
+        "the direct dereference is found statically"
+    );
+    assert_eq!(
+        repair_reads, 1,
+        "the call-argument dereference needs the refuted license: {:?}",
+        outcome.proposals
+    );
+    assert!(
+        outcome.edited_source.contains("reads t.v, t.w, t.b"),
+        "both extensions land on the declared clause: {}",
+        outcome.edited_source
+    );
+    // The per-proposal edits are machine-applicable against the base.
+    let edits: Vec<_> = outcome.edits.iter().flatten().cloned().collect();
+    assert_eq!(
+        oolong::infer::apply_edits(source, &edits),
+        outcome.edited_source
+    );
+}
+
+/// Proposing a `reads` clause where none was declared is opt-in: the
+/// default options leave an unclauses procedure alone (no obligations, so
+/// nothing to repair), while `infer_reads` proposes the full static
+/// footprint — and when the declaration carries neither clause, the
+/// inserted `modifies` stays before the inserted `reads`.
+#[test]
+fn reads_clause_invention_is_opt_in() {
+    let engine = engine();
+    let source = "group g\n\
+                  field v in g\n\
+                  field w in g\n\
+                  proc p(t)\n\
+                  impl p(t) {\n  assume t != null ;\n  t.v := t.w\n}\n";
+    let default =
+        infer(&engine, "reads-optin-off", source, &InferOptions::default()).expect("infers");
+    assert!(
+        !default
+            .proposals
+            .iter()
+            .any(|p| matches!(p.kind, ProposalKind::ReadsExtend(_))),
+        "no reads clause invented by default: {:?}",
+        default.proposals
+    );
+    let opts = InferOptions {
+        infer_reads: true,
+        ..InferOptions::default()
+    };
+    let outcome = infer(&engine, "reads-optin-on", source, &opts).expect("infers");
+    assert!(
+        outcome.verified,
+        "invented annotations verify (notes: {:?})",
+        outcome.notes
+    );
+    assert!(
+        outcome
+            .edited_source
+            .contains("proc p(t) modifies t.v reads t.w"),
+        "modifies lands before reads at the shared anchor: {}",
+        outcome.edited_source
+    );
+    let edits: Vec<_> = outcome.edits.iter().flatten().cloned().collect();
+    assert_eq!(
+        oolong::infer::apply_edits(source, &edits),
+        outcome.edited_source
+    );
+}
+
+/// Stripping the `reads` clauses of the generated read-effect population
+/// and re-inferring them under `infer_reads` reaches a verified fixpoint,
+/// and the canonicalizer lifts the per-field footprint back to the
+/// declared group.
+#[test]
+fn stripped_read_effect_population_reverifies() {
+    let engine = engine();
+    let opts = InferOptions {
+        infer_reads: true,
+        ..InferOptions::default()
+    };
+    for seed in 0..6u64 {
+        let source = corpus::generate_read_effect_source(seed);
+        let stripped = strip_implemented_reads(&source).expect("strips");
+        assert!(
+            !stripped.contains("reads"),
+            "seed {seed}: clause stripped: {stripped}"
+        );
+        let name = format!("reads-stripped-{seed}");
+        let outcome = infer(&engine, &name, &stripped, &opts).expect("infers");
+        assert!(
+            outcome.verified,
+            "seed {seed}: re-inferred reads verify (notes: {:?})",
+            outcome.notes
+        );
+        assert!(
+            outcome.edited_source.contains("reads t.g"),
+            "seed {seed}: footprint lifts to the group: {}",
+            outcome.edited_source
+        );
     }
 }
 

@@ -551,6 +551,88 @@ fn scripted_session_end_to_end() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The two obligation kinds added for invariants and read effects flow
+/// over the daemon: a seeded invariant violation and a seeded uncovered
+/// read (sent as inline units) are refuted, their explain responses name
+/// the new kinds with interpreter-confirmed diagnoses, and a repeated
+/// warm explain returns a byte-identical result.
+#[test]
+fn new_obligation_kinds_served_end_to_end() {
+    let dir = scratch("new-kinds");
+    let handle = spawn_server(
+        &dir,
+        ServeOptions {
+            cache_dir: Some(dir.join("cache")),
+            ..ServeOptions::default()
+        },
+    );
+    let mut client = Client::connect(handle.socket()).expect("connects");
+
+    use oolong::corpus::{generate_seeded_violation_with, SeededBug};
+    let cases = [
+        (SeededBug::BrokenInvariant, "invariant-preserved"),
+        (SeededBug::UncoveredRead, "reads-violation"),
+    ];
+    for (i, (bug, kind)) in cases.iter().enumerate() {
+        let v = generate_seeded_violation_with(7, *bug);
+        let unit = format!(
+            r#"{{"name":"seeded-{i}.oo","source":{}}}"#,
+            Json::Str(v.source.clone()).render()
+        );
+        let request = format!(r#"{{"id":{i},"cmd":"explain","unit":{unit}}}"#);
+        let cold = client.request(&request).expect("explain");
+        assert!(response_ok(&cold), "{bug:?}: {cold:?}");
+        let rep = cold
+            .get("result")
+            .and_then(|r| r.get("impls"))
+            .and_then(Json::as_array)
+            .and_then(|impls| {
+                impls
+                    .iter()
+                    .find(|r| r.get("proc").and_then(Json::as_str) == Some(&v.proc_name))
+                    .cloned()
+            })
+            .unwrap_or_else(|| panic!("{bug:?}: seeded impl in response"));
+        assert_eq!(
+            rep.get("obligation_kind").and_then(Json::as_str),
+            Some(*kind),
+            "{bug:?}: the daemon names the new kind"
+        );
+        assert_eq!(
+            rep.get("diagnosis")
+                .and_then(|d| d.get("replay"))
+                .and_then(|r| r.get("status"))
+                .and_then(Json::as_str),
+            Some("confirmed"),
+            "{bug:?}: the replay confirms over the daemon"
+        );
+        let warm = client.request(&request).expect("warm explain");
+        // Identical bytes modulo the cache_hit flag, which truthfully
+        // flips on the warm round.
+        let normalize = |r: &Json| {
+            r.render()
+                .replace("\"cache_hit\":true", "\"cache_hit\":false")
+        };
+        assert_eq!(
+            cold.get("result").map(&normalize),
+            warm.get("result").map(&normalize),
+            "{bug:?}: warm explain result is byte-identical"
+        );
+        assert_eq!(
+            prover_calls(&warm),
+            0,
+            "{bug:?}: warm run makes no prover call"
+        );
+    }
+
+    let bye = client
+        .request(r#"{"id":9,"cmd":"shutdown"}"#)
+        .expect("shutdown");
+    assert!(response_ok(&bye));
+    handle.join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Malformed and unanswerable requests get error responses, not dropped
 /// connections; the session stays usable afterwards.
 #[test]
